@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Ablation of the search framework's components (Section 4.2 / Fig
+ * 6): how much do the hash filter (equivalence + comparative
+ * analysis), the redundancy eliminations, and the upper-bound probe
+ * each contribute?  Optimal cycles must be identical across rows;
+ * expanded nodes and wall time show the contribution.
+ */
+
+#include <cstdio>
+
+#include "arch/architectures.hpp"
+#include "bench_util.hpp"
+#include "ir/generators.hpp"
+#include "toqm/mapper.hpp"
+
+namespace {
+
+using namespace toqm;
+
+void
+run(const char *label, const arch::CouplingGraph &device,
+    const ir::Circuit &circuit, core::MapperConfig config)
+{
+    config.latency = ir::LatencyModel::qftPreset();
+    config.maxExpandedNodes = 20'000'000;
+    core::OptimalMapper mapper(device, config);
+    const auto res = mapper.map(circuit);
+    if (res.success) {
+        std::printf("  %-22s cycles=%3d expanded=%9llu "
+                    "generated=%10llu time=%7.2fs\n",
+                    label, res.cycles,
+                    static_cast<unsigned long long>(
+                        res.stats.expanded),
+                    static_cast<unsigned long long>(
+                        res.stats.generated),
+                    res.stats.seconds);
+    } else {
+        std::printf("  %-22s exhausted the node budget\n", label);
+    }
+    std::fflush(stdout);
+}
+
+void
+sweep(const char *title, const arch::CouplingGraph &device,
+      const ir::Circuit &circuit)
+{
+    std::printf("%s:\n", title);
+    core::MapperConfig base;
+    run("full framework", device, circuit, base);
+    {
+        core::MapperConfig cfg = base;
+        cfg.useFilter = false;
+        run("no hash filter", device, circuit, cfg);
+    }
+    {
+        core::MapperConfig cfg = base;
+        cfg.useRedundancyElimination = false;
+        run("no redundancy elim.", device, circuit, cfg);
+    }
+    {
+        core::MapperConfig cfg = base;
+        cfg.useCyclicSwapElimination = false;
+        run("no cyclic-swap elim.", device, circuit, cfg);
+    }
+    {
+        core::MapperConfig cfg = base;
+        cfg.useUpperBoundPruning = false;
+        run("no upper-bound probe", device, circuit, cfg);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: search-framework components (optimal "
+                  "mode)");
+
+    sweep("QFT-5 on LNN-5", arch::lnn(5), ir::qftSkeleton(5));
+    if (bench::fullMode()) {
+        sweep("QFT-6 on LNN-6", arch::lnn(6), ir::qftSkeleton(6));
+        std::vector<int> layout(6);
+        for (int c = 0; c < 3; ++c)
+            for (int r = 0; r < 2; ++r)
+                layout[static_cast<size_t>(2 * c + r)] = r * 3 + c;
+        sweep("QFT-6 on 2x3", arch::grid(2, 3), ir::qftSkeleton(6));
+    } else {
+        std::printf("\n(QFT-6 sweeps run in full mode; the "
+                    "no-filter row alone needs minutes there)\n");
+    }
+    std::printf("\nexpected shape: identical optima; removing the "
+                "filter costs the most, the other eliminations "
+                "contribute smaller but consistent factors.\n");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Fig 8 and Fig 9 as executable artifacts: the admissible cost
+ * function's slack-aware swap-split (Section 5.1).
+ *
+ * Prints the exact t_min computation for the paper's Fig 8 example
+ * (node F costs 8) and quantifies the Fig 9 "common fallacy": the
+ * naive meet-in-the-middle estimate versus the slack-aware split,
+ * and what each would do to the A* search (a non-admissible
+ * midpoint bound can misguide; the slack-aware one is provably a
+ * lower bound).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "arch/architectures.hpp"
+#include "bench_util.hpp"
+#include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "toqm/cost_estimator.hpp"
+#include "toqm/mapper.hpp"
+#include "toqm/search_context.hpp"
+
+namespace {
+
+using namespace toqm;
+
+/** The Fig 9 scenario: work cycles on qubit A, distance d apart. */
+int
+midpointEstimate(int d, int u, int swap_len)
+{
+    // "Meet in the middle": ceil((d-1)/2) swaps per side, ignoring
+    // slack entirely.
+    const int per_side = (d - 1 + 1) / 2;
+    return u + per_side * swap_len;
+}
+
+int
+slackAwareEstimate(int d, int u, int t_a, int t_b, int swap_len)
+{
+    int best = 1 << 30;
+    for (int r = 0; r <= d - 1; ++r) {
+        const int s = d - 1 - r;
+        const int delay_a = std::max(r * swap_len - (u - t_a), 0);
+        const int delay_b = std::max(s * swap_len - (u - t_b), 0);
+        best = std::min(best, std::max(delay_a, delay_b));
+    }
+    return u + best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: the admissible cost function (Fig 8 / "
+                  "Fig 9)");
+
+    // --- Fig 8: node F costs exactly 8 --------------------------
+    {
+        ir::Circuit c(5);
+        c.add(ir::Gate(ir::GateKind::H, 0)); // g1
+        c.add(ir::Gate(ir::GateKind::T, 0)); // g2
+        c.addCX(1, 2);                       // g3
+        c.addCX(1, 2);                       // g4
+        c.addCX(1, 4);                       // g5
+        c.addCX(0, 1);                       // g6
+        const auto g = arch::lnn(5);
+        const ir::LatencyModel lat(1, 1, 3);
+        core::SearchContext ctx(c, g, lat);
+        core::CostEstimator est(ctx);
+        auto root =
+            core::SearchNode::root(ctx, ir::identityLayout(5), false);
+        auto node_f = core::SearchNode::expand(
+            ctx, root, 1,
+            {core::Action{0, 0, -1}, core::Action{-1, 3, 4}});
+        const int h = est.estimate(*node_f);
+        std::printf("Fig 8 node F: g=%d, h=%d, f=%d  (paper: f=8)\n",
+                    node_f->costG, h, node_f->costG + h);
+    }
+
+    // --- Fig 9: slack-aware vs midpoint --------------------------
+    {
+        // distance 5, swap 2 cycles, 4 cycles of work on qubit A.
+        const int d = 5, swap_len = 2, u = 4, t_a = 4, t_b = 0;
+        const int naive = midpointEstimate(d, u, swap_len);
+        const int aware = slackAwareEstimate(d, u, t_a, t_b, swap_len);
+        std::printf("\nFig 9 (d=%d, swap=%d, %d busy cycles on one "
+                    "side):\n",
+                    d, swap_len, u);
+        std::printf("  meet-in-the-middle estimate: start at %d "
+                    "(paper: 8-cycle critical path)\n",
+                    naive);
+        std::printf("  slack-aware (r,s) split:     start at %d "
+                    "(paper: 6-cycle critical path)\n",
+                    aware);
+        std::printf("  -> the midpoint bound OVERestimates by %d "
+                    "cycles and would not be admissible.\n",
+                    naive - aware);
+    }
+
+    // --- effect on the search: full h vs a crippled h -----------
+    {
+        std::printf("\nsearch effort with the full h versus h "
+                    "truncated to a %d-gate window:\n",
+                    3);
+        const ir::Circuit c = ir::qftSkeleton(6);
+        const auto g = arch::lnn(6);
+        for (int horizon : {-1, 10, 3}) {
+            core::MapperConfig cfg;
+            cfg.latency = ir::LatencyModel::qftPreset();
+            cfg.horizonGates = horizon;
+            core::OptimalMapper mapper(g, cfg);
+            const auto res = mapper.map(c);
+            std::printf("  horizon=%3d: cycles=%d expanded=%llu "
+                        "time=%.2fs\n",
+                        horizon, res.cycles,
+                        static_cast<unsigned long long>(
+                            res.stats.expanded),
+                        res.stats.seconds);
+        }
+        std::printf("  (same optimum — a weaker-but-admissible h "
+                    "only costs search effort)\n");
+    }
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Sensitivity of the practical mapper (Section 6.2) to its
+ * parameters: the paper fixes k=10, g=2000, v=1000; this bench
+ * sweeps k, the queue bounds, the beam width, and the routing-term
+ * weight, on a mid-size Tokyo workload.
+ */
+
+#include <cstdio>
+
+#include "arch/architectures.hpp"
+#include "bench_util.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "toqm/initial_layout.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+
+namespace {
+
+using namespace toqm;
+
+void
+run(const char *label, const ir::Circuit &circuit,
+    const arch::CouplingGraph &device, heuristic::HeuristicConfig cfg)
+{
+    heuristic::HeuristicMapper mapper(device, cfg);
+    const auto res = mapper.map(circuit);
+    if (res.success) {
+        std::printf("  %-28s cycles=%6d swaps=%5d expanded=%8llu "
+                    "time=%6.2fs\n",
+                    label, res.cycles,
+                    res.mapped.physical.numSwaps(),
+                    static_cast<unsigned long long>(
+                        res.stats.expanded),
+                    res.stats.seconds);
+    } else {
+        std::printf("  %-28s FAILED\n", label);
+    }
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation: Section 6.2 parameters (k, g/v, beam "
+                  "width, route weight)");
+
+    const auto device = arch::ibmQ20Tokyo();
+    const int gates = bench::fullMode() ? 10000 : 2500;
+    const ir::Circuit circuit =
+        ir::benchmarkStandIn("param_sweep", 12, gates);
+    std::printf("workload: 12 qubits, %d gates, ideal %d cycles\n\n",
+                gates,
+                ir::idealCycles(circuit,
+                                ir::LatencyModel::ibmPreset()));
+
+    std::printf("beam width (default mode):\n");
+    for (int width : {1, 2, 5, 10, 20}) {
+        heuristic::HeuristicConfig cfg;
+        cfg.beamWidth = width;
+        char label[64];
+        std::snprintf(label, sizeof(label), "beamWidth=%d", width);
+        run(label, circuit, device, cfg);
+    }
+
+    std::printf("\nrouting-term weight:\n");
+    for (double w : {0.0, 0.25, 1.0, 4.0}) {
+        heuristic::HeuristicConfig cfg;
+        cfg.routeWeight = w;
+        char label[64];
+        std::snprintf(label, sizeof(label), "routeWeight=%.2f", w);
+        run(label, circuit, device, cfg);
+    }
+
+    std::printf("\ninitial-layout seed (extension; Section 5.3 "
+                "exact search does not scale to Tokyo):\n");
+    {
+        heuristic::HeuristicConfig cfg;
+        run("on-the-fly (paper 6.2)", circuit, device, cfg);
+        heuristic::HeuristicMapper mapper(device, cfg);
+        const auto greedy =
+            mapper.map(circuit, core::greedyLayout(circuit, device));
+        std::printf("  %-28s cycles=%6d swaps=%5d\n", "greedy seed",
+                    greedy.cycles, greedy.mapped.physical.numSwaps());
+        const auto annealed = mapper.map(
+            circuit, core::annealedLayout(circuit, device));
+        std::printf("  %-28s cycles=%6d swaps=%5d\n",
+                    "annealed seed", annealed.cycles,
+                    annealed.mapped.physical.numSwaps());
+    }
+
+    std::printf("\ntop-k / queue bounds (paper's GlobalQueue "
+                "scheme, smaller workload):\n");
+    const ir::Circuit small =
+        ir::benchmarkStandIn("param_sweep_small", 10, 600);
+    for (int k : {3, 10, 25}) {
+        heuristic::HeuristicConfig cfg;
+        cfg.mode = heuristic::SearchMode::GlobalQueue;
+        cfg.topK = k;
+        char label[64];
+        std::snprintf(label, sizeof(label), "GlobalQueue k=%d", k);
+        run(label, small, device, cfg);
+    }
+    for (size_t cap : {500u, 2000u, 8000u}) {
+        heuristic::HeuristicConfig cfg;
+        cfg.mode = heuristic::SearchMode::GlobalQueue;
+        cfg.queueCap = cap;
+        cfg.queueTrim = cap / 2;
+        char label[64];
+        std::snprintf(label, sizeof(label),
+                      "GlobalQueue g=%zu v=%zu", cap, cap / 2);
+        run(label, small, device, cfg);
+    }
+    return 0;
+}

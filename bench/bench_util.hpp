@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: aligned table printing
+ * and the full/quick mode switch.
+ *
+ * Every bench binary prints the rows of one paper table or figure.
+ * By default sizes are trimmed so the whole harness finishes in
+ * minutes; set TOQM_BENCH_FULL=1 for the paper-scale runs.
+ */
+
+#ifndef TOQM_BENCH_BENCH_UTIL_HPP
+#define TOQM_BENCH_BENCH_UTIL_HPP
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace toqm::bench {
+
+/** True when TOQM_BENCH_FULL=1 requests paper-scale sizes. */
+inline bool
+fullMode()
+{
+    const char *env = std::getenv("TOQM_BENCH_FULL");
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Print a table banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+    if (!fullMode()) {
+        std::printf("(quick mode: set TOQM_BENCH_FULL=1 for "
+                    "paper-scale sizes)\n");
+    }
+}
+
+/** Geometric mean accumulator for speedup summaries. */
+class GeoMean
+{
+  public:
+    void
+    add(double value)
+    {
+        _log_sum += std::log(value);
+        ++_count;
+    }
+
+    double
+    value() const
+    {
+        return _count == 0 ? 1.0 : std::exp(_log_sum / _count);
+    }
+
+    int count() const { return _count; }
+
+  private:
+    double _log_sum = 0.0;
+    int _count = 0;
+};
+
+} // namespace toqm::bench
+
+#endif // TOQM_BENCH_BENCH_UTIL_HPP

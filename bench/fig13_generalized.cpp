@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig 13 / Section 6.1.1 asymptotics: the generalized QFT schedules
+ * scale as the paper claims — 4n + O(1) on LNN, 3n + O(1) on 2xN
+ * (matching Maslov's lower bound for the 2D case at the constant
+ * component).
+ *
+ * For every n the generated schedule is re-validated from scratch
+ * (adjacency, layer disjointness, exactly-once GT coverage).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "qftopt/qft_patterns.hpp"
+
+int
+main()
+{
+    using namespace toqm;
+    bench::banner("Fig 13: generalized QFT schedule depths");
+
+    std::printf("%4s | %10s | %12s | %14s\n", "n", "LNN (4n-7)",
+                "2xN (3n-7)", "2xN strict (3n-5)");
+    const int max_n = bench::fullMode() ? 256 : 96;
+    bool all_valid = true;
+    for (int n = 4; n <= max_n; n *= 2) {
+        const auto lnn = qftopt::qftLnnButterfly(n);
+        const auto mixed = qftopt::qftGrid2xnMixed(n);
+        const auto strict = qftopt::qftGrid2xnUnmixed(n);
+        const bool valid =
+            qftopt::validateQftSolution(lnn, n).ok &&
+            qftopt::validateQftSolution(mixed, n).ok &&
+            qftopt::validateQftSolution(strict, n, true).ok;
+        all_valid &= valid;
+        std::printf("%4d | %10d | %12d | %14d %s\n", n, lnn.depth(),
+                    mixed.depth(), strict.depth(),
+                    valid ? "" : "INVALID");
+    }
+
+    std::printf("\nratios depth/n for the largest size (should "
+                "approach 4 and 3):\n");
+    {
+        const int n = max_n;
+        std::printf("  LNN: %.3f   2xN: %.3f   2xN strict: %.3f\n",
+                    qftopt::qftLnnButterfly(n).depth() /
+                        static_cast<double>(n),
+                    qftopt::qftGrid2xnMixed(n).depth() /
+                        static_cast<double>(n),
+                    qftopt::qftGrid2xnUnmixed(n).depth() /
+                        static_cast<double>(n));
+    }
+    std::printf("all schedules validated: %s\n",
+                all_valid ? "yes" : "NO");
+    return all_valid ? 0 : 1;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the substrate components:
+ * QASM parsing, statevector simulation, the admissible cost
+ * estimator, node expansion, and the end-to-end mappers on a small
+ * fixed workload.  These guard against performance regressions in
+ * the pieces that dominate the tables' "overhead" columns.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/architectures.hpp"
+#include "baselines/sabre.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "qasm/importer.hpp"
+#include "qasm/writer.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "toqm/cost_estimator.hpp"
+#include "toqm/expander.hpp"
+#include "toqm/mapper.hpp"
+
+namespace {
+
+using namespace toqm;
+
+void
+BM_QasmParseAndLower(benchmark::State &state)
+{
+    const std::string source =
+        qasm::writeCircuit(ir::randomCircuit(8, 400, 0.45, 5));
+    for (auto _ : state) {
+        auto result = qasm::importString(source);
+        benchmark::DoNotOptimize(result.circuit.size());
+    }
+}
+BENCHMARK(BM_QasmParseAndLower);
+
+void
+BM_StateVectorQft(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    const ir::Circuit qft = ir::qftConcrete(n);
+    for (auto _ : state) {
+        sim::StateVector sv(n);
+        sv.run(qft);
+        benchmark::DoNotOptimize(sv.amplitude(0));
+    }
+}
+BENCHMARK(BM_StateVectorQft)->Arg(8)->Arg(12);
+
+void
+BM_CostEstimator(benchmark::State &state)
+{
+    const ir::Circuit c = ir::qftSkeleton(8);
+    const auto g = arch::grid(2, 4);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    core::SearchContext ctx(c, g, lat);
+    core::CostEstimator est(ctx);
+    auto root = core::SearchNode::root(ctx, ir::identityLayout(8),
+                                       false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(est.estimate(*root));
+}
+BENCHMARK(BM_CostEstimator);
+
+void
+BM_NodeExpansion(benchmark::State &state)
+{
+    const ir::Circuit c = ir::qftSkeleton(8);
+    const auto g = arch::grid(2, 4);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    core::SearchContext ctx(c, g, lat);
+    core::Expander expander(ctx);
+    auto root = core::SearchNode::root(ctx, ir::identityLayout(8),
+                                       false);
+    for (auto _ : state) {
+        auto expansion = expander.expand(root);
+        benchmark::DoNotOptimize(expansion.children.size());
+    }
+}
+BENCHMARK(BM_NodeExpansion);
+
+void
+BM_OptimalMapperQft5Lnn(benchmark::State &state)
+{
+    const ir::Circuit c = ir::qftSkeleton(5);
+    const auto g = arch::lnn(5);
+    core::MapperConfig cfg;
+    cfg.latency = ir::LatencyModel::qftPreset();
+    for (auto _ : state) {
+        core::OptimalMapper mapper(g, cfg);
+        benchmark::DoNotOptimize(mapper.map(c).cycles);
+    }
+}
+BENCHMARK(BM_OptimalMapperQft5Lnn)->Unit(benchmark::kMillisecond);
+
+void
+BM_HeuristicMapperTokyo(benchmark::State &state)
+{
+    const ir::Circuit c =
+        ir::benchmarkStandIn("micro", 10, 500);
+    const auto g = arch::ibmQ20Tokyo();
+    for (auto _ : state) {
+        heuristic::HeuristicMapper mapper(g);
+        benchmark::DoNotOptimize(mapper.map(c).cycles);
+    }
+}
+BENCHMARK(BM_HeuristicMapperTokyo)->Unit(benchmark::kMillisecond);
+
+void
+BM_SabreTokyo(benchmark::State &state)
+{
+    const ir::Circuit c =
+        ir::benchmarkStandIn("micro", 10, 500);
+    const auto g = arch::ibmQ20Tokyo();
+    for (auto _ : state) {
+        baselines::SabreMapper mapper(g);
+        benchmark::DoNotOptimize(mapper.map(c).swapCount);
+    }
+}
+BENCHMARK(BM_SabreTokyo)->Unit(benchmark::kMillisecond);
+
+void
+BM_StabilizerCliffordVerification(benchmark::State &state)
+{
+    const auto g = arch::ibmQ20Tokyo();
+    const ir::Circuit c =
+        sim::randomCliffordCircuit(12, 800, 0.45, 3, 0.5);
+    heuristic::HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim::cliffordEquivalent(c, res.mapped, 1));
+    }
+}
+BENCHMARK(BM_StabilizerCliffordVerification)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// 2-bit ripple-carry adder skeleton (Cuccaro MAJ/UMA, expanded).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg a[2];
+qreg b[2];
+qreg cin[1];
+qreg cout[1];
+// MAJ(cin, b0, a0)
+cx a[0], b[0];
+cx a[0], cin[0];
+ccx cin[0], b[0], a[0];
+// MAJ(a0, b1, a1)
+cx a[1], b[1];
+cx a[1], a[0];
+ccx a[0], b[1], a[1];
+cx a[1], cout[0];
+// UMA(a0, b1, a1)
+ccx a[0], b[1], a[1];
+cx a[1], a[0];
+cx a[0], b[1];
+// UMA(cin, b0, a0)
+ccx cin[0], b[0], a[0];
+cx a[0], cin[0];
+cx cin[0], b[0];

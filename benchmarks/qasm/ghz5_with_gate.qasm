@@ -1,0 +1,16 @@
+// GHZ-5 via a user-declared entangling macro with a parameter.
+OPENQASM 2.0;
+include "qelib1.inc";
+gate entangle(theta) c, t {
+  ry(theta / 2) t;
+  cx c, t;
+  ry(-theta / 2) t;
+}
+qreg q[5];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+entangle(pi / 3) q[0], q[4];
+barrier q;

@@ -1,0 +1,10 @@
+// A chain of Toffoli gates (stresses ccx macro expansion).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+h q[0];
+h q[1];
+ccx q[0], q[1], q[2];
+ccx q[1], q[2], q[3];
+ccx q[2], q[3], q[4];
+cx q[4], q[0];

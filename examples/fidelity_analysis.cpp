@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Why time-optimality matters physically (paper Section 1): qubits
+ * decohere, so a shorter transformed circuit is a more reliable one.
+ * This example maps the same algorithm with every mapper in the
+ * repository and scores the results with sim::estimateFidelity,
+ * sweeping the decoherence horizon T2 to show the regimes: with slow
+ * decoherence, swap count dominates (SABRE's objective); the shorter
+ * the horizon, the more the time-optimal circuit wins.
+ *
+ *   $ ./fidelity_analysis
+ */
+
+#include <cstdio>
+
+#include "arch/architectures.hpp"
+#include "baselines/sabre.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "sim/noise.hpp"
+
+int
+main()
+{
+    using namespace toqm;
+    const auto device = arch::ibmQ20Tokyo();
+    const auto latency = ir::LatencyModel::ibmPreset();
+    const ir::Circuit circuit =
+        ir::benchmarkStandIn("vqe_like", 10, 1200);
+
+    heuristic::HeuristicMapper ours_mapper(device);
+    const auto ours = ours_mapper.map(circuit);
+    baselines::SabreMapper sabre_mapper(device);
+    const auto sabre = sabre_mapper.map(circuit);
+    baselines::ZulehnerMapper zulehner_mapper(device);
+    const auto zulehner = zulehner_mapper.map(circuit);
+    if (!ours.success || !sabre.success || !zulehner.success) {
+        std::fprintf(stderr, "a mapper failed\n");
+        return 1;
+    }
+
+    struct Entry
+    {
+        const char *name;
+        const ir::Circuit *physical;
+    };
+    const Entry entries[] = {
+        {"TOQM heuristic", &ours.mapped.physical},
+        {"SABRE", &sabre.mapped.physical},
+        {"Zulehner", &zulehner.mapped.physical},
+    };
+
+    std::printf("%-16s %8s %7s |", "mapper", "cycles", "swaps");
+    const double horizons[] = {50000.0, 10000.0, 3000.0, 1000.0};
+    for (double t2 : horizons)
+        std::printf(" T2=%-6.0f", t2);
+    std::printf("\n");
+
+    for (const Entry &entry : entries) {
+        const int cycles =
+            ir::scheduleAsap(*entry.physical, latency).makespan;
+        std::printf("%-16s %8d %7d |", entry.name, cycles,
+                    entry.physical->numSwaps());
+        for (double t2 : horizons) {
+            sim::NoiseModel noise;
+            noise.t2Cycles = t2;
+            const auto f = sim::estimateFidelity(
+                *entry.physical, latency, noise,
+                circuit.numQubits());
+            std::printf(" %9.4f", f.total());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nA time-optimal schedule mitigates decoherence "
+                "even when it inserts more\nswaps — the shorter the "
+                "T2 horizon, the larger its fidelity edge (the\n"
+                "paper's core argument for time over gate count).\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Iterative workloads (VQE/QAOA-style): the same ansatz circuit runs
+ * many times, so the mapped circuit must END where it STARTED or the
+ * next iteration begins from a scrambled layout.
+ *
+ * This example composes three library pieces:
+ *   1. the practical mapper (Section 6.2) routes one iteration;
+ *   2. token swapping (arch/token_swapping) appends the swaps that
+ *      return every qubit home, making the block repeatable;
+ *   3. the reliability model (sim/noise) scores k chained iterations
+ *      against the alternative of re-mapping from the scrambled
+ *      layout each time.
+ *
+ *   $ ./iterative_workload [iterations]   (default 4)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/architectures.hpp"
+#include "arch/token_swapping.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "ir/schedule.hpp"
+#include "sim/noise.hpp"
+#include "sim/verifier.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace toqm;
+    const int iterations = argc > 1 ? std::atoi(argv[1]) : 4;
+
+    const auto device = arch::ibmQ20Tokyo();
+    const auto latency = ir::LatencyModel::ibmPreset();
+    // A hardware-efficient-ansatz-shaped block: layered CX ladder
+    // plus rotations.
+    ir::Circuit ansatz(8, "ansatz");
+    for (int layer = 0; layer < 3; ++layer) {
+        for (int q = 0; q < 8; ++q)
+            ansatz.add(ir::Gate(ir::GateKind::RY, q,
+                                std::vector<double>{0.1 * (q + 1)}));
+        for (int q = layer % 2; q + 1 < 8; q += 2)
+            ansatz.addCX(q, q + 1);
+        ansatz.addCX(0, 7); // long-range entangler: forces routing
+    }
+
+    heuristic::HeuristicMapper mapper(device);
+    auto mapped = mapper.map(ansatz);
+    if (!mapped.success) {
+        std::fprintf(stderr, "mapping failed\n");
+        return 1;
+    }
+    const int routed_cycles = mapped.cycles;
+
+    // Close the loop: return every qubit to its starting position.
+    auto closed = mapped.mapped;
+    const auto restore = arch::routeBackToInitial(
+        device, closed.initialLayout, closed.finalLayout);
+    for (const auto &[a, b] : restore)
+        closed.physical.addSwap(a, b);
+    closed.finalLayout =
+        ir::propagateLayout(closed.physical, closed.initialLayout);
+    const int closed_cycles =
+        ir::scheduleAsap(closed.physical, latency).makespan;
+
+    const auto verdict = sim::verifyMapping(ansatz, closed, device);
+    std::printf("ansatz: %d gates; one routed iteration: %d cycles; "
+                "layout-closed iteration: %d cycles (+%zu swaps)  "
+                "verify=%s\n",
+                ansatz.size(), routed_cycles, closed_cycles,
+                restore.size(), verdict.message.c_str());
+    std::printf("closed block ends at its own initial layout: %s\n",
+                closed.finalLayout == closed.initialLayout ? "yes"
+                                                           : "NO");
+
+    // k iterations: chain the closed block.
+    ir::Circuit chained(device.numQubits(), "chained");
+    for (int it = 0; it < iterations; ++it) {
+        for (const ir::Gate &g : closed.physical.gates())
+            chained.add(g);
+    }
+    const int chained_cycles =
+        ir::scheduleAsap(chained, latency).makespan;
+
+    sim::NoiseModel noise;
+    noise.t2Cycles = 20000.0;
+    const auto fidelity = sim::estimateFidelity(
+        chained, latency, noise, ansatz.numQubits());
+    std::printf("\n%d chained iterations: %d cycles total "
+                "(%.1f per iteration), est. fidelity %.4f\n",
+                iterations, chained_cycles,
+                static_cast<double>(chained_cycles) / iterations,
+                fidelity.total());
+    std::printf("gate fidelity %.4f x decoherence %.4f\n",
+                fidelity.gateFidelity,
+                fidelity.decoherenceFidelity);
+    std::printf("\nWithout the restore pass each iteration would "
+                "start from a scrambled layout\nand need a fresh "
+                "mapping pass — the closed block amortizes routing "
+                "across\nthe whole optimization loop.\n");
+    return verdict.ok ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Table 3 workflow on one circuit: route a large logical circuit
+ * onto IBM Q20 Tokyo with the practical (Section 6.2) mapper and
+ * compare the transformed circuit's execution time against the SABRE
+ * and Zulehner baselines under the shared latency model.
+ *
+ *   $ ./large_circuit_routing [num_gates]   (default 5000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/architectures.hpp"
+#include "baselines/sabre.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "sim/verifier.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace toqm;
+    const int num_gates = argc > 1 ? std::atoi(argv[1]) : 5000;
+
+    const auto device = arch::ibmQ20Tokyo();
+    const auto latency = ir::LatencyModel::ibmPreset();
+    const ir::Circuit circuit =
+        ir::benchmarkStandIn("example_workload", 12, num_gates);
+    const int ideal = ir::idealCycles(circuit, latency);
+    std::printf("workload: %d qubits, %d gates; ideal (all-to-all) "
+                "time = %d cycles\n",
+                circuit.numQubits(), circuit.size(), ideal);
+
+    // Ours: time-aware routing with swaps overlapping computation.
+    heuristic::HeuristicMapper ours(device);
+    const auto ours_res = ours.map(circuit);
+    if (!ours_res.success) {
+        std::fprintf(stderr, "heuristic mapper failed\n");
+        return 1;
+    }
+    const auto ours_check =
+        sim::verifyMapping(circuit, ours_res.mapped, device);
+    std::printf("TOQM heuristic: %6d cycles  (%4d swaps, %.2f s)  "
+                "verify=%s\n",
+                ours_res.cycles, ours_res.mapped.physical.numSwaps(),
+                ours_res.stats.seconds, ours_check.message.c_str());
+
+    // SABRE: swap-count-oriented state of the art.
+    baselines::SabreMapper sabre(device);
+    const auto sabre_res = sabre.map(circuit);
+    const int sabre_cycles =
+        ir::scheduleAsap(sabre_res.mapped.physical, latency).makespan;
+    std::printf("SABRE:          %6d cycles  (%4d swaps)          "
+                "verify=%s\n",
+                sabre_cycles, sabre_res.swapCount,
+                sim::verifyMapping(circuit, sabre_res.mapped, device)
+                    .message.c_str());
+
+    // Zulehner: layer-by-layer A* swap minimization.
+    baselines::ZulehnerMapper zulehner(device);
+    const auto zul_res = zulehner.map(circuit);
+    const int zul_cycles =
+        ir::scheduleAsap(zul_res.mapped.physical, latency).makespan;
+    std::printf("Zulehner:       %6d cycles  (%4d swaps)          "
+                "verify=%s\n",
+                zul_cycles, zul_res.swapCount,
+                sim::verifyMapping(circuit, zul_res.mapped, device)
+                    .message.c_str());
+
+    std::printf("\nspeedup over SABRE:    %.2fx\n",
+                static_cast<double>(sabre_cycles) / ours_res.cycles);
+    std::printf("speedup over Zulehner: %.2fx\n",
+                static_cast<double>(zul_cycles) / ours_res.cycles);
+    std::printf("\nNote how SABRE often inserts FEWER swaps yet "
+                "yields a SLOWER circuit:\ngate count and circuit "
+                "time are different objectives (paper Fig 1).\n");
+    return 0;
+}

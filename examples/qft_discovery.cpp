@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Reproduce the paper's flagship qualitative result (Section 6.1.1):
+ * discover the time-optimal QFT schedule on LNN with the exact A*
+ * search, visualize its butterfly pattern, and check it against the
+ * generalized closed-form solution (Fig 13a) — then do the same
+ * comparison on the 2xN grid where the paper reports the first known
+ * optimal pattern.
+ *
+ *   $ ./qft_discovery [n]      (default n = 6)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "ir/transforms.hpp"
+#include "qftopt/qft_patterns.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace toqm;
+    const int n = argc > 1 ? std::atoi(argv[1]) : 6;
+    if (n < 4 || n > 8 || n % 2 != 0) {
+        std::fprintf(stderr,
+                     "usage: %s [n]   with even n in 4..8 "
+                     "(exact search blows up beyond that —\n"
+                     "that is exactly why the generalized pattern "
+                     "matters)\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const ir::Circuit qft = ir::qftSkeleton(n);
+    core::MapperConfig config;
+    config.latency = ir::LatencyModel::qftPreset();
+
+    // --- LNN: search vs closed form -----------------------------
+    {
+        const auto device = arch::lnn(n);
+        core::OptimalMapper mapper(device, config);
+        const auto res = mapper.map(qft); // natural order layout
+        const auto pattern = qftopt::qftLnnButterfly(n);
+        std::printf("QFT-%d on LNN:   A* optimum = %d cycles "
+                    "(%.2f s, %llu nodes); closed form 4n-7 = %d\n",
+                    n, res.cycles, res.stats.seconds,
+                    static_cast<unsigned long long>(
+                        res.stats.expanded),
+                    pattern.depth());
+        const auto check = qftopt::validateQftSolution(pattern, n);
+        std::printf("  generalized butterfly valid: %s\n",
+                    check.message.c_str());
+        std::cout << pattern.renderSteps();
+    }
+
+    // --- 2xN grid: the paper's newly discovered pattern ---------
+    {
+        const auto pattern = qftopt::qftGrid2xnMixed(n);
+        const auto device = pattern.graph;
+        core::OptimalMapper mapper(device, config);
+        const auto res = mapper.map(qft, pattern.initialLayout);
+        std::printf("\nQFT-%d on 2x%d:  A* optimum = %d cycles "
+                    "(%.2f s); closed form 3n-7 = %d\n",
+                    n, n / 2, res.cycles, res.stats.seconds,
+                    pattern.depth());
+        const auto check = qftopt::validateQftSolution(pattern, n);
+        std::printf("  generalized 2xN pattern valid: %s\n",
+                    check.message.c_str());
+
+        // The pattern really is a hardware-compliant execution of
+        // the skeleton circuit.
+        const auto verdict = sim::verifyMapping(
+            qft, pattern.toMappedCircuit(), device);
+        std::printf("  structural verification: %s\n",
+                    verdict.message.c_str());
+        std::cout << pattern.renderSteps();
+    }
+
+    // --- automated recurrence detection (Appendix B) -------------
+    {
+        const auto pattern = qftopt::qftLnnButterfly(n);
+        const auto mapped = pattern.toMappedCircuit();
+        const auto signature = ir::layerSignature(
+            mapped.physical, ir::LatencyModel::qftPreset());
+        const int period = ir::detectRecurrence(
+            signature, 1, 8, /*ignore_counts=*/true);
+        std::printf("\nAppendix B automation: the LNN butterfly's "
+                    "layer shapes recur with period %d\n",
+                    period);
+    }
+
+    // --- constrained mode (Fig 14) -------------------------------
+    {
+        const auto pattern = qftopt::qftGrid2xnUnmixed(n);
+        std::printf("\nQFT-%d on 2x%d without GT/swap mixing: "
+                    "closed form 3n-5 = %d cycles\n",
+                    n, n / 2, pattern.depth());
+        const auto check =
+            qftopt::validateQftSolution(pattern, n, true);
+        std::printf("  pattern valid (and never mixes): %s\n",
+                    check.message.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,211 @@
+#include "architectures.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace toqm::arch {
+
+CouplingGraph
+lnn(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return {n, std::move(edges), "lnn" + std::to_string(n)};
+}
+
+CouplingGraph
+grid(int rows, int cols)
+{
+    if (rows < 1 || cols < 1)
+        throw std::invalid_argument("grid: bad shape");
+    std::vector<std::pair<int, int>> edges;
+    const auto idx = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(idx(r, c), idx(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(idx(r, c), idx(r + 1, c));
+        }
+    }
+    return {rows * cols, std::move(edges),
+            "grid" + std::to_string(rows) + "by" + std::to_string(cols)};
+}
+
+CouplingGraph
+ibmQX2()
+{
+    return {5,
+            {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {2, 4}, {3, 4}},
+            "ibmqx2"};
+}
+
+CouplingGraph
+ibmQ20Tokyo()
+{
+    std::vector<std::pair<int, int>> edges;
+    // 4x5 grid part.
+    const auto idx = [](int r, int c) { return r * 5 + c; };
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 5; ++c) {
+            if (c + 1 < 5)
+                edges.emplace_back(idx(r, c), idx(r, c + 1));
+            if (r + 1 < 4)
+                edges.emplace_back(idx(r, c), idx(r + 1, c));
+        }
+    }
+    // Crossing diagonals, alternating square pairs per row pair.
+    const std::pair<int, int> diagonals[] = {
+        {1, 7}, {2, 6}, {3, 9}, {4, 8},     // rows 0-1
+        {5, 11}, {6, 10}, {7, 13}, {8, 12}, // rows 1-2
+        {11, 17}, {12, 16}, {13, 19}, {14, 18}, // rows 2-3
+    };
+    for (auto e : diagonals)
+        edges.push_back(e);
+    return {20, std::move(edges), "tokyo"};
+}
+
+CouplingGraph
+ibmMelbourne()
+{
+    // The paper (Fig 3) models Melbourne as a 2xN grid-like ladder.
+    CouplingGraph g = grid(2, 7);
+    return {14, g.edges(), "melbourne"};
+}
+
+CouplingGraph
+aspen4()
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < 8; ++i)
+        edges.emplace_back(i, (i + 1) % 8);
+    for (int i = 0; i < 8; ++i)
+        edges.emplace_back(8 + i, 8 + (i + 1) % 8);
+    // Bridges between the facing sides of the two octagons.
+    edges.emplace_back(1, 14);
+    edges.emplace_back(2, 13);
+    return {16, std::move(edges), "aspen-4"};
+}
+
+CouplingGraph
+ring(int n)
+{
+    if (n < 3)
+        throw std::invalid_argument("ring: need at least 3 qubits");
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i)
+        edges.emplace_back(i, (i + 1) % n);
+    return {n, std::move(edges), "ring" + std::to_string(n)};
+}
+
+CouplingGraph
+star(int n)
+{
+    if (n < 2)
+        throw std::invalid_argument("star: need at least 2 qubits");
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 1; i < n; ++i)
+        edges.emplace_back(0, i);
+    return {n, std::move(edges), "star" + std::to_string(n)};
+}
+
+CouplingGraph
+fullyConnected(int n)
+{
+    if (n < 2)
+        throw std::invalid_argument("fullyConnected: need >= 2");
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a) {
+        for (int b = a + 1; b < n; ++b)
+            edges.emplace_back(a, b);
+    }
+    return {n, std::move(edges), "full" + std::to_string(n)};
+}
+
+CouplingGraph
+heavyHexRow(int cells)
+{
+    if (cells < 1)
+        throw std::invalid_argument("heavyHexRow: need >= 1 cell");
+    // Each hexagonal cell contributes a 6-cycle; adjacent cells
+    // share one vertical edge.  Build on a 3-row strip:
+    //   top row:    t0 t1 ... (2*cells)      indices 0..
+    //   middle:     one bridge qubit per cell boundary
+    //   bottom row: mirrors the top.
+    // Concretely: hexagon c uses top nodes 2c, 2c+1, 2c+2, bottom
+    // nodes mirrored, and two bridge qubits on its left/right edges.
+    const int top = 2 * cells + 1;
+    const int bridges = cells + 1;
+    const int n = 2 * top + bridges;
+    const auto t = [](int i) { return i; };
+    const auto b = [top](int i) { return top + i; };
+    const auto m = [top](int c) { return 2 * top + c; };
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < top; ++i) {
+        edges.emplace_back(t(i), t(i + 1));
+        edges.emplace_back(b(i), b(i + 1));
+    }
+    for (int c = 0; c <= cells; ++c) {
+        edges.emplace_back(t(2 * c), m(c));
+        edges.emplace_back(m(c), b(2 * c));
+    }
+    return {n, std::move(edges),
+            "heavyhex" + std::to_string(cells)};
+}
+
+CouplingGraph
+byName(const std::string &name)
+{
+    if (name == "ibmqx2" || name == "qx2")
+        return ibmQX2();
+    if (name == "tokyo" || name == "q20" || name == "ibmq20")
+        return ibmQ20Tokyo();
+    if (name == "melbourne")
+        return ibmMelbourne();
+    if (name == "aspen-4" || name == "aspen4")
+        return aspen4();
+    if (name.rfind("ring", 0) == 0 && name.size() > 4 &&
+        std::isdigit(static_cast<unsigned char>(name[4]))) {
+        return ring(std::stoi(name.substr(4)));
+    }
+    if (name.rfind("star", 0) == 0 && name.size() > 4 &&
+        std::isdigit(static_cast<unsigned char>(name[4]))) {
+        return star(std::stoi(name.substr(4)));
+    }
+    if (name.rfind("full", 0) == 0 && name.size() > 4 &&
+        std::isdigit(static_cast<unsigned char>(name[4]))) {
+        return fullyConnected(std::stoi(name.substr(4)));
+    }
+    if (name.rfind("heavyhex", 0) == 0 && name.size() > 8) {
+        return heavyHexRow(std::stoi(name.substr(8)));
+    }
+    if (name.rfind("lnn", 0) == 0) {
+        const int n = std::stoi(name.substr(3));
+        return lnn(n);
+    }
+    if (name.rfind("grid", 0) == 0) {
+        // Accept "grid2by3" and "grid2x3".
+        const std::string rest = name.substr(4);
+        const size_t sep = rest.find_first_of("bx");
+        if (sep != std::string::npos) {
+            const int rows = std::stoi(rest.substr(0, sep));
+            size_t cpos = sep + 1;
+            if (rest[sep] == 'b' && rest.compare(sep, 2, "by") == 0)
+                cpos = sep + 2;
+            const int cols = std::stoi(rest.substr(cpos));
+            return grid(rows, cols);
+        }
+    }
+    throw std::invalid_argument("unknown architecture: " + name);
+}
+
+std::vector<std::string>
+knownArchitectures()
+{
+    return {"lnn6",  "grid2by3",  "grid2by4", "ibmqx2",
+            "tokyo", "melbourne", "aspen-4",  "ring8",
+            "star5", "full5",     "heavyhex2"};
+}
+
+} // namespace toqm::arch

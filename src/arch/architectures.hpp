@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Factory functions for the architectures used in the paper's
+ * evaluation (Sections 3 and 6): linear nearest neighbor chains, 2D
+ * grids, IBM QX2, IBM Q20 Tokyo, IBM Melbourne (2xN ladder), and a
+ * Rigetti Aspen-4-style double octagon.
+ */
+
+#ifndef TOQM_ARCH_ARCHITECTURES_HPP
+#define TOQM_ARCH_ARCHITECTURES_HPP
+
+#include <string>
+#include <vector>
+
+#include "coupling_graph.hpp"
+
+namespace toqm::arch {
+
+/** Linear nearest neighbor chain of @p n qubits (Fig 2a). */
+CouplingGraph lnn(int n);
+
+/**
+ * @p rows x @p cols nearest-neighbor grid, row-major indexing
+ * (qubit (r, c) has index r*cols + c).  grid(2, N) is the paper's 2xN
+ * architecture (Fig 3).
+ */
+CouplingGraph grid(int rows, int cols);
+
+/** IBM QX2 "bowtie": 5 qubits (Table 1's architecture). */
+CouplingGraph ibmQX2();
+
+/**
+ * IBM Q20 Tokyo: 20 qubits, 4x5 grid plus the crossing diagonals
+ * (Table 3's architecture, as in the SABRE paper).
+ */
+CouplingGraph ibmQ20Tokyo();
+
+/** IBM Melbourne modeled as the paper models it: a 2x7 ladder. */
+CouplingGraph ibmMelbourne();
+
+/**
+ * Rigetti Aspen-4-style device: two octagonal rings (16 qubits)
+ * joined by two bridge links (Table 2's QUEKO architecture).
+ */
+CouplingGraph aspen4();
+
+/** Ring of @p n qubits (an LNN chain with the ends joined). */
+CouplingGraph ring(int n);
+
+/** Star: qubit 0 coupled to every other qubit. */
+CouplingGraph star(int n);
+
+/** Fully connected (the "ideal" architecture of the paper's
+ *  ideal-cycle columns, as an explicit graph). */
+CouplingGraph fullyConnected(int n);
+
+/**
+ * IBM heavy-hex-style lattice built from @p cells hexagonal cells in
+ * a row (degree <= 3 everywhere, the topology of IBM's Falcon/Eagle
+ * generation).  Useful for exercising the mappers on sparse modern
+ * devices.
+ */
+CouplingGraph heavyHexRow(int cells);
+
+/**
+ * Look up an architecture by the names used in the paper's tables:
+ * "lnn<N>", "grid2by3", "grid2by4", "grid<R>x<C>", "ibmqx2",
+ * "tokyo", "melbourne", "aspen-4".
+ *
+ * @throws std::invalid_argument for unknown names.
+ */
+CouplingGraph byName(const std::string &name);
+
+/** Names accepted by byName() (one representative per family). */
+std::vector<std::string> knownArchitectures();
+
+} // namespace toqm::arch
+
+#endif // TOQM_ARCH_ARCHITECTURES_HPP

@@ -1,0 +1,141 @@
+#include "coupling_graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace toqm::arch {
+
+namespace {
+
+constexpr int unreachable = std::numeric_limits<int>::max() / 4;
+
+} // namespace
+
+CouplingGraph::CouplingGraph(int num_qubits,
+                             std::vector<std::pair<int, int>> edges,
+                             std::string name)
+    : _numQubits(num_qubits), _name(std::move(name))
+{
+    if (num_qubits < 1)
+        throw std::invalid_argument("coupling graph needs >= 1 qubit");
+    _adj.resize(static_cast<size_t>(num_qubits));
+    _adjMatrix.assign(
+        static_cast<size_t>(num_qubits) * static_cast<size_t>(num_qubits),
+        0);
+    for (auto [a, b] : edges) {
+        if (a < 0 || b < 0 || a >= num_qubits || b >= num_qubits)
+            throw std::out_of_range("coupling edge outside qubit range");
+        if (a == b)
+            throw std::invalid_argument("self-loop coupling edge");
+        if (a > b)
+            std::swap(a, b);
+        const size_t idx = static_cast<size_t>(a) *
+                           static_cast<size_t>(num_qubits) +
+                           static_cast<size_t>(b);
+        if (_adjMatrix[idx])
+            continue; // duplicate
+        _adjMatrix[idx] = 1;
+        _adjMatrix[static_cast<size_t>(b) *
+                   static_cast<size_t>(num_qubits) +
+                   static_cast<size_t>(a)] = 1;
+        _edges.emplace_back(a, b);
+        _adj[static_cast<size_t>(a)].push_back(b);
+        _adj[static_cast<size_t>(b)].push_back(a);
+    }
+    std::sort(_edges.begin(), _edges.end());
+    for (auto &nbrs : _adj)
+        std::sort(nbrs.begin(), nbrs.end());
+    computeDistances();
+}
+
+void
+CouplingGraph::computeDistances()
+{
+    const size_t n = static_cast<size_t>(_numQubits);
+    _dist.assign(n * n, unreachable);
+    for (int src = 0; src < _numQubits; ++src) {
+        auto *row = &_dist[static_cast<size_t>(src) * n];
+        row[src] = 0;
+        std::deque<int> queue{src};
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (int v : _adj[static_cast<size_t>(u)]) {
+                if (row[v] > row[u] + 1) {
+                    row[v] = row[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+}
+
+bool
+CouplingGraph::connected() const
+{
+    const auto *row = _dist.data();
+    for (int q = 0; q < _numQubits; ++q) {
+        if (row[q] >= unreachable)
+            return false;
+    }
+    return true;
+}
+
+int
+CouplingGraph::diameter() const
+{
+    int best = 0;
+    for (int d : _dist) {
+        if (d < unreachable)
+            best = std::max(best, d);
+    }
+    return best;
+}
+
+int
+CouplingGraph::longestSimplePath() const
+{
+    // Exact DFS over simple paths with a global step budget.
+    constexpr long budget_limit = 4'000'000;
+    long steps = 0;
+    int best = 0;
+    std::vector<char> visited(static_cast<size_t>(_numQubits), 0);
+
+    // Iterative DFS to avoid deep recursion on path graphs.
+    struct Frame
+    {
+        int node;
+        size_t next_nbr;
+    };
+    std::vector<Frame> stack;
+
+    for (int src = 0; src < _numQubits; ++src) {
+        stack.clear();
+        std::fill(visited.begin(), visited.end(), 0);
+        visited[static_cast<size_t>(src)] = 1;
+        stack.push_back({src, 0});
+        while (!stack.empty()) {
+            if (++steps > budget_limit)
+                return _numQubits - 1; // safe upper bound
+            Frame &top = stack.back();
+            const auto &nbrs = _adj[static_cast<size_t>(top.node)];
+            if (top.next_nbr >= nbrs.size()) {
+                visited[static_cast<size_t>(top.node)] = 0;
+                stack.pop_back();
+                continue;
+            }
+            const int v = nbrs[top.next_nbr++];
+            if (visited[static_cast<size_t>(v)])
+                continue;
+            visited[static_cast<size_t>(v)] = 1;
+            stack.push_back({v, 0});
+            best = std::max(best, static_cast<int>(stack.size()) - 1);
+        }
+    }
+    return best;
+}
+
+} // namespace toqm::arch

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Hardware coupling graph: which physical qubits share a link.
+ *
+ * Links are modeled as undirected (Section 2.2: the model does not
+ * constrain how a SWAP is implemented; direction is folded into the
+ * latency model).  Precomputes all-pairs shortest distances (needed by
+ * the heuristic cost function's d(a,b)) and exposes the longest
+ * simple path length (the initial-mapping budget d of Section 5.3).
+ */
+
+#ifndef TOQM_ARCH_COUPLING_GRAPH_HPP
+#define TOQM_ARCH_COUPLING_GRAPH_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace toqm::arch {
+
+/** An undirected bounded-degree qubit connectivity graph. */
+class CouplingGraph
+{
+  public:
+    /**
+     * @param num_qubits number of physical qubits.
+     * @param edges undirected links (duplicates and reversed
+     *        duplicates are ignored).
+     * @param name a human-readable architecture name.
+     */
+    CouplingGraph(int num_qubits,
+                  std::vector<std::pair<int, int>> edges,
+                  std::string name = "custom");
+
+    int numQubits() const { return _numQubits; }
+
+    const std::string &name() const { return _name; }
+
+    /** Deduplicated edge list with first < second. */
+    const std::vector<std::pair<int, int>> &edges() const { return _edges; }
+
+    int numEdges() const { return static_cast<int>(_edges.size()); }
+
+    const std::vector<int> &neighbors(int q) const
+    {
+        return _adj[static_cast<size_t>(q)];
+    }
+
+    /** @return true if physical qubits @p a and @p b share a link. */
+    bool adjacent(int a, int b) const
+    {
+        return _adjMatrix[static_cast<size_t>(a) *
+                          static_cast<size_t>(_numQubits) +
+                          static_cast<size_t>(b)];
+    }
+
+    /**
+     * Hop distance between @p a and @p b (0 if equal, 1 if adjacent).
+     * A gate on qubits at distance d needs at least d-1 swaps.
+     */
+    int distance(int a, int b) const
+    {
+        return _dist[static_cast<size_t>(a) *
+                     static_cast<size_t>(_numQubits) +
+                     static_cast<size_t>(b)];
+    }
+
+    /** @return true if every qubit can reach every other qubit. */
+    bool connected() const;
+
+    /** Graph diameter (max shortest-path distance). */
+    int diameter() const;
+
+    /**
+     * Length (in edges) of the longest simple path in the graph: the
+     * paper's initial-mapping swap budget d (Section 5.3).  Exact DFS
+     * with a step budget; on pathological dense graphs where the
+     * budget is exceeded we return the safe upper bound
+     * numQubits()-1 (a larger d only enlarges the search space, never
+     * loses solutions).
+     */
+    int longestSimplePath() const;
+
+  private:
+    int _numQubits;
+    std::string _name;
+    std::vector<std::pair<int, int>> _edges;
+    std::vector<std::vector<int>> _adj;
+    std::vector<char> _adjMatrix;
+    std::vector<int> _dist;
+
+    void computeDistances();
+};
+
+} // namespace toqm::arch
+
+#endif // TOQM_ARCH_COUPLING_GRAPH_HPP

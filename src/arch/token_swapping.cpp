@@ -1,0 +1,197 @@
+#include "token_swapping.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace toqm::arch {
+
+namespace {
+
+/** BFS path from @p from to @p to using alive vertices of @p adj. */
+std::vector<int>
+treePath(const std::vector<std::vector<int>> &adj,
+         const std::vector<char> &alive, int from, int to)
+{
+    std::vector<int> parent(adj.size(), -2);
+    std::deque<int> queue{from};
+    parent[static_cast<size_t>(from)] = -1;
+    while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop_front();
+        if (u == to)
+            break;
+        for (int v : adj[static_cast<size_t>(u)]) {
+            if (alive[static_cast<size_t>(v)] &&
+                parent[static_cast<size_t>(v)] == -2) {
+                parent[static_cast<size_t>(v)] = u;
+                queue.push_back(v);
+            }
+        }
+    }
+    if (parent[static_cast<size_t>(to)] == -2)
+        throw std::logic_error("token swapping: target unreachable");
+    std::vector<int> path;
+    for (int v = to; v != -1; v = parent[static_cast<size_t>(v)])
+        path.push_back(v);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+} // namespace
+
+std::vector<std::pair<int, int>>
+routePermutation(const CouplingGraph &graph,
+                 const std::vector<int> &target)
+{
+    const int n = graph.numQubits();
+    if (static_cast<int>(target.size()) != n)
+        throw std::invalid_argument(
+            "routePermutation: target size mismatch");
+    if (!graph.connected())
+        throw std::invalid_argument(
+            "routePermutation: graph must be connected");
+
+    // Which origins are constrained, and where they must go.
+    std::vector<int> dest_of(static_cast<size_t>(n), -1);
+    std::vector<char> referenced(static_cast<size_t>(n), 0);
+    for (int p = 0; p < n; ++p) {
+        const int o = target[static_cast<size_t>(p)];
+        if (o < 0)
+            continue;
+        if (o >= n || referenced[static_cast<size_t>(o)])
+            throw std::invalid_argument(
+                "routePermutation: target is not injective");
+        referenced[static_cast<size_t>(o)] = 1;
+        dest_of[static_cast<size_t>(o)] = p;
+    }
+
+    // Spanning tree by BFS from 0.
+    std::vector<std::vector<int>> tree(static_cast<size_t>(n));
+    {
+        std::vector<char> seen(static_cast<size_t>(n), 0);
+        std::deque<int> queue{0};
+        seen[0] = 1;
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (int v : graph.neighbors(u)) {
+                if (!seen[static_cast<size_t>(v)]) {
+                    seen[static_cast<size_t>(v)] = 1;
+                    tree[static_cast<size_t>(u)].push_back(v);
+                    tree[static_cast<size_t>(v)].push_back(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+
+    // Leaves-first elimination order of the spanning tree.
+    std::vector<int> order;
+    {
+        std::vector<int> degree(static_cast<size_t>(n));
+        std::vector<char> removed(static_cast<size_t>(n), 0);
+        for (int v = 0; v < n; ++v)
+            degree[static_cast<size_t>(v)] =
+                static_cast<int>(tree[static_cast<size_t>(v)].size());
+        std::deque<int> leaves;
+        for (int v = 0; v < n; ++v) {
+            if (degree[static_cast<size_t>(v)] <= 1)
+                leaves.push_back(v);
+        }
+        while (!leaves.empty()) {
+            const int v = leaves.front();
+            leaves.pop_front();
+            if (removed[static_cast<size_t>(v)])
+                continue;
+            removed[static_cast<size_t>(v)] = 1;
+            order.push_back(v);
+            for (int u : tree[static_cast<size_t>(v)]) {
+                if (!removed[static_cast<size_t>(u)] &&
+                    --degree[static_cast<size_t>(u)] <= 1) {
+                    leaves.push_back(u);
+                }
+            }
+        }
+    }
+
+    // token_at[p]: the origin label currently at position p.
+    std::vector<int> token_at(static_cast<size_t>(n));
+    std::vector<int> pos_of(static_cast<size_t>(n));
+    for (int p = 0; p < n; ++p) {
+        token_at[static_cast<size_t>(p)] = p;
+        pos_of[static_cast<size_t>(p)] = p;
+    }
+    std::vector<char> alive(static_cast<size_t>(n), 1);
+    std::vector<std::pair<int, int>> swaps;
+
+    for (int p : order) {
+        // Which token must end at p?
+        int want = target[static_cast<size_t>(p)];
+        if (want < 0) {
+            // Any unreferenced (don't-care) token, nearest first:
+            // prefer the one already here.
+            if (!referenced[static_cast<size_t>(
+                    token_at[static_cast<size_t>(p)])]) {
+                alive[static_cast<size_t>(p)] = 0;
+                continue;
+            }
+            int best = -1, best_d = 1 << 30;
+            for (int o = 0; o < n; ++o) {
+                if (referenced[static_cast<size_t>(o)] ||
+                    !alive[static_cast<size_t>(
+                        pos_of[static_cast<size_t>(o)])]) {
+                    continue;
+                }
+                const int d = graph.distance(
+                    pos_of[static_cast<size_t>(o)], p);
+                if (d < best_d) {
+                    best_d = d;
+                    best = o;
+                }
+            }
+            if (best < 0)
+                throw std::logic_error(
+                    "token swapping: no free token for don't-care "
+                    "position");
+            want = best;
+        }
+
+        const int cur = pos_of[static_cast<size_t>(want)];
+        const auto path = treePath(tree, alive, cur, p);
+        for (size_t k = 0; k + 1 < path.size(); ++k) {
+            const int a = path[k];
+            const int b = path[k + 1];
+            swaps.emplace_back(a, b);
+            std::swap(token_at[static_cast<size_t>(a)],
+                      token_at[static_cast<size_t>(b)]);
+            pos_of[static_cast<size_t>(
+                token_at[static_cast<size_t>(a)])] = a;
+            pos_of[static_cast<size_t>(
+                token_at[static_cast<size_t>(b)])] = b;
+        }
+        alive[static_cast<size_t>(p)] = 0;
+    }
+    return swaps;
+}
+
+std::vector<std::pair<int, int>>
+routeBackToInitial(const CouplingGraph &graph,
+                   const std::vector<int> &initial_layout,
+                   const std::vector<int> &final_layout)
+{
+    if (initial_layout.size() != final_layout.size())
+        throw std::invalid_argument(
+            "routeBackToInitial: layout size mismatch");
+    std::vector<int> target(
+        static_cast<size_t>(graph.numQubits()), -1);
+    for (size_t l = 0; l < initial_layout.size(); ++l) {
+        // The content now at final_layout[l] must end up at
+        // initial_layout[l].
+        target[static_cast<size_t>(initial_layout[l])] =
+            final_layout[l];
+    }
+    return routePermutation(graph, target);
+}
+
+} // namespace toqm::arch

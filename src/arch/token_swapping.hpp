@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Permutation routing by token swapping: realize an arbitrary
+ * relabeling of qubit positions as a sequence of swaps along coupling
+ * edges.
+ *
+ * This is the primitive underlying Childs, Schoute and Unsal's
+ * "Circuit Transformations for Quantum Architectures" (the
+ * depth-of-swaps approach the paper contrasts itself with in
+ * Section 7), and is independently useful: returning qubits to their
+ * home positions after a mapped circuit, or realizing the layout
+ * changes between circuit phases.
+ *
+ * The implementation is the classic greedy token-swapping heuristic:
+ * always perform a swap that moves at least one token strictly closer
+ * to its destination, preferring swaps that help both tokens; it
+ * terminates on connected graphs and is a constant-factor
+ * approximation on trees.
+ */
+
+#ifndef TOQM_ARCH_TOKEN_SWAPPING_HPP
+#define TOQM_ARCH_TOKEN_SWAPPING_HPP
+
+#include <utility>
+#include <vector>
+
+#include "coupling_graph.hpp"
+
+namespace toqm::arch {
+
+/**
+ * Compute swaps realizing a permutation of positions.
+ *
+ * @param graph the coupling graph.
+ * @param target target[p] = the position whose current content must
+ *        end up at p (a permutation of [0, n); use -1 entries for
+ *        "don't care" positions).
+ * @return swap edges to apply IN ORDER; applying them moves the
+ *         content of target[p] to p for every constrained p.
+ */
+std::vector<std::pair<int, int>>
+routePermutation(const CouplingGraph &graph,
+                 const std::vector<int> &target);
+
+/**
+ * Convenience: the swaps that return a mapped circuit's qubits from
+ * @p final_layout back to @p initial_layout (both logical->physical).
+ */
+std::vector<std::pair<int, int>>
+routeBackToInitial(const CouplingGraph &graph,
+                   const std::vector<int> &initial_layout,
+                   const std::vector<int> &final_layout);
+
+} // namespace toqm::arch
+
+#endif // TOQM_ARCH_TOKEN_SWAPPING_HPP

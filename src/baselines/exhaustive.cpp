@@ -1,0 +1,26 @@
+#include "exhaustive.hpp"
+
+namespace toqm::baselines {
+
+core::MapperResult
+exhaustiveReference(const arch::CouplingGraph &graph,
+                    const ir::Circuit &logical,
+                    const ir::LatencyModel &latency,
+                    bool search_initial_mapping, std::uint64_t max_nodes)
+{
+    core::MapperConfig config;
+    config.latency = latency;
+    config.searchInitialMapping = search_initial_mapping;
+    // The duplicate filter stays on: without it even 20-gate inputs
+    // do not terminate (and OLSQ, too, dedups assignments inside the
+    // SMT solver).  The disabled prunings below already cost one to
+    // three orders of magnitude.
+    config.useRedundancyElimination = false;
+    config.useCyclicSwapElimination = false;
+    config.useUpperBoundPruning = false;
+    config.maxExpandedNodes = max_nodes;
+    core::OptimalMapper mapper(graph, config);
+    return mapper.map(logical);
+}
+
+} // namespace toqm::baselines

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exhaustive optimal reference: the A* framework with every
+ * acceleration disabled (no hash filter, no redundancy elimination,
+ * no upper-bound pruning).  Still complete and optimal — just slow.
+ *
+ * This is the stand-in for OLSQ in the Table 2 comparison (see
+ * DESIGN.md): a much slower tool that certifies the same optimal
+ * depth, letting the benchmark reproduce the paper's 9x-1500x
+ * overhead gap in shape.
+ */
+
+#ifndef TOQM_BASELINES_EXHAUSTIVE_HPP
+#define TOQM_BASELINES_EXHAUSTIVE_HPP
+
+#include "toqm/mapper.hpp"
+
+namespace toqm::baselines {
+
+/**
+ * Run the de-optimized optimal search.
+ *
+ * @param latency gate latency model.
+ * @param search_initial_mapping also search the initial layout.
+ * @param max_nodes safety budget (returns success=false beyond it).
+ */
+core::MapperResult
+exhaustiveReference(const arch::CouplingGraph &graph,
+                    const ir::Circuit &logical,
+                    const ir::LatencyModel &latency,
+                    bool search_initial_mapping = false,
+                    std::uint64_t max_nodes = 20'000'000);
+
+} // namespace toqm::baselines
+
+#endif // TOQM_BASELINES_EXHAUSTIVE_HPP

@@ -1,0 +1,342 @@
+#include "sabre.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ir/dag.hpp"
+
+namespace toqm::baselines {
+
+namespace {
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    int
+    below(int bound)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(bound));
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+/** One SABRE routing pass over a circuit. */
+class Pass
+{
+  public:
+    Pass(const ir::Circuit &circuit, const arch::CouplingGraph &graph,
+         const SabreConfig &config, std::vector<int> l2p, bool emit)
+        : _circuit(circuit), _dag(circuit), _graph(graph),
+          _config(config), _l2p(std::move(l2p)), _emit(emit),
+          _physical(graph.numQubits(), circuit.name() + "_sabre")
+    {
+        _p2l.assign(static_cast<size_t>(graph.numQubits()), -1);
+        for (size_t l = 0; l < _l2p.size(); ++l)
+            _p2l[static_cast<size_t>(_l2p[l])] = static_cast<int>(l);
+        _decay.assign(static_cast<size_t>(graph.numQubits()), 1.0);
+        _pending.assign(static_cast<size_t>(circuit.size()), 0);
+        for (int i = 0; i < circuit.size(); ++i)
+            _pending[static_cast<size_t>(i)] =
+                static_cast<int>(_dag.preds(i).size());
+        for (int i : _dag.roots())
+            _ready.push_back(i);
+    }
+
+    /** @return false if the swap budget blew up (pathological). */
+    bool
+    run()
+    {
+        const long swap_budget = 16l * _circuit.size() + 4096;
+        retireExecutable();
+        while (_done < _circuit.size()) {
+            if (_swaps > swap_budget)
+                return false;
+            applyBestSwap();
+            retireExecutable();
+        }
+        return true;
+    }
+
+    const std::vector<int> &layout() const { return _l2p; }
+
+    ir::Circuit takePhysical() { return std::move(_physical); }
+
+    int swapCount() const { return _swaps; }
+
+  private:
+    const ir::Circuit &_circuit;
+    ir::DependencyDag _dag;
+    const arch::CouplingGraph &_graph;
+    const SabreConfig &_config;
+    std::vector<int> _l2p;
+    bool _emit;
+    ir::Circuit _physical;
+    std::vector<int> _p2l;
+    std::vector<double> _decay;
+    std::vector<int> _pending;
+    std::vector<int> _ready; ///< dependence-ready, unretired gates
+    int _done = 0;
+    int _swaps = 0;
+
+    bool
+    executable(int gi) const
+    {
+        const ir::Gate &g = _circuit.gate(gi);
+        if (g.numQubits() < 2 || g.isBarrier())
+            return true;
+        return _graph.adjacent(_l2p[static_cast<size_t>(g.qubit(0))],
+                               _l2p[static_cast<size_t>(g.qubit(1))]);
+    }
+
+    void
+    retire(int gi)
+    {
+        if (_emit) {
+            const ir::Gate &g = _circuit.gate(gi);
+            ir::Gate copy = g;
+            std::vector<int> phys;
+            phys.reserve(g.qubits().size());
+            for (int q : g.qubits())
+                phys.push_back(_l2p[static_cast<size_t>(q)]);
+            copy.setQubits(std::move(phys));
+            _physical.add(std::move(copy));
+        }
+        ++_done;
+        for (int s : _dag.succs(gi)) {
+            if (--_pending[static_cast<size_t>(s)] == 0)
+                _ready.push_back(s);
+        }
+    }
+
+    void
+    retireExecutable()
+    {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (size_t k = 0; k < _ready.size(); ++k) {
+                const int gi = _ready[k];
+                if (!executable(gi))
+                    continue;
+                _ready.erase(_ready.begin() +
+                             static_cast<std::ptrdiff_t>(k));
+                --k;
+                retire(gi);
+                progress = true;
+            }
+        }
+    }
+
+    /** Extended (lookahead) set: successors of the front layer. */
+    std::vector<int>
+    extendedSet() const
+    {
+        std::vector<int> out;
+        std::vector<int> frontier = _ready;
+        size_t cursor = 0;
+        while (cursor < frontier.size() &&
+               static_cast<int>(out.size()) < _config.extendedSetSize) {
+            const int gi = frontier[cursor++];
+            for (int s : _dag.succs(gi)) {
+                frontier.push_back(s);
+                if (_circuit.gate(s).numQubits() == 2 &&
+                    !_circuit.gate(s).isBarrier()) {
+                    out.push_back(s);
+                    if (static_cast<int>(out.size()) >=
+                        _config.extendedSetSize) {
+                        break;
+                    }
+                }
+            }
+        }
+        return out;
+    }
+
+    double
+    distanceSum(const std::vector<int> &gates,
+                const std::vector<int> &l2p) const
+    {
+        double sum = 0.0;
+        for (int gi : gates) {
+            const ir::Gate &g = _circuit.gate(gi);
+            if (g.numQubits() != 2 || g.isBarrier())
+                continue;
+            sum += _graph.distance(
+                l2p[static_cast<size_t>(g.qubit(0))],
+                l2p[static_cast<size_t>(g.qubit(1))]);
+        }
+        return sum;
+    }
+
+    void
+    applyBestSwap()
+    {
+        // Candidate swaps touch an operand position of the front
+        // layer's two-qubit gates.
+        std::vector<char> involved(
+            static_cast<size_t>(_graph.numQubits()), 0);
+        int front_2q = 0;
+        for (int gi : _ready) {
+            const ir::Gate &g = _circuit.gate(gi);
+            if (g.numQubits() != 2 || g.isBarrier())
+                continue;
+            ++front_2q;
+            involved[static_cast<size_t>(
+                _l2p[static_cast<size_t>(g.qubit(0))])] = 1;
+            involved[static_cast<size_t>(
+                _l2p[static_cast<size_t>(g.qubit(1))])] = 1;
+        }
+        if (front_2q == 0) {
+            // Only blocked pseudo-ops remain; retire them directly.
+            throw std::logic_error("SABRE: front layer empty but "
+                                   "gates pending");
+        }
+
+        const std::vector<int> extended = extendedSet();
+        std::vector<int> front;
+        for (int gi : _ready) {
+            if (_circuit.gate(gi).numQubits() == 2)
+                front.push_back(gi);
+        }
+
+        double best_score = 0.0;
+        int best_p0 = -1, best_p1 = -1;
+        std::vector<int> trial = _l2p;
+        for (const auto &[p0, p1] : _graph.edges()) {
+            if (!involved[static_cast<size_t>(p0)] &&
+                !involved[static_cast<size_t>(p1)]) {
+                continue;
+            }
+            // Apply the trial swap.
+            const int l0 = _p2l[static_cast<size_t>(p0)];
+            const int l1 = _p2l[static_cast<size_t>(p1)];
+            if (l0 >= 0)
+                trial[static_cast<size_t>(l0)] = p1;
+            if (l1 >= 0)
+                trial[static_cast<size_t>(l1)] = p0;
+
+            double score =
+                distanceSum(front, trial) /
+                static_cast<double>(front.size());
+            if (!extended.empty()) {
+                score += _config.extendedSetWeight *
+                         distanceSum(extended, trial) /
+                         static_cast<double>(extended.size());
+            }
+            score *= std::max(_decay[static_cast<size_t>(p0)],
+                              _decay[static_cast<size_t>(p1)]);
+
+            // Undo the trial swap.
+            if (l0 >= 0)
+                trial[static_cast<size_t>(l0)] = p0;
+            if (l1 >= 0)
+                trial[static_cast<size_t>(l1)] = p1;
+
+            if (best_p0 < 0 || score < best_score) {
+                best_score = score;
+                best_p0 = p0;
+                best_p1 = p1;
+            }
+        }
+
+        // Commit the winner.
+        const int l0 = _p2l[static_cast<size_t>(best_p0)];
+        const int l1 = _p2l[static_cast<size_t>(best_p1)];
+        _p2l[static_cast<size_t>(best_p0)] = l1;
+        _p2l[static_cast<size_t>(best_p1)] = l0;
+        if (l0 >= 0)
+            _l2p[static_cast<size_t>(l0)] = best_p1;
+        if (l1 >= 0)
+            _l2p[static_cast<size_t>(l1)] = best_p0;
+        if (_emit)
+            _physical.addSwap(best_p0, best_p1);
+        ++_swaps;
+        _decay[static_cast<size_t>(best_p0)] += _config.decayDelta;
+        _decay[static_cast<size_t>(best_p1)] += _config.decayDelta;
+        if (_swaps % _config.decayResetInterval == 0)
+            std::fill(_decay.begin(), _decay.end(), 1.0);
+    }
+};
+
+/** The reverse of a circuit (gate order flipped; kinds irrelevant
+ *  to routing are preserved). */
+ir::Circuit
+reversed(const ir::Circuit &circuit)
+{
+    ir::Circuit out(circuit.numQubits(), circuit.name() + "_rev");
+    for (int i = circuit.size() - 1; i >= 0; --i)
+        out.add(circuit.gate(i));
+    return out;
+}
+
+} // namespace
+
+SabreMapper::SabreMapper(const arch::CouplingGraph &graph,
+                         SabreConfig config)
+    : _graph(graph), _config(config)
+{}
+
+SabreResult
+SabreMapper::map(const ir::Circuit &logical,
+                 std::optional<std::vector<int>> initial_layout) const
+{
+    const ir::Circuit clean = logical.withoutSwapsAndBarriers();
+    if (clean.numQubits() > _graph.numQubits())
+        throw std::invalid_argument("SABRE: circuit wider than device");
+
+    std::vector<int> layout;
+    if (initial_layout) {
+        layout = *initial_layout;
+    } else {
+        // Random injection, then bidirectional refinement passes.
+        layout.resize(static_cast<size_t>(clean.numQubits()));
+        std::vector<int> perm(static_cast<size_t>(_graph.numQubits()));
+        for (int p = 0; p < _graph.numQubits(); ++p)
+            perm[static_cast<size_t>(p)] = p;
+        SplitMix64 rng(_config.seed);
+        for (int i = _graph.numQubits() - 1; i > 0; --i)
+            std::swap(perm[static_cast<size_t>(i)],
+                      perm[static_cast<size_t>(rng.below(i + 1))]);
+        std::copy_n(perm.begin(), layout.size(), layout.begin());
+
+        const ir::Circuit rev = reversed(clean);
+        for (int pass = 0; pass < _config.mappingPasses; ++pass) {
+            Pass fwd(clean, _graph, _config, layout, /*emit=*/false);
+            if (!fwd.run())
+                break;
+            Pass bwd(rev, _graph, _config, fwd.layout(),
+                     /*emit=*/false);
+            if (!bwd.run())
+                break;
+            layout = bwd.layout();
+        }
+    }
+
+    SabreResult result;
+    Pass final_pass(clean, _graph, _config, layout, /*emit=*/true);
+    if (!final_pass.run())
+        return result;
+    result.success = true;
+    result.swapCount = final_pass.swapCount();
+    ir::Circuit phys = final_pass.takePhysical();
+    const auto final_layout = ir::propagateLayout(phys, layout);
+    result.mapped =
+        ir::MappedCircuit(std::move(phys), layout, final_layout);
+    return result;
+}
+
+} // namespace toqm::baselines

@@ -1,0 +1,268 @@
+#include "zulehner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+namespace toqm::baselines {
+
+namespace {
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    int
+    below(int bound)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(bound));
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+/** A layer: two-qubit gates on pairwise-disjoint logical qubits. */
+using Layer = std::vector<int>; // gate indices
+
+/** A* state: a layout plus the swaps that produced it. */
+struct AStarNode
+{
+    std::vector<int> l2p;
+    std::vector<std::pair<int, int>> swaps;
+    int g = 0; ///< swaps so far
+    int h = 0;
+};
+
+struct AStarOrder
+{
+    bool
+    operator()(const AStarNode &a, const AStarNode &b) const
+    {
+        if (a.g + a.h != b.g + b.h)
+            return a.g + a.h > b.g + b.h;
+        return a.h > b.h;
+    }
+};
+
+} // namespace
+
+ZulehnerMapper::ZulehnerMapper(const arch::CouplingGraph &graph,
+                               ZulehnerConfig config)
+    : _graph(graph), _config(config)
+{}
+
+ZulehnerResult
+ZulehnerMapper::map(const ir::Circuit &logical,
+                    std::optional<std::vector<int>> initial_layout) const
+{
+    const ir::Circuit clean = logical.withoutSwapsAndBarriers();
+    const int nl = clean.numQubits();
+    const int np = _graph.numQubits();
+    if (nl > np)
+        throw std::invalid_argument("Zulehner: circuit wider than device");
+
+    std::vector<int> l2p;
+    if (initial_layout) {
+        l2p = *initial_layout;
+    } else {
+        std::vector<int> perm(static_cast<size_t>(np));
+        for (int p = 0; p < np; ++p)
+            perm[static_cast<size_t>(p)] = p;
+        SplitMix64 rng(_config.seed);
+        for (int i = np - 1; i > 0; --i)
+            std::swap(perm[static_cast<size_t>(i)],
+                      perm[static_cast<size_t>(rng.below(i + 1))]);
+        l2p.assign(perm.begin(), perm.begin() + nl);
+    }
+    std::vector<int> p2l(static_cast<size_t>(np), -1);
+    for (int l = 0; l < nl; ++l)
+        p2l[static_cast<size_t>(l2p[static_cast<size_t>(l)])] = l;
+
+    ZulehnerResult result;
+    ir::Circuit phys(np, clean.name() + "_zulehner");
+    const std::vector<int> initial = l2p;
+
+    // Excess-distance sum of a layer under a layout.
+    const auto excess = [&](const Layer &layer,
+                            const std::vector<int> &layout) {
+        int total = 0;
+        for (int gi : layer) {
+            const ir::Gate &g = clean.gate(gi);
+            total += std::max(
+                _graph.distance(
+                    layout[static_cast<size_t>(g.qubit(0))],
+                    layout[static_cast<size_t>(g.qubit(1))]) -
+                    1,
+                0);
+        }
+        return total;
+    };
+
+    // Route one layer: find swaps making every gate adjacent.
+    const auto route_layer = [&](const Layer &layer) {
+        if (excess(layer, l2p) == 0)
+            return;
+
+        // A* over layouts, cost = swap count.
+        std::priority_queue<AStarNode, std::vector<AStarNode>,
+                            AStarOrder>
+            open;
+        std::map<std::vector<int>, int> seen;
+        AStarNode start;
+        start.l2p = l2p;
+        start.h = (excess(layer, l2p) + 1) / 2;
+        open.push(start);
+        seen[start.l2p] = 0;
+
+        std::uint64_t popped = 0;
+        bool solved = false;
+        while (!open.empty()) {
+            AStarNode node = open.top();
+            open.pop();
+            if (++popped > _config.perLayerNodeBudget)
+                break;
+            if (excess(layer, node.l2p) == 0) {
+                // Commit the swap sequence.
+                for (const auto &[p0, p1] : node.swaps) {
+                    phys.addSwap(p0, p1);
+                    const int a = p2l[static_cast<size_t>(p0)];
+                    const int b = p2l[static_cast<size_t>(p1)];
+                    p2l[static_cast<size_t>(p0)] = b;
+                    p2l[static_cast<size_t>(p1)] = a;
+                    if (a >= 0)
+                        l2p[static_cast<size_t>(a)] = p1;
+                    if (b >= 0)
+                        l2p[static_cast<size_t>(b)] = p0;
+                    ++result.swapCount;
+                }
+                solved = true;
+                break;
+            }
+            for (const auto &[p0, p1] : _graph.edges()) {
+                AStarNode child;
+                child.l2p = node.l2p;
+                // Swap the occupants of p0/p1 in the trial layout.
+                int a = -1, b = -1;
+                for (int l = 0; l < nl; ++l) {
+                    if (child.l2p[static_cast<size_t>(l)] == p0)
+                        a = l;
+                    else if (child.l2p[static_cast<size_t>(l)] == p1)
+                        b = l;
+                }
+                if (a < 0 && b < 0)
+                    continue;
+                if (a >= 0)
+                    child.l2p[static_cast<size_t>(a)] = p1;
+                if (b >= 0)
+                    child.l2p[static_cast<size_t>(b)] = p0;
+                child.g = node.g + 1;
+                const auto it = seen.find(child.l2p);
+                if (it != seen.end() && it->second <= child.g)
+                    continue;
+                seen[child.l2p] = child.g;
+                child.h = (excess(layer, child.l2p) + 1) / 2;
+                child.swaps = node.swaps;
+                child.swaps.emplace_back(p0, p1);
+                open.push(std::move(child));
+            }
+        }
+
+        if (solved)
+            return;
+
+        // Greedy fallback: walk each gate's operands together along
+        // a shortest path.
+        ++result.greedyFallbacks;
+        for (int gi : layer) {
+            const ir::Gate &g = clean.gate(gi);
+            while (_graph.distance(
+                       l2p[static_cast<size_t>(g.qubit(0))],
+                       l2p[static_cast<size_t>(g.qubit(1))]) > 1) {
+                const int p0 = l2p[static_cast<size_t>(g.qubit(0))];
+                const int p1 = l2p[static_cast<size_t>(g.qubit(1))];
+                // Move q0 one hop toward q1.
+                int step = -1;
+                for (int nbr : _graph.neighbors(p0)) {
+                    if (_graph.distance(nbr, p1) ==
+                        _graph.distance(p0, p1) - 1) {
+                        step = nbr;
+                        break;
+                    }
+                }
+                phys.addSwap(p0, step);
+                const int a = p2l[static_cast<size_t>(p0)];
+                const int b = p2l[static_cast<size_t>(step)];
+                p2l[static_cast<size_t>(p0)] = b;
+                p2l[static_cast<size_t>(step)] = a;
+                if (a >= 0)
+                    l2p[static_cast<size_t>(a)] = step;
+                if (b >= 0)
+                    l2p[static_cast<size_t>(b)] = p0;
+                ++result.swapCount;
+            }
+        }
+    };
+
+    // Partition into layers and emit.
+    Layer layer;
+    std::vector<char> layer_qubits(static_cast<size_t>(nl), 0);
+    std::vector<int> pending_1q; // emitted with their positions
+
+    const auto flush_layer = [&]() {
+        if (layer.empty())
+            return;
+        route_layer(layer);
+        for (int gi : layer) {
+            const ir::Gate &g = clean.gate(gi);
+            ir::Gate copy = g;
+            copy.setQubits({l2p[static_cast<size_t>(g.qubit(0))],
+                            l2p[static_cast<size_t>(g.qubit(1))]});
+            phys.add(std::move(copy));
+        }
+        layer.clear();
+        std::fill(layer_qubits.begin(), layer_qubits.end(), 0);
+    };
+
+    for (int i = 0; i < clean.size(); ++i) {
+        const ir::Gate &g = clean.gate(i);
+        if (g.numQubits() == 1) {
+            // A 1-qubit gate on a qubit used by the current layer
+            // must wait for the layer; flush to preserve order.
+            if (layer_qubits[static_cast<size_t>(g.qubit(0))])
+                flush_layer();
+            ir::Gate copy = g;
+            copy.setQubits({l2p[static_cast<size_t>(g.qubit(0))]});
+            phys.add(std::move(copy));
+            continue;
+        }
+        if (layer_qubits[static_cast<size_t>(g.qubit(0))] ||
+            layer_qubits[static_cast<size_t>(g.qubit(1))]) {
+            flush_layer();
+        }
+        layer.push_back(i);
+        layer_qubits[static_cast<size_t>(g.qubit(0))] = 1;
+        layer_qubits[static_cast<size_t>(g.qubit(1))] = 1;
+    }
+    flush_layer();
+
+    result.success = true;
+    const auto final_layout = ir::propagateLayout(phys, initial);
+    result.mapped =
+        ir::MappedCircuit(std::move(phys), initial, final_layout);
+    return result;
+}
+
+} // namespace toqm::baselines

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Zulehner-style baseline (Zulehner, Paler, Wille — "An Efficient
+ * Methodology for Mapping Quantum Circuits to the IBM QX
+ * Architectures", DATE 2018): the second mapper the paper compares
+ * against in Table 3.
+ *
+ * The circuit is partitioned into layers of two-qubit gates acting on
+ * disjoint qubits; for each layer an A* search over qubit
+ * permutations finds a minimal sequence of swaps making every gate of
+ * the layer coupling-compliant.  The A* heuristic is
+ * sum(max(d_i - 1, 0)) / 2, admissible because one swap moves two
+ * qubits and can reduce the total excess distance by at most 2.
+ * A node budget guards pathological layers; beyond it the layer is
+ * routed greedily along shortest paths (rare, deterministic).
+ */
+
+#ifndef TOQM_BASELINES_ZULEHNER_HPP
+#define TOQM_BASELINES_ZULEHNER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::baselines {
+
+/** Tunables of the layered A* mapper. */
+struct ZulehnerConfig
+{
+    /** Node budget per layer before the greedy fallback. */
+    std::uint64_t perLayerNodeBudget = 200'000;
+    /** Seed for the random initial layout (when none is given). */
+    std::uint64_t seed = 11;
+};
+
+/** Result of a Zulehner-style run. */
+struct ZulehnerResult
+{
+    bool success = false;
+    ir::MappedCircuit mapped;
+    int swapCount = 0;
+    /** Layers that fell back to greedy routing. */
+    int greedyFallbacks = 0;
+};
+
+/** The layer-by-layer swap-minimizing mapper. */
+class ZulehnerMapper
+{
+  public:
+    ZulehnerMapper(const arch::CouplingGraph &graph,
+                   ZulehnerConfig config = {});
+
+    ZulehnerResult map(const ir::Circuit &logical,
+                       std::optional<std::vector<int>> initial_layout =
+                           std::nullopt) const;
+
+  private:
+    arch::CouplingGraph _graph;
+    ZulehnerConfig _config;
+};
+
+} // namespace toqm::baselines
+
+#endif // TOQM_BASELINES_ZULEHNER_HPP

@@ -1,0 +1,780 @@
+#include "heuristic_mapper.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <queue>
+
+#include "ir/schedule.hpp"
+#include "toqm/cost_estimator.hpp"
+#include "toqm/filter.hpp"
+#include "toqm/mapper.hpp"
+#include "toqm/search_context.hpp"
+#include "toqm/search_node.hpp"
+
+namespace toqm::heuristic {
+
+using core::Action;
+using core::SearchContext;
+using core::SearchNode;
+
+namespace {
+
+/** Ranking used both for the queue and for top-k child selection:
+ *  smaller weighted f first, more progress breaking ties. */
+struct NodeOrder
+{
+    double weight = 1.0;
+    double routeWeight = 1.0;
+
+    double
+    weightedF(const SearchNode::Ptr &n) const
+    {
+        return n->costG + weight * n->costH +
+               routeWeight * n->routeScore;
+    }
+
+    bool
+    operator()(const SearchNode::Ptr &a, const SearchNode::Ptr &b) const
+    {
+        const double fa = weightedF(a);
+        const double fb = weightedF(b);
+        if (fa != fb)
+            return fa > fb;
+        return a->scheduledGates < b->scheduledGates;
+    }
+};
+
+using Queue = std::priority_queue<SearchNode::Ptr,
+                                  std::vector<SearchNode::Ptr>, NodeOrder>;
+
+/** Workhorse carrying the per-run state. */
+class Run
+{
+  public:
+    Run(const SearchContext &ctx, const arch::CouplingGraph &graph,
+        const HeuristicConfig &config)
+        : _ctx(ctx), _graph(graph), _config(config),
+          _estimator(ctx, config.horizonGates),
+          _filter(config.filterMaxEntries)
+    {}
+
+    HeuristicResult
+    solve(const std::vector<int> &seed_layout)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        HeuristicResult result;
+
+        SearchNode::Ptr root = SearchNode::root(_ctx, seed_layout, false);
+        root->costH = _estimator.estimate(*root);
+
+        switch (_config.mode) {
+          case SearchMode::GlobalQueue:
+            globalSearch(root, result);
+            break;
+          case SearchMode::RecedingHorizon:
+            recedingHorizonSearch(root, result);
+            break;
+          case SearchMode::Beam:
+            beamSearch(root, result);
+            break;
+        }
+
+        result.stats.seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        return result;
+    }
+
+  private:
+    /** The paper's global priority-queue scheme (Section 6.2). */
+    void
+    globalSearch(const SearchNode::Ptr &root, HeuristicResult &result)
+    {
+        Queue queue(NodeOrder{_config.hWeight, _config.routeWeight});
+        queue.push(root);
+
+        while (!queue.empty()) {
+            SearchNode::Ptr node = queue.top();
+            queue.pop();
+            if (node->dead)
+                continue;
+            if (node->allScheduled(_ctx)) {
+                finishWith(node, result);
+                return;
+            }
+            ++result.stats.expanded;
+            if (_config.maxExpandedNodes != 0 &&
+                result.stats.expanded > _config.maxExpandedNodes) {
+                return;
+            }
+
+            expandInto(node, queue, result.stats);
+
+            if (queue.size() > _config.queueCap) {
+                trim(queue);
+                ++result.stats.trims;
+            }
+        }
+    }
+
+    /**
+     * Scalable mode: bounded best-first episodes, each committing to
+     * the most-progressed node discovered, so total work is linear in
+     * the circuit size.
+     */
+    void
+    recedingHorizonSearch(const SearchNode::Ptr &root,
+                          HeuristicResult &result)
+    {
+        SearchNode::Ptr committed = root;
+        int budget = _config.episodeBudget;
+
+        while (!committed->allScheduled(_ctx)) {
+            if (_config.maxExpandedNodes != 0 &&
+                result.stats.expanded > _config.maxExpandedNodes) {
+                return;
+            }
+
+            _filter.clear();
+            // The commit point may have been dominance-marked inside
+            // the previous episode; it is the live root of this one.
+            committed->dead = false;
+            Queue queue(NodeOrder{_config.hWeight, _config.routeWeight});
+            queue.push(committed);
+            _episodeBest = committed;
+
+            SearchNode::Ptr terminal;
+            for (int spent = 0; spent < budget && !queue.empty();
+                 ++spent) {
+                SearchNode::Ptr node = queue.top();
+                queue.pop();
+                if (node->dead) {
+                    --spent;
+                    continue;
+                }
+                if (node->allScheduled(_ctx)) {
+                    terminal = node;
+                    break;
+                }
+                ++result.stats.expanded;
+                expandInto(node, queue, result.stats);
+            }
+            if (terminal) {
+                finishWith(terminal, result);
+                return;
+            }
+            if (_episodeBest->scheduledGates > committed->scheduledGates) {
+                committed = _episodeBest;
+                budget = _config.episodeBudget;
+            } else {
+                // The episode was too shallow to reach the next gate
+                // (long swap chains); widen and retry.
+                budget *= 2;
+                if (budget > (1 << 22))
+                    return; // give up: success stays false
+            }
+        }
+        finishWith(committed, result);
+    }
+
+    void
+    finishWith(const SearchNode::Ptr &terminal, HeuristicResult &result)
+    {
+        result.success = true;
+        result.mapped = core::reconstructMapping(_ctx, terminal);
+        // The emitted circuit can be faster than the search's own
+        // schedule (the beam may have parked swaps behind waits that
+        // an ASAP schedule compresses), so report the ASAP makespan
+        // of what we actually emit.
+        result.cycles =
+            ir::scheduleAsap(result.mapped.physical, _ctx.latency())
+                .makespan;
+    }
+
+    /**
+     * Deterministic progress fallback: route the first unrouted
+     * dependence-ready frontier gate's operands together along a
+     * shortest path, waiting out busy qubits as needed.  Used when
+     * the beam stagnates (it can dance swaps in circles on ring-like
+     * topologies: the per-level filter has no memory of revisits).
+     */
+    SearchNode::Ptr
+    forceRouteFrontier(SearchNode::Ptr node)
+    {
+        node = assignFrontier(node);
+        // Find an unrouted frontier gate.
+        int q0 = -1, q1 = -1;
+        {
+            const int *head = node->head();
+            const int *l2p = node->log2phys();
+            for (int l = 0; l < _ctx.numLogical() && q0 < 0; ++l) {
+                const auto &gates = _ctx.qubitGates(l);
+                const int h = head[l];
+                if (h >= static_cast<int>(gates.size()))
+                    continue;
+                const int gi = gates[static_cast<size_t>(h)];
+                const ir::Gate &g = _ctx.circuit().gate(gi);
+                if (g.numQubits() != 2 || g.qubit(0) != l)
+                    continue;
+                bool frontier = true;
+                for (int q : g.qubits()) {
+                    if (_ctx.posOnQubit(gi, q) != head[q] ||
+                        l2p[q] < 0) {
+                        frontier = false;
+                    }
+                }
+                if (frontier &&
+                    !_graph.adjacent(l2p[g.qubit(0)],
+                                     l2p[g.qubit(1)])) {
+                    q0 = g.qubit(0);
+                    q1 = g.qubit(1);
+                }
+            }
+        }
+        if (q0 < 0)
+            return node;
+
+        const auto wait_until_idle = [&](int p) {
+            while (node->busyUntil()[p] > node->cycle) {
+                int next = std::numeric_limits<int>::max();
+                for (int i = 0; i < node->numPhysical(); ++i) {
+                    if (node->busyUntil()[i] > node->cycle)
+                        next = std::min(next, node->busyUntil()[i]);
+                }
+                node = SearchNode::expand(_ctx, node, next, {});
+            }
+        };
+
+        while (!_graph.adjacent(node->log2phys()[q0],
+                                node->log2phys()[q1])) {
+            const int p0 = node->log2phys()[q0];
+            const int p1 = node->log2phys()[q1];
+            int step = -1;
+            for (int nbr : _graph.neighbors(p0)) {
+                if (_graph.distance(nbr, p1) <
+                    _graph.distance(p0, p1)) {
+                    step = nbr;
+                    break;
+                }
+            }
+            wait_until_idle(p0);
+            wait_until_idle(step);
+            node = SearchNode::expand(_ctx, node, node->cycle + 1,
+                                      {Action{-1, p0, step}});
+            node->costH = _estimator.estimate(*node);
+            node->routeScore = computeRouteScore(*node);
+        }
+        return node;
+    }
+
+    /** Rolling beam search (the default scalable mode). */
+    void
+    beamSearch(const SearchNode::Ptr &root, HeuristicResult &result)
+    {
+        const NodeOrder order{_config.hWeight, _config.routeWeight};
+        std::vector<SearchNode::Ptr> beam{root};
+        std::vector<SearchNode::Ptr> pool;
+        int best_progress = root->scheduledGates;
+        int stagnant_levels = 0;
+        const int stagnation_limit =
+            4 * _graph.diameter() * _ctx.swapLatency() + 64;
+
+        for (;;) {
+            if (_config.maxExpandedNodes != 0 &&
+                result.stats.expanded > _config.maxExpandedNodes) {
+                return;
+            }
+
+            pool.clear();
+            bool all_terminal = true;
+            for (const auto &node : beam) {
+                if (node->allScheduled(_ctx)) {
+                    pool.push_back(node); // carry terminals through
+                    continue;
+                }
+                all_terminal = false;
+                ++result.stats.expanded;
+                auto children = generateChildren(node, result.stats);
+                pool.insert(pool.end(),
+                            std::make_move_iterator(children.begin()),
+                            std::make_move_iterator(children.end()));
+            }
+            if (all_terminal) {
+                SearchNode::Ptr best = beam.front();
+                for (const auto &node : beam) {
+                    if (node->makespan() < best->makespan())
+                        best = node;
+                }
+                finishWith(best, result);
+                return;
+            }
+            if (pool.empty())
+                return; // no legal transition: give up (success=false)
+
+            std::sort(pool.begin(), pool.end(),
+                      [&order](const SearchNode::Ptr &a,
+                               const SearchNode::Ptr &b) {
+                          return order(b, a); // ascending weighted f
+                      });
+            _filter.clear();
+            beam.clear();
+            for (auto &cand : pool) {
+                if (static_cast<int>(beam.size()) >= _config.beamWidth)
+                    break;
+                cand->dead = false;
+                if (_filter.admit(cand, cand->actions.empty()))
+                    beam.push_back(std::move(cand));
+            }
+
+            // Stagnation watchdog: on ring-like devices the beam can
+            // shuffle swaps forever; force deterministic progress.
+            int progress = best_progress;
+            for (const auto &node : beam)
+                progress = std::max(progress, node->scheduledGates);
+            if (progress > best_progress) {
+                best_progress = progress;
+                stagnant_levels = 0;
+            } else if (++stagnant_levels > stagnation_limit) {
+                SearchNode::Ptr routed =
+                    forceRouteFrontier(beam.front());
+                beam.assign(1, std::move(routed));
+                stagnant_levels = 0;
+            }
+        }
+    }
+
+  private:
+    const SearchContext &_ctx;
+    const arch::CouplingGraph &_graph;
+    const HeuristicConfig &_config;
+    core::CostEstimator _estimator;
+    core::Filter _filter;
+    /** Most-progressed node of the current episode (RHC mode). */
+    SearchNode::Ptr _episodeBest;
+
+    /**
+     * Greedy on-the-fly placement: give every unmapped operand of a
+     * dependence-ready head gate a physical home (Section 6.2).
+     *
+     * @return the node to expand from: either @p node itself or a
+     *         clone with the new assignments.
+     */
+    SearchNode::Ptr
+    assignFrontier(const SearchNode::Ptr &node) const
+    {
+        // Find head gates with unmapped operands.
+        std::vector<int> to_place; // logical qubits needing a home
+        const int *head = node->head();
+        const int *l2p = node->log2phys();
+        for (int l = 0; l < _ctx.numLogical(); ++l) {
+            const auto &gates = _ctx.qubitGates(l);
+            const int h = head[l];
+            if (h >= static_cast<int>(gates.size()))
+                continue;
+            const int gi = gates[static_cast<size_t>(h)];
+            const ir::Gate &g = _ctx.circuit().gate(gi);
+            bool is_head_everywhere = true;
+            for (int q : g.qubits()) {
+                if (_ctx.posOnQubit(gi, q) != head[q])
+                    is_head_everywhere = false;
+            }
+            if (!is_head_everywhere)
+                continue;
+            for (int q : g.qubits()) {
+                if (l2p[q] < 0 &&
+                    std::find(to_place.begin(), to_place.end(), q) ==
+                        to_place.end()) {
+                    to_place.push_back(q);
+                }
+            }
+        }
+        if (to_place.empty())
+            return node;
+
+        SearchNode::Ptr patched = std::make_shared<SearchNode>(*node);
+        patched->parent = node->parent;
+        patched->actions = node->actions;
+        for (int q : to_place)
+            placeQubit(*patched, q);
+        return patched;
+    }
+
+    /** Place logical @p l minimizing distance to its next partner. */
+    void
+    placeQubit(SearchNode &node, int l) const
+    {
+        int *l2p = node.log2phys();
+        int *p2l = node.phys2log();
+        if (l2p[l] >= 0)
+            return;
+
+        // The guiding partner: the other operand of l's first
+        // remaining two-qubit gate, if that operand is mapped.
+        int anchor = -1;
+        const auto &gates = _ctx.qubitGates(l);
+        for (size_t k = static_cast<size_t>(node.head()[l]);
+             k < gates.size(); ++k) {
+            const ir::Gate &g = _ctx.circuit().gate(gates[k]);
+            if (g.numQubits() != 2)
+                continue;
+            const int other = g.qubit(0) == l ? g.qubit(1) : g.qubit(0);
+            if (l2p[other] >= 0)
+                anchor = l2p[other];
+            break; // only the first upcoming 2q gate guides placement
+        }
+
+        int best = -1;
+        int best_score = std::numeric_limits<int>::max();
+        for (int p = 0; p < _ctx.numPhysical(); ++p) {
+            if (p2l[p] >= 0)
+                continue;
+            int score;
+            if (anchor >= 0) {
+                score = _graph.distance(anchor, p);
+            } else {
+                // No anchor: prefer well-connected positions.
+                score = -static_cast<int>(_graph.neighbors(p).size());
+            }
+            if (score < best_score) {
+                best_score = score;
+                best = p;
+            }
+        }
+        if (best < 0)
+            return; // device full; cannot happen for valid inputs
+        l2p[l] = best;
+        p2l[best] = l;
+    }
+
+    /**
+     * SABRE-style sum of distances of the frontier (weight 4) and a
+     * short per-qubit lookahead (weight 1); supplies the routing
+     * gradient the max-based admissible h lacks.
+     */
+    int
+    computeRouteScore(const SearchNode &node) const
+    {
+        const int *head = node.head();
+        const int *l2p = node.log2phys();
+        int score = 0;
+        for (int l = 0; l < _ctx.numLogical(); ++l) {
+            if (l2p[l] < 0)
+                continue;
+            const auto &gates = _ctx.qubitGates(l);
+            int seen = 0;
+            for (size_t k = static_cast<size_t>(head[l]);
+                 k < gates.size() && seen <= _config.routeLookahead;
+                 ++k) {
+                const ir::Gate &g = _ctx.circuit().gate(gates[k]);
+                if (g.numQubits() != 2)
+                    continue;
+                ++seen;
+                const int other =
+                    g.qubit(0) == l ? g.qubit(1) : g.qubit(0);
+                if (l2p[other] < 0)
+                    continue;
+                const int excess =
+                    _graph.distance(l2p[l], l2p[other]) - 1;
+                if (excess > 0)
+                    score += (seen == 1 ? 4 : 1) * excess;
+            }
+        }
+        return score;
+    }
+
+    /** Ready gates at node.cycle + 1 (deps + coupling + idleness). */
+    std::vector<Action>
+    readyGates(const SearchNode &node) const
+    {
+        std::vector<Action> out;
+        const int start = node.cycle + 1;
+        const int *head = node.head();
+        const int *l2p = node.log2phys();
+        const int *busy = node.busyUntil();
+        for (int l = 0; l < _ctx.numLogical(); ++l) {
+            const auto &gates = _ctx.qubitGates(l);
+            const int h = head[l];
+            if (h >= static_cast<int>(gates.size()))
+                continue;
+            const int gi = gates[static_cast<size_t>(h)];
+            const ir::Gate &g = _ctx.circuit().gate(gi);
+            if (g.qubit(0) != l)
+                continue;
+            bool ok = true;
+            for (int q : g.qubits()) {
+                if (_ctx.posOnQubit(gi, q) != head[q] || l2p[q] < 0 ||
+                    busy[l2p[q]] >= start) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok)
+                continue;
+            Action a;
+            a.gateIndex = gi;
+            a.p0 = l2p[g.qubit(0)];
+            a.p1 = g.numQubits() == 2 ? l2p[g.qubit(1)] : -1;
+            if (a.p1 >= 0 && !_graph.adjacent(a.p0, a.p1))
+                continue;
+            out.push_back(a);
+        }
+        return out;
+    }
+
+    /**
+     * The physical qubits of frontier gates that are executable with
+     * respect to dependence and coupling (busy or not): swaps must
+     * not touch them (Section 6.2's swap restriction).
+     */
+    std::vector<char>
+    protectedQubits(const SearchNode &node) const
+    {
+        std::vector<char> keep(static_cast<size_t>(_ctx.numPhysical()),
+                               0);
+        const int *head = node.head();
+        const int *l2p = node.log2phys();
+        for (int l = 0; l < _ctx.numLogical(); ++l) {
+            const auto &gates = _ctx.qubitGates(l);
+            const int h = head[l];
+            if (h >= static_cast<int>(gates.size()))
+                continue;
+            const int gi = gates[static_cast<size_t>(h)];
+            const ir::Gate &g = _ctx.circuit().gate(gi);
+            if (g.numQubits() != 2 || g.qubit(0) != l)
+                continue;
+            bool frontier = true;
+            for (int q : g.qubits()) {
+                if (_ctx.posOnQubit(gi, q) != head[q] || l2p[q] < 0)
+                    frontier = false;
+            }
+            if (!frontier)
+                continue;
+            const int p0 = l2p[g.qubit(0)];
+            const int p1 = l2p[g.qubit(1)];
+            if (_graph.adjacent(p0, p1)) {
+                keep[static_cast<size_t>(p0)] = 1;
+                keep[static_cast<size_t>(p1)] = 1;
+            }
+        }
+        return keep;
+    }
+
+    /**
+     * Generate every child of @p raw allowed by the Section 6.2
+     * rules, sorted by ascending weighted f.
+     */
+    std::vector<SearchNode::Ptr>
+    generateChildren(const SearchNode::Ptr &raw, HeuristicStats &stats)
+    {
+        SearchNode::Ptr node = assignFrontier(raw);
+        const int start = node->cycle + 1;
+
+        const std::vector<Action> forced = readyGates(*node);
+        const std::vector<char> keep = protectedQubits(*node);
+
+        // Swap candidates serve the unrouted frontier: only edges
+        // incident to an operand position of a dependence-ready
+        // two-qubit gate that is not yet coupling-compliant are
+        // considered (anything else cannot help the frontier and
+        // explodes the branching).  Additionally a swap must be on
+        // idle qubits, must not undo itself (cyclic), must not touch
+        // a qubit of a forced gate, and must not break an executable
+        // frontier gate (Section 6.2's restriction).
+        const int *busy = node->busyUntil();
+        const int *partner = node->lastSwapPartner();
+        const int *p2l = node->phys2log();
+        const int *head = node->head();
+        const int *l2p = node->log2phys();
+        std::vector<char> forced_used(
+            static_cast<size_t>(_ctx.numPhysical()), 0);
+        for (const Action &a : forced) {
+            forced_used[static_cast<size_t>(a.p0)] = 1;
+            if (a.p1 >= 0)
+                forced_used[static_cast<size_t>(a.p1)] = 1;
+        }
+
+        // Positions of unrouted dependence-ready frontier gates.
+        std::vector<char> wants_routing(
+            static_cast<size_t>(_ctx.numPhysical()), 0);
+        for (int l = 0; l < _ctx.numLogical(); ++l) {
+            const auto &gates = _ctx.qubitGates(l);
+            const int h = head[l];
+            if (h >= static_cast<int>(gates.size()))
+                continue;
+            const int gi = gates[static_cast<size_t>(h)];
+            const ir::Gate &g = _ctx.circuit().gate(gi);
+            if (g.numQubits() != 2 || g.qubit(0) != l)
+                continue;
+            bool frontier = true;
+            for (int q : g.qubits()) {
+                if (_ctx.posOnQubit(gi, q) != head[q] || l2p[q] < 0)
+                    frontier = false;
+            }
+            if (!frontier)
+                continue;
+            const int p0 = l2p[g.qubit(0)];
+            const int p1 = l2p[g.qubit(1)];
+            if (!_graph.adjacent(p0, p1)) {
+                wants_routing[static_cast<size_t>(p0)] = 1;
+                wants_routing[static_cast<size_t>(p1)] = 1;
+            }
+        }
+
+        std::vector<Action> swaps;
+        for (const auto &[p0, p1] : _graph.edges()) {
+            if (!wants_routing[static_cast<size_t>(p0)] &&
+                !wants_routing[static_cast<size_t>(p1)]) {
+                continue;
+            }
+            if (busy[p0] >= start || busy[p1] >= start)
+                continue;
+            if (forced_used[static_cast<size_t>(p0)] ||
+                forced_used[static_cast<size_t>(p1)]) {
+                continue;
+            }
+            if (keep[static_cast<size_t>(p0)] ||
+                keep[static_cast<size_t>(p1)]) {
+                continue;
+            }
+            if (partner[p0] == p1 && partner[p1] == p0)
+                continue;
+            if (p2l[p0] < 0 && p2l[p1] < 0)
+                continue;
+            Action a;
+            a.gateIndex = -1;
+            a.p0 = p0;
+            a.p1 = p1;
+            swaps.push_back(a);
+        }
+
+        // Children: forced gates plus every swap subset of size
+        // <= maxSwapsPerChild (incl. the empty subset when something
+        // is being scheduled).
+        std::vector<SearchNode::Ptr> children;
+        const auto emit = [&](const std::vector<Action> &acts) {
+            if (acts.empty())
+                return;
+            children.push_back(
+                SearchNode::expand(_ctx, node, start, acts));
+        };
+
+        emit(forced);
+        std::vector<Action> acts;
+        for (size_t i = 0; i < swaps.size(); ++i) {
+            acts = forced;
+            acts.push_back(swaps[i]);
+            emit(acts);
+            if (_config.maxSwapsPerChild >= 2) {
+                for (size_t j = i + 1; j < swaps.size(); ++j) {
+                    const Action &a = swaps[i];
+                    const Action &b = swaps[j];
+                    if (a.p0 == b.p0 || a.p0 == b.p1 || a.p1 == b.p0 ||
+                        a.p1 == b.p1) {
+                        continue;
+                    }
+                    acts = forced;
+                    acts.push_back(a);
+                    acts.push_back(b);
+                    emit(acts);
+                }
+            }
+        }
+
+        // Wait child: nothing schedulable now, let a gate finish.
+        if (children.empty()) {
+            int next_completion = std::numeric_limits<int>::max();
+            for (int p = 0; p < node->numPhysical(); ++p) {
+                if (busy[p] > node->cycle)
+                    next_completion = std::min(next_completion, busy[p]);
+            }
+            if (next_completion != std::numeric_limits<int>::max()) {
+                children.push_back(SearchNode::expand(
+                    _ctx, node, next_completion, {}));
+            }
+        }
+
+        stats.generated += children.size();
+        for (auto &child : children) {
+            child->costH = _estimator.estimate(*child);
+            child->routeScore = computeRouteScore(*child);
+        }
+        const NodeOrder order{_config.hWeight, _config.routeWeight};
+        std::sort(children.begin(), children.end(),
+                  [&order](const SearchNode::Ptr &a,
+                           const SearchNode::Ptr &b) {
+                      return order(b, a); // ascending weighted f
+                  });
+        return children;
+    }
+
+    void
+    expandInto(const SearchNode::Ptr &raw, Queue &queue,
+               HeuristicStats &stats)
+    {
+        const NodeOrder order{_config.hWeight};
+        auto children = generateChildren(raw, stats);
+        int pushed = 0;
+        for (auto &child : children) {
+            if (pushed >= _config.topK)
+                break;
+            if (!_filter.admit(child, /*exempt=*/child->actions.empty()))
+                continue;
+            queue.push(child);
+            ++pushed;
+            if (_episodeBest == nullptr ||
+                child->scheduledGates > _episodeBest->scheduledGates ||
+                (child->scheduledGates == _episodeBest->scheduledGates &&
+                 order.weightedF(child) <
+                     order.weightedF(_episodeBest))) {
+                _episodeBest = child;
+            }
+        }
+    }
+
+    /** Keep the most-progressed queueTrim nodes (Section 6.2). */
+    void
+    trim(Queue &queue)
+    {
+        std::vector<SearchNode::Ptr> nodes;
+        nodes.reserve(queue.size());
+        while (!queue.empty()) {
+            if (!queue.top()->dead)
+                nodes.push_back(queue.top());
+            queue.pop();
+        }
+        std::sort(nodes.begin(), nodes.end(),
+                  [](const SearchNode::Ptr &a, const SearchNode::Ptr &b) {
+                      if (a->scheduledGates != b->scheduledGates)
+                          return a->scheduledGates > b->scheduledGates;
+                      return a->f() < b->f();
+                  });
+        if (nodes.size() > _config.queueTrim)
+            nodes.resize(_config.queueTrim);
+        for (auto &n : nodes)
+            queue.push(std::move(n));
+    }
+};
+
+} // namespace
+
+HeuristicMapper::HeuristicMapper(const arch::CouplingGraph &graph,
+                                 HeuristicConfig config)
+    : _graph(graph), _config(config)
+{}
+
+HeuristicResult
+HeuristicMapper::map(const ir::Circuit &logical,
+                     std::optional<std::vector<int>> initial_layout) const
+{
+    const ir::Circuit clean = logical.withoutSwapsAndBarriers();
+    SearchContext ctx(clean, _graph, _config.latency);
+    Run run(ctx, _graph, _config);
+    std::vector<int> seed(static_cast<size_t>(ctx.numLogical()), -1);
+    if (initial_layout)
+        seed = *initial_layout;
+    return run.solve(seed);
+}
+
+} // namespace toqm::heuristic

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The practical, scalable extension of the time-optimal model
+ * (Section 6.2 of the paper).
+ *
+ * Approximations relative to the exact A* search:
+ *  - every dependence- and coupling-ready original gate is scheduled
+ *    immediately (children that fail to do so are never generated);
+ *  - swaps that would make a currently executable frontier gate
+ *    non-executable are not considered;
+ *  - only the top-k ranked children of each node enter the priority
+ *    queue (paper default k = 10);
+ *  - the queue is capped at g entries and trimmed by dropping the
+ *    nodes that made the least progress in the circuit (paper
+ *    defaults g = 2000, trim survivor count v = 1000);
+ *  - the initial mapping is chosen greedily on the fly: a qubit is
+ *    placed the first time one of its gates becomes ready, minimizing
+ *    the physical distance to its partner (Section 6.2); qubits never
+ *    used by a two-qubit gate are placed arbitrarily at the end.
+ *
+ * The output is not guaranteed optimal but scales to circuits with
+ * hundreds of thousands of gates (Table 3).
+ */
+
+#ifndef TOQM_HEURISTIC_HEURISTIC_MAPPER_HPP
+#define TOQM_HEURISTIC_HEURISTIC_MAPPER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::heuristic {
+
+/** Search organization of the practical mapper. */
+enum class SearchMode {
+    /**
+     * Rolling beam (default): synchronous level-by-level search
+     * keeping the beamWidth best states.  Work is linear in circuit
+     * length, which is what lets Table 3's hundreds of thousands of
+     * gates finish; quality comes from the timing-aware cost
+     * function and from scheduling swaps concurrently with gates.
+     */
+    Beam,
+    /**
+     * Receding horizon: bounded best-first episodes, committing to
+     * the most-progressed node of each.
+     */
+    RecedingHorizon,
+    /**
+     * The paper's Section 6.2 scheme verbatim: one global priority
+     * queue with top-k pushes and progress-based trimming.  More
+     * thorough, superlinear in practice.
+     */
+    GlobalQueue,
+};
+
+/** Tunables of the approximate search (paper Section 6.2). */
+struct HeuristicConfig
+{
+    SearchMode mode = SearchMode::Beam;
+    /** States kept per level in Beam mode. */
+    int beamWidth = 10;
+    /** Expansions per receding-horizon episode. */
+    int episodeBudget = 64;
+    ir::LatencyModel latency = ir::LatencyModel::ibmPreset();
+    /** Children pushed per expansion (paper: k = 10). */
+    int topK = 10;
+    /** Queue size threshold that triggers trimming (paper: g). */
+    size_t queueCap = 2000;
+    /** Queue size after a trim (paper keeps v = 1000 survivors). */
+    size_t queueTrim = 1000;
+    /** Cost-estimator window over the remaining circuit. */
+    int horizonGates = 50;
+    /**
+     * Weighted-A* factor on h.  1.0 reproduces the admissible
+     * ordering (thorough but slow); larger values focus the search
+     * toward completion at a bounded quality cost.
+     */
+    double hWeight = 2.0;
+    /**
+     * Weight of the frontier/lookahead distance term in the ranking.
+     * The admissible h is a MAX over gates and cannot tell a swap
+     * toward the frontier from a sideways one when slack absorbs the
+     * delay; this SABRE-style sum-of-distances term supplies that
+     * gradient.
+     */
+    double routeWeight = 1.0;
+    /** Lookahead gates per qubit beyond the frontier for the
+     *  distance term. */
+    int routeLookahead = 2;
+    /** Max swaps added per child (bounds branching). */
+    int maxSwapsPerChild = 2;
+    /** Filter table bound (pruning-only; safe to evict). */
+    size_t filterMaxEntries = 200'000;
+    /** Hard stop on expansions (0 disables the limit). */
+    std::uint64_t maxExpandedNodes = 0;
+};
+
+/** Search statistics. */
+struct HeuristicStats
+{
+    std::uint64_t expanded = 0;
+    std::uint64_t generated = 0;
+    std::uint64_t trims = 0;
+    double seconds = 0.0;
+};
+
+/** Result of a heuristic mapping run. */
+struct HeuristicResult
+{
+    bool success = false;
+    /** Total cycles of the transformed circuit. */
+    int cycles = -1;
+    ir::MappedCircuit mapped;
+    HeuristicStats stats;
+};
+
+/** The scalable non-optimal mapper. */
+class HeuristicMapper
+{
+  public:
+    HeuristicMapper(const arch::CouplingGraph &graph,
+                    HeuristicConfig config = {});
+
+    /**
+     * Map @p logical onto the device.
+     *
+     * @param initial_layout optional full initial layout; when absent
+     *        the mapper assigns qubits on the fly (the paper's mode).
+     */
+    HeuristicResult map(const ir::Circuit &logical,
+                        std::optional<std::vector<int>> initial_layout =
+                            std::nullopt) const;
+
+  private:
+    arch::CouplingGraph _graph;
+    HeuristicConfig _config;
+};
+
+} // namespace toqm::heuristic
+
+#endif // TOQM_HEURISTIC_HEURISTIC_MAPPER_HPP

@@ -1,0 +1,77 @@
+#include "analysis.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "schedule.hpp"
+
+namespace toqm::ir {
+
+std::string
+RoutingReport::str() const
+{
+    std::ostringstream os;
+    os.precision(3);
+    os << "cycles " << mappedCycles << " (ideal " << idealCycles
+       << ", x" << depthOverhead << "), swaps " << swapCount << " ("
+       << swapOverhead << " per 2q gate), swap hiding " << swapHiding
+       << ", utilization " << utilization;
+    return os.str();
+}
+
+RoutingReport
+analyzeRouting(const Circuit &logical, const MappedCircuit &mapped,
+               const LatencyModel &lat)
+{
+    RoutingReport report;
+    report.idealCycles = idealCycles(logical, lat);
+    const Schedule sched = scheduleAsap(mapped.physical, lat);
+    report.mappedCycles = sched.makespan;
+    report.swapCount = mapped.physical.numSwaps();
+    report.twoQubitGates = logical.numTwoQubitGates();
+
+    report.depthOverhead =
+        report.idealCycles > 0
+            ? static_cast<double>(report.mappedCycles) /
+                  report.idealCycles
+            : 1.0;
+    report.swapOverhead =
+        report.twoQubitGates > 0
+            ? static_cast<double>(report.swapCount) /
+                  report.twoQubitGates
+            : 0.0;
+
+    const int swap_cycles =
+        report.swapCount * lat.swapLatency();
+    if (swap_cycles > 0) {
+        const double exposed =
+            report.mappedCycles - report.idealCycles;
+        report.swapHiding = std::clamp(
+            1.0 - exposed / swap_cycles, 0.0, 1.0);
+    } else {
+        report.swapHiding = 1.0;
+    }
+
+    // Busy cycles: each gate occupies (latency x #operands) cell
+    // cycles; divide by the area of the active schedule.
+    long busy = 0;
+    std::vector<char> active(
+        static_cast<size_t>(mapped.physical.numQubits()), 0);
+    for (const Gate &g : mapped.physical.gates()) {
+        if (g.isBarrier())
+            continue;
+        busy += static_cast<long>(lat.latency(g)) * g.numQubits();
+        for (int q : g.qubits())
+            active[static_cast<size_t>(q)] = 1;
+    }
+    const long active_qubits =
+        std::count(active.begin(), active.end(), 1);
+    if (report.mappedCycles > 0 && active_qubits > 0) {
+        report.utilization =
+            static_cast<double>(busy) /
+            (static_cast<double>(report.mappedCycles) * active_qubits);
+    }
+    return report;
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Routing-quality analysis of a mapped circuit: the derived metrics
+ * the paper's evaluation reasons about (time overhead over the ideal
+ * all-to-all execution, swap overhead, and how much of the added
+ * swap work the schedule managed to hide under computation).
+ */
+
+#ifndef TOQM_IR_ANALYSIS_HPP
+#define TOQM_IR_ANALYSIS_HPP
+
+#include <string>
+
+#include "circuit.hpp"
+#include "latency.hpp"
+#include "mapped_circuit.hpp"
+
+namespace toqm::ir {
+
+/** Derived quality metrics of one mapping. */
+struct RoutingReport
+{
+    int idealCycles = 0;     ///< logical circuit, all-to-all device
+    int mappedCycles = 0;    ///< transformed circuit
+    int swapCount = 0;
+    int twoQubitGates = 0;   ///< original 2q gates (excl. swaps)
+
+    /** mappedCycles / idealCycles (1.0 == no time overhead). */
+    double depthOverhead = 1.0;
+    /** swaps per original two-qubit gate. */
+    double swapOverhead = 0.0;
+    /**
+     * Fraction of inserted swap work hidden under other computation:
+     * 1 - (mapped - ideal) / total_swap_cycles.  1.0 means every
+     * swap overlapped something; 0.0 means every swap cycle extended
+     * the critical path (clamped to [0, 1]).
+     */
+    double swapHiding = 0.0;
+    /**
+     * Busy-cycle utilization of the mapped schedule:
+     * sum(gate cycles x operands) / (mappedCycles x active qubits).
+     */
+    double utilization = 0.0;
+
+    /** One-line human-readable summary. */
+    std::string str() const;
+};
+
+/** Analyze @p mapped against its logical original under @p lat. */
+RoutingReport analyzeRouting(const Circuit &logical,
+                             const MappedCircuit &mapped,
+                             const LatencyModel &lat);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_ANALYSIS_HPP

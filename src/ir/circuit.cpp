@@ -1,0 +1,113 @@
+#include "circuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace toqm::ir {
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : _numQubits(num_qubits), _name(std::move(name))
+{
+    if (num_qubits < 0)
+        throw std::invalid_argument("negative qubit count");
+}
+
+void
+Circuit::add(Gate gate)
+{
+    for (int q : gate.qubits()) {
+        if (q < 0 || q >= _numQubits)
+            throw std::out_of_range("gate operand " + std::to_string(q) +
+                                    " outside circuit of " +
+                                    std::to_string(_numQubits) + " qubits");
+    }
+    _gates.push_back(std::move(gate));
+}
+
+void
+Circuit::addCX(int control, int target)
+{
+    add(Gate(GateKind::CX, control, target));
+}
+
+void
+Circuit::addCP(int q0, int q1, double angle)
+{
+    add(Gate(GateKind::CP, q0, q1, {angle}));
+}
+
+int
+Circuit::numTwoQubitGates() const
+{
+    return static_cast<int>(std::count_if(
+        _gates.begin(), _gates.end(), [](const Gate &g) {
+            return g.numQubits() == 2 && !g.isBarrier();
+        }));
+}
+
+int
+Circuit::numSwaps() const
+{
+    return static_cast<int>(std::count_if(
+        _gates.begin(), _gates.end(),
+        [](const Gate &g) { return g.isSwap(); }));
+}
+
+int
+Circuit::numComputeGates() const
+{
+    return static_cast<int>(std::count_if(
+        _gates.begin(), _gates.end(), [](const Gate &g) {
+            return !g.isBarrier() && !g.isMeasure();
+        }));
+}
+
+Circuit
+Circuit::remapped(const std::vector<int> &qubit_map) const
+{
+    if (static_cast<int>(qubit_map.size()) != _numQubits)
+        throw std::invalid_argument("remapped: map size mismatch");
+    Circuit out(_numQubits, _name);
+    for (const Gate &g : _gates) {
+        std::vector<int> qs;
+        qs.reserve(g.qubits().size());
+        for (int q : g.qubits())
+            qs.push_back(qubit_map[static_cast<size_t>(q)]);
+        Gate copy = g;
+        copy.setQubits(std::move(qs));
+        out.add(std::move(copy));
+    }
+    return out;
+}
+
+Circuit
+Circuit::withoutSwapsAndBarriers() const
+{
+    Circuit out(_numQubits, _name);
+    for (const Gate &g : _gates) {
+        if (!g.isSwap() && !g.isBarrier())
+            out.add(g);
+    }
+    return out;
+}
+
+std::string
+Circuit::str() const
+{
+    std::ostringstream os;
+    os << "// " << _name << ": " << _numQubits << " qubits, " << size()
+       << " gates\n";
+    for (const Gate &g : _gates)
+        os << g.str() << ";\n";
+    return os.str();
+}
+
+bool
+Circuit::operator==(const Circuit &other) const
+{
+    return _numQubits == other._numQubits && _gates == other._gates;
+}
+
+} // namespace toqm::ir

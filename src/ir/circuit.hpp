@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Circuit container: an ordered list of gates over n qubits.
+ *
+ * The order of the gate list is a valid topological order of the
+ * circuit's dependency DAG (gates touching a common qubit appear in
+ * program order).  All passes in this repository preserve that
+ * invariant.
+ */
+
+#ifndef TOQM_IR_CIRCUIT_HPP
+#define TOQM_IR_CIRCUIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "gate.hpp"
+
+namespace toqm::ir {
+
+/** An ordered quantum circuit over a fixed set of qubits. */
+class Circuit
+{
+  public:
+    /** Construct an empty circuit over @p num_qubits qubits. */
+    explicit Circuit(int num_qubits, std::string name = "circuit");
+
+    int numQubits() const { return _numQubits; }
+
+    const std::string &name() const { return _name; }
+
+    void setName(std::string name) { _name = std::move(name); }
+
+    /** Number of gates, including pseudo ops (barriers, measures). */
+    int size() const { return static_cast<int>(_gates.size()); }
+
+    bool empty() const { return _gates.empty(); }
+
+    const Gate &gate(int i) const { return _gates[static_cast<size_t>(i)]; }
+
+    const std::vector<Gate> &gates() const { return _gates; }
+
+    /** Append a gate, validating its operands against numQubits(). */
+    void add(Gate gate);
+
+    /** Convenience builders. @{ */
+    void addH(int q) { add(Gate(GateKind::H, q)); }
+    void addX(int q) { add(Gate(GateKind::X, q)); }
+    void addCX(int control, int target);
+    void addCZ(int q0, int q1) { add(Gate(GateKind::CZ, q0, q1)); }
+    void addCP(int q0, int q1, double angle);
+    void addSwap(int q0, int q1) { add(Gate(GateKind::Swap, q0, q1)); }
+    void addGT(int q0, int q1) { add(Gate(GateKind::GT, q0, q1)); }
+    /** @} */
+
+    /** Number of gates acting on exactly two qubits (incl.\ swaps). */
+    int numTwoQubitGates() const;
+
+    /** Number of swap gates. */
+    int numSwaps() const;
+
+    /** Number of gates excluding barriers and measures. */
+    int numComputeGates() const;
+
+    /**
+     * Remap every gate's operands through @p qubit_map
+     * (new_q = qubit_map[old_q]).
+     *
+     * @param qubit_map a permutation of [0, numQubits).
+     * @return the remapped circuit.
+     */
+    Circuit remapped(const std::vector<int> &qubit_map) const;
+
+    /** A copy with swaps and barriers removed (computation only). */
+    Circuit withoutSwapsAndBarriers() const;
+
+    /** Multi-line textual dump (one gate per line). */
+    std::string str() const;
+
+    bool operator==(const Circuit &other) const;
+
+  private:
+    int _numQubits;
+    std::string _name;
+    std::vector<Gate> _gates;
+};
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_CIRCUIT_HPP

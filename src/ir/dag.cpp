@@ -1,0 +1,82 @@
+#include "dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace toqm::ir {
+
+DependencyDag::DependencyDag(const Circuit &circuit) : _circuit(&circuit)
+{
+    const int n = circuit.size();
+    _preds.resize(static_cast<size_t>(n));
+    _succs.resize(static_cast<size_t>(n));
+    _prevOnQubit.resize(static_cast<size_t>(n));
+    _firstOnQubit.assign(static_cast<size_t>(circuit.numQubits()), -1);
+
+    std::vector<int> last_on_qubit(
+        static_cast<size_t>(circuit.numQubits()), -1);
+
+    for (int i = 0; i < n; ++i) {
+        const Gate &g = circuit.gate(i);
+        auto &preds = _preds[static_cast<size_t>(i)];
+        auto &prevs = _prevOnQubit[static_cast<size_t>(i)];
+        for (int q : g.qubits()) {
+            const int prev = last_on_qubit[static_cast<size_t>(q)];
+            prevs.push_back(prev);
+            if (prev >= 0 &&
+                std::find(preds.begin(), preds.end(), prev) == preds.end()) {
+                preds.push_back(prev);
+                _succs[static_cast<size_t>(prev)].push_back(i);
+            }
+            if (_firstOnQubit[static_cast<size_t>(q)] < 0)
+                _firstOnQubit[static_cast<size_t>(q)] = i;
+            last_on_qubit[static_cast<size_t>(q)] = i;
+        }
+        if (preds.empty())
+            _roots.push_back(i);
+    }
+}
+
+int
+DependencyDag::prevOnQubit(int i, int q) const
+{
+    const Gate &g = _circuit->gate(i);
+    for (size_t k = 0; k < g.qubits().size(); ++k) {
+        if (g.qubits()[k] == q)
+            return _prevOnQubit[static_cast<size_t>(i)][k];
+    }
+    throw std::invalid_argument("prevOnQubit: gate does not act on qubit");
+}
+
+std::vector<int>
+DependencyDag::asapStart(const LatencyModel &lat) const
+{
+    const int n = numGates();
+    std::vector<int> start(static_cast<size_t>(n), 1);
+    // Gate list order is a topological order by construction.
+    for (int i = 0; i < n; ++i) {
+        int ready = 1;
+        for (int p : _preds[static_cast<size_t>(i)]) {
+            const int fin = start[static_cast<size_t>(p)] +
+                            lat.latency(_circuit->gate(p));
+            ready = std::max(ready, fin);
+        }
+        start[static_cast<size_t>(i)] = ready;
+    }
+    return start;
+}
+
+int
+DependencyDag::criticalPath(const LatencyModel &lat) const
+{
+    const auto start = asapStart(lat);
+    int makespan = 0;
+    for (int i = 0; i < numGates(); ++i) {
+        const int fin = start[static_cast<size_t>(i)] - 1 +
+                        lat.latency(_circuit->gate(i));
+        makespan = std::max(makespan, fin);
+    }
+    return makespan;
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dependency DAG over a circuit's gates.
+ *
+ * Two gates depend on each other iff they share a qubit; the edge runs
+ * from the earlier gate (program order) to the later one.  Barriers
+ * create dependencies across all of their operands.  Because qubit
+ * exclusivity is fully encoded in the edges, the ASAP schedule length
+ * of the DAG equals its latency-weighted critical path — that value is
+ * the paper's "ideal cycle" count (execution on an all-to-all
+ * architecture).
+ */
+
+#ifndef TOQM_IR_DAG_HPP
+#define TOQM_IR_DAG_HPP
+
+#include <vector>
+
+#include "circuit.hpp"
+#include "latency.hpp"
+
+namespace toqm::ir {
+
+/** Immediate-dependency graph of a circuit. */
+class DependencyDag
+{
+  public:
+    /** Build the DAG for @p circuit. */
+    explicit DependencyDag(const Circuit &circuit);
+
+    int numGates() const { return static_cast<int>(_preds.size()); }
+
+    /** Immediate predecessors of gate @p i (deduplicated). */
+    const std::vector<int> &preds(int i) const
+    {
+        return _preds[static_cast<size_t>(i)];
+    }
+
+    /** Immediate successors of gate @p i (deduplicated). */
+    const std::vector<int> &succs(int i) const
+    {
+        return _succs[static_cast<size_t>(i)];
+    }
+
+    /** Gates with no predecessors (the initial frontier). */
+    const std::vector<int> &roots() const { return _roots; }
+
+    /**
+     * The previous gate on qubit @p q before gate @p i, or -1.
+     * Only valid if gate @p i acts on @p q.
+     */
+    int prevOnQubit(int i, int q) const;
+
+    /** The first gate on qubit @p q, or -1 if the qubit is unused. */
+    int firstOnQubit(int q) const
+    {
+        return _firstOnQubit[static_cast<size_t>(q)];
+    }
+
+    /**
+     * Latency-weighted critical path length == ASAP makespan == the
+     * paper's "ideal cycle" count.
+     */
+    int criticalPath(const LatencyModel &lat) const;
+
+    /**
+     * ASAP start cycle of every gate under @p lat with unlimited
+     * connectivity (start cycles are 1-based to match the paper's
+     * cycle numbering; a gate starting at cycle 1 finishes at cycle
+     * len).
+     */
+    std::vector<int> asapStart(const LatencyModel &lat) const;
+
+  private:
+    const Circuit *_circuit;
+    std::vector<std::vector<int>> _preds;
+    std::vector<std::vector<int>> _succs;
+    std::vector<int> _roots;
+    std::vector<int> _firstOnQubit;
+    /** _prevOnQubit[i] is indexed parallel to gate i's operand list. */
+    std::vector<std::vector<int>> _prevOnQubit;
+};
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_DAG_HPP

@@ -1,0 +1,73 @@
+#include "direction.hpp"
+
+#include <stdexcept>
+
+namespace toqm::ir {
+
+DirectionSet::DirectionSet(std::vector<std::pair<int, int>> directed)
+    : _allowed(directed.begin(), directed.end())
+{}
+
+DirectionSet
+DirectionSet::bidirectional(
+    const std::vector<std::pair<int, int>> &edges)
+{
+    std::vector<std::pair<int, int>> both;
+    both.reserve(edges.size() * 2);
+    for (const auto &[a, b] : edges) {
+        both.emplace_back(a, b);
+        both.emplace_back(b, a);
+    }
+    return DirectionSet(std::move(both));
+}
+
+DirectionSet
+ibmQX2Directions()
+{
+    // Historical ibmqx2 calibration sheet: arrows point
+    // control -> target.
+    return DirectionSet({{1, 0},
+                         {2, 0},
+                         {2, 1},
+                         {3, 2},
+                         {3, 4},
+                         {4, 2}});
+}
+
+DirectionResult
+enforceCxDirections(const Circuit &physical,
+                    const DirectionSet &directions)
+{
+    DirectionResult result;
+    result.circuit = Circuit(physical.numQubits(),
+                             physical.name() + "_directed");
+    for (const Gate &g : physical.gates()) {
+        if (g.kind() != GateKind::CX) {
+            result.circuit.add(g);
+            continue;
+        }
+        const int c = g.qubit(0);
+        const int t = g.qubit(1);
+        if (directions.allowed(c, t)) {
+            result.circuit.add(g);
+            continue;
+        }
+        if (!directions.allowed(t, c)) {
+            throw std::invalid_argument(
+                "CX between q" + std::to_string(c) + " and q" +
+                std::to_string(t) +
+                " is allowed in neither direction; the circuit is "
+                "not mapped to this device");
+        }
+        // H-conjugated reversal.
+        result.circuit.addH(c);
+        result.circuit.addH(t);
+        result.circuit.addCX(t, c);
+        result.circuit.addH(c);
+        result.circuit.addH(t);
+        ++result.reversedCx;
+    }
+    return result;
+}
+
+} // namespace toqm::ir

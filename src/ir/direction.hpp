@@ -1,0 +1,76 @@
+/**
+ * @file
+ * CX direction enforcement for devices with DIRECTED couplings.
+ *
+ * The paper (Section 2.2) folds link direction into the latency
+ * model and treats couplings as undirected, which is what the mapper
+ * does.  Real IBM QX devices, however, natively implement CX in only
+ * one direction per link; the standard fix is a post-pass that
+ * conjugates a wrong-way CX with Hadamards:
+ *
+ *     CX(a, b)  ==  H(a) H(b) CX(b, a) H(a) H(b)
+ *
+ * Running this pass after mapping yields a circuit that is compliant
+ * with a directed device at a known extra cost, without touching the
+ * mapper itself.
+ */
+
+#ifndef TOQM_IR_DIRECTION_HPP
+#define TOQM_IR_DIRECTION_HPP
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "circuit.hpp"
+
+namespace toqm::ir {
+
+/** The set of natively supported (control, target) CX directions. */
+class DirectionSet
+{
+  public:
+    /** @param directed allowed (control, target) pairs. */
+    explicit DirectionSet(
+        std::vector<std::pair<int, int>> directed);
+
+    /** Every undirected edge allowed both ways (no-op pass). */
+    static DirectionSet
+    bidirectional(const std::vector<std::pair<int, int>> &edges);
+
+    bool allowed(int control, int target) const
+    {
+        return _allowed.count({control, target}) != 0;
+    }
+
+  private:
+    std::set<std::pair<int, int>> _allowed;
+};
+
+/** The historical IBM QX2 calibration's native CX directions. */
+DirectionSet ibmQX2Directions();
+
+/**
+ * Rewrite every CX whose direction is not native into its
+ * H-conjugated reversal.  Other gates pass through (swaps are
+ * direction-free: 3 CXs of which any may be reversed the same way
+ * downstream).
+ *
+ * @throws std::invalid_argument if some CX is allowed in NEITHER
+ *         direction (the circuit is not mapped to this device).
+ * @return the rewritten circuit and the number of reversed CXs.
+ */
+struct DirectionResult
+{
+    Circuit circuit;
+    int reversedCx = 0;
+
+    DirectionResult() : circuit(0) {}
+};
+
+DirectionResult enforceCxDirections(const Circuit &physical,
+                                    const DirectionSet &directions);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_DIRECTION_HPP

@@ -1,0 +1,84 @@
+#include "export.hpp"
+
+#include <sstream>
+
+#include "schedule.hpp"
+
+namespace toqm::ir {
+
+std::string
+toDot(const arch::CouplingGraph &graph, const std::vector<int> &layout)
+{
+    std::vector<int> phys2log(
+        static_cast<size_t>(graph.numQubits()), -1);
+    for (size_t l = 0; l < layout.size(); ++l) {
+        if (layout[l] >= 0)
+            phys2log[static_cast<size_t>(layout[l])] =
+                static_cast<int>(l);
+    }
+
+    std::ostringstream os;
+    os << "graph \"" << graph.name() << "\" {\n";
+    os << "  node [shape=circle];\n";
+    for (int p = 0; p < graph.numQubits(); ++p) {
+        os << "  Q" << p << " [label=\"Q" << p;
+        if (phys2log[static_cast<size_t>(p)] >= 0)
+            os << "\\nq" << phys2log[static_cast<size_t>(p)];
+        os << "\"];\n";
+    }
+    for (const auto &[a, b] : graph.edges())
+        os << "  Q" << a << " -- Q" << b << ";\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+scheduleToJson(const Circuit &circuit, const LatencyModel &latency)
+{
+    const Schedule sched = scheduleAsap(circuit, latency);
+    std::ostringstream os;
+    os << "{\n  \"name\": \"" << circuit.name() << "\",\n";
+    os << "  \"qubits\": " << circuit.numQubits() << ",\n";
+    os << "  \"makespan\": " << sched.makespan << ",\n";
+    os << "  \"gates\": [\n";
+    for (int i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        os << "    {\"name\": \"" << g.name() << "\", \"qubits\": [";
+        for (size_t k = 0; k < g.qubits().size(); ++k) {
+            if (k > 0)
+                os << ", ";
+            os << g.qubits()[k];
+        }
+        os << "], \"start\": "
+           << sched.startCycle[static_cast<size_t>(i)]
+           << ", \"duration\": " << latency.latency(g) << "}";
+        os << (i + 1 < circuit.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+mappingToJson(const MappedCircuit &mapped, const LatencyModel &latency)
+{
+    std::ostringstream os;
+    os << "{\n  \"initialLayout\": [";
+    for (size_t l = 0; l < mapped.initialLayout.size(); ++l) {
+        if (l > 0)
+            os << ", ";
+        os << mapped.initialLayout[l];
+    }
+    os << "],\n  \"finalLayout\": [";
+    for (size_t l = 0; l < mapped.finalLayout.size(); ++l) {
+        if (l > 0)
+            os << ", ";
+        os << mapped.finalLayout[l];
+    }
+    os << "],\n  \"swaps\": " << mapped.physical.numSwaps() << ",\n";
+    os << "  \"schedule\": "
+       << scheduleToJson(mapped.physical, latency);
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Export utilities for tooling around the mapper: Graphviz DOT
+ * rendering of coupling graphs (optionally annotated with a layout),
+ * and a JSON dump of a scheduled circuit for timeline viewers.
+ */
+
+#ifndef TOQM_IR_EXPORT_HPP
+#define TOQM_IR_EXPORT_HPP
+
+#include <string>
+
+#include "arch/coupling_graph.hpp"
+#include "circuit.hpp"
+#include "latency.hpp"
+#include "mapped_circuit.hpp"
+
+namespace toqm::ir {
+
+/**
+ * Render @p graph as Graphviz DOT.  When @p layout is non-empty,
+ * each occupied physical node is labeled with its logical occupant
+ * ("Q3\nq1").
+ */
+std::string toDot(const arch::CouplingGraph &graph,
+                  const std::vector<int> &layout = {});
+
+/**
+ * JSON schedule dump: one record per gate with name, operands,
+ * start cycle and duration, plus the makespan — enough to feed any
+ * Gantt-style timeline viewer.
+ */
+std::string scheduleToJson(const Circuit &circuit,
+                           const LatencyModel &latency);
+
+/**
+ * Full mapping record: initial/final layouts plus the schedule of
+ * the physical circuit.
+ */
+std::string mappingToJson(const MappedCircuit &mapped,
+                          const LatencyModel &latency);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_EXPORT_HPP

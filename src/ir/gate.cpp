@@ -1,0 +1,172 @@
+#include "gate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace toqm::ir {
+
+namespace {
+
+struct KindName
+{
+    GateKind kind;
+    const char *name;
+};
+
+constexpr std::array kindNames = {
+    KindName{GateKind::H, "h"},
+    KindName{GateKind::X, "x"},
+    KindName{GateKind::Y, "y"},
+    KindName{GateKind::Z, "z"},
+    KindName{GateKind::S, "s"},
+    KindName{GateKind::Sdg, "sdg"},
+    KindName{GateKind::T, "t"},
+    KindName{GateKind::Tdg, "tdg"},
+    KindName{GateKind::SX, "sx"},
+    KindName{GateKind::RX, "rx"},
+    KindName{GateKind::RY, "ry"},
+    KindName{GateKind::RZ, "rz"},
+    KindName{GateKind::U1, "u1"},
+    KindName{GateKind::U2, "u2"},
+    KindName{GateKind::U3, "u3"},
+    KindName{GateKind::ID, "id"},
+    KindName{GateKind::CX, "cx"},
+    KindName{GateKind::CZ, "cz"},
+    KindName{GateKind::CP, "cp"},
+    KindName{GateKind::Swap, "swap"},
+    KindName{GateKind::GT, "gt"},
+    KindName{GateKind::RZZ, "rzz"},
+    KindName{GateKind::Barrier, "barrier"},
+    KindName{GateKind::Measure, "measure"},
+    KindName{GateKind::Other, "opaque"},
+};
+
+} // namespace
+
+const char *
+gateKindName(GateKind kind)
+{
+    for (const auto &entry : kindNames) {
+        if (entry.kind == kind)
+            return entry.name;
+    }
+    return "opaque";
+}
+
+GateKind
+gateKindFromName(const std::string &name)
+{
+    for (const auto &entry : kindNames) {
+        if (name == entry.name)
+            return entry.kind;
+    }
+    return GateKind::Other;
+}
+
+bool
+isTwoQubitKind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::CP:
+      case GateKind::Swap:
+      case GateKind::GT:
+      case GateKind::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Gate::Gate(GateKind kind, int q0, std::vector<double> params)
+    : _kind(kind), _name(gateKindName(kind)), _qubits{q0},
+      _params(std::move(params))
+{
+    if (isTwoQubitKind(kind))
+        throw std::invalid_argument(
+            "two-qubit gate kind constructed with one operand");
+}
+
+Gate::Gate(GateKind kind, int q0, int q1, std::vector<double> params)
+    : _kind(kind), _name(gateKindName(kind)), _qubits{q0, q1},
+      _params(std::move(params))
+{
+    if (!isTwoQubitKind(kind) && kind != GateKind::Barrier &&
+        kind != GateKind::Other) {
+        throw std::invalid_argument(
+            "one-qubit gate kind constructed with two operands");
+    }
+    if (q0 == q1)
+        throw std::invalid_argument("two-qubit gate with identical operands");
+}
+
+Gate::Gate(std::string name, std::vector<int> qubits,
+           std::vector<double> params)
+    : _kind(gateKindFromName(name)), _name(std::move(name)),
+      _qubits(std::move(qubits)), _params(std::move(params))
+{
+    if (_qubits.empty())
+        throw std::invalid_argument("gate with no operands");
+    if (_qubits.size() == 2 && _qubits[0] == _qubits[1])
+        throw std::invalid_argument("two-qubit gate with identical operands");
+}
+
+bool
+Gate::sharesQubitWith(const Gate &other) const
+{
+    return std::any_of(_qubits.begin(), _qubits.end(),
+                       [&other](int q) { return other.actsOn(q); });
+}
+
+bool
+Gate::actsOn(int q) const
+{
+    return std::find(_qubits.begin(), _qubits.end(), q) != _qubits.end();
+}
+
+void
+Gate::setQubits(std::vector<int> qubits)
+{
+    if (qubits.size() != _qubits.size())
+        throw std::invalid_argument("setQubits: operand count mismatch");
+    _qubits = std::move(qubits);
+}
+
+std::string
+Gate::str() const
+{
+    std::ostringstream os;
+    os << _name;
+    if (!_params.empty()) {
+        os << "(";
+        for (size_t i = 0; i < _params.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.6g", _params[i]);
+            os << buf;
+        }
+        os << ")";
+    }
+    os << " ";
+    for (size_t i = 0; i < _qubits.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << "q[" << _qubits[i] << "]";
+    }
+    return os.str();
+}
+
+bool
+Gate::operator==(const Gate &other) const
+{
+    return _kind == other._kind && _name == other._name &&
+           _qubits == other._qubits && _params == other._params;
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Gate model: the unit of work in a quantum circuit.
+ *
+ * The mapper (src/toqm) treats gates abstractly: it only needs to know
+ * which qubits a gate touches and how many cycles it takes (via
+ * ir::LatencyModel).  The simulator (src/sim) additionally interprets
+ * the gate kind and parameters as a unitary.
+ */
+
+#ifndef TOQM_IR_GATE_HPP
+#define TOQM_IR_GATE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toqm::ir {
+
+/** Enumeration of the gate kinds this stack understands. */
+enum class GateKind : std::uint8_t {
+    // One-qubit gates.
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    SX,
+    RX,
+    RY,
+    RZ,
+    U1,
+    U2,
+    U3,
+    ID,
+    // Two-qubit gates.
+    CX,
+    CZ,
+    CP,      ///< Controlled phase, one angle parameter.
+    Swap,    ///< The routing gate inserted by mappers.
+    GT,      ///< Generic two-qubit gate (Maslov's QFT skeleton convention).
+    RZZ,
+    // Pseudo operations.
+    Barrier, ///< Scheduling barrier across its qubits.
+    Measure, ///< Measurement (kept for round-tripping QASM).
+    Other,   ///< An opaque gate; simulatable only if expanded.
+};
+
+/** @return a stable lower-case mnemonic for @p kind (e.g.\ "cx"). */
+const char *gateKindName(GateKind kind);
+
+/**
+ * @return the GateKind whose mnemonic is @p name, or GateKind::Other if
+ * the name is not a built-in.
+ */
+GateKind gateKindFromName(const std::string &name);
+
+/** @return true if @p kind acts on exactly two qubits. */
+bool isTwoQubitKind(GateKind kind);
+
+/**
+ * A single gate instance in a circuit.
+ *
+ * Qubit operands are indices into the owning circuit's qubit space.
+ * For two-qubit kinds, qubit(0) is the control (where that matters,
+ * e.g.\ CX) and qubit(1) the target.
+ */
+class Gate
+{
+  public:
+    /** Construct a one-qubit gate. */
+    Gate(GateKind kind, int q0, std::vector<double> params = {});
+
+    /** Construct a two-qubit gate. */
+    Gate(GateKind kind, int q0, int q1, std::vector<double> params = {});
+
+    /**
+     * Construct an opaque gate by name.
+     *
+     * @param name QASM-level name, preserved for output.
+     * @param qubits 1 or 2 operand qubits.
+     */
+    Gate(std::string name, std::vector<int> qubits,
+         std::vector<double> params = {});
+
+    GateKind kind() const { return _kind; }
+
+    /** Number of qubit operands (1 or 2; barriers may span more). */
+    int numQubits() const { return static_cast<int>(_qubits.size()); }
+
+    /** @return the @p i-th qubit operand. */
+    int qubit(int i) const { return _qubits[static_cast<size_t>(i)]; }
+
+    const std::vector<int> &qubits() const { return _qubits; }
+
+    const std::vector<double> &params() const { return _params; }
+
+    /** The QASM-level name ("cx", "u3", or an opaque user name). */
+    const std::string &name() const { return _name; }
+
+    bool isTwoQubit() const { return numQubits() == 2; }
+
+    bool isSwap() const { return _kind == GateKind::Swap; }
+
+    bool isBarrier() const { return _kind == GateKind::Barrier; }
+
+    bool isMeasure() const { return _kind == GateKind::Measure; }
+
+    /** @return true if both gates touch at least one common qubit. */
+    bool sharesQubitWith(const Gate &other) const;
+
+    /** @return true if @p q is one of this gate's operands. */
+    bool actsOn(int q) const;
+
+    /** Replace the operand qubits (used when remapping circuits). */
+    void setQubits(std::vector<int> qubits);
+
+    /** Render as pseudo-QASM, e.g.\ "cx q[0], q[3]". */
+    std::string str() const;
+
+    bool operator==(const Gate &other) const;
+
+  private:
+    GateKind _kind;
+    std::string _name;
+    std::vector<int> _qubits;
+    std::vector<double> _params;
+};
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_GATE_HPP

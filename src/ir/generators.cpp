@@ -1,0 +1,237 @@
+#include "generators.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace toqm::ir {
+
+namespace {
+
+/**
+ * Minimal xorshift-style PRNG.  We avoid std::uniform_int_distribution
+ * because its output is implementation-defined; benchmark stand-ins
+ * must be bit-identical across toolchains.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound). */
+    int
+    below(int bound)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(bound));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+/** FNV-1a hash for deterministic name -> seed derivation. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Append a CCX decomposed into 1- and 2-qubit gates. */
+void
+addToffoli(Circuit &c, int a, int b, int t)
+{
+    c.add(Gate(GateKind::H, t));
+    c.addCX(b, t);
+    c.add(Gate(GateKind::Tdg, t));
+    c.addCX(a, t);
+    c.add(Gate(GateKind::T, t));
+    c.addCX(b, t);
+    c.add(Gate(GateKind::Tdg, t));
+    c.addCX(a, t);
+    c.add(Gate(GateKind::T, b));
+    c.add(Gate(GateKind::T, t));
+    c.add(Gate(GateKind::H, t));
+    c.addCX(a, b);
+    c.add(Gate(GateKind::T, a));
+    c.add(Gate(GateKind::Tdg, b));
+    c.addCX(a, b);
+}
+
+} // namespace
+
+Circuit
+qftSkeleton(int n)
+{
+    if (n < 2)
+        throw std::invalid_argument("qftSkeleton: need at least 2 qubits");
+    Circuit c(n, "qft_skeleton_" + std::to_string(n));
+    for (int k = 1; k <= 2 * n - 3; ++k) {
+        for (int i = 0; i < (k + 1) / 2; ++i) {
+            const int j = k - i;
+            if (i < j && j < n)
+                c.addGT(i, j);
+        }
+    }
+    return c;
+}
+
+Circuit
+qftConcrete(int n)
+{
+    if (n < 1)
+        throw std::invalid_argument("qftConcrete: need at least 1 qubit");
+    Circuit c(n, "qft_" + std::to_string(n));
+    for (int i = 0; i < n; ++i) {
+        c.addH(i);
+        for (int j = i + 1; j < n; ++j) {
+            const double angle =
+                std::numbers::pi / std::pow(2.0, j - i);
+            c.addCP(j, i, angle);
+        }
+    }
+    return c;
+}
+
+Circuit
+randomCircuit(int n, int num_gates, double two_qubit_fraction,
+              std::uint64_t seed, double locality)
+{
+    if (n < 2)
+        throw std::invalid_argument("randomCircuit: need at least 2 qubits");
+    if (two_qubit_fraction < 0.0 || two_qubit_fraction > 1.0)
+        throw std::invalid_argument("randomCircuit: bad CX fraction");
+    SplitMix64 rng(seed);
+    Circuit c(n, "random_" + std::to_string(n) + "q_" +
+                     std::to_string(num_gates) + "g");
+    constexpr GateKind one_q_kinds[] = {
+        GateKind::H, GateKind::X, GateKind::T, GateKind::Tdg,
+        GateKind::S, GateKind::RZ,
+    };
+    for (int i = 0; i < num_gates; ++i) {
+        if (rng.unit() < two_qubit_fraction) {
+            const int a = rng.below(n);
+            int b;
+            if (rng.unit() < locality) {
+                // Neighbor on the virtual line.
+                b = (a == 0) ? 1
+                    : (a == n - 1) ? n - 2
+                    : (rng.below(2) == 0 ? a - 1 : a + 1);
+            } else {
+                b = rng.below(n - 1);
+                if (b >= a)
+                    ++b;
+            }
+            c.addCX(a, b);
+        } else {
+            const GateKind kind = one_q_kinds[rng.below(6)];
+            const int q = rng.below(n);
+            if (kind == GateKind::RZ) {
+                c.add(Gate(kind, q,
+                           std::vector<double>{rng.unit() * 2.0 *
+                                               std::numbers::pi}));
+            } else {
+                c.add(Gate(kind, q));
+            }
+        }
+    }
+    return c;
+}
+
+Circuit
+benchmarkStandIn(const std::string &name, int n, int num_gates)
+{
+    Circuit c = randomCircuit(n, num_gates, 0.45, fnv1a(name), 0.75);
+    c.setName(name);
+    return c;
+}
+
+Circuit
+ghz(int n)
+{
+    if (n < 2)
+        throw std::invalid_argument("ghz: need at least 2 qubits");
+    Circuit c(n, "ghz_" + std::to_string(n));
+    c.addH(0);
+    for (int i = 1; i < n; ++i)
+        c.addCX(i - 1, i);
+    return c;
+}
+
+Circuit
+bernsteinVazirani(int n, std::uint64_t secret)
+{
+    if (n < 1 || n > 63)
+        throw std::invalid_argument("bernsteinVazirani: bad width");
+    Circuit c(n + 1, "bv_" + std::to_string(n));
+    const int anc = n;
+    c.addX(anc);
+    c.addH(anc);
+    for (int i = 0; i < n; ++i)
+        c.addH(i);
+    for (int i = 0; i < n; ++i) {
+        if ((secret >> i) & 1ull)
+            c.addCX(i, anc);
+    }
+    for (int i = 0; i < n; ++i)
+        c.addH(i);
+    return c;
+}
+
+Circuit
+rippleCarryAdder(int bits)
+{
+    if (bits < 1)
+        throw std::invalid_argument("rippleCarryAdder: need >= 1 bit");
+    // Register layout: a[0..bits), b[0..bits), carry-in, carry-out.
+    const int n = 2 * bits + 2;
+    Circuit c(n, "adder_" + std::to_string(bits));
+    const auto a = [bits](int i) { return i; };
+    const auto b = [bits](int i) { return bits + i; };
+    const int cin = 2 * bits;
+    const int cout = 2 * bits + 1;
+
+    // MAJ cascade.
+    const auto maj = [&c](int x, int y, int z) {
+        c.addCX(z, y);
+        c.addCX(z, x);
+        addToffoli(c, x, y, z);
+    };
+    const auto uma = [&c](int x, int y, int z) {
+        addToffoli(c, x, y, z);
+        c.addCX(z, x);
+        c.addCX(x, y);
+    };
+
+    maj(cin, b(0), a(0));
+    for (int i = 1; i < bits; ++i)
+        maj(a(i - 1), b(i), a(i));
+    c.addCX(a(bits - 1), cout);
+    for (int i = bits - 1; i >= 1; --i)
+        uma(a(i - 1), b(i), a(i));
+    uma(cin, b(0), a(0));
+    return c;
+}
+
+} // namespace toqm::ir

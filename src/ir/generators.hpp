@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Circuit generators: the workloads of the paper's evaluation.
+ *
+ *  - QFT skeleton circuits in Maslov's GT convention (Section 3): n
+ *    qubits, n(n-1)/2 generic two-qubit gates, organized in parallel
+ *    layers per Fig 10.
+ *  - Concrete QFT (H + controlled-phase), used by the simulator-based
+ *    equivalence tests.
+ *  - Seeded random circuits: stand-ins for the RevLib/Qiskit/ScaffCC
+ *    benchmark files of Tables 1 and 3 (see DESIGN.md, substitutions).
+ *  - Small algorithm circuits (GHZ, Bernstein-Vazirani, ripple-carry
+ *    adder) for the examples.
+ */
+
+#ifndef TOQM_IR_GENERATORS_HPP
+#define TOQM_IR_GENERATORS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "circuit.hpp"
+
+namespace toqm::ir {
+
+/**
+ * The QFT skeleton over @p n qubits (Fig 10): GT(q_i, q_{k-i}) for
+ * k = 1 .. 2n-3, organized in parallel layers so the logical circuit
+ * has linear depth on an all-to-all architecture.
+ */
+Circuit qftSkeleton(int n);
+
+/** Concrete QFT over @p n qubits: H and controlled-phase gates. */
+Circuit qftConcrete(int n);
+
+/**
+ * A seeded pseudo-random circuit.
+ *
+ * @param n number of qubits.
+ * @param num_gates total gate count.
+ * @param two_qubit_fraction fraction of gates that are CX (in
+ *        [0, 1]); the rest are a mix of 1-qubit gates.
+ * @param seed deterministic generator seed.
+ * @param locality probability that a CX partner is a neighbor on a
+ *        virtual line (RevLib-style reversible circuits are highly
+ *        local; 0 gives uniform pairs).
+ */
+Circuit randomCircuit(int n, int num_gates, double two_qubit_fraction,
+                      std::uint64_t seed, double locality = 0.0);
+
+/**
+ * A stand-in for a named benchmark with published qubit and gate
+ * counts (Tables 1 and 3).  Deterministic: the name is hashed into
+ * the seed.  Uses a CX fraction of 0.45 and a 0.75 locality bias,
+ * typical of the RevLib reversible-logic suites (see DESIGN.md,
+ * substitutions).
+ */
+Circuit benchmarkStandIn(const std::string &name, int n, int num_gates);
+
+/** GHZ state preparation: H then a CX chain. */
+Circuit ghz(int n);
+
+/** Bernstein-Vazirani with hidden string @p secret (LSB = qubit 0). */
+Circuit bernsteinVazirani(int n, std::uint64_t secret);
+
+/**
+ * Cuccaro-style ripple-carry adder skeleton over 2*@p bits + 2
+ * qubits (a classic RevLib-style workload shape).
+ */
+Circuit rippleCarryAdder(int bits);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_GENERATORS_HPP

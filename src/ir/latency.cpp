@@ -1,0 +1,37 @@
+#include "latency.hpp"
+
+#include <stdexcept>
+
+namespace toqm::ir {
+
+LatencyModel::LatencyModel(int one_qubit, int two_qubit, int swap)
+    : _oneQubit(one_qubit), _twoQubit(two_qubit), _swap(swap)
+{
+    if (one_qubit < 1 || two_qubit < 1 || swap < 1)
+        throw std::invalid_argument("gate latencies must be >= 1 cycle");
+}
+
+void
+LatencyModel::setKindLatency(GateKind kind, int cycles)
+{
+    if (cycles < 1)
+        throw std::invalid_argument("gate latencies must be >= 1 cycle");
+    _overrides[kind] = cycles;
+}
+
+int
+LatencyModel::latency(const Gate &gate) const
+{
+    auto it = _overrides.find(gate.kind());
+    if (it != _overrides.end())
+        return it->second;
+    if (gate.isBarrier())
+        return 0;
+    if (gate.isSwap())
+        return _swap;
+    if (gate.numQubits() == 2)
+        return _twoQubit;
+    return _oneQubit;
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Latency model: how many cycles each gate occupies its qubits.
+ *
+ * The TOQM paper (Section 2.2) deliberately leaves gate latencies as
+ * model parameters.  This class captures the three presets used in the
+ * paper's evaluation plus arbitrary per-kind overrides:
+ *
+ *  - Tables 1 and 3:  1-qubit = 1 cycle, CX = 2 cycles, SWAP = 6 cycles
+ *    (a SWAP is three CXs on IBM's bidirectional links).
+ *  - Table 2 (OLSQ setup):  every gate = 1 cycle, SWAP = 3 cycles.
+ *  - QFT exact analysis (Section 6.1):  GT = 1 cycle, SWAP = 1 cycle,
+ *    following Maslov's uniform-latency convention.
+ */
+
+#ifndef TOQM_IR_LATENCY_HPP
+#define TOQM_IR_LATENCY_HPP
+
+#include <map>
+
+#include "gate.hpp"
+
+namespace toqm::ir {
+
+/** Cycle cost of gates, parameterized per the paper's evaluation. */
+class LatencyModel
+{
+  public:
+    /**
+     * @param one_qubit cycles for any 1-qubit gate.
+     * @param two_qubit cycles for any non-swap 2-qubit gate.
+     * @param swap cycles for an inserted SWAP.
+     */
+    LatencyModel(int one_qubit, int two_qubit, int swap);
+
+    /** Preset for Tables 1 and 3: (1, 2, 6). */
+    static LatencyModel ibmPreset() { return {1, 2, 6}; }
+
+    /** Preset for Table 2 / OLSQ comparison: (1, 1, 3). */
+    static LatencyModel olsqPreset() { return {1, 1, 3}; }
+
+    /** Preset for QFT exact analysis: every gate (incl.\ swap) 1 cycle. */
+    static LatencyModel qftPreset() { return {1, 1, 1}; }
+
+    /** Override the latency of a specific gate kind. */
+    void setKindLatency(GateKind kind, int cycles);
+
+    /** @return the number of cycles @p gate occupies its qubits. */
+    int latency(const Gate &gate) const;
+
+    int swapLatency() const { return _swap; }
+
+    int oneQubitLatency() const { return _oneQubit; }
+
+    int twoQubitLatency() const { return _twoQubit; }
+
+  private:
+    int _oneQubit;
+    int _twoQubit;
+    int _swap;
+    std::map<GateKind, int> _overrides;
+};
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_LATENCY_HPP

@@ -1,0 +1,62 @@
+#include "mapped_circuit.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace toqm::ir {
+
+std::vector<int>
+invertLayout(const std::vector<int> &layout, int num_physical)
+{
+    std::vector<int> inv(static_cast<size_t>(num_physical), -1);
+    for (size_t l = 0; l < layout.size(); ++l) {
+        const int p = layout[l];
+        if (p < 0 || p >= num_physical || inv[static_cast<size_t>(p)] != -1)
+            throw std::invalid_argument("invertLayout: not injective");
+        inv[static_cast<size_t>(p)] = static_cast<int>(l);
+    }
+    return inv;
+}
+
+bool
+isInjectiveLayout(const std::vector<int> &layout, int num_physical)
+{
+    std::vector<bool> seen(static_cast<size_t>(num_physical), false);
+    for (int p : layout) {
+        if (p < 0 || p >= num_physical || seen[static_cast<size_t>(p)])
+            return false;
+        seen[static_cast<size_t>(p)] = true;
+    }
+    return true;
+}
+
+std::vector<int>
+identityLayout(int n)
+{
+    std::vector<int> layout(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        layout[static_cast<size_t>(i)] = i;
+    return layout;
+}
+
+std::vector<int>
+propagateLayout(const Circuit &physical, const std::vector<int> &initial)
+{
+    std::vector<int> phys2log = invertLayout(initial, physical.numQubits());
+    for (const Gate &g : physical.gates()) {
+        if (!g.isSwap())
+            continue;
+        std::swap(phys2log[static_cast<size_t>(g.qubit(0))],
+                  phys2log[static_cast<size_t>(g.qubit(1))]);
+    }
+    // Re-invert: layout[logical] = physical.
+    std::vector<int> layout(initial.size(), -1);
+    for (size_t p = 0; p < phys2log.size(); ++p) {
+        const int l = phys2log[p];
+        if (l >= 0)
+            layout[static_cast<size_t>(l)] = static_cast<int>(p);
+    }
+    return layout;
+}
+
+} // namespace toqm::ir

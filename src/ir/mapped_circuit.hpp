@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The common result type of every qubit mapper in this repository.
+ *
+ * Layout convention: a layout vector maps logical qubit -> physical
+ * qubit (layout[l] == p).  The physical register may be larger than
+ * the logical one (architectures usually have spare qubits), so a
+ * layout is an injection from [0, num_logical) into
+ * [0, num_physical).  An inserted SWAP in the physical circuit
+ * exchanges the logical qubits resident on its two physical operands.
+ */
+
+#ifndef TOQM_IR_MAPPED_CIRCUIT_HPP
+#define TOQM_IR_MAPPED_CIRCUIT_HPP
+
+#include <vector>
+
+#include "circuit.hpp"
+
+namespace toqm::ir {
+
+/** A hardware-compliant transformed circuit plus its layouts. */
+struct MappedCircuit
+{
+    /** The transformed circuit; operands are PHYSICAL qubit indices. */
+    Circuit physical;
+    /** Initial layout: initialLayout[logical] = physical. */
+    std::vector<int> initialLayout;
+    /** Final layout after all swaps: finalLayout[logical] = physical. */
+    std::vector<int> finalLayout;
+
+    MappedCircuit() : physical(0) {}
+
+    explicit MappedCircuit(Circuit phys, std::vector<int> initial,
+                           std::vector<int> final_layout)
+        : physical(std::move(phys)), initialLayout(std::move(initial)),
+          finalLayout(std::move(final_layout))
+    {}
+};
+
+/**
+ * Invert an injective layout.
+ *
+ * @param layout logical -> physical, injective.
+ * @param num_physical size of the physical register.
+ * @return physical -> logical, with -1 for unoccupied physical qubits.
+ */
+std::vector<int> invertLayout(const std::vector<int> &layout,
+                              int num_physical);
+
+/**
+ * @return true if @p layout is an injection from [0, layout.size())
+ * into [0, num_physical).
+ */
+bool isInjectiveLayout(const std::vector<int> &layout, int num_physical);
+
+/** The identity layout over @p n qubits. */
+std::vector<int> identityLayout(int n);
+
+/**
+ * Recompute the final layout implied by @p initial and the swaps in
+ * @p physical (used both by mappers and by the verifier as a cross
+ * check).
+ */
+std::vector<int> propagateLayout(const Circuit &physical,
+                                 const std::vector<int> &initial);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_MAPPED_CIRCUIT_HPP

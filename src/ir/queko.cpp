@@ -1,0 +1,142 @@
+#include "queko.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace toqm::ir {
+
+namespace {
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    int
+    below(int bound)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(bound));
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace
+
+QuekoBenchmark
+quekoCircuit(int num_physical, const std::vector<std::pair<int, int>> &edges,
+             int depth, double density2q, double density1q,
+             std::uint64_t seed)
+{
+    if (num_physical < 2 || edges.empty())
+        throw std::invalid_argument("quekoCircuit: need a coupled device");
+    if (depth < 1)
+        throw std::invalid_argument("quekoCircuit: depth must be >= 1");
+
+    SplitMix64 rng(seed);
+
+    // Edges incident to each physical qubit, for backbone chaining.
+    std::vector<std::vector<int>> incident(
+        static_cast<size_t>(num_physical));
+    for (size_t e = 0; e < edges.size(); ++e) {
+        incident[static_cast<size_t>(edges[e].first)].push_back(
+            static_cast<int>(e));
+        incident[static_cast<size_t>(edges[e].second)].push_back(
+            static_cast<int>(e));
+    }
+
+    Circuit phys(num_physical,
+                 "queko_d" + std::to_string(depth));
+    const int want2q = std::max(
+        0, static_cast<int>(density2q * num_physical / 2.0));
+    const int want1q =
+        std::max(0, static_cast<int>(density1q * num_physical));
+    constexpr GateKind one_q_kinds[] = {GateKind::X, GateKind::H,
+                                        GateKind::T};
+
+    int backbone = -1;
+    for (int layer = 0; layer < depth; ++layer) {
+        std::vector<bool> busy(static_cast<size_t>(num_physical), false);
+
+        // 1. Backbone gate: must touch last layer's backbone qubit so
+        //    the dependency chain spans all layers.
+        if (layer == 0 || incident[static_cast<size_t>(backbone)].empty()) {
+            const auto &[a, b] =
+                edges[static_cast<size_t>(rng.below(
+                    static_cast<int>(edges.size())))];
+            phys.addCX(a, b);
+            busy[static_cast<size_t>(a)] = busy[static_cast<size_t>(b)] =
+                true;
+            backbone = (rng.below(2) == 0) ? a : b;
+        } else {
+            const auto &inc = incident[static_cast<size_t>(backbone)];
+            const auto &[a, b] = edges[static_cast<size_t>(
+                inc[static_cast<size_t>(rng.below(
+                    static_cast<int>(inc.size())))])];
+            phys.addCX(a, b);
+            busy[static_cast<size_t>(a)] = busy[static_cast<size_t>(b)] =
+                true;
+            backbone = (a == backbone) ? b : a;
+        }
+
+        // 2. Fill with additional disjoint 2-qubit gates.
+        int placed2q = 1;
+        for (int attempt = 0;
+             placed2q < want2q && attempt < 4 * want2q; ++attempt) {
+            const auto &[a, b] = edges[static_cast<size_t>(
+                rng.below(static_cast<int>(edges.size())))];
+            if (busy[static_cast<size_t>(a)] ||
+                busy[static_cast<size_t>(b)]) {
+                continue;
+            }
+            phys.addCX(a, b);
+            busy[static_cast<size_t>(a)] = busy[static_cast<size_t>(b)] =
+                true;
+            ++placed2q;
+        }
+
+        // 3. Fill with 1-qubit gates on idle qubits.
+        int placed1q = 0;
+        for (int attempt = 0;
+             placed1q < want1q && attempt < 4 * want1q + 4; ++attempt) {
+            const int q = rng.below(num_physical);
+            if (busy[static_cast<size_t>(q)])
+                continue;
+            phys.add(Gate(one_q_kinds[rng.below(3)], q));
+            busy[static_cast<size_t>(q)] = true;
+            ++placed1q;
+        }
+    }
+
+    // Scramble physical labels with a hidden permutation
+    // (Fisher-Yates): logical l sits on physical hiddenLayout[l].
+    std::vector<int> phys2log(static_cast<size_t>(num_physical));
+    for (int i = 0; i < num_physical; ++i)
+        phys2log[static_cast<size_t>(i)] = i;
+    for (int i = num_physical - 1; i > 0; --i)
+        std::swap(phys2log[static_cast<size_t>(i)],
+                  phys2log[static_cast<size_t>(rng.below(i + 1))]);
+
+    QuekoBenchmark bench;
+    bench.circuit = phys.remapped(phys2log);
+    bench.circuit.setName(phys.name());
+    bench.optimalDepth = depth;
+    bench.hiddenLayout.assign(static_cast<size_t>(num_physical), -1);
+    for (int p = 0; p < num_physical; ++p)
+        bench.hiddenLayout[static_cast<size_t>(
+            phys2log[static_cast<size_t>(p)])] = p;
+    return bench;
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * QUEKO-style benchmark generator (Tan & Cong, the benchmark family
+ * used in the paper's Table 2).
+ *
+ * A QUEKO circuit is constructed directly onto a device coupling
+ * graph, layer by layer, with a dependency backbone threading all
+ * layers; the physical qubit labels are then scrambled by a hidden
+ * random permutation.  By construction the circuit
+ *  (a) has a dependency critical path of exactly @c depth layers, and
+ *  (b) can be executed in @c depth cycles with ZERO inserted swaps by
+ *      undoing the hidden permutation.
+ * Hence its optimal depth under a unit latency model is known exactly
+ * — giving Table 2 a ground-truth optimum without an external SMT
+ * solver (see DESIGN.md, substitutions).
+ */
+
+#ifndef TOQM_IR_QUEKO_HPP
+#define TOQM_IR_QUEKO_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "circuit.hpp"
+
+namespace toqm::ir {
+
+/** The output of the QUEKO generator. */
+struct QuekoBenchmark
+{
+    /** The scrambled logical circuit handed to mappers. */
+    Circuit circuit;
+    /** Ground-truth optimal depth (cycles, all gates 1 cycle). */
+    int optimalDepth;
+    /** The hidden layout (logical -> physical) that achieves it. */
+    std::vector<int> hiddenLayout;
+
+    QuekoBenchmark() : circuit(0), optimalDepth(0) {}
+};
+
+/**
+ * Generate a QUEKO-style benchmark.
+ *
+ * @param num_physical number of device qubits.
+ * @param edges device coupling edges (undirected).
+ * @param depth target (and guaranteed-optimal) depth in layers.
+ * @param density2q average fraction of qubits busy with 2-qubit
+ *        gates per layer (QUEKO's two-qubit gate density).
+ * @param density1q average fraction of qubits busy with 1-qubit
+ *        gates per layer.
+ * @param seed deterministic seed.
+ */
+QuekoBenchmark quekoCircuit(int num_physical,
+                            const std::vector<std::pair<int, int>> &edges,
+                            int depth, double density2q, double density1q,
+                            std::uint64_t seed);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_QUEKO_HPP

@@ -1,0 +1,74 @@
+#include "schedule.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "dag.hpp"
+
+namespace toqm::ir {
+
+int
+Schedule::finishCycle(int i, const Circuit &circuit,
+                      const LatencyModel &lat) const
+{
+    return startCycle[static_cast<size_t>(i)] - 1 +
+           lat.latency(circuit.gate(i));
+}
+
+Schedule
+scheduleAsap(const Circuit &circuit, const LatencyModel &lat)
+{
+    const DependencyDag dag(circuit);
+    Schedule sched;
+    sched.startCycle = dag.asapStart(lat);
+    sched.makespan = dag.criticalPath(lat);
+    return sched;
+}
+
+int
+idealCycles(const Circuit &circuit, const LatencyModel &lat)
+{
+    return scheduleAsap(circuit.withoutSwapsAndBarriers(), lat).makespan;
+}
+
+std::string
+renderTimeline(const Circuit &circuit, const LatencyModel &lat,
+               int max_cycles)
+{
+    const Schedule sched = scheduleAsap(circuit, lat);
+    const int cycles = std::min(sched.makespan, max_cycles);
+    const int nq = circuit.numQubits();
+
+    // cell[q][c]: short label of the gate busy on qubit q at cycle c.
+    std::vector<std::vector<std::string>> cell(
+        static_cast<size_t>(nq),
+        std::vector<std::string>(static_cast<size_t>(cycles), "."));
+    for (int i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        if (g.isBarrier())
+            continue;
+        const int s = sched.startCycle[static_cast<size_t>(i)];
+        const int f = sched.finishCycle(i, circuit, lat);
+        std::string label = g.isSwap() ? "sw" : g.name().substr(0, 2);
+        label += std::to_string(i);
+        for (int c = s; c <= std::min(f, cycles); ++c) {
+            for (int q : g.qubits())
+                cell[static_cast<size_t>(q)][static_cast<size_t>(c - 1)] =
+                    label;
+        }
+    }
+
+    std::ostringstream os;
+    os << "cycles: " << sched.makespan << "\n";
+    for (int q = 0; q < nq; ++q) {
+        os << "q" << std::left << std::setw(3) << q << "|";
+        for (int c = 0; c < cycles; ++c)
+            os << std::setw(6) << cell[static_cast<size_t>(q)]
+                                      [static_cast<size_t>(c)];
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace toqm::ir

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASAP scheduling of a concrete circuit under a latency model.
+ *
+ * Used to score the circuits produced by every mapper in this
+ * repository (TOQM optimal, TOQM heuristic, SABRE, Zulehner) with a
+ * single consistent clock, and to compute the paper's "ideal cycle"
+ * column (schedule of the logical circuit, ignoring connectivity).
+ */
+
+#ifndef TOQM_IR_SCHEDULE_HPP
+#define TOQM_IR_SCHEDULE_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit.hpp"
+#include "latency.hpp"
+
+namespace toqm::ir {
+
+/** The result of scheduling a circuit. */
+struct Schedule
+{
+    /** 1-based start cycle of each gate. */
+    std::vector<int> startCycle;
+    /** Total cycles (the finish cycle of the last gate). */
+    int makespan = 0;
+
+    /** Finish cycle of gate @p i given @p lat (inclusive). */
+    int finishCycle(int i, const Circuit &circuit,
+                    const LatencyModel &lat) const;
+};
+
+/**
+ * Compute the ASAP schedule of @p circuit under @p lat.
+ *
+ * Each qubit executes one gate at a time; a gate starts as soon as all
+ * gates earlier in program order that share one of its qubits have
+ * finished.  Barriers take zero cycles but synchronize their operands.
+ */
+Schedule scheduleAsap(const Circuit &circuit, const LatencyModel &lat);
+
+/**
+ * The paper's "ideal cycle" count: the makespan of @p circuit on an
+ * all-to-all architecture (connectivity never constrains anything, so
+ * this is just the ASAP makespan of the logical circuit).
+ */
+int idealCycles(const Circuit &circuit, const LatencyModel &lat);
+
+/**
+ * Render a cycle-by-cycle occupancy table (rows = qubits, columns =
+ * cycles) like the paper's Fig 4(a).  Intended for small circuits.
+ */
+std::string renderTimeline(const Circuit &circuit, const LatencyModel &lat,
+                           int max_cycles = 120);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_SCHEDULE_HPP

@@ -1,0 +1,242 @@
+#include "transforms.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "schedule.hpp"
+
+namespace toqm::ir {
+
+namespace {
+
+bool
+isSelfInverse(const Gate &g)
+{
+    switch (g.kind()) {
+      case GateKind::H:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Operand order matters for CX; not for the symmetric kinds. */
+bool
+sameOperation(const Gate &a, const Gate &b)
+{
+    if (a.kind() != b.kind() || a.params() != b.params())
+        return false;
+    if (a.qubits() == b.qubits())
+        return true;
+    const bool symmetric = a.kind() == GateKind::Swap ||
+                           a.kind() == GateKind::CZ ||
+                           a.kind() == GateKind::CP ||
+                           a.kind() == GateKind::GT ||
+                           a.kind() == GateKind::RZZ;
+    if (!symmetric || a.numQubits() != 2)
+        return false;
+    return a.qubit(0) == b.qubit(1) && a.qubit(1) == b.qubit(0);
+}
+
+/** True if gates i and j act on the same qubit set. */
+bool
+sameQubitSet(const Gate &a, const Gate &b)
+{
+    if (a.numQubits() != b.numQubits())
+        return false;
+    for (int q : a.qubits()) {
+        if (!b.actsOn(q))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Circuit
+cancelRedundantGates(const Circuit &circuit)
+{
+    std::vector<Gate> gates(circuit.gates().begin(),
+                            circuit.gates().end());
+    std::vector<char> alive(gates.size(), 1);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < gates.size(); ++i) {
+            if (!alive[i] || !isSelfInverse(gates[i]) ||
+                gates[i].isBarrier()) {
+                continue;
+            }
+            // Find the next alive gate sharing a qubit with i.
+            for (size_t j = i + 1; j < gates.size(); ++j) {
+                if (!alive[j])
+                    continue;
+                if (!gates[j].sharesQubitWith(gates[i]))
+                    continue;
+                if (sameOperation(gates[i], gates[j]) &&
+                    sameQubitSet(gates[i], gates[j])) {
+                    alive[i] = alive[j] = 0;
+                    changed = true;
+                }
+                break; // any interposed sharing gate blocks i
+            }
+        }
+    }
+
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (size_t i = 0; i < gates.size(); ++i) {
+        if (alive[i])
+            out.add(std::move(gates[i]));
+    }
+    return out;
+}
+
+Circuit
+normalizeSwapGateOrder(const Circuit &circuit, bool gate_first)
+{
+    std::vector<Gate> gates(circuit.gates().begin(),
+                            circuit.gates().end());
+
+    bool changed = true;
+    int guard = 4 * circuit.size() + 8;
+    while (changed && guard-- > 0) {
+        changed = false;
+        for (size_t i = 0; i + 1 < gates.size(); ++i) {
+            Gate &a = gates[i];
+            // Find the next gate sharing a qubit with a.
+            size_t j = i + 1;
+            while (j < gates.size() && !gates[j].sharesQubitWith(a))
+                ++j;
+            if (j >= gates.size())
+                continue;
+            Gate &b = gates[j];
+            if (a.numQubits() != 2 || b.numQubits() != 2 ||
+                !sameQubitSet(a, b)) {
+                continue;
+            }
+            // Exactly one of the two must be a swap.
+            if (a.isSwap() == b.isSwap())
+                continue;
+            // Nothing else may touch the pair in between (guaranteed
+            // by the "next sharing gate" scan only if the interposed
+            // gates avoid BOTH qubits; the scan above stops at the
+            // first sharing gate, so it is).
+            const bool swap_first = a.isSwap();
+            if (swap_first == !gate_first)
+                continue; // already in the preferred order
+
+            // SWAP;G  ==  G~;SWAP   (and symmetrically), where G~
+            // has its operands exchanged.
+            Gate gate = swap_first ? b : a;
+            Gate swap = swap_first ? a : b;
+            gate.setQubits({gate.qubit(1), gate.qubit(0)});
+            if (gate_first) {
+                gates[i] = gate;
+                gates[j] = swap;
+            } else {
+                gates[i] = swap;
+                gates[j] = gate;
+            }
+            changed = true;
+        }
+    }
+
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (auto &g : gates)
+        out.add(std::move(g));
+    return out;
+}
+
+int
+normalizedDepth(const Circuit &circuit, const LatencyModel &lat)
+{
+    return scheduleAsap(cancelRedundantGates(circuit), lat).makespan;
+}
+
+std::vector<std::string>
+layerSignature(const Circuit &circuit, const LatencyModel &lat)
+{
+    const Schedule sched = scheduleAsap(circuit, lat);
+    std::vector<std::vector<std::string>> per_cycle(
+        static_cast<size_t>(sched.makespan));
+    for (int i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        if (g.isBarrier())
+            continue;
+        std::ostringstream os;
+        os << g.name() << "@";
+        for (size_t k = 0; k < g.qubits().size(); ++k) {
+            if (k > 0)
+                os << ",";
+            os << g.qubits()[k];
+        }
+        per_cycle[static_cast<size_t>(
+                      sched.startCycle[static_cast<size_t>(i)] - 1)]
+            .push_back(os.str());
+    }
+    std::vector<std::string> out;
+    out.reserve(per_cycle.size());
+    for (auto &ops : per_cycle) {
+        std::sort(ops.begin(), ops.end());
+        std::string joined;
+        for (size_t k = 0; k < ops.size(); ++k) {
+            if (k > 0)
+                joined += ";";
+            joined += ops[k];
+        }
+        out.push_back(std::move(joined));
+    }
+    return out;
+}
+
+int
+detectRecurrence(const std::vector<std::string> &signature, int offset,
+                 int max_period, bool ignore_counts)
+{
+    // Reduce each layer to its op-kind shape (multiset or set).
+    const auto shape = [ignore_counts](const std::string &layer) {
+        std::map<std::string, int> kinds;
+        std::string token;
+        std::istringstream in(layer);
+        while (std::getline(in, token, ';')) {
+            const size_t at = token.find('@');
+            ++kinds[token.substr(0, at)];
+        }
+        std::ostringstream os;
+        for (const auto &[kind, count] : kinds) {
+            os << kind;
+            if (!ignore_counts)
+                os << "*" << count;
+            os << "|";
+        }
+        return os.str();
+    };
+
+    std::vector<std::string> shapes;
+    shapes.reserve(signature.size());
+    for (const auto &layer : signature)
+        shapes.push_back(shape(layer));
+
+    const int n = static_cast<int>(shapes.size());
+    for (int p = 1; p <= max_period; ++p) {
+        if (offset + 2 * p > n)
+            break; // need at least two full periods to claim one
+        bool ok = true;
+        for (int i = offset; i + p < n && ok; ++i)
+            ok = shapes[static_cast<size_t>(i)] ==
+                 shapes[static_cast<size_t>(i + p)];
+        if (ok)
+            return p;
+    }
+    return 0;
+}
+
+} // namespace toqm::ir

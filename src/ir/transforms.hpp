@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Circuit transformations from the paper's Appendix B — the manual
+ * steps the authors apply when generalizing optimal solutions, here
+ * automated (their stated future work):
+ *
+ *  - **swap/gate commutation**: if a SWAP is immediately followed by
+ *    a two-qubit gate on the same pair, the gate can be moved in
+ *    front of the swap with its operands reversed (and vice versa);
+ *  - **cancelable swaps**: two identical SWAPs with nothing on
+ *    either qubit in between cancel;
+ *  - **self-inverse gate cancellation**: adjacent identical
+ *    self-inverse gates (H, X, Y, Z, CX, CZ, SWAP) annihilate;
+ *  - **layer signature / recurrence detection**: the helper the
+ *    pattern-discovery workflow needs to spot a periodic optimal
+ *    solution among many.
+ *
+ * All rewrites preserve circuit semantics exactly (asserted against
+ * the statevector simulator in the tests).
+ */
+
+#ifndef TOQM_IR_TRANSFORMS_HPP
+#define TOQM_IR_TRANSFORMS_HPP
+
+#include <string>
+#include <vector>
+
+#include "circuit.hpp"
+#include "latency.hpp"
+
+namespace toqm::ir {
+
+/**
+ * Cancel adjacent redundant gates: identical self-inverse gates (or
+ * identical SWAPs) acting on the same operands with no interposed
+ * gate on any of those operands.  Applied to a fixed point.
+ *
+ * @return the rewritten circuit.
+ */
+Circuit cancelRedundantGates(const Circuit &circuit);
+
+/**
+ * Normalize the order of adjacent SWAP / two-qubit-gate pairs on the
+ * same qubit pair (Appendix B / Fig 16: "if a swap is followed by a
+ * two-qubit gate, the two-qubit gate can be moved in front of the
+ * swap by reversing [its operands], and the transformed circuit is
+ * equivalent").  Fixing one convention across the circuit makes a
+ * recurring pattern visible where raw solver output hides it.
+ *
+ * Gates with asymmetric operands (CX) keep correctness because the
+ * operand reversal is applied; symmetric kinds (CZ, CP, GT, RZZ) are
+ * unchanged up to operand order.
+ *
+ * @param gate_first if true, prefer "gate before swap" order (the
+ *        Fig 2 convention); if false, prefer "swap before gate".
+ */
+Circuit normalizeSwapGateOrder(const Circuit &circuit, bool gate_first);
+
+/**
+ * Depth under @p lat after the cheap normalizations above — used to
+ * compare candidate optimal solutions on equal footing.
+ */
+int normalizedDepth(const Circuit &circuit, const LatencyModel &lat);
+
+/**
+ * Per-cycle signature of a circuit's schedule: each cycle is encoded
+ * as a sorted list of "kind@qubits" strings.  Two circuits with the
+ * same signature sequence execute identically cycle by cycle.
+ */
+std::vector<std::string> layerSignature(const Circuit &circuit,
+                                        const LatencyModel &lat);
+
+/**
+ * Detect a recurring period in a layer-signature *shape* sequence:
+ * the smallest p such that cycles [offset, n) repeat with period p
+ * when each layer is reduced to its op-kind shape (the Fig 11 /
+ * Fig 12 sense of "recurring pattern": GT layer, swap layer, GT
+ * layer, ... repeating).
+ *
+ * @param ignore_counts reduce each layer to the SET of op kinds
+ *        rather than the multiset — the butterfly's layers grow and
+ *        shrink in width while alternating GT/SWAP, so the paper's
+ *        "recurring pattern" is a kinds-only notion.
+ * @return the period, or 0 if none with p <= max_period.
+ */
+int detectRecurrence(const std::vector<std::string> &signature,
+                     int offset = 0, int max_period = 8,
+                     bool ignore_counts = false);
+
+} // namespace toqm::ir
+
+#endif // TOQM_IR_TRANSFORMS_HPP

@@ -1,0 +1,96 @@
+#include "ast.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <stdexcept>
+
+namespace toqm::qasm {
+
+std::string
+NumberExpr::str() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", _value);
+    return buf;
+}
+
+double
+PiExpr::eval(const Env &) const
+{
+    return std::numbers::pi;
+}
+
+double
+ParamExpr::eval(const Env &env) const
+{
+    const auto it = env.find(_name);
+    if (it == env.end())
+        throw std::runtime_error("unbound gate parameter: " + _name);
+    return it->second;
+}
+
+double
+BinaryExpr::eval(const Env &env) const
+{
+    const double a = _lhs->eval(env);
+    const double b = _rhs->eval(env);
+    switch (_op) {
+      case '+': return a + b;
+      case '-': return a - b;
+      case '*': return a * b;
+      case '/':
+        if (b == 0.0)
+            throw std::runtime_error("division by zero in QASM expression");
+        return a / b;
+      case '^': return std::pow(a, b);
+      default:
+        throw std::runtime_error("bad binary operator");
+    }
+}
+
+double
+CallExpr::eval(const Env &env) const
+{
+    const double a = _arg->eval(env);
+    if (_func == "sin")
+        return std::sin(a);
+    if (_func == "cos")
+        return std::cos(a);
+    if (_func == "tan")
+        return std::tan(a);
+    if (_func == "exp")
+        return std::exp(a);
+    if (_func == "ln")
+        return std::log(a);
+    if (_func == "sqrt")
+        return std::sqrt(a);
+    throw std::runtime_error("unknown function: " + _func);
+}
+
+int
+Program::totalQubits() const
+{
+    int total = 0;
+    for (const auto &reg : qregs)
+        total += reg.size;
+    return total;
+}
+
+int
+Program::qubitOffset(const std::string &reg, int idx) const
+{
+    int offset = 0;
+    for (const auto &r : qregs) {
+        if (r.name == reg) {
+            if (idx < 0 || idx >= r.size)
+                throw std::out_of_range("qubit index out of range: " + reg +
+                                        "[" + std::to_string(idx) + "]");
+            return offset + idx;
+        }
+        offset += r.size;
+    }
+    throw std::out_of_range("unknown qreg: " + reg);
+}
+
+} // namespace toqm::qasm

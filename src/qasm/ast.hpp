@@ -1,0 +1,240 @@
+/**
+ * @file
+ * AST for OpenQASM 2.0 programs.
+ *
+ * Expressions are kept symbolic so that user `gate` definitions can be
+ * expanded with parameter substitution at each call site; evaluation
+ * happens against an environment mapping parameter names to values.
+ */
+
+#ifndef TOQM_QASM_AST_HPP
+#define TOQM_QASM_AST_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace toqm::qasm {
+
+/** Parameter environment used when evaluating expressions. */
+using Env = std::map<std::string, double>;
+
+/** Abstract expression node. */
+class Expr
+{
+  public:
+    virtual ~Expr() = default;
+
+    /**
+     * Evaluate against @p env.
+     * @throws std::runtime_error on unbound identifiers.
+     */
+    virtual double eval(const Env &env) const = 0;
+
+    /** Render the expression back to QASM text. */
+    virtual std::string str() const = 0;
+
+    virtual std::unique_ptr<Expr> clone() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** A numeric literal. */
+class NumberExpr : public Expr
+{
+  public:
+    explicit NumberExpr(double value) : _value(value) {}
+
+    double eval(const Env &) const override { return _value; }
+
+    std::string str() const override;
+
+    ExprPtr clone() const override
+    {
+        return std::make_unique<NumberExpr>(_value);
+    }
+
+  private:
+    double _value;
+};
+
+/** The constant pi. */
+class PiExpr : public Expr
+{
+  public:
+    double eval(const Env &) const override;
+
+    std::string str() const override { return "pi"; }
+
+    ExprPtr clone() const override { return std::make_unique<PiExpr>(); }
+};
+
+/** A gate-parameter reference. */
+class ParamExpr : public Expr
+{
+  public:
+    explicit ParamExpr(std::string name) : _name(std::move(name)) {}
+
+    double eval(const Env &env) const override;
+
+    std::string str() const override { return _name; }
+
+    ExprPtr clone() const override
+    {
+        return std::make_unique<ParamExpr>(_name);
+    }
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+};
+
+/** Unary negation. */
+class NegExpr : public Expr
+{
+  public:
+    explicit NegExpr(ExprPtr operand) : _operand(std::move(operand)) {}
+
+    double eval(const Env &env) const override
+    {
+        return -_operand->eval(env);
+    }
+
+    std::string str() const override { return "-(" + _operand->str() + ")"; }
+
+    ExprPtr clone() const override
+    {
+        return std::make_unique<NegExpr>(_operand->clone());
+    }
+
+  private:
+    ExprPtr _operand;
+};
+
+/** Binary arithmetic: + - * / ^. */
+class BinaryExpr : public Expr
+{
+  public:
+    BinaryExpr(char op, ExprPtr lhs, ExprPtr rhs)
+        : _op(op), _lhs(std::move(lhs)), _rhs(std::move(rhs))
+    {}
+
+    double eval(const Env &env) const override;
+
+    std::string str() const override
+    {
+        return "(" + _lhs->str() + " " + _op + " " + _rhs->str() + ")";
+    }
+
+    ExprPtr clone() const override
+    {
+        return std::make_unique<BinaryExpr>(_op, _lhs->clone(),
+                                            _rhs->clone());
+    }
+
+  private:
+    char _op;
+    ExprPtr _lhs;
+    ExprPtr _rhs;
+};
+
+/** Unary function call: sin, cos, tan, exp, ln, sqrt. */
+class CallExpr : public Expr
+{
+  public:
+    CallExpr(std::string func, ExprPtr arg)
+        : _func(std::move(func)), _arg(std::move(arg))
+    {}
+
+    double eval(const Env &env) const override;
+
+    std::string str() const override
+    {
+        return _func + "(" + _arg->str() + ")";
+    }
+
+    ExprPtr clone() const override
+    {
+        return std::make_unique<CallExpr>(_func, _arg->clone());
+    }
+
+  private:
+    std::string _func;
+    ExprPtr _arg;
+};
+
+/** A register reference: whole register or a single element. */
+struct Argument
+{
+    std::string reg;
+    int index = -1; ///< -1 means the whole register (broadcast).
+};
+
+/** One operation inside a `gate` body. */
+struct GateBodyOp
+{
+    std::string name;               ///< "U", "CX", "barrier" or a gate.
+    std::vector<ExprPtr> params;    ///< Symbolic in the decl's params.
+    std::vector<std::string> qargs; ///< Names of the decl's qubit args.
+};
+
+/** A `gate` or `opaque` declaration. */
+struct GateDecl
+{
+    std::string name;
+    std::vector<std::string> params;
+    std::vector<std::string> qargs;
+    std::vector<GateBodyOp> body; ///< Empty for opaque declarations.
+    bool opaque = false;
+};
+
+/** Top-level statement kinds. */
+enum class StmtKind {
+    Qop,     ///< U, CX or named gate application.
+    Measure,
+    Reset,
+    Barrier,
+};
+
+/** A top-level statement (optionally guarded by `if (creg == n)`). */
+struct Statement
+{
+    StmtKind kind = StmtKind::Qop;
+    std::string name;             ///< Gate name for Qop.
+    std::vector<ExprPtr> params;  ///< Evaluable (no free gate params).
+    std::vector<Argument> args;   ///< Quantum arguments.
+    Argument measureTarget;       ///< Classical target for Measure.
+    bool conditional = false;
+    std::string condReg;
+    long condValue = 0;
+    int line = 0;
+};
+
+/** A register declaration. */
+struct RegDecl
+{
+    std::string name;
+    int size = 0;
+};
+
+/** A parsed OpenQASM 2.0 program. */
+struct Program
+{
+    std::string version = "2.0";
+    std::vector<RegDecl> qregs;
+    std::vector<RegDecl> cregs;
+    std::map<std::string, GateDecl> gates;
+    std::vector<Statement> statements;
+
+    /** Total number of quantum bits across all qregs. */
+    int totalQubits() const;
+
+    /** Flat qubit index of @p reg element @p idx. */
+    int qubitOffset(const std::string &reg, int idx) const;
+};
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_AST_HPP

@@ -1,0 +1,245 @@
+#include "importer.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "parser.hpp"
+
+namespace toqm::qasm {
+
+namespace {
+
+/** Native gate names the IR represents directly. */
+const std::map<std::string, ir::GateKind> &
+nativeKinds()
+{
+    static const std::map<std::string, ir::GateKind> kinds = {
+        {"h", ir::GateKind::H},     {"x", ir::GateKind::X},
+        {"y", ir::GateKind::Y},     {"z", ir::GateKind::Z},
+        {"s", ir::GateKind::S},     {"sdg", ir::GateKind::Sdg},
+        {"t", ir::GateKind::T},     {"tdg", ir::GateKind::Tdg},
+        {"sx", ir::GateKind::SX},   {"id", ir::GateKind::ID},
+        {"rx", ir::GateKind::RX},   {"ry", ir::GateKind::RY},
+        {"rz", ir::GateKind::RZ},   {"u1", ir::GateKind::U1},
+        {"u2", ir::GateKind::U2},   {"u3", ir::GateKind::U3},
+        {"cx", ir::GateKind::CX},   {"cz", ir::GateKind::CZ},
+        {"cp", ir::GateKind::CP},   {"cu1", ir::GateKind::CP},
+        {"swap", ir::GateKind::Swap}, {"rzz", ir::GateKind::RZZ},
+    };
+    return kinds;
+}
+
+/** Recursive gate-application expander. */
+class Emitter
+{
+  public:
+    Emitter(const Program &program, const ImportOptions &options,
+            ImportResult &result)
+        : _program(program), _options(options), _result(result)
+    {}
+
+    /**
+     * Emit one gate application on concrete flat qubits.
+     *
+     * @param name gate name ("U", "CX" or a declared gate).
+     * @param params evaluated parameter values.
+     * @param qubits concrete flat qubit indices.
+     * @param depth expansion recursion depth guard.
+     */
+    void
+    apply(const std::string &name, const std::vector<double> &params,
+          const std::vector<int> &qubits, int depth)
+    {
+        if (depth > 64)
+            throw std::runtime_error("gate expansion too deep (recursive "
+                                     "gate definition?): " + name);
+
+        if (name == "U") {
+            _result.circuit.add(
+                ir::Gate(ir::GateKind::U3, qubits.at(0), params));
+            return;
+        }
+        if (name == "CX") {
+            _result.circuit.add(
+                ir::Gate(ir::GateKind::CX, qubits.at(0), qubits.at(1)));
+            return;
+        }
+        if (name == "barrier") {
+            _result.circuit.add(ir::Gate("barrier", qubits));
+            return;
+        }
+
+        const auto native = nativeKinds().find(name);
+        if (native != nativeKinds().end()) {
+            if (qubits.size() == 1) {
+                _result.circuit.add(
+                    ir::Gate(native->second, qubits[0], params));
+            } else {
+                _result.circuit.add(ir::Gate(native->second, qubits[0],
+                                             qubits[1], params));
+            }
+            return;
+        }
+
+        const auto it = _program.gates.find(name);
+        if (it == _program.gates.end())
+            throw std::runtime_error("use of undeclared gate: " + name);
+        const GateDecl &decl = it->second;
+
+        if (decl.opaque) {
+            if (qubits.size() > 2)
+                throw std::runtime_error(
+                    "opaque gate with more than 2 qubits cannot be "
+                    "lowered: " + name);
+            _result.circuit.add(ir::Gate(name, qubits, params));
+            return;
+        }
+
+        // Macro-expand: bind params and qargs, then emit the body.
+        Env env;
+        for (size_t i = 0; i < decl.params.size(); ++i)
+            env[decl.params[i]] = params.at(i);
+        std::map<std::string, int> qbind;
+        for (size_t i = 0; i < decl.qargs.size(); ++i)
+            qbind[decl.qargs[i]] = qubits.at(i);
+
+        for (const GateBodyOp &op : decl.body) {
+            std::vector<double> sub_params;
+            sub_params.reserve(op.params.size());
+            for (const ExprPtr &e : op.params)
+                sub_params.push_back(e->eval(env));
+            std::vector<int> sub_qubits;
+            sub_qubits.reserve(op.qargs.size());
+            for (const std::string &qa : op.qargs)
+                sub_qubits.push_back(qbind.at(qa));
+            apply(op.name, sub_params, sub_qubits, depth + 1);
+        }
+    }
+
+  private:
+    const Program &_program;
+    const ImportOptions &_options;
+    ImportResult &_result;
+};
+
+/** Resolve a (possibly whole-register) argument to flat indices. */
+std::vector<int>
+resolveArg(const Program &program, const Argument &arg)
+{
+    for (const RegDecl &reg : program.qregs) {
+        if (reg.name != arg.reg)
+            continue;
+        std::vector<int> out;
+        if (arg.index >= 0) {
+            out.push_back(program.qubitOffset(arg.reg, arg.index));
+        } else {
+            for (int i = 0; i < reg.size; ++i)
+                out.push_back(program.qubitOffset(arg.reg, i));
+        }
+        return out;
+    }
+    throw std::runtime_error("unknown qreg: " + arg.reg);
+}
+
+} // namespace
+
+ImportResult
+importProgram(const Program &program, const ImportOptions &options)
+{
+    ImportResult result;
+    const int total = program.totalQubits();
+    result.circuit = ir::Circuit(total, "qasm");
+    for (const RegDecl &reg : program.qregs) {
+        for (int i = 0; i < reg.size; ++i)
+            result.qubitNames.push_back(reg.name + "[" +
+                                        std::to_string(i) + "]");
+    }
+
+    Emitter emitter(program, options, result);
+
+    for (const Statement &stmt : program.statements) {
+        if (stmt.conditional && !options.allowConditionals)
+            throw std::runtime_error(
+                "line " + std::to_string(stmt.line) +
+                ": classically controlled operations are not supported "
+                "(set ImportOptions::allowConditionals to import the "
+                "operation unconditionally)");
+
+        switch (stmt.kind) {
+          case StmtKind::Barrier: {
+            std::vector<int> qubits;
+            for (const Argument &arg : stmt.args) {
+                for (int q : resolveArg(program, arg))
+                    qubits.push_back(q);
+            }
+            result.circuit.add(ir::Gate("barrier", qubits));
+            break;
+          }
+          case StmtKind::Reset: {
+            for (int q : resolveArg(program, stmt.args.at(0)))
+                result.circuit.add(ir::Gate("reset", {q}));
+            break;
+          }
+          case StmtKind::Measure: {
+            if (!options.keepMeasures)
+                break;
+            const auto qubits = resolveArg(program, stmt.args.at(0));
+            for (size_t i = 0; i < qubits.size(); ++i) {
+                const int cbit = stmt.measureTarget.index >= 0
+                                     ? stmt.measureTarget.index
+                                     : static_cast<int>(i);
+                result.measures.push_back(
+                    {result.circuit.size(), stmt.measureTarget.reg, cbit});
+                result.circuit.add(ir::Gate("measure", {qubits[i]}));
+            }
+            break;
+          }
+          case StmtKind::Qop: {
+            // Evaluate parameters (top level has no free parameters).
+            std::vector<double> params;
+            params.reserve(stmt.params.size());
+            for (const ExprPtr &e : stmt.params)
+                params.push_back(e->eval(Env{}));
+
+            // Broadcast whole-register arguments.
+            std::vector<std::vector<int>> resolved;
+            size_t broadcast = 1;
+            for (const Argument &arg : stmt.args) {
+                resolved.push_back(resolveArg(program, arg));
+                if (resolved.back().size() > 1) {
+                    if (broadcast != 1 &&
+                        broadcast != resolved.back().size()) {
+                        throw std::runtime_error(
+                            "mismatched broadcast register sizes at line " +
+                            std::to_string(stmt.line));
+                    }
+                    broadcast = resolved.back().size();
+                }
+            }
+            for (size_t rep = 0; rep < broadcast; ++rep) {
+                std::vector<int> qubits;
+                qubits.reserve(resolved.size());
+                for (const auto &r : resolved)
+                    qubits.push_back(r.size() == 1 ? r[0] : r[rep]);
+                emitter.apply(stmt.name, params, qubits, 0);
+            }
+            break;
+          }
+        }
+    }
+    return result;
+}
+
+ImportResult
+importString(const std::string &source, const ImportOptions &options)
+{
+    return importProgram(parseString(source), options);
+}
+
+ImportResult
+importFile(const std::string &path, const ImportOptions &options)
+{
+    return importProgram(parseFile(path), options);
+}
+
+} // namespace toqm::qasm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lowering from a parsed qasm::Program to an ir::Circuit.
+ *
+ * Registers are flattened into one contiguous qubit space.  Gates with
+ * a native ir::GateKind (h, x, cx, swap, ...) are imported directly;
+ * other declared gates are macro-expanded recursively with parameter
+ * substitution; 3+-qubit library gates (ccx, cswap) therefore arrive
+ * as their standard 1/2-qubit decompositions, which is exactly what a
+ * qubit mapper needs.
+ */
+
+#ifndef TOQM_QASM_IMPORTER_HPP
+#define TOQM_QASM_IMPORTER_HPP
+
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "ir/circuit.hpp"
+
+namespace toqm::qasm {
+
+/** Options controlling the lowering. */
+struct ImportOptions
+{
+    /** Keep measure operations in the circuit (as Measure gates). */
+    bool keepMeasures = true;
+    /**
+     * Accept `if (c==n) op;` by importing the op unconditionally
+     * (the mapper must still route it); if false, conditionals throw.
+     */
+    bool allowConditionals = false;
+};
+
+/** A measurement's classical destination, in circuit gate order. */
+struct MeasureTarget
+{
+    int gateIndex;    ///< Index of the Measure gate in the circuit.
+    std::string creg;
+    int cbit;
+};
+
+/** The lowering result. */
+struct ImportResult
+{
+    ir::Circuit circuit;
+    std::vector<MeasureTarget> measures;
+    /** Flat-qubit names, e.g.\ "q[3]", for diagnostics and output. */
+    std::vector<std::string> qubitNames;
+
+    ImportResult() : circuit(0) {}
+};
+
+/** Lower @p program into a flat circuit. */
+ImportResult importProgram(const Program &program,
+                           const ImportOptions &options = {});
+
+/** Convenience: parse + lower a QASM source string. */
+ImportResult importString(const std::string &source,
+                          const ImportOptions &options = {});
+
+/** Convenience: parse + lower a QASM file. */
+ImportResult importFile(const std::string &path,
+                        const ImportOptions &options = {});
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_IMPORTER_HPP

@@ -1,0 +1,235 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace toqm::qasm {
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+      case TokenKind::Identifier: return "identifier";
+      case TokenKind::Integer: return "integer";
+      case TokenKind::Real: return "real";
+      case TokenKind::String: return "string";
+      case TokenKind::KwOpenqasm: return "OPENQASM";
+      case TokenKind::KwInclude: return "include";
+      case TokenKind::KwQreg: return "qreg";
+      case TokenKind::KwCreg: return "creg";
+      case TokenKind::KwGate: return "gate";
+      case TokenKind::KwOpaque: return "opaque";
+      case TokenKind::KwBarrier: return "barrier";
+      case TokenKind::KwMeasure: return "measure";
+      case TokenKind::KwReset: return "reset";
+      case TokenKind::KwIf: return "if";
+      case TokenKind::KwPi: return "pi";
+      case TokenKind::KwU: return "U";
+      case TokenKind::KwCX: return "CX";
+      case TokenKind::LParen: return "(";
+      case TokenKind::RParen: return ")";
+      case TokenKind::LBrace: return "{";
+      case TokenKind::RBrace: return "}";
+      case TokenKind::LBracket: return "[";
+      case TokenKind::RBracket: return "]";
+      case TokenKind::Semicolon: return ";";
+      case TokenKind::Comma: return ",";
+      case TokenKind::Arrow: return "->";
+      case TokenKind::Equals: return "==";
+      case TokenKind::Plus: return "+";
+      case TokenKind::Minus: return "-";
+      case TokenKind::Star: return "*";
+      case TokenKind::Slash: return "/";
+      case TokenKind::Caret: return "^";
+      case TokenKind::EndOfFile: return "<eof>";
+    }
+    return "<bad>";
+}
+
+Lexer::Lexer(std::string source) : _source(std::move(source)) {}
+
+char
+Lexer::peek() const
+{
+    return eof() ? '\0' : _source[_pos];
+}
+
+char
+Lexer::get()
+{
+    const char c = _source[_pos++];
+    if (c == '\n') {
+        ++_line;
+        _column = 1;
+    } else {
+        ++_column;
+    }
+    return c;
+}
+
+void
+Lexer::skipWhitespaceAndComments()
+{
+    while (!eof()) {
+        const char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            get();
+        } else if (c == '/' && _pos + 1 < _source.size() &&
+                   _source[_pos + 1] == '/') {
+            while (!eof() && peek() != '\n')
+                get();
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::make(TokenKind kind, std::string text, int line, int col) const
+{
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = col;
+    return t;
+}
+
+Token
+Lexer::lexNumber()
+{
+    const int line = _line, col = _column;
+    std::string text;
+    bool is_real = false;
+    while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        text += get();
+    if (!eof() && peek() == '.') {
+        is_real = true;
+        text += get();
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            text += get();
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+        is_real = true;
+        text += get();
+        if (!eof() && (peek() == '+' || peek() == '-'))
+            text += get();
+        if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+            throw ParseError("malformed exponent", _line, _column);
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            text += get();
+    }
+    return make(is_real ? TokenKind::Real : TokenKind::Integer,
+                std::move(text), line, col);
+}
+
+Token
+Lexer::lexIdentifierOrKeyword()
+{
+    const int line = _line, col = _column;
+    std::string text;
+    while (!eof() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
+        text += get();
+    }
+    static const std::map<std::string, TokenKind> keywords = {
+        {"OPENQASM", TokenKind::KwOpenqasm},
+        {"include", TokenKind::KwInclude},
+        {"qreg", TokenKind::KwQreg},
+        {"creg", TokenKind::KwCreg},
+        {"gate", TokenKind::KwGate},
+        {"opaque", TokenKind::KwOpaque},
+        {"barrier", TokenKind::KwBarrier},
+        {"measure", TokenKind::KwMeasure},
+        {"reset", TokenKind::KwReset},
+        {"if", TokenKind::KwIf},
+        {"pi", TokenKind::KwPi},
+        {"U", TokenKind::KwU},
+        {"CX", TokenKind::KwCX},
+    };
+    const auto it = keywords.find(text);
+    const TokenKind kind =
+        it == keywords.end() ? TokenKind::Identifier : it->second;
+    return make(kind, std::move(text), line, col);
+}
+
+Token
+Lexer::lexString()
+{
+    const int line = _line, col = _column;
+    get(); // opening quote
+    std::string text;
+    while (!eof() && peek() != '"') {
+        if (peek() == '\n')
+            throw ParseError("unterminated string", line, col);
+        text += get();
+    }
+    if (eof())
+        throw ParseError("unterminated string", line, col);
+    get(); // closing quote
+    return make(TokenKind::String, std::move(text), line, col);
+}
+
+Token
+Lexer::next()
+{
+    skipWhitespaceAndComments();
+    if (eof())
+        return make(TokenKind::EndOfFile, "", _line, _column);
+
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+        return lexIdentifierOrKeyword();
+    if (c == '"')
+        return lexString();
+
+    const int line = _line, col = _column;
+    get();
+    switch (c) {
+      case '(': return make(TokenKind::LParen, "(", line, col);
+      case ')': return make(TokenKind::RParen, ")", line, col);
+      case '{': return make(TokenKind::LBrace, "{", line, col);
+      case '}': return make(TokenKind::RBrace, "}", line, col);
+      case '[': return make(TokenKind::LBracket, "[", line, col);
+      case ']': return make(TokenKind::RBracket, "]", line, col);
+      case ';': return make(TokenKind::Semicolon, ";", line, col);
+      case ',': return make(TokenKind::Comma, ",", line, col);
+      case '+': return make(TokenKind::Plus, "+", line, col);
+      case '*': return make(TokenKind::Star, "*", line, col);
+      case '/': return make(TokenKind::Slash, "/", line, col);
+      case '^': return make(TokenKind::Caret, "^", line, col);
+      case '-':
+        if (peek() == '>') {
+            get();
+            return make(TokenKind::Arrow, "->", line, col);
+        }
+        return make(TokenKind::Minus, "-", line, col);
+      case '=':
+        if (peek() == '=') {
+            get();
+            return make(TokenKind::Equals, "==", line, col);
+        }
+        throw ParseError("expected '==' after '='", line, col);
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line, col);
+    }
+}
+
+std::vector<Token>
+Lexer::tokenize(std::string source)
+{
+    Lexer lexer(std::move(source));
+    std::vector<Token> tokens;
+    for (;;) {
+        tokens.push_back(lexer.next());
+        if (tokens.back().kind == TokenKind::EndOfFile)
+            return tokens;
+    }
+}
+
+} // namespace toqm::qasm

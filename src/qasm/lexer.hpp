@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Hand-written lexer for OpenQASM 2.0.
+ *
+ * Handles line comments (//), string literals for include paths, and
+ * distinguishes integers from reals (reals have a '.', exponent, or
+ * both).  All errors are reported as qasm::ParseError with line and
+ * column information.
+ */
+
+#ifndef TOQM_QASM_LEXER_HPP
+#define TOQM_QASM_LEXER_HPP
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "token.hpp"
+
+namespace toqm::qasm {
+
+/** Error thrown by the lexer and parser, carrying a source position. */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(const std::string &message, int line, int column)
+        : std::runtime_error("qasm:" + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message),
+          _line(line), _column(column)
+    {}
+
+    int line() const { return _line; }
+
+    int column() const { return _column; }
+
+  private:
+    int _line;
+    int _column;
+};
+
+/** Streaming lexer over an in-memory QASM source. */
+class Lexer
+{
+  public:
+    explicit Lexer(std::string source);
+
+    /** Lex the next token (EndOfFile forever once exhausted). */
+    Token next();
+
+    /** Lex the entire source into a token vector (incl.\ EOF). */
+    static std::vector<Token> tokenize(std::string source);
+
+  private:
+    std::string _source;
+    size_t _pos = 0;
+    int _line = 1;
+    int _column = 1;
+
+    char peek() const;
+    char get();
+    bool eof() const { return _pos >= _source.size(); }
+    void skipWhitespaceAndComments();
+    Token lexNumber();
+    Token lexIdentifierOrKeyword();
+    Token lexString();
+    Token make(TokenKind kind, std::string text, int line, int col) const;
+};
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_LEXER_HPP

@@ -1,0 +1,516 @@
+#include "parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "qelib.hpp"
+
+namespace toqm::qasm {
+
+IncludeResolver
+defaultIncludeResolver(const std::string &base_dir)
+{
+    return [base_dir](const std::string &path) -> std::string {
+        if (path == "qelib1.inc")
+            return qelib1Source();
+        const std::string full = base_dir + "/" + path;
+        std::ifstream in(full);
+        if (!in)
+            throw std::runtime_error("cannot open include file: " + full);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return buf.str();
+    };
+}
+
+Program
+parseString(const std::string &source, IncludeResolver resolver)
+{
+    Parser parser(source, std::move(resolver));
+    return parser.parse();
+}
+
+Program
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open QASM file: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    return parseString(buf.str(), defaultIncludeResolver(dir));
+}
+
+Parser::Parser(std::string source, IncludeResolver resolver)
+    : _tokens(Lexer::tokenize(std::move(source))),
+      _resolver(std::move(resolver))
+{}
+
+const Token &
+Parser::get()
+{
+    const Token &t = _tokens[_pos];
+    if (t.kind != TokenKind::EndOfFile)
+        ++_pos;
+    return t;
+}
+
+const Token &
+Parser::expect(TokenKind kind, const char *what)
+{
+    if (peek().kind != kind) {
+        fail(std::string("expected ") + what + ", got '" + peek().text +
+             "' (" + tokenKindName(peek().kind) + ")");
+    }
+    return get();
+}
+
+bool
+Parser::accept(TokenKind kind)
+{
+    if (peek().kind != kind)
+        return false;
+    get();
+    return true;
+}
+
+void
+Parser::fail(const std::string &message) const
+{
+    throw ParseError(message, peek().line, peek().column);
+}
+
+Program
+Parser::parse()
+{
+    parseHeader();
+    while (peek().kind != TokenKind::EndOfFile)
+        parseStatement();
+    return std::move(_program);
+}
+
+void
+Parser::parseHeader()
+{
+    expect(TokenKind::KwOpenqasm, "OPENQASM");
+    const Token &version = get();
+    if (version.kind != TokenKind::Real && version.kind != TokenKind::Integer)
+        fail("expected version number after OPENQASM");
+    _program.version = version.text;
+    expect(TokenKind::Semicolon, "';'");
+}
+
+void
+Parser::parseStatement()
+{
+    switch (peek().kind) {
+      case TokenKind::KwInclude:
+        parseInclude();
+        return;
+      case TokenKind::KwQreg:
+        parseRegDecl(true);
+        return;
+      case TokenKind::KwCreg:
+        parseRegDecl(false);
+        return;
+      case TokenKind::KwGate:
+        parseGateDecl();
+        return;
+      case TokenKind::KwOpaque:
+        parseOpaqueDecl();
+        return;
+      case TokenKind::KwBarrier:
+        parseBarrier();
+        return;
+      case TokenKind::KwIf: {
+        get();
+        expect(TokenKind::LParen, "'('");
+        const Token &reg = expect(TokenKind::Identifier, "creg name");
+        expect(TokenKind::Equals, "'=='");
+        const Token &val = expect(TokenKind::Integer, "integer");
+        expect(TokenKind::RParen, "')'");
+        parseQop(true, reg.text, std::stol(val.text));
+        return;
+      }
+      default:
+        parseQop(false, "", 0);
+        return;
+    }
+}
+
+void
+Parser::parseInclude()
+{
+    get(); // include
+    const Token &path = expect(TokenKind::String, "include path string");
+    expect(TokenKind::Semicolon, "';'");
+    // Parse the included source into this program, sharing gate decls
+    // and statements.  Included files must not re-declare OPENQASM.
+    const std::string source = _resolver(path.text);
+    Parser sub("OPENQASM 2.0;\n" + source, _resolver);
+    Program included = sub.parse();
+    for (auto &entry : included.gates)
+        _program.gates.insert(std::move(entry));
+    for (auto &reg : included.qregs)
+        _program.qregs.push_back(std::move(reg));
+    for (auto &reg : included.cregs)
+        _program.cregs.push_back(std::move(reg));
+    for (auto &stmt : included.statements)
+        _program.statements.push_back(std::move(stmt));
+}
+
+void
+Parser::parseRegDecl(bool quantum)
+{
+    get(); // qreg / creg
+    const Token &name = expect(TokenKind::Identifier, "register name");
+    expect(TokenKind::LBracket, "'['");
+    const Token &size = expect(TokenKind::Integer, "register size");
+    expect(TokenKind::RBracket, "']'");
+    expect(TokenKind::Semicolon, "';'");
+    RegDecl decl;
+    decl.name = name.text;
+    decl.size = std::stoi(size.text);
+    if (decl.size <= 0)
+        fail("register size must be positive");
+    (quantum ? _program.qregs : _program.cregs).push_back(std::move(decl));
+}
+
+void
+Parser::parseGateDecl()
+{
+    get(); // gate
+    GateDecl decl;
+    decl.name = expect(TokenKind::Identifier, "gate name").text;
+    if (accept(TokenKind::LParen)) {
+        if (!accept(TokenKind::RParen)) {
+            for (;;) {
+                decl.params.push_back(
+                    expect(TokenKind::Identifier, "parameter name").text);
+                if (!accept(TokenKind::Comma))
+                    break;
+            }
+            expect(TokenKind::RParen, "')'");
+        }
+    }
+    for (;;) {
+        decl.qargs.push_back(
+            expect(TokenKind::Identifier, "qubit argument").text);
+        if (!accept(TokenKind::Comma))
+            break;
+    }
+    expect(TokenKind::LBrace, "'{'");
+    while (!accept(TokenKind::RBrace))
+        decl.body.push_back(parseGateBodyOp(decl));
+    _program.gates[decl.name] = std::move(decl);
+}
+
+void
+Parser::parseOpaqueDecl()
+{
+    get(); // opaque
+    GateDecl decl;
+    decl.opaque = true;
+    decl.name = expect(TokenKind::Identifier, "gate name").text;
+    if (accept(TokenKind::LParen)) {
+        if (!accept(TokenKind::RParen)) {
+            for (;;) {
+                decl.params.push_back(
+                    expect(TokenKind::Identifier, "parameter name").text);
+                if (!accept(TokenKind::Comma))
+                    break;
+            }
+            expect(TokenKind::RParen, "')'");
+        }
+    }
+    for (;;) {
+        decl.qargs.push_back(
+            expect(TokenKind::Identifier, "qubit argument").text);
+        if (!accept(TokenKind::Comma))
+            break;
+    }
+    expect(TokenKind::Semicolon, "';'");
+    _program.gates[decl.name] = std::move(decl);
+}
+
+GateBodyOp
+Parser::parseGateBodyOp(const GateDecl &decl)
+{
+    GateBodyOp op;
+    const Token &head = get();
+    switch (head.kind) {
+      case TokenKind::KwU:
+        op.name = "U";
+        break;
+      case TokenKind::KwCX:
+        op.name = "CX";
+        break;
+      case TokenKind::KwBarrier:
+        op.name = "barrier";
+        break;
+      case TokenKind::Identifier:
+        op.name = head.text;
+        break;
+      default:
+        fail("expected gate operation in gate body");
+    }
+    if (op.name != "barrier" && accept(TokenKind::LParen)) {
+        if (!accept(TokenKind::RParen)) {
+            for (;;) {
+                op.params.push_back(parseExpr());
+                if (!accept(TokenKind::Comma))
+                    break;
+            }
+            expect(TokenKind::RParen, "')'");
+        }
+    }
+    for (;;) {
+        const std::string qarg =
+            expect(TokenKind::Identifier, "qubit argument").text;
+        bool known = false;
+        for (const auto &name : decl.qargs)
+            known |= (name == qarg);
+        if (!known)
+            fail("gate body references unknown qubit '" + qarg + "'");
+        op.qargs.push_back(qarg);
+        if (!accept(TokenKind::Comma))
+            break;
+    }
+    expect(TokenKind::Semicolon, "';'");
+    return op;
+}
+
+void
+Parser::parseQop(bool conditional, const std::string &cond_reg,
+                 long cond_value)
+{
+    Statement stmt;
+    stmt.conditional = conditional;
+    stmt.condReg = cond_reg;
+    stmt.condValue = cond_value;
+    stmt.line = peek().line;
+
+    const Token &head = get();
+    switch (head.kind) {
+      case TokenKind::KwMeasure: {
+        stmt.kind = StmtKind::Measure;
+        stmt.name = "measure";
+        stmt.args.push_back(parseArgument());
+        expect(TokenKind::Arrow, "'->'");
+        stmt.measureTarget = parseArgument();
+        expect(TokenKind::Semicolon, "';'");
+        break;
+      }
+      case TokenKind::KwReset: {
+        stmt.kind = StmtKind::Reset;
+        stmt.name = "reset";
+        stmt.args.push_back(parseArgument());
+        expect(TokenKind::Semicolon, "';'");
+        break;
+      }
+      case TokenKind::KwU: {
+        stmt.kind = StmtKind::Qop;
+        stmt.name = "U";
+        expect(TokenKind::LParen, "'('");
+        for (;;) {
+            stmt.params.push_back(parseExpr());
+            if (!accept(TokenKind::Comma))
+                break;
+        }
+        expect(TokenKind::RParen, "')'");
+        stmt.args.push_back(parseArgument());
+        expect(TokenKind::Semicolon, "';'");
+        if (stmt.params.size() != 3)
+            fail("U takes exactly 3 parameters");
+        break;
+      }
+      case TokenKind::KwCX: {
+        stmt.kind = StmtKind::Qop;
+        stmt.name = "CX";
+        stmt.args = parseArgumentList();
+        expect(TokenKind::Semicolon, "';'");
+        if (stmt.args.size() != 2)
+            fail("CX takes exactly 2 arguments");
+        break;
+      }
+      case TokenKind::Identifier: {
+        stmt.kind = StmtKind::Qop;
+        stmt.name = head.text;
+        if (accept(TokenKind::LParen)) {
+            if (!accept(TokenKind::RParen)) {
+                for (;;) {
+                    stmt.params.push_back(parseExpr());
+                    if (!accept(TokenKind::Comma))
+                        break;
+                }
+                expect(TokenKind::RParen, "')'");
+            }
+        }
+        stmt.args = parseArgumentList();
+        expect(TokenKind::Semicolon, "';'");
+        checkGateArity(stmt);
+        break;
+      }
+      default:
+        fail("expected a quantum operation, got '" + head.text + "'");
+    }
+    _program.statements.push_back(std::move(stmt));
+}
+
+void
+Parser::checkGateArity(const Statement &stmt) const
+{
+    const auto it = _program.gates.find(stmt.name);
+    if (it == _program.gates.end())
+        fail("use of undeclared gate '" + stmt.name + "'");
+    const GateDecl &decl = it->second;
+    if (decl.params.size() != stmt.params.size()) {
+        fail("gate '" + stmt.name + "' expects " +
+             std::to_string(decl.params.size()) + " parameter(s), got " +
+             std::to_string(stmt.params.size()));
+    }
+    if (decl.qargs.size() != stmt.args.size()) {
+        fail("gate '" + stmt.name + "' expects " +
+             std::to_string(decl.qargs.size()) + " qubit argument(s), got " +
+             std::to_string(stmt.args.size()));
+    }
+}
+
+void
+Parser::parseBarrier()
+{
+    get(); // barrier
+    Statement stmt;
+    stmt.kind = StmtKind::Barrier;
+    stmt.name = "barrier";
+    stmt.line = peek().line;
+    stmt.args = parseArgumentList();
+    expect(TokenKind::Semicolon, "';'");
+    _program.statements.push_back(std::move(stmt));
+}
+
+Argument
+Parser::parseArgument()
+{
+    Argument arg;
+    arg.reg = expect(TokenKind::Identifier, "register name").text;
+    if (accept(TokenKind::LBracket)) {
+        arg.index =
+            std::stoi(expect(TokenKind::Integer, "qubit index").text);
+        expect(TokenKind::RBracket, "']'");
+    }
+    return arg;
+}
+
+std::vector<Argument>
+Parser::parseArgumentList()
+{
+    std::vector<Argument> args;
+    for (;;) {
+        args.push_back(parseArgument());
+        if (!accept(TokenKind::Comma))
+            break;
+    }
+    return args;
+}
+
+ExprPtr
+Parser::parseExpr()
+{
+    return parseAddSub();
+}
+
+ExprPtr
+Parser::parseAddSub()
+{
+    ExprPtr lhs = parseMulDiv();
+    for (;;) {
+        if (accept(TokenKind::Plus)) {
+            lhs = std::make_unique<BinaryExpr>('+', std::move(lhs),
+                                               parseMulDiv());
+        } else if (accept(TokenKind::Minus)) {
+            lhs = std::make_unique<BinaryExpr>('-', std::move(lhs),
+                                               parseMulDiv());
+        } else {
+            return lhs;
+        }
+    }
+}
+
+ExprPtr
+Parser::parseMulDiv()
+{
+    ExprPtr lhs = parsePower();
+    for (;;) {
+        if (accept(TokenKind::Star)) {
+            lhs = std::make_unique<BinaryExpr>('*', std::move(lhs),
+                                               parsePower());
+        } else if (accept(TokenKind::Slash)) {
+            lhs = std::make_unique<BinaryExpr>('/', std::move(lhs),
+                                               parsePower());
+        } else {
+            return lhs;
+        }
+    }
+}
+
+ExprPtr
+Parser::parsePower()
+{
+    ExprPtr lhs = parseUnary();
+    if (accept(TokenKind::Caret)) {
+        // Right associative.
+        return std::make_unique<BinaryExpr>('^', std::move(lhs),
+                                            parsePower());
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseUnary()
+{
+    if (accept(TokenKind::Minus))
+        return std::make_unique<NegExpr>(parseUnary());
+    if (accept(TokenKind::Plus))
+        return parseUnary();
+    return parsePrimary();
+}
+
+ExprPtr
+Parser::parsePrimary()
+{
+    const Token &t = get();
+    switch (t.kind) {
+      case TokenKind::Integer:
+      case TokenKind::Real:
+        return std::make_unique<NumberExpr>(std::stod(t.text));
+      case TokenKind::KwPi:
+        return std::make_unique<PiExpr>();
+      case TokenKind::Identifier: {
+        static const char *functions[] = {"sin", "cos", "tan",
+                                          "exp", "ln", "sqrt"};
+        for (const char *f : functions) {
+            if (t.text == f) {
+                expect(TokenKind::LParen, "'('");
+                ExprPtr arg = parseExpr();
+                expect(TokenKind::RParen, "')'");
+                return std::make_unique<CallExpr>(t.text, std::move(arg));
+            }
+        }
+        return std::make_unique<ParamExpr>(t.text);
+      }
+      case TokenKind::LParen: {
+        ExprPtr inner = parseExpr();
+        expect(TokenKind::RParen, "')'");
+        return inner;
+      }
+      default:
+        fail("expected expression, got '" + t.text + "'");
+    }
+}
+
+} // namespace toqm::qasm

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Recursive-descent parser for OpenQASM 2.0.
+ *
+ * `include "qelib1.inc";` resolves to the built-in standard library
+ * (src/qasm/qelib.cpp); other includes are loaded from disk relative
+ * to the including file.
+ */
+
+#ifndef TOQM_QASM_PARSER_HPP
+#define TOQM_QASM_PARSER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ast.hpp"
+#include "lexer.hpp"
+
+namespace toqm::qasm {
+
+/** Maps an include path to its source text. */
+using IncludeResolver = std::function<std::string(const std::string &)>;
+
+/** The default resolver: built-in qelib1.inc, else read from disk. */
+IncludeResolver defaultIncludeResolver(const std::string &base_dir = ".");
+
+/** Parse an OpenQASM 2.0 source string into a Program. */
+Program parseString(const std::string &source,
+                    IncludeResolver resolver = defaultIncludeResolver());
+
+/** Parse an OpenQASM 2.0 file (includes resolve beside the file). */
+Program parseFile(const std::string &path);
+
+/** The recursive-descent parser (exposed for testing). */
+class Parser
+{
+  public:
+    Parser(std::string source, IncludeResolver resolver);
+
+    /** Parse the whole program. */
+    Program parse();
+
+  private:
+    std::vector<Token> _tokens;
+    size_t _pos = 0;
+    IncludeResolver _resolver;
+    Program _program;
+
+    const Token &peek() const { return _tokens[_pos]; }
+    const Token &get();
+    const Token &expect(TokenKind kind, const char *what);
+    bool accept(TokenKind kind);
+    [[noreturn]] void fail(const std::string &message) const;
+
+    void parseHeader();
+    void parseStatement();
+    void parseInclude();
+    void parseRegDecl(bool quantum);
+    void parseGateDecl();
+    void parseOpaqueDecl();
+    GateBodyOp parseGateBodyOp(const GateDecl &decl);
+    void parseQop(bool conditional, const std::string &cond_reg,
+                  long cond_value);
+    void parseBarrier();
+    Argument parseArgument();
+    std::vector<Argument> parseArgumentList();
+    std::vector<ExprPtr> parseParamList();
+    ExprPtr parseExpr();
+    ExprPtr parseAddSub();
+    ExprPtr parseMulDiv();
+    ExprPtr parsePower();
+    ExprPtr parseUnary();
+    ExprPtr parsePrimary();
+
+    void checkGateArity(const Statement &stmt) const;
+};
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_PARSER_HPP

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Built-in copy of the OpenQASM 2.0 standard library `qelib1.inc`
+ * so that benchmark files parse without any files on disk.
+ */
+
+#ifndef TOQM_QASM_QELIB_HPP
+#define TOQM_QASM_QELIB_HPP
+
+#include <string>
+
+namespace toqm::qasm {
+
+/** @return the source text of the built-in qelib1.inc. */
+const std::string &qelib1Source();
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_QELIB_HPP

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Token model for the OpenQASM 2.0 lexer.
+ */
+
+#ifndef TOQM_QASM_TOKEN_HPP
+#define TOQM_QASM_TOKEN_HPP
+
+#include <string>
+
+namespace toqm::qasm {
+
+/** Token categories of the OpenQASM 2.0 grammar. */
+enum class TokenKind {
+    // Literals and names.
+    Identifier,
+    Integer,
+    Real,
+    String,
+    // Keywords.
+    KwOpenqasm,
+    KwInclude,
+    KwQreg,
+    KwCreg,
+    KwGate,
+    KwOpaque,
+    KwBarrier,
+    KwMeasure,
+    KwReset,
+    KwIf,
+    KwPi,
+    KwU,
+    KwCX,
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semicolon,
+    Comma,
+    Arrow,   // ->
+    Equals,  // ==
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    EndOfFile,
+};
+
+/** @return a printable name for @p kind (for diagnostics). */
+const char *tokenKindName(TokenKind kind);
+
+/** A lexed token with source position for error messages. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;   ///< Raw text (identifier/number/string body).
+    int line = 0;       ///< 1-based source line.
+    int column = 0;     ///< 1-based source column.
+};
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_TOKEN_HPP

@@ -1,0 +1,79 @@
+#include "writer.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace toqm::qasm {
+
+namespace {
+
+void
+writeGate(std::ostringstream &os, const ir::Gate &gate)
+{
+    std::string name = gate.name();
+    if (gate.kind() == ir::GateKind::GT) {
+        os << "// generic two-qubit (GT) gate emitted as cz:\n";
+        name = "cz";
+    }
+    os << name;
+    if (!gate.params().empty()) {
+        os << "(";
+        for (size_t i = 0; i < gate.params().size(); ++i) {
+            if (i > 0)
+                os << ",";
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", gate.params()[i]);
+            os << buf;
+        }
+        os << ")";
+    }
+    os << " ";
+    for (size_t i = 0; i < gate.qubits().size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << "q[" << gate.qubits()[i] << "]";
+    }
+    os << ";\n";
+}
+
+} // namespace
+
+std::string
+writeCircuit(const ir::Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "// " << circuit.name() << "\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+    bool has_measure = false;
+    for (const ir::Gate &g : circuit.gates())
+        has_measure |= g.isMeasure();
+    if (has_measure)
+        os << "creg c[" << circuit.numQubits() << "];\n";
+    for (const ir::Gate &g : circuit.gates()) {
+        if (g.isMeasure()) {
+            os << "measure q[" << g.qubit(0) << "] -> c[" << g.qubit(0)
+               << "];\n";
+        } else {
+            writeGate(os, g);
+        }
+    }
+    return os.str();
+}
+
+std::string
+writeMappedCircuit(const ir::MappedCircuit &mapped)
+{
+    std::ostringstream os;
+    os << "// initial layout (logical -> physical):";
+    for (size_t l = 0; l < mapped.initialLayout.size(); ++l)
+        os << " q" << l << "->Q" << mapped.initialLayout[l];
+    os << "\n// final layout (logical -> physical):";
+    for (size_t l = 0; l < mapped.finalLayout.size(); ++l)
+        os << " q" << l << "->Q" << mapped.finalLayout[l];
+    os << "\n" << writeCircuit(mapped.physical);
+    return os.str();
+}
+
+} // namespace toqm::qasm

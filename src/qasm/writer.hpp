@@ -1,0 +1,30 @@
+/**
+ * @file
+ * QASM output: render an ir::Circuit (or a mapped circuit) back to
+ * OpenQASM 2.0 text.  GT skeleton gates (which have no concrete
+ * unitary) are emitted as `cz` so the output is loadable by standard
+ * tools; an annotation comment records the substitution.
+ */
+
+#ifndef TOQM_QASM_WRITER_HPP
+#define TOQM_QASM_WRITER_HPP
+
+#include <string>
+
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::qasm {
+
+/** Render @p circuit as an OpenQASM 2.0 program. */
+std::string writeCircuit(const ir::Circuit &circuit);
+
+/**
+ * Render a mapped circuit: the physical circuit plus comments
+ * recording the initial and final layouts.
+ */
+std::string writeMappedCircuit(const ir::MappedCircuit &mapped);
+
+} // namespace toqm::qasm
+
+#endif // TOQM_QASM_WRITER_HPP

@@ -1,0 +1,323 @@
+#include "qft_patterns.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "arch/architectures.hpp"
+
+namespace toqm::qftopt {
+
+namespace {
+
+/** Tracks logical positions while emitting layered physical ops. */
+class LayoutTracker
+{
+  public:
+    LayoutTracker(StructuredSolution &solution)
+        : _solution(solution), _l2p(solution.initialLayout)
+    {}
+
+    void
+    beginLayer()
+    {
+        _current.clear();
+    }
+
+    /** Commit the layer if it has any operation. */
+    void
+    endLayer()
+    {
+        if (!_current.empty())
+            _solution.layers.push_back(std::move(_current));
+        _current.clear();
+    }
+
+    /** Emit GT between logical qubits @p a and @p b. */
+    void
+    gt(int a, int b)
+    {
+        _current.emplace_back(ir::GateKind::GT, pos(a), pos(b));
+    }
+
+    /** Emit SWAP between logical qubits @p a and @p b. */
+    void
+    swapLogical(int a, int b)
+    {
+        _current.emplace_back(ir::GateKind::Swap, pos(a), pos(b));
+        std::swap(_l2p[static_cast<size_t>(a)],
+                  _l2p[static_cast<size_t>(b)]);
+    }
+
+    int
+    pos(int l) const
+    {
+        return _l2p[static_cast<size_t>(l)];
+    }
+
+  private:
+    StructuredSolution &_solution;
+    std::vector<int> _l2p;
+    std::vector<ir::Gate> _current;
+};
+
+/** Logical pairs (a, b), a < b < n, a + b == sum, filtered. */
+std::vector<std::pair<int, int>>
+pairsWithSum(int sum, int n, int parity_a = -1)
+{
+    std::vector<std::pair<int, int>> out;
+    for (int a = 0; 2 * a < sum; ++a) {
+        const int b = sum - a;
+        if (b >= n)
+            continue;
+        if (parity_a >= 0 && (a % 2) != parity_a)
+            continue;
+        if (parity_a >= 0 && (b % 2) != parity_a)
+            continue;
+        out.emplace_back(a, b);
+    }
+    return out;
+}
+
+} // namespace
+
+ir::MappedCircuit
+StructuredSolution::toMappedCircuit() const
+{
+    ir::Circuit phys(graph.numQubits(), "qft_structured");
+    for (const auto &layer : layers) {
+        for (const ir::Gate &g : layer)
+            phys.add(g);
+    }
+    const auto final_layout = ir::propagateLayout(phys, initialLayout);
+    return ir::MappedCircuit(std::move(phys), initialLayout,
+                             final_layout);
+}
+
+std::string
+StructuredSolution::renderSteps() const
+{
+    // Recover logical occupancy per step.
+    std::vector<int> p2l(static_cast<size_t>(graph.numQubits()), -1);
+    for (size_t l = 0; l < initialLayout.size(); ++l)
+        p2l[static_cast<size_t>(initialLayout[l])] =
+            static_cast<int>(l);
+
+    std::ostringstream os;
+    const auto dump = [&os, &p2l, this](int step) {
+        os << "step(" << step << "):";
+        for (int p = 0; p < graph.numQubits(); ++p) {
+            const int l = p2l[static_cast<size_t>(p)];
+            os << " " << (l < 0 ? std::string("--")
+                                : "q" + std::to_string(l));
+        }
+        os << "\n";
+    };
+    dump(0);
+    for (size_t s = 0; s < layers.size(); ++s) {
+        os << "  ops:";
+        for (const ir::Gate &g : layers[s]) {
+            os << " " << (g.isSwap() ? "SWAP" : "GT") << "(Q"
+               << g.qubit(0) << ",Q" << g.qubit(1) << ")";
+        }
+        os << "\n";
+        for (const ir::Gate &g : layers[s]) {
+            if (g.isSwap())
+                std::swap(p2l[static_cast<size_t>(g.qubit(0))],
+                          p2l[static_cast<size_t>(g.qubit(1))]);
+        }
+        dump(static_cast<int>(s) + 1);
+    }
+    return os.str();
+}
+
+StructuredSolution
+qftLnnButterfly(int n)
+{
+    if (n < 2)
+        throw std::invalid_argument("qftLnnButterfly: n >= 2 required");
+    StructuredSolution solution(arch::lnn(n), ir::identityLayout(n));
+    LayoutTracker tracker(solution);
+
+    // Fig 13(a): for every even m < 4n-6, GT then SWAP on all pairs
+    // whose logical subscripts sum to m/2 + 1.
+    const int last_m = 4 * n - 8;
+    for (int m = 0; m <= last_m; m += 2) {
+        const int k = m / 2 + 1;
+        const auto pairs = pairsWithSum(k, n);
+        tracker.beginLayer();
+        for (const auto &[a, b] : pairs)
+            tracker.gt(a, b);
+        tracker.endLayer();
+        if (m == last_m)
+            break; // the final swap layer is cosmetic (Fig 11)
+        tracker.beginLayer();
+        for (const auto &[a, b] : pairs)
+            tracker.swapLogical(a, b);
+        tracker.endLayer();
+    }
+    return solution;
+}
+
+StructuredSolution
+qftGrid2xnMixed(int n)
+{
+    if (n < 4 || n % 2 != 0)
+        throw std::invalid_argument(
+            "qftGrid2xnMixed: even n >= 4 required");
+    const int cols = n / 2;
+    // Column-major initial placement: q_{2c+r} -> row r, column c.
+    std::vector<int> layout(static_cast<size_t>(n));
+    for (int c = 0; c < cols; ++c) {
+        for (int r = 0; r < 2; ++r)
+            layout[static_cast<size_t>(2 * c + r)] = r * cols + c;
+    }
+    StructuredSolution solution(arch::grid(2, cols), layout);
+    LayoutTracker tracker(solution);
+
+    // Iterations i = -1 .. n-2; see the header for the three steps.
+    for (int i = -1; i <= n - 2; ++i) {
+        // Step A: GT on even-even pairs summing 2i+2, concurrently
+        // with SWAP on odd-odd pairs summing 2i+4.
+        const auto gt_a = pairsWithSum(2 * i + 2, n, /*parity=*/0);
+        const auto sw_a = pairsWithSum(2 * i + 4, n, /*parity=*/1);
+        tracker.beginLayer();
+        for (const auto &[a, b] : gt_a)
+            tracker.gt(a, b);
+        for (const auto &[a, b] : sw_a)
+            tracker.swapLogical(a, b);
+        tracker.endLayer();
+
+        // Step B: GT on every (necessarily even-odd) pair summing
+        // 2i+3.
+        tracker.beginLayer();
+        for (const auto &[a, b] : pairsWithSum(2 * i + 3, n))
+            tracker.gt(a, b);
+        tracker.endLayer();
+
+        // Step C: SWAP on the step-A even-even pairs, concurrently
+        // with GT on the step-A odd-odd pairs.
+        const auto gt_c = pairsWithSum(2 * i + 4, n, /*parity=*/1);
+        tracker.beginLayer();
+        for (const auto &[a, b] : gt_a)
+            tracker.swapLogical(a, b);
+        for (const auto &[a, b] : gt_c)
+            tracker.gt(a, b);
+        tracker.endLayer();
+    }
+    return solution;
+}
+
+StructuredSolution
+qftGrid2xnUnmixed(int n)
+{
+    if (n < 4 || n % 2 != 0)
+        throw std::invalid_argument(
+            "qftGrid2xnUnmixed: even n >= 4 required");
+    const int cols = n / 2;
+    std::vector<int> layout(static_cast<size_t>(n));
+    for (int c = 0; c < cols; ++c) {
+        for (int r = 0; r < 2; ++r)
+            layout[static_cast<size_t>(2 * c + r)] = r * cols + c;
+    }
+    StructuredSolution solution(arch::grid(2, cols), layout);
+    LayoutTracker tracker(solution);
+
+    // Fig 13(c): per iteration i — swap pairs summing 2i, GT the
+    // same pairs, then GT pairs summing 2i+1.
+    for (int i = 0; i <= n - 2; ++i) {
+        const auto even_pairs = pairsWithSum(2 * i, n);
+        tracker.beginLayer();
+        for (const auto &[a, b] : even_pairs)
+            tracker.swapLogical(a, b);
+        tracker.endLayer();
+        tracker.beginLayer();
+        for (const auto &[a, b] : even_pairs)
+            tracker.gt(a, b);
+        tracker.endLayer();
+        tracker.beginLayer();
+        for (const auto &[a, b] : pairsWithSum(2 * i + 1, n))
+            tracker.gt(a, b);
+        tracker.endLayer();
+    }
+    return solution;
+}
+
+PatternCheck
+validateQftSolution(const StructuredSolution &solution, int n,
+                    bool forbid_mixing)
+{
+    PatternCheck check;
+    const auto fail = [&check](std::string msg) {
+        check.ok = false;
+        check.message = std::move(msg);
+        return check;
+    };
+
+    std::vector<int> p2l(
+        static_cast<size_t>(solution.graph.numQubits()), -1);
+    for (size_t l = 0; l < solution.initialLayout.size(); ++l)
+        p2l[static_cast<size_t>(solution.initialLayout[l])] =
+            static_cast<int>(l);
+
+    std::set<std::pair<int, int>> done;
+    for (size_t s = 0; s < solution.layers.size(); ++s) {
+        std::vector<char> used(
+            static_cast<size_t>(solution.graph.numQubits()), 0);
+        bool has_gt = false, has_swap = false;
+        for (const ir::Gate &g : solution.layers[s]) {
+            const int p0 = g.qubit(0);
+            const int p1 = g.qubit(1);
+            if (!solution.graph.adjacent(p0, p1)) {
+                return fail("layer " + std::to_string(s) + ": op on "
+                            "non-adjacent physical qubits Q" +
+                            std::to_string(p0) + ",Q" +
+                            std::to_string(p1));
+            }
+            if (used[static_cast<size_t>(p0)] ||
+                used[static_cast<size_t>(p1)]) {
+                return fail("layer " + std::to_string(s) +
+                            ": overlapping operations");
+            }
+            used[static_cast<size_t>(p0)] = 1;
+            used[static_cast<size_t>(p1)] = 1;
+
+            if (g.isSwap()) {
+                has_swap = true;
+                std::swap(p2l[static_cast<size_t>(p0)],
+                          p2l[static_cast<size_t>(p1)]);
+            } else if (g.kind() == ir::GateKind::GT) {
+                has_gt = true;
+                int a = p2l[static_cast<size_t>(p0)];
+                int b = p2l[static_cast<size_t>(p1)];
+                if (a < 0 || b < 0)
+                    return fail("GT on unoccupied position");
+                if (a > b)
+                    std::swap(a, b);
+                if (!done.emplace(a, b).second) {
+                    return fail("duplicate GT(q" + std::to_string(a) +
+                                ", q" + std::to_string(b) + ")");
+                }
+            } else {
+                return fail("unexpected gate kind in QFT solution");
+            }
+        }
+        if (forbid_mixing && has_gt && has_swap) {
+            return fail("layer " + std::to_string(s) +
+                        " mixes GT and SWAP");
+        }
+    }
+
+    const size_t want =
+        static_cast<size_t>(n) * static_cast<size_t>(n - 1) / 2;
+    if (done.size() != want) {
+        return fail("covered " + std::to_string(done.size()) +
+                    " GT pairs, expected " + std::to_string(want));
+    }
+    check.ok = true;
+    check.message = "ok";
+    return check;
+}
+
+} // namespace toqm::qftopt

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The structured time-optimal QFT solutions of Section 6.1.1 /
+ * Fig 13, generalized to arbitrary n:
+ *
+ *  (a) LNN butterfly: alternating GT and SWAP layers on logical
+ *      pairs whose subscripts sum to m/2 + 1; depth 4n-7 cycles
+ *      (the final swap layer is cosmetic and omitted).
+ *  (b) 2xN grid, concurrent GT+swap: per iteration i three steps —
+ *      [GT even-even pairs summing 2i+2 | SWAP odd-odd pairs summing
+ *      2i+4], [GT all pairs summing 2i+3], [SWAP even-even 2i+2 | GT
+ *      odd-odd 2i+4] — matching Fig 12's 17 steps for n=8 and depth
+ *      3n + O(1).
+ *  (c) 2xN grid, no GT/swap mixing (Fig 14): per iteration i —
+ *      [SWAP pairs summing 2i], [GT pairs summing 2i], [GT pairs
+ *      summing 2i+1] — depth 3n - 5 (19 steps for n=8).
+ *
+ * Every generated solution is layered (one layer == one cycle under
+ * the uniform QFT latency model) and can be independently checked by
+ * validateQftSolution().
+ */
+
+#ifndef TOQM_QFTOPT_QFT_PATTERNS_HPP
+#define TOQM_QFTOPT_QFT_PATTERNS_HPP
+
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::qftopt {
+
+/** A layered, hardware-compliant QFT schedule. */
+struct StructuredSolution
+{
+    /** Architecture the schedule targets. */
+    arch::CouplingGraph graph;
+    /** Initial layout, logical -> physical. */
+    std::vector<int> initialLayout;
+    /**
+     * One entry per cycle; each gate's operands are PHYSICAL
+     * positions.  Gates within a layer act on disjoint qubits.
+     */
+    std::vector<std::vector<ir::Gate>> layers;
+
+    StructuredSolution(arch::CouplingGraph g, std::vector<int> layout)
+        : graph(std::move(g)), initialLayout(std::move(layout))
+    {}
+
+    /** Depth in cycles (== number of layers). */
+    int depth() const { return static_cast<int>(layers.size()); }
+
+    /** Flatten into a MappedCircuit for the verifier/scheduler. */
+    ir::MappedCircuit toMappedCircuit() const;
+
+    /** Render the per-step qubit placements like Fig 11 / Fig 12. */
+    std::string renderSteps() const;
+};
+
+/** Fig 13(a): n-qubit QFT on LNN, depth 4n-7. */
+StructuredSolution qftLnnButterfly(int n);
+
+/** Fig 13(b): n-qubit QFT on 2x(n/2), GT and swaps concurrent. */
+StructuredSolution qftGrid2xnMixed(int n);
+
+/** Fig 13(c): n-qubit QFT on 2x(n/2), GT and swaps never mixed. */
+StructuredSolution qftGrid2xnUnmixed(int n);
+
+/** Validation report for a structured solution. */
+struct PatternCheck
+{
+    bool ok = false;
+    std::string message;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Independently validate a structured solution:
+ *  - every two-qubit op acts on coupled physical qubits;
+ *  - ops within a layer are qubit-disjoint;
+ *  - exactly the n(n-1)/2 logical GT pairs are executed, once each;
+ *  - if @p forbid_mixing, no layer mixes GT and SWAP.
+ */
+PatternCheck validateQftSolution(const StructuredSolution &solution,
+                                 int n, bool forbid_mixing = false);
+
+} // namespace toqm::qftopt
+
+#endif // TOQM_QFTOPT_QFT_PATTERNS_HPP

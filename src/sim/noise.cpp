@@ -1,0 +1,55 @@
+#include "noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ir/schedule.hpp"
+
+namespace toqm::sim {
+
+FidelityEstimate
+estimateFidelity(const ir::Circuit &circuit,
+                 const ir::LatencyModel &latency,
+                 const NoiseModel &noise, int payload_qubits)
+{
+    FidelityEstimate estimate;
+    const ir::Schedule sched = ir::scheduleAsap(circuit, latency);
+
+    std::vector<char> compute_qubit(
+        static_cast<size_t>(circuit.numQubits()), 0);
+
+    for (int i = 0; i < circuit.size(); ++i) {
+        const ir::Gate &g = circuit.gate(i);
+        if (g.isBarrier() || g.isMeasure())
+            continue;
+
+        if (g.isSwap())
+            estimate.gateFidelity *= 1.0 - noise.swapError;
+        else if (g.numQubits() == 2)
+            estimate.gateFidelity *= 1.0 - noise.twoQubitError;
+        else
+            estimate.gateFidelity *= 1.0 - noise.oneQubitError;
+
+        if (!g.isSwap()) {
+            for (int q : g.qubits())
+                compute_qubit[static_cast<size_t>(q)] = 1;
+        }
+    }
+
+    // Payload qubits hold algorithm state from initialization to
+    // readout, so each is exposed for the full makespan — circuit
+    // TIME is the quantity decoherence punishes (paper Section 1).
+    int payload = payload_qubits;
+    if (payload < 0) {
+        payload = 0;
+        for (int q = 0; q < circuit.numQubits(); ++q)
+            payload += compute_qubit[static_cast<size_t>(q)] ? 1 : 0;
+    }
+    estimate.decoherenceFidelity =
+        std::exp(-static_cast<double>(sched.makespan) * payload /
+                 noise.t2Cycles);
+    return estimate;
+}
+
+} // namespace toqm::sim

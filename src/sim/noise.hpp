@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reliability model: the paper's Section 1 argument made
+ * quantitative.  "A qubit decoheres over time... A time-optimal
+ * solution minimizes the impact of decoherence for the qubits in the
+ * circuit, and results in higher fidelity of the circuit as a whole."
+ *
+ * The model composes two independent factors:
+ *  - depolarizing gate errors: prod (1 - e_g) over executed gates,
+ *    with separate rates for 1-qubit, 2-qubit and SWAP operations
+ *    (a SWAP is three CXs on IBM hardware);
+ *  - decoherence: exp(-makespan / T2) per PAYLOAD qubit — a qubit
+ *    carrying algorithm state holds it from initialization to
+ *    readout, so the whole circuit time is its exposure window.
+ *    Spare device qubits that swaps merely route through carry no
+ *    payload and do not decohere anything.
+ *
+ * Absolute numbers are a toy; the RANKING of transformed circuits is
+ * the point: shorter circuits win even when they carry more swaps.
+ */
+
+#ifndef TOQM_SIM_NOISE_HPP
+#define TOQM_SIM_NOISE_HPP
+
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+
+namespace toqm::sim {
+
+/** Error-rate parameters. */
+struct NoiseModel
+{
+    /** Depolarizing error per 1-qubit gate. */
+    double oneQubitError = 1e-4;
+    /** Depolarizing error per non-swap 2-qubit gate. */
+    double twoQubitError = 1e-3;
+    /** Error per SWAP (default: three 2-qubit gates' worth). */
+    double swapError = 3e-3;
+    /** Decoherence horizon, in cycles of the latency model. */
+    double t2Cycles = 5000.0;
+
+    /** Rough IBM-Q-era rates (the defaults). */
+    static NoiseModel ibmEra() { return {}; }
+};
+
+/** Per-factor breakdown of a fidelity estimate. */
+struct FidelityEstimate
+{
+    double gateFidelity = 1.0;
+    double decoherenceFidelity = 1.0;
+
+    double total() const { return gateFidelity * decoherenceFidelity; }
+};
+
+/**
+ * Estimate the end-to-end fidelity of executing @p circuit under
+ * @p latency and @p noise.  Barriers and measures are free.
+ *
+ * @param payload_qubits number of qubits carrying algorithm state
+ *        (the LOGICAL width when scoring a mapped circuit); -1
+ *        counts the qubits touched by any non-swap gate.
+ */
+FidelityEstimate estimateFidelity(const ir::Circuit &circuit,
+                                  const ir::LatencyModel &latency,
+                                  const NoiseModel &noise = {},
+                                  int payload_qubits = -1);
+
+} // namespace toqm::sim
+
+#endif // TOQM_SIM_NOISE_HPP

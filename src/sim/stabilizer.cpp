@@ -1,0 +1,425 @@
+#include "stabilizer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace toqm::sim {
+
+namespace {
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    int
+    below(int bound)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(bound));
+    }
+
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+/**
+ * The CHP g-function: the exponent (mod 4) that multiplying the
+ * single-qubit Paulis (x1, z1) * (x2, z2) contributes.
+ */
+int
+g(int x1, int z1, int x2, int z2)
+{
+    if (!x1 && !z1)
+        return 0;
+    if (x1 && z1) // Y
+        return z2 - x2;
+    if (x1 && !z1) // X
+        return z2 * (2 * x2 - 1);
+    return x2 * (1 - 2 * z2); // Z
+}
+
+} // namespace
+
+StabilizerState::StabilizerState(int num_qubits) : _n(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 64)
+        throw std::invalid_argument(
+            "stabilizer state supports 1..64 qubits");
+    _x.assign(static_cast<size_t>(2 * _n), 0);
+    _z.assign(static_cast<size_t>(2 * _n), 0);
+    _r.assign(static_cast<size_t>(2 * _n), 0);
+    for (int i = 0; i < _n; ++i) {
+        _x[static_cast<size_t>(i)] = 1ull << i;          // destab X_i
+        _z[static_cast<size_t>(_n + i)] = 1ull << i;     // stab   Z_i
+    }
+}
+
+void
+StabilizerState::applyH(int q)
+{
+    const std::uint64_t bit = 1ull << q;
+    for (int i = 0; i < 2 * _n; ++i) {
+        const bool xb = _x[static_cast<size_t>(i)] & bit;
+        const bool zb = _z[static_cast<size_t>(i)] & bit;
+        _r[static_cast<size_t>(i)] ^=
+            static_cast<std::uint8_t>(xb && zb);
+        if (xb != zb) {
+            _x[static_cast<size_t>(i)] ^= bit;
+            _z[static_cast<size_t>(i)] ^= bit;
+        }
+    }
+}
+
+void
+StabilizerState::applyS(int q)
+{
+    const std::uint64_t bit = 1ull << q;
+    for (int i = 0; i < 2 * _n; ++i) {
+        const bool xb = _x[static_cast<size_t>(i)] & bit;
+        const bool zb = _z[static_cast<size_t>(i)] & bit;
+        _r[static_cast<size_t>(i)] ^=
+            static_cast<std::uint8_t>(xb && zb);
+        if (xb)
+            _z[static_cast<size_t>(i)] ^= bit;
+    }
+}
+
+void
+StabilizerState::applyCX(int control, int target)
+{
+    const std::uint64_t cbit = 1ull << control;
+    const std::uint64_t tbit = 1ull << target;
+    for (int i = 0; i < 2 * _n; ++i) {
+        const bool xc = _x[static_cast<size_t>(i)] & cbit;
+        const bool xt = _x[static_cast<size_t>(i)] & tbit;
+        const bool zc = _z[static_cast<size_t>(i)] & cbit;
+        const bool zt = _z[static_cast<size_t>(i)] & tbit;
+        _r[static_cast<size_t>(i)] ^=
+            static_cast<std::uint8_t>(xc && zt && (xt == zc));
+        if (xc)
+            _x[static_cast<size_t>(i)] ^= tbit;
+        if (zt)
+            _z[static_cast<size_t>(i)] ^= cbit;
+    }
+}
+
+bool
+StabilizerState::isClifford(const ir::Gate &gate)
+{
+    switch (gate.kind()) {
+      case ir::GateKind::H:
+      case ir::GateKind::S:
+      case ir::GateKind::Sdg:
+      case ir::GateKind::X:
+      case ir::GateKind::Y:
+      case ir::GateKind::Z:
+      case ir::GateKind::CX:
+      case ir::GateKind::CZ:
+      case ir::GateKind::Swap:
+      case ir::GateKind::Barrier:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+StabilizerState::apply(const ir::Gate &gate)
+{
+    switch (gate.kind()) {
+      case ir::GateKind::H:
+        applyH(gate.qubit(0));
+        return;
+      case ir::GateKind::S:
+        applyS(gate.qubit(0));
+        return;
+      case ir::GateKind::Sdg:
+        applyS(gate.qubit(0));
+        applyS(gate.qubit(0));
+        applyS(gate.qubit(0));
+        return;
+      case ir::GateKind::Z:
+        applyS(gate.qubit(0));
+        applyS(gate.qubit(0));
+        return;
+      case ir::GateKind::X:
+        applyH(gate.qubit(0));
+        applyS(gate.qubit(0));
+        applyS(gate.qubit(0));
+        applyH(gate.qubit(0));
+        return;
+      case ir::GateKind::Y: // X then Z, up to global phase
+        applyH(gate.qubit(0));
+        applyS(gate.qubit(0));
+        applyS(gate.qubit(0));
+        applyH(gate.qubit(0));
+        applyS(gate.qubit(0));
+        applyS(gate.qubit(0));
+        return;
+      case ir::GateKind::CX:
+        applyCX(gate.qubit(0), gate.qubit(1));
+        return;
+      case ir::GateKind::CZ:
+        applyH(gate.qubit(1));
+        applyCX(gate.qubit(0), gate.qubit(1));
+        applyH(gate.qubit(1));
+        return;
+      case ir::GateKind::Swap:
+        applyCX(gate.qubit(0), gate.qubit(1));
+        applyCX(gate.qubit(1), gate.qubit(0));
+        applyCX(gate.qubit(0), gate.qubit(1));
+        return;
+      case ir::GateKind::Barrier:
+        return;
+      default:
+        throw std::invalid_argument("non-Clifford gate: " +
+                                    gate.name());
+    }
+}
+
+void
+StabilizerState::run(const ir::Circuit &circuit)
+{
+    if (circuit.numQubits() > _n)
+        throw std::invalid_argument("circuit wider than state");
+    for (const ir::Gate &g : circuit.gates())
+        apply(g);
+}
+
+void
+StabilizerState::rowsum(int h, int i)
+{
+    // Multiply row h by row i, with CHP phase arithmetic.
+    int phase = 2 * _r[static_cast<size_t>(h)] +
+                2 * _r[static_cast<size_t>(i)];
+    for (int j = 0; j < _n; ++j) {
+        const std::uint64_t bit = 1ull << j;
+        phase += g((_x[static_cast<size_t>(i)] & bit) ? 1 : 0,
+                   (_z[static_cast<size_t>(i)] & bit) ? 1 : 0,
+                   (_x[static_cast<size_t>(h)] & bit) ? 1 : 0,
+                   (_z[static_cast<size_t>(h)] & bit) ? 1 : 0);
+    }
+    phase %= 4;
+    if (phase < 0)
+        phase += 4;
+    _r[static_cast<size_t>(h)] = static_cast<std::uint8_t>(phase / 2);
+    _x[static_cast<size_t>(h)] ^= _x[static_cast<size_t>(i)];
+    _z[static_cast<size_t>(h)] ^= _z[static_cast<size_t>(i)];
+}
+
+StabilizerState
+StabilizerState::canonicalized() const
+{
+    StabilizerState s = *this;
+    // Gaussian elimination over the stabilizer rows [n, 2n).
+    int row = s._n;
+    const auto pivot_and_clear = [&s, &row](std::uint64_t bit,
+                                            bool use_x) {
+        auto &major = use_x ? s._x : s._z;
+        int pivot = -1;
+        for (int i = row; i < 2 * s._n; ++i) {
+            if (major[static_cast<size_t>(i)] & bit) {
+                pivot = i;
+                break;
+            }
+        }
+        if (pivot < 0)
+            return;
+        std::swap(s._x[static_cast<size_t>(pivot)],
+                  s._x[static_cast<size_t>(row)]);
+        std::swap(s._z[static_cast<size_t>(pivot)],
+                  s._z[static_cast<size_t>(row)]);
+        std::swap(s._r[static_cast<size_t>(pivot)],
+                  s._r[static_cast<size_t>(row)]);
+        for (int i = s._n; i < 2 * s._n; ++i) {
+            if (i != row && (major[static_cast<size_t>(i)] & bit))
+                s.rowsum(i, row);
+        }
+        ++row;
+    };
+    for (int j = 0; j < s._n; ++j)
+        pivot_and_clear(1ull << j, /*use_x=*/true);
+    for (int j = 0; j < s._n; ++j)
+        pivot_and_clear(1ull << j, /*use_x=*/false);
+    return s;
+}
+
+std::vector<std::string>
+StabilizerState::canonicalStabilizers() const
+{
+    const StabilizerState s = canonicalized();
+    std::vector<std::string> out;
+    out.reserve(static_cast<size_t>(_n));
+    for (int i = _n; i < 2 * _n; ++i) {
+        std::string row = s._r[static_cast<size_t>(i)] ? "-" : "+";
+        for (int j = 0; j < _n; ++j) {
+            const bool xb = s._x[static_cast<size_t>(i)] & (1ull << j);
+            const bool zb = s._z[static_cast<size_t>(i)] & (1ull << j);
+            row += xb ? (zb ? 'Y' : 'X') : (zb ? 'Z' : 'I');
+        }
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+bool
+StabilizerState::operator==(const StabilizerState &other) const
+{
+    if (_n != other._n)
+        return false;
+    return canonicalStabilizers() == other.canonicalStabilizers();
+}
+
+ir::Circuit
+randomCliffordCircuit(int n, int num_gates, double two_qubit_fraction,
+                      std::uint64_t seed, double locality)
+{
+    if (n < 2)
+        throw std::invalid_argument("need at least 2 qubits");
+    SplitMix64 rng(seed);
+    ir::Circuit c(n, "clifford_" + std::to_string(n) + "q");
+    constexpr ir::GateKind one_q[] = {
+        ir::GateKind::H, ir::GateKind::S, ir::GateKind::X,
+        ir::GateKind::Z, ir::GateKind::Sdg, ir::GateKind::Y,
+    };
+    constexpr ir::GateKind two_q[] = {
+        ir::GateKind::CX, ir::GateKind::CX, ir::GateKind::CZ,
+    };
+    for (int i = 0; i < num_gates; ++i) {
+        if (rng.unit() < two_qubit_fraction) {
+            const int a = rng.below(n);
+            int b;
+            if (rng.unit() < locality) {
+                b = (a == 0) ? 1
+                    : (a == n - 1) ? n - 2
+                    : (rng.below(2) == 0 ? a - 1 : a + 1);
+            } else {
+                b = rng.below(n - 1);
+                if (b >= a)
+                    ++b;
+            }
+            c.add(ir::Gate(two_q[rng.below(3)], a, b));
+        } else {
+            c.add(ir::Gate(one_q[rng.below(6)], rng.below(n)));
+        }
+    }
+    return c;
+}
+
+bool
+cliffordEquivalent(const ir::Circuit &logical,
+                   const ir::MappedCircuit &mapped, int trials,
+                   std::uint64_t seed)
+{
+    const int nl = logical.numQubits();
+    const int np = mapped.physical.numQubits();
+    if (static_cast<int>(mapped.initialLayout.size()) != nl ||
+        static_cast<int>(mapped.finalLayout.size()) != nl) {
+        return false;
+    }
+
+    // The logical circuit executed at its initial physical homes.
+    std::vector<int> pad_map = mapped.initialLayout;
+    const ir::Circuit logical_padded =
+        [&]() {
+            ir::Circuit out(np, logical.name());
+            for (const ir::Gate &g : logical.gates()) {
+                if (g.isBarrier())
+                    continue;
+                ir::Gate copy = g;
+                std::vector<int> qs;
+                qs.reserve(g.qubits().size());
+                for (int q : g.qubits())
+                    qs.push_back(pad_map[static_cast<size_t>(q)]);
+                copy.setQubits(std::move(qs));
+                out.add(std::move(copy));
+            }
+            return out;
+        }();
+
+    SplitMix64 rng(seed);
+    for (int trial = 0; trial <= trials; ++trial) {
+        StabilizerState lhs(np);
+        StabilizerState rhs(np);
+
+        if (trial > 0) {
+            // Random product stabilizer input on the payload qubits.
+            for (int l = 0; l < nl; ++l) {
+                const int p = mapped.initialLayout[
+                    static_cast<size_t>(l)];
+                const int which = rng.below(6);
+                const auto prep = [&](StabilizerState &s) {
+                    switch (which) {
+                      case 0: break;                       // |0>
+                      case 1: s.applyH(p); s.applyS(p);
+                              s.applyS(p); s.applyH(p); break; // |1>
+                      case 2: s.applyH(p); break;          // |+>
+                      case 3: s.applyH(p); s.applyS(p);
+                              s.applyS(p); break;          // |->
+                      case 4: s.applyH(p); s.applyS(p); break; // |i>
+                      default: s.applyH(p); s.applyS(p);
+                               s.applyS(p); s.applyS(p); break;
+                    }
+                };
+                prep(lhs);
+                prep(rhs);
+            }
+        }
+
+        lhs.run(logical_padded);
+        rhs.run(mapped.physical);
+
+        // Un-permute the mapped result with explicit transpositions:
+        // the content that ended at finalLayout[l] must return to
+        // initialLayout[l].  content[p] labels the position whose
+        // end-of-circuit content currently sits at p.  Placing into
+        // distinct targets one by one never displaces an
+        // already-placed payload (targets are injective), and the
+        // leftover spares all hold |0>, where permutation is
+        // irrelevant.
+        std::vector<int> content(static_cast<size_t>(np));
+        for (int p = 0; p < np; ++p)
+            content[static_cast<size_t>(p)] = p;
+        for (int l = 0; l < nl; ++l) {
+            const int want =
+                mapped.initialLayout[static_cast<size_t>(l)];
+            const int have =
+                mapped.finalLayout[static_cast<size_t>(l)];
+            int cur = -1;
+            for (int p = 0; p < np; ++p) {
+                if (content[static_cast<size_t>(p)] == have) {
+                    cur = p;
+                    break;
+                }
+            }
+            if (cur != want) {
+                rhs.apply(ir::Gate(ir::GateKind::Swap, cur, want));
+                std::swap(content[static_cast<size_t>(cur)],
+                          content[static_cast<size_t>(want)]);
+            }
+        }
+
+        if (!(lhs == rhs))
+            return false;
+    }
+    return true;
+}
+
+} // namespace toqm::sim

@@ -1,0 +1,375 @@
+#include "statevector.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace toqm::sim {
+
+namespace {
+
+constexpr double pi = std::numbers::pi;
+
+using U2 = Amplitude[2][2];
+
+void
+u3Matrix(double theta, double phi, double lambda, U2 &u)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    u[0][0] = c;
+    u[0][1] = -std::polar(s, lambda);
+    u[1][0] = std::polar(s, phi);
+    u[1][1] = std::polar(c, phi + lambda);
+}
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace
+
+StateVector::StateVector(int num_qubits, std::uint64_t basis)
+    : _numQubits(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 26)
+        throw std::invalid_argument("statevector supports 1..26 qubits");
+    _amps.assign(size_t{1} << num_qubits, Amplitude{0.0, 0.0});
+    if (basis >= _amps.size())
+        throw std::out_of_range("basis state out of range");
+    _amps[static_cast<size_t>(basis)] = 1.0;
+}
+
+void
+StateVector::apply1Q(const Amplitude (&u)[2][2], int q)
+{
+    const std::uint64_t bit = 1ull << q;
+    const size_t n = _amps.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i & bit)
+            continue;
+        const Amplitude a0 = _amps[i];
+        const Amplitude a1 = _amps[i | bit];
+        _amps[i] = u[0][0] * a0 + u[0][1] * a1;
+        _amps[i | bit] = u[1][0] * a0 + u[1][1] * a1;
+    }
+}
+
+void
+StateVector::apply2Q(const Amplitude (&u)[4][4], int q0, int q1)
+{
+    const std::uint64_t b0 = 1ull << q0;
+    const std::uint64_t b1 = 1ull << q1;
+    const size_t n = _amps.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i & (b0 | b1))
+            continue;
+        // Sub-basis ordering: index bit0 = q0, bit1 = q1.
+        const size_t idx[4] = {i, i | b0, i | b1, i | b0 | b1};
+        Amplitude in[4];
+        for (int k = 0; k < 4; ++k)
+            in[k] = _amps[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Amplitude acc{0.0, 0.0};
+            for (int c = 0; c < 4; ++c)
+                acc += u[r][c] * in[c];
+            _amps[idx[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::apply(const ir::Gate &gate)
+{
+    using ir::GateKind;
+    const auto param = [&gate](size_t i) {
+        if (i >= gate.params().size())
+            throw std::invalid_argument("gate " + gate.name() +
+                                        " missing parameter");
+        return gate.params()[i];
+    };
+
+    U2 u;
+    const Amplitude one{1.0, 0.0};
+    const Amplitude zero{0.0, 0.0};
+    const Amplitude im{0.0, 1.0};
+
+    switch (gate.kind()) {
+      case GateKind::H: {
+        const double r = 1.0 / std::sqrt(2.0);
+        u[0][0] = r; u[0][1] = r; u[1][0] = r; u[1][1] = -r;
+        apply1Q(u, gate.qubit(0));
+        return;
+      }
+      case GateKind::X:
+        u[0][0] = zero; u[0][1] = one; u[1][0] = one; u[1][1] = zero;
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::Y:
+        u[0][0] = zero; u[0][1] = -im; u[1][0] = im; u[1][1] = zero;
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::Z:
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero; u[1][1] = -one;
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::S:
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero; u[1][1] = im;
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::Sdg:
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero; u[1][1] = -im;
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::T:
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero;
+        u[1][1] = std::polar(1.0, pi / 4.0);
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::Tdg:
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero;
+        u[1][1] = std::polar(1.0, -pi / 4.0);
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::SX: {
+        const Amplitude p{0.5, 0.5}, m{0.5, -0.5};
+        u[0][0] = p; u[0][1] = m; u[1][0] = m; u[1][1] = p;
+        apply1Q(u, gate.qubit(0));
+        return;
+      }
+      case GateKind::ID:
+        return;
+      case GateKind::RX:
+        u3Matrix(param(0), -pi / 2.0, pi / 2.0, u);
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::RY:
+        u3Matrix(param(0), 0.0, 0.0, u);
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::RZ: {
+        // Up to global phase, rz(phi) == u1(phi).
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero;
+        u[1][1] = std::polar(1.0, param(0));
+        apply1Q(u, gate.qubit(0));
+        return;
+      }
+      case GateKind::U1:
+        u[0][0] = one; u[0][1] = zero; u[1][0] = zero;
+        u[1][1] = std::polar(1.0, param(0));
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::U2:
+        u3Matrix(pi / 2.0, param(0), param(1), u);
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::U3:
+        u3Matrix(param(0), param(1), param(2), u);
+        apply1Q(u, gate.qubit(0));
+        return;
+      case GateKind::CX: {
+        // q0 = control, q1 = target.
+        const std::uint64_t ctrl = 1ull << gate.qubit(0);
+        const std::uint64_t tgt = 1ull << gate.qubit(1);
+        for (size_t i = 0; i < _amps.size(); ++i) {
+            if ((i & ctrl) && !(i & tgt))
+                std::swap(_amps[i], _amps[i | tgt]);
+        }
+        return;
+      }
+      case GateKind::CZ: {
+        const std::uint64_t mask =
+            (1ull << gate.qubit(0)) | (1ull << gate.qubit(1));
+        for (size_t i = 0; i < _amps.size(); ++i) {
+            if ((i & mask) == mask)
+                _amps[i] = -_amps[i];
+        }
+        return;
+      }
+      case GateKind::CP: {
+        const Amplitude phase = std::polar(1.0, param(0));
+        const std::uint64_t mask =
+            (1ull << gate.qubit(0)) | (1ull << gate.qubit(1));
+        for (size_t i = 0; i < _amps.size(); ++i) {
+            if ((i & mask) == mask)
+                _amps[i] *= phase;
+        }
+        return;
+      }
+      case GateKind::RZZ: {
+        const Amplitude even = std::polar(1.0, -param(0) / 2.0);
+        const Amplitude odd = std::polar(1.0, param(0) / 2.0);
+        const std::uint64_t b0 = 1ull << gate.qubit(0);
+        const std::uint64_t b1 = 1ull << gate.qubit(1);
+        for (size_t i = 0; i < _amps.size(); ++i) {
+            const bool p0 = (i & b0) != 0;
+            const bool p1 = (i & b1) != 0;
+            _amps[i] *= (p0 == p1) ? even : odd;
+        }
+        return;
+      }
+      case GateKind::Swap: {
+        const std::uint64_t b0 = 1ull << gate.qubit(0);
+        const std::uint64_t b1 = 1ull << gate.qubit(1);
+        for (size_t i = 0; i < _amps.size(); ++i) {
+            if ((i & b0) && !(i & b1))
+                std::swap(_amps[i], _amps[(i & ~b0) | b1]);
+        }
+        return;
+      }
+      case GateKind::Barrier:
+        return;
+      case GateKind::GT:
+        throw std::invalid_argument(
+            "GT skeleton gates have no concrete unitary; simulate the "
+            "concrete QFT circuit instead");
+      default:
+        throw std::invalid_argument("cannot simulate gate: " +
+                                    gate.name());
+    }
+}
+
+void
+StateVector::run(const ir::Circuit &circuit)
+{
+    if (circuit.numQubits() > _numQubits)
+        throw std::invalid_argument("circuit wider than state");
+    for (const ir::Gate &g : circuit.gates())
+        apply(g);
+}
+
+double
+StateVector::norm() const
+{
+    double total = 0.0;
+    for (const Amplitude &a : _amps)
+        total += std::norm(a);
+    return total;
+}
+
+double
+StateVector::overlap(const StateVector &other) const
+{
+    if (other._amps.size() != _amps.size())
+        throw std::invalid_argument("overlap: size mismatch");
+    Amplitude inner{0.0, 0.0};
+    for (size_t i = 0; i < _amps.size(); ++i)
+        inner += std::conj(_amps[i]) * other._amps[i];
+    return std::abs(inner);
+}
+
+bool
+semanticallyEquivalent(const ir::Circuit &logical,
+                       const ir::MappedCircuit &mapped, int trials,
+                       std::uint64_t seed)
+{
+    const int nl = logical.numQubits();
+    const int np = mapped.physical.numQubits();
+    if (static_cast<int>(mapped.initialLayout.size()) != nl ||
+        static_cast<int>(mapped.finalLayout.size()) != nl) {
+        return false;
+    }
+    if (np > 22 || nl > 22)
+        throw std::invalid_argument("semanticallyEquivalent: too wide");
+
+    SplitMix64 rng(seed);
+    for (int trial = 0; trial <= trials; ++trial) {
+        // Random product input state: ry(a) u1(b) on each logical
+        // qubit (trial 0 uses the all-zeros state).
+        std::vector<std::pair<double, double>> prep(
+            static_cast<size_t>(nl), {0.0, 0.0});
+        if (trial > 0) {
+            for (auto &p : prep)
+                p = {rng.unit() * pi, rng.unit() * 2.0 * pi};
+        }
+
+        StateVector lhs(nl);
+        for (int q = 0; q < nl; ++q) {
+            lhs.apply(ir::Gate(
+                ir::GateKind::RY, q,
+                std::vector<double>{prep[static_cast<size_t>(q)].first}));
+            lhs.apply(ir::Gate(
+                ir::GateKind::U1, q,
+                std::vector<double>{prep[static_cast<size_t>(q)].second}));
+        }
+        ir::Circuit logical_clean = logical.withoutSwapsAndBarriers();
+        lhs.run(logical_clean);
+
+        StateVector rhs_phys(np);
+        for (int l = 0; l < nl; ++l) {
+            const int p = mapped.initialLayout[static_cast<size_t>(l)];
+            rhs_phys.apply(ir::Gate(
+                ir::GateKind::RY, p,
+                std::vector<double>{prep[static_cast<size_t>(l)].first}));
+            rhs_phys.apply(ir::Gate(
+                ir::GateKind::U1, p,
+                std::vector<double>{prep[static_cast<size_t>(l)].second}));
+        }
+        for (const ir::Gate &g : mapped.physical.gates()) {
+            if (!g.isBarrier() && !g.isMeasure())
+                rhs_phys.apply(g);
+        }
+
+        // Project the physical state back to logical qubit order via
+        // the final layout; unoccupied physical qubits must be |0>.
+        std::vector<Amplitude> out(size_t{1} << nl, Amplitude{0.0, 0.0});
+        const auto &phys_amps = rhs_phys.amplitudes();
+        for (size_t idx = 0; idx < phys_amps.size(); ++idx) {
+            if (phys_amps[idx] == Amplitude{0.0, 0.0})
+                continue;
+            std::uint64_t log_idx = 0;
+            std::uint64_t covered = 0;
+            for (int l = 0; l < nl; ++l) {
+                const int p = mapped.finalLayout[static_cast<size_t>(l)];
+                covered |= 1ull << p;
+                if (idx & (1ull << p))
+                    log_idx |= 1ull << l;
+            }
+            if ((idx & ~covered) != 0) {
+                // Amplitude on an unoccupied physical qubit: the
+                // mapped circuit leaked state; only tolerable if tiny.
+                if (std::norm(phys_amps[idx]) > 1e-18)
+                    return false;
+                continue;
+            }
+            out[static_cast<size_t>(log_idx)] += phys_amps[idx];
+        }
+        // Fidelity against the logical result, up to global phase.
+        Amplitude inner{0.0, 0.0};
+        double n1 = 0.0, n2 = 0.0;
+        const auto &lamps = lhs.amplitudes();
+        for (size_t i = 0; i < out.size(); ++i) {
+            inner += std::conj(lamps[i]) * out[i];
+            n1 += std::norm(lamps[i]);
+            n2 += std::norm(out[i]);
+        }
+        if (n2 < 1e-12)
+            return false;
+        if (std::abs(inner) / std::sqrt(n1 * n2) < 1.0 - 1e-7)
+            return false;
+    }
+    return true;
+}
+
+} // namespace toqm::sim

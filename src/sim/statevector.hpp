@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense statevector simulator.
+ *
+ * This is the semantic-equivalence oracle of the repository: tests use
+ * it to prove that a mapped circuit (swaps inserted, qubits permuted)
+ * implements exactly the same unitary as the original logical circuit,
+ * up to the tracked output permutation and a global phase.
+ *
+ * Supports every concrete gate kind in ir::GateKind (GT skeleton
+ * gates have no fixed unitary and are rejected).  Practical up to
+ * ~14 qubits, which covers every optimality experiment in the paper.
+ */
+
+#ifndef TOQM_SIM_STATEVECTOR_HPP
+#define TOQM_SIM_STATEVECTOR_HPP
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::sim {
+
+using Amplitude = std::complex<double>;
+
+/** A dense quantum state over n qubits (qubit 0 = least significant). */
+class StateVector
+{
+  public:
+    /** Initialize to the basis state |basis> over @p num_qubits. */
+    explicit StateVector(int num_qubits, std::uint64_t basis = 0);
+
+    int numQubits() const { return _numQubits; }
+
+    const std::vector<Amplitude> &amplitudes() const { return _amps; }
+
+    Amplitude amplitude(std::uint64_t basis) const
+    {
+        return _amps[static_cast<size_t>(basis)];
+    }
+
+    /** Apply a single gate. @throws for non-unitary/GT/opaque kinds. */
+    void apply(const ir::Gate &gate);
+
+    /** Apply every gate of @p circuit in order. */
+    void run(const ir::Circuit &circuit);
+
+    /** Apply an arbitrary 2x2 unitary to qubit @p q. */
+    void apply1Q(const Amplitude (&u)[2][2], int q);
+
+    /** Apply an arbitrary 4x4 unitary to (q0=low bit, q1=high bit). */
+    void apply2Q(const Amplitude (&u)[4][4], int q0, int q1);
+
+    /** Sum of |amplitude|^2 (should stay 1 within rounding). */
+    double norm() const;
+
+    /**
+     * Fidelity |<this|other>|: 1 means equal up to global phase.
+     */
+    double overlap(const StateVector &other) const;
+
+  private:
+    int _numQubits;
+    std::vector<Amplitude> _amps;
+};
+
+/**
+ * Compare a mapped circuit against its logical original.
+ *
+ * Simulates both on @p trials random product input states (plus the
+ * all-zeros state), placing logical inputs on physical qubits per the
+ * initial layout and reading results back per the final layout.
+ *
+ * @return true if every trial matches up to global phase (within
+ *         1e-7 infidelity).
+ */
+bool semanticallyEquivalent(const ir::Circuit &logical,
+                            const ir::MappedCircuit &mapped,
+                            int trials = 3, std::uint64_t seed = 12345);
+
+} // namespace toqm::sim
+
+#endif // TOQM_SIM_STATEVECTOR_HPP

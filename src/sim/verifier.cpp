@@ -1,0 +1,152 @@
+#include "verifier.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace toqm::sim {
+
+namespace {
+
+VerifyResult
+failure(std::string message)
+{
+    VerifyResult r;
+    r.ok = false;
+    r.message = std::move(message);
+    return r;
+}
+
+} // namespace
+
+VerifyResult
+verifyMapping(const ir::Circuit &logical, const ir::MappedCircuit &mapped,
+              const arch::CouplingGraph &graph)
+{
+    const int nl = logical.numQubits();
+    const int np = graph.numQubits();
+
+    if (mapped.physical.numQubits() != np) {
+        return failure("physical circuit has " +
+                       std::to_string(mapped.physical.numQubits()) +
+                       " qubits but device has " + std::to_string(np));
+    }
+    if (static_cast<int>(mapped.initialLayout.size()) != nl)
+        return failure("initial layout size mismatch");
+    if (!ir::isInjectiveLayout(mapped.initialLayout, np))
+        return failure("initial layout is not injective");
+
+    // Per-logical-qubit queues of pending original gate indices.
+    // Barriers are scheduling directives, not executable operations:
+    // mappers legitimately drop them, so they do not enter the
+    // queues.
+    std::vector<std::vector<int>> queue(static_cast<size_t>(nl));
+    for (int i = 0; i < logical.size(); ++i) {
+        if (logical.gate(i).isBarrier())
+            continue;
+        for (int q : logical.gate(i).qubits())
+            queue[static_cast<size_t>(q)].push_back(i);
+    }
+    std::vector<size_t> head(static_cast<size_t>(nl), 0);
+
+    std::vector<int> phys2log =
+        ir::invertLayout(mapped.initialLayout, np);
+
+    for (int i = 0; i < mapped.physical.size(); ++i) {
+        const ir::Gate &g = mapped.physical.gate(i);
+
+        // Coupling compliance for every real two-qubit operation.
+        if (g.numQubits() == 2 && !g.isBarrier() &&
+            !graph.adjacent(g.qubit(0), g.qubit(1))) {
+            return failure("gate " + std::to_string(i) + " (" + g.str() +
+                           ") acts on uncoupled physical qubits");
+        }
+
+        if (g.isBarrier())
+            continue;
+        if (g.isSwap()) {
+            std::swap(phys2log[static_cast<size_t>(g.qubit(0))],
+                      phys2log[static_cast<size_t>(g.qubit(1))]);
+            continue;
+        }
+
+        // Translate to logical operands.
+        std::vector<int> logical_qubits;
+        logical_qubits.reserve(g.qubits().size());
+        for (int p : g.qubits()) {
+            const int l = phys2log[static_cast<size_t>(p)];
+            if (l < 0) {
+                return failure("gate " + std::to_string(i) + " (" +
+                               g.str() +
+                               ") touches an unoccupied physical qubit");
+            }
+            logical_qubits.push_back(l);
+        }
+
+        // The gate must be at the head of every operand's queue.
+        int expect = -1;
+        for (int l : logical_qubits) {
+            auto &q = queue[static_cast<size_t>(l)];
+            auto &h = head[static_cast<size_t>(l)];
+            if (h >= q.size()) {
+                return failure("extra gate " + g.str() +
+                               " beyond logical program on q" +
+                               std::to_string(l));
+            }
+            if (expect == -1) {
+                expect = q[h];
+            } else if (q[h] != expect) {
+                return failure(
+                    "gate " + g.str() +
+                    " violates dependency order (operand queues point "
+                    "at different originals)");
+            }
+        }
+        const ir::Gate &orig = logical.gate(expect);
+
+        // Kind/name/parameters must match; operand order must match
+        // up to the gate's own symmetry (CX is directional: control
+        // and target may not be flipped silently).
+        if (orig.kind() != g.kind() || orig.name() != g.name() ||
+            orig.params() != g.params()) {
+            return failure("gate " + g.str() +
+                           " does not match original " + orig.str());
+        }
+        for (size_t k = 0; k < logical_qubits.size(); ++k) {
+            if (orig.qubits()[k] != logical_qubits[k]) {
+                return failure("gate " + g.str() +
+                               " has permuted operands vs original " +
+                               orig.str());
+            }
+        }
+        for (int l : logical_qubits)
+            ++head[static_cast<size_t>(l)];
+    }
+
+    for (int l = 0; l < nl; ++l) {
+        if (head[static_cast<size_t>(l)] !=
+            queue[static_cast<size_t>(l)].size()) {
+            return failure("logical qubit q" + std::to_string(l) +
+                           " has unexecuted gates remaining");
+        }
+    }
+
+    // Final layout cross-check.
+    const auto propagated =
+        ir::propagateLayout(mapped.physical, mapped.initialLayout);
+    if (static_cast<int>(mapped.finalLayout.size()) != nl)
+        return failure("final layout size mismatch");
+    for (int l = 0; l < nl; ++l) {
+        if (propagated[static_cast<size_t>(l)] !=
+            mapped.finalLayout[static_cast<size_t>(l)]) {
+            return failure("declared final layout disagrees with swap "
+                           "propagation at q" + std::to_string(l));
+        }
+    }
+
+    VerifyResult ok;
+    ok.ok = true;
+    ok.message = "ok";
+    return ok;
+}
+
+} // namespace toqm::sim

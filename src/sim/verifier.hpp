@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Structural verifier for mapped circuits.
+ *
+ * Independently re-checks everything a mapper promises:
+ *  1. the initial layout is a valid injection into the device;
+ *  2. every two-qubit gate (incl.\ inserted swaps) acts on physically
+ *     coupled qubits;
+ *  3. tracking the logical permutation through the swaps, the
+ *     non-swap gates replay the original circuit exactly — same gate
+ *     kinds, parameters and per-qubit order (i.e.\ the dependency DAG
+ *     is respected);
+ *  4. the declared final layout equals the propagated one.
+ *
+ * The verifier is deliberately implemented with none of the mapper's
+ * data structures so that a bug in the mapper cannot hide itself.
+ */
+
+#ifndef TOQM_SIM_VERIFIER_HPP
+#define TOQM_SIM_VERIFIER_HPP
+
+#include <string>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::sim {
+
+/** Outcome of a structural verification. */
+struct VerifyResult
+{
+    bool ok = false;
+    std::string message; ///< Human-readable failure reason if !ok.
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Structurally verify @p mapped against @p logical on @p graph.
+ */
+VerifyResult verifyMapping(const ir::Circuit &logical,
+                           const ir::MappedCircuit &mapped,
+                           const arch::CouplingGraph &graph);
+
+} // namespace toqm::sim
+
+#endif // TOQM_SIM_VERIFIER_HPP

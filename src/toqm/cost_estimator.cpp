@@ -1,0 +1,133 @@
+#include "cost_estimator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace toqm::core {
+
+CostEstimator::CostEstimator(const SearchContext &ctx, int horizon_gates)
+    : _ctx(ctx), _horizonGates(horizon_gates)
+{
+    _ready.resize(static_cast<size_t>(ctx.numLogical()));
+    _busySum.resize(static_cast<size_t>(ctx.numLogical()));
+
+    // Reverse critical-path lengths.  A gate's successors are the
+    // next gates on each of its operand qubits.
+    const int n = ctx.numGates();
+    _tail.assign(static_cast<size_t>(n), 0);
+    for (int i = n - 1; i >= 0; --i) {
+        const ir::Gate &g = _ctx.circuit().gate(i);
+        int best_succ = 0;
+        for (int q : g.qubits()) {
+            const auto &gates = _ctx.qubitGates(q);
+            const int pos = _ctx.posOnQubit(i, q);
+            if (pos + 1 < static_cast<int>(gates.size())) {
+                best_succ = std::max(
+                    best_succ,
+                    _tail[static_cast<size_t>(
+                        gates[static_cast<size_t>(pos + 1)])]);
+            }
+        }
+        _tail[static_cast<size_t>(i)] =
+            _ctx.gateLatency(i) + best_succ;
+    }
+}
+
+int
+CostEstimator::twoQubitDelay(int d, int u, int t_a, int t_b) const
+{
+    // Enumerate all splits r + s = d - 1 of the required swaps
+    // between the two operand qubits; each qubit only pays for delay
+    // beyond its slack (u - T).  Take the split minimizing the larger
+    // delay (Section 5.1).
+    const int swap_len = _ctx.swapLatency();
+    const int k = d - 1;
+    const int slack_a = u - t_a;
+    const int slack_b = u - t_b;
+    int best = std::numeric_limits<int>::max();
+    for (int r = 0; r <= k; ++r) {
+        const int s = k - r;
+        const int delay_a = std::max(r * swap_len - slack_a, 0);
+        const int delay_b = std::max(s * swap_len - slack_b, 0);
+        best = std::min(best, std::max(delay_a, delay_b));
+    }
+    return best;
+}
+
+int
+CostEstimator::estimate(const SearchNode &node) const
+{
+    const int nl = _ctx.numLogical();
+    int h = 0;
+
+    const int *l2p = node.log2phys();
+    const int *busy = node.busyUntil();
+    const int *head = node.head();
+
+    // Relative availability of each logical qubit (0 == can start at
+    // node.cycle + 1).  Partially executed gates and active swaps
+    // enter the bound through this term (they are the "executed in
+    // part" members of V_rem).
+    for (int l = 0; l < nl; ++l) {
+        const int p = l2p[l];
+        const int avail =
+            p >= 0 ? std::max(0, busy[p] - node.cycle) : 0;
+        _ready[static_cast<size_t>(l)] = avail;
+        _busySum[static_cast<size_t>(l)] = avail;
+        h = std::max(h, avail);
+        // Global critical-path bound through this qubit's next gate.
+        const auto &gates = _ctx.qubitGates(l);
+        if (head[l] < static_cast<int>(gates.size())) {
+            h = std::max(
+                h, avail + _tail[static_cast<size_t>(
+                               gates[static_cast<size_t>(head[l])])]);
+        }
+    }
+
+    int processed = 0;
+    const int total = _ctx.numGates();
+    for (int i = 0; i < total; ++i) {
+        const ir::Gate &g = _ctx.circuit().gate(i);
+        const int q0 = g.qubit(0);
+        // Scheduled gates are not part of the remaining circuit.
+        if (_ctx.posOnQubit(i, q0) < head[q0])
+            continue;
+        if (_horizonGates >= 0 && processed >= _horizonGates)
+            break;
+        ++processed;
+
+        const int len = _ctx.gateLatency(i);
+        if (g.numQubits() == 1) {
+            const int u = _ready[static_cast<size_t>(q0)];
+            _ready[static_cast<size_t>(q0)] = u + len;
+            _busySum[static_cast<size_t>(q0)] += len;
+            h = std::max(h, u + len);
+            continue;
+        }
+
+        const int q1 = g.qubit(1);
+        const int u = std::max(_ready[static_cast<size_t>(q0)],
+                               _ready[static_cast<size_t>(q1)]);
+        const int p0 = l2p[q0];
+        const int p1 = l2p[q1];
+        int t_min = u;
+        if (p0 >= 0 && p1 >= 0) {
+            const int d = _ctx.graph().distance(p0, p1);
+            if (d > 1) {
+                t_min = u + twoQubitDelay(
+                                d, u, _busySum[static_cast<size_t>(q0)],
+                                _busySum[static_cast<size_t>(q1)]);
+            }
+        }
+        // Unmapped operands (on-the-fly initial mapping) could still
+        // be placed adjacent, so d == 1 is the admissible choice.
+        _ready[static_cast<size_t>(q0)] = t_min + len;
+        _ready[static_cast<size_t>(q1)] = t_min + len;
+        _busySum[static_cast<size_t>(q0)] += len;
+        _busySum[static_cast<size_t>(q1)] += len;
+        h = std::max(h, t_min + len);
+    }
+    return h;
+}
+
+} // namespace toqm::core

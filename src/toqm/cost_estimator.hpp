@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The admissible heuristic h(v) of Section 5.1.
+ *
+ * Processes the remaining dependency graph in topological order
+ * (program order restricted to unscheduled gates), computing for each
+ * gate a lower bound t_min on its start time.  For a two-qubit gate
+ * whose operands sit d apart, all (r, s) splits of the required d-1
+ * swaps between the two operand qubits are enumerated; each side is
+ * charged only for delay exceeding its slack u - T (Fig 8), which is
+ * what makes the bound tight where the "meet in the middle" fallacy
+ * of Fig 9 is loose.
+ *
+ * Lemma A.1 proves h never overestimates, so A* with f = g + h is
+ * optimal (Theorem 5.2).
+ */
+
+#ifndef TOQM_CORE_COST_ESTIMATOR_HPP
+#define TOQM_CORE_COST_ESTIMATOR_HPP
+
+#include "search_context.hpp"
+#include "search_node.hpp"
+
+namespace toqm::core {
+
+/** Computes h(v) for search nodes of one context. */
+class CostEstimator
+{
+  public:
+    /**
+     * @param ctx the shared search context.
+     * @param horizon_gates if >= 0, only the first N remaining gates
+     *        enter the bound (the Section 6.2 scalable approximation;
+     *        the bound stays admissible because dropping gates can
+     *        only lower a maximum).  -1 means no limit.
+     */
+    explicit CostEstimator(const SearchContext &ctx,
+                           int horizon_gates = -1);
+
+    /**
+     * Lower bound (in cycles) on the time from @p node to any
+     * terminal node.
+     */
+    int estimate(const SearchNode &node) const;
+
+  private:
+    const SearchContext &_ctx;
+    int _horizonGates;
+
+    /**
+     * tail[i]: latency-weighted critical path from gate i (inclusive)
+     * to the end of the circuit, ignoring routing.  Gives an O(1)
+     * global lower bound per frontier gate, so a windowed detailed
+     * bound (horizon_gates) cannot make far-from-done nodes look
+     * artificially cheap.
+     */
+    std::vector<int> _tail;
+
+    /** Scratch buffers reused across calls (estimate is not
+     * re-entrant; the mappers are single-threaded). */
+    mutable std::vector<int> _ready; ///< per logical qubit
+    mutable std::vector<int> _busySum; ///< per logical qubit (T_q)
+
+    int twoQubitDelay(int d, int u, int t_a, int t_b) const;
+};
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_COST_ESTIMATOR_HPP

@@ -1,0 +1,191 @@
+#include "expander.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace toqm::core {
+
+Expander::Expander(const SearchContext &ctx, ExpanderConfig config)
+    : _ctx(ctx), _config(config)
+{}
+
+std::vector<Action>
+Expander::readyGates(const SearchNode &node) const
+{
+    std::vector<Action> out;
+    const int start = node.cycle + 1;
+    if (!_config.allowConcurrentSwapAndGate &&
+        start <= node.activeSwapUntil) {
+        return out; // a swap is still running; gates must wait
+    }
+
+    const int *head = node.head();
+    const int *l2p = node.log2phys();
+    const int *busy = node.busyUntil();
+
+    for (int l = 0; l < _ctx.numLogical(); ++l) {
+        const auto &gates = _ctx.qubitGates(l);
+        const int h = head[l];
+        if (h >= static_cast<int>(gates.size()))
+            continue;
+        const int gi = gates[static_cast<size_t>(h)];
+        const ir::Gate &g = _ctx.circuit().gate(gi);
+        // Dedup: only consider the gate from its first operand.
+        if (g.qubit(0) != l)
+            continue;
+
+        bool ok = true;
+        for (int q : g.qubits()) {
+            // Must be the head on every operand...
+            if (_ctx.posOnQubit(gi, q) != head[q]) {
+                ok = false;
+                break;
+            }
+            // ...with the operand mapped and idle next cycle.
+            const int p = l2p[q];
+            if (p < 0 || busy[p] >= start) {
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+
+        Action a;
+        a.gateIndex = gi;
+        a.p0 = l2p[g.qubit(0)];
+        a.p1 = g.numQubits() == 2 ? l2p[g.qubit(1)] : -1;
+        if (a.p1 >= 0 && !_ctx.graph().adjacent(a.p0, a.p1))
+            continue; // coupling constraint
+        out.push_back(a);
+    }
+    return out;
+}
+
+std::vector<Action>
+Expander::candidateSwaps(const SearchNode &node) const
+{
+    std::vector<Action> out;
+    const int start = node.cycle + 1;
+    if (!_config.allowConcurrentSwapAndGate &&
+        start <= node.activeGateUntil) {
+        return out; // an original gate is still running
+    }
+    const int *busy = node.busyUntil();
+    const int *partner = node.lastSwapPartner();
+    const int *p2l = node.phys2log();
+    for (const auto &[p0, p1] : _ctx.graph().edges()) {
+        if (busy[p0] >= start || busy[p1] >= start)
+            continue;
+        // Cyclic-swap elimination: undoing the identical swap.
+        if (_config.useCyclicSwapElimination && partner[p0] == p1 &&
+            partner[p1] == p0) {
+            continue;
+        }
+        // A swap moving two empty positions accomplishes nothing.
+        if (p2l[p0] < 0 && p2l[p1] < 0)
+            continue;
+        Action a;
+        a.gateIndex = -1;
+        a.p0 = p0;
+        a.p1 = p1;
+        out.push_back(a);
+    }
+    return out;
+}
+
+void
+Expander::enumerateSubsets(const SearchNode::ConstPtr &node,
+                           int start_cycle,
+                           const std::vector<Action> &candidates,
+                           Expansion &out) const
+{
+    std::vector<char> used(static_cast<size_t>(_ctx.numPhysical()), 0);
+    std::vector<Action> current;
+    const bool mixing_allowed = _config.allowConcurrentSwapAndGate;
+    const int *busy = node->busyUntil();
+
+    const auto recurse = [&](auto &&self, size_t idx) -> void {
+        if (idx == candidates.size()) {
+            if (current.empty())
+                return;
+            // Redundancy elimination: if every chosen action was
+            // already startable at the previous decision point, an
+            // earlier-starting sibling exists.
+            bool all_startable_earlier = true;
+            for (const Action &a : current) {
+                if (busy[a.p0] >= node->cycle ||
+                    (a.p1 >= 0 && busy[a.p1] >= node->cycle)) {
+                    all_startable_earlier = false;
+                    break;
+                }
+            }
+            if (all_startable_earlier && node->cycle > 0 &&
+                _config.useRedundancyElimination) {
+                return;
+            }
+            if (out.children.size() >= _config.maxChildrenPerNode) {
+                throw std::runtime_error(
+                    "expander exceeded maxChildrenPerNode; this input "
+                    "is too large for exhaustive optimal search (use "
+                    "the heuristic mapper)");
+            }
+            out.children.push_back(
+                SearchNode::expand(_ctx, node, start_cycle, current));
+            return;
+        }
+        // Branch 1: skip candidate idx.
+        self(self, idx + 1);
+        // Branch 2: take it if qubit-disjoint (and mode-compatible).
+        const Action &a = candidates[idx];
+        if (used[static_cast<size_t>(a.p0)] ||
+            (a.p1 >= 0 && used[static_cast<size_t>(a.p1)])) {
+            return;
+        }
+        if (!mixing_allowed && !current.empty() &&
+            current.front().isSwap() != a.isSwap()) {
+            return;
+        }
+        used[static_cast<size_t>(a.p0)] = 1;
+        if (a.p1 >= 0)
+            used[static_cast<size_t>(a.p1)] = 1;
+        current.push_back(a);
+        self(self, idx + 1);
+        current.pop_back();
+        used[static_cast<size_t>(a.p0)] = 0;
+        if (a.p1 >= 0)
+            used[static_cast<size_t>(a.p1)] = 0;
+    };
+    recurse(recurse, 0);
+}
+
+Expansion
+Expander::expand(const SearchNode::ConstPtr &node) const
+{
+    Expansion out;
+    const int start = node->cycle + 1;
+
+    std::vector<Action> candidates = readyGates(*node);
+    {
+        std::vector<Action> swaps = candidateSwaps(*node);
+        candidates.insert(candidates.end(), swaps.begin(), swaps.end());
+    }
+    enumerateSubsets(node, start, candidates, out);
+
+    // Wait child: jump to the next completion time.
+    int next_completion = std::numeric_limits<int>::max();
+    const int *busy = node->busyUntil();
+    for (int p = 0; p < node->numPhysical(); ++p) {
+        if (busy[p] > node->cycle)
+            next_completion = std::min(next_completion, busy[p]);
+    }
+    if (next_completion != std::numeric_limits<int>::max()) {
+        out.waitChild =
+            SearchNode::expand(_ctx, node, next_completion, {});
+        out.children.push_back(out.waitChild);
+    }
+    return out;
+}
+
+} // namespace toqm::core

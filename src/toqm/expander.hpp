@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Node expander (Section 4.2): enumerates every child state a node
+ * can transition to at the next decision point.
+ *
+ * Children are all non-empty, qubit-disjoint subsets of the ready
+ * actions (dependence-resolved, coupling-compliant original gates
+ * plus swaps on idle coupled pairs), started one cycle after the
+ * node, plus a single "wait" child that jumps to the next completion
+ * time.  Two redundancy eliminations are applied (both proven safe in
+ * DESIGN.md / the paper):
+ *
+ *  - subsets whose every action was already startable one decision
+ *    point earlier are dropped (an earlier-starting sibling exists);
+ *  - cyclic swaps (a swap immediately undoing the identical swap on
+ *    the same pair) are dropped.
+ *
+ * The optional constrained mode (used for Fig 14) forbids swaps and
+ * original gates from overlapping in time at all.
+ */
+
+#ifndef TOQM_CORE_EXPANDER_HPP
+#define TOQM_CORE_EXPANDER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "search_context.hpp"
+#include "search_node.hpp"
+
+namespace toqm::core {
+
+/** Expansion policy knobs. */
+struct ExpanderConfig
+{
+    /** Fig 14 mode: if false, swaps and gates never overlap. */
+    bool allowConcurrentSwapAndGate = true;
+    /** Hard cap on children per node (guards combinatorial blowup). */
+    std::uint64_t maxChildrenPerNode = 1u << 20;
+    /** Ablation toggle for the could-have-started-earlier prune. */
+    bool useRedundancyElimination = true;
+    /** Ablation toggle for cyclic-swap elimination. */
+    bool useCyclicSwapElimination = true;
+};
+
+/** The result of expanding one node. */
+struct Expansion
+{
+    std::vector<SearchNode::Ptr> children;
+    /** The wait child, if any (also present in children). */
+    SearchNode::Ptr waitChild;
+};
+
+/** Enumerates children per the paper's search-space definition. */
+class Expander
+{
+  public:
+    Expander(const SearchContext &ctx, ExpanderConfig config = {});
+
+    /**
+     * Ready original gates: at the head of each operand's program
+     * order, operand qubits idle after @p node 's cycle, coupling
+     * satisfied (1-qubit gates need only idleness).
+     */
+    std::vector<Action> readyGates(const SearchNode &node) const;
+
+    /** Swaps startable next cycle (idle coupled pairs, non-cyclic). */
+    std::vector<Action> candidateSwaps(const SearchNode &node) const;
+
+    /** Full expansion of @p node. */
+    Expansion expand(const SearchNode::ConstPtr &node) const;
+
+    const SearchContext &context() const { return _ctx; }
+
+  private:
+    const SearchContext &_ctx;
+    ExpanderConfig _config;
+
+    void enumerateSubsets(const SearchNode::ConstPtr &node,
+                          int start_cycle,
+                          const std::vector<Action> &candidates,
+                          Expansion &out) const;
+};
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_EXPANDER_HPP

@@ -1,0 +1,98 @@
+#include "filter.hpp"
+
+#include <cstring>
+
+namespace toqm::core {
+
+Filter::Filter(size_t max_entries) : _maxEntries(max_entries) {}
+
+int
+Filter::compare(const SearchNode &a, const SearchNode &b)
+{
+    // O(1) aggregate quick rejects: domination implies the sums obey
+    // the same inequalities.
+    bool a_wins = a.costG <= b.costG &&
+                  a.scheduledGates >= b.scheduledGates &&
+                  a.busySum <= b.busySum;
+    bool b_wins = b.costG <= a.costG &&
+                  b.scheduledGates >= a.scheduledGates &&
+                  b.busySum <= a.busySum;
+    if (!a_wins && !b_wins)
+        return 0;
+
+    if (std::memcmp(a.log2phys(), b.log2phys(),
+                    static_cast<size_t>(a.numLogical()) * sizeof(int)) !=
+        0) {
+        return 0;
+    }
+
+    const int nl = a.numLogical();
+    const int *ah = a.head();
+    const int *bh = b.head();
+    for (int l = 0; l < nl; ++l) {
+        if (ah[l] < bh[l])
+            a_wins = false;
+        if (bh[l] < ah[l])
+            b_wins = false;
+        if (!a_wins && !b_wins)
+            return 0;
+    }
+    const int np = a.numPhysical();
+    const int *ab = a.busyUntil();
+    const int *bb = b.busyUntil();
+    for (int p = 0; p < np; ++p) {
+        if (ab[p] > bb[p])
+            a_wins = false;
+        if (bb[p] > ab[p])
+            b_wins = false;
+        if (!a_wins && !b_wins)
+            return 0;
+    }
+    if (a_wins)
+        return -1; // a dominates (or equals) b
+    return b_wins ? 1 : 0;
+}
+
+bool
+Filter::admit(const SearchNode::Ptr &node, bool exempt)
+{
+    if (_maxEntries != 0 && _entries > _maxEntries)
+        clear();
+
+    auto &bucket = _table[node->mappingHash()];
+    for (auto &entry : bucket) {
+        if (entry->dead)
+            continue;
+        const int cmp = compare(*entry, *node);
+        if (cmp < 0 && !exempt) {
+            ++_dropped;
+            return false;
+        }
+        if (cmp > 0) {
+            entry->dead = true;
+            ++_killed;
+        }
+    }
+    // Compact dead entries occasionally to bound bucket scans.
+    if (bucket.size() > 16) {
+        size_t w = 0;
+        for (size_t r = 0; r < bucket.size(); ++r) {
+            if (!bucket[r]->dead)
+                bucket[w++] = bucket[r];
+        }
+        _entries -= bucket.size() - w;
+        bucket.resize(w);
+    }
+    bucket.push_back(node);
+    ++_entries;
+    return true;
+}
+
+void
+Filter::clear()
+{
+    _table.clear();
+    _entries = 0;
+}
+
+} // namespace toqm::core

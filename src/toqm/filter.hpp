@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hash filter with equivalence checking and comparative analysis
+ * (Section 4.2, Fig 5).
+ *
+ * Nodes are bucketed by a hash of their post-swap qubit mapping.  A
+ * new node N is dropped when some recorded node E with the same
+ * mapping *dominates* it:
+ *
+ *   E.costG <= N.costG,  E.head[l] >= N.head[l]  for all logical l,
+ *   E.busyUntil[p] <= N.busyUntil[p]  for all physical p.
+ *
+ * Equality on every component is the paper's equivalence check;
+ * strict improvement anywhere is its comparative analysis.  The
+ * reverse direction marks recorded nodes dead when the newcomer
+ * dominates them.
+ *
+ * Pure-wait children are exempt from being dropped: a wait child's
+ * state equals its parent's except for the clock, so its parent
+ * would always "dominate" it — pruning it would sever the only path
+ * that lets time advance (the parent can only wait *through* that
+ * child).  They are still recorded so they can prune others.
+ */
+
+#ifndef TOQM_CORE_FILTER_HPP
+#define TOQM_CORE_FILTER_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "search_node.hpp"
+
+namespace toqm::core {
+
+/** Duplicate/dominance filter over search nodes. */
+class Filter
+{
+  public:
+    /**
+     * @param max_entries bound on recorded nodes; when exceeded the
+     *        table is cleared (loses pruning power, never
+     *        correctness).  0 means unbounded.
+     */
+    explicit Filter(size_t max_entries = 0);
+
+    /**
+     * Test @p node against the table and record it.
+     *
+     * @param exempt if true (wait children), the node is recorded
+     *        but never dropped.
+     * @return true if the node survives (should be pushed), false if
+     *         a recorded node dominates it.
+     */
+    bool admit(const SearchNode::Ptr &node, bool exempt = false);
+
+    /** Number of nodes dropped so far. */
+    std::uint64_t dropped() const { return _dropped; }
+
+    /** Number of recorded nodes marked dead by newcomers. */
+    std::uint64_t killed() const { return _killed; }
+
+    void clear();
+
+  private:
+    std::unordered_map<std::uint64_t, std::vector<SearchNode::Ptr>>
+        _table;
+    size_t _maxEntries;
+    size_t _entries = 0;
+    std::uint64_t _dropped = 0;
+    std::uint64_t _killed = 0;
+
+    /** -1: a dominates b strictly or equally; +1: b dominates a;
+     *  0: incomparable. */
+    static int compare(const SearchNode &a, const SearchNode &b);
+};
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_FILTER_HPP

@@ -1,0 +1,132 @@
+#include "ida_star.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "cost_estimator.hpp"
+#include "expander.hpp"
+#include "search_context.hpp"
+
+namespace toqm::core {
+
+namespace {
+
+/** Recursive bounded DFS; returns the terminal node or nullptr and
+ *  tracks the smallest f that exceeded the bound. */
+class IdaSearch
+{
+  public:
+    IdaSearch(const SearchContext &ctx, const Expander &expander,
+              const CostEstimator &estimator, std::uint64_t budget)
+        : _ctx(ctx), _expander(expander), _estimator(estimator),
+          _budget(budget)
+    {}
+
+    SearchNode::Ptr
+    search(const SearchNode::Ptr &node, int bound)
+    {
+        _nextBound = std::numeric_limits<int>::max();
+        return dfs(node, bound);
+    }
+
+    int nextBound() const { return _nextBound; }
+
+    std::uint64_t expanded() const { return _expanded; }
+
+    bool exhausted() const { return _expanded >= _budget; }
+
+  private:
+    const SearchContext &_ctx;
+    const Expander &_expander;
+    const CostEstimator &_estimator;
+    std::uint64_t _budget;
+    std::uint64_t _expanded = 0;
+    int _nextBound = std::numeric_limits<int>::max();
+
+    SearchNode::Ptr
+    dfs(const SearchNode::Ptr &node, int bound)
+    {
+        if (node->f() > bound) {
+            _nextBound = std::min(_nextBound, node->f());
+            return nullptr;
+        }
+        if (node->allScheduled(_ctx)) {
+            // With all gates scheduled, f == the exact makespan.
+            return node;
+        }
+        if (++_expanded >= _budget)
+            return nullptr;
+
+        auto expansion = _expander.expand(node);
+        for (auto &child : expansion.children)
+            child->costH = _estimator.estimate(*child);
+        std::sort(expansion.children.begin(),
+                  expansion.children.end(),
+                  [](const SearchNode::Ptr &a,
+                     const SearchNode::Ptr &b) {
+                      if (a->f() != b->f())
+                          return a->f() < b->f();
+                      return a->scheduledGates > b->scheduledGates;
+                  });
+        for (auto &child : expansion.children) {
+            if (auto found = dfs(child, bound))
+                return found;
+            if (exhausted())
+                return nullptr;
+        }
+        return nullptr;
+    }
+};
+
+} // namespace
+
+IdaResult
+idaStarMap(const arch::CouplingGraph &graph,
+           const ir::Circuit &logical,
+           const ir::LatencyModel &latency, bool allow_mixing,
+           std::uint64_t max_expanded)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    IdaResult result;
+
+    const ir::Circuit clean = logical.withoutSwapsAndBarriers();
+    SearchContext ctx(clean, graph, latency);
+    CostEstimator estimator(ctx);
+    ExpanderConfig cfg;
+    cfg.allowConcurrentSwapAndGate = allow_mixing;
+    Expander expander(ctx, cfg);
+
+    auto root = SearchNode::root(
+        ctx, ir::identityLayout(ctx.numLogical()), false);
+    root->costH = estimator.estimate(*root);
+
+    int bound = root->f();
+    std::uint64_t spent = 0;
+    while (spent < max_expanded) {
+        ++result.rounds;
+        IdaSearch search(ctx, expander, estimator,
+                         max_expanded - spent);
+        const auto terminal = search.search(root, bound);
+        spent += search.expanded();
+        result.expanded = spent;
+        if (terminal) {
+            result.success = true;
+            result.cycles = terminal->makespan();
+            result.mapped = reconstructMapping(ctx, terminal);
+            break;
+        }
+        if (search.exhausted() ||
+            search.nextBound() == std::numeric_limits<int>::max()) {
+            break;
+        }
+        bound = search.nextBound();
+    }
+
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    return result;
+}
+
+} // namespace toqm::core

@@ -1,0 +1,213 @@
+#include "initial_layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace toqm::core {
+
+namespace {
+
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : _state(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        _state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = _state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    int
+    below(int bound)
+    {
+        return static_cast<int>(next() % static_cast<std::uint64_t>(bound));
+    }
+
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t _state;
+};
+
+} // namespace
+
+std::vector<std::vector<double>>
+interactionWeights(const ir::Circuit &circuit, double decay)
+{
+    const size_t n = static_cast<size_t>(circuit.numQubits());
+    std::vector<std::vector<double>> weights(
+        n, std::vector<double>(n, 0.0));
+    double w = 1.0;
+    for (const ir::Gate &g : circuit.gates()) {
+        if (g.numQubits() == 2 && !g.isBarrier()) {
+            const size_t a = static_cast<size_t>(g.qubit(0));
+            const size_t b = static_cast<size_t>(g.qubit(1));
+            weights[a][b] += w;
+            weights[b][a] += w;
+        }
+        w *= decay;
+    }
+    return weights;
+}
+
+double
+layoutCost(const std::vector<std::vector<double>> &weights,
+           const arch::CouplingGraph &graph,
+           const std::vector<int> &layout)
+{
+    double cost = 0.0;
+    const size_t n = weights.size();
+    for (size_t a = 0; a < n; ++a) {
+        for (size_t b = a + 1; b < n; ++b) {
+            if (weights[a][b] > 0.0) {
+                cost += weights[a][b] *
+                        graph.distance(layout[a], layout[b]);
+            }
+        }
+    }
+    return cost;
+}
+
+std::vector<int>
+greedyLayout(const ir::Circuit &circuit,
+             const arch::CouplingGraph &graph)
+{
+    const int nl = circuit.numQubits();
+    const int np = graph.numQubits();
+    if (nl > np)
+        throw std::invalid_argument("greedyLayout: circuit too wide");
+
+    const auto weights = interactionWeights(circuit);
+    std::vector<double> degree(static_cast<size_t>(nl), 0.0);
+    for (int a = 0; a < nl; ++a) {
+        for (int b = 0; b < nl; ++b)
+            degree[static_cast<size_t>(a)] +=
+                weights[static_cast<size_t>(a)][static_cast<size_t>(b)];
+    }
+    std::vector<int> order(static_cast<size_t>(nl));
+    for (int i = 0; i < nl; ++i)
+        order[static_cast<size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&degree](int a, int b) {
+        return degree[static_cast<size_t>(a)] >
+               degree[static_cast<size_t>(b)];
+    });
+
+    std::vector<int> layout(static_cast<size_t>(nl), -1);
+    std::vector<char> taken(static_cast<size_t>(np), 0);
+    for (int l : order) {
+        int best = -1;
+        double best_score = std::numeric_limits<double>::max();
+        for (int p = 0; p < np; ++p) {
+            if (taken[static_cast<size_t>(p)])
+                continue;
+            // Weighted distance to already-placed partners; break
+            // ties toward well-connected positions.
+            double score = 0.0;
+            for (int m = 0; m < nl; ++m) {
+                const double w = weights[static_cast<size_t>(l)]
+                                        [static_cast<size_t>(m)];
+                if (w > 0.0 && layout[static_cast<size_t>(m)] >= 0) {
+                    score += w * graph.distance(
+                                     p, layout[static_cast<size_t>(m)]);
+                }
+            }
+            score -= 0.01 * static_cast<double>(
+                                graph.neighbors(p).size());
+            if (score < best_score) {
+                best_score = score;
+                best = p;
+            }
+        }
+        layout[static_cast<size_t>(l)] = best;
+        taken[static_cast<size_t>(best)] = 1;
+    }
+    return layout;
+}
+
+std::vector<int>
+annealedLayout(const ir::Circuit &circuit,
+               const arch::CouplingGraph &graph,
+               const AnnealConfig &config)
+{
+    const int nl = circuit.numQubits();
+    const int np = graph.numQubits();
+    const auto weights = interactionWeights(circuit, config.gateDecay);
+
+    std::vector<int> layout = greedyLayout(circuit, graph);
+    // Extend with the free physical qubits so relocations can use
+    // unoccupied positions too.
+    std::vector<int> pos2log(static_cast<size_t>(np), -1);
+    for (int l = 0; l < nl; ++l)
+        pos2log[static_cast<size_t>(layout[static_cast<size_t>(l)])] =
+            l;
+
+    double cost = layoutCost(weights, graph, layout);
+    double best_cost = cost;
+    std::vector<int> best = layout;
+
+    SplitMix64 rng(config.seed);
+    double temperature = config.initialTemperature;
+    for (int it = 0; it < config.iterations; ++it) {
+        // Propose: swap the occupants of two physical positions (one
+        // may be empty).
+        const int p0 = rng.below(np);
+        int p1 = rng.below(np - 1);
+        if (p1 >= p0)
+            ++p1;
+        const int l0 = pos2log[static_cast<size_t>(p0)];
+        const int l1 = pos2log[static_cast<size_t>(p1)];
+        if (l0 < 0 && l1 < 0)
+            continue;
+
+        // Delta cost: only terms involving l0/l1 change.
+        const auto delta_for = [&](int l, int from, int to) {
+            if (l < 0)
+                return 0.0;
+            double d = 0.0;
+            for (int m = 0; m < nl; ++m) {
+                if (m == l0 || m == l1)
+                    continue;
+                const double w = weights[static_cast<size_t>(l)]
+                                        [static_cast<size_t>(m)];
+                if (w > 0.0) {
+                    const int pm = layout[static_cast<size_t>(m)];
+                    d += w * (graph.distance(to, pm) -
+                              graph.distance(from, pm));
+                }
+            }
+            return d;
+        };
+        double delta = delta_for(l0, p0, p1) + delta_for(l1, p1, p0);
+        // The l0-l1 interaction itself keeps its distance (both move).
+
+        if (delta <= 0.0 ||
+            rng.unit() < std::exp(-delta / temperature)) {
+            pos2log[static_cast<size_t>(p0)] = l1;
+            pos2log[static_cast<size_t>(p1)] = l0;
+            if (l0 >= 0)
+                layout[static_cast<size_t>(l0)] = p1;
+            if (l1 >= 0)
+                layout[static_cast<size_t>(l1)] = p0;
+            cost += delta;
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = layout;
+            }
+        }
+        temperature *= config.cooling;
+    }
+    return best;
+}
+
+} // namespace toqm::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Initial-layout strategies beyond Section 5.3's exact search.
+ *
+ * The exact free-swap search scales only to small devices; the
+ * on-the-fly greedy placement (Section 6.2) is myopic.  This module
+ * adds two classic seeds usable with any mapper in the repository:
+ *
+ *  - degree-matching greedy: place logical qubits in decreasing
+ *    interaction-degree order onto physical qubits chosen to
+ *    minimize the distance to already-placed partners;
+ *  - simulated annealing: minimize the interaction-weighted sum of
+ *    physical distances sum_{(a,b)} w(a,b) * d(pi(a), pi(b)) by
+ *    random pairwise relocations with geometric cooling.
+ *
+ * Both are deterministic given the seed.
+ */
+
+#ifndef TOQM_CORE_INITIAL_LAYOUT_HPP
+#define TOQM_CORE_INITIAL_LAYOUT_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+
+namespace toqm::core {
+
+/**
+ * Interaction weight matrix of a circuit: w[a][b] = number of
+ * two-qubit gates between logical a and b, with earlier gates
+ * weighted more when @p decay < 1 (the front of the circuit
+ * determines how good a layout FEELS to a router).
+ */
+std::vector<std::vector<double>>
+interactionWeights(const ir::Circuit &circuit, double decay = 0.999);
+
+/** The annealing objective: sum w(a,b) * d(layout[a], layout[b]). */
+double layoutCost(const std::vector<std::vector<double>> &weights,
+                  const arch::CouplingGraph &graph,
+                  const std::vector<int> &layout);
+
+/** Greedy degree-matching placement. */
+std::vector<int> greedyLayout(const ir::Circuit &circuit,
+                              const arch::CouplingGraph &graph);
+
+/** Annealing parameters. */
+struct AnnealConfig
+{
+    int iterations = 20'000;
+    double initialTemperature = 2.0;
+    double cooling = 0.9995;
+    std::uint64_t seed = 1;
+    /** Weight decay toward later gates (see interactionWeights). */
+    double gateDecay = 0.999;
+};
+
+/**
+ * Simulated-annealing initial layout (seeded with greedyLayout).
+ */
+std::vector<int> annealedLayout(const ir::Circuit &circuit,
+                                const arch::CouplingGraph &graph,
+                                const AnnealConfig &config = {});
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_INITIAL_LAYOUT_HPP

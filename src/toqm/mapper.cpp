@@ -1,0 +1,291 @@
+#include "mapper.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "cost_estimator.hpp"
+#include "expander.hpp"
+#include "filter.hpp"
+#include "search_context.hpp"
+
+namespace toqm::core {
+
+namespace {
+
+/** Min-heap order on f, preferring more progress on ties. */
+struct NodeOrder
+{
+    bool
+    operator()(const SearchNode::Ptr &a, const SearchNode::Ptr &b) const
+    {
+        if (a->f() != b->f())
+            return a->f() > b->f();
+        if (a->scheduledGates != b->scheduledGates)
+            return a->scheduledGates < b->scheduledGates;
+        return a->costG < b->costG;
+    }
+};
+
+using Queue = std::priority_queue<SearchNode::Ptr,
+                                  std::vector<SearchNode::Ptr>, NodeOrder>;
+
+/**
+ * Cheap achievable upper bound on the optimal makespan: a beam search
+ * over the same node space.  Returns INT_MAX if the beam dies (then
+ * no pruning happens).
+ */
+int
+beamUpperBound(const SearchContext &ctx, const Expander &expander,
+               const CostEstimator &estimator,
+               const SearchNode::Ptr &start, int width)
+{
+    std::vector<SearchNode::Ptr> beam{start};
+    // Generous step bound: every step advances the clock or schedules
+    // a gate, so any valid schedule fits well within this.
+    const long max_steps =
+        16l * ctx.numGates() * (ctx.swapLatency() + 1) +
+        64l * ctx.numPhysical() + 256;
+    for (long step = 0; step < max_steps; ++step) {
+        std::vector<SearchNode::Ptr> next;
+        for (const auto &node : beam) {
+            if (node->allScheduled(ctx))
+                return node->makespan();
+            for (auto &child : expander.expand(node).children) {
+                child->costH = estimator.estimate(*child);
+                next.push_back(std::move(child));
+            }
+        }
+        if (next.empty())
+            return std::numeric_limits<int>::max();
+        std::sort(next.begin(), next.end(),
+                  [](const SearchNode::Ptr &a, const SearchNode::Ptr &b) {
+                      if (a->f() != b->f())
+                          return a->f() < b->f();
+                      return a->scheduledGates > b->scheduledGates;
+                  });
+        if (static_cast<int>(next.size()) > width)
+            next.resize(static_cast<size_t>(width));
+        beam = std::move(next);
+    }
+    return std::numeric_limits<int>::max();
+}
+
+} // namespace
+
+ir::MappedCircuit
+reconstructMapping(const SearchContext &ctx,
+                   const SearchNode::ConstPtr &terminal)
+{
+    // Collect the chain root -> terminal.
+    std::vector<const SearchNode *> chain;
+    for (const SearchNode *n = terminal.get(); n != nullptr;
+         n = n->parent.get()) {
+        chain.push_back(n);
+    }
+    std::reverse(chain.begin(), chain.end());
+
+    const int nl = ctx.numLogical();
+    const int np = ctx.numPhysical();
+
+    // Derive the effective initial occupancy by un-applying every
+    // swap action backwards from the terminal state.  (Zero-cost
+    // initial-phase swaps carry no action and therefore stay folded
+    // into the initial layout, as intended.)
+    std::vector<int> phys2log(terminal->phys2log(),
+                              terminal->phys2log() + np);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        for (const Action &a : (*it)->actions) {
+            if (a.isSwap())
+                std::swap(phys2log[static_cast<size_t>(a.p0)],
+                          phys2log[static_cast<size_t>(a.p1)]);
+        }
+    }
+
+    std::vector<int> initial(static_cast<size_t>(nl), -1);
+    std::vector<char> taken(static_cast<size_t>(np), 0);
+    for (int p = 0; p < np; ++p) {
+        const int l = phys2log[static_cast<size_t>(p)];
+        if (l >= 0) {
+            initial[static_cast<size_t>(l)] = p;
+            taken[static_cast<size_t>(p)] = 1;
+        }
+    }
+    // Qubits never touched by any gate get arbitrary free positions.
+    for (int l = 0; l < nl; ++l) {
+        if (initial[static_cast<size_t>(l)] >= 0)
+            continue;
+        for (int p = 0; p < np; ++p) {
+            if (!taken[static_cast<size_t>(p)]) {
+                initial[static_cast<size_t>(l)] = p;
+                taken[static_cast<size_t>(p)] = 1;
+                break;
+            }
+        }
+    }
+
+    // Emit actions in start-cycle order (chain order is already
+    // non-decreasing in cycle; actions within a node are disjoint).
+    ir::Circuit phys(np, ctx.circuit().name() + "_mapped");
+    for (const SearchNode *n : chain) {
+        for (const Action &a : n->actions) {
+            if (a.isSwap()) {
+                phys.addSwap(a.p0, a.p1);
+            } else {
+                ir::Gate copy = ctx.circuit().gate(a.gateIndex);
+                if (copy.numQubits() == 2)
+                    copy.setQubits({a.p0, a.p1});
+                else
+                    copy.setQubits({a.p0});
+                phys.add(std::move(copy));
+            }
+        }
+    }
+
+    const auto final_layout = ir::propagateLayout(phys, initial);
+    return ir::MappedCircuit(std::move(phys), std::move(initial),
+                             final_layout);
+}
+
+OptimalMapper::OptimalMapper(const arch::CouplingGraph &graph,
+                             MapperConfig config)
+    : _graph(graph), _config(config)
+{}
+
+MapperResult
+OptimalMapper::map(const ir::Circuit &logical,
+                   std::optional<std::vector<int>> initial_layout) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    const ir::Circuit clean = logical.withoutSwapsAndBarriers();
+    SearchContext ctx(clean, _graph, _config.latency);
+    CostEstimator estimator(ctx, _config.horizonGates);
+    ExpanderConfig exp_cfg;
+    exp_cfg.allowConcurrentSwapAndGate =
+        _config.allowConcurrentSwapAndGate;
+    exp_cfg.useRedundancyElimination = _config.useRedundancyElimination;
+    exp_cfg.useCyclicSwapElimination = _config.useCyclicSwapElimination;
+    Expander expander(ctx, exp_cfg);
+    Filter filter(_config.filterMaxEntries);
+
+    std::vector<int> seed = initial_layout
+                                ? *initial_layout
+                                : ir::identityLayout(ctx.numLogical());
+
+    int swap_budget = _config.initialSwapBudget;
+    if (_config.searchInitialMapping && swap_budget < 0) {
+        swap_budget = _graph.longestSimplePath() *
+                      std::max(1, ctx.numPhysical() / 2);
+    }
+
+    SearchNode::Ptr root =
+        SearchNode::root(ctx, seed, _config.searchInitialMapping);
+    root->costH = estimator.estimate(*root);
+
+    int upper_bound = std::numeric_limits<int>::max();
+    if (_config.useUpperBoundPruning) {
+        SearchNode::Ptr probe_start = root;
+        if (root->initialPhase) {
+            probe_start = SearchNode::commitInitialMapping(root);
+            probe_start->costH = root->costH;
+        }
+        upper_bound = beamUpperBound(ctx, expander, estimator,
+                                     probe_start,
+                                     _config.upperBoundBeamWidth);
+    }
+
+    Queue queue;
+    queue.push(root);
+    if (_config.useFilter)
+        filter.admit(root);
+
+    MapperResult result;
+    int optimal = -1;
+
+    const auto finish_stats = [&](MapperResult &r) {
+        r.stats.filtered = filter.dropped();
+        r.stats.seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+    };
+
+    const auto admit_and_push = [&](const SearchNode::Ptr &child,
+                                    bool exempt) {
+        ++result.stats.generated;
+        child->costH = estimator.estimate(*child);
+        if (child->f() > upper_bound)
+            return; // can never beat the known achievable schedule
+        if (_config.useFilter && !filter.admit(child, exempt))
+            return;
+        queue.push(child);
+    };
+
+    while (!queue.empty()) {
+        SearchNode::Ptr node = queue.top();
+        queue.pop();
+        if (node->dead)
+            continue;
+        if (optimal >= 0 && node->f() > optimal)
+            break; // all optimal solutions exhausted (Appendix B)
+
+        if (node->allScheduled(ctx)) {
+            const int cost = node->makespan();
+            if (optimal < 0) {
+                optimal = cost;
+                result.success = true;
+                result.cycles = cost;
+                result.mapped = reconstructMapping(ctx, node);
+                if (!_config.findAllOptimal)
+                    break;
+                result.allOptimal.push_back(result.mapped);
+            } else if (cost == optimal &&
+                       result.allOptimal.size() < _config.maxSolutions) {
+                auto candidate = reconstructMapping(ctx, node);
+                const bool duplicate = std::any_of(
+                    result.allOptimal.begin(), result.allOptimal.end(),
+                    [&candidate](const ir::MappedCircuit &m) {
+                        return m.physical == candidate.physical &&
+                               m.initialLayout == candidate.initialLayout;
+                    });
+                if (!duplicate)
+                    result.allOptimal.push_back(std::move(candidate));
+            }
+            continue;
+        }
+
+        if (++result.stats.expanded > _config.maxExpandedNodes) {
+            result.success = optimal >= 0;
+            finish_stats(result);
+            return result;
+        }
+
+        if (node->initialPhase) {
+            // Zero-cost initial-mapping exploration (Section 5.3).
+            admit_and_push(SearchNode::commitInitialMapping(node),
+                           false);
+            if (node->initialSwaps < swap_budget) {
+                for (const auto &[p0, p1] : _graph.edges()) {
+                    admit_and_push(
+                        SearchNode::initialSwapChild(node, p0, p1),
+                        false);
+                }
+            }
+        } else {
+            Expansion expansion = expander.expand(node);
+            for (auto &child : expansion.children)
+                admit_and_push(child, child == expansion.waitChild);
+        }
+        result.stats.maxQueueSize =
+            std::max(result.stats.maxQueueSize,
+                     static_cast<std::uint64_t>(queue.size()));
+    }
+
+    finish_stats(result);
+    return result;
+}
+
+} // namespace toqm::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The time-optimal qubit mapper: A* over the cycle-state search graph
+ * with the admissible cost f = g + h (Sections 4 and 5).
+ *
+ * Modes (Section 5.3):
+ *  - given an initial layout, find the time-optimal swap insertion;
+ *  - search the initial mapping too, via uncounted zero-cost swap
+ *    steps before the first scheduled gate (budgeted by the longest
+ *    simple path of the coupling graph);
+ *  - enumerate ALL optimal solutions (Appendix B): keep popping until
+ *    the queue yields a cost above the first optimum.
+ */
+
+#ifndef TOQM_CORE_MAPPER_HPP
+#define TOQM_CORE_MAPPER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "search_node.hpp"
+
+namespace toqm::core {
+
+/** Configuration of an optimal mapping run. */
+struct MapperConfig
+{
+    ir::LatencyModel latency = ir::LatencyModel::ibmPreset();
+    /** Mode (2): search the initial mapping with free leading swaps. */
+    bool searchInitialMapping = false;
+    /**
+     * Budget of free initial swaps; -1 derives it from the coupling
+     * graph's longest simple path d as d * floor(n/2) (d parallel
+     * layers of at most floor(n/2) disjoint swaps each, Section 5.3).
+     */
+    int initialSwapBudget = -1;
+    /** Fig 14 constrained mode when false. */
+    bool allowConcurrentSwapAndGate = true;
+    /** Appendix B: collect every depth-optimal solution. */
+    bool findAllOptimal = false;
+    /** Safety valve: give up (success=false) past this many pops. */
+    std::uint64_t maxExpandedNodes = 20'000'000;
+    /** Filter table bound (0 = unbounded). */
+    size_t filterMaxEntries = 0;
+    /** Ablation toggles. @{ */
+    bool useFilter = true;
+    bool useRedundancyElimination = true;
+    bool useCyclicSwapElimination = true;
+    /** @} */
+    /** Cost-estimator gate horizon (-1 = whole remaining circuit). */
+    int horizonGates = -1;
+    /** Cap on solutions collected in findAllOptimal mode. */
+    size_t maxSolutions = 64;
+    /**
+     * Run a cheap beam search first and discard every generated node
+     * whose admissible f exceeds that achievable upper bound.  Pure
+     * optimization: optimality is unaffected (such nodes can never
+     * lie on a better-than-known path).
+     */
+    bool useUpperBoundPruning = true;
+    /** Beam width for the upper-bound probe. */
+    int upperBoundBeamWidth = 64;
+};
+
+/** Search statistics for the overhead columns of Tables 1 and 2. */
+struct MapperStats
+{
+    std::uint64_t expanded = 0;
+    std::uint64_t generated = 0;
+    std::uint64_t filtered = 0;
+    std::uint64_t maxQueueSize = 0;
+    double seconds = 0.0;
+};
+
+/** Result of an optimal mapping run. */
+struct MapperResult
+{
+    /** False iff the node budget was exhausted first. */
+    bool success = false;
+    /** Total cycles of the transformed circuit (the optimum). */
+    int cycles = -1;
+    ir::MappedCircuit mapped;
+    /** Every optimal solution, if findAllOptimal was set. */
+    std::vector<ir::MappedCircuit> allOptimal;
+    MapperStats stats;
+};
+
+/** The time-optimal A* mapper. */
+class OptimalMapper
+{
+  public:
+    OptimalMapper(const arch::CouplingGraph &graph,
+                  MapperConfig config = {});
+
+    /**
+     * Map @p logical onto the device.
+     *
+     * @param initial_layout start layout (logical -> physical); if
+     *        absent, the identity layout is used as the seed (and, in
+     *        searchInitialMapping mode, only as the seed).
+     */
+    MapperResult map(const ir::Circuit &logical,
+                     std::optional<std::vector<int>> initial_layout =
+                         std::nullopt) const;
+
+  private:
+    arch::CouplingGraph _graph;
+    MapperConfig _config;
+};
+
+/**
+ * Reconstruct the transformed circuit from a terminal search node
+ * (exposed for the heuristic mapper, which shares node semantics).
+ */
+ir::MappedCircuit reconstructMapping(const SearchContext &ctx,
+                                     const SearchNode::ConstPtr &terminal);
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_MAPPER_HPP

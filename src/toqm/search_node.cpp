@@ -1,0 +1,174 @@
+#include "search_node.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace toqm::core {
+
+SearchNode::SearchNode(int nl, int np)
+    : _nl(nl), _np(np), _buf(std::make_unique<int[]>(
+                            static_cast<size_t>(2 * nl + 3 * np)))
+{}
+
+SearchNode::SearchNode(const SearchNode &other)
+    : parent(other.parent), cycle(other.cycle), costG(other.costG),
+      costH(other.costH), routeScore(other.routeScore),
+      actions(other.actions),
+      scheduledGates(other.scheduledGates), busySum(other.busySum),
+      activeSwapUntil(other.activeSwapUntil),
+      activeGateUntil(other.activeGateUntil),
+      initialSwaps(other.initialSwaps), initialPhase(other.initialPhase),
+      dead(false), _nl(other._nl), _np(other._np),
+      _buf(std::make_unique<int[]>(other.bufSize()))
+{
+    std::memcpy(_buf.get(), other._buf.get(),
+                other.bufSize() * sizeof(int));
+}
+
+int
+SearchNode::makespan() const
+{
+    int last = cycle;
+    const int *busy = busyUntil();
+    for (int p = 0; p < _np; ++p)
+        last = std::max(last, busy[p]);
+    return last;
+}
+
+std::uint64_t
+SearchNode::mappingHash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const int *l2p = log2phys();
+    for (int l = 0; l < _nl; ++l) {
+        h ^= static_cast<std::uint64_t>(l2p[l] + 2);
+        h *= 0x100000001b3ull;
+    }
+    // Initial-phase nodes must not collide with in-flight ones.
+    h ^= initialPhase ? 0x9e3779b97f4a7c15ull : 0;
+    return h;
+}
+
+SearchNode::Ptr
+SearchNode::root(const SearchContext &ctx,
+                 const std::vector<int> &initial_layout,
+                 bool initial_phase)
+{
+    const int nl = ctx.numLogical();
+    const int np = ctx.numPhysical();
+    Ptr node(new SearchNode(nl, np));
+    node->initialPhase = initial_phase;
+
+    int *l2p = node->log2phys();
+    int *p2l = node->phys2log();
+    std::fill(p2l, p2l + np, -1);
+    for (int l = 0; l < nl; ++l) {
+        const int p = l < static_cast<int>(initial_layout.size())
+                          ? initial_layout[static_cast<size_t>(l)]
+                          : -1;
+        l2p[l] = p;
+        if (p < 0)
+            continue;
+        if (p >= np || p2l[p] != -1) {
+            throw std::invalid_argument(
+                "initial layout is not injective into the device");
+        }
+        p2l[p] = l;
+    }
+    std::fill(node->head(), node->head() + nl, 0);
+    std::fill(node->busyUntil(), node->busyUntil() + np, 0);
+    std::fill(node->lastSwapPartner(),
+              node->lastSwapPartner() + np, -1);
+    return node;
+}
+
+SearchNode::Ptr
+SearchNode::expand(const SearchContext &ctx, const ConstPtr &parent,
+                   int start_cycle, const std::vector<Action> &actions)
+{
+    Ptr node = std::make_shared<SearchNode>(*parent);
+    node->parent = parent;
+    node->initialPhase = false;
+    node->cycle = start_cycle;
+    node->costG = parent->costG + (start_cycle - parent->cycle);
+    node->actions = actions;
+
+    int *busy = node->busyUntil();
+    int *l2p = node->log2phys();
+    int *p2l = node->phys2log();
+    int *partner = node->lastSwapPartner();
+
+    for (const Action &a : actions) {
+        if (a.isSwap()) {
+            const int finish = start_cycle + ctx.swapLatency() - 1;
+            node->busySum += (finish - busy[a.p0]) + (finish - busy[a.p1]);
+            busy[a.p0] = finish;
+            busy[a.p1] = finish;
+            node->activeSwapUntil =
+                std::max(node->activeSwapUntil, finish);
+            // Post-swap mapping convention: apply immediately.
+            const int l0 = p2l[a.p0];
+            const int l1 = p2l[a.p1];
+            p2l[a.p0] = l1;
+            p2l[a.p1] = l0;
+            if (l0 >= 0)
+                l2p[l0] = a.p1;
+            if (l1 >= 0)
+                l2p[l1] = a.p0;
+            partner[a.p0] = a.p1;
+            partner[a.p1] = a.p0;
+        } else {
+            const int finish =
+                start_cycle + ctx.gateLatency(a.gateIndex) - 1;
+            const ir::Gate &g = ctx.circuit().gate(a.gateIndex);
+            node->busySum += finish - busy[a.p0];
+            busy[a.p0] = finish;
+            partner[a.p0] = -1;
+            if (a.p1 >= 0) {
+                node->busySum += finish - busy[a.p1];
+                busy[a.p1] = finish;
+                partner[a.p1] = -1;
+            }
+            node->activeGateUntil =
+                std::max(node->activeGateUntil, finish);
+            int *head = node->head();
+            for (int q : g.qubits())
+                ++head[q];
+            ++node->scheduledGates;
+        }
+    }
+    return node;
+}
+
+SearchNode::Ptr
+SearchNode::initialSwapChild(const ConstPtr &parent, int p0, int p1)
+{
+    Ptr node = std::make_shared<SearchNode>(*parent);
+    node->parent = parent;
+    node->actions.clear();
+    ++node->initialSwaps;
+    int *l2p = node->log2phys();
+    int *p2l = node->phys2log();
+    const int l0 = p2l[p0];
+    const int l1 = p2l[p1];
+    p2l[p0] = l1;
+    p2l[p1] = l0;
+    if (l0 >= 0)
+        l2p[l0] = p1;
+    if (l1 >= 0)
+        l2p[l1] = p0;
+    return node;
+}
+
+SearchNode::Ptr
+SearchNode::commitInitialMapping(const ConstPtr &parent)
+{
+    Ptr node = std::make_shared<SearchNode>(*parent);
+    node->parent = parent;
+    node->actions.clear();
+    node->initialPhase = false;
+    return node;
+}
+
+} // namespace toqm::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Search node: one state of the circuit at one cycle (Section 4.1).
+ *
+ * A node fixes every scheduling decision for start times <= cycle.
+ * Gates occupy their qubits for [start, start + latency - 1]; the
+ * qubit mapping stored here is the one with all STARTED swaps applied
+ * (the paper's convention for hashing and for the heuristic cost),
+ * which is safe because a swap's qubits stay busy until it finishes.
+ *
+ * The per-qubit arrays live in ONE contiguous allocation: the search
+ * generates millions of nodes, and both node cloning and the filter's
+ * dominance comparisons are memory-bound.  Aggregates (scheduledGates,
+ * busySum) give the filter O(1) quick rejects.
+ */
+
+#ifndef TOQM_CORE_SEARCH_NODE_HPP
+#define TOQM_CORE_SEARCH_NODE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "search_context.hpp"
+
+namespace toqm::core {
+
+/** An action started at a node's cycle. */
+struct Action
+{
+    /** Logical gate index, or -1 for an inserted swap. */
+    int gateIndex = -1;
+    /** Physical operands (p1 == -1 for 1-qubit gates). */
+    int p0 = -1;
+    int p1 = -1;
+
+    bool isSwap() const { return gateIndex < 0; }
+};
+
+/** One state of the search graph (immutable once constructed). */
+class SearchNode
+{
+  public:
+    using Ptr = std::shared_ptr<SearchNode>;
+    using ConstPtr = std::shared_ptr<const SearchNode>;
+
+    /** Deep copy (buffer cloned). */
+    SearchNode(const SearchNode &other);
+    SearchNode &operator=(const SearchNode &) = delete;
+
+    ConstPtr parent;
+    /** Cycle this node's actions start at (root: 0, no actions). */
+    int cycle = 0;
+    /** Counted path cost (== cycle; kept separate for clarity). */
+    int costG = 0;
+    /** Cached admissible heuristic (set by the cost estimator). */
+    int costH = 0;
+    /**
+     * Secondary ranking score used by the practical mapper (sum of
+     * frontier/lookahead distances); not part of the admissible cost.
+     */
+    int routeScore = 0;
+    /** Actions started at `cycle` by this node. */
+    std::vector<Action> actions;
+
+    /** Number of logical gates scheduled so far. */
+    int scheduledGates = 0;
+    /** Sum of busyUntil over physical qubits (filter quick reject). */
+    long busySum = 0;
+    /** Latest finish cycle among started swaps / original gates. */
+    int activeSwapUntil = 0;
+    int activeGateUntil = 0;
+    /** Zero-cost swaps consumed in the initial-mapping phase. */
+    int initialSwaps = 0;
+    /** True while the node is still choosing the initial mapping. */
+    bool initialPhase = false;
+    /** Set by the filter when a dominating node exists. */
+    mutable bool dead = false;
+
+    /** Per-qubit state arrays (contiguous). @{ */
+    /** log2phys()[l] = physical position of logical l (-1 unmapped). */
+    int *log2phys() { return _buf.get(); }
+    const int *log2phys() const { return _buf.get(); }
+    /** head()[l] = #gates already scheduled on logical qubit l. */
+    int *head() { return _buf.get() + _nl; }
+    const int *head() const { return _buf.get() + _nl; }
+    /** phys2log()[p] = logical occupant of p (-1 empty). */
+    int *phys2log() { return _buf.get() + 2 * _nl; }
+    const int *phys2log() const { return _buf.get() + 2 * _nl; }
+    /** busyUntil()[p] = last busy cycle of physical p (0 = never). */
+    int *busyUntil() { return _buf.get() + 2 * _nl + _np; }
+    const int *busyUntil() const { return _buf.get() + 2 * _nl + _np; }
+    /**
+     * lastSwapPartner()[p] = q if the most recent action on physical
+     * p was swap(p, q); -1 otherwise (cyclic-swap pruning).
+     */
+    int *lastSwapPartner() { return _buf.get() + 2 * _nl + 2 * _np; }
+    const int *lastSwapPartner() const
+    {
+        return _buf.get() + 2 * _nl + 2 * _np;
+    }
+    /** @} */
+
+    int numLogical() const { return _nl; }
+
+    int numPhysical() const { return _np; }
+
+    /** Priority for the A* queue. */
+    int f() const { return costG + costH; }
+
+    /** All logical gates scheduled? */
+    bool allScheduled(const SearchContext &ctx) const
+    {
+        return scheduledGates == ctx.numGates();
+    }
+
+    /** Finish cycle of the whole schedule (valid once allScheduled). */
+    int makespan() const;
+
+    /** Hash of the post-swap mapping (filter bucket key). */
+    std::uint64_t mappingHash() const;
+
+    /** Build the root node with the given initial layout. */
+    static Ptr root(const SearchContext &ctx,
+                    const std::vector<int> &initial_layout,
+                    bool initial_phase);
+
+    /**
+     * Build a child that starts @p actions at cycle @p start_cycle
+     * (which may jump past parent->cycle + 1 for pure waits).
+     */
+    static Ptr expand(const SearchContext &ctx, const ConstPtr &parent,
+                      int start_cycle, const std::vector<Action> &actions);
+
+    /**
+     * Build an initial-phase child applying one zero-cost swap on
+     * physical qubits (@p p0, @p p1) at cycle 0.
+     */
+    static Ptr initialSwapChild(const ConstPtr &parent, int p0, int p1);
+
+    /** Leave the initial phase (no other state change). */
+    static Ptr commitInitialMapping(const ConstPtr &parent);
+
+  private:
+    SearchNode(int nl, int np);
+
+    int _nl = 0;
+    int _np = 0;
+    std::unique_ptr<int[]> _buf;
+
+    size_t bufSize() const
+    {
+        return static_cast<size_t>(2 * _nl + 3 * _np);
+    }
+};
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_SEARCH_NODE_HPP

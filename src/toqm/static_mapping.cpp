@@ -1,0 +1,122 @@
+#include "static_mapping.hpp"
+
+#include <algorithm>
+
+namespace toqm::core {
+
+namespace {
+
+/** Backtracking embedder with most-constrained-first ordering. */
+class Embedder
+{
+  public:
+    Embedder(const std::vector<std::vector<char>> &want,
+             const arch::CouplingGraph &graph, long max_steps)
+        : _want(want), _graph(graph), _budget(max_steps),
+          _nl(static_cast<int>(want.size())),
+          _assign(want.size(), -1),
+          _taken(static_cast<size_t>(graph.numQubits()), 0)
+    {
+        // Order logical qubits by descending interaction degree: the
+        // most constrained choices first.
+        _order.resize(static_cast<size_t>(_nl));
+        for (int i = 0; i < _nl; ++i)
+            _order[static_cast<size_t>(i)] = i;
+        std::sort(_order.begin(), _order.end(), [this](int a, int b) {
+            return degree(a) > degree(b);
+        });
+    }
+
+    std::optional<std::vector<int>>
+    solve()
+    {
+        if (search(0))
+            return _assign;
+        return std::nullopt;
+    }
+
+  private:
+    const std::vector<std::vector<char>> &_want;
+    const arch::CouplingGraph &_graph;
+    long _budget;
+    int _nl;
+    std::vector<int> _assign;
+    std::vector<char> _taken;
+    std::vector<int> _order;
+
+    int
+    degree(int l) const
+    {
+        int d = 0;
+        for (char c : _want[static_cast<size_t>(l)])
+            d += c;
+        return d;
+    }
+
+    bool
+    feasible(int l, int p) const
+    {
+        // Device degree must cover remaining interaction degree.
+        if (static_cast<int>(_graph.neighbors(p).size()) < degree(l))
+            return false;
+        // All already-assigned interaction partners must be adjacent.
+        for (int m = 0; m < _nl; ++m) {
+            if (!_want[static_cast<size_t>(l)][static_cast<size_t>(m)])
+                continue;
+            const int q = _assign[static_cast<size_t>(m)];
+            if (q >= 0 && !_graph.adjacent(p, q))
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    search(size_t depth)
+    {
+        if (--_budget < 0)
+            return false;
+        if (depth == _order.size())
+            return true;
+        const int l = _order[depth];
+        for (int p = 0; p < _graph.numQubits(); ++p) {
+            if (_taken[static_cast<size_t>(p)] || !feasible(l, p))
+                continue;
+            _taken[static_cast<size_t>(p)] = 1;
+            _assign[static_cast<size_t>(l)] = p;
+            if (search(depth + 1))
+                return true;
+            _assign[static_cast<size_t>(l)] = -1;
+            _taken[static_cast<size_t>(p)] = 0;
+        }
+        return false;
+    }
+};
+
+} // namespace
+
+std::optional<std::vector<int>>
+findStaticMapping(const ir::Circuit &circuit,
+                  const arch::CouplingGraph &graph, long max_steps)
+{
+    const int nl = circuit.numQubits();
+    if (nl > graph.numQubits())
+        return std::nullopt;
+
+    // Interaction matrix of the circuit.
+    std::vector<std::vector<char>> want(
+        static_cast<size_t>(nl),
+        std::vector<char>(static_cast<size_t>(nl), 0));
+    for (const ir::Gate &g : circuit.gates()) {
+        if (g.numQubits() == 2 && !g.isBarrier()) {
+            want[static_cast<size_t>(g.qubit(0))]
+                [static_cast<size_t>(g.qubit(1))] = 1;
+            want[static_cast<size_t>(g.qubit(1))]
+                [static_cast<size_t>(g.qubit(0))] = 1;
+        }
+    }
+
+    Embedder embedder(want, graph, max_steps);
+    return embedder.solve();
+}
+
+} // namespace toqm::core

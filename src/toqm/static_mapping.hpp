@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Static initial mapping: find an initial layout under which EVERY
+ * two-qubit gate in the circuit is already coupling-compliant, so no
+ * swaps are needed at all.  This is a subgraph-isomorphism search of
+ * the circuit's qubit interaction graph into the device coupling
+ * graph (the Table 2 methodology: "we first tried to find an initial
+ * mapping that could satisfy all CNOTs in the circuit without
+ * swaps").
+ */
+
+#ifndef TOQM_CORE_STATIC_MAPPING_HPP
+#define TOQM_CORE_STATIC_MAPPING_HPP
+
+#include <optional>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+
+namespace toqm::core {
+
+/**
+ * Try to embed the interaction graph of @p circuit into @p graph.
+ *
+ * @param max_steps backtracking budget; the search is exact up to the
+ *        budget and gives up (nullopt) beyond it.
+ * @return a layout (logical -> physical) making every two-qubit gate
+ *         adjacent, or nullopt if none was found.
+ */
+std::optional<std::vector<int>>
+findStaticMapping(const ir::Circuit &circuit,
+                  const arch::CouplingGraph &graph,
+                  long max_steps = 2'000'000);
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_STATIC_MAPPING_HPP

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "arch/coupling_graph.hpp"
+
+namespace toqm::arch {
+namespace {
+
+TEST(CouplingGraphTest, BasicAdjacency)
+{
+    const CouplingGraph g(3, {{0, 1}, {1, 2}});
+    EXPECT_TRUE(g.adjacent(0, 1));
+    EXPECT_TRUE(g.adjacent(1, 0));
+    EXPECT_FALSE(g.adjacent(0, 2));
+    EXPECT_EQ(g.numEdges(), 2);
+}
+
+TEST(CouplingGraphTest, DuplicateAndReversedEdgesIgnored)
+{
+    const CouplingGraph g(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+    EXPECT_EQ(g.numEdges(), 2);
+}
+
+TEST(CouplingGraphTest, RejectsSelfLoopAndRange)
+{
+    EXPECT_THROW(CouplingGraph(2, {{0, 0}}), std::invalid_argument);
+    EXPECT_THROW(CouplingGraph(2, {{0, 2}}), std::out_of_range);
+}
+
+TEST(CouplingGraphTest, Distances)
+{
+    const CouplingGraph g = lnn(5);
+    EXPECT_EQ(g.distance(0, 0), 0);
+    EXPECT_EQ(g.distance(0, 1), 1);
+    EXPECT_EQ(g.distance(0, 4), 4);
+    EXPECT_EQ(g.distance(4, 0), 4);
+}
+
+TEST(CouplingGraphTest, Connectivity)
+{
+    EXPECT_TRUE(lnn(6).connected());
+    const CouplingGraph disconnected(4, {{0, 1}, {2, 3}});
+    EXPECT_FALSE(disconnected.connected());
+}
+
+TEST(CouplingGraphTest, Diameter)
+{
+    EXPECT_EQ(lnn(6).diameter(), 5);
+    EXPECT_EQ(grid(2, 3).diameter(), 3);
+}
+
+TEST(CouplingGraphTest, LongestSimplePathOnChain)
+{
+    EXPECT_EQ(lnn(6).longestSimplePath(), 5);
+}
+
+TEST(CouplingGraphTest, LongestSimplePathOnGrid)
+{
+    // A 2x3 grid has a Hamiltonian path: 5 edges.
+    EXPECT_EQ(grid(2, 3).longestSimplePath(), 5);
+    EXPECT_EQ(grid(2, 4).longestSimplePath(), 7);
+}
+
+TEST(CouplingGraphTest, NeighborsSorted)
+{
+    const CouplingGraph g = grid(2, 2);
+    EXPECT_EQ(g.neighbors(0), (std::vector<int>{1, 2}));
+}
+
+TEST(ArchitecturesTest, LnnShape)
+{
+    const CouplingGraph g = lnn(7);
+    EXPECT_EQ(g.numQubits(), 7);
+    EXPECT_EQ(g.numEdges(), 6);
+}
+
+TEST(ArchitecturesTest, GridShape)
+{
+    const CouplingGraph g = grid(3, 4);
+    EXPECT_EQ(g.numQubits(), 12);
+    // 3*3 horizontal + 2*4 vertical.
+    EXPECT_EQ(g.numEdges(), 17);
+    EXPECT_TRUE(g.adjacent(0, 1));
+    EXPECT_TRUE(g.adjacent(0, 4));
+    EXPECT_FALSE(g.adjacent(3, 4)); // row wrap must not couple
+}
+
+TEST(ArchitecturesTest, QX2Bowtie)
+{
+    const CouplingGraph g = ibmQX2();
+    EXPECT_EQ(g.numQubits(), 5);
+    EXPECT_EQ(g.numEdges(), 6);
+    EXPECT_TRUE(g.adjacent(0, 2));
+    EXPECT_TRUE(g.adjacent(2, 4));
+    EXPECT_FALSE(g.adjacent(0, 3));
+}
+
+TEST(ArchitecturesTest, TokyoShape)
+{
+    const CouplingGraph g = ibmQ20Tokyo();
+    EXPECT_EQ(g.numQubits(), 20);
+    // 4x5 grid: 16 horizontal + 15 vertical, + 12 diagonals.
+    EXPECT_EQ(g.numEdges(), 43);
+    EXPECT_TRUE(g.adjacent(1, 7));
+    EXPECT_TRUE(g.adjacent(2, 6));
+    EXPECT_TRUE(g.connected());
+    EXPECT_LE(g.diameter(), 5);
+}
+
+TEST(ArchitecturesTest, Aspen4Shape)
+{
+    const CouplingGraph g = aspen4();
+    EXPECT_EQ(g.numQubits(), 16);
+    EXPECT_EQ(g.numEdges(), 18); // two octagons + two bridges
+    EXPECT_TRUE(g.connected());
+}
+
+TEST(ArchitecturesTest, MelbourneLadder)
+{
+    const CouplingGraph g = ibmMelbourne();
+    EXPECT_EQ(g.numQubits(), 14);
+    EXPECT_TRUE(g.connected());
+    EXPECT_EQ(g.name(), "melbourne");
+}
+
+TEST(ArchitecturesTest, ByNameResolvesTableNames)
+{
+    EXPECT_EQ(byName("ibmqx2").numQubits(), 5);
+    EXPECT_EQ(byName("grid2by3").numQubits(), 6);
+    EXPECT_EQ(byName("grid2by4").numQubits(), 8);
+    EXPECT_EQ(byName("grid2x4").numQubits(), 8);
+    EXPECT_EQ(byName("aspen-4").numQubits(), 16);
+    EXPECT_EQ(byName("tokyo").numQubits(), 20);
+    EXPECT_EQ(byName("lnn9").numQubits(), 9);
+    EXPECT_THROW(byName("nonexistent"), std::invalid_argument);
+}
+
+TEST(ArchitecturesTest, KnownArchitecturesAllResolve)
+{
+    for (const auto &name : knownArchitectures())
+        EXPECT_NO_THROW(byName(name)) << name;
+}
+
+} // namespace
+} // namespace toqm::arch

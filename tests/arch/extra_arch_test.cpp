@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "sim/verifier.hpp"
+
+namespace toqm::arch {
+namespace {
+
+TEST(RingTest, ShapeAndDistances)
+{
+    const CouplingGraph g = ring(8);
+    EXPECT_EQ(g.numQubits(), 8);
+    EXPECT_EQ(g.numEdges(), 8);
+    EXPECT_TRUE(g.adjacent(7, 0)); // wrap edge
+    EXPECT_EQ(g.distance(0, 4), 4);
+    EXPECT_EQ(g.distance(0, 6), 2); // the short way around
+    EXPECT_EQ(g.diameter(), 4);
+}
+
+TEST(StarTest, CenterReachesEverything)
+{
+    const CouplingGraph g = star(6);
+    EXPECT_EQ(g.numEdges(), 5);
+    for (int i = 1; i < 6; ++i)
+        EXPECT_EQ(g.distance(0, i), 1);
+    EXPECT_EQ(g.distance(1, 5), 2);
+    EXPECT_EQ(g.diameter(), 2);
+}
+
+TEST(FullyConnectedTest, EverythingAdjacent)
+{
+    const CouplingGraph g = fullyConnected(5);
+    EXPECT_EQ(g.numEdges(), 10);
+    EXPECT_EQ(g.diameter(), 1);
+}
+
+TEST(FullyConnectedTest, MapperNeedsNoSwaps)
+{
+    // On the ideal architecture, any circuit maps at its ideal
+    // depth with zero swaps — the definition of the paper's "ideal
+    // cycle" column.
+    const CouplingGraph g = fullyConnected(6);
+    const ir::Circuit c = ir::qftSkeleton(6);
+    heuristic::HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+}
+
+TEST(HeavyHexTest, DegreeBoundedByThree)
+{
+    const CouplingGraph g = heavyHexRow(3);
+    EXPECT_TRUE(g.connected());
+    for (int p = 0; p < g.numQubits(); ++p)
+        EXPECT_LE(static_cast<int>(g.neighbors(p).size()), 3)
+            << "qubit " << p;
+}
+
+TEST(HeavyHexTest, SizesGrowLinearly)
+{
+    // 2*(2c+1) + (c+1) qubits per c-cell strip.
+    EXPECT_EQ(heavyHexRow(1).numQubits(), 8);
+    EXPECT_EQ(heavyHexRow(2).numQubits(), 13);
+    EXPECT_EQ(heavyHexRow(3).numQubits(), 18);
+}
+
+TEST(HeavyHexTest, MapperRoutesAcrossCells)
+{
+    const CouplingGraph g = heavyHexRow(2);
+    const ir::Circuit c = ir::benchmarkStandIn("hex_probe", 8, 200);
+    heuristic::HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    EXPECT_GT(res.mapped.physical.numSwaps(), 0); // sparse: must route
+}
+
+TEST(ByNameTest, ResolvesNewFamilies)
+{
+    EXPECT_EQ(byName("ring8").numQubits(), 8);
+    EXPECT_EQ(byName("star5").numQubits(), 5);
+    EXPECT_EQ(byName("full4").numQubits(), 4);
+    EXPECT_EQ(byName("heavyhex2").numQubits(), 13);
+}
+
+TEST(ByNameTest, AllKnownArchitecturesStillResolve)
+{
+    for (const auto &name : knownArchitectures()) {
+        const CouplingGraph g = byName(name);
+        EXPECT_TRUE(g.connected()) << name;
+    }
+}
+
+} // namespace
+} // namespace toqm::arch

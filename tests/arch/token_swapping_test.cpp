@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "arch/architectures.hpp"
+#include "arch/token_swapping.hpp"
+
+namespace toqm::arch {
+namespace {
+
+/** Apply @p swaps to the identity content map and return content[]. */
+std::vector<int>
+applySwaps(int n, const std::vector<std::pair<int, int>> &swaps)
+{
+    std::vector<int> content(static_cast<size_t>(n));
+    std::iota(content.begin(), content.end(), 0);
+    for (const auto &[a, b] : swaps)
+        std::swap(content[static_cast<size_t>(a)],
+                  content[static_cast<size_t>(b)]);
+    return content;
+}
+
+void
+expectRealizes(const CouplingGraph &g, const std::vector<int> &target)
+{
+    const auto swaps = routePermutation(g, target);
+    for (const auto &[a, b] : swaps)
+        EXPECT_TRUE(g.adjacent(a, b))
+            << "swap on non-edge " << a << "," << b;
+    const auto content = applySwaps(g.numQubits(), swaps);
+    for (int p = 0; p < g.numQubits(); ++p) {
+        if (target[static_cast<size_t>(p)] >= 0) {
+            EXPECT_EQ(content[static_cast<size_t>(p)],
+                      target[static_cast<size_t>(p)])
+                << "position " << p;
+        }
+    }
+}
+
+TEST(TokenSwappingTest, IdentityNeedsNoSwaps)
+{
+    const auto g = lnn(5);
+    std::vector<int> target(5);
+    std::iota(target.begin(), target.end(), 0);
+    EXPECT_TRUE(routePermutation(g, target).empty());
+}
+
+TEST(TokenSwappingTest, AdjacentTransposition)
+{
+    const auto g = lnn(3);
+    expectRealizes(g, {1, 0, 2});
+}
+
+TEST(TokenSwappingTest, FullReversalOnChain)
+{
+    const auto g = lnn(6);
+    expectRealizes(g, {5, 4, 3, 2, 1, 0});
+}
+
+TEST(TokenSwappingTest, CycleOnGrid)
+{
+    const auto g = grid(2, 3);
+    expectRealizes(g, {1, 2, 0, 4, 5, 3});
+}
+
+TEST(TokenSwappingTest, DontCarePositions)
+{
+    const auto g = lnn(5);
+    // Only constrain two positions; the rest may hold anything.
+    std::vector<int> target{4, -1, -1, -1, 0};
+    const auto swaps = routePermutation(g, target);
+    const auto content = applySwaps(5, swaps);
+    EXPECT_EQ(content[0], 4);
+    EXPECT_EQ(content[4], 0);
+}
+
+TEST(TokenSwappingTest, RandomPermutationsAcrossArchitectures)
+{
+    std::uint64_t state = 12345;
+    const auto next = [&state]() {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    for (const char *name : {"lnn7", "grid2by4", "ibmqx2", "tokyo",
+                             "ring8", "heavyhex2", "aspen-4"}) {
+        const auto g = byName(name);
+        for (int trial = 0; trial < 5; ++trial) {
+            std::vector<int> target(
+                static_cast<size_t>(g.numQubits()));
+            std::iota(target.begin(), target.end(), 0);
+            for (int i = g.numQubits() - 1; i > 0; --i) {
+                std::swap(
+                    target[static_cast<size_t>(i)],
+                    target[static_cast<size_t>(next() %
+                                                static_cast<std::uint64_t>(
+                                                    i + 1))]);
+            }
+            expectRealizes(g, target);
+        }
+    }
+}
+
+TEST(TokenSwappingTest, SwapCountIsQuadraticallyBounded)
+{
+    const auto g = lnn(8);
+    std::vector<int> target{7, 6, 5, 4, 3, 2, 1, 0};
+    const auto swaps = routePermutation(g, target);
+    EXPECT_LE(static_cast<int>(swaps.size()), 8 * 8);
+}
+
+TEST(TokenSwappingTest, RejectsNonInjectiveTarget)
+{
+    const auto g = lnn(3);
+    EXPECT_THROW(routePermutation(g, {0, 0, -1}),
+                 std::invalid_argument);
+}
+
+TEST(TokenSwappingTest, RouteBackToInitial)
+{
+    const auto g = grid(2, 3);
+    // Logical qubits started at {0, 1, 2} and ended at {4, 0, 2}.
+    const std::vector<int> initial{0, 1, 2};
+    const std::vector<int> final_layout{4, 0, 2};
+    const auto swaps = routeBackToInitial(g, initial, final_layout);
+    auto content = applySwaps(g.numQubits(), swaps);
+    // The content that finished at final_layout[l] is back home.
+    for (size_t l = 0; l < initial.size(); ++l) {
+        EXPECT_EQ(content[static_cast<size_t>(initial[l])],
+                  final_layout[l]);
+    }
+}
+
+} // namespace
+} // namespace toqm::arch

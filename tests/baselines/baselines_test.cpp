@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "baselines/exhaustive.hpp"
+#include "baselines/sabre.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::baselines {
+namespace {
+
+TEST(SabreTest, ValidMappingOnTokyo)
+{
+    ir::Circuit c = ir::benchmarkStandIn("sabre_unit", 9, 300);
+    const auto g = arch::ibmQ20Tokyo();
+    SabreMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    const auto verdict = sim::verifyMapping(c, res.mapped, g);
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+    EXPECT_EQ(res.swapCount, res.mapped.physical.numSwaps());
+}
+
+TEST(SabreTest, SemanticEquivalenceOnSmallCircuit)
+{
+    ir::Circuit c = ir::randomCircuit(5, 80, 0.5, 17);
+    const auto g = arch::ibmQX2();
+    SabreMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(sim::semanticallyEquivalent(c, res.mapped));
+}
+
+TEST(SabreTest, NoSwapsWhenAlreadyCompliant)
+{
+    ir::Circuit c = ir::ghz(4);
+    const auto g = arch::lnn(4);
+    SabreMapper mapper(g);
+    const auto res = mapper.map(c, ir::identityLayout(4));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.swapCount, 0);
+}
+
+TEST(SabreTest, DeterministicGivenSeed)
+{
+    ir::Circuit c = ir::benchmarkStandIn("sabre_det", 8, 200);
+    const auto g = arch::ibmQ20Tokyo();
+    SabreMapper mapper(g);
+    const auto a = mapper.map(c);
+    const auto b = mapper.map(c);
+    EXPECT_EQ(a.mapped.physical, b.mapped.physical);
+    EXPECT_EQ(a.mapped.initialLayout, b.mapped.initialLayout);
+}
+
+TEST(SabreTest, QftRequiresManySwapsOnChain)
+{
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::lnn(6);
+    SabreMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_GT(res.swapCount, 4);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(ZulehnerTest, ValidMappingOnTokyo)
+{
+    ir::Circuit c = ir::benchmarkStandIn("zul_unit", 9, 300);
+    const auto g = arch::ibmQ20Tokyo();
+    ZulehnerMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    const auto verdict = sim::verifyMapping(c, res.mapped, g);
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+TEST(ZulehnerTest, SemanticEquivalenceOnSmallCircuit)
+{
+    ir::Circuit c = ir::randomCircuit(5, 80, 0.5, 23);
+    const auto g = arch::ibmQX2();
+    ZulehnerMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(sim::semanticallyEquivalent(c, res.mapped));
+}
+
+TEST(ZulehnerTest, LayerRoutingMinimizesSwapsForSingleGate)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 2);
+    const auto g = arch::lnn(3);
+    ZulehnerMapper mapper(g);
+    const auto res = mapper.map(c, ir::identityLayout(3));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.swapCount, 1);
+}
+
+TEST(ZulehnerTest, NoSwapsWhenAlreadyCompliant)
+{
+    ir::Circuit c = ir::ghz(5);
+    const auto g = arch::lnn(5);
+    ZulehnerMapper mapper(g);
+    const auto res = mapper.map(c, ir::identityLayout(5));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.swapCount, 0);
+}
+
+TEST(ExhaustiveTest, MatchesPrunedOptimalSearch)
+{
+    // The de-optimized reference must certify the same optimum as
+    // the full framework (the Table 2 methodology).
+    ir::Circuit c = ir::qftSkeleton(4);
+    const auto g = arch::lnn(4);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+
+    core::MapperConfig cfg;
+    cfg.latency = lat;
+    core::OptimalMapper fast(g, cfg);
+    const auto fast_res = fast.map(c);
+    ASSERT_TRUE(fast_res.success);
+
+    const auto slow_res = exhaustiveReference(g, c, lat);
+    ASSERT_TRUE(slow_res.success);
+    EXPECT_EQ(slow_res.cycles, fast_res.cycles);
+    // And it must have worked harder for it.
+    EXPECT_GE(slow_res.stats.expanded, fast_res.stats.expanded);
+}
+
+TEST(BaselineComparisonTest, TimeOptimalBeatsBaselinesOnAverage)
+{
+    // The Table 3 shape on a small scale: our heuristic's cycles
+    // must not lose to SABRE or Zulehner by more than 5% on any of
+    // these seeds (it usually wins outright).
+    const auto g = arch::ibmQ20Tokyo();
+    const auto lat = ir::LatencyModel::ibmPreset();
+    double ours_total = 0.0, sabre_total = 0.0, zul_total = 0.0;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+        ir::Circuit c = ir::randomCircuit(9, 400, 0.45, seed);
+        heuristic::HeuristicMapper ours(g);
+        SabreMapper sabre(g);
+        ZulehnerMapper zul(g);
+        const auto ro = ours.map(c);
+        const auto rs = sabre.map(c);
+        const auto rz = zul.map(c);
+        ASSERT_TRUE(ro.success && rs.success && rz.success);
+        ours_total += ro.cycles;
+        sabre_total +=
+            ir::scheduleAsap(rs.mapped.physical, lat).makespan;
+        zul_total +=
+            ir::scheduleAsap(rz.mapped.physical, lat).makespan;
+    }
+    EXPECT_LT(ours_total, 1.05 * sabre_total);
+    EXPECT_LT(ours_total, 1.05 * zul_total);
+}
+
+} // namespace
+} // namespace toqm::baselines

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+
+namespace toqm::heuristic {
+namespace {
+
+TEST(HeuristicMapperTest, TrivialCircuitMapsWithoutSwaps)
+{
+    ir::Circuit c = ir::ghz(4);
+    const auto g = arch::ibmQ20Tokyo();
+    HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(HeuristicMapperTest, ProducesValidMappingOnTokyo)
+{
+    ir::Circuit c = ir::benchmarkStandIn("unit_test", 9, 400);
+    const auto g = arch::ibmQ20Tokyo();
+    HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    const auto verdict = sim::verifyMapping(c, res.mapped, g);
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+    // Reported cycles must agree with an independent re-schedule.
+    EXPECT_EQ(ir::scheduleAsap(res.mapped.physical,
+                               ir::LatencyModel::ibmPreset())
+                  .makespan,
+              res.cycles);
+}
+
+TEST(HeuristicMapperTest, SemanticEquivalenceOnSmallCircuit)
+{
+    ir::Circuit c = ir::randomCircuit(5, 60, 0.5, 321);
+    const auto g = arch::ibmQX2();
+    HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(sim::semanticallyEquivalent(c, res.mapped));
+}
+
+TEST(HeuristicMapperTest, RespectsGivenInitialLayout)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 1);
+    const auto g = arch::lnn(4);
+    HeuristicMapper mapper(g);
+    const std::vector<int> layout{3, 2, 0};
+    const auto res = mapper.map(c, layout);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.mapped.initialLayout[0], 3);
+    EXPECT_EQ(res.mapped.initialLayout[1], 2);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(HeuristicMapperTest, OnTheFlyPlacementPutsPartnersTogether)
+{
+    // Two CX pairs that never interact: each pair should be placed
+    // adjacent, requiring zero swaps.
+    ir::Circuit c(4);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    const auto g = arch::ibmQ20Tokyo();
+    HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+}
+
+TEST(HeuristicMapperTest, QubitNeverInCxStillPlaced)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 1);
+    c.addH(2); // q2 only has a 1-qubit gate
+    const auto g = arch::ibmQX2();
+    HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    EXPECT_GE(res.mapped.initialLayout[2], 0);
+}
+
+TEST(HeuristicMapperTest, AllSearchModesProduceValidResults)
+{
+    ir::Circuit c = ir::benchmarkStandIn("modes", 8, 200);
+    const auto g = arch::ibmQ20Tokyo();
+    for (SearchMode mode : {SearchMode::Beam,
+                            SearchMode::RecedingHorizon,
+                            SearchMode::GlobalQueue}) {
+        HeuristicConfig cfg;
+        cfg.mode = mode;
+        HeuristicMapper mapper(g, cfg);
+        const auto res = mapper.map(c);
+        ASSERT_TRUE(res.success)
+            << "mode " << static_cast<int>(mode);
+        EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    }
+}
+
+TEST(HeuristicMapperTest, NeverWorseThanIdealLowerBound)
+{
+    const auto g = arch::ibmQ20Tokyo();
+    const auto lat = ir::LatencyModel::ibmPreset();
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+        ir::Circuit c = ir::randomCircuit(10, 300, 0.5, seed);
+        HeuristicMapper mapper(g);
+        const auto res = mapper.map(c);
+        ASSERT_TRUE(res.success);
+        EXPECT_GE(res.cycles, ir::idealCycles(c, lat));
+    }
+}
+
+TEST(HeuristicMapperTest, QftSkeletonOnLnnStaysNearOptimal)
+{
+    // The heuristic is not optimal, but on QFT-6/LNN it must stay
+    // within 2.5x of the known optimum (17).
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::lnn(6);
+    HeuristicConfig cfg;
+    cfg.latency = ir::LatencyModel::qftPreset();
+    HeuristicMapper mapper(g, cfg);
+    const auto res = mapper.map(c, ir::identityLayout(6));
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    EXPECT_LE(res.cycles, 42);
+}
+
+TEST(HeuristicMapperTest, LargerBeamNeverFails)
+{
+    ir::Circuit c = ir::benchmarkStandIn("beam", 10, 500);
+    const auto g = arch::ibmQ20Tokyo();
+    for (int width : {1, 4, 16}) {
+        HeuristicConfig cfg;
+        cfg.beamWidth = width;
+        HeuristicMapper mapper(g, cfg);
+        const auto res = mapper.map(c);
+        ASSERT_TRUE(res.success) << "beamWidth=" << width;
+        EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    }
+}
+
+} // namespace
+} // namespace toqm::heuristic

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/schedule.hpp"
+#include "qasm/importer.hpp"
+#include "qasm/writer.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm {
+namespace {
+
+constexpr const char *toffoli_qasm = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+h q[1];
+ccx q[0], q[1], q[2];
+h q[2];
+cx q[2], q[0];
+)";
+
+TEST(EndToEndTest, QasmToOptimalMappingToQasm)
+{
+    // Parse -> lower -> map optimally -> verify -> write -> reparse.
+    const auto imported = qasm::importString(toffoli_qasm);
+    const ir::Circuit &logical = imported.circuit;
+    const auto graph = arch::ibmQX2();
+
+    core::MapperConfig cfg;
+    cfg.searchInitialMapping = true;
+    core::OptimalMapper mapper(graph, cfg);
+    const auto res = mapper.map(logical);
+    ASSERT_TRUE(res.success);
+
+    const auto verdict = sim::verifyMapping(logical, res.mapped, graph);
+    ASSERT_TRUE(verdict.ok) << verdict.message;
+    EXPECT_TRUE(sim::semanticallyEquivalent(logical, res.mapped));
+
+    const std::string out = qasm::writeMappedCircuit(res.mapped);
+    const auto reparsed = qasm::importString(out);
+    EXPECT_EQ(reparsed.circuit.numComputeGates(),
+              res.mapped.physical.numComputeGates());
+}
+
+TEST(EndToEndTest, QasmToHeuristicMappingOnTokyo)
+{
+    const auto imported = qasm::importString(toffoli_qasm);
+    const auto graph = arch::ibmQ20Tokyo();
+    heuristic::HeuristicMapper mapper(graph);
+    const auto res = mapper.map(imported.circuit);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(
+        sim::verifyMapping(imported.circuit, res.mapped, graph).ok);
+    EXPECT_TRUE(sim::semanticallyEquivalent(imported.circuit,
+                                            res.mapped));
+}
+
+TEST(EndToEndTest, OptimalNeverWorseThanHeuristic)
+{
+    const auto imported = qasm::importString(toffoli_qasm);
+    const auto graph = arch::ibmQX2();
+
+    core::MapperConfig ocfg;
+    ocfg.searchInitialMapping = true;
+    core::OptimalMapper optimal(graph, ocfg);
+    const auto opt = optimal.map(imported.circuit);
+    ASSERT_TRUE(opt.success);
+
+    heuristic::HeuristicMapper heur(graph);
+    const auto h = heur.map(imported.circuit);
+    ASSERT_TRUE(h.success);
+
+    EXPECT_LE(opt.cycles, h.cycles);
+}
+
+TEST(EndToEndTest, MeasurementsSurviveTheFullPipeline)
+{
+    const auto imported = qasm::importString(toffoli_qasm);
+    ASSERT_EQ(imported.measures.size(), 0u);
+
+    const std::string with_measure =
+        std::string(toffoli_qasm) + "measure q -> c;\n";
+    const auto measured = qasm::importString(with_measure);
+    ASSERT_EQ(measured.measures.size(), 3u);
+
+    const auto graph = arch::ibmQX2();
+    core::OptimalMapper mapper(graph);
+    const auto res = mapper.map(measured.circuit);
+    ASSERT_TRUE(res.success);
+    int measure_count = 0;
+    for (const ir::Gate &g : res.mapped.physical.gates())
+        measure_count += g.isMeasure();
+    EXPECT_EQ(measure_count, 3);
+}
+
+} // namespace
+} // namespace toqm

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/architectures.hpp"
+#include "baselines/sabre.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/queko.hpp"
+#include "ir/schedule.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm {
+namespace {
+
+/**
+ * Property sweep: for random circuits over (seed, arch), EVERY
+ * mapper in the repository must produce a structurally valid and
+ * semantically equivalent transformed circuit whose reported cycle
+ * count matches an independent re-schedule and is bounded below by
+ * the ideal (all-to-all) cycle count.
+ */
+class MapperProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 const char *>>
+{
+  protected:
+    ir::Circuit
+    circuit() const
+    {
+        const auto seed = std::get<0>(GetParam());
+        // Moderate locality keeps the exact search tractable while
+        // still forcing several swaps on every architecture.
+        return ir::randomCircuit(5, 30, 0.5, seed, 0.6);
+    }
+
+    arch::CouplingGraph
+    graph() const
+    {
+        return arch::byName(std::get<1>(GetParam()));
+    }
+
+    void
+    checkMapped(const ir::Circuit &logical,
+                const ir::MappedCircuit &mapped,
+                const arch::CouplingGraph &g, int reported_cycles)
+    {
+        const auto verdict = sim::verifyMapping(logical, mapped, g);
+        ASSERT_TRUE(verdict.ok) << verdict.message;
+        ASSERT_TRUE(sim::semanticallyEquivalent(logical, mapped));
+        const auto lat = ir::LatencyModel::ibmPreset();
+        const int rescheduled =
+            ir::scheduleAsap(mapped.physical, lat).makespan;
+        if (reported_cycles >= 0) {
+            EXPECT_EQ(rescheduled, reported_cycles);
+        }
+        EXPECT_GE(rescheduled, ir::idealCycles(logical, lat));
+    }
+};
+
+TEST_P(MapperProperty, OptimalMapper)
+{
+    const ir::Circuit c = circuit();
+    const auto g = graph();
+    // Identity seed: the initial-mapping search mode has dedicated
+    // coverage in mapper_test and is too slow for a 15-case sweep.
+    // Sparse devices with several spare qubits (heavy-hex) can blow
+    // past any reasonable exact-search budget: skip, don't hang.
+    core::MapperConfig cfg;
+    cfg.maxExpandedNodes = 1'500'000;
+    core::OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c);
+    if (!res.success)
+        GTEST_SKIP() << "exact search budget exceeded on "
+                     << g.name();
+    checkMapped(c, res.mapped, g, res.cycles);
+}
+
+TEST_P(MapperProperty, HeuristicMapper)
+{
+    const ir::Circuit c = circuit();
+    const auto g = graph();
+    heuristic::HeuristicMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    checkMapped(c, res.mapped, g, res.cycles);
+}
+
+TEST_P(MapperProperty, SabreBaseline)
+{
+    const ir::Circuit c = circuit();
+    const auto g = graph();
+    baselines::SabreMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    checkMapped(c, res.mapped, g, -1);
+}
+
+TEST_P(MapperProperty, ZulehnerBaseline)
+{
+    const ir::Circuit c = circuit();
+    const auto g = graph();
+    baselines::ZulehnerMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    checkMapped(c, res.mapped, g, -1);
+}
+
+TEST_P(MapperProperty, HeuristicNeverBeatsOptimal)
+{
+    const ir::Circuit c = circuit();
+    const auto g = graph();
+    core::MapperConfig cfg;
+    cfg.maxExpandedNodes = 1'500'000;
+    core::OptimalMapper optimal(g, cfg);
+    heuristic::HeuristicMapper heur(g);
+    const auto o = optimal.map(c);
+    if (!o.success)
+        GTEST_SKIP() << "exact search budget exceeded on "
+                     << g.name();
+    // Compare against the heuristic run from the same fixed seed
+    // layout so the bound o <= h is exact.
+    const auto h = heur.map(c, ir::identityLayout(c.numQubits()));
+    ASSERT_TRUE(h.success);
+    EXPECT_LE(o.cycles, h.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapperProperty,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values("ibmqx2", "grid2by3",
+                                         "lnn6", "ring6")));
+
+/** Optimality cross-check: the A* optimum equals a brute-force
+ *  enumeration over swap placements for tiny single-CX problems. */
+class TinyOptimality : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TinyOptimality, DistantCxPaysExactlyMinimalSwaps)
+{
+    const int n = GetParam();
+    ir::Circuit c(n);
+    c.addCX(0, n - 1);
+    const auto g = arch::lnn(n);
+    core::MapperConfig cfg;
+    cfg.latency = ir::LatencyModel(1, 2, 6);
+    core::OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    // d-1 swaps are necessary; splitting them across the two ends
+    // lets them run concurrently: ceil((d-1)/2) sequential swap
+    // rounds, then the CX.
+    const int d = n - 1;
+    const int rounds = (d - 1 + 1) / 2;
+    EXPECT_EQ(res.cycles, rounds * 6 + 2);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), d - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, TinyOptimality,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+/** QUEKO sanity: the optimal mapper certifies the constructed
+ *  optimum on small instances. */
+TEST(QuekoOptimalityTest, OptimalMapperFindsConstructedDepth)
+{
+    const auto g = arch::grid(2, 3);
+    const ir::LatencyModel unit(1, 1, 3);
+    const auto bench =
+        ir::quekoCircuit(g.numQubits(), g.edges(), 6, 0.5, 0.2, 3);
+    core::MapperConfig cfg;
+    cfg.latency = unit;
+    core::MapperConfig seeded = cfg;
+    core::OptimalMapper mapper(g, seeded);
+    // Map with the hidden layout: must need zero swaps and exactly
+    // the constructed depth.
+    const auto res = mapper.map(bench.circuit, bench.hiddenLayout);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, bench.optimalDepth);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+}
+
+} // namespace
+} // namespace toqm

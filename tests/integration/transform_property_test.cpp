@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "arch/token_swapping.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/transforms.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+
+namespace toqm {
+namespace {
+
+/**
+ * Property sweep: both Appendix-B rewrites preserve circuit
+ * semantics on random circuits (statevector oracle).
+ */
+class TransformProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static bool
+    equivalent(const ir::Circuit &a, const ir::Circuit &b)
+    {
+        sim::StateVector sa(a.numQubits()), sb(b.numQubits());
+        for (int q = 0; q < a.numQubits(); ++q) {
+            for (auto *sv : {&sa, &sb}) {
+                sv->apply(ir::Gate(ir::GateKind::H, q));
+                sv->apply(ir::Gate(ir::GateKind::T, q));
+            }
+        }
+        sa.run(a);
+        sb.run(b);
+        return sa.overlap(sb) > 1.0 - 1e-9;
+    }
+
+    /** A random circuit with swaps mixed in (rewrite fodder). */
+    static ir::Circuit
+    swappyCircuit(std::uint64_t seed)
+    {
+        ir::Circuit base = ir::randomCircuit(5, 40, 0.5, seed);
+        ir::Circuit out(5, base.name());
+        std::uint64_t state = seed * 31 + 7;
+        const auto next = [&state]() {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            return state >> 33;
+        };
+        for (const ir::Gate &g : base.gates()) {
+            out.add(g);
+            if (next() % 4 == 0) {
+                const int a = static_cast<int>(next() % 5);
+                const int b = (a + 1 + static_cast<int>(next() % 4)) % 5;
+                if (a != b)
+                    out.addSwap(a, b);
+            }
+        }
+        return out;
+    }
+};
+
+TEST_P(TransformProperty, CancelRedundantPreservesSemantics)
+{
+    const ir::Circuit c = swappyCircuit(GetParam());
+    const ir::Circuit out = ir::cancelRedundantGates(c);
+    EXPECT_LE(out.size(), c.size());
+    EXPECT_TRUE(equivalent(c, out));
+}
+
+TEST_P(TransformProperty, NormalizeGateFirstPreservesSemantics)
+{
+    const ir::Circuit c = swappyCircuit(GetParam());
+    EXPECT_TRUE(equivalent(c, ir::normalizeSwapGateOrder(c, true)));
+}
+
+TEST_P(TransformProperty, NormalizeSwapFirstPreservesSemantics)
+{
+    const ir::Circuit c = swappyCircuit(GetParam());
+    EXPECT_TRUE(equivalent(c, ir::normalizeSwapGateOrder(c, false)));
+}
+
+TEST_P(TransformProperty, NormalizationIsIdempotent)
+{
+    const ir::Circuit c = swappyCircuit(GetParam());
+    const ir::Circuit once = ir::normalizeSwapGateOrder(c, true);
+    const ir::Circuit twice = ir::normalizeSwapGateOrder(once, true);
+    EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+/**
+ * End-to-end iterative-workload scenario: map a Clifford circuit,
+ * then return every qubit home with token swapping so the circuit
+ * can be iterated — the whole composition verified with the
+ * stabilizer oracle (identity permutation at the end).
+ */
+TEST(RestoreLayoutTest, MappedPlusRestoreActsAtHomePositions)
+{
+    const auto device = arch::ibmQ20Tokyo();
+    const ir::Circuit c =
+        sim::randomCliffordCircuit(10, 400, 0.45, 5, 0.5);
+    heuristic::HeuristicMapper mapper(device);
+    auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+
+    const auto swaps = arch::routeBackToInitial(
+        device, res.mapped.initialLayout, res.mapped.finalLayout);
+    for (const auto &[a, b] : swaps)
+        res.mapped.physical.addSwap(a, b);
+    res.mapped.finalLayout = ir::propagateLayout(
+        res.mapped.physical, res.mapped.initialLayout);
+
+    // After restoration the final layout IS the initial layout...
+    EXPECT_EQ(res.mapped.finalLayout, res.mapped.initialLayout);
+    // ...and the combined circuit is still equivalent.
+    EXPECT_TRUE(sim::cliffordEquivalent(c, res.mapped));
+}
+
+} // namespace
+} // namespace toqm

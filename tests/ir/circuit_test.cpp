@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "ir/circuit.hpp"
+
+namespace toqm::ir {
+namespace {
+
+TEST(CircuitTest, EmptyCircuit)
+{
+    Circuit c(4, "empty");
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.size(), 0);
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.name(), "empty");
+}
+
+TEST(CircuitTest, AddAndAccess)
+{
+    Circuit c(3);
+    c.addH(0);
+    c.addCX(0, 1);
+    c.addCP(1, 2, 0.5);
+    ASSERT_EQ(c.size(), 3);
+    EXPECT_EQ(c.gate(0).kind(), GateKind::H);
+    EXPECT_EQ(c.gate(1).kind(), GateKind::CX);
+    EXPECT_EQ(c.gate(2).kind(), GateKind::CP);
+    EXPECT_DOUBLE_EQ(c.gate(2).params()[0], 0.5);
+}
+
+TEST(CircuitTest, RejectsOutOfRangeOperand)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.addH(2), std::out_of_range);
+    EXPECT_THROW(c.addCX(0, 5), std::out_of_range);
+}
+
+TEST(CircuitTest, GateCounters)
+{
+    Circuit c(4);
+    c.addH(0);
+    c.addCX(0, 1);
+    c.addSwap(2, 3);
+    c.add(Gate("barrier", {0, 1, 2, 3}));
+    c.add(Gate("measure", {0}));
+    EXPECT_EQ(c.numTwoQubitGates(), 2); // cx + swap
+    EXPECT_EQ(c.numSwaps(), 1);
+    EXPECT_EQ(c.numComputeGates(), 3); // h, cx, swap
+}
+
+TEST(CircuitTest, RemappedPermutesOperands)
+{
+    Circuit c(3);
+    c.addCX(0, 2);
+    c.addH(1);
+    Circuit r = c.remapped({2, 0, 1});
+    EXPECT_EQ(r.gate(0).qubit(0), 2);
+    EXPECT_EQ(r.gate(0).qubit(1), 1);
+    EXPECT_EQ(r.gate(1).qubit(0), 0);
+}
+
+TEST(CircuitTest, RemappedRejectsBadMapSize)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.remapped({0, 1}), std::invalid_argument);
+}
+
+TEST(CircuitTest, WithoutSwapsAndBarriers)
+{
+    Circuit c(3);
+    c.addH(0);
+    c.addSwap(0, 1);
+    c.add(Gate("barrier", {0, 1}));
+    c.addCX(1, 2);
+    Circuit clean = c.withoutSwapsAndBarriers();
+    ASSERT_EQ(clean.size(), 2);
+    EXPECT_EQ(clean.gate(0).kind(), GateKind::H);
+    EXPECT_EQ(clean.gate(1).kind(), GateKind::CX);
+}
+
+TEST(CircuitTest, EqualityIgnoresName)
+{
+    Circuit a(2, "a");
+    Circuit b(2, "b");
+    a.addCX(0, 1);
+    b.addCX(0, 1);
+    EXPECT_EQ(a, b);
+    b.addH(0);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(CircuitTest, StrContainsGates)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    EXPECT_NE(c.str().find("cx q[0], q[1];"), std::string::npos);
+}
+
+} // namespace
+} // namespace toqm::ir

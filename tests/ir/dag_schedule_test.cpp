@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "ir/dag.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+
+namespace toqm::ir {
+namespace {
+
+Circuit
+chainCircuit()
+{
+    // q0: h ─ cx(0,1) ─ cx(0,2)
+    Circuit c(3);
+    c.addH(0);
+    c.addCX(0, 1);
+    c.addCX(0, 2);
+    return c;
+}
+
+TEST(DagTest, PredsAndSuccs)
+{
+    Circuit c = chainCircuit();
+    DependencyDag dag(c);
+    EXPECT_TRUE(dag.preds(0).empty());
+    ASSERT_EQ(dag.preds(1).size(), 1u);
+    EXPECT_EQ(dag.preds(1)[0], 0);
+    ASSERT_EQ(dag.preds(2).size(), 1u);
+    EXPECT_EQ(dag.preds(2)[0], 1);
+    ASSERT_EQ(dag.succs(0).size(), 1u);
+    EXPECT_EQ(dag.succs(0)[0], 1);
+}
+
+TEST(DagTest, RootsAreGatesWithoutPredecessors)
+{
+    Circuit c(4);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    c.addCX(1, 2);
+    DependencyDag dag(c);
+    ASSERT_EQ(dag.roots().size(), 2u);
+    EXPECT_EQ(dag.roots()[0], 0);
+    EXPECT_EQ(dag.roots()[1], 1);
+}
+
+TEST(DagTest, PredsAreDeduplicated)
+{
+    // Two gates sharing BOTH qubits: one pred edge, not two.
+    Circuit c(2);
+    c.addCX(0, 1);
+    c.addCX(1, 0);
+    DependencyDag dag(c);
+    EXPECT_EQ(dag.preds(1).size(), 1u);
+}
+
+TEST(DagTest, PrevOnQubit)
+{
+    Circuit c = chainCircuit();
+    DependencyDag dag(c);
+    EXPECT_EQ(dag.prevOnQubit(1, 0), 0);
+    EXPECT_EQ(dag.prevOnQubit(1, 1), -1);
+    EXPECT_EQ(dag.prevOnQubit(2, 0), 1);
+    EXPECT_THROW(dag.prevOnQubit(2, 1), std::invalid_argument);
+}
+
+TEST(DagTest, FirstOnQubit)
+{
+    Circuit c = chainCircuit();
+    DependencyDag dag(c);
+    EXPECT_EQ(dag.firstOnQubit(0), 0);
+    EXPECT_EQ(dag.firstOnQubit(1), 1);
+    EXPECT_EQ(dag.firstOnQubit(2), 2);
+}
+
+TEST(DagTest, CriticalPathWithUniformLatency)
+{
+    Circuit c = chainCircuit();
+    const LatencyModel lat(1, 1, 3);
+    EXPECT_EQ(DependencyDag(c).criticalPath(lat), 3);
+}
+
+TEST(DagTest, CriticalPathWithIbmLatency)
+{
+    Circuit c = chainCircuit();
+    // h(1) + cx(2) + cx(2) chained on q0 = 5 cycles.
+    EXPECT_EQ(DependencyDag(c).criticalPath(LatencyModel::ibmPreset()),
+              5);
+}
+
+TEST(ScheduleTest, AsapStartCycles)
+{
+    Circuit c = chainCircuit();
+    const Schedule s = scheduleAsap(c, LatencyModel::ibmPreset());
+    EXPECT_EQ(s.startCycle[0], 1);
+    EXPECT_EQ(s.startCycle[1], 2);
+    EXPECT_EQ(s.startCycle[2], 4);
+    EXPECT_EQ(s.makespan, 5);
+}
+
+TEST(ScheduleTest, ParallelGatesOverlap)
+{
+    Circuit c(4);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    const Schedule s = scheduleAsap(c, LatencyModel::ibmPreset());
+    EXPECT_EQ(s.startCycle[0], 1);
+    EXPECT_EQ(s.startCycle[1], 1);
+    EXPECT_EQ(s.makespan, 2);
+}
+
+TEST(ScheduleTest, BarrierSynchronizesOperands)
+{
+    Circuit c(2);
+    c.addH(0);
+    c.add(Gate("barrier", {0, 1}));
+    c.addH(1);
+    const Schedule s = scheduleAsap(c, LatencyModel::ibmPreset());
+    // h(q1) must wait for the barrier, which waits for h(q0).
+    EXPECT_EQ(s.startCycle[2], 2);
+}
+
+TEST(ScheduleTest, IdealCyclesIgnoresSwaps)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    c.addSwap(0, 1);
+    c.addCX(0, 1);
+    const LatencyModel lat = LatencyModel::ibmPreset();
+    // Without swaps: two chained CX = 4 cycles.
+    EXPECT_EQ(idealCycles(c, lat), 4);
+    // With the swap: 2 + 6 + 2.
+    EXPECT_EQ(scheduleAsap(c, lat).makespan, 10);
+}
+
+TEST(ScheduleTest, QftSkeletonIdealDepthIsLinear)
+{
+    const LatencyModel lat = LatencyModel::qftPreset();
+    for (int n : {4, 6, 8, 12}) {
+        // Fig 10: 2n-3 parallel layers of unit-latency GT gates.
+        EXPECT_EQ(idealCycles(qftSkeleton(n), lat), 2 * n - 3)
+            << "n=" << n;
+    }
+}
+
+TEST(ScheduleTest, RenderTimelineMentionsCycles)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    const std::string timeline =
+        renderTimeline(c, LatencyModel::ibmPreset());
+    EXPECT_NE(timeline.find("cycles: 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace toqm::ir

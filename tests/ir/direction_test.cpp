@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/direction.hpp"
+#include "ir/generators.hpp"
+#include "sim/statevector.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::ir {
+namespace {
+
+TEST(DirectionTest, NativeDirectionUntouched)
+{
+    Circuit c(5);
+    c.addCX(1, 0); // native on QX2
+    const auto result = enforceCxDirections(c, ibmQX2Directions());
+    EXPECT_EQ(result.reversedCx, 0);
+    EXPECT_EQ(result.circuit.size(), 1);
+}
+
+TEST(DirectionTest, WrongWayCxGetsHConjugated)
+{
+    Circuit c(5);
+    c.addCX(0, 1); // only 1->0 is native
+    const auto result = enforceCxDirections(c, ibmQX2Directions());
+    EXPECT_EQ(result.reversedCx, 1);
+    ASSERT_EQ(result.circuit.size(), 5);
+    EXPECT_EQ(result.circuit.gate(2).kind(), GateKind::CX);
+    EXPECT_EQ(result.circuit.gate(2).qubit(0), 1);
+    EXPECT_EQ(result.circuit.gate(2).qubit(1), 0);
+}
+
+TEST(DirectionTest, ReversalPreservesSemantics)
+{
+    Circuit c(5);
+    c.addH(0);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    c.add(Gate(GateKind::T, 1));
+    c.addCX(0, 2);
+    const auto result = enforceCxDirections(c, ibmQX2Directions());
+    EXPECT_GT(result.reversedCx, 0);
+
+    sim::StateVector a(5), b(5);
+    for (int q = 0; q < 5; ++q) {
+        for (auto *sv : {&a, &b}) {
+            sv->apply(Gate(GateKind::H, q));
+            sv->apply(Gate(GateKind::T, q));
+        }
+    }
+    a.run(c);
+    b.run(result.circuit);
+    EXPECT_GT(a.overlap(b), 1.0 - 1e-9);
+}
+
+TEST(DirectionTest, EveryCxCompliantAfterPass)
+{
+    const auto dirs = ibmQX2Directions();
+    // Map something onto QX2, then enforce directions.  (A small
+    // circuit: this test is about the pass, not the mapper.)
+    const Circuit logical = randomCircuit(5, 24, 0.5, 42, 0.7);
+    core::OptimalMapper mapper(arch::ibmQX2());
+    const auto mapped = mapper.map(logical);
+    ASSERT_TRUE(mapped.success);
+    const auto result =
+        enforceCxDirections(mapped.mapped.physical, dirs);
+    for (const Gate &g : result.circuit.gates()) {
+        if (g.kind() == GateKind::CX)
+            EXPECT_TRUE(dirs.allowed(g.qubit(0), g.qubit(1)))
+                << g.str();
+    }
+}
+
+TEST(DirectionTest, UncoupledCxThrows)
+{
+    Circuit c(5);
+    c.addCX(0, 3); // 0-3 is not a QX2 link at all
+    EXPECT_THROW(enforceCxDirections(c, ibmQX2Directions()),
+                 std::invalid_argument);
+}
+
+TEST(DirectionTest, BidirectionalSetIsNoOp)
+{
+    const auto g = arch::ibmQX2();
+    const auto dirs = DirectionSet::bidirectional(g.edges());
+    Circuit c(5);
+    c.addCX(0, 1);
+    c.addCX(1, 0);
+    const auto result = enforceCxDirections(c, dirs);
+    EXPECT_EQ(result.reversedCx, 0);
+    EXPECT_EQ(result.circuit.size(), 2);
+}
+
+TEST(DirectionTest, SwapsPassThrough)
+{
+    Circuit c(5);
+    c.addSwap(0, 1);
+    const auto result = enforceCxDirections(c, ibmQX2Directions());
+    EXPECT_EQ(result.circuit.size(), 1);
+    EXPECT_TRUE(result.circuit.gate(0).isSwap());
+}
+
+} // namespace
+} // namespace toqm::ir

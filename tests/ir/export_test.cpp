@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/export.hpp"
+#include "ir/generators.hpp"
+
+namespace toqm::ir {
+namespace {
+
+TEST(ExportTest, DotContainsAllNodesAndEdges)
+{
+    const auto g = arch::grid(2, 2);
+    const std::string dot = toDot(g);
+    EXPECT_NE(dot.find("graph \"grid2by2\""), std::string::npos);
+    for (int p = 0; p < 4; ++p) {
+        EXPECT_NE(dot.find("Q" + std::to_string(p) + " [label"),
+                  std::string::npos);
+    }
+    EXPECT_NE(dot.find("Q0 -- Q1;"), std::string::npos);
+    EXPECT_NE(dot.find("Q0 -- Q2;"), std::string::npos);
+}
+
+TEST(ExportTest, DotAnnotatesLayout)
+{
+    const auto g = arch::lnn(3);
+    const std::string dot = toDot(g, {2, 0});
+    EXPECT_NE(dot.find("Q2\\nq0"), std::string::npos);
+    EXPECT_NE(dot.find("Q0\\nq1"), std::string::npos);
+}
+
+TEST(ExportTest, ScheduleJsonHasStartAndDuration)
+{
+    Circuit c(2);
+    c.addH(0);
+    c.addCX(0, 1);
+    const std::string json =
+        scheduleToJson(c, LatencyModel::ibmPreset());
+    EXPECT_NE(json.find("\"makespan\": 3"), std::string::npos);
+    EXPECT_NE(json.find("{\"name\": \"h\", \"qubits\": [0], "
+                        "\"start\": 1, \"duration\": 1}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"name\": \"cx\", \"qubits\": [0, 1], "
+                        "\"start\": 2, \"duration\": 2}"),
+              std::string::npos);
+}
+
+TEST(ExportTest, MappingJsonHasLayouts)
+{
+    Circuit phys(3);
+    phys.addSwap(0, 1);
+    MappedCircuit mapped(std::move(phys), {0, 1}, {1, 0});
+    const std::string json =
+        mappingToJson(mapped, LatencyModel::ibmPreset());
+    EXPECT_NE(json.find("\"initialLayout\": [0, 1]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"finalLayout\": [1, 0]"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"swaps\": 1"), std::string::npos);
+}
+
+TEST(ExportTest, JsonIsWellFormedBraces)
+{
+    const std::string json = scheduleToJson(
+        randomCircuit(4, 30, 0.5, 7), LatencyModel::ibmPreset());
+    int depth = 0;
+    for (char ch : json) {
+        depth += ch == '{' || ch == '[';
+        depth -= ch == '}' || ch == ']';
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // namespace
+} // namespace toqm::ir

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "ir/gate.hpp"
+
+namespace toqm::ir {
+namespace {
+
+TEST(GateTest, OneQubitConstruction)
+{
+    Gate g(GateKind::H, 3);
+    EXPECT_EQ(g.kind(), GateKind::H);
+    EXPECT_EQ(g.numQubits(), 1);
+    EXPECT_EQ(g.qubit(0), 3);
+    EXPECT_EQ(g.name(), "h");
+    EXPECT_FALSE(g.isTwoQubit());
+}
+
+TEST(GateTest, TwoQubitConstruction)
+{
+    Gate g(GateKind::CX, 1, 4);
+    EXPECT_EQ(g.numQubits(), 2);
+    EXPECT_EQ(g.qubit(0), 1);
+    EXPECT_EQ(g.qubit(1), 4);
+    EXPECT_TRUE(g.isTwoQubit());
+    EXPECT_FALSE(g.isSwap());
+}
+
+TEST(GateTest, SwapIsRecognized)
+{
+    Gate g(GateKind::Swap, 0, 1);
+    EXPECT_TRUE(g.isSwap());
+}
+
+TEST(GateTest, ParamsArePreserved)
+{
+    Gate g(GateKind::RZ, 2, std::vector<double>{1.5});
+    ASSERT_EQ(g.params().size(), 1u);
+    EXPECT_DOUBLE_EQ(g.params()[0], 1.5);
+}
+
+TEST(GateTest, RejectsTwoQubitKindWithOneOperand)
+{
+    EXPECT_THROW(Gate(GateKind::CX, 0), std::invalid_argument);
+}
+
+TEST(GateTest, RejectsOneQubitKindWithTwoOperands)
+{
+    EXPECT_THROW(Gate(GateKind::H, 0, 1), std::invalid_argument);
+}
+
+TEST(GateTest, RejectsIdenticalOperands)
+{
+    EXPECT_THROW(Gate(GateKind::CX, 2, 2), std::invalid_argument);
+}
+
+TEST(GateTest, NamedOpaqueGate)
+{
+    Gate g("mygate", {0, 1}, {0.25});
+    EXPECT_EQ(g.kind(), GateKind::Other);
+    EXPECT_EQ(g.name(), "mygate");
+    EXPECT_EQ(g.numQubits(), 2);
+}
+
+TEST(GateTest, NamedBuiltinResolvesKind)
+{
+    Gate g("cx", {0, 1});
+    EXPECT_EQ(g.kind(), GateKind::CX);
+}
+
+TEST(GateTest, SharesQubitWith)
+{
+    Gate a(GateKind::CX, 0, 1);
+    Gate b(GateKind::CX, 1, 2);
+    Gate c(GateKind::CX, 2, 3);
+    EXPECT_TRUE(a.sharesQubitWith(b));
+    EXPECT_FALSE(a.sharesQubitWith(c));
+}
+
+TEST(GateTest, ActsOn)
+{
+    Gate g(GateKind::CX, 5, 7);
+    EXPECT_TRUE(g.actsOn(5));
+    EXPECT_TRUE(g.actsOn(7));
+    EXPECT_FALSE(g.actsOn(6));
+}
+
+TEST(GateTest, SetQubitsRemaps)
+{
+    Gate g(GateKind::CX, 0, 1);
+    g.setQubits({4, 9});
+    EXPECT_EQ(g.qubit(0), 4);
+    EXPECT_EQ(g.qubit(1), 9);
+}
+
+TEST(GateTest, SetQubitsRejectsArityChange)
+{
+    Gate g(GateKind::CX, 0, 1);
+    EXPECT_THROW(g.setQubits({4}), std::invalid_argument);
+}
+
+TEST(GateTest, EqualityComparesEverything)
+{
+    Gate a(GateKind::RZ, 1, std::vector<double>{0.5});
+    Gate b(GateKind::RZ, 1, std::vector<double>{0.5});
+    Gate c(GateKind::RZ, 1, std::vector<double>{0.75});
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(GateTest, KindNameRoundTrip)
+{
+    for (GateKind k : {GateKind::H, GateKind::X, GateKind::CX,
+                       GateKind::Swap, GateKind::GT, GateKind::CP}) {
+        EXPECT_EQ(gateKindFromName(gateKindName(k)), k);
+    }
+}
+
+TEST(GateTest, StrRendersOperands)
+{
+    Gate g(GateKind::CX, 0, 3);
+    EXPECT_EQ(g.str(), "cx q[0], q[3]");
+}
+
+TEST(GateTest, TwoQubitKindPredicate)
+{
+    EXPECT_TRUE(isTwoQubitKind(GateKind::CX));
+    EXPECT_TRUE(isTwoQubitKind(GateKind::Swap));
+    EXPECT_TRUE(isTwoQubitKind(GateKind::GT));
+    EXPECT_FALSE(isTwoQubitKind(GateKind::H));
+    EXPECT_FALSE(isTwoQubitKind(GateKind::Barrier));
+}
+
+} // namespace
+} // namespace toqm::ir

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "ir/queko.hpp"
+#include "ir/schedule.hpp"
+
+namespace toqm::ir {
+namespace {
+
+TEST(GeneratorsTest, QftSkeletonGateCount)
+{
+    for (int n : {2, 3, 4, 6, 8, 16}) {
+        const Circuit c = qftSkeleton(n);
+        EXPECT_EQ(c.size(), n * (n - 1) / 2) << "n=" << n;
+    }
+}
+
+TEST(GeneratorsTest, QftSkeletonCoversAllPairsOnce)
+{
+    const int n = 7;
+    const Circuit c = qftSkeleton(n);
+    std::set<std::pair<int, int>> seen;
+    for (const Gate &g : c.gates()) {
+        ASSERT_EQ(g.kind(), GateKind::GT);
+        int a = g.qubit(0), b = g.qubit(1);
+        if (a > b)
+            std::swap(a, b);
+        EXPECT_TRUE(seen.emplace(a, b).second)
+            << "duplicate pair " << a << "," << b;
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), n * (n - 1) / 2);
+}
+
+TEST(GeneratorsTest, QftConcreteStructure)
+{
+    const Circuit c = qftConcrete(4);
+    // n H gates + n(n-1)/2 controlled-phase gates.
+    int h = 0, cp = 0;
+    for (const Gate &g : c.gates()) {
+        h += g.kind() == GateKind::H;
+        cp += g.kind() == GateKind::CP;
+    }
+    EXPECT_EQ(h, 4);
+    EXPECT_EQ(cp, 6);
+}
+
+TEST(GeneratorsTest, RandomCircuitIsDeterministic)
+{
+    const Circuit a = randomCircuit(5, 100, 0.5, 42);
+    const Circuit b = randomCircuit(5, 100, 0.5, 42);
+    const Circuit c = randomCircuit(5, 100, 0.5, 43);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a == c);
+}
+
+TEST(GeneratorsTest, RandomCircuitRespectsSize)
+{
+    const Circuit c = randomCircuit(6, 250, 0.4, 1);
+    EXPECT_EQ(c.size(), 250);
+    EXPECT_EQ(c.numQubits(), 6);
+}
+
+TEST(GeneratorsTest, RandomCircuitCxFractionApproximate)
+{
+    const Circuit c = randomCircuit(8, 4000, 0.45, 9);
+    const double frac =
+        static_cast<double>(c.numTwoQubitGates()) / c.size();
+    EXPECT_NEAR(frac, 0.45, 0.03);
+}
+
+TEST(GeneratorsTest, BenchmarkStandInStableAcrossCalls)
+{
+    const Circuit a = benchmarkStandIn("rd53_251", 8, 1291);
+    const Circuit b = benchmarkStandIn("rd53_251", 8, 1291);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.name(), "rd53_251");
+    EXPECT_EQ(a.size(), 1291);
+}
+
+TEST(GeneratorsTest, GhzShape)
+{
+    const Circuit c = ghz(5);
+    EXPECT_EQ(c.size(), 5); // 1 H + 4 CX
+    EXPECT_EQ(c.gate(0).kind(), GateKind::H);
+    EXPECT_EQ(c.numTwoQubitGates(), 4);
+}
+
+TEST(GeneratorsTest, BernsteinVaziraniCxPerSecretBit)
+{
+    const Circuit c = bernsteinVazirani(6, 0b101101);
+    EXPECT_EQ(c.numQubits(), 7);
+    EXPECT_EQ(c.numTwoQubitGates(), 4); // popcount(0b101101)
+}
+
+TEST(GeneratorsTest, RippleCarryAdderUsesOnlySmallGates)
+{
+    const Circuit c = rippleCarryAdder(3);
+    EXPECT_EQ(c.numQubits(), 8);
+    for (const Gate &g : c.gates())
+        EXPECT_LE(g.numQubits(), 2);
+    EXPECT_GT(c.numTwoQubitGates(), 10);
+}
+
+TEST(QuekoTest, OptimalDepthByConstruction)
+{
+    const auto g = arch::ibmQ20Tokyo();
+    const auto bench =
+        quekoCircuit(g.numQubits(), g.edges(), 15, 0.4, 0.2, 77);
+    EXPECT_EQ(bench.optimalDepth, 15);
+
+    // (a) The dependency critical path equals the target depth
+    //     under unit latencies.
+    const LatencyModel unit(1, 1, 1);
+    EXPECT_EQ(idealCycles(bench.circuit, unit), 15);
+
+    // (b) The hidden layout executes the circuit with zero swaps:
+    //     every 2q gate is coupled under it.
+    for (const Gate &gate : bench.circuit.gates()) {
+        if (gate.numQubits() != 2)
+            continue;
+        const int p0 = bench.hiddenLayout[static_cast<size_t>(
+            gate.qubit(0))];
+        const int p1 = bench.hiddenLayout[static_cast<size_t>(
+            gate.qubit(1))];
+        EXPECT_TRUE(g.adjacent(p0, p1));
+    }
+}
+
+TEST(QuekoTest, Deterministic)
+{
+    const auto g = arch::aspen4();
+    const auto a =
+        quekoCircuit(g.numQubits(), g.edges(), 10, 0.3, 0.1, 5);
+    const auto b =
+        quekoCircuit(g.numQubits(), g.edges(), 10, 0.3, 0.1, 5);
+    EXPECT_EQ(a.circuit, b.circuit);
+    EXPECT_EQ(a.hiddenLayout, b.hiddenLayout);
+}
+
+TEST(QuekoTest, DepthSweep)
+{
+    const auto g = arch::grid(2, 4);
+    const LatencyModel unit(1, 1, 1);
+    for (int depth : {1, 5, 10, 25}) {
+        const auto bench =
+            quekoCircuit(g.numQubits(), g.edges(), depth, 0.5, 0.2,
+                         static_cast<std::uint64_t>(depth));
+        EXPECT_EQ(idealCycles(bench.circuit, unit), depth);
+    }
+}
+
+} // namespace
+} // namespace toqm::ir

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "ir/latency.hpp"
+#include "ir/mapped_circuit.hpp"
+
+namespace toqm::ir {
+namespace {
+
+TEST(LatencyTest, Presets)
+{
+    const LatencyModel ibm = LatencyModel::ibmPreset();
+    EXPECT_EQ(ibm.latency(Gate(GateKind::H, 0)), 1);
+    EXPECT_EQ(ibm.latency(Gate(GateKind::CX, 0, 1)), 2);
+    EXPECT_EQ(ibm.latency(Gate(GateKind::Swap, 0, 1)), 6);
+
+    const LatencyModel olsq = LatencyModel::olsqPreset();
+    EXPECT_EQ(olsq.latency(Gate(GateKind::CX, 0, 1)), 1);
+    EXPECT_EQ(olsq.latency(Gate(GateKind::Swap, 0, 1)), 3);
+
+    const LatencyModel qft = LatencyModel::qftPreset();
+    EXPECT_EQ(qft.latency(Gate(GateKind::GT, 0, 1)), 1);
+    EXPECT_EQ(qft.latency(Gate(GateKind::Swap, 0, 1)), 1);
+}
+
+TEST(LatencyTest, BarrierIsFree)
+{
+    const LatencyModel lat = LatencyModel::ibmPreset();
+    EXPECT_EQ(lat.latency(Gate("barrier", {0, 1})), 0);
+}
+
+TEST(LatencyTest, KindOverride)
+{
+    LatencyModel lat = LatencyModel::ibmPreset();
+    lat.setKindLatency(GateKind::CZ, 4);
+    EXPECT_EQ(lat.latency(Gate(GateKind::CZ, 0, 1)), 4);
+    EXPECT_EQ(lat.latency(Gate(GateKind::CX, 0, 1)), 2);
+}
+
+TEST(LatencyTest, RejectsNonPositiveLatency)
+{
+    EXPECT_THROW(LatencyModel(0, 1, 1), std::invalid_argument);
+    LatencyModel lat = LatencyModel::ibmPreset();
+    EXPECT_THROW(lat.setKindLatency(GateKind::H, 0),
+                 std::invalid_argument);
+}
+
+TEST(LayoutTest, IdentityLayout)
+{
+    const auto layout = identityLayout(4);
+    EXPECT_EQ(layout, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(LayoutTest, InvertLayoutWithSpareQubits)
+{
+    const std::vector<int> layout{3, 0}; // 2 logical on 4 physical
+    const auto inv = invertLayout(layout, 4);
+    EXPECT_EQ(inv, (std::vector<int>{1, -1, -1, 0}));
+}
+
+TEST(LayoutTest, InvertLayoutRejectsCollision)
+{
+    EXPECT_THROW(invertLayout({1, 1}, 3), std::invalid_argument);
+    EXPECT_THROW(invertLayout({5}, 3), std::invalid_argument);
+}
+
+TEST(LayoutTest, IsInjectiveLayout)
+{
+    EXPECT_TRUE(isInjectiveLayout({2, 0}, 3));
+    EXPECT_FALSE(isInjectiveLayout({2, 2}, 3));
+    EXPECT_FALSE(isInjectiveLayout({3}, 3));
+}
+
+TEST(LayoutTest, PropagateLayoutThroughSwaps)
+{
+    Circuit phys(3);
+    phys.addSwap(0, 1);
+    phys.addSwap(1, 2);
+    // Logical 0 starts at physical 0: swap(0,1) moves it to 1,
+    // swap(1,2) moves it to 2.
+    const auto final_layout = propagateLayout(phys, {0, 1});
+    EXPECT_EQ(final_layout[0], 2);
+    EXPECT_EQ(final_layout[1], 0);
+}
+
+TEST(LayoutTest, PropagateLayoutIgnoresNonSwaps)
+{
+    Circuit phys(2);
+    phys.addCX(0, 1);
+    const auto final_layout = propagateLayout(phys, {0, 1});
+    EXPECT_EQ(final_layout, (std::vector<int>{0, 1}));
+}
+
+} // namespace
+} // namespace toqm::ir

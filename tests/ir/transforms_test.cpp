@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "ir/transforms.hpp"
+#include "sim/statevector.hpp"
+
+namespace toqm::ir {
+namespace {
+
+/** Semantic-equality oracle for rewrites. */
+bool
+equivalent(const Circuit &a, const Circuit &b)
+{
+    sim::StateVector sa(a.numQubits());
+    sim::StateVector sb(b.numQubits());
+    // A non-trivial input state to catch phase errors.
+    for (int q = 0; q < a.numQubits(); ++q) {
+        sa.apply(Gate(GateKind::H, q));
+        sb.apply(Gate(GateKind::H, q));
+        sa.apply(Gate(GateKind::T, q));
+        sb.apply(Gate(GateKind::T, q));
+    }
+    sa.run(a);
+    sb.run(b);
+    return sa.overlap(sb) > 1.0 - 1e-9;
+}
+
+TEST(CancelRedundantTest, AdjacentHPairCancels)
+{
+    Circuit c(1);
+    c.addH(0);
+    c.addH(0);
+    const Circuit out = cancelRedundantGates(c);
+    EXPECT_EQ(out.size(), 0);
+}
+
+TEST(CancelRedundantTest, CxPairCancels)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    c.addCX(0, 1);
+    EXPECT_EQ(cancelRedundantGates(c).size(), 0);
+}
+
+TEST(CancelRedundantTest, FlippedCxDoesNotCancel)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    c.addCX(1, 0);
+    EXPECT_EQ(cancelRedundantGates(c).size(), 2);
+}
+
+TEST(CancelRedundantTest, FlippedSwapDoesCancel)
+{
+    Circuit c(2);
+    c.addSwap(0, 1);
+    c.addSwap(1, 0);
+    EXPECT_EQ(cancelRedundantGates(c).size(), 0);
+}
+
+TEST(CancelRedundantTest, InterposedGateBlocksCancellation)
+{
+    Circuit c(2);
+    c.addSwap(0, 1);
+    c.addH(0);
+    c.addSwap(0, 1);
+    EXPECT_EQ(cancelRedundantGates(c).size(), 3);
+}
+
+TEST(CancelRedundantTest, UnrelatedGateDoesNotBlock)
+{
+    Circuit c(3);
+    c.addSwap(0, 1);
+    c.addH(2); // touches neither swap qubit
+    c.addSwap(0, 1);
+    const Circuit out = cancelRedundantGates(c);
+    ASSERT_EQ(out.size(), 1);
+    EXPECT_EQ(out.gate(0).kind(), GateKind::H);
+}
+
+TEST(CancelRedundantTest, CascadesToFixedPoint)
+{
+    // h x x h on one qubit: inner pair cancels, then the outer pair.
+    Circuit c(1);
+    c.addH(0);
+    c.addX(0);
+    c.addX(0);
+    c.addH(0);
+    EXPECT_EQ(cancelRedundantGates(c).size(), 0);
+}
+
+TEST(CancelRedundantTest, NonSelfInverseGatesKept)
+{
+    Circuit c(1);
+    c.add(Gate(GateKind::T, 0));
+    c.add(Gate(GateKind::T, 0));
+    EXPECT_EQ(cancelRedundantGates(c).size(), 2);
+}
+
+TEST(CancelRedundantTest, PreservesSemantics)
+{
+    Circuit c(3);
+    c.addH(0);
+    c.addCX(0, 1);
+    c.addCX(0, 1);
+    c.addSwap(1, 2);
+    c.addSwap(2, 1);
+    c.addCX(0, 2);
+    const Circuit out = cancelRedundantGates(c);
+    EXPECT_LT(out.size(), c.size());
+    EXPECT_TRUE(equivalent(c, out));
+}
+
+TEST(NormalizeSwapGateTest, SwapThenGateBecomesGateThenSwap)
+{
+    Circuit c(2);
+    c.addSwap(0, 1);
+    c.addCX(0, 1);
+    const Circuit out = normalizeSwapGateOrder(c, /*gate_first=*/true);
+    ASSERT_EQ(out.size(), 2);
+    EXPECT_EQ(out.gate(0).kind(), GateKind::CX);
+    // The gate crosses the swap with reversed operands.
+    EXPECT_EQ(out.gate(0).qubit(0), 1);
+    EXPECT_EQ(out.gate(0).qubit(1), 0);
+    EXPECT_TRUE(out.gate(1).isSwap());
+    EXPECT_TRUE(equivalent(c, out));
+}
+
+TEST(NormalizeSwapGateTest, GateThenSwapBecomesSwapThenGate)
+{
+    Circuit c(2);
+    c.addCX(1, 0);
+    c.addSwap(0, 1);
+    const Circuit out =
+        normalizeSwapGateOrder(c, /*gate_first=*/false);
+    ASSERT_EQ(out.size(), 2);
+    EXPECT_TRUE(out.gate(0).isSwap());
+    EXPECT_EQ(out.gate(1).qubit(0), 0);
+    EXPECT_TRUE(equivalent(c, out));
+}
+
+TEST(NormalizeSwapGateTest, AlreadyNormalizedIsUntouched)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    c.addSwap(0, 1);
+    const Circuit out = normalizeSwapGateOrder(c, /*gate_first=*/true);
+    EXPECT_EQ(out, c);
+}
+
+TEST(NormalizeSwapGateTest, DifferentPairsAreUntouched)
+{
+    Circuit c(3);
+    c.addSwap(0, 1);
+    c.addCX(1, 2); // shares only one qubit with the swap
+    const Circuit out = normalizeSwapGateOrder(c, true);
+    EXPECT_EQ(out, c);
+}
+
+TEST(NormalizeSwapGateTest, PreservesSemanticsOnQftButterfly)
+{
+    // The GT/SWAP alternation of the butterfly (here with CZ as the
+    // concrete symmetric gate) survives both normalizations.
+    Circuit c(4);
+    c.addCZ(0, 1);
+    c.addSwap(0, 1);
+    c.addCZ(1, 2);
+    c.addSwap(1, 2);
+    c.addCZ(2, 3);
+    const Circuit fwd = normalizeSwapGateOrder(c, true);
+    const Circuit bwd = normalizeSwapGateOrder(c, false);
+    EXPECT_TRUE(equivalent(c, fwd));
+    EXPECT_TRUE(equivalent(c, bwd));
+}
+
+TEST(LayerSignatureTest, GroupsByStartCycle)
+{
+    Circuit c(4);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    c.addH(0);
+    const auto sig = layerSignature(c, LatencyModel::ibmPreset());
+    ASSERT_EQ(sig.size(), 3u); // cx(2 cycles) then h
+    EXPECT_EQ(sig[0], "cx@0,1;cx@2,3");
+    EXPECT_EQ(sig[1], "");
+    EXPECT_EQ(sig[2], "h@0");
+}
+
+TEST(RecurrenceTest, DetectsAlternatingPattern)
+{
+    // GT layer / SWAP layer alternation -> period 2.
+    Circuit c(2);
+    for (int i = 0; i < 4; ++i) {
+        c.addGT(0, 1);
+        c.addSwap(0, 1);
+    }
+    const auto sig = layerSignature(c, LatencyModel::qftPreset());
+    EXPECT_EQ(detectRecurrence(sig), 2);
+}
+
+TEST(RecurrenceTest, NoFalsePeriodOnRandomCircuit)
+{
+    const Circuit c = ir::randomCircuit(5, 60, 0.5, 99);
+    const auto sig = layerSignature(c, LatencyModel::ibmPreset());
+    // Mostly-random layer shapes should not alias to period <= 2.
+    EXPECT_NE(detectRecurrence(sig, 0, 2), 1);
+}
+
+TEST(RecurrenceTest, QftButterflyHasPeriodTwo)
+{
+    // The real thing: the generalized LNN butterfly's layer shapes
+    // alternate GT / SWAP with period 2 after the prologue.
+    Circuit c(6, "butterfly");
+    // Reconstruct the physical circuit of the n=6 butterfly.
+    // (GT layers and swap layers strictly alternate.)
+    c.addGT(0, 1);
+    c.addSwap(0, 1);
+    c.addGT(1, 2);
+    c.addSwap(1, 2);
+    c.addGT(0, 1);
+    c.addGT(2, 3);
+    c.addSwap(0, 1);
+    c.addSwap(2, 3);
+    const auto sig = layerSignature(c, LatencyModel::qftPreset());
+    EXPECT_EQ(detectRecurrence(sig, 0, 4) % 2, 0);
+}
+
+TEST(NormalizedDepthTest, CancellationShortensDepth)
+{
+    Circuit c(2);
+    c.addCX(0, 1);
+    c.addSwap(0, 1);
+    c.addSwap(0, 1);
+    c.addCX(1, 0); // flipped: survives cancellation
+    const LatencyModel lat = LatencyModel::ibmPreset();
+    EXPECT_EQ(scheduleAsap(c, lat).makespan, 16);
+    EXPECT_EQ(normalizedDepth(c, lat), 4); // the swaps cancel
+}
+
+} // namespace
+} // namespace toqm::ir

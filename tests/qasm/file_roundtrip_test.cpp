@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "qasm/importer.hpp"
+#include "qasm/writer.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::qasm {
+namespace {
+
+/** Directory injected by CMake (TOQM_BENCHMARK_DIR). */
+std::string
+benchmarkDir()
+{
+#ifdef TOQM_BENCHMARK_DIR
+    return TOQM_BENCHMARK_DIR;
+#else
+    return "benchmarks/qasm";
+#endif
+}
+
+class QasmFile : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(QasmFile, ParsesLowersAndRoundTrips)
+{
+    const std::string path =
+        benchmarkDir() + "/" + GetParam() + ".qasm";
+    const auto imported = importFile(path);
+    EXPECT_GT(imported.circuit.size(), 0);
+
+    // Writer output must re-import to the same gate sequence
+    // (measures are re-emitted against a canonical creg).
+    const auto reparsed = importString(writeCircuit(imported.circuit));
+    EXPECT_EQ(reparsed.circuit.numComputeGates(),
+              imported.circuit.numComputeGates());
+}
+
+TEST_P(QasmFile, MapsOntoTokyoAndVerifies)
+{
+    const std::string path =
+        benchmarkDir() + "/" + GetParam() + ".qasm";
+    const auto imported = importFile(path);
+    const auto device = arch::ibmQ20Tokyo();
+    heuristic::HeuristicMapper mapper(device);
+    const auto res = mapper.map(imported.circuit);
+    ASSERT_TRUE(res.success);
+    const auto verdict =
+        sim::verifyMapping(imported.circuit, res.mapped, device);
+    EXPECT_TRUE(verdict.ok) << verdict.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Files, QasmFile,
+                         ::testing::Values("bell", "qft4",
+                                           "toffoli_chain", "adder2",
+                                           "ghz5_with_gate"));
+
+TEST(QasmFileTest, Qft4FileMatchesGeneratedQft)
+{
+    const auto imported =
+        importFile(benchmarkDir() + "/qft4.qasm");
+    sim::StateVector from_file(4, 5);
+    from_file.run(imported.circuit);
+    sim::StateVector generated(4, 5);
+    generated.run(ir::qftConcrete(4));
+    EXPECT_GT(from_file.overlap(generated), 1.0 - 1e-9);
+}
+
+TEST(QasmFileTest, MissingFileThrows)
+{
+    EXPECT_THROW(importFile(benchmarkDir() + "/nonexistent.qasm"),
+                 std::runtime_error);
+}
+
+TEST(QasmFileTest, Adder2ComputesCorrectSums)
+{
+    // The adder file computes b += a (2-bit) on basis states.
+    const auto imported =
+        importFile(benchmarkDir() + "/adder2.qasm");
+    ASSERT_EQ(imported.circuit.numQubits(), 6);
+    // Layout: a[0] a[1] b[0] b[1] cin cout (flattened order).
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            const std::uint64_t basis =
+                static_cast<std::uint64_t>(a) |
+                (static_cast<std::uint64_t>(b) << 2);
+            sim::StateVector sv(6, basis);
+            sv.run(imported.circuit);
+            const int sum = a + b;
+            const std::uint64_t want =
+                static_cast<std::uint64_t>(a) |
+                (static_cast<std::uint64_t>(sum & 3) << 2) |
+                (static_cast<std::uint64_t>(sum >> 2) << 5);
+            EXPECT_NEAR(std::abs(sv.amplitude(want)), 1.0, 1e-9)
+                << "a=" << a << " b=" << b;
+        }
+    }
+}
+
+} // namespace
+} // namespace toqm::qasm

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "ir/generators.hpp"
+#include "qasm/importer.hpp"
+#include "qasm/writer.hpp"
+#include "sim/statevector.hpp"
+
+namespace toqm::qasm {
+namespace {
+
+constexpr const char *header =
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+TEST(ImporterTest, NativeGatesImportDirectly)
+{
+    const auto r = importString(std::string(header) +
+                                "qreg q[2]; h q[0]; cx q[0], q[1]; "
+                                "rz(0.5) q[1];");
+    ASSERT_EQ(r.circuit.size(), 3);
+    EXPECT_EQ(r.circuit.gate(0).kind(), ir::GateKind::H);
+    EXPECT_EQ(r.circuit.gate(1).kind(), ir::GateKind::CX);
+    EXPECT_EQ(r.circuit.gate(2).kind(), ir::GateKind::RZ);
+    EXPECT_DOUBLE_EQ(r.circuit.gate(2).params()[0], 0.5);
+}
+
+TEST(ImporterTest, CcxExpandsToOneAndTwoQubitGates)
+{
+    const auto r = importString(std::string(header) +
+                                "qreg q[3]; ccx q[0], q[1], q[2];");
+    EXPECT_GT(r.circuit.size(), 10);
+    for (const ir::Gate &g : r.circuit.gates())
+        EXPECT_LE(g.numQubits(), 2);
+}
+
+TEST(ImporterTest, UserGateMacroExpansion)
+{
+    const auto r = importString(
+        std::string(header) +
+        "gate bell a, b { h a; cx a, b; }\n"
+        "qreg q[4]; bell q[2], q[3];");
+    ASSERT_EQ(r.circuit.size(), 2);
+    EXPECT_EQ(r.circuit.gate(0).qubit(0), 2);
+    EXPECT_EQ(r.circuit.gate(1).qubit(0), 2);
+    EXPECT_EQ(r.circuit.gate(1).qubit(1), 3);
+}
+
+TEST(ImporterTest, ParameterSubstitutionInMacros)
+{
+    const auto r = importString(
+        std::string(header) +
+        "gate twist(t) a { rz(t * 2) a; }\n"
+        "qreg q[1]; twist(0.25) q[0];");
+    ASSERT_EQ(r.circuit.size(), 1);
+    EXPECT_DOUBLE_EQ(r.circuit.gate(0).params()[0], 0.5);
+}
+
+TEST(ImporterTest, BroadcastOverRegister)
+{
+    const auto r =
+        importString(std::string(header) + "qreg q[3]; h q;");
+    EXPECT_EQ(r.circuit.size(), 3);
+}
+
+TEST(ImporterTest, BroadcastCxElementwise)
+{
+    const auto r = importString(std::string(header) +
+                                "qreg a[2]; qreg b[2]; cx a, b;");
+    ASSERT_EQ(r.circuit.size(), 2);
+    EXPECT_EQ(r.circuit.gate(0).qubit(0), 0);
+    EXPECT_EQ(r.circuit.gate(0).qubit(1), 2);
+    EXPECT_EQ(r.circuit.gate(1).qubit(0), 1);
+    EXPECT_EQ(r.circuit.gate(1).qubit(1), 3);
+}
+
+TEST(ImporterTest, BroadcastSizeMismatchThrows)
+{
+    EXPECT_THROW(importString(std::string(header) +
+                              "qreg a[2]; qreg b[3]; cx a, b;"),
+                 std::runtime_error);
+}
+
+TEST(ImporterTest, MeasureTargetsRecorded)
+{
+    const auto r = importString(std::string(header) +
+                                "qreg q[2]; creg c[2];\n"
+                                "measure q -> c;");
+    ASSERT_EQ(r.measures.size(), 2u);
+    EXPECT_EQ(r.measures[0].creg, "c");
+    EXPECT_EQ(r.circuit.gate(r.measures[0].gateIndex).kind(),
+              ir::GateKind::Measure);
+}
+
+TEST(ImporterTest, ConditionalRejectedByDefault)
+{
+    const std::string src = std::string(header) +
+                            "qreg q[1]; creg c[1]; if (c==1) x q[0];";
+    EXPECT_THROW(importString(src), std::runtime_error);
+    ImportOptions opts;
+    opts.allowConditionals = true;
+    EXPECT_NO_THROW(importString(src, opts));
+}
+
+TEST(ImporterTest, QubitNamesTrackRegisters)
+{
+    const auto r =
+        importString(std::string(header) + "qreg a[1]; qreg b[2];");
+    ASSERT_EQ(r.qubitNames.size(), 3u);
+    EXPECT_EQ(r.qubitNames[0], "a[0]");
+    EXPECT_EQ(r.qubitNames[2], "b[1]");
+}
+
+TEST(WriterTest, RoundTripPreservesCircuit)
+{
+    ir::Circuit c = ir::qftConcrete(4);
+    const std::string text = writeCircuit(c);
+    const auto r = importString(text);
+    ASSERT_EQ(r.circuit.size(), c.size());
+    for (int i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(r.circuit.gate(i).kind(), c.gate(i).kind());
+        EXPECT_EQ(r.circuit.gate(i).qubits(), c.gate(i).qubits());
+    }
+}
+
+TEST(WriterTest, RoundTripIsSemanticallyExact)
+{
+    ir::Circuit c = ir::qftConcrete(3);
+    const auto r = importString(writeCircuit(c));
+    sim::StateVector a(3), b(3);
+    a.run(c);
+    b.run(r.circuit);
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-9);
+}
+
+TEST(WriterTest, MappedCircuitRecordsLayouts)
+{
+    ir::Circuit phys(3);
+    phys.addSwap(0, 1);
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2},
+                             {1, 0, 2});
+    const std::string text = writeMappedCircuit(mapped);
+    EXPECT_NE(text.find("initial layout"), std::string::npos);
+    EXPECT_NE(text.find("q0->Q0"), std::string::npos);
+    EXPECT_NE(text.find("final layout"), std::string::npos);
+    EXPECT_NE(text.find("q0->Q1"), std::string::npos);
+}
+
+TEST(WriterTest, GtEmittedAsCz)
+{
+    ir::Circuit c(2);
+    c.addGT(0, 1);
+    const std::string text = writeCircuit(c);
+    EXPECT_NE(text.find("cz q[0],q[1];"), std::string::npos);
+    // And the output must re-parse.
+    EXPECT_NO_THROW(importString(text));
+}
+
+} // namespace
+} // namespace toqm::qasm

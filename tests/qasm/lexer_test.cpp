@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "qasm/lexer.hpp"
+
+namespace toqm::qasm {
+namespace {
+
+std::vector<TokenKind>
+kinds(const std::string &src)
+{
+    std::vector<TokenKind> out;
+    for (const Token &t : Lexer::tokenize(src))
+        out.push_back(t.kind);
+    return out;
+}
+
+TEST(LexerTest, Keywords)
+{
+    const auto k = kinds("OPENQASM qreg creg gate opaque barrier "
+                         "measure reset if pi U CX include");
+    const std::vector<TokenKind> want{
+        TokenKind::KwOpenqasm, TokenKind::KwQreg, TokenKind::KwCreg,
+        TokenKind::KwGate, TokenKind::KwOpaque, TokenKind::KwBarrier,
+        TokenKind::KwMeasure, TokenKind::KwReset, TokenKind::KwIf,
+        TokenKind::KwPi, TokenKind::KwU, TokenKind::KwCX,
+        TokenKind::KwInclude, TokenKind::EndOfFile};
+    EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, NumbersIntegerVsReal)
+{
+    const auto toks = Lexer::tokenize("42 3.14 1e-3 2.5E+2 7.");
+    EXPECT_EQ(toks[0].kind, TokenKind::Integer);
+    EXPECT_EQ(toks[0].text, "42");
+    EXPECT_EQ(toks[1].kind, TokenKind::Real);
+    EXPECT_EQ(toks[2].kind, TokenKind::Real);
+    EXPECT_EQ(toks[3].kind, TokenKind::Real);
+    EXPECT_EQ(toks[4].kind, TokenKind::Real);
+}
+
+TEST(LexerTest, MalformedExponentThrows)
+{
+    EXPECT_THROW(Lexer::tokenize("1e"), ParseError);
+    EXPECT_THROW(Lexer::tokenize("1e+"), ParseError);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscores)
+{
+    const auto toks = Lexer::tokenize("rd53_251 _x q0");
+    EXPECT_EQ(toks[0].kind, TokenKind::Identifier);
+    EXPECT_EQ(toks[0].text, "rd53_251");
+    EXPECT_EQ(toks[1].text, "_x");
+    EXPECT_EQ(toks[2].text, "q0");
+}
+
+TEST(LexerTest, PunctuationAndOperators)
+{
+    const auto k = kinds("( ) { } [ ] ; , -> == + - * / ^");
+    const std::vector<TokenKind> want{
+        TokenKind::LParen, TokenKind::RParen, TokenKind::LBrace,
+        TokenKind::RBrace, TokenKind::LBracket, TokenKind::RBracket,
+        TokenKind::Semicolon, TokenKind::Comma, TokenKind::Arrow,
+        TokenKind::Equals, TokenKind::Plus, TokenKind::Minus,
+        TokenKind::Star, TokenKind::Slash, TokenKind::Caret,
+        TokenKind::EndOfFile};
+    EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, CommentsAreSkipped)
+{
+    const auto toks = Lexer::tokenize("qreg // a comment\nq[2];");
+    EXPECT_EQ(toks[0].kind, TokenKind::KwQreg);
+    EXPECT_EQ(toks[1].kind, TokenKind::Identifier);
+}
+
+TEST(LexerTest, StringLiteral)
+{
+    const auto toks = Lexer::tokenize("include \"qelib1.inc\";");
+    EXPECT_EQ(toks[1].kind, TokenKind::String);
+    EXPECT_EQ(toks[1].text, "qelib1.inc");
+}
+
+TEST(LexerTest, UnterminatedStringThrows)
+{
+    EXPECT_THROW(Lexer::tokenize("\"oops"), ParseError);
+}
+
+TEST(LexerTest, LineAndColumnTracking)
+{
+    const auto toks = Lexer::tokenize("qreg\n  q;");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[0].column, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterThrows)
+{
+    EXPECT_THROW(Lexer::tokenize("qreg @"), ParseError);
+    EXPECT_THROW(Lexer::tokenize("a = b"), ParseError); // single '='
+}
+
+} // namespace
+} // namespace toqm::qasm

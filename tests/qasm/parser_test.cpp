@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "qasm/parser.hpp"
+
+namespace toqm::qasm {
+namespace {
+
+constexpr const char *header = "OPENQASM 2.0;\n";
+
+TEST(ParserTest, HeaderAndRegisters)
+{
+    const Program p =
+        parseString(std::string(header) + "qreg q[3]; creg c[3];");
+    EXPECT_EQ(p.version, "2.0");
+    ASSERT_EQ(p.qregs.size(), 1u);
+    EXPECT_EQ(p.qregs[0].name, "q");
+    EXPECT_EQ(p.qregs[0].size, 3);
+    ASSERT_EQ(p.cregs.size(), 1u);
+    EXPECT_EQ(p.totalQubits(), 3);
+}
+
+TEST(ParserTest, MissingHeaderThrows)
+{
+    EXPECT_THROW(parseString("qreg q[1];"), ParseError);
+}
+
+TEST(ParserTest, MultipleQregsFlatten)
+{
+    const Program p =
+        parseString(std::string(header) + "qreg a[2]; qreg b[3];");
+    EXPECT_EQ(p.totalQubits(), 5);
+    EXPECT_EQ(p.qubitOffset("a", 1), 1);
+    EXPECT_EQ(p.qubitOffset("b", 0), 2);
+    EXPECT_THROW(p.qubitOffset("b", 3), std::out_of_range);
+    EXPECT_THROW(p.qubitOffset("z", 0), std::out_of_range);
+}
+
+TEST(ParserTest, BuiltinUAndCx)
+{
+    const Program p = parseString(
+        std::string(header) +
+        "qreg q[2]; U(pi/2, 0, pi) q[0]; CX q[0], q[1];");
+    ASSERT_EQ(p.statements.size(), 2u);
+    EXPECT_EQ(p.statements[0].name, "U");
+    ASSERT_EQ(p.statements[0].params.size(), 3u);
+    EXPECT_NEAR(p.statements[0].params[0]->eval({}),
+                std::numbers::pi / 2, 1e-12);
+    EXPECT_EQ(p.statements[1].name, "CX");
+}
+
+TEST(ParserTest, GateDeclarationAndUse)
+{
+    const Program p = parseString(
+        std::string(header) +
+        "gate mygate(theta) a, b { U(theta,0,0) a; CX a, b; }\n"
+        "qreg q[2]; mygate(0.5) q[0], q[1];");
+    ASSERT_EQ(p.gates.count("mygate"), 1u);
+    const GateDecl &decl = p.gates.at("mygate");
+    EXPECT_EQ(decl.params, (std::vector<std::string>{"theta"}));
+    EXPECT_EQ(decl.qargs, (std::vector<std::string>{"a", "b"}));
+    ASSERT_EQ(decl.body.size(), 2u);
+    EXPECT_EQ(decl.body[0].name, "U");
+    EXPECT_EQ(decl.body[1].name, "CX");
+}
+
+TEST(ParserTest, UndeclaredGateThrows)
+{
+    EXPECT_THROW(parseString(std::string(header) +
+                             "qreg q[1]; notagate q[0];"),
+                 ParseError);
+}
+
+TEST(ParserTest, ArityMismatchThrows)
+{
+    const std::string decl =
+        std::string(header) + "gate g2 a, b { CX a, b; }\nqreg q[2];\n";
+    EXPECT_THROW(parseString(decl + "g2 q[0];"), ParseError);
+    EXPECT_THROW(parseString(decl + "g2(1.0) q[0], q[1];"), ParseError);
+}
+
+TEST(ParserTest, GateBodyUnknownQubitThrows)
+{
+    EXPECT_THROW(parseString(std::string(header) +
+                             "gate g a { U(0,0,0) b; }"),
+                 ParseError);
+}
+
+TEST(ParserTest, IncludeQelibProvidesStandardGates)
+{
+    const Program p = parseString(std::string(header) +
+                                  "include \"qelib1.inc\";\n"
+                                  "qreg q[3]; h q[0]; ccx q[0], "
+                                  "q[1], q[2];");
+    EXPECT_GT(p.gates.size(), 20u);
+    EXPECT_EQ(p.statements.back().name, "ccx");
+}
+
+TEST(ParserTest, MeasureAndReset)
+{
+    const Program p = parseString(std::string(header) +
+                                  "qreg q[2]; creg c[2];\n"
+                                  "measure q[0] -> c[1]; reset q[1];");
+    EXPECT_EQ(p.statements[0].kind, StmtKind::Measure);
+    EXPECT_EQ(p.statements[0].measureTarget.reg, "c");
+    EXPECT_EQ(p.statements[0].measureTarget.index, 1);
+    EXPECT_EQ(p.statements[1].kind, StmtKind::Reset);
+}
+
+TEST(ParserTest, BarrierStatement)
+{
+    const Program p = parseString(std::string(header) +
+                                  "qreg q[3]; barrier q[0], q[2];");
+    EXPECT_EQ(p.statements[0].kind, StmtKind::Barrier);
+    EXPECT_EQ(p.statements[0].args.size(), 2u);
+}
+
+TEST(ParserTest, ConditionalStatement)
+{
+    const Program p = parseString(std::string(header) +
+                                  "include \"qelib1.inc\";\n"
+                                  "qreg q[1]; creg c[1];\n"
+                                  "if (c == 1) x q[0];");
+    EXPECT_TRUE(p.statements[0].conditional);
+    EXPECT_EQ(p.statements[0].condReg, "c");
+    EXPECT_EQ(p.statements[0].condValue, 1);
+}
+
+TEST(ParserTest, ExpressionPrecedence)
+{
+    const Program p = parseString(
+        std::string(header) +
+        "qreg q[1]; U(1 + 2 * 3, 2 ^ 3 ^ 2, -(4 - 1) / 3) q[0];");
+    const auto &params = p.statements[0].params;
+    EXPECT_DOUBLE_EQ(params[0]->eval({}), 7.0);
+    EXPECT_DOUBLE_EQ(params[1]->eval({}), 512.0); // right assoc
+    EXPECT_DOUBLE_EQ(params[2]->eval({}), -1.0);
+}
+
+TEST(ParserTest, ExpressionFunctions)
+{
+    const Program p = parseString(
+        std::string(header) +
+        "qreg q[1]; U(sin(pi/2), cos(0), sqrt(16)) q[0];");
+    const auto &params = p.statements[0].params;
+    EXPECT_NEAR(params[0]->eval({}), 1.0, 1e-12);
+    EXPECT_NEAR(params[1]->eval({}), 1.0, 1e-12);
+    EXPECT_NEAR(params[2]->eval({}), 4.0, 1e-12);
+}
+
+TEST(ParserTest, OpaqueDeclaration)
+{
+    const Program p = parseString(std::string(header) +
+                                  "opaque blackbox(alpha) a, b;\n"
+                                  "qreg q[2]; blackbox(1.0) q[0], "
+                                  "q[1];");
+    EXPECT_TRUE(p.gates.at("blackbox").opaque);
+}
+
+TEST(ParserTest, WholeRegisterArgument)
+{
+    const Program p = parseString(std::string(header) +
+                                  "include \"qelib1.inc\";\n"
+                                  "qreg q[4]; h q;");
+    EXPECT_EQ(p.statements[0].args[0].index, -1);
+}
+
+TEST(ParserTest, ErrorPositionsAreReported)
+{
+    try {
+        parseString(std::string(header) + "qreg q[;");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_NE(std::string(e.what()).find("qasm:2:"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace toqm::qasm

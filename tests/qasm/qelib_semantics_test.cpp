@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "qasm/importer.hpp"
+#include "sim/statevector.hpp"
+
+namespace toqm::qasm {
+namespace {
+
+/**
+ * Validate the built-in qelib1.inc DEFINITIONS against the native
+ * gate unitaries: each parameter pairs a qelib gate's defining body
+ * (wrapped in a user gate, exercising the macro-expansion and
+ * parameter-substitution path) with the native gate it must equal,
+ * on a non-trivial product state, up to global phase.
+ */
+class QelibSemantics
+    : public ::testing::TestWithParam<std::pair<const char *,
+                                                const char *>>
+{
+};
+
+TEST_P(QelibSemantics, ExpansionMatchesNativeGate)
+{
+    const auto [body, native] = GetParam();
+    const std::string header =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n";
+    const std::string wrapped_src =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+        "gate wrapped a, b { " + std::string(body) + " }\n"
+        "qreg q[2];\nwrapped q[0], q[1];\n";
+    const std::string native_src =
+        header + std::string(native) + "\n";
+
+    const auto wrapped = importString(wrapped_src);
+    const auto direct = importString(native_src);
+
+    sim::StateVector sa(2), sb(2);
+    for (int q = 0; q < 2; ++q) {
+        for (auto *sv : {&sa, &sb}) {
+            sv->apply(ir::Gate(ir::GateKind::H, q));
+            sv->apply(ir::Gate(ir::GateKind::T, q));
+        }
+    }
+    sa.run(wrapped.circuit);
+    sb.run(direct.circuit);
+    EXPECT_GT(sa.overlap(sb), 1.0 - 1e-9)
+        << "body: " << body << " vs native: " << native;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gates, QelibSemantics,
+    ::testing::Values(
+        // 1-qubit gates: the qelib defining body vs the native kind.
+        std::pair("u3(pi,0,pi) a;", "x q[0];"),
+        std::pair("u3(pi,pi/2,pi/2) a;", "y q[0];"),
+        std::pair("u1(pi) a;", "z q[0];"),
+        std::pair("u2(0,pi) a;", "h q[0];"),
+        std::pair("u1(pi/2) a;", "s q[0];"),
+        std::pair("u1(-pi/2) a;", "sdg q[0];"),
+        std::pair("u1(pi/4) a;", "t q[0];"),
+        std::pair("u1(-pi/4) a;", "tdg q[0];"),
+        std::pair("sdg a; h a; sdg a;", "sx q[0];"),
+        std::pair("u3(0.7,-pi/2,pi/2) a;", "rx(0.7) q[0];"),
+        std::pair("u3(0.7,0,0) a;", "ry(0.7) q[0];"),
+        std::pair("u1(0.7) a;", "rz(0.7) q[0];"),
+        // 2-qubit gates: decomposition vs native.
+        std::pair("h b; cx a, b; h b;", "cz q[0], q[1];"),
+        std::pair("cx a, b; cx b, a; cx a, b;", "swap q[0], q[1];"),
+        std::pair("u1(0.35) a; cx a, b; u1(-0.35) b; cx a, b; "
+                  "u1(0.35) b;",
+                  "cp(0.7) q[0], q[1];"),
+        std::pair("cx a, b; u1(0.7) b; cx a, b;",
+                  "rzz(0.7) q[0], q[1];")));
+
+/**
+ * qelib macros without a native kind: check against their defining
+ * identity instead.
+ */
+TEST(QelibSemanticsTest, CcxIsToffoliOnBasisStates)
+{
+    const std::string src =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+        "ccx q[0], q[1], q[2];\n";
+    const auto imported = importString(src);
+    for (std::uint64_t basis = 0; basis < 8; ++basis) {
+        sim::StateVector sv(3, basis);
+        sv.run(imported.circuit);
+        const std::uint64_t want =
+            (basis & 3) == 3 ? (basis ^ 4) : basis;
+        EXPECT_NEAR(std::abs(sv.amplitude(want)), 1.0, 1e-9)
+            << "basis " << basis;
+    }
+}
+
+TEST(QelibSemanticsTest, CswapIsFredkin)
+{
+    const std::string src =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+        "cswap q[0], q[1], q[2];\n";
+    const auto imported = importString(src);
+    for (std::uint64_t basis = 0; basis < 8; ++basis) {
+        sim::StateVector sv(3, basis);
+        sv.run(imported.circuit);
+        std::uint64_t want = basis;
+        if (basis & 1) {
+            const std::uint64_t b1 = (basis >> 1) & 1;
+            const std::uint64_t b2 = (basis >> 2) & 1;
+            want = (basis & 1) | (b2 << 1) | (b1 << 2);
+        }
+        EXPECT_NEAR(std::abs(sv.amplitude(want)), 1.0, 1e-9)
+            << "basis " << basis;
+    }
+}
+
+TEST(QelibSemanticsTest, ChIsControlledHadamard)
+{
+    const std::string src =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
+        "ch q[0], q[1];\n";
+    const auto imported = importString(src);
+    // Control off: identity.
+    {
+        sim::StateVector sv(2, 0b00);
+        sv.run(imported.circuit);
+        EXPECT_NEAR(std::abs(sv.amplitude(0b00)), 1.0, 1e-9);
+    }
+    // Control on: H on the target.
+    {
+        sim::StateVector sv(2, 0b01);
+        sv.run(imported.circuit);
+        EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 1.0 / std::sqrt(2.0),
+                    1e-9);
+        EXPECT_NEAR(std::abs(sv.amplitude(0b11)), 1.0 / std::sqrt(2.0),
+                    1e-9);
+    }
+}
+
+TEST(QelibSemanticsTest, CrzPhasesOnlyWithControlOn)
+{
+    const std::string src =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n"
+        "crz(1.1) q[0], q[1];\n";
+    const auto imported = importString(src);
+    sim::StateVector off(2, 0b10); // target 1, control 0
+    off.run(imported.circuit);
+    EXPECT_NEAR(off.amplitude(0b10).real(), 1.0, 1e-9);
+
+    sim::StateVector on(2, 0b11);
+    on.run(imported.circuit);
+    EXPECT_NEAR(std::abs(on.amplitude(0b11)), 1.0, 1e-9);
+    EXPECT_NEAR(std::arg(on.amplitude(0b11)), 1.1 / 2.0, 1e-9);
+}
+
+} // namespace
+} // namespace toqm::qasm

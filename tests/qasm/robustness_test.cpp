@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "qasm/importer.hpp"
+#include "qasm/lexer.hpp"
+#include "qasm/parser.hpp"
+
+namespace toqm::qasm {
+namespace {
+
+/**
+ * Robustness sweep: every malformed input must be rejected with a
+ * typed exception (ParseError or runtime_error), never a crash,
+ * hang, or silent acceptance.
+ */
+class Malformed : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Malformed, RejectedWithException)
+{
+    // Every malformed input must raise a typed standard exception
+    // (ParseError, runtime_error, out_of_range, invalid_argument...)
+    // — never crash, hang or silently import.
+    const std::string src = GetParam();
+    EXPECT_THROW(importString(src), std::exception);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, Malformed,
+    ::testing::Values(
+        // Header problems.
+        "",
+        "qreg q[2];",
+        "OPENQASM;",
+        "OPENQASM 2.0",
+        // Register declarations.
+        "OPENQASM 2.0; qreg q[0];",
+        "OPENQASM 2.0; qreg q[];",
+        "OPENQASM 2.0; qreg [2];",
+        "OPENQASM 2.0; qreg q[2",
+        // Gate applications.
+        "OPENQASM 2.0; qreg q[2]; notagate q[0];",
+        "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; h q[5];",
+        "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; cx q[0];",
+        "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; "
+        "cx q[0], q[0];",
+        "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; "
+        "rx() q[0];",
+        "OPENQASM 2.0; include \"qelib1.inc\"; qreg q[2]; "
+        "rx(1, 2) q[0];",
+        "OPENQASM 2.0; qreg q[1]; U(1,2) q[0];",
+        "OPENQASM 2.0; qreg q[2]; CX q[0] q[1];",
+        // Expressions.
+        "OPENQASM 2.0; qreg q[1]; U(1/0, 0, 0) q[0];",
+        "OPENQASM 2.0; qreg q[1]; U(unknown_id, 0, 0) q[0];",
+        "OPENQASM 2.0; qreg q[1]; U(1 +, 0, 0) q[0];",
+        "OPENQASM 2.0; qreg q[1]; U(sin(), 0, 0) q[0];",
+        // Gate declarations.
+        "OPENQASM 2.0; gate g a { U(0,0,0) b; }",
+        "OPENQASM 2.0; gate g a { CX a, a; } qreg q[2]; g q[0];",
+        "OPENQASM 2.0; gate g(t a { U(t,0,0) a; }",
+        // Includes and strings.
+        "OPENQASM 2.0; include \"missing_file.inc\";",
+        "OPENQASM 2.0; include \"unterminated;",
+        // Measure and conditionals.
+        "OPENQASM 2.0; qreg q[1]; creg c[1]; measure q[0] - c[0];",
+        "OPENQASM 2.0; qreg q[1]; creg c[1]; if (c = 1) U(0,0,0) "
+        "q[0];",
+        // Stray characters.
+        "OPENQASM 2.0; qreg q[1]; @",
+        "OPENQASM 2.0; qreg q[1]; U(0,0,0) q[0]"));
+
+TEST(RobustnessTest, RecursiveGateDefinitionRejected)
+{
+    // Self-recursive macro must hit the expansion-depth guard, not
+    // recurse forever.
+    const std::string src =
+        "OPENQASM 2.0;\n"
+        "gate loop a { loop a; }\n"
+        "qreg q[1];\nloop q[0];\n";
+    EXPECT_THROW(importString(src), std::runtime_error);
+}
+
+TEST(RobustnessTest, MutuallyRecursiveGatesRejected)
+{
+    // Forward references are illegal in OpenQASM 2.0: 'b' is not
+    // declared when 'a' is parsed... but both get declared before
+    // use; expansion must still terminate via the depth guard.
+    const std::string src =
+        "OPENQASM 2.0;\n"
+        "gate a x { a x; }\n"
+        "gate b x { a x; }\n"
+        "qreg q[1];\nb q[0];\n";
+    EXPECT_THROW(importString(src), std::runtime_error);
+}
+
+TEST(RobustnessTest, DeeplyNestedParenthesesParse)
+{
+    std::string expr = "0";
+    for (int i = 0; i < 40; ++i)
+        expr = "(" + expr + " + 0)";
+    const std::string src = "OPENQASM 2.0; qreg q[1]; U(" + expr +
+                            ", 0, 0) q[0];";
+    EXPECT_NO_THROW(importString(src));
+}
+
+TEST(RobustnessTest, LongCommentOnlyFileIsEmptyProgram)
+{
+    std::string src = "OPENQASM 2.0;\n";
+    for (int i = 0; i < 1000; ++i)
+        src += "// filler comment line\n";
+    const auto r = importString(src);
+    EXPECT_EQ(r.circuit.size(), 0);
+}
+
+TEST(RobustnessTest, HugeFlatCircuitParses)
+{
+    std::string src =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\n";
+    for (int i = 0; i < 20000; ++i)
+        src += "cx q[0], q[1];\n";
+    const auto r = importString(src);
+    EXPECT_EQ(r.circuit.size(), 20000);
+}
+
+} // namespace
+} // namespace toqm::qasm

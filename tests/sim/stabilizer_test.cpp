@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "baselines/sabre.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "sim/stabilizer.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+
+namespace toqm::sim {
+namespace {
+
+TEST(StabilizerTest, InitialStateStabilizedByZ)
+{
+    StabilizerState s(3);
+    const auto gens = s.canonicalStabilizers();
+    ASSERT_EQ(gens.size(), 3u);
+    EXPECT_EQ(gens[0], "+ZII");
+    EXPECT_EQ(gens[1], "+IZI");
+    EXPECT_EQ(gens[2], "+IIZ");
+}
+
+TEST(StabilizerTest, HadamardMakesPlusState)
+{
+    StabilizerState s(2);
+    s.applyH(0);
+    const auto gens = s.canonicalStabilizers();
+    EXPECT_EQ(gens[0], "+XI");
+    EXPECT_EQ(gens[1], "+IZ");
+}
+
+TEST(StabilizerTest, XFlipsSign)
+{
+    StabilizerState s(1);
+    s.apply(ir::Gate(ir::GateKind::X, 0));
+    EXPECT_EQ(s.canonicalStabilizers()[0], "-Z");
+}
+
+TEST(StabilizerTest, BellStateStabilizers)
+{
+    StabilizerState s(2);
+    s.applyH(0);
+    s.applyCX(0, 1);
+    const auto gens = s.canonicalStabilizers();
+    EXPECT_EQ(gens[0], "+XX");
+    EXPECT_EQ(gens[1], "+ZZ");
+}
+
+TEST(StabilizerTest, SSquaredIsZ)
+{
+    StabilizerState a(1), b(1);
+    a.applyH(0); // |+>
+    b.applyH(0);
+    a.applyS(0);
+    a.applyS(0);
+    b.apply(ir::Gate(ir::GateKind::Z, 0));
+    EXPECT_TRUE(a == b);
+}
+
+TEST(StabilizerTest, SwapEqualsThreeCx)
+{
+    StabilizerState a(3), b(3);
+    for (StabilizerState *s : {&a, &b}) {
+        s->applyH(0);
+        s->applyCX(0, 2);
+        s->applyS(1);
+    }
+    a.apply(ir::Gate(ir::GateKind::Swap, 0, 1));
+    b.applyCX(0, 1);
+    b.applyCX(1, 0);
+    b.applyCX(0, 1);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(StabilizerTest, RejectsNonClifford)
+{
+    StabilizerState s(1);
+    EXPECT_THROW(s.apply(ir::Gate(ir::GateKind::T, 0)),
+                 std::invalid_argument);
+    EXPECT_FALSE(StabilizerState::isClifford(
+        ir::Gate(ir::GateKind::T, 0)));
+    EXPECT_TRUE(StabilizerState::isClifford(
+        ir::Gate(ir::GateKind::CZ, 0, 1)));
+}
+
+TEST(StabilizerTest, AgreesWithStateVectorOnRandomCliffords)
+{
+    // Cross-oracle check: for random Clifford circuits, the tableau
+    // states of two DIFFERENT gate-level realizations agree exactly
+    // when the dense simulator says the states match.
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+        const ir::Circuit c = randomCliffordCircuit(5, 120, 0.4, seed);
+        const ir::Circuit d =
+            randomCliffordCircuit(5, 120, 0.4, seed + 100);
+
+        StabilizerState sc(5), sd(5);
+        sc.run(c);
+        sd.run(d);
+
+        StateVector vc(5), vd(5);
+        vc.run(c);
+        vd.run(d);
+        const bool dense_equal = vc.overlap(vd) > 1.0 - 1e-9;
+        EXPECT_EQ(sc == sd, dense_equal) << "seed " << seed;
+
+        // And a state always equals itself through a different
+        // route: append Z Z (identity).
+        StabilizerState sc2(5);
+        sc2.run(c);
+        sc2.apply(ir::Gate(ir::GateKind::Z, 0));
+        sc2.apply(ir::Gate(ir::GateKind::Z, 0));
+        EXPECT_TRUE(sc == sc2);
+    }
+}
+
+TEST(StabilizerTest, CanonicalFormIsRepresentationInvariant)
+{
+    // Generate the same state with re-ordered commuting gates.
+    StabilizerState a(4), b(4);
+    a.applyH(0);
+    a.applyH(2);
+    a.applyCX(0, 1);
+    a.applyCX(2, 3);
+    b.applyH(2);
+    b.applyCX(2, 3);
+    b.applyH(0);
+    b.applyCX(0, 1);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(CliffordEquivalentTest, AcceptsValidMapping)
+{
+    ir::Circuit logical = ir::ghz(3);
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    phys.addSwap(1, 2);
+    phys.addCX(2, 1);
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {0, 2, 1});
+    EXPECT_TRUE(cliffordEquivalent(logical, mapped));
+}
+
+TEST(CliffordEquivalentTest, RejectsWrongMapping)
+{
+    ir::Circuit logical = ir::ghz(3);
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    phys.addCX(1, 2); // wrong: logical expects CX(1,2) via q1...
+    // make it definitely wrong: an extra X.
+    phys.addX(0);
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {0, 1, 2});
+    EXPECT_FALSE(cliffordEquivalent(logical, mapped));
+}
+
+TEST(CliffordEquivalentTest, LargeMappedCircuitOnTokyo)
+{
+    // The capability the statevector oracle cannot provide: a
+    // 2000-gate Clifford workload on the full 20-qubit device,
+    // mapped by the heuristic, verified semantically in milliseconds.
+    const auto device = arch::ibmQ20Tokyo();
+    const ir::Circuit c =
+        randomCliffordCircuit(16, 2000, 0.45, 7, 0.5);
+    heuristic::HeuristicMapper mapper(device);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    ASSERT_TRUE(sim::verifyMapping(c, res.mapped, device).ok);
+    EXPECT_TRUE(cliffordEquivalent(c, res.mapped));
+}
+
+TEST(CliffordEquivalentTest, SabreLargeMappedCircuit)
+{
+    const auto device = arch::ibmQ20Tokyo();
+    const ir::Circuit c =
+        randomCliffordCircuit(12, 1500, 0.5, 13, 0.4);
+    baselines::SabreMapper mapper(device);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(cliffordEquivalent(c, res.mapped));
+}
+
+TEST(CliffordEquivalentTest, DetectsSingleDroppedGate)
+{
+    const auto device = arch::ibmQ20Tokyo();
+    const ir::Circuit c = randomCliffordCircuit(10, 400, 0.45, 21);
+    heuristic::HeuristicMapper mapper(device);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+
+    // Drop one compute gate from the physical circuit.
+    ir::Circuit damaged(res.mapped.physical.numQubits(),
+                        "damaged");
+    bool dropped = false;
+    for (const ir::Gate &g : res.mapped.physical.gates()) {
+        if (!dropped && !g.isSwap() && g.numQubits() == 2) {
+            dropped = true;
+            continue;
+        }
+        damaged.add(g);
+    }
+    ASSERT_TRUE(dropped);
+    ir::MappedCircuit bad(std::move(damaged),
+                          res.mapped.initialLayout,
+                          res.mapped.finalLayout);
+    EXPECT_FALSE(cliffordEquivalent(c, bad));
+}
+
+TEST(RandomCliffordTest, OnlyCliffordGates)
+{
+    const ir::Circuit c = randomCliffordCircuit(6, 300, 0.5, 3);
+    for (const ir::Gate &g : c.gates())
+        EXPECT_TRUE(StabilizerState::isClifford(g)) << g.str();
+}
+
+} // namespace
+} // namespace toqm::sim

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "ir/generators.hpp"
+#include "sim/statevector.hpp"
+
+namespace toqm::sim {
+namespace {
+
+constexpr double eps = 1e-12;
+
+TEST(StateVectorTest, InitialBasisState)
+{
+    StateVector sv(3, 0b101);
+    EXPECT_NEAR(std::abs(sv.amplitude(0b101)), 1.0, eps);
+    EXPECT_NEAR(sv.norm(), 1.0, eps);
+}
+
+TEST(StateVectorTest, HadamardSuperposition)
+{
+    StateVector sv(1);
+    sv.apply(ir::Gate(ir::GateKind::H, 0));
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(sv.amplitude(0).real(), r, eps);
+    EXPECT_NEAR(sv.amplitude(1).real(), r, eps);
+}
+
+TEST(StateVectorTest, XFlipsBit)
+{
+    StateVector sv(2);
+    sv.apply(ir::Gate(ir::GateKind::X, 1));
+    EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, eps);
+}
+
+TEST(StateVectorTest, CxEntangles)
+{
+    StateVector sv(2);
+    sv.apply(ir::Gate(ir::GateKind::H, 0));
+    sv.apply(ir::Gate(ir::GateKind::CX, 0, 1));
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(sv.amplitude(0b00)), r, eps);
+    EXPECT_NEAR(std::abs(sv.amplitude(0b11)), r, eps);
+    EXPECT_NEAR(std::abs(sv.amplitude(0b01)), 0.0, eps);
+}
+
+TEST(StateVectorTest, SwapExchangesQubits)
+{
+    StateVector sv(2, 0b01);
+    sv.apply(ir::Gate(ir::GateKind::Swap, 0, 1));
+    EXPECT_NEAR(std::abs(sv.amplitude(0b10)), 1.0, eps);
+}
+
+TEST(StateVectorTest, SwapEqualsThreeCx)
+{
+    StateVector a(2), b(2);
+    // Prepare an arbitrary state on both.
+    for (StateVector *sv : {&a, &b}) {
+        sv->apply(ir::Gate(ir::GateKind::H, 0));
+        sv->apply(ir::Gate(ir::GateKind::T, 0));
+        sv->apply(ir::Gate(ir::GateKind::RY, 1,
+                           std::vector<double>{0.7}));
+    }
+    a.apply(ir::Gate(ir::GateKind::Swap, 0, 1));
+    b.apply(ir::Gate(ir::GateKind::CX, 0, 1));
+    b.apply(ir::Gate(ir::GateKind::CX, 1, 0));
+    b.apply(ir::Gate(ir::GateKind::CX, 0, 1));
+    EXPECT_NEAR(a.overlap(b), 1.0, 1e-9);
+}
+
+TEST(StateVectorTest, CzSymmetricPhase)
+{
+    StateVector sv(2, 0b11);
+    sv.apply(ir::Gate(ir::GateKind::CZ, 0, 1));
+    EXPECT_NEAR(sv.amplitude(0b11).real(), -1.0, eps);
+}
+
+TEST(StateVectorTest, CpAppliesPhaseOnlyOn11)
+{
+    const double theta = 0.37;
+    StateVector sv(2);
+    sv.apply(ir::Gate(ir::GateKind::H, 0));
+    sv.apply(ir::Gate(ir::GateKind::H, 1));
+    sv.apply(ir::Gate(ir::GateKind::CP, 0, 1,
+                      std::vector<double>{theta}));
+    const auto expected = std::polar(0.5, theta);
+    EXPECT_NEAR(sv.amplitude(0b11).real(), expected.real(), eps);
+    EXPECT_NEAR(sv.amplitude(0b11).imag(), expected.imag(), eps);
+    EXPECT_NEAR(sv.amplitude(0b01).real(), 0.5, eps);
+}
+
+TEST(StateVectorTest, HSquaredIsIdentity)
+{
+    StateVector sv(1);
+    sv.apply(ir::Gate(ir::GateKind::H, 0));
+    sv.apply(ir::Gate(ir::GateKind::H, 0));
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, eps);
+}
+
+TEST(StateVectorTest, TIsFourthRootOfZ)
+{
+    StateVector a(1, 1), b(1, 1);
+    for (int i = 0; i < 4; ++i)
+        a.apply(ir::Gate(ir::GateKind::T, 0));
+    b.apply(ir::Gate(ir::GateKind::Z, 0));
+    EXPECT_NEAR(a.overlap(b), 1.0, eps);
+}
+
+TEST(StateVectorTest, U3Decomposition)
+{
+    // u2(phi, lambda) == u3(pi/2, phi, lambda).
+    StateVector a(1), b(1);
+    a.apply(ir::Gate(ir::GateKind::U2, 0,
+                     std::vector<double>{0.3, 0.9}));
+    b.apply(ir::Gate(ir::GateKind::U3, 0,
+                     std::vector<double>{std::numbers::pi / 2, 0.3,
+                                         0.9}));
+    EXPECT_NEAR(a.overlap(b), 1.0, eps);
+}
+
+TEST(StateVectorTest, NormPreservedByRandomCircuit)
+{
+    StateVector sv(5);
+    sv.run(ir::randomCircuit(5, 200, 0.4, 99));
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+TEST(StateVectorTest, QftOnBasisStateGivesUniformMagnitudes)
+{
+    const int n = 4;
+    StateVector sv(n, 5);
+    sv.run(ir::qftConcrete(n));
+    const double want = 1.0 / std::sqrt(16.0);
+    for (std::uint64_t b = 0; b < 16; ++b)
+        EXPECT_NEAR(std::abs(sv.amplitude(b)), want, 1e-9);
+}
+
+TEST(StateVectorTest, GtGateRejected)
+{
+    StateVector sv(2);
+    EXPECT_THROW(sv.apply(ir::Gate(ir::GateKind::GT, 0, 1)),
+                 std::invalid_argument);
+}
+
+TEST(StateVectorTest, WidthLimits)
+{
+    EXPECT_THROW(StateVector(0), std::invalid_argument);
+    EXPECT_THROW(StateVector(27), std::invalid_argument);
+}
+
+TEST(SemanticEquivalenceTest, AcceptsCorrectMapping)
+{
+    // GHZ circuit mapped with an explicit swap.
+    ir::Circuit logical = ir::ghz(3);
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    phys.addSwap(0, 1); // shuffle, then continue on moved qubits
+    phys.addCX(0, 2);   // logical q1 now at physical 0
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {1, 0, 2});
+    EXPECT_TRUE(semanticallyEquivalent(logical, mapped));
+}
+
+TEST(SemanticEquivalenceTest, RejectsWrongGate)
+{
+    ir::Circuit logical = ir::ghz(3);
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    phys.addCX(2, 1); // wrong direction / wrong logical pair
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {0, 1, 2});
+    EXPECT_FALSE(semanticallyEquivalent(logical, mapped));
+}
+
+TEST(SemanticEquivalenceTest, RejectsWrongFinalLayout)
+{
+    ir::Circuit logical = ir::ghz(2);
+    ir::Circuit phys(2);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    // Claimed final layout swaps qubits although no swap happened.
+    ir::MappedCircuit mapped(std::move(phys), {0, 1}, {1, 0});
+    EXPECT_FALSE(semanticallyEquivalent(logical, mapped));
+}
+
+} // namespace
+} // namespace toqm::sim

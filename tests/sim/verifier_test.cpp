@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "sim/verifier.hpp"
+
+namespace toqm::sim {
+namespace {
+
+ir::MappedCircuit
+validGhzMapping()
+{
+    // GHZ-3 on LNN-3 with one swap.
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    phys.addSwap(1, 2);
+    phys.addCX(2, 1); // logical q1 now at 2, q2 at 1
+    return ir::MappedCircuit(std::move(phys), {0, 1, 2}, {0, 2, 1});
+}
+
+TEST(VerifierTest, AcceptsValidMapping)
+{
+    const auto result = verifyMapping(ir::ghz(3), validGhzMapping(),
+                                      arch::lnn(3));
+    EXPECT_TRUE(result.ok) << result.message;
+}
+
+TEST(VerifierTest, RejectsUncoupledGate)
+{
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1);
+    phys.addCX(1, 2);
+    // Device where 1-2 are NOT coupled.
+    const arch::CouplingGraph g(3, {{0, 1}, {0, 2}});
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {0, 1, 2});
+    const auto result = verifyMapping(ir::ghz(3), mapped, g);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message.find("uncoupled"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsUncoupledSwap)
+{
+    ir::Circuit logical(3);
+    logical.addCX(0, 1);
+    ir::Circuit phys(3);
+    phys.addSwap(0, 2); // not an edge on LNN-3
+    phys.addCX(2, 1);
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {2, 1, 0});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(3)).ok);
+}
+
+TEST(VerifierTest, RejectsReorderedGatesOnAQubit)
+{
+    ir::Circuit logical(2);
+    logical.addH(0);
+    logical.addX(0);
+    ir::Circuit phys(2);
+    phys.addX(0);
+    phys.addH(0); // order flipped
+    ir::MappedCircuit mapped(std::move(phys), {0, 1}, {0, 1});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(2)).ok);
+}
+
+TEST(VerifierTest, RejectsMissingGate)
+{
+    ir::Circuit logical = ir::ghz(3);
+    ir::Circuit phys(3);
+    phys.addH(0);
+    phys.addCX(0, 1); // final CX missing
+    ir::MappedCircuit mapped(std::move(phys), {0, 1, 2}, {0, 1, 2});
+    const auto result = verifyMapping(logical, mapped, arch::lnn(3));
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message.find("unexecuted"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsExtraGate)
+{
+    ir::Circuit logical(2);
+    logical.addCX(0, 1);
+    ir::Circuit phys(2);
+    phys.addCX(0, 1);
+    phys.addCX(0, 1);
+    ir::MappedCircuit mapped(std::move(phys), {0, 1}, {0, 1});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(2)).ok);
+}
+
+TEST(VerifierTest, RejectsFlippedCxDirection)
+{
+    ir::Circuit logical(2);
+    logical.addCX(0, 1);
+    ir::Circuit phys(2);
+    phys.addCX(1, 0); // control/target flipped
+    ir::MappedCircuit mapped(std::move(phys), {0, 1}, {0, 1});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(2)).ok);
+}
+
+TEST(VerifierTest, RejectsWrongDeclaredFinalLayout)
+{
+    auto mapped = validGhzMapping();
+    mapped.finalLayout = {0, 1, 2}; // ignores the swap
+    const auto result =
+        verifyMapping(ir::ghz(3), mapped, arch::lnn(3));
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message.find("final layout"), std::string::npos);
+}
+
+TEST(VerifierTest, RejectsNonInjectiveInitialLayout)
+{
+    ir::Circuit logical(2);
+    logical.addCX(0, 1);
+    ir::Circuit phys(2);
+    phys.addCX(0, 1);
+    ir::MappedCircuit mapped(std::move(phys), {0, 0}, {0, 0});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(2)).ok);
+}
+
+TEST(VerifierTest, RejectsDeviceSizeMismatch)
+{
+    ir::Circuit logical(2);
+    logical.addCX(0, 1);
+    ir::Circuit phys(3);
+    phys.addCX(0, 1);
+    ir::MappedCircuit mapped(std::move(phys), {0, 1}, {0, 1});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(2)).ok);
+}
+
+TEST(VerifierTest, RejectsParameterMismatch)
+{
+    ir::Circuit logical(1);
+    logical.add(ir::Gate(ir::GateKind::RZ, 0,
+                         std::vector<double>{0.5}));
+    ir::Circuit phys(1);
+    phys.add(ir::Gate(ir::GateKind::RZ, 0, std::vector<double>{0.7}));
+    ir::MappedCircuit mapped(std::move(phys), {0}, {0});
+    EXPECT_FALSE(verifyMapping(logical, mapped, arch::lnn(1)).ok);
+}
+
+TEST(VerifierTest, SpareDeviceQubitsAllowed)
+{
+    // 2-qubit circuit on a 5-qubit device.
+    ir::Circuit logical(2);
+    logical.addCX(0, 1);
+    ir::Circuit phys(5);
+    phys.addCX(2, 3);
+    ir::MappedCircuit mapped(std::move(phys), {2, 3}, {2, 3});
+    EXPECT_TRUE(verifyMapping(logical, mapped, arch::ibmQX2()).ok);
+}
+
+} // namespace
+} // namespace toqm::sim

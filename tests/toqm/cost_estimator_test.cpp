@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+
+#include "ir/mapped_circuit.hpp"
+#include "ir/generators.hpp"
+#include "toqm/cost_estimator.hpp"
+#include "toqm/expander.hpp"
+#include "toqm/search_context.hpp"
+#include "toqm/search_node.hpp"
+
+namespace toqm::core {
+namespace {
+
+TEST(CostEstimatorTest, EmptyCircuitCostsNothing)
+{
+    ir::Circuit c(2, "empty");
+    const auto g = arch::lnn(2);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(2), false);
+    EXPECT_EQ(est.estimate(*root), 0);
+}
+
+TEST(CostEstimatorTest, AdjacentGateCostsItsLatency)
+{
+    ir::Circuit c(2);
+    c.addCX(0, 1);
+    const auto g = arch::lnn(2);
+    const ir::LatencyModel lat = ir::LatencyModel::ibmPreset();
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(2), false);
+    EXPECT_EQ(est.estimate(*root), 2);
+}
+
+TEST(CostEstimatorTest, DistantGateChargedForSwaps)
+{
+    // d = 3 on LNN-4: at least 2 swaps with no slack anywhere, split
+    // (1,1) -> delay = 1 * swapLatency.
+    ir::Circuit c(4);
+    c.addCX(0, 3);
+    const auto g = arch::lnn(4);
+    const ir::LatencyModel lat(1, 2, 6);
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(4), false);
+    EXPECT_EQ(est.estimate(*root), 6 + 2);
+}
+
+/**
+ * The Fig 8 example, transcribed to 0-based qubits on LNN-5:
+ * paper q_i == our q_{i-1}, paper Q_i == our Q_{i-1}.
+ *
+ * Circuit: g1 = 1q(q0); g2 = 1q(q0); -- wait, see body; gates below
+ * follow the dependency structure of Fig 7/8: g3, g4 on (q1, q2);
+ * g5 on (q1, q4); g6 on (q0, q1).  Node F has executed g1 (1 cycle)
+ * and started swap(Q3, Q4) at cycle 1.  Expected f(F) = 8.
+ */
+TEST(CostEstimatorTest, PaperFig8NodeFCostsEight)
+{
+    ir::Circuit c(5);
+    c.add(ir::Gate(ir::GateKind::H, 0)); // g1
+    c.add(ir::Gate(ir::GateKind::T, 0)); // g2
+    c.addCX(1, 2);                       // g3
+    c.addCX(1, 2);                       // g4
+    c.addCX(1, 4);                       // g5
+    c.addCX(0, 1);                       // g6
+    const auto g = arch::lnn(5);
+    ir::LatencyModel lat(1, 1, 3); // originals 1 cycle, swap 3
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    Expander expander(ctx);
+
+    auto root = SearchNode::root(ctx, ir::identityLayout(5), false);
+    // Schedule g1 (gate 0) and swap(Q3, Q4) at cycle 1.
+    std::vector<Action> actions;
+    actions.push_back({0, 0, -1});
+    actions.push_back({-1, 3, 4});
+    auto node_f = SearchNode::expand(ctx, root, 1, actions);
+
+    EXPECT_EQ(node_f->cycle, 1);
+    const int h = est.estimate(*node_f);
+    EXPECT_EQ(h, 7);                    // t_min(g6)=6, len 1
+    EXPECT_EQ(node_f->costG + h, 8);    // the paper's f(F)
+}
+
+/**
+ * The Fig 9 "common fallacy": two qubits at distance 5, the first
+ * with 4 cycles of preceding work.  Splitting the 4 required swaps
+ * (1, 3) exploits the slack and yields a 6-cycle start for the gate;
+ * the midpoint split (2, 2) would give 8.  h must find 6 + 1.
+ */
+TEST(CostEstimatorTest, PaperFig9SlackAwareSplit)
+{
+    ir::Circuit c(6);
+    for (int i = 0; i < 4; ++i)
+        c.add(ir::Gate(ir::GateKind::T, 0));
+    c.addCX(0, 5);
+    const auto g = arch::lnn(6);
+    ir::LatencyModel lat(1, 1, 2); // swap = 2 cycles as in Fig 9
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(6), false);
+    EXPECT_EQ(est.estimate(*root), 7);
+}
+
+TEST(CostEstimatorTest, ActiveGatesContributeRemainingTime)
+{
+    ir::Circuit c(2);
+    c.addCX(0, 1);
+    const auto g = arch::lnn(2);
+    const ir::LatencyModel lat(1, 4, 6);
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(2), false);
+    std::vector<Action> actions{{0, 0, 1}};
+    auto node = SearchNode::expand(ctx, root, 1, actions);
+    // Gate runs cycles 1..4; at node cycle 1, 3 cycles remain.
+    node->costH = est.estimate(*node);
+    EXPECT_EQ(node->costH, 3);
+    EXPECT_EQ(node->f(), 4);
+}
+
+TEST(CostEstimatorTest, NeverOverestimatesOnLowerBoundCheck)
+{
+    // h(root) must never exceed a known ACHIEVABLE makespan (the
+    // optimum for n=4 and n=6, measured by the optimal mapper; the
+    // 4n-7 butterfly depth for n=5).
+    struct Case
+    {
+        int n;
+        int optimal;
+    };
+    const Case cases[] = {{4, 8}, {5, 13}, {6, 17}};
+    for (const Case &k : cases) {
+        ir::Circuit c = ir::qftSkeleton(k.n);
+        const auto g = arch::lnn(k.n);
+        const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+        SearchContext ctx(c, g, lat);
+        CostEstimator est(ctx);
+        auto root =
+            SearchNode::root(ctx, ir::identityLayout(k.n), false);
+        EXPECT_LE(est.estimate(*root), k.optimal) << "n=" << k.n;
+        EXPECT_GE(est.estimate(*root), 2 * k.n - 3) << "n=" << k.n;
+    }
+}
+
+TEST(CostEstimatorTest, HorizonBoundStaysAdmissible)
+{
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::lnn(6);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    SearchContext ctx(c, g, lat);
+    CostEstimator full(ctx, -1);
+    CostEstimator windowed(ctx, 3);
+    auto root = SearchNode::root(ctx, ir::identityLayout(6), false);
+    EXPECT_LE(windowed.estimate(*root), full.estimate(*root));
+}
+
+TEST(CostEstimatorTest, UnmappedQubitsAreOptimistic)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 2);
+    const auto g = arch::lnn(3);
+    const ir::LatencyModel lat = ir::LatencyModel::ibmPreset();
+    SearchContext ctx(c, g, lat);
+    CostEstimator est(ctx);
+    // No layout at all: distance treated as 1 (admissible).
+    auto root = SearchNode::root(ctx, {}, false);
+    EXPECT_EQ(est.estimate(*root), 2);
+}
+
+} // namespace
+} // namespace toqm::core

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "arch/architectures.hpp"
+
+#include "ir/mapped_circuit.hpp"
+#include "ir/generators.hpp"
+#include "toqm/expander.hpp"
+#include "toqm/filter.hpp"
+#include "toqm/search_context.hpp"
+
+namespace toqm::core {
+namespace {
+
+struct Fixture
+{
+    ir::Circuit circuit;
+    arch::CouplingGraph graph;
+    ir::LatencyModel latency;
+    SearchContext ctx;
+
+    Fixture(ir::Circuit c, arch::CouplingGraph g, ir::LatencyModel lat)
+        : circuit(std::move(c)), graph(std::move(g)),
+          latency(lat), ctx(circuit, graph, latency)
+    {}
+};
+
+Fixture
+cxChainFixture()
+{
+    ir::Circuit c(3);
+    c.addCX(0, 1);
+    c.addCX(1, 2);
+    return Fixture(std::move(c), arch::lnn(3),
+                   ir::LatencyModel::qftPreset());
+}
+
+TEST(ExpanderTest, ReadyGatesRespectCouplingAndDeps)
+{
+    Fixture f = cxChainFixture();
+    Expander expander(f.ctx);
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    const auto ready = expander.readyGates(*root);
+    // Only CX(0,1) is dependence-ready; CX(1,2) shares q1.
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].gateIndex, 0);
+    EXPECT_EQ(ready[0].p0, 0);
+    EXPECT_EQ(ready[0].p1, 1);
+}
+
+TEST(ExpanderTest, NonAdjacentGateNotReady)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 2);
+    Fixture f(std::move(c), arch::lnn(3),
+              ir::LatencyModel::qftPreset());
+    Expander expander(f.ctx);
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    EXPECT_TRUE(expander.readyGates(*root).empty());
+}
+
+TEST(ExpanderTest, CandidateSwapsAreIdleEdges)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 1);
+    c.addCX(1, 2);
+    ir::LatencyModel slow(1, 5, 3);
+    arch::CouplingGraph g = arch::lnn(3);
+    SearchContext ctx(c, g, slow);
+    Expander expander(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(3), false);
+    EXPECT_EQ(expander.candidateSwaps(*root).size(), 2u);
+
+    // CX(0,1) occupies qubits 0 and 1 through cycle 5: every edge
+    // touches a busy qubit on this 3-qubit chain.
+    auto child = SearchNode::expand(ctx, root, 1, {Action{0, 0, 1}});
+    EXPECT_TRUE(expander.candidateSwaps(*child).empty());
+}
+
+TEST(ExpanderTest, CyclicSwapEliminated)
+{
+    Fixture f = cxChainFixture();
+    Expander expander(f.ctx);
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    // swap(0,1) runs during cycle 1 (swap latency is 1 here); at
+    // cycle 2 the identical swap must not be offered again.
+    auto child =
+        SearchNode::expand(f.ctx, root, 1, {Action{-1, 0, 1}});
+    const auto swaps = expander.candidateSwaps(*child);
+    EXPECT_TRUE(std::none_of(swaps.begin(), swaps.end(),
+                             [](const Action &a) {
+                                 return a.p0 == 0 && a.p1 == 1;
+                             }));
+    // A different swap is still allowed.
+    EXPECT_TRUE(std::any_of(swaps.begin(), swaps.end(),
+                            [](const Action &a) {
+                                return a.p0 == 1 && a.p1 == 2;
+                            }));
+}
+
+TEST(ExpanderTest, SubsetsAreQubitDisjoint)
+{
+    ir::Circuit c(4);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    Fixture f(std::move(c), arch::lnn(4),
+              ir::LatencyModel::qftPreset());
+    Expander expander(f.ctx);
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(4), false);
+    const auto expansion = expander.expand(root);
+    for (const auto &child : expansion.children) {
+        std::vector<int> used;
+        for (const Action &a : child->actions) {
+            used.push_back(a.p0);
+            if (a.p1 >= 0)
+                used.push_back(a.p1);
+        }
+        std::sort(used.begin(), used.end());
+        EXPECT_TRUE(std::adjacent_find(used.begin(), used.end()) ==
+                    used.end());
+    }
+}
+
+TEST(ExpanderTest, WaitChildJumpsToNextCompletion)
+{
+    Fixture f = cxChainFixture();
+    ir::LatencyModel slow(1, 5, 6);
+    SearchContext ctx(f.circuit, f.graph, slow);
+    Expander expander(ctx);
+    auto root = SearchNode::root(ctx, ir::identityLayout(3), false);
+    auto child = SearchNode::expand(ctx, root, 1, {Action{0, 0, 1}});
+    const auto expansion = expander.expand(child);
+    ASSERT_TRUE(expansion.waitChild != nullptr);
+    EXPECT_EQ(expansion.waitChild->cycle, 5); // gate busy through 5
+    EXPECT_TRUE(expansion.waitChild->actions.empty());
+}
+
+TEST(ExpanderTest, ConstrainedModeNeverMixes)
+{
+    Fixture f = cxChainFixture();
+    ExpanderConfig cfg;
+    cfg.allowConcurrentSwapAndGate = false;
+    Expander expander(f.ctx, cfg);
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    const auto expansion = expander.expand(root);
+    for (const auto &child : expansion.children) {
+        bool has_gate = false, has_swap = false;
+        for (const Action &a : child->actions) {
+            has_gate |= !a.isSwap();
+            has_swap |= a.isSwap();
+        }
+        EXPECT_FALSE(has_gate && has_swap);
+    }
+}
+
+TEST(ExpanderTest, RedundantDelayedStartPruned)
+{
+    // CX(0,1) was startable at cycle 1 alongside swap(2,3); a child
+    // of the swap-only node that starts ONLY the delayed CX at cycle
+    // 2 is redundant (an earlier sibling covers it) and pruned.
+    ir::Circuit c(4);
+    c.addCX(0, 1);
+    Fixture f(std::move(c), arch::lnn(4),
+              ir::LatencyModel::qftPreset());
+    Expander expander(f.ctx);
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(4), false);
+    auto swap_only =
+        SearchNode::expand(f.ctx, root, 1, {Action{-1, 2, 3}});
+    const auto expansion = expander.expand(swap_only);
+    for (const auto &child : expansion.children) {
+        bool only_the_gate =
+            child->actions.size() == 1 &&
+            !child->actions[0].isSwap() && child->actions[0].p0 == 0;
+        EXPECT_FALSE(only_the_gate)
+            << "redundant delayed gate start kept";
+    }
+
+    // With redundancy elimination disabled (ablation), it IS kept.
+    ExpanderConfig cfg;
+    cfg.useRedundancyElimination = false;
+    Expander no_prune(f.ctx, cfg);
+    const auto raw = no_prune.expand(swap_only);
+    bool found = false;
+    for (const auto &child : raw.children) {
+        found |= child->actions.size() == 1 &&
+                 !child->actions[0].isSwap() &&
+                 child->actions[0].p0 == 0;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(FilterTest, DropsExactDuplicates)
+{
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto b = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    Filter filter;
+    EXPECT_TRUE(filter.admit(a));
+    EXPECT_FALSE(filter.admit(b));
+    EXPECT_EQ(filter.dropped(), 1u);
+}
+
+TEST(FilterTest, KeepsDifferentMappings)
+{
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto a = SearchNode::expand(f.ctx, root, 1, {Action{-1, 0, 1}});
+    auto b = SearchNode::expand(f.ctx, root, 1, {Action{-1, 1, 2}});
+    Filter filter;
+    EXPECT_TRUE(filter.admit(a));
+    EXPECT_TRUE(filter.admit(b));
+}
+
+TEST(FilterTest, DominatedNodeDropped)
+{
+    // Same mapping, same progress, but B is one cycle later.
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto wait = SearchNode::expand(f.ctx, root, 1, {});
+    auto b = SearchNode::expand(f.ctx, wait, 2, {Action{0, 0, 1}});
+    Filter filter;
+    EXPECT_TRUE(filter.admit(a));
+    EXPECT_FALSE(filter.admit(b));
+}
+
+TEST(FilterTest, NewcomerKillsDominatedEntry)
+{
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto wait = SearchNode::expand(f.ctx, root, 1, {});
+    auto late = SearchNode::expand(f.ctx, wait, 2, {Action{0, 0, 1}});
+    auto early = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    Filter filter;
+    EXPECT_TRUE(filter.admit(late));
+    EXPECT_TRUE(filter.admit(early));
+    EXPECT_TRUE(late->dead);
+    EXPECT_EQ(filter.killed(), 1u);
+}
+
+TEST(FilterTest, ExemptNodesAreRecordedButNeverDropped)
+{
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto wait_b = SearchNode::expand(f.ctx, a, 2, {});
+    Filter filter;
+    EXPECT_TRUE(filter.admit(a));
+    // wait_b equals a except for its cycle: dominated, but exempt.
+    EXPECT_TRUE(filter.admit(wait_b, /*exempt=*/true));
+}
+
+TEST(FilterTest, ClearResetsTable)
+{
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto b = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    Filter filter;
+    EXPECT_TRUE(filter.admit(a));
+    filter.clear();
+    EXPECT_TRUE(filter.admit(b));
+}
+
+TEST(SearchNodeTest, ExpandTracksState)
+{
+    Fixture f = cxChainFixture();
+    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+
+    auto gate_child =
+        SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    EXPECT_EQ(gate_child->scheduledGates, 1);
+    EXPECT_EQ(gate_child->head()[0], 1);
+    EXPECT_EQ(gate_child->head()[1], 1);
+    EXPECT_EQ(gate_child->busyUntil()[0], 1);
+    EXPECT_EQ(gate_child->costG, 1);
+
+    auto swap_child =
+        SearchNode::expand(f.ctx, root, 1, {Action{-1, 1, 2}});
+    // Post-swap mapping applied immediately.
+    EXPECT_EQ(swap_child->log2phys()[1], 2);
+    EXPECT_EQ(swap_child->log2phys()[2], 1);
+    EXPECT_EQ(swap_child->phys2log()[1], 2);
+    EXPECT_EQ(swap_child->lastSwapPartner()[1], 2);
+    EXPECT_EQ(swap_child->busyUntil()[1], 1); // swap latency 1 here
+}
+
+TEST(SearchNodeTest, MakespanIsMaxBusy)
+{
+    Fixture f = cxChainFixture();
+    ir::LatencyModel lat(1, 4, 6);
+    SearchContext ctx(f.circuit, f.graph, lat);
+    auto root = SearchNode::root(ctx, ir::identityLayout(3), false);
+    auto child = SearchNode::expand(ctx, root, 1, {Action{0, 0, 1}});
+    EXPECT_EQ(child->makespan(), 4);
+}
+
+} // namespace
+} // namespace toqm::core

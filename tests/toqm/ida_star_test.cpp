@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/ida_star.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::core {
+namespace {
+
+TEST(IdaStarTest, AdjacentCircuitNoSwaps)
+{
+    ir::Circuit c = ir::ghz(4);
+    const auto g = arch::lnn(4);
+    const auto res =
+        idaStarMap(g, c, ir::LatencyModel::ibmPreset());
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+    EXPECT_EQ(res.cycles,
+              ir::idealCycles(c, ir::LatencyModel::ibmPreset()));
+    EXPECT_EQ(res.rounds, 1); // h(root) is exact here
+}
+
+TEST(IdaStarTest, MatchesAStarOnSmallInstances)
+{
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    struct Case
+    {
+        ir::Circuit circuit;
+        arch::CouplingGraph graph;
+    };
+    std::vector<Case> cases;
+    cases.push_back({ir::qftSkeleton(4), arch::lnn(4)});
+    cases.push_back({ir::qftSkeleton(4), arch::grid(2, 2)});
+    cases.push_back({ir::randomCircuit(4, 20, 0.5, 3, 0.6),
+                     arch::lnn(4)});
+
+    for (auto &[circuit, graph] : cases) {
+        MapperConfig cfg;
+        cfg.latency = lat;
+        OptimalMapper astar(graph, cfg);
+        const auto a = astar.map(circuit);
+        ASSERT_TRUE(a.success);
+
+        const auto ida = idaStarMap(graph, circuit, lat);
+        ASSERT_TRUE(ida.success);
+        EXPECT_EQ(ida.cycles, a.cycles) << circuit.name();
+        EXPECT_TRUE(
+            sim::verifyMapping(circuit, ida.mapped, graph).ok);
+    }
+}
+
+TEST(IdaStarTest, DeepeningRoundsGrowTheBound)
+{
+    // A distant CX forces at least one deepening round past h(root)
+    // ... unless h is already exact; either way rounds >= 1 and the
+    // result is optimal.
+    ir::Circuit c(4);
+    c.addCX(0, 3);
+    const auto g = arch::lnn(4);
+    const auto res =
+        idaStarMap(g, c, ir::LatencyModel(1, 2, 6));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 8); // one swap round (6) + CX (2)
+    EXPECT_GE(res.rounds, 1);
+}
+
+TEST(IdaStarTest, ConstrainedModeMatchesAStar)
+{
+    ir::Circuit c = ir::qftSkeleton(4);
+    const auto g = arch::grid(2, 2);
+    MapperConfig cfg;
+    cfg.latency = ir::LatencyModel::qftPreset();
+    cfg.allowConcurrentSwapAndGate = false;
+    OptimalMapper astar(g, cfg);
+    const auto a = astar.map(c);
+    ASSERT_TRUE(a.success);
+
+    const auto ida = idaStarMap(g, c, cfg.latency,
+                                /*allow_mixing=*/false);
+    ASSERT_TRUE(ida.success);
+    EXPECT_EQ(ida.cycles, a.cycles);
+}
+
+TEST(IdaStarTest, BudgetExhaustionReportsFailure)
+{
+    ir::Circuit c = ir::qftSkeleton(5);
+    const auto g = arch::lnn(5);
+    const auto res = idaStarMap(g, c, ir::LatencyModel::qftPreset(),
+                                true, /*max_expanded=*/50);
+    EXPECT_FALSE(res.success);
+    EXPECT_LE(res.expanded, 60u);
+}
+
+} // namespace
+} // namespace toqm::core

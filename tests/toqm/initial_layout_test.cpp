@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "toqm/initial_layout.hpp"
+
+namespace toqm::core {
+namespace {
+
+TEST(InteractionWeightsTest, CountsPairsSymmetrically)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 1);
+    c.addCX(0, 1);
+    c.addCX(1, 2);
+    const auto w = interactionWeights(c, /*decay=*/1.0);
+    EXPECT_DOUBLE_EQ(w[0][1], 2.0);
+    EXPECT_DOUBLE_EQ(w[1][0], 2.0);
+    EXPECT_DOUBLE_EQ(w[1][2], 1.0);
+    EXPECT_DOUBLE_EQ(w[0][2], 0.0);
+}
+
+TEST(InteractionWeightsTest, DecayFavorsEarlyGates)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 1); // first
+    c.addCX(1, 2); // later
+    const auto w = interactionWeights(c, 0.5);
+    EXPECT_GT(w[0][1], w[1][2]);
+}
+
+TEST(LayoutCostTest, AdjacencyIsCheapest)
+{
+    ir::Circuit c(2);
+    c.addCX(0, 1);
+    const auto w = interactionWeights(c, 1.0);
+    const auto g = arch::lnn(4);
+    EXPECT_LT(layoutCost(w, g, {0, 1}), layoutCost(w, g, {0, 3}));
+}
+
+TEST(GreedyLayoutTest, ProducesInjectiveLayout)
+{
+    const ir::Circuit c = ir::benchmarkStandIn("greedy", 10, 300);
+    const auto g = arch::ibmQ20Tokyo();
+    const auto layout = greedyLayout(c, g);
+    EXPECT_TRUE(ir::isInjectiveLayout(layout, g.numQubits()));
+}
+
+TEST(GreedyLayoutTest, PairCircuitPlacesPartnersAdjacent)
+{
+    ir::Circuit c(4);
+    c.addCX(0, 1);
+    c.addCX(2, 3);
+    const auto g = arch::ibmQ20Tokyo();
+    const auto layout = greedyLayout(c, g);
+    EXPECT_EQ(g.distance(layout[0], layout[1]), 1);
+    EXPECT_EQ(g.distance(layout[2], layout[3]), 1);
+}
+
+TEST(AnnealedLayoutTest, NeverWorseThanGreedySeed)
+{
+    const ir::Circuit c = ir::benchmarkStandIn("anneal", 12, 600);
+    const auto g = arch::ibmQ20Tokyo();
+    const auto w = interactionWeights(c);
+    const double greedy_cost = layoutCost(w, g, greedyLayout(c, g));
+    AnnealConfig cfg;
+    cfg.iterations = 5000;
+    const double annealed_cost =
+        layoutCost(w, g, annealedLayout(c, g, cfg));
+    EXPECT_LE(annealed_cost, greedy_cost + 1e-9);
+}
+
+TEST(AnnealedLayoutTest, DeterministicGivenSeed)
+{
+    const ir::Circuit c = ir::benchmarkStandIn("anneal_det", 8, 200);
+    const auto g = arch::ibmQ20Tokyo();
+    AnnealConfig cfg;
+    cfg.iterations = 2000;
+    EXPECT_EQ(annealedLayout(c, g, cfg), annealedLayout(c, g, cfg));
+}
+
+TEST(AnnealedLayoutTest, InjectiveOnTightDevice)
+{
+    // As many logical as physical qubits.
+    const ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::grid(2, 3);
+    const auto layout = annealedLayout(c, g);
+    EXPECT_TRUE(ir::isInjectiveLayout(layout, g.numQubits()));
+}
+
+TEST(AnnealedLayoutTest, SeedImprovesHeuristicMapperOnAverage)
+{
+    // Using the annealed layout as the heuristic mapper's seed must
+    // not lose badly to on-the-fly placement across seeds (it
+    // usually wins; allow slack for the odd case).
+    const auto g = arch::ibmQ20Tokyo();
+    long on_the_fly = 0, seeded = 0;
+    for (std::uint64_t s : {1u, 2u, 3u}) {
+        const ir::Circuit c = ir::randomCircuit(10, 400, 0.45, s, 0.5);
+        heuristic::HeuristicMapper mapper(g);
+        const auto plain = mapper.map(c);
+        const auto with_seed = mapper.map(c, annealedLayout(c, g));
+        ASSERT_TRUE(plain.success && with_seed.success);
+        on_the_fly += plain.cycles;
+        seeded += with_seed.cycles;
+    }
+    EXPECT_LT(seeded, static_cast<long>(1.15 * on_the_fly));
+}
+
+} // namespace
+} // namespace toqm::core

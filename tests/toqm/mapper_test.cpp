@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "ir/schedule.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+#include "toqm/static_mapping.hpp"
+
+namespace toqm::core {
+namespace {
+
+MapperConfig
+qftConfig()
+{
+    MapperConfig cfg;
+    cfg.latency = ir::LatencyModel::qftPreset();
+    return cfg;
+}
+
+TEST(OptimalMapperTest, AdjacentCircuitNeedsNoSwaps)
+{
+    ir::Circuit c = ir::ghz(4);
+    const auto g = arch::lnn(4);
+    OptimalMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+    EXPECT_EQ(res.cycles,
+              ir::idealCycles(c, ir::LatencyModel::ibmPreset()));
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(OptimalMapperTest, SingleDistantCxOnChain)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 2);
+    const auto g = arch::lnn(3);
+    MapperConfig cfg; // ibm preset: cx 2, swap 6
+    OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 8); // one swap (6) + cx (2)
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 1);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    EXPECT_TRUE(sim::semanticallyEquivalent(c, res.mapped));
+}
+
+TEST(OptimalMapperTest, Qft6OnLnnIsSeventeenCycles)
+{
+    // The paper's headline result (Fig 2 / Fig 11): optimal QFT-6
+    // on LNN takes 17 cycles under the uniform latency model.
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::lnn(6);
+    OptimalMapper mapper(g, qftConfig());
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 17);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+    // The reported cycle count must agree with an independent ASAP
+    // re-schedule of the emitted circuit.
+    EXPECT_EQ(ir::scheduleAsap(res.mapped.physical,
+                               ir::LatencyModel::qftPreset())
+                  .makespan,
+              17);
+}
+
+TEST(OptimalMapperTest, Qft6OnGrid2x3Mixed)
+{
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::grid(2, 3);
+    std::vector<int> layout(6);
+    for (int col = 0; col < 3; ++col)
+        for (int row = 0; row < 2; ++row)
+            layout[static_cast<size_t>(2 * col + row)] =
+                row * 3 + col;
+    OptimalMapper mapper(g, qftConfig());
+    const auto res = mapper.map(c, layout);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 11);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(OptimalMapperTest, ConstrainedModeMatchesFig14Shape)
+{
+    // Without GT/swap mixing the optimum can only get worse, and for
+    // QFT-6 on 2x3 it is 13 (3n-5, the Fig 14 family).
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::grid(2, 3);
+    std::vector<int> layout(6);
+    for (int col = 0; col < 3; ++col)
+        for (int row = 0; row < 2; ++row)
+            layout[static_cast<size_t>(2 * col + row)] =
+                row * 3 + col;
+    MapperConfig cfg = qftConfig();
+    cfg.allowConcurrentSwapAndGate = false;
+    OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c, layout);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 13);
+    // No swap may overlap a GT in time.
+    const auto sched = ir::scheduleAsap(res.mapped.physical,
+                                        ir::LatencyModel::qftPreset());
+    for (int i = 0; i < res.mapped.physical.size(); ++i) {
+        for (int j = 0; j < res.mapped.physical.size(); ++j) {
+            if (res.mapped.physical.gate(i).isSwap() ==
+                res.mapped.physical.gate(j).isSwap()) {
+                continue;
+            }
+            EXPECT_FALSE(sched.startCycle[static_cast<size_t>(i)] ==
+                         sched.startCycle[static_cast<size_t>(j)])
+                << "swap and gate share a cycle";
+        }
+    }
+}
+
+TEST(OptimalMapperTest, SearchedInitialMappingBeatsBadSeed)
+{
+    // CX(0,2) with freedom over the initial mapping costs just the
+    // CX: place the qubits adjacent.
+    ir::Circuit c(3);
+    c.addCX(0, 2);
+    const auto g = arch::lnn(3);
+    MapperConfig cfg;
+    cfg.searchInitialMapping = true;
+    OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 2);
+    EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(OptimalMapperTest, FindAllOptimalEnumeratesSolutions)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 2); // one swap needed; several optimal insertions
+    const auto g = arch::lnn(3);
+    MapperConfig cfg;
+    cfg.findAllOptimal = true;
+    OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_GE(res.allOptimal.size(), 2u);
+    const auto lat = ir::LatencyModel::ibmPreset();
+    for (const auto &sol : res.allOptimal) {
+        EXPECT_TRUE(sim::verifyMapping(c, sol, g).ok);
+        EXPECT_EQ(ir::scheduleAsap(sol.physical, lat).makespan,
+                  res.cycles);
+    }
+}
+
+TEST(OptimalMapperTest, NodeBudgetReportsFailure)
+{
+    ir::Circuit c = ir::qftSkeleton(6);
+    const auto g = arch::lnn(6);
+    MapperConfig cfg = qftConfig();
+    cfg.maxExpandedNodes = 5;
+    cfg.useUpperBoundPruning = false;
+    OptimalMapper mapper(g, cfg);
+    const auto res = mapper.map(c);
+    EXPECT_FALSE(res.success);
+}
+
+TEST(OptimalMapperTest, AblationsPreserveOptimality)
+{
+    // Disabling each pruning technique must not change the optimum.
+    ir::Circuit c = ir::qftSkeleton(4);
+    const auto g = arch::lnn(4);
+    MapperConfig base = qftConfig();
+    OptimalMapper reference(g, base);
+    const int optimal = reference.map(c).cycles;
+    ASSERT_GT(optimal, 0);
+
+    {
+        MapperConfig cfg = base;
+        cfg.useFilter = false;
+        EXPECT_EQ(OptimalMapper(g, cfg).map(c).cycles, optimal);
+    }
+    {
+        MapperConfig cfg = base;
+        cfg.useRedundancyElimination = false;
+        EXPECT_EQ(OptimalMapper(g, cfg).map(c).cycles, optimal);
+    }
+    {
+        MapperConfig cfg = base;
+        cfg.useCyclicSwapElimination = false;
+        EXPECT_EQ(OptimalMapper(g, cfg).map(c).cycles, optimal);
+    }
+    {
+        MapperConfig cfg = base;
+        cfg.useUpperBoundPruning = false;
+        EXPECT_EQ(OptimalMapper(g, cfg).map(c).cycles, optimal);
+    }
+}
+
+TEST(OptimalMapperTest, SwapLatencyChangesTradeoffs)
+{
+    ir::Circuit c(3);
+    c.addCX(0, 2);
+    const auto g = arch::lnn(3);
+    for (int swap_lat : {1, 3, 6}) {
+        MapperConfig cfg;
+        cfg.latency = ir::LatencyModel(1, 2, swap_lat);
+        OptimalMapper mapper(g, cfg);
+        const auto res = mapper.map(c);
+        ASSERT_TRUE(res.success);
+        EXPECT_EQ(res.cycles, swap_lat + 2);
+    }
+}
+
+TEST(OptimalMapperTest, MeasuresAreScheduledLikeGates)
+{
+    ir::Circuit c(2);
+    c.addCX(0, 1);
+    c.add(ir::Gate("measure", {0}));
+    c.add(ir::Gate("measure", {1}));
+    const auto g = arch::lnn(2);
+    OptimalMapper mapper(g);
+    const auto res = mapper.map(c);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.cycles, 3);
+    EXPECT_TRUE(sim::verifyMapping(c, res.mapped, g).ok);
+}
+
+TEST(OptimalMapperTest, RejectsTooWideCircuit)
+{
+    ir::Circuit c(6);
+    c.addCX(0, 5);
+    const auto g = arch::lnn(3);
+    OptimalMapper mapper(g);
+    EXPECT_THROW(mapper.map(c), std::invalid_argument);
+}
+
+TEST(StaticMappingTest, FindsEmbeddingWhenOneExists)
+{
+    // GHZ interacts along a chain: embeddable into any chain.
+    ir::Circuit c = ir::ghz(4);
+    const auto g = arch::grid(2, 2);
+    const auto layout = findStaticMapping(c, g);
+    ASSERT_TRUE(layout.has_value());
+    for (const ir::Gate &gate : c.gates()) {
+        if (gate.numQubits() != 2)
+            continue;
+        EXPECT_TRUE(g.adjacent(
+            (*layout)[static_cast<size_t>(gate.qubit(0))],
+            (*layout)[static_cast<size_t>(gate.qubit(1))]));
+    }
+}
+
+TEST(StaticMappingTest, ReportsImpossibleEmbedding)
+{
+    // QFT needs all-to-all interaction: no embedding into a chain.
+    ir::Circuit c = ir::qftSkeleton(4);
+    EXPECT_FALSE(findStaticMapping(c, arch::lnn(4)).has_value());
+}
+
+TEST(StaticMappingTest, StarCircuitNeedsHighDegreeNode)
+{
+    // q0 interacts with 4 partners: needs a degree-4 vertex.
+    ir::Circuit c(5);
+    for (int i = 1; i < 5; ++i)
+        c.addCX(0, i);
+    EXPECT_FALSE(findStaticMapping(c, arch::lnn(5)).has_value());
+    ASSERT_TRUE(findStaticMapping(c, arch::grid(3, 3)).has_value());
+}
+
+} // namespace
+} // namespace toqm::core

@@ -1,0 +1,357 @@
+/**
+ * @file
+ * toqm_map — the command-line compiler driver.
+ *
+ * Reads an OpenQASM 2.0 file (or stdin), maps it onto a chosen
+ * architecture with the selected mapper, verifies the result, and
+ * writes hardware-compliant OpenQASM 2.0 to stdout.
+ *
+ *   toqm_map [options] [input.qasm]
+ *     --arch NAME        lnn<N>, grid<R>x<C>, ibmqx2, tokyo,
+ *                        melbourne, aspen-4        (default: tokyo)
+ *     --mapper KIND      optimal | heuristic | sabre | zulehner
+ *                                                  (default: heuristic)
+ *     --latency L1,L2,LS 1q, 2q and swap cycles    (default: 1,2,6)
+ *     --search-initial   optimal mode: also search the layout
+ *     --no-mixing        optimal mode: forbid concurrent GT+swap
+ *     --all-optimal      optimal mode: report #optimal solutions
+ *     --max-nodes N      optimal mode node budget
+ *     --stats            print mapping statistics to stderr
+ *     --verify           verify structurally (and semantically if
+ *                        the circuit is small enough)
+ *     --timeline         print a cycle-occupancy chart to stderr
+ *     --layout KIND      seed layout: auto | greedy | annealed
+ *     --dot              emit the device graph (with the initial
+ *                        layout) as Graphviz DOT instead of QASM
+ *     --json             emit the mapping record as JSON instead
+ *     --restore-layout   append swaps returning every qubit to its
+ *                        initial position (token swapping)
+ *     --enforce-directions  rewrite wrong-way CXs for devices with
+ *                        directed links (ibmqx2 calibration)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "arch/token_swapping.hpp"
+#include "ir/direction.hpp"
+#include "ir/export.hpp"
+#include "baselines/sabre.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/schedule.hpp"
+#include "qasm/importer.hpp"
+#include "qasm/writer.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/initial_layout.hpp"
+#include "toqm/mapper.hpp"
+
+namespace {
+
+using namespace toqm;
+
+struct Options
+{
+    std::string arch = "tokyo";
+    std::string mapper = "heuristic";
+    int lat1 = 1, lat2 = 2, lats = 6;
+    bool searchInitial = false;
+    bool noMixing = false;
+    bool allOptimal = false;
+    bool stats = false;
+    bool verify = false;
+    bool timeline = false;
+    bool emitDot = false;
+    bool emitJson = false;
+    bool restoreLayout = false;
+    bool enforceDirections = false;
+    std::string layoutStrategy = "auto"; // auto|greedy|annealed
+    std::uint64_t maxNodes = 20'000'000;
+    std::string inputPath; // empty = stdin
+};
+
+[[noreturn]] void
+usage(const char *argv0, int code)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--arch NAME] [--mapper optimal|heuristic"
+                 "|sabre|zulehner]\n"
+                 "       [--latency 1q,2q,swap] [--search-initial] "
+                 "[--no-mixing]\n"
+                 "       [--all-optimal] [--max-nodes N] [--stats] "
+                 "[--verify] [--timeline]\n"
+                 "       [--layout auto|greedy|annealed] [--dot] "
+                 "[--json]\n"
+                 "       [input.qasm]\n",
+                 argv0);
+    std::exit(code);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], 2);
+            return argv[++i];
+        };
+        if (arg == "--arch") {
+            opt.arch = next();
+        } else if (arg == "--mapper") {
+            opt.mapper = next();
+        } else if (arg == "--latency") {
+            const std::string spec = next();
+            if (std::sscanf(spec.c_str(), "%d,%d,%d", &opt.lat1,
+                            &opt.lat2, &opt.lats) != 3) {
+                usage(argv[0], 2);
+            }
+        } else if (arg == "--search-initial") {
+            opt.searchInitial = true;
+        } else if (arg == "--no-mixing") {
+            opt.noMixing = true;
+        } else if (arg == "--all-optimal") {
+            opt.allOptimal = true;
+        } else if (arg == "--max-nodes") {
+            opt.maxNodes = std::stoull(next());
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--verify") {
+            opt.verify = true;
+        } else if (arg == "--timeline") {
+            opt.timeline = true;
+        } else if (arg == "--dot") {
+            opt.emitDot = true;
+        } else if (arg == "--json") {
+            opt.emitJson = true;
+        } else if (arg == "--layout") {
+            opt.layoutStrategy = next();
+        } else if (arg == "--restore-layout") {
+            opt.restoreLayout = true;
+        } else if (arg == "--enforce-directions") {
+            opt.enforceDirections = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0], 0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0], 2);
+        } else {
+            opt.inputPath = arg;
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    try {
+        // --- input ------------------------------------------------
+        qasm::ImportResult program;
+        if (opt.inputPath.empty()) {
+            std::ostringstream buf;
+            buf << std::cin.rdbuf();
+            program = qasm::importString(buf.str());
+        } else {
+            program = qasm::importFile(opt.inputPath);
+        }
+        const ir::Circuit &logical = program.circuit;
+
+        const auto device = arch::byName(opt.arch);
+        const ir::LatencyModel latency(opt.lat1, opt.lat2, opt.lats);
+
+        // --- optional layout seed ----------------------------------
+        std::optional<std::vector<int>> seed_layout;
+        if (opt.layoutStrategy == "greedy")
+            seed_layout = core::greedyLayout(logical, device);
+        else if (opt.layoutStrategy == "annealed")
+            seed_layout = core::annealedLayout(logical, device);
+        else if (opt.layoutStrategy != "auto")
+            usage(argv[0], 2);
+
+        // --- map --------------------------------------------------
+        ir::MappedCircuit mapped;
+        if (opt.mapper == "optimal") {
+            core::MapperConfig config;
+            config.latency = latency;
+            config.searchInitialMapping = opt.searchInitial;
+            config.allowConcurrentSwapAndGate = !opt.noMixing;
+            config.findAllOptimal = opt.allOptimal;
+            config.maxExpandedNodes = opt.maxNodes;
+            core::OptimalMapper mapper(device, config);
+            const auto res = mapper.map(logical, seed_layout);
+            if (!res.success) {
+                std::fprintf(stderr,
+                             "error: node budget exhausted before an "
+                             "optimal solution was proven; raise "
+                             "--max-nodes or use --mapper heuristic\n");
+                return 1;
+            }
+            mapped = res.mapped;
+            if (opt.stats) {
+                std::fprintf(stderr,
+                             "optimal: %d cycles, %d swaps, %llu "
+                             "nodes, %.3f s\n",
+                             res.cycles, mapped.physical.numSwaps(),
+                             static_cast<unsigned long long>(
+                                 res.stats.expanded),
+                             res.stats.seconds);
+            }
+            if (opt.allOptimal) {
+                std::fprintf(stderr, "distinct optimal solutions: "
+                             "%zu (cap %zu)\n",
+                             res.allOptimal.size(), size_t{64});
+            }
+        } else if (opt.mapper == "heuristic") {
+            heuristic::HeuristicConfig config;
+            config.latency = latency;
+            heuristic::HeuristicMapper mapper(device, config);
+            const auto res = mapper.map(logical, seed_layout);
+            if (!res.success) {
+                std::fprintf(stderr, "error: heuristic search "
+                             "failed\n");
+                return 1;
+            }
+            mapped = res.mapped;
+            if (opt.stats) {
+                std::fprintf(stderr,
+                             "heuristic: %d cycles, %d swaps, %.3f "
+                             "s\n",
+                             res.cycles, mapped.physical.numSwaps(),
+                             res.stats.seconds);
+            }
+        } else if (opt.mapper == "sabre") {
+            baselines::SabreMapper mapper(device);
+            const auto res = mapper.map(logical);
+            if (!res.success) {
+                std::fprintf(stderr, "error: SABRE failed\n");
+                return 1;
+            }
+            mapped = res.mapped;
+            if (opt.stats) {
+                std::fprintf(
+                    stderr, "sabre: %d cycles, %d swaps\n",
+                    ir::scheduleAsap(mapped.physical, latency)
+                        .makespan,
+                    res.swapCount);
+            }
+        } else if (opt.mapper == "zulehner") {
+            baselines::ZulehnerMapper mapper(device);
+            const auto res = mapper.map(logical);
+            if (!res.success) {
+                std::fprintf(stderr, "error: Zulehner failed\n");
+                return 1;
+            }
+            mapped = res.mapped;
+            if (opt.stats) {
+                std::fprintf(
+                    stderr, "zulehner: %d cycles, %d swaps\n",
+                    ir::scheduleAsap(mapped.physical, latency)
+                        .makespan,
+                    res.swapCount);
+            }
+        } else {
+            std::fprintf(stderr, "unknown mapper: %s\n",
+                         opt.mapper.c_str());
+            return 2;
+        }
+
+        // --- post passes -------------------------------------------
+        if (opt.restoreLayout) {
+            const auto swaps = arch::routeBackToInitial(
+                device, mapped.initialLayout, mapped.finalLayout);
+            for (const auto &[a, b] : swaps)
+                mapped.physical.addSwap(a, b);
+            mapped.finalLayout = ir::propagateLayout(
+                mapped.physical, mapped.initialLayout);
+            if (opt.stats) {
+                std::fprintf(stderr,
+                             "restore-layout: +%zu swaps\n",
+                             swaps.size());
+            }
+        }
+
+        // --- verify -----------------------------------------------
+        if (opt.verify) {
+            const auto verdict =
+                sim::verifyMapping(logical, mapped, device);
+            if (!verdict.ok) {
+                std::fprintf(stderr,
+                             "VERIFICATION FAILED: %s\n",
+                             verdict.message.c_str());
+                return 3;
+            }
+            std::fprintf(stderr, "structural verification: ok\n");
+            if (logical.numQubits() <= 12 &&
+                device.numQubits() <= 20) {
+                bool simulatable = true;
+                for (const ir::Gate &g : logical.gates()) {
+                    if (g.kind() == ir::GateKind::GT ||
+                        g.kind() == ir::GateKind::Other ||
+                        g.isMeasure()) {
+                        simulatable = false;
+                    }
+                }
+                if (simulatable) {
+                    const bool equal =
+                        sim::semanticallyEquivalent(logical, mapped);
+                    std::fprintf(stderr,
+                                 "semantic equivalence: %s\n",
+                                 equal ? "ok" : "FAILED");
+                    if (!equal)
+                        return 3;
+                }
+            }
+        }
+
+        if (opt.enforceDirections) {
+            if (opt.arch != "ibmqx2" && opt.arch != "qx2") {
+                std::fprintf(stderr,
+                             "--enforce-directions currently knows "
+                             "only the ibmqx2 calibration\n");
+                return 2;
+            }
+            const auto directed = ir::enforceCxDirections(
+                mapped.physical, ir::ibmQX2Directions());
+            mapped.physical = directed.circuit;
+            if (opt.stats) {
+                std::fprintf(stderr,
+                             "enforce-directions: %d CX reversed\n",
+                             directed.reversedCx);
+            }
+        }
+
+        if (opt.timeline) {
+            std::fputs(
+                ir::renderTimeline(mapped.physical, latency).c_str(),
+                stderr);
+        }
+
+        // --- output -----------------------------------------------
+        if (opt.emitDot) {
+            std::cout << ir::toDot(device, mapped.initialLayout);
+            return 0;
+        }
+        if (opt.emitJson) {
+            std::cout << ir::mappingToJson(mapped, latency);
+            return 0;
+        }
+        std::cout << qasm::writeMappedCircuit(mapped);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
