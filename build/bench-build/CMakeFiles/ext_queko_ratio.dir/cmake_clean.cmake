@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_queko_ratio"
+  "../bench/ext_queko_ratio.pdb"
+  "CMakeFiles/ext_queko_ratio.dir/ext_queko_ratio.cpp.o"
+  "CMakeFiles/ext_queko_ratio.dir/ext_queko_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_queko_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

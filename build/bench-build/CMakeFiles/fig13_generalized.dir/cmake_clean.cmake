@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_generalized"
+  "../bench/fig13_generalized.pdb"
+  "CMakeFiles/fig13_generalized.dir/fig13_generalized.cpp.o"
+  "CMakeFiles/fig13_generalized.dir/fig13_generalized.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_generalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

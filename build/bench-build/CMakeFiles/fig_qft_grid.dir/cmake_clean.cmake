@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_qft_grid"
+  "../bench/fig_qft_grid.pdb"
+  "CMakeFiles/fig_qft_grid.dir/fig_qft_grid.cpp.o"
+  "CMakeFiles/fig_qft_grid.dir/fig_qft_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_qft_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

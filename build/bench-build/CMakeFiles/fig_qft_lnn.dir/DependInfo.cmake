@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_qft_lnn.cpp" "bench-build/CMakeFiles/fig_qft_lnn.dir/fig_qft_lnn.cpp.o" "gcc" "bench-build/CMakeFiles/fig_qft_lnn.dir/fig_qft_lnn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/toqm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/toqm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/toqm_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/toqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/toqm/CMakeFiles/toqm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristic/CMakeFiles/toqm_heuristic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/toqm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/qftopt/CMakeFiles/toqm_qftopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

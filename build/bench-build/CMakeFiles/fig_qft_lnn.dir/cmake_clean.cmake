@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_qft_lnn"
+  "../bench/fig_qft_lnn.pdb"
+  "CMakeFiles/fig_qft_lnn.dir/fig_qft_lnn.cpp.o"
+  "CMakeFiles/fig_qft_lnn.dir/fig_qft_lnn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_qft_lnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

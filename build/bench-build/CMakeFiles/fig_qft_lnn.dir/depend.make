@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_qft_lnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_wille_qx2"
+  "../bench/table1_wille_qx2.pdb"
+  "CMakeFiles/table1_wille_qx2.dir/table1_wille_qx2.cpp.o"
+  "CMakeFiles/table1_wille_qx2.dir/table1_wille_qx2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_wille_qx2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

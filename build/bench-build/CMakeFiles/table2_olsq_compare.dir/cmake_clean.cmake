@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_olsq_compare"
+  "../bench/table2_olsq_compare.pdb"
+  "CMakeFiles/table2_olsq_compare.dir/table2_olsq_compare.cpp.o"
+  "CMakeFiles/table2_olsq_compare.dir/table2_olsq_compare.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_olsq_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_large_heuristic"
+  "../bench/table3_large_heuristic.pdb"
+  "CMakeFiles/table3_large_heuristic.dir/table3_large_heuristic.cpp.o"
+  "CMakeFiles/table3_large_heuristic.dir/table3_large_heuristic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_large_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

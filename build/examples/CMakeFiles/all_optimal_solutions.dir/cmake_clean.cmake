@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_optimal_solutions.dir/all_optimal_solutions.cpp.o"
+  "CMakeFiles/all_optimal_solutions.dir/all_optimal_solutions.cpp.o.d"
+  "all_optimal_solutions"
+  "all_optimal_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_optimal_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

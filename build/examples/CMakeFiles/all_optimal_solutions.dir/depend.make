@@ -1,0 +1,2 @@
+# Empty dependencies file for all_optimal_solutions.
+# This may be replaced when dependencies are built.

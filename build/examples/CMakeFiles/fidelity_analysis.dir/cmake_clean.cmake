@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_analysis.dir/fidelity_analysis.cpp.o"
+  "CMakeFiles/fidelity_analysis.dir/fidelity_analysis.cpp.o.d"
+  "fidelity_analysis"
+  "fidelity_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

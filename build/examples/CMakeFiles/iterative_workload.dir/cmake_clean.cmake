@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iterative_workload.dir/iterative_workload.cpp.o"
+  "CMakeFiles/iterative_workload.dir/iterative_workload.cpp.o.d"
+  "iterative_workload"
+  "iterative_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iterative_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_circuit_routing.dir/large_circuit_routing.cpp.o"
+  "CMakeFiles/large_circuit_routing.dir/large_circuit_routing.cpp.o.d"
+  "large_circuit_routing"
+  "large_circuit_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_circuit_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qft_discovery.dir/qft_discovery.cpp.o"
+  "CMakeFiles/qft_discovery.dir/qft_discovery.cpp.o.d"
+  "qft_discovery"
+  "qft_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qft_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

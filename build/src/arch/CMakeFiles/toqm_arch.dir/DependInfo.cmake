@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/architectures.cpp" "src/arch/CMakeFiles/toqm_arch.dir/architectures.cpp.o" "gcc" "src/arch/CMakeFiles/toqm_arch.dir/architectures.cpp.o.d"
+  "/root/repo/src/arch/coupling_graph.cpp" "src/arch/CMakeFiles/toqm_arch.dir/coupling_graph.cpp.o" "gcc" "src/arch/CMakeFiles/toqm_arch.dir/coupling_graph.cpp.o.d"
+  "/root/repo/src/arch/token_swapping.cpp" "src/arch/CMakeFiles/toqm_arch.dir/token_swapping.cpp.o" "gcc" "src/arch/CMakeFiles/toqm_arch.dir/token_swapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_arch.dir/architectures.cpp.o"
+  "CMakeFiles/toqm_arch.dir/architectures.cpp.o.d"
+  "CMakeFiles/toqm_arch.dir/coupling_graph.cpp.o"
+  "CMakeFiles/toqm_arch.dir/coupling_graph.cpp.o.d"
+  "CMakeFiles/toqm_arch.dir/token_swapping.cpp.o"
+  "CMakeFiles/toqm_arch.dir/token_swapping.cpp.o.d"
+  "libtoqm_arch.a"
+  "libtoqm_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/exhaustive.cpp" "src/baselines/CMakeFiles/toqm_baselines.dir/exhaustive.cpp.o" "gcc" "src/baselines/CMakeFiles/toqm_baselines.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/baselines/sabre.cpp" "src/baselines/CMakeFiles/toqm_baselines.dir/sabre.cpp.o" "gcc" "src/baselines/CMakeFiles/toqm_baselines.dir/sabre.cpp.o.d"
+  "/root/repo/src/baselines/zulehner.cpp" "src/baselines/CMakeFiles/toqm_baselines.dir/zulehner.cpp.o" "gcc" "src/baselines/CMakeFiles/toqm_baselines.dir/zulehner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/toqm/CMakeFiles/toqm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/toqm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/toqm_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

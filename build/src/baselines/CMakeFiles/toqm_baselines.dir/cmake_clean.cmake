@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_baselines.dir/exhaustive.cpp.o"
+  "CMakeFiles/toqm_baselines.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/toqm_baselines.dir/sabre.cpp.o"
+  "CMakeFiles/toqm_baselines.dir/sabre.cpp.o.d"
+  "CMakeFiles/toqm_baselines.dir/zulehner.cpp.o"
+  "CMakeFiles/toqm_baselines.dir/zulehner.cpp.o.d"
+  "libtoqm_baselines.a"
+  "libtoqm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_heuristic.dir/heuristic_mapper.cpp.o"
+  "CMakeFiles/toqm_heuristic.dir/heuristic_mapper.cpp.o.d"
+  "libtoqm_heuristic.a"
+  "libtoqm_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/analysis.cpp" "src/ir/CMakeFiles/toqm_ir.dir/analysis.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/analysis.cpp.o.d"
+  "/root/repo/src/ir/circuit.cpp" "src/ir/CMakeFiles/toqm_ir.dir/circuit.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/circuit.cpp.o.d"
+  "/root/repo/src/ir/dag.cpp" "src/ir/CMakeFiles/toqm_ir.dir/dag.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/dag.cpp.o.d"
+  "/root/repo/src/ir/direction.cpp" "src/ir/CMakeFiles/toqm_ir.dir/direction.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/direction.cpp.o.d"
+  "/root/repo/src/ir/export.cpp" "src/ir/CMakeFiles/toqm_ir.dir/export.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/export.cpp.o.d"
+  "/root/repo/src/ir/gate.cpp" "src/ir/CMakeFiles/toqm_ir.dir/gate.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/gate.cpp.o.d"
+  "/root/repo/src/ir/generators.cpp" "src/ir/CMakeFiles/toqm_ir.dir/generators.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/generators.cpp.o.d"
+  "/root/repo/src/ir/latency.cpp" "src/ir/CMakeFiles/toqm_ir.dir/latency.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/latency.cpp.o.d"
+  "/root/repo/src/ir/mapped_circuit.cpp" "src/ir/CMakeFiles/toqm_ir.dir/mapped_circuit.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/mapped_circuit.cpp.o.d"
+  "/root/repo/src/ir/queko.cpp" "src/ir/CMakeFiles/toqm_ir.dir/queko.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/queko.cpp.o.d"
+  "/root/repo/src/ir/schedule.cpp" "src/ir/CMakeFiles/toqm_ir.dir/schedule.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/schedule.cpp.o.d"
+  "/root/repo/src/ir/transforms.cpp" "src/ir/CMakeFiles/toqm_ir.dir/transforms.cpp.o" "gcc" "src/ir/CMakeFiles/toqm_ir.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_ir.dir/analysis.cpp.o"
+  "CMakeFiles/toqm_ir.dir/analysis.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/circuit.cpp.o"
+  "CMakeFiles/toqm_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/dag.cpp.o"
+  "CMakeFiles/toqm_ir.dir/dag.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/direction.cpp.o"
+  "CMakeFiles/toqm_ir.dir/direction.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/export.cpp.o"
+  "CMakeFiles/toqm_ir.dir/export.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/gate.cpp.o"
+  "CMakeFiles/toqm_ir.dir/gate.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/generators.cpp.o"
+  "CMakeFiles/toqm_ir.dir/generators.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/latency.cpp.o"
+  "CMakeFiles/toqm_ir.dir/latency.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/mapped_circuit.cpp.o"
+  "CMakeFiles/toqm_ir.dir/mapped_circuit.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/queko.cpp.o"
+  "CMakeFiles/toqm_ir.dir/queko.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/schedule.cpp.o"
+  "CMakeFiles/toqm_ir.dir/schedule.cpp.o.d"
+  "CMakeFiles/toqm_ir.dir/transforms.cpp.o"
+  "CMakeFiles/toqm_ir.dir/transforms.cpp.o.d"
+  "libtoqm_ir.a"
+  "libtoqm_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qasm/ast.cpp" "src/qasm/CMakeFiles/toqm_qasm.dir/ast.cpp.o" "gcc" "src/qasm/CMakeFiles/toqm_qasm.dir/ast.cpp.o.d"
+  "/root/repo/src/qasm/importer.cpp" "src/qasm/CMakeFiles/toqm_qasm.dir/importer.cpp.o" "gcc" "src/qasm/CMakeFiles/toqm_qasm.dir/importer.cpp.o.d"
+  "/root/repo/src/qasm/lexer.cpp" "src/qasm/CMakeFiles/toqm_qasm.dir/lexer.cpp.o" "gcc" "src/qasm/CMakeFiles/toqm_qasm.dir/lexer.cpp.o.d"
+  "/root/repo/src/qasm/parser.cpp" "src/qasm/CMakeFiles/toqm_qasm.dir/parser.cpp.o" "gcc" "src/qasm/CMakeFiles/toqm_qasm.dir/parser.cpp.o.d"
+  "/root/repo/src/qasm/qelib.cpp" "src/qasm/CMakeFiles/toqm_qasm.dir/qelib.cpp.o" "gcc" "src/qasm/CMakeFiles/toqm_qasm.dir/qelib.cpp.o.d"
+  "/root/repo/src/qasm/writer.cpp" "src/qasm/CMakeFiles/toqm_qasm.dir/writer.cpp.o" "gcc" "src/qasm/CMakeFiles/toqm_qasm.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/toqm_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

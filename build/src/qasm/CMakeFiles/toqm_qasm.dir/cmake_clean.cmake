@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_qasm.dir/ast.cpp.o"
+  "CMakeFiles/toqm_qasm.dir/ast.cpp.o.d"
+  "CMakeFiles/toqm_qasm.dir/importer.cpp.o"
+  "CMakeFiles/toqm_qasm.dir/importer.cpp.o.d"
+  "CMakeFiles/toqm_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/toqm_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/toqm_qasm.dir/parser.cpp.o"
+  "CMakeFiles/toqm_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/toqm_qasm.dir/qelib.cpp.o"
+  "CMakeFiles/toqm_qasm.dir/qelib.cpp.o.d"
+  "CMakeFiles/toqm_qasm.dir/writer.cpp.o"
+  "CMakeFiles/toqm_qasm.dir/writer.cpp.o.d"
+  "libtoqm_qasm.a"
+  "libtoqm_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

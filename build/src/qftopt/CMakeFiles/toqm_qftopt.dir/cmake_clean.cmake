@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_qftopt.dir/qft_patterns.cpp.o"
+  "CMakeFiles/toqm_qftopt.dir/qft_patterns.cpp.o.d"
+  "libtoqm_qftopt.a"
+  "libtoqm_qftopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_qftopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

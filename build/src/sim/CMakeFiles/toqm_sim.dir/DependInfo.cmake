@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/toqm_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/toqm_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/stabilizer.cpp" "src/sim/CMakeFiles/toqm_sim.dir/stabilizer.cpp.o" "gcc" "src/sim/CMakeFiles/toqm_sim.dir/stabilizer.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/toqm_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/toqm_sim.dir/statevector.cpp.o.d"
+  "/root/repo/src/sim/verifier.cpp" "src/sim/CMakeFiles/toqm_sim.dir/verifier.cpp.o" "gcc" "src/sim/CMakeFiles/toqm_sim.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/toqm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/toqm_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_sim.dir/noise.cpp.o"
+  "CMakeFiles/toqm_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/toqm_sim.dir/stabilizer.cpp.o"
+  "CMakeFiles/toqm_sim.dir/stabilizer.cpp.o.d"
+  "CMakeFiles/toqm_sim.dir/statevector.cpp.o"
+  "CMakeFiles/toqm_sim.dir/statevector.cpp.o.d"
+  "CMakeFiles/toqm_sim.dir/verifier.cpp.o"
+  "CMakeFiles/toqm_sim.dir/verifier.cpp.o.d"
+  "libtoqm_sim.a"
+  "libtoqm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/toqm/cost_estimator.cpp" "src/toqm/CMakeFiles/toqm_core.dir/cost_estimator.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/cost_estimator.cpp.o.d"
+  "/root/repo/src/toqm/expander.cpp" "src/toqm/CMakeFiles/toqm_core.dir/expander.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/expander.cpp.o.d"
+  "/root/repo/src/toqm/filter.cpp" "src/toqm/CMakeFiles/toqm_core.dir/filter.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/filter.cpp.o.d"
+  "/root/repo/src/toqm/ida_star.cpp" "src/toqm/CMakeFiles/toqm_core.dir/ida_star.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/ida_star.cpp.o.d"
+  "/root/repo/src/toqm/initial_layout.cpp" "src/toqm/CMakeFiles/toqm_core.dir/initial_layout.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/initial_layout.cpp.o.d"
+  "/root/repo/src/toqm/mapper.cpp" "src/toqm/CMakeFiles/toqm_core.dir/mapper.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/mapper.cpp.o.d"
+  "/root/repo/src/toqm/search_context.cpp" "src/toqm/CMakeFiles/toqm_core.dir/search_context.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/search_context.cpp.o.d"
+  "/root/repo/src/toqm/search_node.cpp" "src/toqm/CMakeFiles/toqm_core.dir/search_node.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/search_node.cpp.o.d"
+  "/root/repo/src/toqm/static_mapping.cpp" "src/toqm/CMakeFiles/toqm_core.dir/static_mapping.cpp.o" "gcc" "src/toqm/CMakeFiles/toqm_core.dir/static_mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/toqm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/toqm_arch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

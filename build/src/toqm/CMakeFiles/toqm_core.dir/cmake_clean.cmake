@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_core.dir/cost_estimator.cpp.o"
+  "CMakeFiles/toqm_core.dir/cost_estimator.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/expander.cpp.o"
+  "CMakeFiles/toqm_core.dir/expander.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/filter.cpp.o"
+  "CMakeFiles/toqm_core.dir/filter.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/ida_star.cpp.o"
+  "CMakeFiles/toqm_core.dir/ida_star.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/initial_layout.cpp.o"
+  "CMakeFiles/toqm_core.dir/initial_layout.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/mapper.cpp.o"
+  "CMakeFiles/toqm_core.dir/mapper.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/search_context.cpp.o"
+  "CMakeFiles/toqm_core.dir/search_context.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/search_node.cpp.o"
+  "CMakeFiles/toqm_core.dir/search_node.cpp.o.d"
+  "CMakeFiles/toqm_core.dir/static_mapping.cpp.o"
+  "CMakeFiles/toqm_core.dir/static_mapping.cpp.o.d"
+  "libtoqm_core.a"
+  "libtoqm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

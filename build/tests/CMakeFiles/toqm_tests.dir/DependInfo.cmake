@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch/arch_test.cpp" "tests/CMakeFiles/toqm_tests.dir/arch/arch_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/arch/arch_test.cpp.o.d"
+  "/root/repo/tests/arch/extra_arch_test.cpp" "tests/CMakeFiles/toqm_tests.dir/arch/extra_arch_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/arch/extra_arch_test.cpp.o.d"
+  "/root/repo/tests/arch/token_swapping_test.cpp" "tests/CMakeFiles/toqm_tests.dir/arch/token_swapping_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/arch/token_swapping_test.cpp.o.d"
+  "/root/repo/tests/baselines/baselines_test.cpp" "tests/CMakeFiles/toqm_tests.dir/baselines/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/baselines/baselines_test.cpp.o.d"
+  "/root/repo/tests/heuristic/heuristic_mapper_test.cpp" "tests/CMakeFiles/toqm_tests.dir/heuristic/heuristic_mapper_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/heuristic/heuristic_mapper_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/toqm_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/toqm_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/integration/transform_property_test.cpp" "tests/CMakeFiles/toqm_tests.dir/integration/transform_property_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/integration/transform_property_test.cpp.o.d"
+  "/root/repo/tests/ir/analysis_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/analysis_test.cpp.o.d"
+  "/root/repo/tests/ir/circuit_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/circuit_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/circuit_test.cpp.o.d"
+  "/root/repo/tests/ir/dag_schedule_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/dag_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/dag_schedule_test.cpp.o.d"
+  "/root/repo/tests/ir/direction_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/direction_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/direction_test.cpp.o.d"
+  "/root/repo/tests/ir/export_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/export_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/export_test.cpp.o.d"
+  "/root/repo/tests/ir/gate_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/gate_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/gate_test.cpp.o.d"
+  "/root/repo/tests/ir/generators_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/generators_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/generators_test.cpp.o.d"
+  "/root/repo/tests/ir/latency_layout_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/latency_layout_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/latency_layout_test.cpp.o.d"
+  "/root/repo/tests/ir/transforms_test.cpp" "tests/CMakeFiles/toqm_tests.dir/ir/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/ir/transforms_test.cpp.o.d"
+  "/root/repo/tests/qasm/file_roundtrip_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qasm/file_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qasm/file_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/qasm/importer_writer_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qasm/importer_writer_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qasm/importer_writer_test.cpp.o.d"
+  "/root/repo/tests/qasm/lexer_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qasm/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qasm/lexer_test.cpp.o.d"
+  "/root/repo/tests/qasm/parser_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qasm/parser_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qasm/parser_test.cpp.o.d"
+  "/root/repo/tests/qasm/qelib_semantics_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qasm/qelib_semantics_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qasm/qelib_semantics_test.cpp.o.d"
+  "/root/repo/tests/qasm/robustness_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qasm/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qasm/robustness_test.cpp.o.d"
+  "/root/repo/tests/qftopt/qft_patterns_test.cpp" "tests/CMakeFiles/toqm_tests.dir/qftopt/qft_patterns_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/qftopt/qft_patterns_test.cpp.o.d"
+  "/root/repo/tests/sim/noise_test.cpp" "tests/CMakeFiles/toqm_tests.dir/sim/noise_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/sim/noise_test.cpp.o.d"
+  "/root/repo/tests/sim/stabilizer_test.cpp" "tests/CMakeFiles/toqm_tests.dir/sim/stabilizer_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/sim/stabilizer_test.cpp.o.d"
+  "/root/repo/tests/sim/statevector_test.cpp" "tests/CMakeFiles/toqm_tests.dir/sim/statevector_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/sim/statevector_test.cpp.o.d"
+  "/root/repo/tests/sim/verifier_test.cpp" "tests/CMakeFiles/toqm_tests.dir/sim/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/sim/verifier_test.cpp.o.d"
+  "/root/repo/tests/toqm/cost_estimator_test.cpp" "tests/CMakeFiles/toqm_tests.dir/toqm/cost_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/toqm/cost_estimator_test.cpp.o.d"
+  "/root/repo/tests/toqm/expander_filter_test.cpp" "tests/CMakeFiles/toqm_tests.dir/toqm/expander_filter_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/toqm/expander_filter_test.cpp.o.d"
+  "/root/repo/tests/toqm/ida_star_test.cpp" "tests/CMakeFiles/toqm_tests.dir/toqm/ida_star_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/toqm/ida_star_test.cpp.o.d"
+  "/root/repo/tests/toqm/initial_layout_test.cpp" "tests/CMakeFiles/toqm_tests.dir/toqm/initial_layout_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/toqm/initial_layout_test.cpp.o.d"
+  "/root/repo/tests/toqm/mapper_test.cpp" "tests/CMakeFiles/toqm_tests.dir/toqm/mapper_test.cpp.o" "gcc" "tests/CMakeFiles/toqm_tests.dir/toqm/mapper_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/toqm_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/toqm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/toqm_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/toqm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/toqm/CMakeFiles/toqm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristic/CMakeFiles/toqm_heuristic.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/toqm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/qftopt/CMakeFiles/toqm_qftopt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/toqm_map.dir/toqm_map.cpp.o"
+  "CMakeFiles/toqm_map.dir/toqm_map.cpp.o.d"
+  "toqm_map"
+  "toqm_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/toqm_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_help "/root/repo/build/tools/toqm_map" "--help")
+set_tests_properties(cli_help PROPERTIES  PASS_REGULAR_EXPRESSION "usage:" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map_bell "/root/repo/build/tools/toqm_map" "--arch" "ibmqx2" "--mapper" "optimal" "--search-initial" "--verify" "/root/repo/benchmarks/qasm/bell.qasm")
+set_tests_properties(cli_map_bell PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_map_toffoli_heuristic "/root/repo/build/tools/toqm_map" "--arch" "tokyo" "--mapper" "heuristic" "--verify" "/root/repo/benchmarks/qasm/toffoli_chain.qasm")
+set_tests_properties(cli_map_toffoli_heuristic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
