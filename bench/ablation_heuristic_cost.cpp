@@ -20,7 +20,7 @@
 #include "ir/mapped_circuit.hpp"
 #include "toqm/cost_estimator.hpp"
 #include "toqm/mapper.hpp"
-#include "toqm/search_context.hpp"
+#include "toqm/search_types.hpp"
 
 namespace {
 
@@ -70,11 +70,10 @@ main()
         const ir::LatencyModel lat(1, 1, 3);
         core::SearchContext ctx(c, g, lat);
         core::CostEstimator est(ctx);
-        auto root =
-            core::SearchNode::root(ctx, ir::identityLayout(5), false);
-        auto node_f = core::SearchNode::expand(
-            ctx, root, 1,
-            {core::Action{0, 0, -1}, core::Action{-1, 3, 4}});
+        core::NodePool pool(ctx);
+        auto root = pool.root(ir::identityLayout(5), false);
+        auto node_f = pool.expand(
+            root, 1, {core::Action{0, 0, -1}, core::Action{-1, 3, 4}});
         const int h = est.estimate(*node_f);
         std::printf("Fig 8 node F: g=%d, h=%d, f=%d  (paper: f=8)\n",
                     node_f->costG, h, node_f->costG + h);

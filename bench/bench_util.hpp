@@ -16,6 +16,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "search/search_stats.hpp"
+
 namespace toqm::bench {
 
 /** True when TOQM_BENCH_FULL=1 requests paper-scale sizes. */
@@ -35,6 +37,25 @@ banner(const std::string &title)
         std::printf("(quick mode: set TOQM_BENCH_FULL=1 for "
                     "paper-scale sizes)\n");
     }
+}
+
+/**
+ * One-line footer for a mapper run's unified search report (every
+ * mapper now returns the same search::SearchStats shape).
+ */
+inline void
+printSearchStats(const char *label, const search::SearchStats &stats)
+{
+    std::printf("  [%s] expanded %llu, generated %llu, filtered %llu, "
+                "peak queue %llu, peak pool %.1f MiB, %.3f s\n",
+                label,
+                static_cast<unsigned long long>(stats.expanded),
+                static_cast<unsigned long long>(stats.generated),
+                static_cast<unsigned long long>(stats.filtered),
+                static_cast<unsigned long long>(stats.maxQueueSize),
+                static_cast<double>(stats.peakPoolBytes) /
+                    (1024.0 * 1024.0),
+                stats.seconds);
 }
 
 /** Geometric mean accumulator for speedup summaries. */

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
 #include "arch/architectures.hpp"
 #include "baselines/sabre.hpp"
 #include "heuristic/heuristic_mapper.hpp"
@@ -59,8 +62,8 @@ BM_CostEstimator(benchmark::State &state)
     const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
     core::SearchContext ctx(c, g, lat);
     core::CostEstimator est(ctx);
-    auto root = core::SearchNode::root(ctx, ir::identityLayout(8),
-                                       false);
+    core::NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(8), false);
     for (auto _ : state)
         benchmark::DoNotOptimize(est.estimate(*root));
 }
@@ -73,15 +76,100 @@ BM_NodeExpansion(benchmark::State &state)
     const auto g = arch::grid(2, 4);
     const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
     core::SearchContext ctx(c, g, lat);
-    core::Expander expander(ctx);
-    auto root = core::SearchNode::root(ctx, ir::identityLayout(8),
-                                       false);
+    core::NodePool pool(ctx);
+    core::Expander expander(ctx, pool);
+    auto root = pool.root(ir::identityLayout(8), false);
     for (auto _ : state) {
         auto expansion = expander.expand(root);
         benchmark::DoNotOptimize(expansion.children.size());
     }
 }
 BENCHMARK(BM_NodeExpansion);
+
+/**
+ * Replica of the pre-pool node representation: every clone paid one
+ * shared_ptr control-block allocation plus a separate heap
+ * allocation for the per-qubit arrays.  Kept as the baseline side of
+ * the node-generation throughput comparison below.
+ */
+struct SharedPtrNode
+{
+    using Ptr = std::shared_ptr<SharedPtrNode>;
+
+    Ptr parent;
+    int cycle = 0;
+    int costG = 0;
+    int costH = 0;
+    int routeScore = 0;
+    std::vector<core::Action> actions;
+    int scheduledGates = 0;
+    long busySum = 0;
+    std::unique_ptr<int[]> buf;
+    int bufInts;
+
+    explicit SharedPtrNode(int buf_ints)
+        : buf(new int[static_cast<size_t>(buf_ints)]),
+          bufInts(buf_ints)
+    {
+        std::memset(buf.get(), 0,
+                    static_cast<size_t>(buf_ints) * sizeof(int));
+    }
+
+    SharedPtrNode(const SharedPtrNode &other)
+        : parent(other.parent), cycle(other.cycle),
+          costG(other.costG), costH(other.costH),
+          routeScore(other.routeScore), actions(other.actions),
+          scheduledGates(other.scheduledGates),
+          busySum(other.busySum),
+          buf(new int[static_cast<size_t>(other.bufInts)]),
+          bufInts(other.bufInts)
+    {
+        std::memcpy(buf.get(), other.buf.get(),
+                    static_cast<size_t>(bufInts) * sizeof(int));
+    }
+};
+
+constexpr int kGenChildren = 64;
+
+void
+BM_NodeGenerationSharedPtr(benchmark::State &state)
+{
+    const int nl = 8, np = 8;
+    const int buf_ints = 2 * nl + 3 * np;
+    auto root = std::make_shared<SharedPtrNode>(buf_ints);
+    const std::vector<core::Action> acts{core::Action{-1, 0, 1}};
+    for (auto _ : state) {
+        for (int i = 0; i < kGenChildren; ++i) {
+            auto child = std::make_shared<SharedPtrNode>(*root);
+            child->parent = root;
+            child->cycle = i + 1;
+            child->actions = acts;
+            benchmark::DoNotOptimize(child.get());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kGenChildren);
+}
+BENCHMARK(BM_NodeGenerationSharedPtr);
+
+void
+BM_NodeGenerationPooled(benchmark::State &state)
+{
+    const ir::Circuit c = ir::qftSkeleton(8);
+    const auto g = arch::grid(2, 4);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    core::SearchContext ctx(c, g, lat);
+    core::NodePool pool(ctx); // same 2*8 + 3*8 int geometry
+    auto root = pool.root(ir::identityLayout(8), false);
+    const std::vector<core::Action> acts{core::Action{-1, 0, 1}};
+    for (auto _ : state) {
+        for (int i = 0; i < kGenChildren; ++i) {
+            auto child = pool.expand(root, i + 1, acts);
+            benchmark::DoNotOptimize(child.get());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * kGenChildren);
+}
+BENCHMARK(BM_NodeGenerationPooled);
 
 void
 BM_OptimalMapperQft5Lnn(benchmark::State &state)

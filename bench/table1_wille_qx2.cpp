@@ -10,6 +10,7 @@
  * ideal cycles, optimal cycles, and mapper overhead in seconds.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "arch/architectures.hpp"
@@ -77,6 +78,7 @@ main()
         bench::fullMode() ? 50'000'000 : 5'000'000;
 
     double total_overhead = 0.0;
+    search::SearchStats aggregate;
     for (const Row &row : rows) {
         const ir::Circuit circuit =
             ir::benchmarkStandIn(row.name, row.n, row.gates);
@@ -85,6 +87,14 @@ main()
         core::OptimalMapper mapper(device, config);
         const auto res = mapper.map(circuit);
         total_overhead += res.stats.seconds;
+        aggregate.expanded += res.stats.expanded;
+        aggregate.generated += res.stats.generated;
+        aggregate.filtered += res.stats.filtered;
+        aggregate.maxQueueSize =
+            std::max(aggregate.maxQueueSize, res.stats.maxQueueSize);
+        aggregate.peakPoolBytes =
+            std::max(aggregate.peakPoolBytes, res.stats.peakPoolBytes);
+        aggregate.seconds += res.stats.seconds;
 
         if (!res.success) {
             std::printf("%-14s %2d %5d | %6d %8s %9.3f | %11d %11d\n",
@@ -105,6 +115,7 @@ main()
                 "a 2013 Xeon; circuits are synthetic stand-ins, see "
                 "DESIGN.md)\n",
                 total_overhead);
+    bench::printSearchStats("table1 aggregate", aggregate);
     std::printf("shape check: optimal >= ideal on every row, with "
                 "small gaps, and mostly sub-second solves.\n");
     return 0;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
-#include <queue>
 #include <stdexcept>
+
+#include "search/engine.hpp"
+#include "search/frontier.hpp"
 
 namespace toqm::baselines {
 
@@ -68,6 +70,7 @@ ZulehnerResult
 ZulehnerMapper::map(const ir::Circuit &logical,
                     std::optional<std::vector<int>> initial_layout) const
 {
+    const search::Stopwatch stopwatch;
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     const int nl = clean.numQubits();
     const int np = _graph.numQubits();
@@ -116,10 +119,9 @@ ZulehnerMapper::map(const ir::Circuit &logical,
         if (excess(layer, l2p) == 0)
             return;
 
-        // A* over layouts, cost = swap count.
-        std::priority_queue<AStarNode, std::vector<AStarNode>,
-                            AStarOrder>
-            open;
+        // A* over layouts, cost = swap count; the open set reuses
+        // the search kernel's heap frontier.
+        search::BestFirstFrontier<AStarNode, AStarOrder> open;
         std::map<std::vector<int>, int> seen;
         AStarNode start;
         start.l2p = l2p;
@@ -130,10 +132,10 @@ ZulehnerMapper::map(const ir::Circuit &logical,
         std::uint64_t popped = 0;
         bool solved = false;
         while (!open.empty()) {
-            AStarNode node = open.top();
-            open.pop();
+            AStarNode node = open.pop();
             if (++popped > _config.perLayerNodeBudget)
                 break;
+            ++result.stats.expanded;
             if (excess(layer, node.l2p) == 0) {
                 // Commit the swap sequence.
                 for (const auto &[p0, p1] : node.swaps) {
@@ -176,7 +178,11 @@ ZulehnerMapper::map(const ir::Circuit &logical,
                 child.h = (excess(layer, child.l2p) + 1) / 2;
                 child.swaps = node.swaps;
                 child.swaps.emplace_back(p0, p1);
+                ++result.stats.generated;
                 open.push(std::move(child));
+                result.stats.maxQueueSize =
+                    std::max(result.stats.maxQueueSize,
+                             static_cast<std::uint64_t>(open.size()));
             }
         }
 
@@ -259,6 +265,7 @@ ZulehnerMapper::map(const ir::Circuit &logical,
     flush_layer();
 
     result.success = true;
+    result.stats.seconds = stopwatch.seconds();
     const auto final_layout = ir::propagateLayout(phys, initial);
     result.mapped =
         ir::MappedCircuit(std::move(phys), initial, final_layout);

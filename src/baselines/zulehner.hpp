@@ -25,6 +25,7 @@
 #include "arch/coupling_graph.hpp"
 #include "ir/circuit.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/search_stats.hpp"
 
 namespace toqm::baselines {
 
@@ -45,6 +46,9 @@ struct ZulehnerResult
     int swapCount = 0;
     /** Layers that fell back to greedy routing. */
     int greedyFallbacks = 0;
+    /** Unified run report (expanded = per-layer A* pops, generated =
+     *  pushes, summed over all layers). */
+    search::SearchStats stats;
 };
 
 /** The layer-by-layer swap-minimizing mapper. */

@@ -1,22 +1,22 @@
 #include "heuristic_mapper.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
-#include <queue>
 
 #include "ir/schedule.hpp"
 #include "toqm/cost_estimator.hpp"
 #include "toqm/filter.hpp"
 #include "toqm/mapper.hpp"
-#include "toqm/search_context.hpp"
-#include "toqm/search_node.hpp"
+#include "toqm/search_types.hpp"
 
 namespace toqm::heuristic {
 
 using core::Action;
+using core::NodePool;
+using core::NodeRef;
 using core::SearchContext;
 using core::SearchNode;
+using search::SearchStatus;
 
 namespace {
 
@@ -28,14 +28,14 @@ struct NodeOrder
     double routeWeight = 1.0;
 
     double
-    weightedF(const SearchNode::Ptr &n) const
+    weightedF(const NodeRef &n) const
     {
         return n->costG + weight * n->costH +
                routeWeight * n->routeScore;
     }
 
     bool
-    operator()(const SearchNode::Ptr &a, const SearchNode::Ptr &b) const
+    operator()(const NodeRef &a, const NodeRef &b) const
     {
         const double fa = weightedF(a);
         const double fb = weightedF(b);
@@ -45,8 +45,9 @@ struct NodeOrder
     }
 };
 
-using Queue = std::priority_queue<SearchNode::Ptr,
-                                  std::vector<SearchNode::Ptr>, NodeOrder>;
+using QueueEngine = search::SearchEngine<
+    search::BestFirstFrontier<NodeRef, NodeOrder>>;
+using BeamEngine = search::SearchEngine<search::BeamFrontier>;
 
 /** Workhorse carrying the per-run state. */
 class Run
@@ -54,7 +55,7 @@ class Run
   public:
     Run(const SearchContext &ctx, const arch::CouplingGraph &graph,
         const HeuristicConfig &config)
-        : _ctx(ctx), _graph(graph), _config(config),
+        : _ctx(ctx), _graph(graph), _config(config), _pool(ctx),
           _estimator(ctx, config.horizonGates),
           _filter(config.filterMaxEntries)
     {}
@@ -62,61 +63,63 @@ class Run
     HeuristicResult
     solve(const std::vector<int> &seed_layout)
     {
-        const auto t0 = std::chrono::steady_clock::now();
         HeuristicResult result;
 
-        SearchNode::Ptr root = SearchNode::root(_ctx, seed_layout, false);
+        NodeRef root = _pool.root(seed_layout, false);
         root->costH = _estimator.estimate(*root);
 
+        NodeRef terminal;
         switch (_config.mode) {
           case SearchMode::GlobalQueue:
-            globalSearch(root, result);
+            terminal = globalSearch(root, result);
             break;
           case SearchMode::RecedingHorizon:
-            recedingHorizonSearch(root, result);
+            terminal = recedingHorizonSearch(root, result);
             break;
           case SearchMode::Beam:
-            beamSearch(root, result);
+            terminal = beamSearch(root, result);
             break;
         }
 
-        result.stats.seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+        if (terminal)
+            finishWith(terminal, result);
         return result;
     }
 
   private:
     /** The paper's global priority-queue scheme (Section 6.2). */
-    void
-    globalSearch(const SearchNode::Ptr &root, HeuristicResult &result)
+    NodeRef
+    globalSearch(const NodeRef &root, HeuristicResult &result)
     {
-        Queue queue(NodeOrder{_config.hWeight, _config.routeWeight});
-        queue.push(root);
+        QueueEngine engine(
+            _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
+                       NodeOrder{_config.hWeight, _config.routeWeight}));
+        NodeRef terminal;
+        engine.push(root);
 
-        while (!queue.empty()) {
-            SearchNode::Ptr node = queue.top();
-            queue.pop();
-            if (node->dead)
-                continue;
+        while (NodeRef node = engine.popLive()) {
             if (node->allScheduled(_ctx)) {
-                finishWith(node, result);
-                return;
+                terminal = node;
+                break;
             }
-            ++result.stats.expanded;
+            ++engine.stats().expanded;
             if (_config.maxExpandedNodes != 0 &&
-                result.stats.expanded > _config.maxExpandedNodes) {
-                return;
+                engine.stats().expanded > _config.maxExpandedNodes) {
+                result.status = SearchStatus::BudgetExhausted;
+                break;
             }
 
-            expandInto(node, queue, result.stats);
+            expandInto(node, engine);
 
-            if (queue.size() > _config.queueCap) {
-                trim(queue);
-                ++result.stats.trims;
+            if (engine.frontier().size() > _config.queueCap) {
+                trim(engine.frontier());
+                ++engine.stats().trims;
             }
         }
+
+        engine.finish();
+        result.stats = engine.stats();
+        return terminal;
     }
 
     /**
@@ -124,47 +127,44 @@ class Run
      * the most-progressed node discovered, so total work is linear in
      * the circuit size.
      */
-    void
-    recedingHorizonSearch(const SearchNode::Ptr &root,
-                          HeuristicResult &result)
+    NodeRef
+    recedingHorizonSearch(const NodeRef &root, HeuristicResult &result)
     {
-        SearchNode::Ptr committed = root;
+        QueueEngine engine(
+            _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
+                       NodeOrder{_config.hWeight, _config.routeWeight}));
+        NodeRef committed = root;
+        NodeRef terminal;
         int budget = _config.episodeBudget;
 
         while (!committed->allScheduled(_ctx)) {
             if (_config.maxExpandedNodes != 0 &&
-                result.stats.expanded > _config.maxExpandedNodes) {
-                return;
+                engine.stats().expanded > _config.maxExpandedNodes) {
+                result.status = SearchStatus::BudgetExhausted;
+                break;
             }
 
             _filter.clear();
             // The commit point may have been dominance-marked inside
             // the previous episode; it is the live root of this one.
             committed->dead = false;
-            Queue queue(NodeOrder{_config.hWeight, _config.routeWeight});
-            queue.push(committed);
+            engine.frontier().clear();
+            engine.push(committed);
             _episodeBest = committed;
 
-            SearchNode::Ptr terminal;
-            for (int spent = 0; spent < budget && !queue.empty();
-                 ++spent) {
-                SearchNode::Ptr node = queue.top();
-                queue.pop();
-                if (node->dead) {
-                    --spent;
-                    continue;
-                }
+            for (int spent = 0; spent < budget; ++spent) {
+                NodeRef node = engine.popLive();
+                if (!node)
+                    break;
                 if (node->allScheduled(_ctx)) {
                     terminal = node;
                     break;
                 }
-                ++result.stats.expanded;
-                expandInto(node, queue, result.stats);
+                ++engine.stats().expanded;
+                expandInto(node, engine);
             }
-            if (terminal) {
-                finishWith(terminal, result);
-                return;
-            }
+            if (terminal)
+                break;
             if (_episodeBest->scheduledGates > committed->scheduledGates) {
                 committed = _episodeBest;
                 budget = _config.episodeBudget;
@@ -172,17 +172,26 @@ class Run
                 // The episode was too shallow to reach the next gate
                 // (long swap chains); widen and retry.
                 budget *= 2;
-                if (budget > (1 << 22))
-                    return; // give up: success stays false
+                if (budget > (1 << 22)) {
+                    // Give up: success stays false.
+                    result.status = SearchStatus::BudgetExhausted;
+                    break;
+                }
             }
         }
-        finishWith(committed, result);
+        if (!terminal && committed->allScheduled(_ctx))
+            terminal = committed;
+
+        engine.finish();
+        result.stats = engine.stats();
+        return terminal;
     }
 
     void
-    finishWith(const SearchNode::Ptr &terminal, HeuristicResult &result)
+    finishWith(const NodeRef &terminal, HeuristicResult &result)
     {
         result.success = true;
+        result.status = SearchStatus::Solved;
         result.mapped = core::reconstructMapping(_ctx, terminal);
         // The emitted circuit can be faster than the search's own
         // schedule (the beam may have parked swaps behind waits that
@@ -200,8 +209,8 @@ class Run
      * the beam stagnates (it can dance swaps in circles on ring-like
      * topologies: the per-level filter has no memory of revisits).
      */
-    SearchNode::Ptr
-    forceRouteFrontier(SearchNode::Ptr node)
+    NodeRef
+    forceRouteFrontier(NodeRef node)
     {
         node = assignFrontier(node);
         // Find an unrouted frontier gate.
@@ -243,7 +252,7 @@ class Run
                     if (node->busyUntil()[i] > node->cycle)
                         next = std::min(next, node->busyUntil()[i]);
                 }
-                node = SearchNode::expand(_ctx, node, next, {});
+                node = _pool.expand(node, next, {});
             }
         };
 
@@ -261,8 +270,8 @@ class Run
             }
             wait_until_idle(p0);
             wait_until_idle(step);
-            node = SearchNode::expand(_ctx, node, node->cycle + 1,
-                                      {Action{-1, p0, step}});
+            node = _pool.expand(node, node->cycle + 1,
+                                {Action{-1, p0, step}});
             node->costH = _estimator.estimate(*node);
             node->routeScore = computeRouteScore(*node);
         }
@@ -270,12 +279,15 @@ class Run
     }
 
     /** Rolling beam search (the default scalable mode). */
-    void
-    beamSearch(const SearchNode::Ptr &root, HeuristicResult &result)
+    NodeRef
+    beamSearch(const NodeRef &root, HeuristicResult &result)
     {
+        BeamEngine engine(_pool);
+        search::BeamFrontier &beam = engine.frontier();
+        beam.assign({root});
+        NodeRef terminal;
+
         const NodeOrder order{_config.hWeight, _config.routeWeight};
-        std::vector<SearchNode::Ptr> beam{root};
-        std::vector<SearchNode::Ptr> pool;
         int best_progress = root->scheduledGates;
         int stagnant_levels = 0;
         const int stagnation_limit =
@@ -283,76 +295,81 @@ class Run
 
         for (;;) {
             if (_config.maxExpandedNodes != 0 &&
-                result.stats.expanded > _config.maxExpandedNodes) {
-                return;
+                engine.stats().expanded > _config.maxExpandedNodes) {
+                result.status = SearchStatus::BudgetExhausted;
+                break;
             }
 
-            pool.clear();
             bool all_terminal = true;
-            for (const auto &node : beam) {
+            for (const NodeRef &node : beam.level()) {
                 if (node->allScheduled(_ctx)) {
-                    pool.push_back(node); // carry terminals through
+                    engine.push(node); // carry terminals through
                     continue;
                 }
                 all_terminal = false;
-                ++result.stats.expanded;
-                auto children = generateChildren(node, result.stats);
-                pool.insert(pool.end(),
-                            std::make_move_iterator(children.begin()),
-                            std::make_move_iterator(children.end()));
+                ++engine.stats().expanded;
+                for (NodeRef &child :
+                     generateChildren(node, engine.stats())) {
+                    engine.push(std::move(child));
+                }
             }
             if (all_terminal) {
-                SearchNode::Ptr best = beam.front();
-                for (const auto &node : beam) {
-                    if (node->makespan() < best->makespan())
-                        best = node;
+                terminal = beam.level().front();
+                for (const NodeRef &node : beam.level()) {
+                    if (node->makespan() < terminal->makespan())
+                        terminal = node;
                 }
-                finishWith(best, result);
-                return;
+                break;
             }
-            if (pool.empty())
-                return; // no legal transition: give up (success=false)
+            if (beam.nextEmpty()) {
+                // No legal transition: give up (success stays false).
+                result.status = SearchStatus::Infeasible;
+                break;
+            }
 
-            std::sort(pool.begin(), pool.end(),
-                      [&order](const SearchNode::Ptr &a,
-                               const SearchNode::Ptr &b) {
-                          return order(b, a); // ascending weighted f
-                      });
             _filter.clear();
-            beam.clear();
-            for (auto &cand : pool) {
-                if (static_cast<int>(beam.size()) >= _config.beamWidth)
-                    break;
-                cand->dead = false;
-                if (_filter.admit(cand, cand->actions.empty()))
-                    beam.push_back(std::move(cand));
-            }
+            ++engine.stats().trims; // each level advance is a trim
+            beam.advance(
+                _config.beamWidth,
+                [&order](const NodeRef &a, const NodeRef &b) {
+                    return order(b, a); // ascending weighted f
+                },
+                [this](const NodeRef &cand) {
+                    cand->dead = false;
+                    return _filter.admit(cand, cand->actions.empty());
+                });
 
             // Stagnation watchdog: on ring-like devices the beam can
             // shuffle swaps forever; force deterministic progress.
             int progress = best_progress;
-            for (const auto &node : beam)
+            for (const NodeRef &node : beam.level())
                 progress = std::max(progress, node->scheduledGates);
             if (progress > best_progress) {
                 best_progress = progress;
                 stagnant_levels = 0;
             } else if (++stagnant_levels > stagnation_limit) {
-                SearchNode::Ptr routed =
-                    forceRouteFrontier(beam.front());
-                beam.assign(1, std::move(routed));
+                NodeRef routed = forceRouteFrontier(beam.level().front());
+                beam.assign({std::move(routed)});
                 stagnant_levels = 0;
             }
         }
+
+        engine.finish();
+        result.stats = engine.stats();
+        return terminal;
     }
 
   private:
     const SearchContext &_ctx;
     const arch::CouplingGraph &_graph;
     const HeuristicConfig &_config;
+    /** Declared before every NodeRef holder below (destruction runs
+     *  bottom-up, so the pool dies last). */
+    NodePool _pool;
     core::CostEstimator _estimator;
     core::Filter _filter;
     /** Most-progressed node of the current episode (RHC mode). */
-    SearchNode::Ptr _episodeBest;
+    NodeRef _episodeBest;
 
     /**
      * Greedy on-the-fly placement: give every unmapped operand of a
@@ -361,8 +378,8 @@ class Run
      * @return the node to expand from: either @p node itself or a
      *         clone with the new assignments.
      */
-    SearchNode::Ptr
-    assignFrontier(const SearchNode::Ptr &node) const
+    NodeRef
+    assignFrontier(const NodeRef &node)
     {
         // Find head gates with unmapped operands.
         std::vector<int> to_place; // logical qubits needing a home
@@ -393,9 +410,7 @@ class Run
         if (to_place.empty())
             return node;
 
-        SearchNode::Ptr patched = std::make_shared<SearchNode>(*node);
-        patched->parent = node->parent;
-        patched->actions = node->actions;
+        NodeRef patched = _pool.cloneSibling(node);
         for (int q : to_place)
             placeQubit(*patched, q);
         return patched;
@@ -565,10 +580,10 @@ class Run
      * Generate every child of @p raw allowed by the Section 6.2
      * rules, sorted by ascending weighted f.
      */
-    std::vector<SearchNode::Ptr>
-    generateChildren(const SearchNode::Ptr &raw, HeuristicStats &stats)
+    std::vector<NodeRef>
+    generateChildren(const NodeRef &raw, HeuristicStats &stats)
     {
-        SearchNode::Ptr node = assignFrontier(raw);
+        NodeRef node = assignFrontier(raw);
         const int start = node->cycle + 1;
 
         const std::vector<Action> forced = readyGates(*node);
@@ -652,12 +667,11 @@ class Run
         // Children: forced gates plus every swap subset of size
         // <= maxSwapsPerChild (incl. the empty subset when something
         // is being scheduled).
-        std::vector<SearchNode::Ptr> children;
+        std::vector<NodeRef> children;
         const auto emit = [&](const std::vector<Action> &acts) {
             if (acts.empty())
                 return;
-            children.push_back(
-                SearchNode::expand(_ctx, node, start, acts));
+            children.push_back(_pool.expand(node, start, acts));
         };
 
         emit(forced);
@@ -690,40 +704,38 @@ class Run
                     next_completion = std::min(next_completion, busy[p]);
             }
             if (next_completion != std::numeric_limits<int>::max()) {
-                children.push_back(SearchNode::expand(
-                    _ctx, node, next_completion, {}));
+                children.push_back(
+                    _pool.expand(node, next_completion, {}));
             }
         }
 
         stats.generated += children.size();
-        for (auto &child : children) {
+        for (NodeRef &child : children) {
             child->costH = _estimator.estimate(*child);
             child->routeScore = computeRouteScore(*child);
         }
         const NodeOrder order{_config.hWeight, _config.routeWeight};
         std::sort(children.begin(), children.end(),
-                  [&order](const SearchNode::Ptr &a,
-                           const SearchNode::Ptr &b) {
+                  [&order](const NodeRef &a, const NodeRef &b) {
                       return order(b, a); // ascending weighted f
                   });
         return children;
     }
 
     void
-    expandInto(const SearchNode::Ptr &raw, Queue &queue,
-               HeuristicStats &stats)
+    expandInto(const NodeRef &raw, QueueEngine &engine)
     {
         const NodeOrder order{_config.hWeight};
-        auto children = generateChildren(raw, stats);
+        auto children = generateChildren(raw, engine.stats());
         int pushed = 0;
-        for (auto &child : children) {
+        for (NodeRef &child : children) {
             if (pushed >= _config.topK)
                 break;
             if (!_filter.admit(child, /*exempt=*/child->actions.empty()))
                 continue;
-            queue.push(child);
+            engine.push(child);
             ++pushed;
-            if (_episodeBest == nullptr ||
+            if (!_episodeBest ||
                 child->scheduledGates > _episodeBest->scheduledGates ||
                 (child->scheduledGates == _episodeBest->scheduledGates &&
                  order.weightedF(child) <
@@ -735,25 +747,18 @@ class Run
 
     /** Keep the most-progressed queueTrim nodes (Section 6.2). */
     void
-    trim(Queue &queue)
+    trim(search::BestFirstFrontier<NodeRef, NodeOrder> &frontier)
     {
-        std::vector<SearchNode::Ptr> nodes;
-        nodes.reserve(queue.size());
-        while (!queue.empty()) {
-            if (!queue.top()->dead)
-                nodes.push_back(queue.top());
-            queue.pop();
-        }
+        std::vector<NodeRef> nodes = frontier.drainLive();
         std::sort(nodes.begin(), nodes.end(),
-                  [](const SearchNode::Ptr &a, const SearchNode::Ptr &b) {
+                  [](const NodeRef &a, const NodeRef &b) {
                       if (a->scheduledGates != b->scheduledGates)
                           return a->scheduledGates > b->scheduledGates;
                       return a->f() < b->f();
                   });
         if (nodes.size() > _config.queueTrim)
             nodes.resize(_config.queueTrim);
-        for (auto &n : nodes)
-            queue.push(std::move(n));
+        frontier.refill(std::move(nodes));
     }
 };
 

@@ -33,6 +33,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/search_stats.hpp"
 
 namespace toqm::heuristic {
 
@@ -101,19 +102,20 @@ struct HeuristicConfig
     std::uint64_t maxExpandedNodes = 0;
 };
 
-/** Search statistics. */
-struct HeuristicStats
-{
-    std::uint64_t expanded = 0;
-    std::uint64_t generated = 0;
-    std::uint64_t trims = 0;
-    double seconds = 0.0;
-};
+/** Search statistics — the kernel's unified run report. */
+using HeuristicStats = search::SearchStats;
 
 /** Result of a heuristic mapping run. */
 struct HeuristicResult
 {
     bool success = false;
+    /**
+     * Solved when a full schedule was produced; BudgetExhausted when
+     * the expansion budget (maxExpandedNodes, or the receding-horizon
+     * episode cap) ran out first; Infeasible when the search hit a
+     * state with no legal transition.
+     */
+    search::SearchStatus status = search::SearchStatus::Infeasible;
     /** Total cycles of the transformed circuit. */
     int cycles = -1;
     ir::MappedCircuit mapped;

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * `SearchEngine` ties one NodePool, one frontier policy and one
+ * SearchStats record together for the duration of a mapping run.
+ * The mappers (OptimalMapper, idaStarMap, HeuristicMapper) are thin
+ * drivers over an engine: they decide WHAT to expand and WHEN to
+ * stop; the engine owns node lifetime, pop/push bookkeeping and the
+ * uniform run report.
+ */
+
+#ifndef TOQM_SEARCH_ENGINE_HPP
+#define TOQM_SEARCH_ENGINE_HPP
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "frontier.hpp"
+#include "node_pool.hpp"
+#include "search_stats.hpp"
+
+namespace toqm::search {
+
+/** Monotonic wall-clock timer started at construction. */
+class Stopwatch
+{
+  public:
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - _t0)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _t0 =
+        std::chrono::steady_clock::now();
+};
+
+template <typename Frontier>
+class SearchEngine
+{
+  public:
+    explicit SearchEngine(NodePool &pool, Frontier frontier = {})
+        : _pool(&pool), _frontier(std::move(frontier))
+    {}
+
+    NodePool &pool() { return *_pool; }
+
+    Frontier &frontier() { return _frontier; }
+
+    SearchStats &stats() { return _stats; }
+
+    const SearchStats &stats() const { return _stats; }
+
+    /** Push one open node, tracking the peak frontier size. */
+    void
+    push(NodeRef node)
+    {
+        _frontier.push(std::move(node));
+        _stats.maxQueueSize =
+            std::max(_stats.maxQueueSize,
+                     static_cast<std::uint64_t>(_frontier.size()));
+    }
+
+    /**
+     * Pop until a live node appears; dominance-killed (`dead`) nodes
+     * are discarded for free.  Returns an empty ref when the
+     * frontier is exhausted.
+     */
+    NodeRef
+    popLive()
+    {
+        while (!_frontier.empty()) {
+            NodeRef node = _frontier.pop();
+            if (!node->dead)
+                return node;
+        }
+        return NodeRef();
+    }
+
+    double elapsed() const { return _stopwatch.seconds(); }
+
+    /** Stamp the end-of-run fields (time, pool peaks) into stats. */
+    void
+    finish()
+    {
+        _stats.seconds = _stopwatch.seconds();
+        _stats.peakPoolBytes = _pool->peakBytes();
+        _stats.peakLiveNodes = _pool->peakLiveNodes();
+    }
+
+  private:
+    NodePool *_pool;
+    Frontier _frontier;
+    SearchStats _stats;
+    Stopwatch _stopwatch;
+};
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_ENGINE_HPP

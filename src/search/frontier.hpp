@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Pluggable frontier policies for the search kernel.  A frontier
+ * owns the set of open nodes and decides which one the engine pops
+ * next; the three policies here back the repo's three mappers:
+ *
+ *  - `BestFirstFrontier`  — binary heap; A* (OptimalMapper) and the
+ *    heuristic mapper's global/receding-horizon queues;
+ *  - `DepthFirstFrontier` — LIFO stack; the bounded DFS inside each
+ *    IDA* round (children pushed in reverse order reproduce the
+ *    recursive visit order exactly);
+ *  - `BeamFrontier`       — level-synchronous top-k; the heuristic
+ *    beam mode and the optimal mapper's upper-bound probe.
+ *
+ * All policies store `NodeRef`s, so a node stays alive exactly as
+ * long as some frontier (or the filter, or a driver local) can still
+ * reach it.
+ */
+
+#ifndef TOQM_SEARCH_FRONTIER_HPP
+#define TOQM_SEARCH_FRONTIER_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "node_pool.hpp"
+
+namespace toqm::search {
+
+/**
+ * Binary-heap best-first frontier.  @p T is the open-node handle
+ * (`NodeRef` for the kernel's mappers; baselines may use their own
+ * node type) and @p Order is a strict weak ordering with
+ * priority_queue semantics (returns true when @p a is WORSE than
+ * @p b).
+ */
+template <typename T, typename Order>
+class BestFirstFrontier
+{
+  public:
+    BestFirstFrontier() = default;
+
+    explicit BestFirstFrontier(Order order)
+        : _queue(std::move(order))
+    {}
+
+    void push(T node) { _queue.push(std::move(node)); }
+
+    /** Pop the best node (frontier must be non-empty). */
+    T
+    pop()
+    {
+        T node = _queue.top();
+        _queue.pop();
+        return node;
+    }
+
+    bool empty() const { return _queue.empty(); }
+
+    size_t size() const { return _queue.size(); }
+
+    void
+    clear()
+    {
+        while (!_queue.empty())
+            _queue.pop();
+    }
+
+    /** Drain every live (non-dead) node, emptying the frontier. */
+    std::vector<T>
+    drainLive()
+    {
+        std::vector<T> nodes;
+        nodes.reserve(_queue.size());
+        while (!_queue.empty()) {
+            if (!_queue.top()->dead)
+                nodes.push_back(_queue.top());
+            _queue.pop();
+        }
+        return nodes;
+    }
+
+    void
+    refill(std::vector<T> nodes)
+    {
+        for (T &n : nodes)
+            _queue.push(std::move(n));
+    }
+
+  private:
+    std::priority_queue<T, std::vector<T>, Order> _queue;
+};
+
+/**
+ * LIFO frontier for bounded depth-first search.  Pushing an
+ * expansion's children in REVERSE sorted order makes the pop order
+ * identical to recursing over them in sorted order.
+ */
+class DepthFirstFrontier
+{
+  public:
+    void push(NodeRef node) { _stack.push_back(std::move(node)); }
+
+    NodeRef
+    pop()
+    {
+        NodeRef node = std::move(_stack.back());
+        _stack.pop_back();
+        return node;
+    }
+
+    bool empty() const { return _stack.empty(); }
+
+    size_t size() const { return _stack.size(); }
+
+    void clear() { _stack.clear(); }
+
+  private:
+    std::vector<NodeRef> _stack;
+};
+
+/**
+ * Level-synchronous beam.  Candidates for the next level accumulate
+ * via push(); advance() ranks them with @p Less (ascending, best
+ * first), filters through the caller's admit predicate and keeps the
+ * top @p width as the new level.
+ */
+class BeamFrontier
+{
+  public:
+    /** Start (or restart) the beam from exactly these nodes. */
+    void
+    assign(std::vector<NodeRef> level)
+    {
+        _level = std::move(level);
+        _next.clear();
+    }
+
+    const std::vector<NodeRef> &level() const { return _level; }
+
+    /** Queue a candidate (child or carried terminal) for the next
+     *  level. */
+    void push(NodeRef node) { _next.push_back(std::move(node)); }
+
+    bool nextEmpty() const { return _next.empty(); }
+
+    size_t size() const { return _level.size() + _next.size(); }
+
+    /**
+     * Rank the accumulated candidates and make the admitted top
+     * @p width the current level.  @p less orders candidates best
+     * first; @p admit may veto (e.g. dominance filter) and is called
+     * in rank order until the level is full.
+     */
+    template <typename Less, typename Admit>
+    void
+    advance(int width, Less less, Admit admit)
+    {
+        std::sort(_next.begin(), _next.end(), less);
+        _level.clear();
+        for (NodeRef &cand : _next) {
+            if (static_cast<int>(_level.size()) >= width)
+                break;
+            if (admit(cand))
+                _level.push_back(std::move(cand));
+        }
+        _next.clear();
+    }
+
+  private:
+    std::vector<NodeRef> _level;
+    std::vector<NodeRef> _next;
+};
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_FRONTIER_HPP

@@ -1,0 +1,299 @@
+#include "node_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace toqm::search {
+
+namespace {
+
+constexpr size_t kNodesPerSlab = 256;
+
+size_t
+roundUp(size_t n, size_t align)
+{
+    return (n + align - 1) / align * align;
+}
+
+} // namespace
+
+int
+SearchNode::makespan() const
+{
+    int last = cycle;
+    const int *busy = busyUntil();
+    for (int p = 0; p < _np; ++p)
+        last = std::max(last, busy[p]);
+    return last;
+}
+
+std::uint64_t
+SearchNode::mappingHash() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const int *l2p = log2phys();
+    for (int l = 0; l < _nl; ++l) {
+        h ^= static_cast<std::uint64_t>(l2p[l] + 2);
+        h *= 0x100000001b3ull;
+    }
+    // Initial-phase nodes must not collide with in-flight ones.
+    h ^= initialPhase ? 0x9e3779b97f4a7c15ull : 0;
+    return h;
+}
+
+NodePool::NodePool(const SearchContext &ctx)
+    : _ctx(&ctx), _nl(ctx.numLogical()), _np(ctx.numPhysical()),
+      _bufInts(static_cast<size_t>(2 * _nl + 3 * _np)),
+      _stride(roundUp(sizeof(SearchNode) + _bufInts * sizeof(int),
+                      alignof(std::max_align_t))),
+      _nodesPerSlab(kNodesPerSlab),
+      _slabBytes(_stride * kNodesPerSlab),
+      // Start past the (empty) last slab so the first allocate()
+      // grabs a slab.
+      _cursor(kNodesPerSlab)
+{}
+
+NodePool::~NodePool()
+{
+    // Every slot below the cursor holds a constructed node (live or
+    // free-listed); destroy them so `actions` releases its storage.
+    for (size_t s = 0; s < _slabs.size(); ++s) {
+        const size_t constructed =
+            s + 1 < _slabs.size() ? _nodesPerSlab : _cursor;
+        std::byte *base = _slabs[s].get();
+        for (size_t i = 0; i < constructed; ++i) {
+            auto *node =
+                std::launder(reinterpret_cast<SearchNode *>(
+                    base + i * _stride));
+            node->~SearchNode();
+        }
+    }
+}
+
+SearchNode *
+NodePool::allocate()
+{
+    ++_totalAllocations;
+    ++_live;
+    _peakLive = std::max(_peakLive, _live);
+    if (!_free.empty()) {
+        ++_recycled;
+        SearchNode *node = _free.back();
+        _free.pop_back();
+        return node;
+    }
+    if (_cursor == _nodesPerSlab) {
+        _slabs.push_back(std::make_unique<std::byte[]>(_slabBytes));
+        _cursor = 0;
+    }
+    std::byte *slot = _slabs.back().get() + _cursor * _stride;
+    ++_cursor;
+    int *buf = reinterpret_cast<int *>(slot + sizeof(SearchNode));
+    return new (slot) SearchNode(this, _nl, _np, buf);
+}
+
+void
+NodePool::recycle(SearchNode *node)
+{
+    // Keep the node constructed so its actions vector's capacity is
+    // reused by the next allocation; just drop stale links.
+    node->_parent = nullptr;
+    node->actions.clear();
+    --_live;
+    _free.push_back(node);
+}
+
+void
+NodePool::release(SearchNode *node)
+{
+    while (node != nullptr) {
+        if (--node->_refs != 0)
+            return;
+        SearchNode *parent = node->_parent;
+        node->_pool->recycle(node);
+        node = parent;
+    }
+}
+
+void
+NodePool::setParent(SearchNode *node, SearchNode *parent)
+{
+    node->_parent = parent;
+    if (parent != nullptr)
+        ++parent->_refs;
+}
+
+SearchNode *
+NodePool::acquireCopy(const SearchNode &src)
+{
+    SearchNode *node = allocate();
+    node->cycle = src.cycle;
+    node->costG = src.costG;
+    node->costH = src.costH;
+    node->routeScore = src.routeScore;
+    node->actions = src.actions;
+    node->scheduledGates = src.scheduledGates;
+    node->busySum = src.busySum;
+    node->activeSwapUntil = src.activeSwapUntil;
+    node->activeGateUntil = src.activeGateUntil;
+    node->initialSwaps = src.initialSwaps;
+    node->initialPhase = src.initialPhase;
+    node->dead = false;
+    std::memcpy(node->_buf, src._buf, _bufInts * sizeof(int));
+    return node;
+}
+
+NodeRef
+NodePool::root(const std::vector<int> &initial_layout,
+               bool initial_phase)
+{
+    const int nl = _nl;
+    const int np = _np;
+    SearchNode *node = allocate();
+    // A recycled slot carries the previous occupant's state; reset
+    // every scalar, not just the ones root() sets.
+    node->cycle = 0;
+    node->costG = 0;
+    node->costH = 0;
+    node->routeScore = 0;
+    node->actions.clear();
+    node->scheduledGates = 0;
+    node->busySum = 0;
+    node->activeSwapUntil = 0;
+    node->activeGateUntil = 0;
+    node->initialSwaps = 0;
+    node->initialPhase = initial_phase;
+    node->dead = false;
+
+    int *l2p = node->log2phys();
+    int *p2l = node->phys2log();
+    std::fill(p2l, p2l + np, -1);
+    for (int l = 0; l < nl; ++l) {
+        const int p = l < static_cast<int>(initial_layout.size())
+                          ? initial_layout[static_cast<size_t>(l)]
+                          : -1;
+        l2p[l] = p;
+        if (p < 0)
+            continue;
+        if (p >= np || p2l[p] != -1) {
+            // Give the slot back before throwing; no NodeRef owns it
+            // yet.
+            ++node->_refs;
+            NodeRef guard(node);
+            throw std::invalid_argument(
+                "initial layout is not injective into the device");
+        }
+        p2l[p] = l;
+    }
+    std::fill(node->head(), node->head() + nl, 0);
+    std::fill(node->busyUntil(), node->busyUntil() + np, 0);
+    std::fill(node->lastSwapPartner(),
+              node->lastSwapPartner() + np, -1);
+    ++node->_refs;
+    return NodeRef(node);
+}
+
+NodeRef
+NodePool::expand(const NodeRef &parent, int start_cycle,
+                 const std::vector<Action> &actions)
+{
+    const SearchContext &ctx = *_ctx;
+    SearchNode *node = acquireCopy(*parent);
+    setParent(node, parent.get());
+    node->initialPhase = false;
+    node->cycle = start_cycle;
+    node->costG = parent->costG + (start_cycle - parent->cycle);
+    node->actions = actions;
+
+    int *busy = node->busyUntil();
+    int *l2p = node->log2phys();
+    int *p2l = node->phys2log();
+    int *partner = node->lastSwapPartner();
+
+    for (const Action &a : actions) {
+        if (a.isSwap()) {
+            const int finish = start_cycle + ctx.swapLatency() - 1;
+            node->busySum += (finish - busy[a.p0]) + (finish - busy[a.p1]);
+            busy[a.p0] = finish;
+            busy[a.p1] = finish;
+            node->activeSwapUntil =
+                std::max(node->activeSwapUntil, finish);
+            // Post-swap mapping convention: apply immediately.
+            const int l0 = p2l[a.p0];
+            const int l1 = p2l[a.p1];
+            p2l[a.p0] = l1;
+            p2l[a.p1] = l0;
+            if (l0 >= 0)
+                l2p[l0] = a.p1;
+            if (l1 >= 0)
+                l2p[l1] = a.p0;
+            partner[a.p0] = a.p1;
+            partner[a.p1] = a.p0;
+        } else {
+            const int finish =
+                start_cycle + ctx.gateLatency(a.gateIndex) - 1;
+            const ir::Gate &g = ctx.circuit().gate(a.gateIndex);
+            node->busySum += finish - busy[a.p0];
+            busy[a.p0] = finish;
+            partner[a.p0] = -1;
+            if (a.p1 >= 0) {
+                node->busySum += finish - busy[a.p1];
+                busy[a.p1] = finish;
+                partner[a.p1] = -1;
+            }
+            node->activeGateUntil =
+                std::max(node->activeGateUntil, finish);
+            int *head = node->head();
+            for (int q : g.qubits())
+                ++head[q];
+            ++node->scheduledGates;
+        }
+    }
+    ++node->_refs;
+    return NodeRef(node);
+}
+
+NodeRef
+NodePool::initialSwapChild(const NodeRef &parent, int p0, int p1)
+{
+    SearchNode *node = acquireCopy(*parent);
+    setParent(node, parent.get());
+    node->actions.clear();
+    ++node->initialSwaps;
+    int *l2p = node->log2phys();
+    int *p2l = node->phys2log();
+    const int l0 = p2l[p0];
+    const int l1 = p2l[p1];
+    p2l[p0] = l1;
+    p2l[p1] = l0;
+    if (l0 >= 0)
+        l2p[l0] = p1;
+    if (l1 >= 0)
+        l2p[l1] = p0;
+    ++node->_refs;
+    return NodeRef(node);
+}
+
+NodeRef
+NodePool::commitInitialMapping(const NodeRef &parent)
+{
+    SearchNode *node = acquireCopy(*parent);
+    setParent(node, parent.get());
+    node->actions.clear();
+    node->initialPhase = false;
+    ++node->_refs;
+    return NodeRef(node);
+}
+
+NodeRef
+NodePool::cloneSibling(const NodeRef &node)
+{
+    SearchNode *copy = acquireCopy(*node);
+    setParent(copy, node->_parent);
+    ++copy->_refs;
+    return NodeRef(copy);
+}
+
+} // namespace toqm::search

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Search node (one state of the circuit at one cycle, Section 4.1)
+ * and the slab-allocating `NodePool` that owns every node's lifetime.
+ *
+ * A node fixes every scheduling decision for start times <= cycle.
+ * Gates occupy their qubits for [start, start + latency - 1]; the
+ * qubit mapping stored here is the one with all STARTED swaps applied
+ * (the paper's convention for hashing and for the heuristic cost),
+ * which is safe because a swap's qubits stay busy until it finishes.
+ *
+ * The search generates millions of nodes and both node cloning and
+ * the filter's dominance comparisons are memory-bound, so allocation
+ * is arranged for throughput:
+ *
+ *  - nodes and their per-qubit arrays live in ONE slab slot (the
+ *    arrays sit immediately after the node object, one memcpy to
+ *    clone) carved from large pool slabs — no per-node heap round
+ *    trips and no `std::shared_ptr` control blocks;
+ *  - lifetime is an intrusive, non-atomic reference count (the
+ *    search is single-threaded): a `NodeRef` holds one reference,
+ *    a child holds one reference on its parent;
+ *  - releasing the last reference walks the parent chain iteratively
+ *    (never recursively — chains are search-depth long) and recycles
+ *    each orphaned node into a free list that keeps nodes
+ *    constructed, so the `actions` vector's capacity is reused.
+ *
+ * Node-lifetime rules: a node stays live while any NodeRef (frontier
+ * entry, filter record, driver local) refers to it or while any live
+ * descendant exists; a parent chain may be released only when the
+ * last NodeRef to its subtree dies.  The pool must outlive every
+ * NodeRef it handed out — declare the pool before frontiers, filters
+ * and node locals.
+ */
+
+#ifndef TOQM_SEARCH_NODE_POOL_HPP
+#define TOQM_SEARCH_NODE_POOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "search_context.hpp"
+
+namespace toqm::search {
+
+class NodePool;
+class NodeRef;
+
+/** An action started at a node's cycle. */
+struct Action
+{
+    /** Logical gate index, or -1 for an inserted swap. */
+    int gateIndex = -1;
+    /** Physical operands (p1 == -1 for 1-qubit gates). */
+    int p0 = -1;
+    int p1 = -1;
+
+    bool isSwap() const { return gateIndex < 0; }
+};
+
+/**
+ * One state of the search graph.  Pool-allocated only; drivers hold
+ * it through `NodeRef` and create children through `NodePool`.
+ */
+class SearchNode
+{
+  public:
+    SearchNode(const SearchNode &) = delete;
+    SearchNode &operator=(const SearchNode &) = delete;
+
+    /** Cycle this node's actions start at (root: 0, no actions). */
+    int cycle = 0;
+    /** Counted path cost (== cycle; kept separate for clarity). */
+    int costG = 0;
+    /** Cached admissible heuristic (set by the cost estimator). */
+    int costH = 0;
+    /**
+     * Secondary ranking score used by the practical mapper (sum of
+     * frontier/lookahead distances); not part of the admissible cost.
+     */
+    int routeScore = 0;
+    /** Actions started at `cycle` by this node. */
+    std::vector<Action> actions;
+
+    /** Number of logical gates scheduled so far. */
+    int scheduledGates = 0;
+    /** Sum of busyUntil over physical qubits (filter quick reject). */
+    long busySum = 0;
+    /** Latest finish cycle among started swaps / original gates. */
+    int activeSwapUntil = 0;
+    int activeGateUntil = 0;
+    /** Zero-cost swaps consumed in the initial-mapping phase. */
+    int initialSwaps = 0;
+    /** True while the node is still choosing the initial mapping. */
+    bool initialPhase = false;
+    /** Set by the filter when a dominating node exists. */
+    bool dead = false;
+
+    /** Parent in the search tree (owned via one reference). */
+    const SearchNode *parent() const { return _parent; }
+
+    /** Per-qubit state arrays (contiguous, right after the node). @{ */
+    /** log2phys()[l] = physical position of logical l (-1 unmapped). */
+    int *log2phys() { return _buf; }
+    const int *log2phys() const { return _buf; }
+    /** head()[l] = #gates already scheduled on logical qubit l. */
+    int *head() { return _buf + _nl; }
+    const int *head() const { return _buf + _nl; }
+    /** phys2log()[p] = logical occupant of p (-1 empty). */
+    int *phys2log() { return _buf + 2 * _nl; }
+    const int *phys2log() const { return _buf + 2 * _nl; }
+    /** busyUntil()[p] = last busy cycle of physical p (0 = never). */
+    int *busyUntil() { return _buf + 2 * _nl + _np; }
+    const int *busyUntil() const { return _buf + 2 * _nl + _np; }
+    /**
+     * lastSwapPartner()[p] = q if the most recent action on physical
+     * p was swap(p, q); -1 otherwise (cyclic-swap pruning).
+     */
+    int *lastSwapPartner() { return _buf + 2 * _nl + 2 * _np; }
+    const int *lastSwapPartner() const
+    {
+        return _buf + 2 * _nl + 2 * _np;
+    }
+    /** @} */
+
+    int numLogical() const { return _nl; }
+
+    int numPhysical() const { return _np; }
+
+    /** Priority for the A* queue. */
+    int f() const { return costG + costH; }
+
+    /** All logical gates scheduled? */
+    bool allScheduled(const SearchContext &ctx) const
+    {
+        return scheduledGates == ctx.numGates();
+    }
+
+    /** Finish cycle of the whole schedule (valid once allScheduled). */
+    int makespan() const;
+
+    /** Hash of the post-swap mapping (filter bucket key). */
+    std::uint64_t mappingHash() const;
+
+  private:
+    friend class NodePool;
+    friend class NodeRef;
+
+    SearchNode(NodePool *pool, int nl, int np, int *buf)
+        : _pool(pool), _nl(nl), _np(np), _buf(buf)
+    {}
+
+    ~SearchNode() = default;
+
+    NodePool *_pool;
+    SearchNode *_parent = nullptr;
+    /** Intrusive refcount (non-atomic: searches are single-threaded). */
+    std::uint32_t _refs = 0;
+    int _nl;
+    int _np;
+    /** Points into this node's slab slot, right after the object. */
+    int *_buf;
+};
+
+/**
+ * Owning handle on a pooled node.  Copying retains, destruction
+ * releases; when the last reference dies the node (and any parent
+ * chain it alone kept alive) returns to the pool.
+ */
+class NodeRef
+{
+  public:
+    NodeRef() = default;
+
+    NodeRef(const NodeRef &other) : _node(other._node)
+    {
+        if (_node != nullptr)
+            ++_node->_refs;
+    }
+
+    NodeRef(NodeRef &&other) noexcept : _node(other._node)
+    {
+        other._node = nullptr;
+    }
+
+    NodeRef &
+    operator=(NodeRef other) noexcept
+    {
+        std::swap(_node, other._node);
+        return *this;
+    }
+
+    ~NodeRef() { reset(); }
+
+    void reset();
+
+    SearchNode *get() const { return _node; }
+
+    SearchNode *operator->() const { return _node; }
+
+    SearchNode &operator*() const { return *_node; }
+
+    explicit operator bool() const { return _node != nullptr; }
+
+    friend bool
+    operator==(const NodeRef &a, const NodeRef &b)
+    {
+        return a._node == b._node;
+    }
+
+    friend bool
+    operator!=(const NodeRef &a, const NodeRef &b)
+    {
+        return a._node != b._node;
+    }
+
+  private:
+    friend class NodePool;
+
+    /** Adopts one already-counted reference. */
+    explicit NodeRef(SearchNode *node) : _node(node) {}
+
+    SearchNode *_node = nullptr;
+};
+
+/**
+ * Arena allocator for the search nodes of one mapping run.  All
+ * nodes of a pool share one geometry (the context's qubit counts),
+ * so slots are fixed-stride and recycling is a free-list push.
+ */
+class NodePool
+{
+  public:
+    explicit NodePool(const SearchContext &ctx);
+    ~NodePool();
+    NodePool(const NodePool &) = delete;
+    NodePool &operator=(const NodePool &) = delete;
+
+    /** Build the root node with the given initial layout. */
+    NodeRef root(const std::vector<int> &initial_layout,
+                 bool initial_phase);
+
+    /**
+     * Build a child that starts @p actions at cycle @p start_cycle
+     * (which may jump past parent->cycle + 1 for pure waits).
+     */
+    NodeRef expand(const NodeRef &parent, int start_cycle,
+                   const std::vector<Action> &actions);
+
+    /**
+     * Build an initial-phase child applying one zero-cost swap on
+     * physical qubits (@p p0, @p p1) at cycle 0.
+     */
+    NodeRef initialSwapChild(const NodeRef &parent, int p0, int p1);
+
+    /** Leave the initial phase (no other state change). */
+    NodeRef commitInitialMapping(const NodeRef &parent);
+
+    /**
+     * Copy of @p node sharing @p node's parent (used by the
+     * heuristic mapper's on-the-fly placement patching).
+     */
+    NodeRef cloneSibling(const NodeRef &node);
+
+    const SearchContext &context() const { return *_ctx; }
+
+    /** Currently live (referenced) nodes. */
+    std::uint64_t liveNodes() const { return _live; }
+
+    std::uint64_t peakLiveNodes() const { return _peakLive; }
+
+    /** Bytes held in slabs (slabs are never returned early). */
+    std::uint64_t peakBytes() const
+    {
+        return static_cast<std::uint64_t>(_slabs.size()) * _slabBytes;
+    }
+
+    /** Cumulative node constructions, including recycled slots. */
+    std::uint64_t totalAllocations() const { return _totalAllocations; }
+
+    /** Allocations served from the free list instead of a slab. */
+    std::uint64_t recycledAllocations() const { return _recycled; }
+
+  private:
+    friend class NodeRef;
+
+    /** Drop one reference; recycles the node and any parent chain
+     *  it alone kept alive (iterative, never recursive). */
+    static void release(SearchNode *node);
+
+    SearchNode *allocate();
+    SearchNode *acquireCopy(const SearchNode &src);
+    void setParent(SearchNode *node, SearchNode *parent);
+    void recycle(SearchNode *node);
+
+    const SearchContext *_ctx;
+    int _nl;
+    int _np;
+    size_t _bufInts;
+    size_t _stride;
+    size_t _nodesPerSlab;
+    size_t _slabBytes;
+    /** Construction cursor into the last slab. */
+    size_t _cursor;
+    std::vector<std::unique_ptr<std::byte[]>> _slabs;
+    std::vector<SearchNode *> _free;
+    std::uint64_t _live = 0;
+    std::uint64_t _peakLive = 0;
+    std::uint64_t _totalAllocations = 0;
+    std::uint64_t _recycled = 0;
+};
+
+inline void
+NodeRef::reset()
+{
+    if (_node != nullptr) {
+        NodePool::release(_node);
+        _node = nullptr;
+    }
+}
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_NODE_POOL_HPP

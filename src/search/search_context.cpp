@@ -1,0 +1,55 @@
+#include "search_context.hpp"
+
+#include <stdexcept>
+
+namespace toqm::search {
+
+SearchContext::SearchContext(const ir::Circuit &circuit,
+                             const arch::CouplingGraph &graph,
+                             const ir::LatencyModel &latency)
+    : _circuit(&circuit), _graph(&graph), _latency(&latency),
+      _swapLatency(latency.swapLatency())
+{
+    if (circuit.numQubits() > graph.numQubits()) {
+        throw std::invalid_argument(
+            "circuit has more qubits (" +
+            std::to_string(circuit.numQubits()) + ") than device (" +
+            std::to_string(graph.numQubits()) + ")");
+    }
+    if (!graph.connected())
+        throw std::invalid_argument("coupling graph is not connected");
+
+    _qubitGates.resize(static_cast<size_t>(circuit.numQubits()));
+    _posOnQubit.resize(static_cast<size_t>(circuit.size()));
+    _gateLatency.reserve(static_cast<size_t>(circuit.size()));
+    for (int i = 0; i < circuit.size(); ++i) {
+        const ir::Gate &g = circuit.gate(i);
+        if (g.isBarrier())
+            throw std::invalid_argument(
+                "mapper input must not contain barriers; lower them "
+                "first (Circuit::withoutSwapsAndBarriers)");
+        if (g.isSwap())
+            throw std::invalid_argument(
+                "mapper input must not already contain swaps");
+        for (int q : g.qubits()) {
+            _posOnQubit[static_cast<size_t>(i)].push_back(
+                static_cast<int>(_qubitGates[static_cast<size_t>(q)]
+                                     .size()));
+            _qubitGates[static_cast<size_t>(q)].push_back(i);
+        }
+        _gateLatency.push_back(latency.latency(g));
+    }
+}
+
+int
+SearchContext::posOnQubit(int i, int q) const
+{
+    const ir::Gate &g = _circuit->gate(i);
+    for (size_t k = 0; k < g.qubits().size(); ++k) {
+        if (g.qubits()[k] == q)
+            return _posOnQubit[static_cast<size_t>(i)][k];
+    }
+    throw std::invalid_argument("posOnQubit: gate does not act on qubit");
+}
+
+} // namespace toqm::search

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Immutable per-search data shared by every node: the logical
+ * circuit, its per-qubit gate sequences, the coupling graph and the
+ * latency model.  Precomputed once so nodes stay O(num_qubits).
+ */
+
+#ifndef TOQM_SEARCH_SEARCH_CONTEXT_HPP
+#define TOQM_SEARCH_SEARCH_CONTEXT_HPP
+
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+
+namespace toqm::search {
+
+/** Precomputed circuit/device structures for one mapping search. */
+class SearchContext
+{
+  public:
+    SearchContext(const ir::Circuit &circuit,
+                  const arch::CouplingGraph &graph,
+                  const ir::LatencyModel &latency);
+
+    const ir::Circuit &circuit() const { return *_circuit; }
+
+    const arch::CouplingGraph &graph() const { return *_graph; }
+
+    const ir::LatencyModel &latency() const { return *_latency; }
+
+    int numLogical() const { return _circuit->numQubits(); }
+
+    int numPhysical() const { return _graph->numQubits(); }
+
+    /** Ordered gate indices acting on logical qubit @p q. */
+    const std::vector<int> &qubitGates(int q) const
+    {
+        return _qubitGates[static_cast<size_t>(q)];
+    }
+
+    /**
+     * Position of gate @p i within qubitGates(q) for operand qubit
+     * @p q (gate must act on q).
+     */
+    int posOnQubit(int i, int q) const;
+
+    /** Cached latency of gate @p i. */
+    int gateLatency(int i) const
+    {
+        return _gateLatency[static_cast<size_t>(i)];
+    }
+
+    int swapLatency() const { return _swapLatency; }
+
+    /** Total number of gates in the logical circuit. */
+    int numGates() const { return _circuit->size(); }
+
+  private:
+    const ir::Circuit *_circuit;
+    const arch::CouplingGraph *_graph;
+    const ir::LatencyModel *_latency;
+    std::vector<std::vector<int>> _qubitGates;
+    /** Parallel to each gate's operand list. */
+    std::vector<std::vector<int>> _posOnQubit;
+    std::vector<int> _gateLatency;
+    int _swapLatency;
+};
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_SEARCH_CONTEXT_HPP

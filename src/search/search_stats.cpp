@@ -1,0 +1,46 @@
+#include "search_stats.hpp"
+
+#include <cstdio>
+
+namespace toqm::search {
+
+const char *
+toString(SearchStatus status)
+{
+    switch (status) {
+      case SearchStatus::Solved:
+        return "solved";
+      case SearchStatus::BudgetExhausted:
+        return "budget-exhausted";
+      case SearchStatus::Infeasible:
+        return "infeasible";
+    }
+    return "unknown";
+}
+
+std::string
+statsJsonLine(const SearchStats &stats, std::string_view mapper,
+              SearchStatus status, int cycles, int swaps)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\"mapper\":\"%.*s\",\"status\":\"%s\",\"cycles\":%d,"
+        "\"swaps\":%d,\"expanded\":%llu,\"generated\":%llu,"
+        "\"filtered\":%llu,\"trims\":%llu,\"rounds\":%d,"
+        "\"max_queue\":%llu,\"peak_pool_bytes\":%llu,"
+        "\"peak_live_nodes\":%llu,\"seconds\":%.6f}\n",
+        static_cast<int>(mapper.size()), mapper.data(),
+        toString(status), cycles, swaps,
+        static_cast<unsigned long long>(stats.expanded),
+        static_cast<unsigned long long>(stats.generated),
+        static_cast<unsigned long long>(stats.filtered),
+        static_cast<unsigned long long>(stats.trims), stats.rounds,
+        static_cast<unsigned long long>(stats.maxQueueSize),
+        static_cast<unsigned long long>(stats.peakPoolBytes),
+        static_cast<unsigned long long>(stats.peakLiveNodes),
+        stats.seconds);
+    return buf;
+}
+
+} // namespace toqm::search

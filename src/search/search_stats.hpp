@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The unified run report of the search kernel.
+ *
+ * Every mapper driver (exact A*, IDA*, the practical heuristic) and
+ * the baselines that borrow the kernel's frontier fill one
+ * `SearchStats`, so tools/ and bench/ consume a single shape
+ * regardless of which search produced it.
+ */
+
+#ifndef TOQM_SEARCH_SEARCH_STATS_HPP
+#define TOQM_SEARCH_SEARCH_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace toqm::search {
+
+/** Terminal status of a search run. */
+enum class SearchStatus {
+    /** A terminal node was found (optimal, for the exact searches). */
+    Solved,
+    /** The node budget ran out before an answer was proven; the
+     *  instance may well be solvable with a larger budget. */
+    BudgetExhausted,
+    /** The search space was exhausted without a terminal: the
+     *  instance is genuinely unsolvable under the given constraints. */
+    Infeasible,
+};
+
+const char *toString(SearchStatus status);
+
+/** Search statistics and resource peaks of one mapping run. */
+struct SearchStats
+{
+    /** Nodes popped and expanded. */
+    std::uint64_t expanded = 0;
+    /** Child nodes generated (including ones pruned before pushing). */
+    std::uint64_t generated = 0;
+    /** Nodes dropped by the dominance filter. */
+    std::uint64_t filtered = 0;
+    /** Frontier trim events (global-queue trims / beam levels). */
+    std::uint64_t trims = 0;
+    /** Deepening rounds (IDA*); single-shot searches leave it 0. */
+    int rounds = 0;
+    /** Peak frontier size. */
+    std::uint64_t maxQueueSize = 0;
+    /** Peak bytes held in node-pool slabs. */
+    std::uint64_t peakPoolBytes = 0;
+    /** Peak simultaneously-live node count. */
+    std::uint64_t peakLiveNodes = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Render a run report as one line of JSON (newline-terminated), the
+ * format `toqm_map --stats-json` emits and bench/CI scrapers parse.
+ */
+std::string statsJsonLine(const SearchStats &stats,
+                          std::string_view mapper, SearchStatus status,
+                          int cycles, int swaps);
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_SEARCH_STATS_HPP

@@ -18,8 +18,7 @@
 #ifndef TOQM_CORE_COST_ESTIMATOR_HPP
 #define TOQM_CORE_COST_ESTIMATOR_HPP
 
-#include "search_context.hpp"
-#include "search_node.hpp"
+#include "search_types.hpp"
 
 namespace toqm::core {
 

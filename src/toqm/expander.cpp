@@ -6,8 +6,9 @@
 
 namespace toqm::core {
 
-Expander::Expander(const SearchContext &ctx, ExpanderConfig config)
-    : _ctx(ctx), _config(config)
+Expander::Expander(const SearchContext &ctx, NodePool &pool,
+                   ExpanderConfig config)
+    : _ctx(ctx), _pool(&pool), _config(config)
 {}
 
 std::vector<Action>
@@ -96,8 +97,7 @@ Expander::candidateSwaps(const SearchNode &node) const
 }
 
 void
-Expander::enumerateSubsets(const SearchNode::ConstPtr &node,
-                           int start_cycle,
+Expander::enumerateSubsets(const NodeRef &node, int start_cycle,
                            const std::vector<Action> &candidates,
                            Expansion &out) const
 {
@@ -132,7 +132,7 @@ Expander::enumerateSubsets(const SearchNode::ConstPtr &node,
                     "the heuristic mapper)");
             }
             out.children.push_back(
-                SearchNode::expand(_ctx, node, start_cycle, current));
+                _pool->expand(node, start_cycle, current));
             return;
         }
         // Branch 1: skip candidate idx.
@@ -161,7 +161,7 @@ Expander::enumerateSubsets(const SearchNode::ConstPtr &node,
 }
 
 Expansion
-Expander::expand(const SearchNode::ConstPtr &node) const
+Expander::expand(const NodeRef &node) const
 {
     Expansion out;
     const int start = node->cycle + 1;
@@ -181,8 +181,7 @@ Expander::expand(const SearchNode::ConstPtr &node) const
             next_completion = std::min(next_completion, busy[p]);
     }
     if (next_completion != std::numeric_limits<int>::max()) {
-        out.waitChild =
-            SearchNode::expand(_ctx, node, next_completion, {});
+        out.waitChild = _pool->expand(node, next_completion, {});
         out.children.push_back(out.waitChild);
     }
     return out;

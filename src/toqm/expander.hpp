@@ -25,8 +25,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "search_context.hpp"
-#include "search_node.hpp"
+#include "search_types.hpp"
 
 namespace toqm::core {
 
@@ -46,16 +45,19 @@ struct ExpanderConfig
 /** The result of expanding one node. */
 struct Expansion
 {
-    std::vector<SearchNode::Ptr> children;
+    std::vector<NodeRef> children;
     /** The wait child, if any (also present in children). */
-    SearchNode::Ptr waitChild;
+    NodeRef waitChild;
 };
 
 /** Enumerates children per the paper's search-space definition. */
 class Expander
 {
   public:
-    Expander(const SearchContext &ctx, ExpanderConfig config = {});
+    /** Children are allocated from @p pool (which must outlive the
+     *  expander and every Expansion it returns). */
+    Expander(const SearchContext &ctx, NodePool &pool,
+             ExpanderConfig config = {});
 
     /**
      * Ready original gates: at the head of each operand's program
@@ -68,16 +70,16 @@ class Expander
     std::vector<Action> candidateSwaps(const SearchNode &node) const;
 
     /** Full expansion of @p node. */
-    Expansion expand(const SearchNode::ConstPtr &node) const;
+    Expansion expand(const NodeRef &node) const;
 
     const SearchContext &context() const { return _ctx; }
 
   private:
     const SearchContext &_ctx;
+    NodePool *_pool;
     ExpanderConfig _config;
 
-    void enumerateSubsets(const SearchNode::ConstPtr &node,
-                          int start_cycle,
+    void enumerateSubsets(const NodeRef &node, int start_cycle,
                           const std::vector<Action> &candidates,
                           Expansion &out) const;
 };

@@ -54,7 +54,7 @@ Filter::compare(const SearchNode &a, const SearchNode &b)
 }
 
 bool
-Filter::admit(const SearchNode::Ptr &node, bool exempt)
+Filter::admit(const NodeRef &node, bool exempt)
 {
     if (_maxEntries != 0 && _entries > _maxEntries)
         clear();

@@ -29,7 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "search_node.hpp"
+#include "search_types.hpp"
 
 namespace toqm::core {
 
@@ -52,7 +52,7 @@ class Filter
      * @return true if the node survives (should be pushed), false if
      *         a recorded node dominates it.
      */
-    bool admit(const SearchNode::Ptr &node, bool exempt = false);
+    bool admit(const NodeRef &node, bool exempt = false);
 
     /** Number of nodes dropped so far. */
     std::uint64_t dropped() const { return _dropped; }
@@ -63,8 +63,7 @@ class Filter
     void clear();
 
   private:
-    std::unordered_map<std::uint64_t, std::vector<SearchNode::Ptr>>
-        _table;
+    std::unordered_map<std::uint64_t, std::vector<NodeRef>> _table;
     size_t _maxEntries;
     size_t _entries = 0;
     std::uint64_t _dropped = 0;

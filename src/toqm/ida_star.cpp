@@ -1,83 +1,66 @@
 #include "ida_star.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "cost_estimator.hpp"
 #include "expander.hpp"
-#include "search_context.hpp"
 
 namespace toqm::core {
 
 namespace {
 
-/** Recursive bounded DFS; returns the terminal node or nullptr and
- *  tracks the smallest f that exceeded the bound. */
-class IdaSearch
+using Engine = search::SearchEngine<search::DepthFirstFrontier>;
+
+/**
+ * One bounded DFS round over an explicit stack.  Children of each
+ * expanded node are sorted ascending (f, then progress) and pushed in
+ * REVERSE, so pops reproduce the recursive visit order exactly; the
+ * pooled stack replaces O(depth) call frames with O(depth) NodeRefs.
+ *
+ * @return the terminal node, or empty if none within @p bound;
+ *         @p next_bound collects the smallest f that exceeded the
+ *         bound (INT_MAX if none did: the space is exhausted).
+ */
+NodeRef
+boundedDfs(const SearchContext &ctx, const Expander &expander,
+           const CostEstimator &estimator, Engine &engine,
+           const NodeRef &root, int bound, std::uint64_t max_expanded,
+           int &next_bound)
 {
-  public:
-    IdaSearch(const SearchContext &ctx, const Expander &expander,
-              const CostEstimator &estimator, std::uint64_t budget)
-        : _ctx(ctx), _expander(expander), _estimator(estimator),
-          _budget(budget)
-    {}
-
-    SearchNode::Ptr
-    search(const SearchNode::Ptr &node, int bound)
-    {
-        _nextBound = std::numeric_limits<int>::max();
-        return dfs(node, bound);
-    }
-
-    int nextBound() const { return _nextBound; }
-
-    std::uint64_t expanded() const { return _expanded; }
-
-    bool exhausted() const { return _expanded >= _budget; }
-
-  private:
-    const SearchContext &_ctx;
-    const Expander &_expander;
-    const CostEstimator &_estimator;
-    std::uint64_t _budget;
-    std::uint64_t _expanded = 0;
-    int _nextBound = std::numeric_limits<int>::max();
-
-    SearchNode::Ptr
-    dfs(const SearchNode::Ptr &node, int bound)
-    {
+    next_bound = std::numeric_limits<int>::max();
+    engine.frontier().clear();
+    engine.push(root);
+    while (!engine.frontier().empty()) {
+        NodeRef node = engine.frontier().pop();
         if (node->f() > bound) {
-            _nextBound = std::min(_nextBound, node->f());
-            return nullptr;
+            next_bound = std::min(next_bound, node->f());
+            continue;
         }
-        if (node->allScheduled(_ctx)) {
+        if (node->allScheduled(ctx)) {
             // With all gates scheduled, f == the exact makespan.
             return node;
         }
-        if (++_expanded >= _budget)
-            return nullptr;
+        if (++engine.stats().expanded >= max_expanded)
+            return NodeRef();
 
-        auto expansion = _expander.expand(node);
-        for (auto &child : expansion.children)
-            child->costH = _estimator.estimate(*child);
-        std::sort(expansion.children.begin(),
-                  expansion.children.end(),
-                  [](const SearchNode::Ptr &a,
-                     const SearchNode::Ptr &b) {
+        Expansion expansion = expander.expand(node);
+        engine.stats().generated += expansion.children.size();
+        for (NodeRef &child : expansion.children)
+            child->costH = estimator.estimate(*child);
+        std::sort(expansion.children.begin(), expansion.children.end(),
+                  [](const NodeRef &a, const NodeRef &b) {
                       if (a->f() != b->f())
                           return a->f() < b->f();
                       return a->scheduledGates > b->scheduledGates;
                   });
-        for (auto &child : expansion.children) {
-            if (auto found = dfs(child, bound))
-                return found;
-            if (exhausted())
-                return nullptr;
+        for (auto it = expansion.children.rbegin();
+             it != expansion.children.rend(); ++it) {
+            engine.push(std::move(*it));
         }
-        return nullptr;
     }
-};
+    return NodeRef();
+}
 
 } // namespace
 
@@ -87,45 +70,48 @@ idaStarMap(const arch::CouplingGraph &graph,
            const ir::LatencyModel &latency, bool allow_mixing,
            std::uint64_t max_expanded)
 {
-    const auto t0 = std::chrono::steady_clock::now();
     IdaResult result;
 
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, graph, latency);
     CostEstimator estimator(ctx);
+    NodePool pool(ctx);
     ExpanderConfig cfg;
     cfg.allowConcurrentSwapAndGate = allow_mixing;
-    Expander expander(ctx, cfg);
+    Expander expander(ctx, pool, cfg);
+    Engine engine(pool);
 
-    auto root = SearchNode::root(
-        ctx, ir::identityLayout(ctx.numLogical()), false);
+    NodeRef root = pool.root(ir::identityLayout(ctx.numLogical()),
+                             false);
     root->costH = estimator.estimate(*root);
 
     int bound = root->f();
-    std::uint64_t spent = 0;
-    while (spent < max_expanded) {
-        ++result.rounds;
-        IdaSearch search(ctx, expander, estimator,
-                         max_expanded - spent);
-        const auto terminal = search.search(root, bound);
-        spent += search.expanded();
-        result.expanded = spent;
+    while (engine.stats().expanded < max_expanded) {
+        ++engine.stats().rounds;
+        int next_bound = std::numeric_limits<int>::max();
+        NodeRef terminal =
+            boundedDfs(ctx, expander, estimator, engine, root, bound,
+                       max_expanded, next_bound);
         if (terminal) {
             result.success = true;
+            result.status = SearchStatus::Solved;
             result.cycles = terminal->makespan();
             result.mapped = reconstructMapping(ctx, terminal);
             break;
         }
-        if (search.exhausted() ||
-            search.nextBound() == std::numeric_limits<int>::max()) {
+        if (engine.stats().expanded >= max_expanded)
             break;
-        }
-        bound = search.nextBound();
+        if (next_bound == std::numeric_limits<int>::max())
+            break; // space exhausted below every bound: unsolvable
+        bound = next_bound;
+    }
+    if (!result.success &&
+        engine.stats().expanded >= max_expanded) {
+        result.status = SearchStatus::BudgetExhausted;
     }
 
-    result.seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+    engine.finish();
+    result.stats = engine.stats();
     return result;
 }
 

@@ -24,17 +24,20 @@
 
 namespace toqm::core {
 
-/** Result of an IDA* run (same fields as the A* mapper's). */
+/** Result of an IDA* run (same report shape as the A* mapper's). */
 struct IdaResult
 {
     bool success = false;
+    /** Solved / BudgetExhausted / Infeasible (see MapperResult). */
+    SearchStatus status = SearchStatus::Infeasible;
     int cycles = -1;
     ir::MappedCircuit mapped;
-    /** Nodes visited across ALL deepening rounds. */
-    std::uint64_t expanded = 0;
-    /** Number of f-bound rounds (T values tried). */
-    int rounds = 0;
-    double seconds = 0.0;
+    /**
+     * Unified run report; `stats.rounds` counts the f-bound rounds
+     * (T values tried) and `stats.expanded` the nodes visited across
+     * ALL deepening rounds.
+     */
+    SearchStats stats;
 };
 
 /**

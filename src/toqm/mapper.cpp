@@ -1,15 +1,12 @@
 #include "mapper.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
-#include <queue>
 #include <stdexcept>
 
 #include "cost_estimator.hpp"
 #include "expander.hpp"
 #include "filter.hpp"
-#include "search_context.hpp"
 
 namespace toqm::core {
 
@@ -19,7 +16,7 @@ namespace {
 struct NodeOrder
 {
     bool
-    operator()(const SearchNode::Ptr &a, const SearchNode::Ptr &b) const
+    operator()(const NodeRef &a, const NodeRef &b) const
     {
         if (a->f() != b->f())
             return a->f() > b->f();
@@ -29,8 +26,7 @@ struct NodeOrder
     }
 };
 
-using Queue = std::priority_queue<SearchNode::Ptr,
-                                  std::vector<SearchNode::Ptr>, NodeOrder>;
+using Frontier = search::BestFirstFrontier<NodeRef, NodeOrder>;
 
 /**
  * Cheap achievable upper bound on the optimal makespan: a beam search
@@ -39,36 +35,35 @@ using Queue = std::priority_queue<SearchNode::Ptr,
  */
 int
 beamUpperBound(const SearchContext &ctx, const Expander &expander,
-               const CostEstimator &estimator,
-               const SearchNode::Ptr &start, int width)
+               const CostEstimator &estimator, const NodeRef &start,
+               int width)
 {
-    std::vector<SearchNode::Ptr> beam{start};
+    search::BeamFrontier beam;
+    beam.assign({start});
     // Generous step bound: every step advances the clock or schedules
     // a gate, so any valid schedule fits well within this.
     const long max_steps =
         16l * ctx.numGates() * (ctx.swapLatency() + 1) +
         64l * ctx.numPhysical() + 256;
     for (long step = 0; step < max_steps; ++step) {
-        std::vector<SearchNode::Ptr> next;
-        for (const auto &node : beam) {
+        for (const NodeRef &node : beam.level()) {
             if (node->allScheduled(ctx))
                 return node->makespan();
-            for (auto &child : expander.expand(node).children) {
+            for (NodeRef &child : expander.expand(node).children) {
                 child->costH = estimator.estimate(*child);
-                next.push_back(std::move(child));
+                beam.push(std::move(child));
             }
         }
-        if (next.empty())
+        if (beam.nextEmpty())
             return std::numeric_limits<int>::max();
-        std::sort(next.begin(), next.end(),
-                  [](const SearchNode::Ptr &a, const SearchNode::Ptr &b) {
-                      if (a->f() != b->f())
-                          return a->f() < b->f();
-                      return a->scheduledGates > b->scheduledGates;
-                  });
-        if (static_cast<int>(next.size()) > width)
-            next.resize(static_cast<size_t>(width));
-        beam = std::move(next);
+        beam.advance(
+            width,
+            [](const NodeRef &a, const NodeRef &b) {
+                if (a->f() != b->f())
+                    return a->f() < b->f();
+                return a->scheduledGates > b->scheduledGates;
+            },
+            [](const NodeRef &) { return true; });
     }
     return std::numeric_limits<int>::max();
 }
@@ -76,13 +71,12 @@ beamUpperBound(const SearchContext &ctx, const Expander &expander,
 } // namespace
 
 ir::MappedCircuit
-reconstructMapping(const SearchContext &ctx,
-                   const SearchNode::ConstPtr &terminal)
+reconstructMapping(const SearchContext &ctx, const NodeRef &terminal)
 {
     // Collect the chain root -> terminal.
     std::vector<const SearchNode *> chain;
     for (const SearchNode *n = terminal.get(); n != nullptr;
-         n = n->parent.get()) {
+         n = n->parent()) {
         chain.push_back(n);
     }
     std::reverse(chain.begin(), chain.end());
@@ -158,18 +152,20 @@ MapperResult
 OptimalMapper::map(const ir::Circuit &logical,
                    std::optional<std::vector<int>> initial_layout) const
 {
-    const auto t0 = std::chrono::steady_clock::now();
-
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, _graph, _config.latency);
     CostEstimator estimator(ctx, _config.horizonGates);
+    // The pool outlives every NodeRef holder below (expander
+    // expansions, filter records, engine frontier, driver locals).
+    NodePool pool(ctx);
     ExpanderConfig exp_cfg;
     exp_cfg.allowConcurrentSwapAndGate =
         _config.allowConcurrentSwapAndGate;
     exp_cfg.useRedundancyElimination = _config.useRedundancyElimination;
     exp_cfg.useCyclicSwapElimination = _config.useCyclicSwapElimination;
-    Expander expander(ctx, exp_cfg);
+    Expander expander(ctx, pool, exp_cfg);
     Filter filter(_config.filterMaxEntries);
+    search::SearchEngine<Frontier> engine(pool);
 
     std::vector<int> seed = initial_layout
                                 ? *initial_layout
@@ -181,15 +177,14 @@ OptimalMapper::map(const ir::Circuit &logical,
                       std::max(1, ctx.numPhysical() / 2);
     }
 
-    SearchNode::Ptr root =
-        SearchNode::root(ctx, seed, _config.searchInitialMapping);
+    NodeRef root = pool.root(seed, _config.searchInitialMapping);
     root->costH = estimator.estimate(*root);
 
     int upper_bound = std::numeric_limits<int>::max();
     if (_config.useUpperBoundPruning) {
-        SearchNode::Ptr probe_start = root;
+        NodeRef probe_start = root;
         if (root->initialPhase) {
-            probe_start = SearchNode::commitInitialMapping(root);
+            probe_start = pool.commitInitialMapping(root);
             probe_start->costH = root->costH;
         }
         upper_bound = beamUpperBound(ctx, expander, estimator,
@@ -197,8 +192,7 @@ OptimalMapper::map(const ir::Circuit &logical,
                                      _config.upperBoundBeamWidth);
     }
 
-    Queue queue;
-    queue.push(root);
+    engine.push(root);
     if (_config.useFilter)
         filter.admit(root);
 
@@ -206,29 +200,22 @@ OptimalMapper::map(const ir::Circuit &logical,
     int optimal = -1;
 
     const auto finish_stats = [&](MapperResult &r) {
-        r.stats.filtered = filter.dropped();
-        r.stats.seconds =
-            std::chrono::duration<double>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+        engine.stats().filtered = filter.dropped();
+        engine.finish();
+        r.stats = engine.stats();
     };
 
-    const auto admit_and_push = [&](const SearchNode::Ptr &child,
-                                    bool exempt) {
-        ++result.stats.generated;
+    const auto admit_and_push = [&](NodeRef child, bool exempt) {
+        ++engine.stats().generated;
         child->costH = estimator.estimate(*child);
         if (child->f() > upper_bound)
             return; // can never beat the known achievable schedule
         if (_config.useFilter && !filter.admit(child, exempt))
             return;
-        queue.push(child);
+        engine.push(std::move(child));
     };
 
-    while (!queue.empty()) {
-        SearchNode::Ptr node = queue.top();
-        queue.pop();
-        if (node->dead)
-            continue;
+    while (NodeRef node = engine.popLive()) {
         if (optimal >= 0 && node->f() > optimal)
             break; // all optimal solutions exhausted (Appendix B)
 
@@ -237,6 +224,7 @@ OptimalMapper::map(const ir::Circuit &logical,
             if (optimal < 0) {
                 optimal = cost;
                 result.success = true;
+                result.status = SearchStatus::Solved;
                 result.cycles = cost;
                 result.mapped = reconstructMapping(ctx, node);
                 if (!_config.findAllOptimal)
@@ -257,31 +245,30 @@ OptimalMapper::map(const ir::Circuit &logical,
             continue;
         }
 
-        if (++result.stats.expanded > _config.maxExpandedNodes) {
+        if (++engine.stats().expanded > _config.maxExpandedNodes) {
             result.success = optimal >= 0;
+            if (!result.success)
+                result.status = SearchStatus::BudgetExhausted;
             finish_stats(result);
             return result;
         }
 
         if (node->initialPhase) {
             // Zero-cost initial-mapping exploration (Section 5.3).
-            admit_and_push(SearchNode::commitInitialMapping(node),
-                           false);
+            admit_and_push(pool.commitInitialMapping(node), false);
             if (node->initialSwaps < swap_budget) {
                 for (const auto &[p0, p1] : _graph.edges()) {
-                    admit_and_push(
-                        SearchNode::initialSwapChild(node, p0, p1),
-                        false);
+                    admit_and_push(pool.initialSwapChild(node, p0, p1),
+                                   false);
                 }
             }
         } else {
             Expansion expansion = expander.expand(node);
-            for (auto &child : expansion.children)
-                admit_and_push(child, child == expansion.waitChild);
+            for (NodeRef &child : expansion.children) {
+                const bool is_wait = child == expansion.waitChild;
+                admit_and_push(std::move(child), is_wait);
+            }
         }
-        result.stats.maxQueueSize =
-            std::max(result.stats.maxQueueSize,
-                     static_cast<std::uint64_t>(queue.size()));
     }
 
     finish_stats(result);

@@ -23,7 +23,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
-#include "search_node.hpp"
+#include "search_types.hpp"
 
 namespace toqm::core {
 
@@ -67,21 +67,25 @@ struct MapperConfig
     int upperBoundBeamWidth = 64;
 };
 
-/** Search statistics for the overhead columns of Tables 1 and 2. */
-struct MapperStats
-{
-    std::uint64_t expanded = 0;
-    std::uint64_t generated = 0;
-    std::uint64_t filtered = 0;
-    std::uint64_t maxQueueSize = 0;
-    double seconds = 0.0;
-};
+/**
+ * Search statistics for the overhead columns of Tables 1 and 2 —
+ * the kernel's unified run report.
+ */
+using MapperStats = search::SearchStats;
 
 /** Result of an optimal mapping run. */
 struct MapperResult
 {
-    /** False iff the node budget was exhausted first. */
+    /** True iff an optimal solution was found. */
     bool success = false;
+    /**
+     * Why the search ended: Solved, BudgetExhausted (node budget ran
+     * out with no solution proven — the instance may be solvable) or
+     * Infeasible (search space exhausted: genuinely unsolvable).
+     * When findAllOptimal enumeration hits the budget AFTER an
+     * optimum was found, the status stays Solved.
+     */
+    SearchStatus status = SearchStatus::Infeasible;
     /** Total cycles of the transformed circuit (the optimum). */
     int cycles = -1;
     ir::MappedCircuit mapped;
@@ -118,7 +122,7 @@ class OptimalMapper
  * (exposed for the heuristic mapper, which shares node semantics).
  */
 ir::MappedCircuit reconstructMapping(const SearchContext &ctx,
-                                     const SearchNode::ConstPtr &terminal);
+                                     const NodeRef &terminal);
 
 } // namespace toqm::core
 

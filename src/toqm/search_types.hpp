@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Re-exports the search kernel's types into `toqm::core`.
+ *
+ * The node model, pool allocator, frontier policies and run report
+ * live in `src/search/` (namespace `toqm::search`); the exact-mapper
+ * layer here consumes them heavily enough that spelling the
+ * namespace everywhere would only add noise, and existing code
+ * (tests, tools, baselines) already names them via `core::`.
+ */
+
+#ifndef TOQM_CORE_SEARCH_TYPES_HPP
+#define TOQM_CORE_SEARCH_TYPES_HPP
+
+#include "search/engine.hpp"
+#include "search/frontier.hpp"
+#include "search/node_pool.hpp"
+#include "search/search_context.hpp"
+#include "search/search_stats.hpp"
+
+namespace toqm::core {
+
+using search::Action;
+using search::NodePool;
+using search::NodeRef;
+using search::SearchContext;
+using search::SearchNode;
+using search::SearchStats;
+using search::SearchStatus;
+
+} // namespace toqm::core
+
+#endif // TOQM_CORE_SEARCH_TYPES_HPP

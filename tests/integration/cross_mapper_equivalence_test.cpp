@@ -1,0 +1,121 @@
+/**
+ * Cross-mapper equivalence: A*, IDA*, and the heuristic mapper all
+ * run over the SAME pooled search kernel now, so this suite pins the
+ * contract that matters — on seeded random circuits every mapper
+ * produces a structurally valid, semantically equivalent mapping;
+ * both exact mappers agree on the optimal cycle count; and the
+ * heuristic never beats it (it would be a soundness bug if it did).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "sim/statevector.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/ida_star.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm {
+namespace {
+
+struct Case
+{
+    ir::Circuit circuit;
+    arch::CouplingGraph graph;
+    const char *label;
+};
+
+std::vector<Case>
+seededCases()
+{
+    std::vector<Case> cases;
+    // LNN(5): the paper's linear topology; distance forces swaps.
+    for (std::uint64_t seed : {7u, 21u, 42u}) {
+        cases.push_back({ir::randomCircuit(4, 14, 0.5, seed, 0.5),
+                         arch::lnn(5), "lnn5"});
+    }
+    // IBM QX2: the 5-qubit bowtie used in Table 1.
+    for (std::uint64_t seed : {5u, 99u}) {
+        cases.push_back({ir::randomCircuit(5, 12, 0.45, seed, 0.0),
+                         arch::ibmQX2(), "qx2"});
+    }
+    return cases;
+}
+
+TEST(CrossMapperEquivalenceTest, AllMappersValidAndExactOnesAgree)
+{
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    for (const Case &k : seededCases()) {
+        SCOPED_TRACE(std::string(k.label) + "/" + k.circuit.name());
+
+        core::MapperConfig cfg;
+        cfg.latency = lat;
+        core::OptimalMapper astar(k.graph, cfg);
+        const auto a = astar.map(k.circuit);
+        ASSERT_TRUE(a.success);
+        ASSERT_EQ(a.status, core::SearchStatus::Solved);
+        EXPECT_TRUE(sim::verifyMapping(k.circuit, a.mapped, k.graph).ok);
+        EXPECT_TRUE(sim::semanticallyEquivalent(k.circuit, a.mapped));
+
+        const auto ida = core::idaStarMap(k.graph, k.circuit, lat);
+        ASSERT_TRUE(ida.success);
+        ASSERT_EQ(ida.status, core::SearchStatus::Solved);
+        EXPECT_TRUE(
+            sim::verifyMapping(k.circuit, ida.mapped, k.graph).ok);
+        EXPECT_TRUE(sim::semanticallyEquivalent(k.circuit, ida.mapped));
+        // Both searches are admissible: the optima must coincide even
+        // though the mapped circuits themselves may differ.
+        EXPECT_EQ(ida.cycles, a.cycles);
+
+        heuristic::HeuristicConfig hcfg;
+        hcfg.latency = lat;
+        heuristic::HeuristicMapper heur(k.graph, hcfg);
+        const auto h = heur.map(k.circuit);
+        ASSERT_TRUE(h.success);
+        ASSERT_EQ(h.status, core::SearchStatus::Solved);
+        EXPECT_TRUE(sim::verifyMapping(k.circuit, h.mapped, k.graph).ok);
+        EXPECT_TRUE(sim::semanticallyEquivalent(k.circuit, h.mapped));
+        // The approximate mapper may lose cycles but never gains any.
+        EXPECT_GE(h.cycles, a.cycles);
+    }
+}
+
+TEST(CrossMapperEquivalenceTest, StatsReportsAreCoherent)
+{
+    // The unified SearchStats contract: expansions happened, time was
+    // measured, and the pool's high-water marks are populated.
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    const ir::Circuit c = ir::randomCircuit(4, 14, 0.5, 7, 0.5);
+    const auto g = arch::lnn(5);
+
+    core::MapperConfig cfg;
+    cfg.latency = lat;
+    const auto a = core::OptimalMapper(g, cfg).map(c);
+    ASSERT_TRUE(a.success);
+    EXPECT_GT(a.stats.expanded, 0u);
+    EXPECT_GT(a.stats.generated, a.stats.expanded);
+    EXPECT_GT(a.stats.maxQueueSize, 0u);
+    EXPECT_GT(a.stats.peakPoolBytes, 0u);
+    EXPECT_GT(a.stats.peakLiveNodes, 0u);
+    EXPECT_GE(a.stats.seconds, 0.0);
+
+    const auto ida = core::idaStarMap(g, c, lat);
+    ASSERT_TRUE(ida.success);
+    EXPECT_GT(ida.stats.expanded, 0u);
+    EXPECT_GE(ida.stats.rounds, 1);
+    EXPECT_GT(ida.stats.peakPoolBytes, 0u);
+
+    heuristic::HeuristicConfig hcfg;
+    hcfg.latency = lat;
+    const auto h = heuristic::HeuristicMapper(g, hcfg).map(c);
+    ASSERT_TRUE(h.success);
+    EXPECT_GT(h.stats.expanded, 0u);
+    EXPECT_GT(h.stats.peakPoolBytes, 0u);
+}
+
+} // namespace
+} // namespace toqm

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "search/node_pool.hpp"
+#include "search/search_context.hpp"
+
+namespace toqm::search {
+namespace {
+
+struct Fixture
+{
+    ir::Circuit circuit;
+    arch::CouplingGraph graph;
+    ir::LatencyModel latency;
+    SearchContext ctx;
+    NodePool pool;
+
+    Fixture()
+        : circuit(makeCircuit()), graph(arch::lnn(3)),
+          latency(ir::LatencyModel::qftPreset()),
+          ctx(circuit, graph, latency), pool(ctx)
+    {}
+
+    static ir::Circuit
+    makeCircuit()
+    {
+        ir::Circuit c(3);
+        c.addCX(0, 1);
+        c.addCX(1, 2);
+        return c;
+    }
+};
+
+TEST(NodePoolTest, RootInitializesMappingAndCounters)
+{
+    Fixture f;
+    NodeRef root = f.pool.root(ir::identityLayout(3), false);
+    ASSERT_TRUE(root);
+    EXPECT_EQ(root->cycle, 0);
+    EXPECT_EQ(root->scheduledGates, 0);
+    EXPECT_EQ(root->parent(), nullptr);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_EQ(root->log2phys()[q], q);
+        EXPECT_EQ(root->phys2log()[q], q);
+        EXPECT_EQ(root->busyUntil()[q], 0);
+        EXPECT_EQ(root->lastSwapPartner()[q], -1);
+    }
+    EXPECT_EQ(f.pool.liveNodes(), 1u);
+}
+
+TEST(NodePoolTest, NonInjectiveLayoutThrowsAndLeaksNothing)
+{
+    Fixture f;
+    EXPECT_THROW(f.pool.root({0, 0, 1}, false), std::invalid_argument);
+    EXPECT_THROW(f.pool.root({0, 1, 7}, false), std::invalid_argument);
+    // The failed slots were recycled, not leaked.
+    EXPECT_EQ(f.pool.liveNodes(), 0u);
+    NodeRef ok = f.pool.root(ir::identityLayout(3), false);
+    EXPECT_EQ(f.pool.liveNodes(), 1u);
+    EXPECT_GE(f.pool.recycledAllocations(), 1u);
+}
+
+TEST(NodePoolTest, RefCountingTracksCopiesAndMoves)
+{
+    Fixture f;
+    NodeRef root = f.pool.root(ir::identityLayout(3), false);
+    {
+        NodeRef copy = root;              // retain
+        NodeRef moved = std::move(copy);  // steal, no net change
+        EXPECT_TRUE(moved);
+        EXPECT_FALSE(copy); // NOLINT(bugprone-use-after-move)
+        EXPECT_EQ(f.pool.liveNodes(), 1u);
+    }
+    EXPECT_EQ(f.pool.liveNodes(), 1u); // root still referenced
+}
+
+TEST(NodePoolTest, ChildKeepsParentAliveUntilReleased)
+{
+    Fixture f;
+    NodeRef leaf;
+    {
+        NodeRef root = f.pool.root(ir::identityLayout(3), false);
+        NodeRef mid = f.pool.expand(root, 1, {Action{0, 0, 1}});
+        leaf = f.pool.expand(mid, 2, {});
+        EXPECT_EQ(f.pool.liveNodes(), 3u);
+    }
+    // Locals are gone but the whole chain is pinned through `leaf`.
+    EXPECT_EQ(f.pool.liveNodes(), 3u);
+    ASSERT_NE(leaf->parent(), nullptr);
+    EXPECT_EQ(leaf->parent()->parent()->cycle, 0);
+
+    leaf = NodeRef();
+    // Releasing the leaf unwinds the entire parent chain iteratively.
+    EXPECT_EQ(f.pool.liveNodes(), 0u);
+}
+
+TEST(NodePoolTest, ReleasedNodesAreRecycledNotReallocated)
+{
+    Fixture f;
+    NodeRef root = f.pool.root(ir::identityLayout(3), false);
+    const auto before = f.pool.totalAllocations();
+    for (int i = 0; i < 100; ++i) {
+        NodeRef child = f.pool.expand(root, 1, {Action{0, 0, 1}});
+        EXPECT_EQ(child->scheduledGates, 1);
+    }
+    // One slot serviced all 100 generations after the first.
+    EXPECT_EQ(f.pool.totalAllocations(), before + 100u);
+    EXPECT_GE(f.pool.recycledAllocations(), 99u);
+    EXPECT_EQ(f.pool.liveNodes(), 1u);
+}
+
+TEST(NodePoolTest, PeakStatsAreHighWaterMarks)
+{
+    Fixture f;
+    {
+        NodeRef root = f.pool.root(ir::identityLayout(3), false);
+        std::vector<NodeRef> keep;
+        for (int i = 0; i < 10; ++i)
+            keep.push_back(f.pool.expand(root, 1, {Action{0, 0, 1}}));
+        EXPECT_EQ(f.pool.liveNodes(), 11u);
+    }
+    EXPECT_EQ(f.pool.liveNodes(), 0u);
+    EXPECT_GE(f.pool.peakLiveNodes(), 11u);
+    EXPECT_GT(f.pool.peakBytes(), 0u);
+}
+
+TEST(NodePoolTest, SlabGrowthSurvivesThousandsOfLiveNodes)
+{
+    // More live nodes than one 256-node slab holds: exercises slab
+    // chaining and the destructor's per-slab teardown.
+    Fixture f;
+    NodeRef root = f.pool.root(ir::identityLayout(3), false);
+    std::vector<NodeRef> keep;
+    for (int i = 0; i < 2000; ++i)
+        keep.push_back(f.pool.expand(root, i + 1, {}));
+    EXPECT_EQ(f.pool.liveNodes(), 2001u);
+    EXPECT_EQ(keep.back()->cycle, 2000);
+    keep.clear();
+    EXPECT_EQ(f.pool.liveNodes(), 1u);
+}
+
+TEST(NodePoolTest, ExpandCopiesStateAndAppliesActions)
+{
+    Fixture f;
+    NodeRef root = f.pool.root(ir::identityLayout(3), false);
+    NodeRef swapped = f.pool.expand(root, 1, {Action{-1, 1, 2}});
+    EXPECT_EQ(swapped->parent(), root.get());
+    EXPECT_EQ(swapped->log2phys()[1], 2);
+    EXPECT_EQ(swapped->phys2log()[2], 1);
+    EXPECT_EQ(swapped->lastSwapPartner()[1], 2);
+    // The parent's buffers are untouched (copy, not alias).
+    EXPECT_EQ(root->log2phys()[1], 1);
+    EXPECT_EQ(root->phys2log()[2], 2);
+}
+
+TEST(NodePoolTest, CloneSiblingSharesParentNotIdentity)
+{
+    Fixture f;
+    NodeRef root = f.pool.root(ir::identityLayout(3), false);
+    NodeRef child = f.pool.expand(root, 1, {Action{0, 0, 1}});
+    NodeRef twin = f.pool.cloneSibling(child);
+    EXPECT_NE(twin.get(), child.get());
+    EXPECT_EQ(twin->parent(), child->parent());
+    EXPECT_EQ(twin->cycle, child->cycle);
+    EXPECT_EQ(twin->scheduledGates, child->scheduledGates);
+    EXPECT_EQ(twin->mappingHash(), child->mappingHash());
+    twin->dead = true;
+    EXPECT_FALSE(child->dead);
+}
+
+TEST(NodePoolTest, MappingHashDistinguishesPhases)
+{
+    Fixture f;
+    NodeRef placed = f.pool.root(ir::identityLayout(3), false);
+    NodeRef searching = f.pool.root(ir::identityLayout(3), true);
+    // Same occupancy, but the initial-phase salt keeps a committed
+    // node from colliding with its uncommitted twin in the filter.
+    EXPECT_NE(placed->mappingHash(), searching->mappingHash());
+}
+
+} // namespace
+} // namespace toqm::search

@@ -6,8 +6,7 @@
 #include "ir/generators.hpp"
 #include "toqm/cost_estimator.hpp"
 #include "toqm/expander.hpp"
-#include "toqm/search_context.hpp"
-#include "toqm/search_node.hpp"
+#include "toqm/search_types.hpp"
 
 namespace toqm::core {
 namespace {
@@ -19,7 +18,8 @@ TEST(CostEstimatorTest, EmptyCircuitCostsNothing)
     const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(2), false);
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(2), false);
     EXPECT_EQ(est.estimate(*root), 0);
 }
 
@@ -31,7 +31,8 @@ TEST(CostEstimatorTest, AdjacentGateCostsItsLatency)
     const ir::LatencyModel lat = ir::LatencyModel::ibmPreset();
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(2), false);
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(2), false);
     EXPECT_EQ(est.estimate(*root), 2);
 }
 
@@ -45,7 +46,8 @@ TEST(CostEstimatorTest, DistantGateChargedForSwaps)
     const ir::LatencyModel lat(1, 2, 6);
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(4), false);
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(4), false);
     EXPECT_EQ(est.estimate(*root), 6 + 2);
 }
 
@@ -71,14 +73,15 @@ TEST(CostEstimatorTest, PaperFig8NodeFCostsEight)
     ir::LatencyModel lat(1, 1, 3); // originals 1 cycle, swap 3
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
-    Expander expander(ctx);
+    NodePool pool(ctx);
+    Expander expander(ctx, pool);
 
-    auto root = SearchNode::root(ctx, ir::identityLayout(5), false);
+    auto root = pool.root(ir::identityLayout(5), false);
     // Schedule g1 (gate 0) and swap(Q3, Q4) at cycle 1.
     std::vector<Action> actions;
     actions.push_back({0, 0, -1});
     actions.push_back({-1, 3, 4});
-    auto node_f = SearchNode::expand(ctx, root, 1, actions);
+    auto node_f = pool.expand(root, 1, actions);
 
     EXPECT_EQ(node_f->cycle, 1);
     const int h = est.estimate(*node_f);
@@ -102,7 +105,8 @@ TEST(CostEstimatorTest, PaperFig9SlackAwareSplit)
     ir::LatencyModel lat(1, 1, 2); // swap = 2 cycles as in Fig 9
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(6), false);
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(6), false);
     EXPECT_EQ(est.estimate(*root), 7);
 }
 
@@ -114,9 +118,10 @@ TEST(CostEstimatorTest, ActiveGatesContributeRemainingTime)
     const ir::LatencyModel lat(1, 4, 6);
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(2), false);
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(2), false);
     std::vector<Action> actions{{0, 0, 1}};
-    auto node = SearchNode::expand(ctx, root, 1, actions);
+    auto node = pool.expand(root, 1, actions);
     // Gate runs cycles 1..4; at node cycle 1, 3 cycles remain.
     node->costH = est.estimate(*node);
     EXPECT_EQ(node->costH, 3);
@@ -140,8 +145,8 @@ TEST(CostEstimatorTest, NeverOverestimatesOnLowerBoundCheck)
         const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
         SearchContext ctx(c, g, lat);
         CostEstimator est(ctx);
-        auto root =
-            SearchNode::root(ctx, ir::identityLayout(k.n), false);
+        NodePool pool(ctx);
+        auto root = pool.root(ir::identityLayout(k.n), false);
         EXPECT_LE(est.estimate(*root), k.optimal) << "n=" << k.n;
         EXPECT_GE(est.estimate(*root), 2 * k.n - 3) << "n=" << k.n;
     }
@@ -155,7 +160,8 @@ TEST(CostEstimatorTest, HorizonBoundStaysAdmissible)
     SearchContext ctx(c, g, lat);
     CostEstimator full(ctx, -1);
     CostEstimator windowed(ctx, 3);
-    auto root = SearchNode::root(ctx, ir::identityLayout(6), false);
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(6), false);
     EXPECT_LE(windowed.estimate(*root), full.estimate(*root));
 }
 
@@ -167,8 +173,9 @@ TEST(CostEstimatorTest, UnmappedQubitsAreOptimistic)
     const ir::LatencyModel lat = ir::LatencyModel::ibmPreset();
     SearchContext ctx(c, g, lat);
     CostEstimator est(ctx);
+    NodePool pool(ctx);
     // No layout at all: distance treated as 1 (admissible).
-    auto root = SearchNode::root(ctx, {}, false);
+    auto root = pool.root({}, false);
     EXPECT_EQ(est.estimate(*root), 2);
 }
 

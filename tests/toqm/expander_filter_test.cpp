@@ -8,7 +8,7 @@
 #include "ir/generators.hpp"
 #include "toqm/expander.hpp"
 #include "toqm/filter.hpp"
-#include "toqm/search_context.hpp"
+#include "toqm/search_types.hpp"
 
 namespace toqm::core {
 namespace {
@@ -19,10 +19,11 @@ struct Fixture
     arch::CouplingGraph graph;
     ir::LatencyModel latency;
     SearchContext ctx;
+    NodePool pool;
 
     Fixture(ir::Circuit c, arch::CouplingGraph g, ir::LatencyModel lat)
         : circuit(std::move(c)), graph(std::move(g)),
-          latency(lat), ctx(circuit, graph, latency)
+          latency(lat), ctx(circuit, graph, latency), pool(ctx)
     {}
 };
 
@@ -39,8 +40,8 @@ cxChainFixture()
 TEST(ExpanderTest, ReadyGatesRespectCouplingAndDeps)
 {
     Fixture f = cxChainFixture();
-    Expander expander(f.ctx);
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    Expander expander(f.ctx, f.pool);
+    auto root = f.pool.root(ir::identityLayout(3), false);
     const auto ready = expander.readyGates(*root);
     // Only CX(0,1) is dependence-ready; CX(1,2) shares q1.
     ASSERT_EQ(ready.size(), 1u);
@@ -55,8 +56,8 @@ TEST(ExpanderTest, NonAdjacentGateNotReady)
     c.addCX(0, 2);
     Fixture f(std::move(c), arch::lnn(3),
               ir::LatencyModel::qftPreset());
-    Expander expander(f.ctx);
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    Expander expander(f.ctx, f.pool);
+    auto root = f.pool.root(ir::identityLayout(3), false);
     EXPECT_TRUE(expander.readyGates(*root).empty());
 }
 
@@ -68,25 +69,26 @@ TEST(ExpanderTest, CandidateSwapsAreIdleEdges)
     ir::LatencyModel slow(1, 5, 3);
     arch::CouplingGraph g = arch::lnn(3);
     SearchContext ctx(c, g, slow);
-    Expander expander(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(3), false);
+    NodePool pool(ctx);
+    Expander expander(ctx, pool);
+    auto root = pool.root(ir::identityLayout(3), false);
     EXPECT_EQ(expander.candidateSwaps(*root).size(), 2u);
 
     // CX(0,1) occupies qubits 0 and 1 through cycle 5: every edge
     // touches a busy qubit on this 3-qubit chain.
-    auto child = SearchNode::expand(ctx, root, 1, {Action{0, 0, 1}});
+    auto child = pool.expand(root, 1, {Action{0, 0, 1}});
     EXPECT_TRUE(expander.candidateSwaps(*child).empty());
 }
 
 TEST(ExpanderTest, CyclicSwapEliminated)
 {
     Fixture f = cxChainFixture();
-    Expander expander(f.ctx);
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    Expander expander(f.ctx, f.pool);
+    auto root = f.pool.root(ir::identityLayout(3), false);
     // swap(0,1) runs during cycle 1 (swap latency is 1 here); at
     // cycle 2 the identical swap must not be offered again.
     auto child =
-        SearchNode::expand(f.ctx, root, 1, {Action{-1, 0, 1}});
+        f.pool.expand(root, 1, {Action{-1, 0, 1}});
     const auto swaps = expander.candidateSwaps(*child);
     EXPECT_TRUE(std::none_of(swaps.begin(), swaps.end(),
                              [](const Action &a) {
@@ -106,8 +108,8 @@ TEST(ExpanderTest, SubsetsAreQubitDisjoint)
     c.addCX(2, 3);
     Fixture f(std::move(c), arch::lnn(4),
               ir::LatencyModel::qftPreset());
-    Expander expander(f.ctx);
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(4), false);
+    Expander expander(f.ctx, f.pool);
+    auto root = f.pool.root(ir::identityLayout(4), false);
     const auto expansion = expander.expand(root);
     for (const auto &child : expansion.children) {
         std::vector<int> used;
@@ -127,11 +129,12 @@ TEST(ExpanderTest, WaitChildJumpsToNextCompletion)
     Fixture f = cxChainFixture();
     ir::LatencyModel slow(1, 5, 6);
     SearchContext ctx(f.circuit, f.graph, slow);
-    Expander expander(ctx);
-    auto root = SearchNode::root(ctx, ir::identityLayout(3), false);
-    auto child = SearchNode::expand(ctx, root, 1, {Action{0, 0, 1}});
+    NodePool pool(ctx);
+    Expander expander(ctx, pool);
+    auto root = pool.root(ir::identityLayout(3), false);
+    auto child = pool.expand(root, 1, {Action{0, 0, 1}});
     const auto expansion = expander.expand(child);
-    ASSERT_TRUE(expansion.waitChild != nullptr);
+    ASSERT_TRUE(expansion.waitChild);
     EXPECT_EQ(expansion.waitChild->cycle, 5); // gate busy through 5
     EXPECT_TRUE(expansion.waitChild->actions.empty());
 }
@@ -141,8 +144,8 @@ TEST(ExpanderTest, ConstrainedModeNeverMixes)
     Fixture f = cxChainFixture();
     ExpanderConfig cfg;
     cfg.allowConcurrentSwapAndGate = false;
-    Expander expander(f.ctx, cfg);
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    Expander expander(f.ctx, f.pool, cfg);
+    auto root = f.pool.root(ir::identityLayout(3), false);
     const auto expansion = expander.expand(root);
     for (const auto &child : expansion.children) {
         bool has_gate = false, has_swap = false;
@@ -163,10 +166,10 @@ TEST(ExpanderTest, RedundantDelayedStartPruned)
     c.addCX(0, 1);
     Fixture f(std::move(c), arch::lnn(4),
               ir::LatencyModel::qftPreset());
-    Expander expander(f.ctx);
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(4), false);
+    Expander expander(f.ctx, f.pool);
+    auto root = f.pool.root(ir::identityLayout(4), false);
     auto swap_only =
-        SearchNode::expand(f.ctx, root, 1, {Action{-1, 2, 3}});
+        f.pool.expand(root, 1, {Action{-1, 2, 3}});
     const auto expansion = expander.expand(swap_only);
     for (const auto &child : expansion.children) {
         bool only_the_gate =
@@ -179,7 +182,7 @@ TEST(ExpanderTest, RedundantDelayedStartPruned)
     // With redundancy elimination disabled (ablation), it IS kept.
     ExpanderConfig cfg;
     cfg.useRedundancyElimination = false;
-    Expander no_prune(f.ctx, cfg);
+    Expander no_prune(f.ctx, f.pool, cfg);
     const auto raw = no_prune.expand(swap_only);
     bool found = false;
     for (const auto &child : raw.children) {
@@ -193,9 +196,9 @@ TEST(ExpanderTest, RedundantDelayedStartPruned)
 TEST(FilterTest, DropsExactDuplicates)
 {
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
-    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
-    auto b = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    auto a = f.pool.expand(root, 1, {Action{0, 0, 1}});
+    auto b = f.pool.expand(root, 1, {Action{0, 0, 1}});
     Filter filter;
     EXPECT_TRUE(filter.admit(a));
     EXPECT_FALSE(filter.admit(b));
@@ -205,9 +208,9 @@ TEST(FilterTest, DropsExactDuplicates)
 TEST(FilterTest, KeepsDifferentMappings)
 {
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
-    auto a = SearchNode::expand(f.ctx, root, 1, {Action{-1, 0, 1}});
-    auto b = SearchNode::expand(f.ctx, root, 1, {Action{-1, 1, 2}});
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    auto a = f.pool.expand(root, 1, {Action{-1, 0, 1}});
+    auto b = f.pool.expand(root, 1, {Action{-1, 1, 2}});
     Filter filter;
     EXPECT_TRUE(filter.admit(a));
     EXPECT_TRUE(filter.admit(b));
@@ -217,10 +220,10 @@ TEST(FilterTest, DominatedNodeDropped)
 {
     // Same mapping, same progress, but B is one cycle later.
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
-    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
-    auto wait = SearchNode::expand(f.ctx, root, 1, {});
-    auto b = SearchNode::expand(f.ctx, wait, 2, {Action{0, 0, 1}});
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    auto a = f.pool.expand(root, 1, {Action{0, 0, 1}});
+    auto wait = f.pool.expand(root, 1, {});
+    auto b = f.pool.expand(wait, 2, {Action{0, 0, 1}});
     Filter filter;
     EXPECT_TRUE(filter.admit(a));
     EXPECT_FALSE(filter.admit(b));
@@ -229,10 +232,10 @@ TEST(FilterTest, DominatedNodeDropped)
 TEST(FilterTest, NewcomerKillsDominatedEntry)
 {
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
-    auto wait = SearchNode::expand(f.ctx, root, 1, {});
-    auto late = SearchNode::expand(f.ctx, wait, 2, {Action{0, 0, 1}});
-    auto early = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    auto wait = f.pool.expand(root, 1, {});
+    auto late = f.pool.expand(wait, 2, {Action{0, 0, 1}});
+    auto early = f.pool.expand(root, 1, {Action{0, 0, 1}});
     Filter filter;
     EXPECT_TRUE(filter.admit(late));
     EXPECT_TRUE(filter.admit(early));
@@ -243,9 +246,9 @@ TEST(FilterTest, NewcomerKillsDominatedEntry)
 TEST(FilterTest, ExemptNodesAreRecordedButNeverDropped)
 {
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
-    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
-    auto wait_b = SearchNode::expand(f.ctx, a, 2, {});
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    auto a = f.pool.expand(root, 1, {Action{0, 0, 1}});
+    auto wait_b = f.pool.expand(a, 2, {});
     Filter filter;
     EXPECT_TRUE(filter.admit(a));
     // wait_b equals a except for its cycle: dominated, but exempt.
@@ -255,9 +258,9 @@ TEST(FilterTest, ExemptNodesAreRecordedButNeverDropped)
 TEST(FilterTest, ClearResetsTable)
 {
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
-    auto a = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
-    auto b = SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    auto a = f.pool.expand(root, 1, {Action{0, 0, 1}});
+    auto b = f.pool.expand(root, 1, {Action{0, 0, 1}});
     Filter filter;
     EXPECT_TRUE(filter.admit(a));
     filter.clear();
@@ -267,10 +270,10 @@ TEST(FilterTest, ClearResetsTable)
 TEST(SearchNodeTest, ExpandTracksState)
 {
     Fixture f = cxChainFixture();
-    auto root = SearchNode::root(f.ctx, ir::identityLayout(3), false);
+    auto root = f.pool.root(ir::identityLayout(3), false);
 
     auto gate_child =
-        SearchNode::expand(f.ctx, root, 1, {Action{0, 0, 1}});
+        f.pool.expand(root, 1, {Action{0, 0, 1}});
     EXPECT_EQ(gate_child->scheduledGates, 1);
     EXPECT_EQ(gate_child->head()[0], 1);
     EXPECT_EQ(gate_child->head()[1], 1);
@@ -278,7 +281,7 @@ TEST(SearchNodeTest, ExpandTracksState)
     EXPECT_EQ(gate_child->costG, 1);
 
     auto swap_child =
-        SearchNode::expand(f.ctx, root, 1, {Action{-1, 1, 2}});
+        f.pool.expand(root, 1, {Action{-1, 1, 2}});
     // Post-swap mapping applied immediately.
     EXPECT_EQ(swap_child->log2phys()[1], 2);
     EXPECT_EQ(swap_child->log2phys()[2], 1);
@@ -292,8 +295,9 @@ TEST(SearchNodeTest, MakespanIsMaxBusy)
     Fixture f = cxChainFixture();
     ir::LatencyModel lat(1, 4, 6);
     SearchContext ctx(f.circuit, f.graph, lat);
-    auto root = SearchNode::root(ctx, ir::identityLayout(3), false);
-    auto child = SearchNode::expand(ctx, root, 1, {Action{0, 0, 1}});
+    NodePool pool(ctx);
+    auto root = pool.root(ir::identityLayout(3), false);
+    auto child = pool.expand(root, 1, {Action{0, 0, 1}});
     EXPECT_EQ(child->makespan(), 4);
 }
 

@@ -20,7 +20,7 @@ TEST(IdaStarTest, AdjacentCircuitNoSwaps)
     EXPECT_EQ(res.mapped.physical.numSwaps(), 0);
     EXPECT_EQ(res.cycles,
               ir::idealCycles(c, ir::LatencyModel::ibmPreset()));
-    EXPECT_EQ(res.rounds, 1); // h(root) is exact here
+    EXPECT_EQ(res.stats.rounds, 1); // h(root) is exact here
 }
 
 TEST(IdaStarTest, MatchesAStarOnSmallInstances)
@@ -64,7 +64,7 @@ TEST(IdaStarTest, DeepeningRoundsGrowTheBound)
         idaStarMap(g, c, ir::LatencyModel(1, 2, 6));
     ASSERT_TRUE(res.success);
     EXPECT_EQ(res.cycles, 8); // one swap round (6) + CX (2)
-    EXPECT_GE(res.rounds, 1);
+    EXPECT_GE(res.stats.rounds, 1);
 }
 
 TEST(IdaStarTest, ConstrainedModeMatchesAStar)
@@ -91,7 +91,8 @@ TEST(IdaStarTest, BudgetExhaustionReportsFailure)
     const auto res = idaStarMap(g, c, ir::LatencyModel::qftPreset(),
                                 true, /*max_expanded=*/50);
     EXPECT_FALSE(res.success);
-    EXPECT_LE(res.expanded, 60u);
+    EXPECT_EQ(res.status, SearchStatus::BudgetExhausted);
+    EXPECT_LE(res.stats.expanded, 60u);
 }
 
 } // namespace

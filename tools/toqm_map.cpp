@@ -17,6 +17,8 @@
  *     --all-optimal      optimal mode: report #optimal solutions
  *     --max-nodes N      optimal mode node budget
  *     --stats            print mapping statistics to stderr
+ *     --stats-json       print the unified search-kernel run report
+ *                        as one JSON line to stderr
  *     --verify           verify structurally (and semantically if
  *                        the circuit is small enough)
  *     --timeline         print a cycle-occupancy chart to stderr
@@ -28,6 +30,10 @@
  *                        initial position (token swapping)
  *     --enforce-directions  rewrite wrong-way CXs for devices with
  *                        directed links (ibmqx2 calibration)
+ *
+ * Exit codes: 0 success, 1 generic error, 2 usage, 3 verification
+ * failure, 4 node budget exhausted (instance may be solvable with a
+ * larger --max-nodes), 5 instance proven unsolvable.
  */
 
 #include <cstdio>
@@ -47,6 +53,7 @@
 #include "ir/schedule.hpp"
 #include "qasm/importer.hpp"
 #include "qasm/writer.hpp"
+#include "search/search_stats.hpp"
 #include "sim/statevector.hpp"
 #include "sim/verifier.hpp"
 #include "toqm/initial_layout.hpp"
@@ -65,6 +72,7 @@ struct Options
     bool noMixing = false;
     bool allOptimal = false;
     bool stats = false;
+    bool statsJson = false;
     bool verify = false;
     bool timeline = false;
     bool emitDot = false;
@@ -85,7 +93,7 @@ usage(const char *argv0, int code)
                  "       [--latency 1q,2q,swap] [--search-initial] "
                  "[--no-mixing]\n"
                  "       [--all-optimal] [--max-nodes N] [--stats] "
-                 "[--verify] [--timeline]\n"
+                 "[--stats-json] [--verify] [--timeline]\n"
                  "       [--layout auto|greedy|annealed] [--dot] "
                  "[--json]\n"
                  "       [input.qasm]\n",
@@ -124,6 +132,8 @@ parseArgs(int argc, char **argv)
             opt.maxNodes = std::stoull(next());
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg == "--stats-json") {
+            opt.statsJson = true;
         } else if (arg == "--verify") {
             opt.verify = true;
         } else if (arg == "--timeline") {
@@ -192,12 +202,28 @@ main(int argc, char **argv)
             config.maxExpandedNodes = opt.maxNodes;
             core::OptimalMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
+            if (opt.statsJson) {
+                std::fputs(search::statsJsonLine(
+                               res.stats, "optimal", res.status,
+                               res.cycles,
+                               res.mapped.physical.numSwaps())
+                               .c_str(),
+                           stderr);
+            }
             if (!res.success) {
+                if (res.status ==
+                    search::SearchStatus::BudgetExhausted) {
+                    std::fprintf(
+                        stderr,
+                        "error: node budget exhausted before an "
+                        "optimal solution was proven; raise "
+                        "--max-nodes or use --mapper heuristic\n");
+                    return 4;
+                }
                 std::fprintf(stderr,
-                             "error: node budget exhausted before an "
-                             "optimal solution was proven; raise "
-                             "--max-nodes or use --mapper heuristic\n");
-                return 1;
+                             "error: instance is unsolvable on this "
+                             "device\n");
+                return 5;
             }
             mapped = res.mapped;
             if (opt.stats) {
@@ -219,10 +245,21 @@ main(int argc, char **argv)
             config.latency = latency;
             heuristic::HeuristicMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
+            if (opt.statsJson) {
+                std::fputs(search::statsJsonLine(
+                               res.stats, "heuristic", res.status,
+                               res.cycles,
+                               res.mapped.physical.numSwaps())
+                               .c_str(),
+                           stderr);
+            }
             if (!res.success) {
                 std::fprintf(stderr, "error: heuristic search "
                              "failed\n");
-                return 1;
+                return res.status ==
+                               search::SearchStatus::BudgetExhausted
+                           ? 4
+                           : 1;
             }
             mapped = res.mapped;
             if (opt.stats) {
@@ -240,6 +277,19 @@ main(int argc, char **argv)
                 return 1;
             }
             mapped = res.mapped;
+            if (opt.statsJson) {
+                // SABRE predates the search kernel: no node counts,
+                // but the line shape stays uniform for consumers.
+                std::fputs(
+                    search::statsJsonLine(
+                        search::SearchStats{}, "sabre",
+                        search::SearchStatus::Solved,
+                        ir::scheduleAsap(mapped.physical, latency)
+                            .makespan,
+                        res.swapCount)
+                        .c_str(),
+                    stderr);
+            }
             if (opt.stats) {
                 std::fprintf(
                     stderr, "sabre: %d cycles, %d swaps\n",
@@ -255,6 +305,17 @@ main(int argc, char **argv)
                 return 1;
             }
             mapped = res.mapped;
+            if (opt.statsJson) {
+                std::fputs(
+                    search::statsJsonLine(
+                        res.stats, "zulehner",
+                        search::SearchStatus::Solved,
+                        ir::scheduleAsap(mapped.physical, latency)
+                            .makespan,
+                        res.swapCount)
+                        .c_str(),
+                    stderr);
+            }
             if (opt.stats) {
                 std::fprintf(
                     stderr, "zulehner: %d cycles, %d swaps\n",
