@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "search/search_stats.hpp"
 
 namespace toqm::bench {
@@ -40,8 +41,60 @@ banner(const std::string &title)
 }
 
 /**
+ * The registry behind the bench harness's machine-readable output.
+ * Set TOQM_BENCH_METRICS_JSON=<path> and the accumulated snapshot is
+ * written there when the binary exits — the exact MetricsRegistry
+ * shape `toqm_map --metrics-json` emits, so one scraper serves both.
+ */
+inline obs::MetricsRegistry &
+benchMetrics()
+{
+    static obs::MetricsRegistry registry;
+    static const bool flusher = [] {
+        return std::atexit([] {
+                   const char *path =
+                       std::getenv("TOQM_BENCH_METRICS_JSON");
+                   if (path == nullptr || benchMetrics().empty())
+                       return;
+                   std::FILE *f = std::fopen(path, "wb");
+                   if (f == nullptr)
+                       return;
+                   const std::string snap =
+                       benchMetrics().snapshotJson();
+                   std::fwrite(snap.data(), 1, snap.size(), f);
+                   std::fputc('\n', f);
+                   std::fclose(f);
+               }) == 0;
+    }();
+    (void)flusher;
+    return registry;
+}
+
+/**
+ * Accumulate one mapper run into benchMetrics(), in the same
+ * `search.<label>.*` key shape the in-process SearchProbe flushes,
+ * so bench artifacts and --metrics-json artifacts diff cleanly.
+ */
+inline void
+recordSearchStats(const char *label, const search::SearchStats &stats)
+{
+    obs::MetricsRegistry &m = benchMetrics();
+    const std::string prefix = std::string("search.") + label;
+    m.add(prefix + ".runs", 1);
+    m.add(prefix + ".expanded", stats.expanded);
+    m.add(prefix + ".generated", stats.generated);
+    m.add(prefix + ".filtered", stats.filtered);
+    m.setGauge(prefix + ".max_queue",
+               static_cast<double>(stats.maxQueueSize));
+    m.setGauge(prefix + ".peak_pool_bytes",
+               static_cast<double>(stats.peakPoolBytes));
+    m.setGauge(prefix + ".seconds", stats.seconds);
+}
+
+/**
  * One-line footer for a mapper run's unified search report (every
- * mapper now returns the same search::SearchStats shape).
+ * mapper now returns the same search::SearchStats shape).  Also
+ * feeds benchMetrics() so the run lands in the JSON artifact.
  */
 inline void
 printSearchStats(const char *label, const search::SearchStats &stats)
@@ -56,6 +109,7 @@ printSearchStats(const char *label, const search::SearchStats &stats)
                 static_cast<double>(stats.peakPoolBytes) /
                     (1024.0 * 1024.0),
                 stats.seconds);
+    recordSearchStats(label, stats);
 }
 
 /** Geometric mean accumulator for speedup summaries. */

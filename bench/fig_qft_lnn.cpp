@@ -49,6 +49,7 @@ main()
                         res.stats.expanded),
                     res.stats.seconds, pattern.depth(), note);
         std::fflush(stdout);
+        bench::recordSearchStats("fig_qft_lnn", res.stats);
     }
 
     std::printf("\ngeneralized butterfly (Fig 13a) validity and "

@@ -17,6 +17,8 @@
 #include "heuristic/heuristic_mapper.hpp"
 #include "ir/generators.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "obs/observer.hpp"
+#include "obs/search_probe.hpp"
 #include "qasm/importer.hpp"
 #include "qasm/writer.hpp"
 #include "sim/stabilizer.hpp"
@@ -170,6 +172,69 @@ BM_NodeGenerationPooled(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * kGenChildren);
 }
 BENCHMARK(BM_NodeGenerationPooled);
+
+/**
+ * The two sides of the observability overhead contract.  The
+ * baseline loop is the work an expansion site does anyway (bump a
+ * counter, track best-f); the probed loop adds the disabled-path
+ * `SearchProbe::onExpansion` call.  The contract (see
+ * src/obs/observer.hpp) is that the probed side stays within 2% of
+ * the baseline: one member test and a predictable branch.
+ */
+void
+BM_ObsProbeBaseline(benchmark::State &state)
+{
+    std::uint64_t expanded = 0;
+    double best_f = 0.0;
+    for (auto _ : state) {
+        ++expanded;
+        best_f += 0.5;
+        benchmark::DoNotOptimize(expanded);
+        benchmark::DoNotOptimize(best_f);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsProbeBaseline);
+
+void
+BM_ObsProbeDisabled(benchmark::State &state)
+{
+    obs::Observer::global().reset(); // every facility off
+    obs::SearchProbe probe("bench");
+    std::uint64_t expanded = 0;
+    double best_f = 0.0;
+    for (auto _ : state) {
+        ++expanded;
+        best_f += 0.5;
+        probe.onExpansion(expanded, best_f, 10, 20, 4096);
+        benchmark::DoNotOptimize(expanded);
+        benchmark::DoNotOptimize(best_f);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsProbeDisabled);
+
+/** The armed cost, for scale: tracing on, default 64-expansion
+ *  sampling cadence. */
+void
+BM_ObsProbeSampling(benchmark::State &state)
+{
+    obs::Observer::global().reset();
+    obs::Observer::global().enableTrace();
+    obs::SearchProbe probe("bench");
+    std::uint64_t expanded = 0;
+    double best_f = 0.0;
+    for (auto _ : state) {
+        ++expanded;
+        best_f += 0.5;
+        probe.onExpansion(expanded, best_f, 10, 20, 4096);
+        benchmark::DoNotOptimize(expanded);
+        benchmark::DoNotOptimize(best_f);
+    }
+    state.SetItemsProcessed(state.iterations());
+    obs::Observer::global().reset();
+}
+BENCHMARK(BM_ObsProbeSampling);
 
 void
 BM_OptimalMapperQft5Lnn(benchmark::State &state)

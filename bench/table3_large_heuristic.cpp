@@ -116,6 +116,7 @@ main()
                     zul_cycles, ours_res.cycles, s_sab, s_zul,
                     verified ? "" : "  VERIFY-FAIL");
         std::fflush(stdout);
+        bench::recordSearchStats("table3_heuristic", ours_res.stats);
     }
 
     std::printf("\ngeomean speedup over SABRE:    %.2fx  (paper: "

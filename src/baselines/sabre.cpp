@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ir/dag.hpp"
+#include "obs/observer.hpp"
 
 namespace toqm::baselines {
 
@@ -294,6 +295,7 @@ SabreResult
 SabreMapper::map(const ir::Circuit &logical,
                  std::optional<std::vector<int>> initial_layout) const
 {
+    const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     if (clean.numQubits() > _graph.numQubits())
         throw std::invalid_argument("SABRE: circuit wider than device");

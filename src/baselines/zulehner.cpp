@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+#include "obs/search_probe.hpp"
 #include "search/engine.hpp"
 #include "search/frontier.hpp"
 
@@ -71,6 +73,8 @@ ZulehnerMapper::map(const ir::Circuit &logical,
                     std::optional<std::vector<int>> initial_layout) const
 {
     const search::Stopwatch stopwatch;
+    const obs::PhaseScope obs_phase("search");
+    obs::SearchProbe probe("zulehner");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     const int nl = clean.numQubits();
     const int np = _graph.numQubits();
@@ -136,6 +140,9 @@ ZulehnerMapper::map(const ir::Circuit &logical,
             if (++popped > _config.perLayerNodeBudget)
                 break;
             ++result.stats.expanded;
+            probe.onExpansion(result.stats.expanded,
+                              static_cast<double>(node.g + node.h),
+                              open.size(), 0, 0);
             if (excess(layer, node.l2p) == 0) {
                 // Commit the swap sequence.
                 for (const auto &[p0, p1] : node.swaps) {
@@ -266,6 +273,12 @@ ZulehnerMapper::map(const ir::Circuit &logical,
 
     result.success = true;
     result.stats.seconds = stopwatch.seconds();
+    if (probe.active()) {
+        probe.finishRun(result.stats.expanded, result.stats.generated,
+                        result.stats.filtered,
+                        result.stats.maxQueueSize, 0,
+                        result.stats.seconds);
+    }
     const auto final_layout = ir::propagateLayout(phys, initial);
     result.mapped =
         ir::MappedCircuit(std::move(phys), initial, final_layout);

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "ir/schedule.hpp"
+#include "obs/observer.hpp"
 #include "toqm/cost_estimator.hpp"
 #include "toqm/filter.hpp"
 #include "toqm/mapper.hpp"
@@ -94,6 +95,8 @@ class Run
         QueueEngine engine(
             _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
                        NodeOrder{_config.hWeight, _config.routeWeight}));
+        engine.bindProbe("heuristic");
+        const NodeOrder order{_config.hWeight, _config.routeWeight};
         NodeRef terminal;
         engine.push(root);
 
@@ -102,7 +105,7 @@ class Run
                 terminal = node;
                 break;
             }
-            ++engine.stats().expanded;
+            engine.noteExpansion(order.weightedF(node));
             if (_config.maxExpandedNodes != 0 &&
                 engine.stats().expanded > _config.maxExpandedNodes) {
                 result.status = SearchStatus::BudgetExhausted;
@@ -133,6 +136,8 @@ class Run
         QueueEngine engine(
             _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
                        NodeOrder{_config.hWeight, _config.routeWeight}));
+        engine.bindProbe("heuristic");
+        const NodeOrder order{_config.hWeight, _config.routeWeight};
         NodeRef committed = root;
         NodeRef terminal;
         int budget = _config.episodeBudget;
@@ -160,7 +165,7 @@ class Run
                     terminal = node;
                     break;
                 }
-                ++engine.stats().expanded;
+                engine.noteExpansion(order.weightedF(node));
                 expandInto(node, engine);
             }
             if (terminal)
@@ -283,6 +288,7 @@ class Run
     beamSearch(const NodeRef &root, HeuristicResult &result)
     {
         BeamEngine engine(_pool);
+        engine.bindProbe("heuristic");
         search::BeamFrontier &beam = engine.frontier();
         beam.assign({root});
         NodeRef terminal;
@@ -307,7 +313,7 @@ class Run
                     continue;
                 }
                 all_terminal = false;
-                ++engine.stats().expanded;
+                engine.noteExpansion(order.weightedF(node));
                 for (NodeRef &child :
                      generateChildren(node, engine.stats())) {
                     engine.push(std::move(child));
@@ -773,6 +779,7 @@ HeuristicResult
 HeuristicMapper::map(const ir::Circuit &logical,
                      std::optional<std::vector<int>> initial_layout) const
 {
+    const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, _graph, _config.latency);
     Run run(ctx, _graph, _config);

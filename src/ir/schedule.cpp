@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "dag.hpp"
+#include "obs/observer.hpp"
 
 namespace toqm::ir {
 
@@ -19,6 +20,7 @@ Schedule::finishCycle(int i, const Circuit &circuit,
 Schedule
 scheduleAsap(const Circuit &circuit, const LatencyModel &lat)
 {
+    const obs::PhaseScope obs_phase("schedule");
     const DependencyDag dag(circuit);
     Schedule sched;
     sched.startCycle = dag.asapStart(lat);

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ring-buffered trace-event sink — the hot half of `toqm_obs`.
+ *
+ * Recording an event is an index increment plus a 24-byte store into
+ * a pre-allocated ring: no locks, no allocation, no I/O.  When the
+ * ring wraps, the OLDEST events are overwritten (and counted as
+ * dropped) so a bounded buffer always holds the most recent window
+ * of a run — the right bias for debugging where a long search spent
+ * its time.
+ *
+ * Event names must be string literals (or otherwise outlive the
+ * sink): the ring stores the pointer, never a copy.
+ */
+
+#ifndef TOQM_OBS_EVENT_SINK_HPP
+#define TOQM_OBS_EVENT_SINK_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace toqm::obs {
+
+/** One recorded observation, timestamped in microseconds. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t {
+        /** Phase span opens ("B" in Chrome trace terms). */
+        Begin,
+        /** Phase span closes ("E"). */
+        End,
+        /** Point-in-time marker ("i"). */
+        Instant,
+        /** Sampled counter track value ("C"), e.g. frontier size. */
+        Gauge,
+    };
+
+    Kind kind = Kind::Instant;
+    /** Static string; the sink stores the pointer only. */
+    const char *name = "";
+    /** Microseconds since the observer's epoch (monotonic). */
+    std::uint64_t ts = 0;
+    /** Gauge value; unused for spans and instants. */
+    double value = 0.0;
+};
+
+class EventSink
+{
+  public:
+    explicit EventSink(std::size_t capacity)
+        : _ring(capacity > 0 ? capacity : 1)
+    {}
+
+    std::size_t capacity() const { return _ring.size(); }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const
+    {
+        return _total < _ring.size()
+                   ? static_cast<std::size_t>(_total)
+                   : _ring.size();
+    }
+
+    /** Events overwritten because the ring wrapped. */
+    std::uint64_t dropped() const
+    {
+        return _total < _ring.size() ? 0 : _total - _ring.size();
+    }
+
+    std::uint64_t totalRecorded() const { return _total; }
+
+    void
+    record(const TraceEvent &event)
+    {
+        _ring[static_cast<std::size_t>(_total % _ring.size())] = event;
+        ++_total;
+    }
+
+    /** Visit held events oldest -> newest. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        const std::size_t n = size();
+        const std::uint64_t start = _total - n;
+        for (std::size_t i = 0; i < n; ++i) {
+            fn(_ring[static_cast<std::size_t>((start + i) %
+                                              _ring.size())]);
+        }
+    }
+
+    void
+    clear()
+    {
+        _total = 0;
+    }
+
+  private:
+    std::vector<TraceEvent> _ring;
+    /** Events ever recorded; ring position is _total % capacity. */
+    std::uint64_t _total = 0;
+};
+
+} // namespace toqm::obs
+
+#endif // TOQM_OBS_EVENT_SINK_HPP

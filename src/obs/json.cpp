@@ -1,0 +1,338 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace toqm::obs::json {
+
+bool
+Value::asBool() const
+{
+    if (_type != Type::Bool)
+        throw std::runtime_error("json: not a bool");
+    return _bool;
+}
+
+double
+Value::asNumber() const
+{
+    if (_type != Type::Number)
+        throw std::runtime_error("json: not a number");
+    return _number;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (_type != Type::String)
+        throw std::runtime_error("json: not a string");
+    return _string;
+}
+
+const std::vector<ValuePtr> &
+Value::asArray() const
+{
+    if (_type != Type::Array)
+        throw std::runtime_error("json: not an array");
+    return _array;
+}
+
+const std::map<std::string, ValuePtr> &
+Value::asObject() const
+{
+    if (_type != Type::Object)
+        throw std::runtime_error("json: not an object");
+    return _object;
+}
+
+ValuePtr
+Value::get(const std::string &key) const
+{
+    if (_type != Type::Object)
+        return nullptr;
+    const auto it = _object.find(key);
+    return it == _object.end() ? nullptr : it->second;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return get(key) != nullptr;
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    ValuePtr
+    document()
+    {
+        ValuePtr v = value();
+        skipWs();
+        if (_pos != _text.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("json: " + what + " at offset " +
+                                 std::to_string(_pos));
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (_pos >= _text.size())
+            fail("unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++_pos;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t n = 0;
+        while (lit[n] != '\0')
+            ++n;
+        if (_text.compare(_pos, n, lit) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    ValuePtr
+    value()
+    {
+        skipWs();
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return stringValue();
+          case 't': {
+            if (!consumeLiteral("true"))
+                fail("bad literal");
+            auto v = std::make_shared<Value>();
+            v->_type = Value::Type::Bool;
+            v->_bool = true;
+            return v;
+          }
+          case 'f': {
+            if (!consumeLiteral("false"))
+                fail("bad literal");
+            auto v = std::make_shared<Value>();
+            v->_type = Value::Type::Bool;
+            v->_bool = false;
+            return v;
+          }
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("bad literal");
+            return std::make_shared<Value>();
+          }
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return number();
+            fail("unexpected character");
+        }
+    }
+
+    ValuePtr
+    object()
+    {
+        expect('{');
+        auto v = std::make_shared<Value>();
+        v->_type = Value::Type::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            const std::string key = parseString();
+            skipWs();
+            expect(':');
+            v->_object[key] = value();
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    ValuePtr
+    array()
+    {
+        expect('[');
+        auto v = std::make_shared<Value>();
+        v->_type = Value::Type::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        for (;;) {
+            v->_array.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                ++_pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    ValuePtr
+    stringValue()
+    {
+        auto v = std::make_shared<Value>();
+        v->_type = Value::Type::String;
+        v->_string = parseString();
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (_pos >= _text.size())
+                fail("unterminated string");
+            const char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (_pos >= _text.size())
+                fail("unterminated escape");
+            const char e = _text[_pos++];
+            switch (e) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    fail("bad \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = _text[_pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (no surrogate
+                // pairing: the artifacts only contain ASCII).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    ValuePtr
+    number()
+    {
+        const std::size_t start = _pos;
+        if (peek() == '-')
+            ++_pos;
+        while (_pos < _text.size() &&
+               (std::isdigit(static_cast<unsigned char>(_text[_pos])) ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-')) {
+            ++_pos;
+        }
+        const std::string token = _text.substr(start, _pos - start);
+        char *end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end == token.c_str() || *end != '\0')
+            fail("bad number");
+        auto v = std::make_shared<Value>();
+        v->_type = Value::Type::Number;
+        v->_number = d;
+        return v;
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+ValuePtr
+parse(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+} // namespace toqm::obs::json

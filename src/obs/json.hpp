@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A minimal recursive-descent JSON parser.
+ *
+ * Exists so the observability artifacts (`--trace`, `--metrics-json`,
+ * `--stats-json`) can be validated by the test suite and the
+ * `toqm_obs_check` CI tool without any external dependency.  It
+ * parses the full JSON grammar into a tree of `Value`s; it does NOT
+ * aim to be fast or to preserve number fidelity beyond double.
+ *
+ * Errors throw `std::runtime_error` with a byte offset.
+ */
+
+#ifndef TOQM_OBS_JSON_HPP
+#define TOQM_OBS_JSON_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace toqm::obs::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+class Value
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type() const { return _type; }
+
+    bool isNull() const { return _type == Type::Null; }
+
+    bool isBool() const { return _type == Type::Bool; }
+
+    bool isNumber() const { return _type == Type::Number; }
+
+    bool isString() const { return _type == Type::String; }
+
+    bool isArray() const { return _type == Type::Array; }
+
+    bool isObject() const { return _type == Type::Object; }
+
+    /** Typed accessors; throw std::runtime_error on mismatch. @{ */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<ValuePtr> &asArray() const;
+    const std::map<std::string, ValuePtr> &asObject() const;
+    /** @} */
+
+    /** Object member or nullptr (also nullptr for non-objects). */
+    ValuePtr get(const std::string &key) const;
+
+    /** True when the object has member @p key. */
+    bool has(const std::string &key) const;
+
+  private:
+    friend ValuePtr parse(const std::string &);
+    friend class Parser;
+
+    Type _type = Type::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<ValuePtr> _array;
+    std::map<std::string, ValuePtr> _object;
+};
+
+/** Parse one JSON document (trailing garbage is an error). */
+ValuePtr parse(const std::string &text);
+
+} // namespace toqm::obs::json
+
+#endif // TOQM_OBS_JSON_HPP

@@ -1,0 +1,115 @@
+#include "metrics.hpp"
+
+#include <cstdio>
+
+namespace toqm::obs {
+
+namespace {
+
+/** Append @p s as a JSON string literal (with escaping). */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+MetricsRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    _counters[name] += delta;
+}
+
+std::uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    const auto it = _counters.find(name);
+    return it == _counters.end() ? 0 : it->second;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    _gauges[name] = value;
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    const auto it = _gauges.find(name);
+    return it == _gauges.end() ? 0.0 : it->second;
+}
+
+void
+MetricsRegistry::clear()
+{
+    _counters.clear();
+    _gauges.clear();
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::string out;
+    out.reserve(128 + 48 * (_counters.size() + _gauges.size()));
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"schemaVersion\":%d,\"generator\":\"toqm_obs\"",
+                  kSchemaVersion);
+    out += buf;
+
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto &[name, value] : _counters) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        std::snprintf(buf, sizeof(buf), ":%llu",
+                      static_cast<unsigned long long>(value));
+        out += buf;
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : _gauges) {
+        if (!first)
+            out += ',';
+        first = false;
+        appendJsonString(out, name);
+        std::snprintf(buf, sizeof(buf), ":%.6g", value);
+        out += buf;
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace toqm::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * `MetricsRegistry` — named monotonic counters and last-value gauges
+ * with a versioned JSON snapshot.
+ *
+ * The registry is the cold half of `toqm_obs`: hot paths batch their
+ * observations (the search probe samples every N expansions, phase
+ * scopes record once per phase) and flush aggregate numbers here, so
+ * map lookups never sit on a per-node path.  The snapshot shape is a
+ * stable contract consumed by `toqm_map --metrics-json`, the bench
+ * harness footers and CI artifact checkers:
+ *
+ *   {"schemaVersion":1,"generator":"toqm_obs",
+ *    "counters":{"search.expanded":123,...},
+ *    "gauges":{"search.seconds":0.42,...}}
+ *
+ * Keys are emitted in sorted order, so snapshots of identical runs
+ * are byte-identical and machine-diffable.
+ */
+
+#ifndef TOQM_OBS_METRICS_HPP
+#define TOQM_OBS_METRICS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace toqm::obs {
+
+class MetricsRegistry
+{
+  public:
+    /** Version of the snapshot JSON shape. Bump on key changes. */
+    static constexpr int kSchemaVersion = 1;
+
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, std::uint64_t delta);
+
+    /** Increment counter @p name by one. */
+    void increment(const std::string &name) { add(name, 1); }
+
+    /** Current counter value (0 when never touched). */
+    std::uint64_t counter(const std::string &name) const;
+
+    /** Set gauge @p name to its latest observation. */
+    void setGauge(const std::string &name, double value);
+
+    /** Latest gauge value (0.0 when never set). */
+    double gauge(const std::string &name) const;
+
+    bool empty() const { return _counters.empty() && _gauges.empty(); }
+
+    void clear();
+
+    /** The versioned snapshot described in the file comment. */
+    std::string snapshotJson() const;
+
+  private:
+    std::map<std::string, std::uint64_t> _counters;
+    std::map<std::string, double> _gauges;
+};
+
+} // namespace toqm::obs
+
+#endif // TOQM_OBS_METRICS_HPP

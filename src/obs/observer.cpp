@@ -1,0 +1,188 @@
+#include "observer.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace toqm::obs {
+
+Observer &
+Observer::global()
+{
+    static Observer instance;
+    return instance;
+}
+
+void
+Observer::refreshActive()
+{
+    _active.store(_traceEnabled || _metricsEnabled ||
+                      _heartbeat.enabled(),
+                  std::memory_order_relaxed);
+}
+
+void
+Observer::enableTrace(std::size_t ring_capacity)
+{
+    _sink = EventSink(ring_capacity);
+    _traceEnabled = true;
+    refreshActive();
+}
+
+void
+Observer::enableMetrics()
+{
+    _metricsEnabled = true;
+    refreshActive();
+}
+
+void
+Observer::enableProgress(double interval_seconds, std::FILE *stream)
+{
+    _heartbeat = Heartbeat(interval_seconds, stream);
+    refreshActive();
+}
+
+void
+Observer::setSampleInterval(std::uint64_t every_n_expansions)
+{
+    _sampleInterval =
+        every_n_expansions > 0 ? every_n_expansions : 1;
+}
+
+void
+Observer::reset()
+{
+    _traceEnabled = false;
+    _metricsEnabled = false;
+    _sampleInterval = kDefaultSampleInterval;
+    _sink = EventSink(1);
+    _metrics.clear();
+    _heartbeat = Heartbeat();
+    _epoch = std::chrono::steady_clock::now();
+    refreshActive();
+}
+
+void
+Observer::beginSpan(const char *name, std::uint64_t ts)
+{
+    if (_traceEnabled)
+        _sink.record({TraceEvent::Kind::Begin, name, ts, 0.0});
+}
+
+void
+Observer::endSpan(const char *name, std::uint64_t begin_ts)
+{
+    const std::uint64_t end_ts = now();
+    if (_traceEnabled)
+        _sink.record({TraceEvent::Kind::End, name, end_ts, 0.0});
+    if (_metricsEnabled) {
+        _metrics.add(std::string("phase.") + name + ".micros",
+                     end_ts - begin_ts);
+        _metrics.increment(std::string("phase.") + name + ".count");
+    }
+}
+
+void
+Observer::instant(const char *name)
+{
+    if (_traceEnabled)
+        _sink.record({TraceEvent::Kind::Instant, name, now(), 0.0});
+}
+
+void
+Observer::gauge(const char *name, double value, std::uint64_t ts)
+{
+    if (_traceEnabled)
+        _sink.record({TraceEvent::Kind::Gauge, name, ts, value});
+}
+
+namespace {
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) >= 0x20) {
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+std::string
+Observer::traceJson() const
+{
+    // Chrome trace-event "JSON object format": one traceEvents array
+    // plus metadata.  B/E spans share pid/tid 1 so Perfetto stacks
+    // them on a single track; gauges become counter ("C") tracks.
+    std::string out;
+    out.reserve(96 + 96 * _sink.size());
+    out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+           "\"generator\":\"toqm_obs\",\"schemaVersion\":1,"
+           "\"droppedEvents\":";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(_sink.dropped()));
+    out += buf;
+    out += "},\"traceEvents\":[";
+
+    bool first = true;
+    _sink.forEach([&](const TraceEvent &e) {
+        if (!first)
+            out += ',';
+        first = false;
+        const char *ph = "i";
+        switch (e.kind) {
+          case TraceEvent::Kind::Begin:
+            ph = "B";
+            break;
+          case TraceEvent::Kind::End:
+            ph = "E";
+            break;
+          case TraceEvent::Kind::Instant:
+            ph = "i";
+            break;
+          case TraceEvent::Kind::Gauge:
+            ph = "C";
+            break;
+        }
+        out += "{\"name\":\"";
+        appendEscaped(out, e.name);
+        std::snprintf(buf, sizeof(buf),
+                      "\",\"ph\":\"%s\",\"ts\":%llu,\"pid\":1,"
+                      "\"tid\":1",
+                      ph, static_cast<unsigned long long>(e.ts));
+        out += buf;
+        if (e.kind == TraceEvent::Kind::Gauge) {
+            std::snprintf(buf, sizeof(buf),
+                          ",\"args\":{\"value\":%.6g}", e.value);
+            out += buf;
+        } else if (e.kind == TraceEvent::Kind::Instant) {
+            out += ",\"s\":\"t\"";
+        } else {
+            out += ",\"cat\":\"phase\"";
+        }
+        out += '}';
+    });
+    out += "]}";
+    return out;
+}
+
+bool
+Observer::writeTraceFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return false;
+    const std::string json = traceJson();
+    const bool ok =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    return (std::fclose(f) == 0) && ok;
+}
+
+} // namespace toqm::obs

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * `Observer` — the process-wide switchboard of `toqm_obs`.
+ *
+ * One global observer ties together the three observability
+ * facilities and their master switches:
+ *
+ *  - a ring-buffered trace-event sink exported as Chrome trace JSON
+ *    (`--trace FILE`, loadable in Perfetto / chrome://tracing),
+ *  - a `MetricsRegistry` snapshot (`--metrics-json`),
+ *  - a throttled stderr heartbeat for long runs (`--progress`).
+ *
+ * Overhead contract: with everything disabled (the default) the
+ * instrumented code paths cost ONE relaxed atomic load and a
+ * predictable branch per probe site — no clock reads, no allocation,
+ * no stores (`BM_ObsProbeDisabled` in bench/micro_benchmarks.cpp
+ * holds this under 2%).  Observation never influences search
+ * decisions: mapper results are bit-identical with observability on
+ * or off.
+ *
+ * Threading: configuration and recording are single-threaded, like
+ * the searches themselves.  The `enabled` flag is atomic only so the
+ * disabled fast path is well-defined if a future multi-threaded
+ * driver probes it concurrently.
+ *
+ * Compiling with -DTOQM_OBS_DISABLED removes even the branch: every
+ * probe site collapses to nothing.
+ */
+
+#ifndef TOQM_OBS_OBSERVER_HPP
+#define TOQM_OBS_OBSERVER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "event_sink.hpp"
+#include "metrics.hpp"
+#include "progress.hpp"
+
+namespace toqm::obs {
+
+class Observer
+{
+  public:
+    /** Default trace ring capacity (events). */
+    static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
+    /** Default search-gauge sampling cadence (expansions). */
+    static constexpr std::uint64_t kDefaultSampleInterval = 64;
+    /** Default heartbeat interval (seconds). */
+    static constexpr double kDefaultProgressInterval = 2.0;
+
+    /** The process-wide observer (disabled until configured). */
+    static Observer &global();
+
+    /** @name Master switches (cheap to query)
+     * @{ */
+    bool active() const
+    {
+        return _active.load(std::memory_order_relaxed);
+    }
+
+    bool traceEnabled() const { return _traceEnabled; }
+
+    bool metricsEnabled() const { return _metricsEnabled; }
+
+    bool progressEnabled() const { return _heartbeat.enabled(); }
+    /** @} */
+
+    /** @name Configuration (before a run; not thread-safe)
+     * @{ */
+    void enableTrace(std::size_t ring_capacity = kDefaultRingCapacity);
+    void enableMetrics();
+    void enableProgress(double interval_seconds = kDefaultProgressInterval,
+                        std::FILE *stream = stderr);
+    void setSampleInterval(std::uint64_t every_n_expansions);
+    /** Back to the fully-disabled state (drops all recorded data). */
+    void reset();
+    /** @} */
+
+    /** Microseconds since this observer was (re)initialised. */
+    std::uint64_t
+    now() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - _epoch)
+                .count());
+    }
+
+    std::uint64_t sampleInterval() const { return _sampleInterval; }
+
+    EventSink &sink() { return _sink; }
+
+    const EventSink &sink() const { return _sink; }
+
+    MetricsRegistry &metrics() { return _metrics; }
+
+    const MetricsRegistry &metrics() const { return _metrics; }
+
+    Heartbeat &heartbeat() { return _heartbeat; }
+
+    /** @name Recording (no-ops for disabled facilities)
+     * @{ */
+    void beginSpan(const char *name, std::uint64_t ts);
+    /** Closes a span opened at @p begin_ts; feeds phase metrics. */
+    void endSpan(const char *name, std::uint64_t begin_ts);
+    void instant(const char *name);
+    void gauge(const char *name, double value, std::uint64_t ts);
+    /** @} */
+
+    /** Render the sink as Chrome trace JSON (Perfetto-loadable). */
+    std::string traceJson() const;
+
+    /** Write traceJson() to @p path; false (with errno set) on I/O
+     *  failure. */
+    bool writeTraceFile(const std::string &path) const;
+
+  private:
+    Observer() = default;
+
+    void refreshActive();
+
+    std::atomic<bool> _active{false};
+    bool _traceEnabled = false;
+    bool _metricsEnabled = false;
+    std::uint64_t _sampleInterval = kDefaultSampleInterval;
+    std::chrono::steady_clock::time_point _epoch =
+        std::chrono::steady_clock::now();
+    EventSink _sink{1};
+    MetricsRegistry _metrics;
+    Heartbeat _heartbeat;
+};
+
+/**
+ * RAII phase timer: records a Begin/End span pair in the trace and
+ * accumulates `phase.<name>.micros` in the metrics registry.  With
+ * observability off, construction is one flag test.
+ *
+ * @p name must be a string literal (the sink keeps the pointer).
+ */
+class PhaseScope
+{
+  public:
+    explicit PhaseScope(const char *name)
+    {
+#ifndef TOQM_OBS_DISABLED
+        Observer &o = Observer::global();
+        if (o.active()) {
+            _name = name;
+            _begin = o.now();
+            o.beginSpan(name, _begin);
+        }
+#else
+        (void)name;
+#endif
+    }
+
+    ~PhaseScope()
+    {
+#ifndef TOQM_OBS_DISABLED
+        if (_name != nullptr)
+            Observer::global().endSpan(_name, _begin);
+#endif
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    const char *_name = nullptr;
+    std::uint64_t _begin = 0;
+};
+
+} // namespace toqm::obs
+
+#endif // TOQM_OBS_OBSERVER_HPP

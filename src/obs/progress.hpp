@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Throttled progress heartbeat for long mapping runs.
+ *
+ * The search probe asks `due(now)` at its sampling cadence; the
+ * heartbeat answers true at most once per interval, so a
+ * multi-minute exact-A* run prints a steady trickle of status lines
+ * instead of either silence or a firehose.  The throttle logic is a
+ * pure function of the timestamps passed in, which keeps it
+ * deterministic and directly unit-testable.
+ */
+
+#ifndef TOQM_OBS_PROGRESS_HPP
+#define TOQM_OBS_PROGRESS_HPP
+
+#include <cstdint>
+#include <cstdio>
+
+namespace toqm::obs {
+
+class Heartbeat
+{
+  public:
+    Heartbeat() = default;
+
+    /** A heartbeat printing to @p stream every @p interval seconds. */
+    Heartbeat(double interval_seconds, std::FILE *stream)
+        : _interval_us(interval_seconds > 0.0
+                           ? static_cast<std::uint64_t>(
+                                 interval_seconds * 1e6)
+                           : 1),
+          _stream(stream), _enabled(true)
+    {
+        _next_us = _interval_us;
+    }
+
+    bool enabled() const { return _enabled; }
+
+    std::uint64_t intervalMicros() const { return _interval_us; }
+
+    /**
+     * True when a beat is owed at time @p now_us (microseconds on
+     * the observer clock); arms the next beat one full interval
+     * later.  The first beat comes one interval after start — a run
+     * shorter than the interval stays silent.
+     */
+    bool
+    due(std::uint64_t now_us)
+    {
+        if (!_enabled || now_us < _next_us)
+            return false;
+        _next_us = now_us + _interval_us;
+        return true;
+    }
+
+    /** Printf-style status line, prefixed and newline-terminated. */
+    template <typename... Args>
+    void
+    emit(const char *format, Args... args)
+    {
+        if (_stream == nullptr)
+            return;
+        std::fputs("[toqm] ", _stream);
+        std::fprintf(_stream, format, args...);
+        std::fputc('\n', _stream);
+        std::fflush(_stream);
+        ++_beats;
+    }
+
+    std::uint64_t beats() const { return _beats; }
+
+  private:
+    std::uint64_t _interval_us = 0;
+    std::uint64_t _next_us = 0;
+    std::FILE *_stream = nullptr;
+    std::uint64_t _beats = 0;
+    bool _enabled = false;
+};
+
+} // namespace toqm::obs
+
+#endif // TOQM_OBS_PROGRESS_HPP

@@ -1,0 +1,95 @@
+#include "search_probe.hpp"
+
+#include <string>
+
+#include "observer.hpp"
+
+namespace toqm::obs {
+
+SearchProbe::SearchProbe(const char *mapper)
+{
+    const Observer &o = Observer::global();
+    if (!o.active())
+        return;
+    _interval = o.sampleInterval();
+    _countdown = 1; // the first expansion always samples
+    _mapper = mapper;
+    Observer::global().instant("search.start");
+}
+
+void
+SearchProbe::sample(std::uint64_t expanded, double best_f,
+                    std::size_t frontier_size,
+                    std::uint64_t live_nodes, std::uint64_t pool_bytes)
+{
+    Observer &o = Observer::global();
+    const std::uint64_t ts = o.now();
+
+    double rate = 0.0;
+    if (ts > _lastTs) {
+        rate = static_cast<double>(expanded - _lastExpanded) * 1e6 /
+               static_cast<double>(ts - _lastTs);
+    }
+    _lastTs = ts;
+    _lastExpanded = expanded;
+
+    if (o.traceEnabled()) {
+        o.gauge("search.expanded", static_cast<double>(expanded), ts);
+        o.gauge("search.frontier",
+                static_cast<double>(frontier_size), ts);
+        o.gauge("search.live_nodes", static_cast<double>(live_nodes),
+                ts);
+        o.gauge("search.pool_bytes", static_cast<double>(pool_bytes),
+                ts);
+        o.gauge("search.best_f", best_f, ts);
+        if (rate > 0.0)
+            o.gauge("search.expansions_per_s", rate, ts);
+    }
+
+    if (o.heartbeat().due(ts)) {
+        o.heartbeat().emit(
+            "search(%s): expanded=%llu (%.3g/s) frontier=%zu "
+            "live=%llu pool=%.1fMiB best-f=%.6g t=%.1fs",
+            _mapper, static_cast<unsigned long long>(expanded), rate,
+            frontier_size, static_cast<unsigned long long>(live_nodes),
+            static_cast<double>(pool_bytes) / (1024.0 * 1024.0),
+            best_f, static_cast<double>(ts) / 1e6);
+    }
+}
+
+void
+SearchProbe::finishRun(std::uint64_t expanded, std::uint64_t generated,
+                       std::uint64_t filtered,
+                       std::uint64_t max_queue,
+                       std::uint64_t peak_pool_bytes, double seconds)
+{
+    if (_interval == 0)
+        return;
+    Observer &o = Observer::global();
+    o.instant("search.done");
+    if (o.metricsEnabled()) {
+        MetricsRegistry &m = o.metrics();
+        const std::string prefix = std::string("search.") + _mapper;
+        m.add(prefix + ".runs", 1);
+        m.add(prefix + ".expanded", expanded);
+        m.add(prefix + ".generated", generated);
+        m.add(prefix + ".filtered", filtered);
+        m.setGauge(prefix + ".max_queue",
+                   static_cast<double>(max_queue));
+        m.setGauge(prefix + ".peak_pool_bytes",
+                   static_cast<double>(peak_pool_bytes));
+        m.setGauge(prefix + ".seconds", seconds);
+    }
+    if (o.progressEnabled() && o.heartbeat().beats() > 0) {
+        o.heartbeat().emit(
+            "search(%s): done — expanded=%llu generated=%llu "
+            "peak-queue=%llu pool=%.1fMiB t=%.3fs",
+            _mapper, static_cast<unsigned long long>(expanded),
+            static_cast<unsigned long long>(generated),
+            static_cast<unsigned long long>(max_queue),
+            static_cast<double>(peak_pool_bytes) / (1024.0 * 1024.0),
+            seconds);
+    }
+}
+
+} // namespace toqm::obs

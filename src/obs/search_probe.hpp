@@ -1,0 +1,88 @@
+/**
+ * @file
+ * `SearchProbe` — the per-run hook the search kernel drives.
+ *
+ * A probe is bound once per mapping run (mapper name decides the
+ * heartbeat label and metric prefix) and then poked on EVERY node
+ * expansion.  The hot call is two branches when sampling is armed
+ * and ONE when the observer is disabled; every `sampleInterval`-th
+ * expansion it takes the slow path: records the gauge series the
+ * Chrome trace shows as counter tracks (frontier size, live nodes,
+ * pool bytes, expansion rate, best f) and lets the heartbeat decide
+ * whether a progress line is owed.
+ *
+ * The first expansion always samples, so even tiny runs contribute
+ * one point per gauge series to the trace.
+ */
+
+#ifndef TOQM_OBS_SEARCH_PROBE_HPP
+#define TOQM_OBS_SEARCH_PROBE_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace toqm::obs {
+
+class SearchProbe
+{
+  public:
+    /** Inert probe: every call is a single-branch no-op. */
+    SearchProbe() = default;
+
+    /**
+     * Bind to the global observer.  The probe stays inert unless
+     * some observability facility is enabled at bind time.
+     * @p mapper must be a string literal.
+     */
+    explicit SearchProbe(const char *mapper);
+
+    bool active() const { return _interval != 0; }
+
+    /** Hot path: one expansion happened; gauge args are current. */
+    void
+    onExpansion(std::uint64_t expanded, double best_f,
+                std::size_t frontier_size, std::uint64_t live_nodes,
+                std::uint64_t pool_bytes)
+    {
+#ifndef TOQM_OBS_DISABLED
+        if (_interval == 0)
+            return;
+        if (--_countdown != 0)
+            return;
+        _countdown = _interval;
+        sample(expanded, best_f, frontier_size, live_nodes,
+               pool_bytes);
+#else
+        (void)expanded;
+        (void)best_f;
+        (void)frontier_size;
+        (void)live_nodes;
+        (void)pool_bytes;
+#endif
+    }
+
+    /**
+     * End of run: flush aggregate counters into the metrics
+     * registry and print a closing heartbeat line.
+     */
+    void finishRun(std::uint64_t expanded, std::uint64_t generated,
+                   std::uint64_t filtered, std::uint64_t max_queue,
+                   std::uint64_t peak_pool_bytes, double seconds);
+
+  private:
+    void sample(std::uint64_t expanded, double best_f,
+                std::size_t frontier_size, std::uint64_t live_nodes,
+                std::uint64_t pool_bytes);
+
+    /** 0 = inert; otherwise the sampling cadence in expansions. */
+    std::uint64_t _interval = 0;
+    std::uint64_t _countdown = 0;
+    const char *_mapper = "";
+    /** Previous sample's clock/expansion count (rate estimation). */
+    std::uint64_t _lastTs = 0;
+    std::uint64_t _lastExpanded = 0;
+};
+
+} // namespace toqm::obs
+
+#endif // TOQM_OBS_SEARCH_PROBE_HPP

@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
 #include "parser.hpp"
 
 namespace toqm::qasm {
@@ -230,16 +231,41 @@ importProgram(const Program &program, const ImportOptions &options)
     return result;
 }
 
+namespace {
+
+/** Front-end counters for `--metrics-json` (cold path). */
+void
+recordImportMetrics(const ImportResult &result)
+{
+    obs::Observer &o = obs::Observer::global();
+    if (!o.metricsEnabled())
+        return;
+    o.metrics().increment("qasm.imports");
+    o.metrics().add("qasm.gates",
+                    static_cast<std::uint64_t>(result.circuit.size()));
+    o.metrics().add(
+        "qasm.qubits",
+        static_cast<std::uint64_t>(result.circuit.numQubits()));
+}
+
+} // namespace
+
 ImportResult
 importString(const std::string &source, const ImportOptions &options)
 {
-    return importProgram(parseString(source), options);
+    const obs::PhaseScope obs_phase("parse");
+    ImportResult result = importProgram(parseString(source), options);
+    recordImportMetrics(result);
+    return result;
 }
 
 ImportResult
 importFile(const std::string &path, const ImportOptions &options)
 {
-    return importProgram(parseFile(path), options);
+    const obs::PhaseScope obs_phase("parse");
+    ImportResult result = importProgram(parseFile(path), options);
+    recordImportMetrics(result);
+    return result;
 }
 
 } // namespace toqm::qasm

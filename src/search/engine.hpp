@@ -17,6 +17,7 @@
 
 #include "frontier.hpp"
 #include "node_pool.hpp"
+#include "obs/search_probe.hpp"
 #include "search_stats.hpp"
 
 namespace toqm::search {
@@ -54,6 +55,30 @@ class SearchEngine
 
     const SearchStats &stats() const { return _stats; }
 
+    /**
+     * Bind the observability probe for this run.  @p mapper (a
+     * string literal) labels heartbeat lines and metric keys.  A
+     * no-op when observability is globally disabled.
+     */
+    void bindProbe(const char *mapper)
+    {
+        _probe = obs::SearchProbe(mapper);
+    }
+
+    /**
+     * Count one node expansion and feed the sampled gauge series
+     * (frontier size, live nodes, pool bytes, best f).  Replaces
+     * bare `++stats().expanded` in the drivers; costs one branch
+     * when observability is off.
+     */
+    void
+    noteExpansion(double best_f)
+    {
+        ++_stats.expanded;
+        _probe.onExpansion(_stats.expanded, best_f, _frontier.size(),
+                           _pool->liveNodes(), _pool->peakBytes());
+    }
+
     /** Push one open node, tracking the peak frontier size. */
     void
     push(NodeRef node)
@@ -82,13 +107,19 @@ class SearchEngine
 
     double elapsed() const { return _stopwatch.seconds(); }
 
-    /** Stamp the end-of-run fields (time, pool peaks) into stats. */
+    /** Stamp the end-of-run fields (time, pool peaks) into stats
+     *  and flush the run's aggregate observability metrics. */
     void
     finish()
     {
         _stats.seconds = _stopwatch.seconds();
         _stats.peakPoolBytes = _pool->peakBytes();
         _stats.peakLiveNodes = _pool->peakLiveNodes();
+        if (_probe.active()) {
+            _probe.finishRun(_stats.expanded, _stats.generated,
+                             _stats.filtered, _stats.maxQueueSize,
+                             _stats.peakPoolBytes, _stats.seconds);
+        }
     }
 
   private:
@@ -96,6 +127,7 @@ class SearchEngine
     Frontier _frontier;
     SearchStats _stats;
     Stopwatch _stopwatch;
+    obs::SearchProbe _probe;
 };
 
 } // namespace toqm::search

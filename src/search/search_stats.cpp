@@ -20,16 +20,20 @@ toString(SearchStatus status)
 
 std::string
 statsJsonLine(const SearchStats &stats, std::string_view mapper,
-              SearchStatus status, int cycles, int swaps)
+              SearchStatus status, int cycles, int swaps,
+              const StatsLineContext &context)
 {
-    char buf[512];
-    std::snprintf(
+    char buf[768];
+    int n = std::snprintf(
         buf, sizeof(buf),
         "{\"mapper\":\"%.*s\",\"status\":\"%s\",\"cycles\":%d,"
         "\"swaps\":%d,\"expanded\":%llu,\"generated\":%llu,"
         "\"filtered\":%llu,\"trims\":%llu,\"rounds\":%d,"
         "\"max_queue\":%llu,\"peak_pool_bytes\":%llu,"
-        "\"peak_live_nodes\":%llu,\"seconds\":%.6f}\n",
+        "\"peak_live_nodes\":%llu,\"seconds\":%.6f,"
+        "\"schemaVersion\":%d,\"arch\":\"%.*s\","
+        "\"latency\":{\"l1\":%d,\"l2\":%d,\"swap\":%d},"
+        "\"detail\":",
         static_cast<int>(mapper.size()), mapper.data(),
         toString(status), cycles, swaps,
         static_cast<unsigned long long>(stats.expanded),
@@ -39,8 +43,38 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
         static_cast<unsigned long long>(stats.maxQueueSize),
         static_cast<unsigned long long>(stats.peakPoolBytes),
         static_cast<unsigned long long>(stats.peakLiveNodes),
-        stats.seconds);
+        stats.seconds, kStatsLineSchemaVersion,
+        static_cast<int>(context.arch.size()), context.arch.data(),
+        context.lat1, context.lat2, context.latSwap);
+
+    const auto remaining = [&] { return sizeof(buf) - static_cast<size_t>(n); };
+    switch (status) {
+      case SearchStatus::Solved:
+        n += std::snprintf(buf + n, remaining(),
+                           "{\"proven_optimal\":%s}",
+                           context.provenOptimal ? "true" : "false");
+        break;
+      case SearchStatus::BudgetExhausted:
+        n += std::snprintf(
+            buf + n, remaining(), "{\"node_budget\":%llu}",
+            static_cast<unsigned long long>(context.nodeBudget));
+        break;
+      case SearchStatus::Infeasible:
+        n += std::snprintf(
+            buf + n, remaining(),
+            "{\"reason\":\"search-space-exhausted\"}");
+        break;
+    }
+    std::snprintf(buf + n, remaining(), "}\n");
     return buf;
+}
+
+std::string
+statsJsonLine(const SearchStats &stats, std::string_view mapper,
+              SearchStatus status, int cycles, int swaps)
+{
+    return statsJsonLine(stats, mapper, status, cycles, swaps,
+                         StatsLineContext{});
 }
 
 } // namespace toqm::search

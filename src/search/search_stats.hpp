@@ -54,9 +54,47 @@ struct SearchStats
 };
 
 /**
+ * Optional run context for the stats line: where the run happened
+ * (device, latency model) and what bounded it.  All fields have
+ * inert defaults so callers without the information can pass `{}`.
+ */
+struct StatsLineContext
+{
+    /** Device name as given to `--arch` ("" = unknown). */
+    std::string_view arch;
+    /** Latency model (1q, 2q, swap cycles); 0 = unknown. */
+    int lat1 = 0;
+    int lat2 = 0;
+    int latSwap = 0;
+    /** Node budget the run was subject to (0 = none/unlimited). */
+    std::uint64_t nodeBudget = 0;
+    /** True when a Solved status proves optimality (exact searches). */
+    bool provenOptimal = false;
+};
+
+/** Version of the stats-line JSON shape (see statsJsonLine). */
+inline constexpr int kStatsLineSchemaVersion = 2;
+
+/**
  * Render a run report as one line of JSON (newline-terminated), the
  * format `toqm_map --stats-json` emits and bench/CI scrapers parse.
+ *
+ * Schema v2: v1's keys, in v1's order (mapper, status, cycles,
+ * swaps, expanded, generated, filtered, trims, rounds, max_queue,
+ * peak_pool_bytes, peak_live_nodes, seconds), then the additive v2
+ * keys: `schemaVersion`, `arch`, `latency` {"l1","l2","swap"}, and a
+ * status-specific `detail` object —
+ *   solved:            {"proven_optimal":bool}
+ *   budget-exhausted:  {"node_budget":N}
+ *   infeasible:        {"reason":"search-space-exhausted"}
+ * Scrapers keyed on the v1 fields keep working unchanged.
  */
+std::string statsJsonLine(const SearchStats &stats,
+                          std::string_view mapper, SearchStatus status,
+                          int cycles, int swaps,
+                          const StatsLineContext &context);
+
+/** Back-compat overload: no run context (arch/latency unknown). */
 std::string statsJsonLine(const SearchStats &stats,
                           std::string_view mapper, SearchStatus status,
                           int cycles, int swaps);

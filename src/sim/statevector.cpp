@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace toqm::sim {
 
 namespace {
@@ -284,6 +286,7 @@ semanticallyEquivalent(const ir::Circuit &logical,
                        const ir::MappedCircuit &mapped, int trials,
                        std::uint64_t seed)
 {
+    const obs::PhaseScope obs_phase("verify");
     const int nl = logical.numQubits();
     const int np = mapped.physical.numQubits();
     if (static_cast<int>(mapped.initialLayout.size()) != nl ||

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/observer.hpp"
+
 namespace toqm::sim {
 
 namespace {
@@ -22,6 +24,7 @@ VerifyResult
 verifyMapping(const ir::Circuit &logical, const ir::MappedCircuit &mapped,
               const arch::CouplingGraph &graph)
 {
+    const obs::PhaseScope obs_phase("verify");
     const int nl = logical.numQubits();
     const int np = graph.numQubits();
 

@@ -5,6 +5,7 @@
 
 #include "cost_estimator.hpp"
 #include "expander.hpp"
+#include "obs/observer.hpp"
 
 namespace toqm::core {
 
@@ -41,7 +42,8 @@ boundedDfs(const SearchContext &ctx, const Expander &expander,
             // With all gates scheduled, f == the exact makespan.
             return node;
         }
-        if (++engine.stats().expanded >= max_expanded)
+        engine.noteExpansion(node->f());
+        if (engine.stats().expanded >= max_expanded)
             return NodeRef();
 
         Expansion expansion = expander.expand(node);
@@ -72,6 +74,7 @@ idaStarMap(const arch::CouplingGraph &graph,
 {
     IdaResult result;
 
+    const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, graph, latency);
     CostEstimator estimator(ctx);
@@ -80,6 +83,7 @@ idaStarMap(const arch::CouplingGraph &graph,
     cfg.allowConcurrentSwapAndGate = allow_mixing;
     Expander expander(ctx, pool, cfg);
     Engine engine(pool);
+    engine.bindProbe("ida");
 
     NodeRef root = pool.root(ir::identityLayout(ctx.numLogical()),
                              false);

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/observer.hpp"
+
 namespace toqm::core {
 
 namespace {
@@ -83,6 +85,7 @@ std::vector<int>
 greedyLayout(const ir::Circuit &circuit,
              const arch::CouplingGraph &graph)
 {
+    const obs::PhaseScope obs_phase("layout");
     const int nl = circuit.numQubits();
     const int np = graph.numQubits();
     if (nl > np)
@@ -140,6 +143,7 @@ annealedLayout(const ir::Circuit &circuit,
                const arch::CouplingGraph &graph,
                const AnnealConfig &config)
 {
+    const obs::PhaseScope obs_phase("layout");
     const int nl = circuit.numQubits();
     const int np = graph.numQubits();
     const auto weights = interactionWeights(circuit, config.gateDecay);

@@ -7,6 +7,7 @@
 #include "cost_estimator.hpp"
 #include "expander.hpp"
 #include "filter.hpp"
+#include "obs/observer.hpp"
 
 namespace toqm::core {
 
@@ -152,6 +153,7 @@ MapperResult
 OptimalMapper::map(const ir::Circuit &logical,
                    std::optional<std::vector<int>> initial_layout) const
 {
+    const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, _graph, _config.latency);
     CostEstimator estimator(ctx, _config.horizonGates);
@@ -166,6 +168,7 @@ OptimalMapper::map(const ir::Circuit &logical,
     Expander expander(ctx, pool, exp_cfg);
     Filter filter(_config.filterMaxEntries);
     search::SearchEngine<Frontier> engine(pool);
+    engine.bindProbe("optimal");
 
     std::vector<int> seed = initial_layout
                                 ? *initial_layout
@@ -245,7 +248,8 @@ OptimalMapper::map(const ir::Circuit &logical,
             continue;
         }
 
-        if (++engine.stats().expanded > _config.maxExpandedNodes) {
+        engine.noteExpansion(node->f());
+        if (engine.stats().expanded > _config.maxExpandedNodes) {
             result.success = optimal >= 0;
             if (!result.success)
                 result.status = SearchStatus::BudgetExhausted;

@@ -1,0 +1,459 @@
+/**
+ * Unit tests for the toqm_obs building blocks: the metrics registry,
+ * the ring-buffered event sink, heartbeat throttling, the minimal
+ * JSON parser, the v2 stats line, and the search probe's sampling
+ * cadence.  The full pipeline trace is covered separately in
+ * trace_pipeline_test.cpp.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_sink.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/progress.hpp"
+#include "obs/search_probe.hpp"
+#include "search/search_stats.hpp"
+
+namespace toqm {
+namespace {
+
+/** Restores the global observer to its disabled state on scope exit,
+ *  so obs tests cannot leak configuration into other tests. */
+struct ObserverResetGuard
+{
+    ObserverResetGuard() { obs::Observer::global().reset(); }
+
+    ~ObserverResetGuard() { obs::Observer::global().reset(); }
+};
+
+// ---------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, CountersAreExact)
+{
+    obs::MetricsRegistry m;
+    EXPECT_EQ(m.counter("search.expanded"), 0u);
+
+    m.increment("search.expanded");
+    m.increment("search.expanded");
+    m.add("search.expanded", 40);
+    m.add("qasm.gates", 17);
+
+    EXPECT_EQ(m.counter("search.expanded"), 42u);
+    EXPECT_EQ(m.counter("qasm.gates"), 17u);
+    EXPECT_EQ(m.counter("never.touched"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugesKeepTheLatestValue)
+{
+    obs::MetricsRegistry m;
+    EXPECT_EQ(m.gauge("search.seconds"), 0.0);
+    m.setGauge("search.seconds", 1.5);
+    m.setGauge("search.seconds", 0.25);
+    EXPECT_EQ(m.gauge("search.seconds"), 0.25);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsVersionedSortedAndParseable)
+{
+    obs::MetricsRegistry m;
+    m.add("b.counter", 2);
+    m.add("a.counter", 1);
+    m.setGauge("z.gauge", 3.5);
+
+    const std::string snap = m.snapshotJson();
+    // Sorted keys make identical runs byte-identical.
+    EXPECT_LT(snap.find("a.counter"), snap.find("b.counter"));
+
+    const auto root = obs::json::parse(snap);
+    EXPECT_EQ(root->get("schemaVersion")->asNumber(),
+              obs::MetricsRegistry::kSchemaVersion);
+    EXPECT_EQ(root->get("generator")->asString(), "toqm_obs");
+    EXPECT_EQ(root->get("counters")->get("a.counter")->asNumber(), 1.0);
+    EXPECT_EQ(root->get("counters")->get("b.counter")->asNumber(), 2.0);
+    EXPECT_EQ(root->get("gauges")->get("z.gauge")->asNumber(), 3.5);
+}
+
+TEST(MetricsRegistryTest, ClearEmptiesEverything)
+{
+    obs::MetricsRegistry m;
+    m.increment("x");
+    m.setGauge("y", 1.0);
+    EXPECT_FALSE(m.empty());
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.counter("x"), 0u);
+}
+
+// ---------------------------------------------------------------
+// EventSink
+
+obs::TraceEvent
+instantAt(std::uint64_t ts)
+{
+    return {obs::TraceEvent::Kind::Instant, "ev", ts, 0.0};
+}
+
+TEST(EventSinkTest, HoldsEventsUpToCapacity)
+{
+    obs::EventSink sink(4);
+    EXPECT_EQ(sink.capacity(), 4u);
+    for (std::uint64_t i = 0; i < 3; ++i)
+        sink.record(instantAt(i));
+    EXPECT_EQ(sink.size(), 3u);
+    EXPECT_EQ(sink.dropped(), 0u);
+
+    std::vector<std::uint64_t> seen;
+    sink.forEach(
+        [&](const obs::TraceEvent &e) { seen.push_back(e.ts); });
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 2}));
+}
+
+TEST(EventSinkTest, WrapOverwritesOldestAndCountsDrops)
+{
+    obs::EventSink sink(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        sink.record(instantAt(i));
+
+    EXPECT_EQ(sink.size(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+    EXPECT_EQ(sink.totalRecorded(), 10u);
+
+    // The ring keeps the most recent window, oldest -> newest.
+    std::vector<std::uint64_t> seen;
+    sink.forEach(
+        [&](const obs::TraceEvent &e) { seen.push_back(e.ts); });
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{6, 7, 8, 9}));
+}
+
+TEST(EventSinkTest, ClearForgetsHistory)
+{
+    obs::EventSink sink(2);
+    sink.record(instantAt(1));
+    sink.record(instantAt(2));
+    sink.record(instantAt(3));
+    sink.clear();
+    EXPECT_EQ(sink.size(), 0u);
+    EXPECT_EQ(sink.dropped(), 0u);
+    std::size_t visits = 0;
+    sink.forEach([&](const obs::TraceEvent &) { ++visits; });
+    EXPECT_EQ(visits, 0u);
+}
+
+// ---------------------------------------------------------------
+// Heartbeat throttling (pure timestamp logic, synthetic clock)
+
+TEST(HeartbeatTest, DefaultConstructedIsDisabled)
+{
+    obs::Heartbeat hb;
+    EXPECT_FALSE(hb.enabled());
+    EXPECT_FALSE(hb.due(0));
+    EXPECT_FALSE(hb.due(1'000'000'000));
+}
+
+TEST(HeartbeatTest, FirstBeatComesOneIntervalAfterStart)
+{
+    obs::Heartbeat hb(2.0, nullptr); // 2s interval
+    EXPECT_TRUE(hb.enabled());
+    EXPECT_EQ(hb.intervalMicros(), 2'000'000u);
+
+    EXPECT_FALSE(hb.due(0));
+    EXPECT_FALSE(hb.due(1'999'999));
+    EXPECT_TRUE(hb.due(2'000'000));
+}
+
+TEST(HeartbeatTest, ThrottlesToAtMostOnePerInterval)
+{
+    obs::Heartbeat hb(1.0, nullptr);
+    int beats = 0;
+    // Poll every 100ms of synthetic time for 10 seconds.
+    for (std::uint64_t now = 0; now <= 10'000'000; now += 100'000)
+        beats += hb.due(now);
+    EXPECT_EQ(beats, 10);
+}
+
+TEST(HeartbeatTest, ReArmsRelativeToTheBeatJustPrinted)
+{
+    obs::Heartbeat hb(1.0, nullptr);
+    // A long stall: the next beat is one interval after the late
+    // poll, not a burst of make-up beats.
+    EXPECT_TRUE(hb.due(5'000'000));
+    EXPECT_FALSE(hb.due(5'500'000));
+    EXPECT_FALSE(hb.due(5'999'999));
+    EXPECT_TRUE(hb.due(6'000'000));
+}
+
+TEST(HeartbeatTest, EmitCountsBeats)
+{
+    obs::Heartbeat hb(1.0, nullptr);
+    EXPECT_EQ(hb.beats(), 0u);
+    // nullptr stream: emit is a no-op and must not count or crash.
+    hb.emit("expanded=%d", 1);
+    EXPECT_EQ(hb.beats(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Minimal JSON parser
+
+TEST(ObsJsonTest, ParsesScalarsAndStructures)
+{
+    const auto root = obs::json::parse(
+        R"({"a":1,"b":-2.5e2,"c":"x\"y\\z","d":[true,false,null],)"
+        R"("e":{"nested":[1,2,3]}})");
+    EXPECT_EQ(root->get("a")->asNumber(), 1.0);
+    EXPECT_EQ(root->get("b")->asNumber(), -250.0);
+    EXPECT_EQ(root->get("c")->asString(), "x\"y\\z");
+    const auto &d = root->get("d")->asArray();
+    ASSERT_EQ(d.size(), 3u);
+    EXPECT_TRUE(d[0]->asBool());
+    EXPECT_FALSE(d[1]->asBool());
+    EXPECT_TRUE(d[2]->isNull());
+    EXPECT_EQ(root->get("e")->get("nested")->asArray().size(), 3u);
+}
+
+TEST(ObsJsonTest, HasAndGetOnObjects)
+{
+    const auto root = obs::json::parse(R"({"k":1})");
+    EXPECT_TRUE(root->has("k"));
+    EXPECT_FALSE(root->has("missing"));
+    EXPECT_EQ(root->get("missing"), nullptr);
+    // get() on a non-object is nullptr, not a throw.
+    EXPECT_EQ(root->get("k")->get("deeper"), nullptr);
+}
+
+TEST(ObsJsonTest, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(obs::json::parse(""), std::runtime_error);
+    EXPECT_THROW(obs::json::parse("{"), std::runtime_error);
+    EXPECT_THROW(obs::json::parse("{\"a\":}"), std::runtime_error);
+    EXPECT_THROW(obs::json::parse("[1,]"), std::runtime_error);
+    EXPECT_THROW(obs::json::parse("tru"), std::runtime_error);
+    // Trailing garbage after a valid document is an error.
+    EXPECT_THROW(obs::json::parse("{} x"), std::runtime_error);
+}
+
+TEST(ObsJsonTest, TypedAccessorsThrowOnMismatch)
+{
+    const auto root = obs::json::parse(R"({"n":1})");
+    EXPECT_THROW(root->asArray(), std::runtime_error);
+    EXPECT_THROW(root->get("n")->asString(), std::runtime_error);
+}
+
+// ---------------------------------------------------------------
+// Stats line schema v2
+
+search::SearchStats
+someStats()
+{
+    search::SearchStats s;
+    s.expanded = 100;
+    s.generated = 250;
+    s.filtered = 30;
+    s.trims = 2;
+    s.rounds = 1;
+    s.maxQueueSize = 64;
+    s.peakPoolBytes = 4096;
+    s.peakLiveNodes = 50;
+    s.seconds = 0.125;
+    return s;
+}
+
+TEST(StatsJsonLineTest, V1KeysSurviveWithExactValues)
+{
+    search::StatsLineContext ctx;
+    ctx.arch = "tokyo";
+    ctx.lat1 = 1;
+    ctx.lat2 = 2;
+    ctx.latSwap = 6;
+    ctx.provenOptimal = true;
+    const std::string line =
+        search::statsJsonLine(someStats(), "optimal",
+                              search::SearchStatus::Solved, 17, 3, ctx);
+    ASSERT_EQ(line.back(), '\n');
+    const auto root = obs::json::parse(line.substr(0, line.size() - 1));
+
+    // Every v1 key a scraper may be keyed on, with exact values.
+    EXPECT_EQ(root->get("mapper")->asString(), "optimal");
+    EXPECT_EQ(root->get("status")->asString(), "solved");
+    EXPECT_EQ(root->get("cycles")->asNumber(), 17.0);
+    EXPECT_EQ(root->get("swaps")->asNumber(), 3.0);
+    EXPECT_EQ(root->get("expanded")->asNumber(), 100.0);
+    EXPECT_EQ(root->get("generated")->asNumber(), 250.0);
+    EXPECT_EQ(root->get("filtered")->asNumber(), 30.0);
+    EXPECT_EQ(root->get("trims")->asNumber(), 2.0);
+    EXPECT_EQ(root->get("rounds")->asNumber(), 1.0);
+    EXPECT_EQ(root->get("max_queue")->asNumber(), 64.0);
+    EXPECT_EQ(root->get("peak_pool_bytes")->asNumber(), 4096.0);
+    EXPECT_EQ(root->get("peak_live_nodes")->asNumber(), 50.0);
+    EXPECT_EQ(root->get("seconds")->asNumber(), 0.125);
+}
+
+TEST(StatsJsonLineTest, V2AddsVersionArchLatencyAndDetail)
+{
+    search::StatsLineContext ctx;
+    ctx.arch = "ibmqx2";
+    ctx.lat1 = 1;
+    ctx.lat2 = 2;
+    ctx.latSwap = 6;
+    ctx.provenOptimal = true;
+    const std::string line =
+        search::statsJsonLine(someStats(), "optimal",
+                              search::SearchStatus::Solved, 17, 3, ctx);
+    const auto root = obs::json::parse(line.substr(0, line.size() - 1));
+
+    EXPECT_EQ(root->get("schemaVersion")->asNumber(),
+              search::kStatsLineSchemaVersion);
+    EXPECT_EQ(root->get("arch")->asString(), "ibmqx2");
+    EXPECT_EQ(root->get("latency")->get("l1")->asNumber(), 1.0);
+    EXPECT_EQ(root->get("latency")->get("l2")->asNumber(), 2.0);
+    EXPECT_EQ(root->get("latency")->get("swap")->asNumber(), 6.0);
+    EXPECT_TRUE(root->get("detail")->get("proven_optimal")->asBool());
+}
+
+TEST(StatsJsonLineTest, DetailMatchesTheStatus)
+{
+    search::StatsLineContext ctx;
+    ctx.nodeBudget = 5000;
+
+    const std::string budget = search::statsJsonLine(
+        someStats(), "optimal", search::SearchStatus::BudgetExhausted,
+        -1, -1, ctx);
+    auto root = obs::json::parse(budget.substr(0, budget.size() - 1));
+    EXPECT_EQ(root->get("detail")->get("node_budget")->asNumber(),
+              5000.0);
+
+    const std::string infeasible = search::statsJsonLine(
+        someStats(), "optimal", search::SearchStatus::Infeasible, -1,
+        -1, ctx);
+    root = obs::json::parse(
+        infeasible.substr(0, infeasible.size() - 1));
+    EXPECT_EQ(root->get("detail")->get("reason")->asString(),
+              "search-space-exhausted");
+}
+
+TEST(StatsJsonLineTest, BackCompatOverloadStillParses)
+{
+    const std::string line = search::statsJsonLine(
+        someStats(), "heuristic", search::SearchStatus::Solved, 9, 2);
+    const auto root = obs::json::parse(line.substr(0, line.size() - 1));
+    EXPECT_EQ(root->get("mapper")->asString(), "heuristic");
+    EXPECT_EQ(root->get("arch")->asString(), "");
+    EXPECT_FALSE(
+        root->get("detail")->get("proven_optimal")->asBool());
+}
+
+// ---------------------------------------------------------------
+// SearchProbe cadence
+
+TEST(SearchProbeTest, InertWithoutAnObserverFacility)
+{
+    const ObserverResetGuard guard;
+    obs::SearchProbe probe("test");
+    EXPECT_FALSE(probe.active());
+    // No facility enabled: the hot path must be a no-op.
+    probe.onExpansion(1, 0.0, 1, 1, 64);
+    probe.finishRun(1, 1, 0, 1, 64, 0.0);
+    EXPECT_EQ(obs::Observer::global().sink().totalRecorded(), 0u);
+    EXPECT_TRUE(obs::Observer::global().metrics().empty());
+}
+
+TEST(SearchProbeTest, SamplesFirstExpansionThenEveryInterval)
+{
+    const ObserverResetGuard guard;
+    obs::Observer &o = obs::Observer::global();
+    o.enableTrace(1024);
+    o.setSampleInterval(4);
+
+    obs::SearchProbe probe("test");
+    ASSERT_TRUE(probe.active());
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        probe.onExpansion(i, 1.0, 2, 3, 64);
+
+    // Samples land on expansions 1, 5 and 9.
+    std::vector<double> expanded_samples;
+    o.sink().forEach([&](const obs::TraceEvent &e) {
+        if (e.kind == obs::TraceEvent::Kind::Gauge &&
+            std::string(e.name) == "search.expanded") {
+            expanded_samples.push_back(e.value);
+        }
+    });
+    EXPECT_EQ(expanded_samples, (std::vector<double>{1, 5, 9}));
+}
+
+TEST(SearchProbeTest, FinishRunFlushesMapperScopedMetrics)
+{
+    const ObserverResetGuard guard;
+    obs::Observer &o = obs::Observer::global();
+    o.enableMetrics();
+
+    obs::SearchProbe probe("test");
+    ASSERT_TRUE(probe.active());
+    probe.finishRun(/*expanded=*/100, /*generated=*/250,
+                    /*filtered=*/30, /*max_queue=*/64,
+                    /*peak_pool_bytes=*/4096, /*seconds=*/0.5);
+
+    const obs::MetricsRegistry &m = o.metrics();
+    EXPECT_EQ(m.counter("search.test.runs"), 1u);
+    EXPECT_EQ(m.counter("search.test.expanded"), 100u);
+    EXPECT_EQ(m.counter("search.test.generated"), 250u);
+    EXPECT_EQ(m.counter("search.test.filtered"), 30u);
+    EXPECT_EQ(m.gauge("search.test.max_queue"), 64.0);
+    EXPECT_EQ(m.gauge("search.test.peak_pool_bytes"), 4096.0);
+    EXPECT_EQ(m.gauge("search.test.seconds"), 0.5);
+}
+
+TEST(ObserverTest, PhaseScopeFeedsTraceAndMetrics)
+{
+    const ObserverResetGuard guard;
+    obs::Observer &o = obs::Observer::global();
+    o.enableTrace(64);
+    o.enableMetrics();
+
+    {
+        const obs::PhaseScope scope("unit");
+    }
+
+    int begins = 0;
+    int ends = 0;
+    o.sink().forEach([&](const obs::TraceEvent &e) {
+        begins += e.kind == obs::TraceEvent::Kind::Begin;
+        ends += e.kind == obs::TraceEvent::Kind::End;
+    });
+    EXPECT_EQ(begins, 1);
+    EXPECT_EQ(ends, 1);
+    EXPECT_EQ(o.metrics().counter("phase.unit.count"), 1u);
+}
+
+TEST(ObserverTest, TraceJsonIsValidChromeTraceShape)
+{
+    const ObserverResetGuard guard;
+    obs::Observer &o = obs::Observer::global();
+    o.enableTrace(64);
+
+    o.beginSpan("p", o.now());
+    o.gauge("g", 1.5, o.now());
+    o.instant("mark");
+    o.endSpan("p", 0);
+
+    const auto root = obs::json::parse(o.traceJson());
+    EXPECT_EQ(root->get("displayTimeUnit")->asString(), "ms");
+    EXPECT_EQ(root->get("otherData")->get("generator")->asString(),
+              "toqm_obs");
+    EXPECT_EQ(
+        root->get("otherData")->get("droppedEvents")->asNumber(), 0.0);
+
+    const auto &events = root->get("traceEvents")->asArray();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0]->get("ph")->asString(), "B");
+    EXPECT_EQ(events[1]->get("ph")->asString(), "C");
+    EXPECT_EQ(events[1]->get("args")->get("value")->asNumber(), 1.5);
+    EXPECT_EQ(events[2]->get("ph")->asString(), "i");
+    EXPECT_EQ(events[3]->get("ph")->asString(), "E");
+}
+
+} // namespace
+} // namespace toqm

@@ -30,6 +30,14 @@
  *                        initial position (token swapping)
  *     --enforce-directions  rewrite wrong-way CXs for devices with
  *                        directed links (ibmqx2 calibration)
+ *     --trace FILE       write a Chrome trace-event JSON (phase
+ *                        spans + sampled search gauges; open in
+ *                        Perfetto or chrome://tracing)
+ *     --progress[=SECS]  throttled stderr heartbeat for long runs
+ *                        (default every 2 s)
+ *     --metrics-json[=FILE]  emit the versioned MetricsRegistry
+ *                        snapshot (stderr, or FILE)
+ *     --obs-sample N     sample search gauges every N expansions
  *
  * Exit codes: 0 success, 1 generic error, 2 usage, 3 verification
  * failure, 4 node budget exhausted (instance may be solvable with a
@@ -51,6 +59,7 @@
 #include "baselines/zulehner.hpp"
 #include "heuristic/heuristic_mapper.hpp"
 #include "ir/schedule.hpp"
+#include "obs/observer.hpp"
 #include "qasm/importer.hpp"
 #include "qasm/writer.hpp"
 #include "search/search_stats.hpp"
@@ -82,6 +91,14 @@ struct Options
     std::string layoutStrategy = "auto"; // auto|greedy|annealed
     std::uint64_t maxNodes = 20'000'000;
     std::string inputPath; // empty = stdin
+
+    // Observability surface (toqm_obs).
+    std::string tracePath;        // empty = no trace
+    bool progress = false;
+    double progressInterval = obs::Observer::kDefaultProgressInterval;
+    bool metricsJson = false;
+    std::string metricsPath;      // empty = stderr
+    std::uint64_t obsSample = obs::Observer::kDefaultSampleInterval;
 };
 
 [[noreturn]] void
@@ -96,6 +113,9 @@ usage(const char *argv0, int code)
                  "[--stats-json] [--verify] [--timeline]\n"
                  "       [--layout auto|greedy|annealed] [--dot] "
                  "[--json]\n"
+                 "       [--restore-layout] [--enforce-directions]\n"
+                 "       [--trace FILE] [--progress[=SECS]] "
+                 "[--metrics-json[=FILE]] [--obs-sample N]\n"
                  "       [input.qasm]\n",
                  argv0);
     std::exit(code);
@@ -148,6 +168,26 @@ parseArgs(int argc, char **argv)
             opt.restoreLayout = true;
         } else if (arg == "--enforce-directions") {
             opt.enforceDirections = true;
+        } else if (arg == "--trace") {
+            opt.tracePath = next();
+        } else if (arg.rfind("--trace=", 0) == 0) {
+            opt.tracePath = arg.substr(8);
+        } else if (arg == "--progress") {
+            opt.progress = true;
+        } else if (arg.rfind("--progress=", 0) == 0) {
+            opt.progress = true;
+            opt.progressInterval = std::stod(arg.substr(11));
+            if (opt.progressInterval <= 0.0)
+                usage(argv[0], 2);
+        } else if (arg == "--metrics-json") {
+            opt.metricsJson = true;
+        } else if (arg.rfind("--metrics-json=", 0) == 0) {
+            opt.metricsJson = true;
+            opt.metricsPath = arg.substr(15);
+        } else if (arg == "--obs-sample") {
+            opt.obsSample = std::stoull(next());
+            if (opt.obsSample == 0)
+                usage(argv[0], 2);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -162,10 +202,60 @@ parseArgs(int argc, char **argv)
 
 } // namespace
 
+/**
+ * Writes the observability artifacts when main exits — by ANY path.
+ * The trace of a failed or budget-exhausted run is exactly what one
+ * wants to look at, so flushing must not depend on success.
+ */
+struct ObsArtifactFlusher
+{
+    const Options &opt;
+
+    ~ObsArtifactFlusher()
+    {
+        const obs::Observer &o = obs::Observer::global();
+        if (!opt.tracePath.empty() &&
+            !o.writeTraceFile(opt.tracePath)) {
+            std::fprintf(stderr,
+                         "error: could not write trace file %s\n",
+                         opt.tracePath.c_str());
+        }
+        if (opt.metricsJson) {
+            const std::string snapshot = o.metrics().snapshotJson();
+            if (opt.metricsPath.empty()) {
+                std::fprintf(stderr, "%s\n", snapshot.c_str());
+            } else {
+                std::FILE *f =
+                    std::fopen(opt.metricsPath.c_str(), "wb");
+                if (f == nullptr ||
+                    std::fwrite(snapshot.data(), 1, snapshot.size(),
+                                f) != snapshot.size()) {
+                    std::fprintf(
+                        stderr,
+                        "error: could not write metrics file %s\n",
+                        opt.metricsPath.c_str());
+                }
+                if (f != nullptr)
+                    std::fclose(f);
+            }
+        }
+    }
+};
+
 int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+
+    obs::Observer &observer = obs::Observer::global();
+    if (!opt.tracePath.empty())
+        observer.enableTrace();
+    if (opt.metricsJson)
+        observer.enableMetrics();
+    if (opt.progress)
+        observer.enableProgress(opt.progressInterval, stderr);
+    observer.setSampleInterval(opt.obsSample);
+    const ObsArtifactFlusher obs_flusher{opt};
 
     try {
         // --- input ------------------------------------------------
@@ -192,6 +282,12 @@ main(int argc, char **argv)
             usage(argv[0], 2);
 
         // --- map --------------------------------------------------
+        search::StatsLineContext stats_ctx;
+        stats_ctx.arch = opt.arch;
+        stats_ctx.lat1 = opt.lat1;
+        stats_ctx.lat2 = opt.lat2;
+        stats_ctx.latSwap = opt.lats;
+
         ir::MappedCircuit mapped;
         if (opt.mapper == "optimal") {
             core::MapperConfig config;
@@ -203,10 +299,13 @@ main(int argc, char **argv)
             core::OptimalMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
             if (opt.statsJson) {
+                stats_ctx.nodeBudget = opt.maxNodes;
+                stats_ctx.provenOptimal = true;
                 std::fputs(search::statsJsonLine(
                                res.stats, "optimal", res.status,
                                res.cycles,
-                               res.mapped.physical.numSwaps())
+                               res.mapped.physical.numSwaps(),
+                               stats_ctx)
                                .c_str(),
                            stderr);
             }
@@ -249,7 +348,8 @@ main(int argc, char **argv)
                 std::fputs(search::statsJsonLine(
                                res.stats, "heuristic", res.status,
                                res.cycles,
-                               res.mapped.physical.numSwaps())
+                               res.mapped.physical.numSwaps(),
+                               stats_ctx)
                                .c_str(),
                            stderr);
             }
@@ -286,7 +386,7 @@ main(int argc, char **argv)
                         search::SearchStatus::Solved,
                         ir::scheduleAsap(mapped.physical, latency)
                             .makespan,
-                        res.swapCount)
+                        res.swapCount, stats_ctx)
                         .c_str(),
                     stderr);
             }
@@ -312,7 +412,7 @@ main(int argc, char **argv)
                         search::SearchStatus::Solved,
                         ir::scheduleAsap(mapped.physical, latency)
                             .makespan,
-                        res.swapCount)
+                        res.swapCount, stats_ctx)
                         .c_str(),
                     stderr);
             }
@@ -327,6 +427,14 @@ main(int argc, char **argv)
             std::fprintf(stderr, "unknown mapper: %s\n",
                          opt.mapper.c_str());
             return 2;
+        }
+
+        if (observer.metricsEnabled()) {
+            observer.metrics().setGauge(
+                "run.cycles",
+                ir::scheduleAsap(mapped.physical, latency).makespan);
+            observer.metrics().setGauge(
+                "run.swaps", mapped.physical.numSwaps());
         }
 
         // --- post passes -------------------------------------------

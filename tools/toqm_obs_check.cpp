@@ -1,0 +1,306 @@
+/**
+ * @file
+ * toqm_obs_check — CI validator for the observability artifacts.
+ *
+ *   toqm_obs_check --trace FILE [--require-phases a,b,c]
+ *   toqm_obs_check --metrics FILE
+ *   toqm_obs_check --stats-line FILE
+ *
+ * Checks (any subset may be given; all must pass):
+ *  - trace: valid JSON, has a traceEvents array, timestamps are
+ *    monotonically non-decreasing, every "B" is closed by a matching
+ *    "E" (balanced, LIFO per name), and at least one counter ("C")
+ *    event carries a numeric args.value.  With --require-phases,
+ *    each named phase must appear as a complete span.
+ *  - metrics: valid JSON with numeric `schemaVersion`, a `counters`
+ *    object and a `gauges` object (the MetricsRegistry shape).
+ *  - stats-line: the file's first '{'-led line (toqm_map prints the
+ *    stats line to stderr alongside heartbeats and diagnostics) is a
+ *    schemaVersion>=2 stats report with the v1 keys intact plus
+ *    arch/latency/detail.
+ *
+ * Exit code 0 = all artifacts valid, 1 = any check failed,
+ * 2 = usage.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using toqm::obs::json::Value;
+using toqm::obs::json::ValuePtr;
+
+int g_failures = 0;
+
+void
+fail(const std::string &what)
+{
+    std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+    ++g_failures;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        fail("cannot open " + path);
+        return "";
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::vector<std::string>
+splitCommas(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : s) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+void
+checkTrace(const std::string &path,
+           const std::vector<std::string> &required_phases)
+{
+    const std::string text = slurp(path);
+    if (text.empty())
+        return;
+    ValuePtr root;
+    try {
+        root = toqm::obs::json::parse(text);
+    } catch (const std::exception &e) {
+        fail(path + ": " + e.what());
+        return;
+    }
+    const ValuePtr events = root->get("traceEvents");
+    if (!events || !events->isArray()) {
+        fail(path + ": no traceEvents array");
+        return;
+    }
+
+    double last_ts = -1.0;
+    std::vector<std::string> span_stack;
+    std::vector<std::string> completed_spans;
+    std::size_t counter_events = 0;
+    for (const ValuePtr &ev : events->asArray()) {
+        const ValuePtr name = ev->get("name");
+        const ValuePtr ph = ev->get("ph");
+        const ValuePtr ts = ev->get("ts");
+        if (!name || !name->isString() || !ph || !ph->isString() ||
+            !ts || !ts->isNumber()) {
+            fail(path + ": event missing name/ph/ts");
+            return;
+        }
+        if (ts->asNumber() < last_ts) {
+            fail(path + ": timestamps not monotonic at event '" +
+                 name->asString() + "'");
+            return;
+        }
+        last_ts = ts->asNumber();
+        const std::string &phase = ph->asString();
+        if (phase == "B") {
+            span_stack.push_back(name->asString());
+        } else if (phase == "E") {
+            if (span_stack.empty() ||
+                span_stack.back() != name->asString()) {
+                fail(path + ": unbalanced E event '" +
+                     name->asString() + "'");
+                return;
+            }
+            completed_spans.push_back(span_stack.back());
+            span_stack.pop_back();
+        } else if (phase == "C") {
+            const ValuePtr args = ev->get("args");
+            const ValuePtr value = args ? args->get("value") : nullptr;
+            if (!value || !value->isNumber()) {
+                fail(path + ": counter event without numeric value");
+                return;
+            }
+            ++counter_events;
+        }
+    }
+    if (!span_stack.empty()) {
+        fail(path + ": " + std::to_string(span_stack.size()) +
+             " span(s) never closed (first: '" + span_stack.front() +
+             "')");
+        return;
+    }
+    if (counter_events == 0) {
+        fail(path + ": no sampled gauge (counter) events");
+        return;
+    }
+    for (const std::string &want : required_phases) {
+        bool found = false;
+        for (const std::string &got : completed_spans)
+            found = found || got == want;
+        if (!found) {
+            fail(path + ": required phase span '" + want +
+                 "' missing");
+        }
+    }
+    std::printf("ok: %s (%zu events, %zu counter samples)\n",
+                path.c_str(), events->asArray().size(),
+                counter_events);
+}
+
+void
+checkMetrics(const std::string &path)
+{
+    const std::string text = slurp(path);
+    if (text.empty())
+        return;
+    ValuePtr root;
+    try {
+        root = toqm::obs::json::parse(text);
+    } catch (const std::exception &e) {
+        fail(path + ": " + e.what());
+        return;
+    }
+    const ValuePtr version = root->get("schemaVersion");
+    if (!version || !version->isNumber()) {
+        fail(path + ": missing numeric schemaVersion");
+        return;
+    }
+    const ValuePtr counters = root->get("counters");
+    const ValuePtr gauges = root->get("gauges");
+    if (!counters || !counters->isObject() || !gauges ||
+        !gauges->isObject()) {
+        fail(path + ": missing counters/gauges objects");
+        return;
+    }
+    for (const auto &[key, value] : counters->asObject()) {
+        if (!value->isNumber()) {
+            fail(path + ": counter '" + key + "' is not numeric");
+            return;
+        }
+    }
+    std::printf("ok: %s (schemaVersion %d, %zu counters, "
+                "%zu gauges)\n",
+                path.c_str(), static_cast<int>(version->asNumber()),
+                counters->asObject().size(),
+                gauges->asObject().size());
+}
+
+void
+checkStatsLine(const std::string &path)
+{
+    const std::string text = slurp(path);
+    if (text.empty())
+        return;
+    // The stats line shares stderr with heartbeat lines and other
+    // diagnostics: validate the first line that looks like JSON.
+    std::string line;
+    std::istringstream lines(text);
+    while (std::getline(lines, line) &&
+           (line.empty() || line[0] != '{')) {
+    }
+    if (line.empty() || line[0] != '{') {
+        fail(path + ": no JSON stats line found");
+        return;
+    }
+    ValuePtr root;
+    try {
+        root = toqm::obs::json::parse(line);
+    } catch (const std::exception &e) {
+        fail(path + ": " + e.what());
+        return;
+    }
+    static const char *v1_keys[] = {
+        "mapper",  "status",    "cycles",          "swaps",
+        "expanded", "generated", "filtered",       "trims",
+        "rounds",  "max_queue", "peak_pool_bytes", "peak_live_nodes",
+        "seconds"};
+    for (const char *key : v1_keys) {
+        if (!root->has(key)) {
+            fail(path + ": stats line missing v1 key '" +
+                 std::string(key) + "'");
+            return;
+        }
+    }
+    const ValuePtr version = root->get("schemaVersion");
+    if (!version || !version->isNumber() || version->asNumber() < 2) {
+        fail(path + ": stats line schemaVersion < 2");
+        return;
+    }
+    if (!root->has("arch") || !root->has("latency") ||
+        !root->has("detail")) {
+        fail(path + ": stats line missing arch/latency/detail");
+        return;
+    }
+    std::printf("ok: %s (stats line schemaVersion %d)\n", path.c_str(),
+                static_cast<int>(version->asNumber()));
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(stderr,
+                 "usage: toqm_obs_check [--trace FILE] "
+                 "[--require-phases a,b,c]\n"
+                 "       [--metrics FILE] [--stats-line FILE]\n");
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string trace_path;
+    std::string metrics_path;
+    std::string stats_path;
+    std::vector<std::string> required_phases;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(2);
+            return argv[++i];
+        };
+        if (arg == "--trace")
+            trace_path = next();
+        else if (arg == "--metrics")
+            metrics_path = next();
+        else if (arg == "--stats-line")
+            stats_path = next();
+        else if (arg == "--require-phases")
+            required_phases = splitCommas(next());
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    if (trace_path.empty() && metrics_path.empty() &&
+        stats_path.empty()) {
+        usage(2);
+    }
+
+    if (!trace_path.empty())
+        checkTrace(trace_path, required_phases);
+    if (!metrics_path.empty())
+        checkMetrics(metrics_path);
+    if (!stats_path.empty())
+        checkStatsLine(stats_path);
+
+    return g_failures == 0 ? 0 : 1;
+}
