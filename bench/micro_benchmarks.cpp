@@ -236,6 +236,57 @@ BM_ObsProbeSampling(benchmark::State &state)
 }
 BENCHMARK(BM_ObsProbeSampling);
 
+/**
+ * ResourceGuard::poll() on the expansion hot path.  Baseline = the
+ * loop with no guard at all; Disarmed = the always-embedded guard a
+ * run without --deadline-ms/--max-pool-mb sees (must be within noise
+ * of Baseline — that is the "free when off" contract); Armed = a
+ * deadline guard at the default 256-expansion probe cadence.
+ */
+void
+BM_GuardPollBaseline(benchmark::State &state)
+{
+    std::uint64_t expanded = 0;
+    for (auto _ : state) {
+        ++expanded;
+        benchmark::DoNotOptimize(expanded);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardPollBaseline);
+
+void
+BM_GuardPollDisarmed(benchmark::State &state)
+{
+    search::ResourceGuard guard;
+    std::uint64_t expanded = 0;
+    for (auto _ : state) {
+        ++expanded;
+        auto stop = guard.poll();
+        benchmark::DoNotOptimize(expanded);
+        benchmark::DoNotOptimize(stop);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardPollDisarmed);
+
+void
+BM_GuardPollArmed(benchmark::State &state)
+{
+    search::GuardConfig config;
+    config.deadlineMs = 3'600'000; // never trips within the run
+    search::ResourceGuard guard(config, nullptr);
+    std::uint64_t expanded = 0;
+    for (auto _ : state) {
+        ++expanded;
+        auto stop = guard.poll();
+        benchmark::DoNotOptimize(expanded);
+        benchmark::DoNotOptimize(stop);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardPollArmed);
+
 void
 BM_OptimalMapperQft5Lnn(benchmark::State &state)
 {

@@ -75,6 +75,9 @@ ZulehnerMapper::map(const ir::Circuit &logical,
     const search::Stopwatch stopwatch;
     const obs::PhaseScope obs_phase("search");
     obs::SearchProbe probe("zulehner");
+    // No NodePool here: the guard watches the deadline and the
+    // cancellation flag only.
+    search::ResourceGuard guard(_config.guard, nullptr);
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     const int nl = clean.numQubits();
     const int np = _graph.numQubits();
@@ -123,6 +126,10 @@ ZulehnerMapper::map(const ir::Circuit &logical,
         if (excess(layer, l2p) == 0)
             return;
 
+        // Once the guard has tripped, skip the per-layer A* entirely
+        // and degrade every remaining layer to greedy routing.
+        const bool degraded = guard.stop() != search::StopReason::None;
+
         // A* over layouts, cost = swap count; the open set reuses
         // the search kernel's heap frontier.
         search::BestFirstFrontier<AStarNode, AStarOrder> open;
@@ -135,10 +142,12 @@ ZulehnerMapper::map(const ir::Circuit &logical,
 
         std::uint64_t popped = 0;
         bool solved = false;
-        while (!open.empty()) {
+        while (!degraded && !open.empty()) {
             AStarNode node = open.pop();
             if (++popped > _config.perLayerNodeBudget)
                 break;
+            if (guard.poll() != search::StopReason::None)
+                break; // degrade this and all remaining layers
             ++result.stats.expanded;
             probe.onExpansion(result.stats.expanded,
                               static_cast<double>(node.g + node.h),
@@ -272,6 +281,7 @@ ZulehnerMapper::map(const ir::Circuit &logical,
     flush_layer();
 
     result.success = true;
+    result.status = search::statusFor(guard.stop());
     result.stats.seconds = stopwatch.seconds();
     if (probe.active()) {
         probe.finishRun(result.stats.expanded, result.stats.generated,

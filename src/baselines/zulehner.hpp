@@ -25,6 +25,7 @@
 #include "arch/coupling_graph.hpp"
 #include "ir/circuit.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/resource_guard.hpp"
 #include "search/search_stats.hpp"
 
 namespace toqm::baselines {
@@ -36,12 +37,23 @@ struct ZulehnerConfig
     std::uint64_t perLayerNodeBudget = 200'000;
     /** Seed for the random initial layout (when none is given). */
     std::uint64_t seed = 11;
+    /**
+     * Resource limits; all-defaults = disarmed.  On a guard stop the
+     * current and all remaining layers degrade to greedy
+     * shortest-path routing (the anytime incumbent of this layered
+     * scheme: always complete, just with more swaps), so a deadline
+     * run still yields a valid mapping.
+     */
+    search::GuardConfig guard;
 };
 
 /** Result of a Zulehner-style run. */
 struct ZulehnerResult
 {
     bool success = false;
+    /** Solved, or the guard stop reason when layers were degraded to
+     *  greedy routing mid-run (the mapping is still complete). */
+    search::SearchStatus status = search::SearchStatus::Solved;
     ir::MappedCircuit mapped;
     int swapCount = 0;
     /** Layers that fell back to greedy routing. */

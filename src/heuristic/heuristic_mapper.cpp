@@ -96,6 +96,7 @@ class Run
             _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
                        NodeOrder{_config.hWeight, _config.routeWeight}));
         engine.bindProbe("heuristic");
+        engine.armGuard(_config.guard);
         const NodeOrder order{_config.hWeight, _config.routeWeight};
         NodeRef terminal;
         engine.push(root);
@@ -106,6 +107,11 @@ class Run
                 break;
             }
             engine.noteExpansion(order.weightedF(node));
+            if (const auto stop = engine.guardStop();
+                stop != search::StopReason::None) {
+                result.status = search::statusFor(stop);
+                break;
+            }
             if (_config.maxExpandedNodes != 0 &&
                 engine.stats().expanded > _config.maxExpandedNodes) {
                 result.status = SearchStatus::BudgetExhausted;
@@ -137,12 +143,18 @@ class Run
             _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
                        NodeOrder{_config.hWeight, _config.routeWeight}));
         engine.bindProbe("heuristic");
+        engine.armGuard(_config.guard);
         const NodeOrder order{_config.hWeight, _config.routeWeight};
         NodeRef committed = root;
         NodeRef terminal;
         int budget = _config.episodeBudget;
 
         while (!committed->allScheduled(_ctx)) {
+            if (const auto stop = engine.guardStop();
+                stop != search::StopReason::None) {
+                result.status = search::statusFor(stop);
+                break;
+            }
             if (_config.maxExpandedNodes != 0 &&
                 engine.stats().expanded > _config.maxExpandedNodes) {
                 result.status = SearchStatus::BudgetExhausted;
@@ -166,6 +178,8 @@ class Run
                     break;
                 }
                 engine.noteExpansion(order.weightedF(node));
+                if (engine.guardStop() != search::StopReason::None)
+                    break; // outer loop reports the stop reason
                 expandInto(node, engine);
             }
             if (terminal)
@@ -196,7 +210,10 @@ class Run
     finishWith(const NodeRef &terminal, HeuristicResult &result)
     {
         result.success = true;
-        result.status = SearchStatus::Solved;
+        // Preserve a budget/guard stop status: the schedule is
+        // complete, but the run was cut short getting it.
+        if (result.status == SearchStatus::Infeasible)
+            result.status = SearchStatus::Solved;
         result.mapped = core::reconstructMapping(_ctx, terminal);
         // The emitted circuit can be faster than the search's own
         // schedule (the beam may have parked swaps behind waits that
@@ -289,6 +306,7 @@ class Run
     {
         BeamEngine engine(_pool);
         engine.bindProbe("heuristic");
+        engine.armGuard(_config.guard);
         search::BeamFrontier &beam = engine.frontier();
         beam.assign({root});
         NodeRef terminal;
@@ -300,9 +318,21 @@ class Run
             4 * _graph.diameter() * _ctx.swapLatency() + 64;
 
         for (;;) {
-            if (_config.maxExpandedNodes != 0 &&
-                engine.stats().expanded > _config.maxExpandedNodes) {
-                result.status = SearchStatus::BudgetExhausted;
+            const search::StopReason stop = engine.guardStop();
+            if (stop != search::StopReason::None ||
+                (_config.maxExpandedNodes != 0 &&
+                 engine.stats().expanded > _config.maxExpandedNodes)) {
+                result.status = stop != search::StopReason::None
+                                    ? search::statusFor(stop)
+                                    : SearchStatus::BudgetExhausted;
+                // A complete schedule already carried through the
+                // level is still a valid answer: deliver it.
+                for (const NodeRef &node : beam.level()) {
+                    if (node->allScheduled(_ctx) &&
+                        (!terminal ||
+                         node->makespan() < terminal->makespan()))
+                        terminal = node;
+                }
                 break;
             }
 

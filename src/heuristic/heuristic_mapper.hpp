@@ -33,6 +33,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/resource_guard.hpp"
 #include "search/search_stats.hpp"
 
 namespace toqm::heuristic {
@@ -100,6 +101,9 @@ struct HeuristicConfig
     size_t filterMaxEntries = 200'000;
     /** Hard stop on expansions (0 disables the limit). */
     std::uint64_t maxExpandedNodes = 0;
+    /** Resource limits (deadline / memory ceiling / cancellation);
+     *  all-defaults = disarmed. */
+    search::GuardConfig guard;
 };
 
 /** Search statistics — the kernel's unified run report. */
@@ -113,7 +117,10 @@ struct HeuristicResult
      * Solved when a full schedule was produced; BudgetExhausted when
      * the expansion budget (maxExpandedNodes, or the receding-horizon
      * episode cap) ran out first; Infeasible when the search hit a
-     * state with no legal transition.
+     * state with no legal transition; DeadlineExceeded /
+     * MemoryExhausted / Cancelled when the ResourceGuard stopped the
+     * run (in Beam mode a complete schedule already in the level is
+     * still delivered).
      */
     search::SearchStatus status = search::SearchStatus::Infeasible;
     /** Total cycles of the transformed circuit. */

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
+#include <string>
 
 namespace toqm::qasm {
 
@@ -30,20 +32,37 @@ ParamExpr::eval(const Env &env) const
     return it->second;
 }
 
+namespace {
+
+/** Reject overflow to inf / domain-error NaN in parameter math so a
+ *  non-finite angle never reaches the IR. */
+double
+requireFinite(double value, const char *context)
+{
+    if (!std::isfinite(value)) {
+        throw std::runtime_error(
+            std::string("non-finite result in QASM expression (") +
+            context + ")");
+    }
+    return value;
+}
+
+} // namespace
+
 double
 BinaryExpr::eval(const Env &env) const
 {
     const double a = _lhs->eval(env);
     const double b = _rhs->eval(env);
     switch (_op) {
-      case '+': return a + b;
-      case '-': return a - b;
-      case '*': return a * b;
+      case '+': return requireFinite(a + b, "+");
+      case '-': return requireFinite(a - b, "-");
+      case '*': return requireFinite(a * b, "*");
       case '/':
         if (b == 0.0)
             throw std::runtime_error("division by zero in QASM expression");
-        return a / b;
-      case '^': return std::pow(a, b);
+        return requireFinite(a / b, "/");
+      case '^': return requireFinite(std::pow(a, b), "^");
       default:
         throw std::runtime_error("bad binary operator");
     }
@@ -54,27 +73,29 @@ CallExpr::eval(const Env &env) const
 {
     const double a = _arg->eval(env);
     if (_func == "sin")
-        return std::sin(a);
+        return requireFinite(std::sin(a), "sin");
     if (_func == "cos")
-        return std::cos(a);
+        return requireFinite(std::cos(a), "cos");
     if (_func == "tan")
-        return std::tan(a);
+        return requireFinite(std::tan(a), "tan");
     if (_func == "exp")
-        return std::exp(a);
+        return requireFinite(std::exp(a), "exp");
     if (_func == "ln")
-        return std::log(a);
+        return requireFinite(std::log(a), "ln");
     if (_func == "sqrt")
-        return std::sqrt(a);
+        return requireFinite(std::sqrt(a), "sqrt");
     throw std::runtime_error("unknown function: " + _func);
 }
 
 int
 Program::totalQubits() const
 {
-    int total = 0;
+    long long total = 0;
     for (const auto &reg : qregs)
         total += reg.size;
-    return total;
+    if (total > std::numeric_limits<int>::max())
+        throw std::overflow_error("total qubit count overflows int");
+    return static_cast<int>(total);
 }
 
 int

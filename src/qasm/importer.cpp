@@ -1,7 +1,9 @@
 #include "importer.hpp"
 
+#include <cstdint>
 #include <map>
 #include <stdexcept>
+#include <string>
 
 #include "obs/observer.hpp"
 #include "parser.hpp"
@@ -51,9 +53,20 @@ class Emitter
     apply(const std::string &name, const std::vector<double> &params,
           const std::vector<int> &qubits, int depth)
     {
-        if (depth > 64)
+        if (depth > _options.maxExpansionDepth)
             throw std::runtime_error("gate expansion too deep (recursive "
                                      "gate definition?): " + name);
+        // Size check before each emission: a k-level doubling chain
+        // expands to 2^k ops, so the cap must bite during expansion,
+        // not after.
+        if (_options.maxExpandedGates != 0 &&
+            static_cast<std::uint64_t>(_result.circuit.size()) >=
+                _options.maxExpandedGates) {
+            throw std::runtime_error(
+                "gate expansion exceeds " +
+                std::to_string(_options.maxExpandedGates) +
+                " operations (exponential gate definition?): " + name);
+        }
 
         if (name == "U") {
             _result.circuit.add(
@@ -148,6 +161,17 @@ ImportResult
 importProgram(const Program &program, const ImportOptions &options)
 {
     ImportResult result;
+    // Overflow-safe total: per-register sizes are parser-capped, but
+    // many registers could still push the int sum past INT_MAX.
+    long long wide_total = 0;
+    for (const RegDecl &reg : program.qregs)
+        wide_total += reg.size;
+    if (options.maxQubits > 0 && wide_total > options.maxQubits) {
+        throw std::runtime_error(
+            "program declares " + std::to_string(wide_total) +
+            " qubits, above the import limit of " +
+            std::to_string(options.maxQubits));
+    }
     const int total = program.totalQubits();
     result.circuit = ir::Circuit(total, "qasm");
     for (const RegDecl &reg : program.qregs) {

@@ -13,6 +13,7 @@
 #ifndef TOQM_QASM_IMPORTER_HPP
 #define TOQM_QASM_IMPORTER_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,24 @@ struct ImportOptions
      * (the mapper must still route it); if false, conditionals throw.
      */
     bool allowConditionals = false;
+    /**
+     * Macro-expansion recursion limit.  Legitimate library gates nest
+     * a handful of levels; a chain anywhere near this deep is a
+     * recursive (or adversarial) definition.
+     */
+    int maxExpansionDepth = 64;
+    /**
+     * Cap on the total number of IR gates the lowering may emit.
+     * Guards against "gate bombs": k levels of gates that each apply
+     * the previous one twice expand to 2^k operations from a few
+     * hundred bytes of source.  0 disables the cap.
+     */
+    std::uint64_t maxExpandedGates = 4'000'000;
+    /**
+     * Cap on the total flattened qubit count (sum over qregs).
+     * 0 disables the cap.
+     */
+    int maxQubits = 1'048'576;
 };
 
 /** A measurement's classical destination, in circuit gate order. */

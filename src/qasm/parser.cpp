@@ -1,12 +1,67 @@
 #include "parser.hpp"
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
 #include "qelib.hpp"
 
 namespace toqm::qasm {
+
+namespace {
+
+/**
+ * Upper bound on a single register's declared size.  No real device
+ * or benchmark comes close; a larger literal is almost certainly a
+ * typo or hostile input, and rejecting it here keeps the importer
+ * from attempting a multi-gigabyte allocation.
+ */
+constexpr long kMaxRegisterSize = 1'048'576;
+
+/**
+ * Convert an Integer token to a long, reporting overflow (and values
+ * above @p max_value) as a ParseError at the token's position rather
+ * than letting std::out_of_range escape without source coordinates.
+ */
+long
+integerValue(const Token &t, const char *what, long max_value)
+{
+    long value = 0;
+    try {
+        value = std::stol(t.text);
+    } catch (const std::out_of_range &) {
+        throw ParseError(std::string(what) + " out of range: " + t.text,
+                         t.line, t.column);
+    }
+    if (value > max_value) {
+        throw ParseError(std::string(what) + " too large: " + t.text +
+                             " (limit " + std::to_string(max_value) + ")",
+                         t.line, t.column);
+    }
+    return value;
+}
+
+/** Convert a numeric token to a finite double or fail with position. */
+double
+realValue(const Token &t)
+{
+    double value = 0.0;
+    try {
+        value = std::stod(t.text);
+    } catch (const std::out_of_range &) {
+        throw ParseError("numeric literal out of range: " + t.text,
+                         t.line, t.column);
+    }
+    if (!std::isfinite(value)) {
+        throw ParseError("numeric literal is not finite: " + t.text,
+                         t.line, t.column);
+    }
+    return value;
+}
+
+} // namespace
 
 IncludeResolver
 defaultIncludeResolver(const std::string &base_dir)
@@ -133,7 +188,9 @@ Parser::parseStatement()
         expect(TokenKind::Equals, "'=='");
         const Token &val = expect(TokenKind::Integer, "integer");
         expect(TokenKind::RParen, "')'");
-        parseQop(true, reg.text, std::stol(val.text));
+        parseQop(true, reg.text,
+                 integerValue(val, "if-condition value",
+                              std::numeric_limits<long>::max()));
         return;
       }
       default:
@@ -174,7 +231,8 @@ Parser::parseRegDecl(bool quantum)
     expect(TokenKind::Semicolon, "';'");
     RegDecl decl;
     decl.name = name.text;
-    decl.size = std::stoi(size.text);
+    decl.size = static_cast<int>(
+        integerValue(size, "register size", kMaxRegisterSize));
     if (decl.size <= 0)
         fail("register size must be positive");
     (quantum ? _program.qregs : _program.cregs).push_back(std::move(decl));
@@ -399,8 +457,10 @@ Parser::parseArgument()
     Argument arg;
     arg.reg = expect(TokenKind::Identifier, "register name").text;
     if (accept(TokenKind::LBracket)) {
-        arg.index =
-            std::stoi(expect(TokenKind::Integer, "qubit index").text);
+        const Token &index = expect(TokenKind::Integer, "qubit index");
+        arg.index = static_cast<int>(integerValue(
+            index, "qubit index",
+            static_cast<long>(std::numeric_limits<int>::max())));
         expect(TokenKind::RBracket, "']'");
     }
     return arg;
@@ -487,7 +547,7 @@ Parser::parsePrimary()
     switch (t.kind) {
       case TokenKind::Integer:
       case TokenKind::Real:
-        return std::make_unique<NumberExpr>(std::stod(t.text));
+        return std::make_unique<NumberExpr>(realValue(t));
       case TokenKind::KwPi:
         return std::make_unique<PiExpr>();
       case TokenKind::Identifier: {

@@ -18,6 +18,7 @@
 #include "frontier.hpp"
 #include "node_pool.hpp"
 #include "obs/search_probe.hpp"
+#include "resource_guard.hpp"
 #include "search_stats.hpp"
 
 namespace toqm::search {
@@ -66,15 +67,42 @@ class SearchEngine
     }
 
     /**
-     * Count one node expansion and feed the sampled gauge series
-     * (frontier size, live nodes, pool bytes, best f).  Replaces
-     * bare `++stats().expanded` in the drivers; costs one branch
-     * when observability is off.
+     * Arm the resource guard (deadline / memory ceiling /
+     * cancellation) for this run.  With an all-defaults config this
+     * is a no-op and the guard stays disarmed: `noteExpansion` then
+     * pays one always-false branch, keeping default runs
+     * byte-identical to pre-guard behavior.
+     */
+    void
+    armGuard(const GuardConfig &config)
+    {
+        if (config.enabled())
+            _guard = ResourceGuard(config, _pool);
+    }
+
+    /**
+     * The guard's sticky stop reason; drivers check this alongside
+     * their node-budget test and unwind (returning an incumbent if
+     * they tracked one) when it is not `StopReason::None`.
+     */
+    StopReason guardStop() const { return _guard.stop(); }
+
+    /** The run's guard, for driver phases that expand nodes outside
+     *  `noteExpansion` (e.g. the A* upper-bound beam probe) and must
+     *  poll the same deadline. */
+    ResourceGuard &guard() { return _guard; }
+
+    /**
+     * Count one node expansion, poll the resource guard and feed the
+     * sampled gauge series (frontier size, live nodes, pool bytes,
+     * best f).  Replaces bare `++stats().expanded` in the drivers;
+     * costs two branches when observability and the guard are off.
      */
     void
     noteExpansion(double best_f)
     {
         ++_stats.expanded;
+        _guard.poll();
         _probe.onExpansion(_stats.expanded, best_f, _frontier.size(),
                            _pool->liveNodes(), _pool->peakBytes());
     }
@@ -115,6 +143,7 @@ class SearchEngine
         _stats.seconds = _stopwatch.seconds();
         _stats.peakPoolBytes = _pool->peakBytes();
         _stats.peakLiveNodes = _pool->peakLiveNodes();
+        _stats.guardProbes = _guard.probes();
         if (_probe.active()) {
             _probe.finishRun(_stats.expanded, _stats.generated,
                              _stats.filtered, _stats.maxQueueSize,
@@ -128,6 +157,7 @@ class SearchEngine
     SearchStats _stats;
     Stopwatch _stopwatch;
     obs::SearchProbe _probe;
+    ResourceGuard _guard;
 };
 
 } // namespace toqm::search

@@ -1,0 +1,133 @@
+#include "resource_guard.hpp"
+
+#include <atomic>
+
+#include "node_pool.hpp"
+#include "obs/observer.hpp"
+
+namespace toqm::search {
+
+namespace {
+
+/** Process-wide cancellation latch.  Lock-free on every platform we
+ *  target, which makes the store below async-signal-safe. */
+std::atomic<bool> g_cancel_requested{false};
+
+/** Cold-path bookkeeping when a guard trips: one trace instant and
+ *  one metrics counter per stop, both keyed by static literals (the
+ *  trace sink keeps name pointers). */
+void
+noteGuardStop(StopReason reason)
+{
+    obs::Observer &o = obs::Observer::global();
+    if (!o.active())
+        return;
+    const char *instant_name = "guard.stop";
+    const char *counter_name = "guard.stop";
+    switch (reason) {
+      case StopReason::Deadline:
+        instant_name = "guard.stop.deadline";
+        counter_name = "guard.stop.deadline";
+        break;
+      case StopReason::Memory:
+        instant_name = "guard.stop.memory";
+        counter_name = "guard.stop.memory";
+        break;
+      case StopReason::Cancelled:
+        instant_name = "guard.stop.cancelled";
+        counter_name = "guard.stop.cancelled";
+        break;
+      case StopReason::None:
+        return;
+    }
+    if (o.traceEnabled())
+        o.instant(instant_name);
+    if (o.metricsEnabled())
+        o.metrics().increment(counter_name);
+}
+
+} // namespace
+
+const char *
+toString(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::None:
+        return "none";
+      case StopReason::Deadline:
+        return "deadline";
+      case StopReason::Memory:
+        return "memory";
+      case StopReason::Cancelled:
+        return "cancelled";
+    }
+    return "unknown";
+}
+
+SearchStatus
+statusFor(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Deadline:
+        return SearchStatus::DeadlineExceeded;
+      case StopReason::Memory:
+        return SearchStatus::MemoryExhausted;
+      case StopReason::Cancelled:
+        return SearchStatus::Cancelled;
+      case StopReason::None:
+        break;
+    }
+    return SearchStatus::Solved;
+}
+
+void
+requestCancellation() noexcept
+{
+    g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+void
+clearCancellation() noexcept
+{
+    g_cancel_requested.store(false, std::memory_order_relaxed);
+}
+
+bool
+cancellationRequested() noexcept
+{
+    return g_cancel_requested.load(std::memory_order_relaxed);
+}
+
+ResourceGuard::ResourceGuard(const GuardConfig &config,
+                             const NodePool *pool)
+    : _armed(config.enabled()),
+      _interval(config.probeInterval == 0 ? 1 : config.probeInterval),
+      _countdown(_interval), _maxPoolBytes(config.maxPoolBytes),
+      _honorCancellation(config.honorCancellation),
+      _hasDeadline(config.deadlineMs != 0), _pool(pool)
+{
+    if (_hasDeadline) {
+        _deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(config.deadlineMs);
+    }
+}
+
+void
+ResourceGuard::probe()
+{
+    ++_probes;
+    // Precedence: cancellation (external, most urgent) beats the
+    // deadline beats the memory ceiling.
+    if (_honorCancellation && cancellationRequested())
+        _stop = StopReason::Cancelled;
+    else if (_hasDeadline &&
+             std::chrono::steady_clock::now() >= _deadline)
+        _stop = StopReason::Deadline;
+    else if (_maxPoolBytes != 0 && _pool != nullptr &&
+             _pool->peakBytes() > _maxPoolBytes)
+        _stop = StopReason::Memory;
+    if (_stop != StopReason::None)
+        noteGuardStop(_stop);
+}
+
+} // namespace toqm::search

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Resource guard for the search kernel: wall-clock deadlines, memory
+ * ceilings and cooperative cancellation.
+ *
+ * Exact mapping is worst-case exponential (paper §5), so a
+ * production pipeline must be able to stop a search for reasons
+ * other than "the node budget ran out": a request deadline passed,
+ * the node pool grew past its memory ceiling, or an operator sent
+ * SIGINT/SIGTERM.  `ResourceGuard` watches all three with one
+ * countdown branch on the expansion hot path; the actual clock read,
+ * pool-byte read and cancellation-flag load happen only once every
+ * `probeInterval` expansions (the same coarse-clock pattern the obs
+ * `SearchProbe` uses).  Once a stop condition trips the guard stays
+ * tripped — drivers observe it via `stop()` and unwind, returning
+ * their best incumbent if they tracked one.
+ *
+ * Stop-condition precedence (checked in this order at each probe):
+ * Cancelled > Deadline > Memory.  The driver-level node budget is
+ * outside the guard and ranks last.
+ */
+
+#ifndef TOQM_SEARCH_RESOURCE_GUARD_HPP
+#define TOQM_SEARCH_RESOURCE_GUARD_HPP
+
+#include <chrono>
+#include <cstdint>
+
+#include "search_stats.hpp"
+
+namespace toqm::search {
+
+class NodePool;
+
+/** Why a guard stopped a run (None = still running / never tripped). */
+enum class StopReason {
+    None,
+    Deadline,
+    Memory,
+    Cancelled,
+};
+
+const char *toString(StopReason reason);
+
+/** Map a tripped guard to the SearchStatus a driver should report.
+ *  `StopReason::None` maps to Solved (i.e. "not the guard's call"). */
+SearchStatus statusFor(StopReason reason);
+
+/**
+ * Request cooperative cancellation of every armed guard in the
+ * process.  Async-signal-safe (a single lock-free atomic store):
+ * `toqm_map` calls this from its SIGINT/SIGTERM handler.  Guards
+ * only honor it when `GuardConfig::honorCancellation` is set, so
+ * library users are unaffected unless they opt in.
+ */
+void requestCancellation() noexcept;
+
+/** Clear a pending cancellation request (tests, REPL-style reuse). */
+void clearCancellation() noexcept;
+
+/** True when a cancellation request is pending. */
+bool cancellationRequested() noexcept;
+
+/** Resource limits for one search run.  All-defaults = disabled. */
+struct GuardConfig
+{
+    /** Wall-clock deadline in milliseconds (0 = none). */
+    std::uint64_t deadlineMs = 0;
+    /** Ceiling on NodePool slab bytes (0 = none). */
+    std::uint64_t maxPoolBytes = 0;
+    /** Expansions between probes (clock/pool/flag reads). */
+    std::uint32_t probeInterval = 256;
+    /** Honor process-wide requestCancellation() (CLI opt-in). */
+    bool honorCancellation = false;
+
+    /** True when any stop condition is being watched. */
+    bool
+    enabled() const
+    {
+        return deadlineMs != 0 || maxPoolBytes != 0 ||
+               honorCancellation;
+    }
+};
+
+/**
+ * The per-run watcher.  Default-constructed guards are disarmed:
+ * `poll()` is a single always-false branch, so engines can embed one
+ * unconditionally (the contract mirrors the obs probe's disabled
+ * path — see BM_GuardPoll* in bench/).  Armed guards count down to
+ * a probe; `probe()` is the cold path.
+ */
+class ResourceGuard
+{
+  public:
+    /** Disarmed guard: poll() never trips. */
+    ResourceGuard() = default;
+
+    /**
+     * Arm a guard over @p config.  @p pool supplies the slab-byte
+     * reading for the memory ceiling; pass nullptr for searches that
+     * do not use the pool (the memory check is then skipped).
+     */
+    ResourceGuard(const GuardConfig &config, const NodePool *pool);
+
+    /**
+     * Hot-path check: returns the sticky stop reason, probing the
+     * expensive conditions every `probeInterval` calls.  Disarmed
+     * guards return `StopReason::None` after one branch.
+     */
+    StopReason
+    poll()
+    {
+        if (!_armed)
+            return StopReason::None;
+        if (_stop == StopReason::None && --_countdown == 0) {
+            _countdown = _interval;
+            probe();
+        }
+        return _stop;
+    }
+
+    /** The sticky stop reason without probing. */
+    StopReason stop() const { return _stop; }
+
+    bool armed() const { return _armed; }
+
+    /** Number of cold probes taken (reported in SearchStats). */
+    std::uint64_t probes() const { return _probes; }
+
+  private:
+    /** Cold path: read the clock, pool bytes and cancel flag. */
+    void probe();
+
+    bool _armed = false;
+    StopReason _stop = StopReason::None;
+    std::uint32_t _interval = 256;
+    std::uint32_t _countdown = 256;
+    std::uint64_t _probes = 0;
+    std::uint64_t _maxPoolBytes = 0;
+    bool _honorCancellation = false;
+    bool _hasDeadline = false;
+    std::chrono::steady_clock::time_point _deadline{};
+    const NodePool *_pool = nullptr;
+};
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_RESOURCE_GUARD_HPP

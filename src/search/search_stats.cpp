@@ -14,6 +14,12 @@ toString(SearchStatus status)
         return "budget-exhausted";
       case SearchStatus::Infeasible:
         return "infeasible";
+      case SearchStatus::DeadlineExceeded:
+        return "deadline-exceeded";
+      case SearchStatus::MemoryExhausted:
+        return "memory-exhausted";
+      case SearchStatus::Cancelled:
+        return "cancelled";
     }
     return "unknown";
 }
@@ -48,6 +54,7 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
         context.lat1, context.lat2, context.latSwap);
 
     const auto remaining = [&] { return sizeof(buf) - static_cast<size_t>(n); };
+    const char *incumbent = context.hasIncumbent ? "true" : "false";
     switch (status) {
       case SearchStatus::Solved:
         n += std::snprintf(buf + n, remaining(),
@@ -64,9 +71,35 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
             buf + n, remaining(),
             "{\"reason\":\"search-space-exhausted\"}");
         break;
+      case SearchStatus::DeadlineExceeded:
+        n += std::snprintf(
+            buf + n, remaining(),
+            "{\"deadline_ms\":%llu,\"incumbent\":%s}",
+            static_cast<unsigned long long>(context.deadlineMs),
+            incumbent);
+        break;
+      case SearchStatus::MemoryExhausted:
+        n += std::snprintf(
+            buf + n, remaining(),
+            "{\"max_pool_bytes\":%llu,\"incumbent\":%s}",
+            static_cast<unsigned long long>(context.maxPoolBytes),
+            incumbent);
+        break;
+      case SearchStatus::Cancelled:
+        n += std::snprintf(buf + n, remaining(),
+                           "{\"incumbent\":%s}", incumbent);
+        break;
     }
-    std::snprintf(buf + n, remaining(), "}\n");
-    return buf;
+
+    // The degradation block is caller-rendered and unbounded, so the
+    // tail is assembled as a string rather than into the fixed buf.
+    std::string line(buf, static_cast<size_t>(n));
+    if (!context.degradationJson.empty()) {
+        line += ",\"degradation\":";
+        line += context.degradationJson;
+    }
+    line += "}\n";
+    return line;
 }
 
 std::string

@@ -27,6 +27,14 @@ enum class SearchStatus {
     /** The search space was exhausted without a terminal: the
      *  instance is genuinely unsolvable under the given constraints. */
     Infeasible,
+    /** The wall-clock deadline passed before optimality was proven
+     *  (ResourceGuard).  An incumbent may still have been returned. */
+    DeadlineExceeded,
+    /** The node pool hit its memory ceiling (ResourceGuard). */
+    MemoryExhausted,
+    /** The run was cancelled cooperatively (SIGINT/SIGTERM or an
+     *  embedding service calling requestCancellation()). */
+    Cancelled,
 };
 
 const char *toString(SearchStatus status);
@@ -51,6 +59,10 @@ struct SearchStats
     /** Peak simultaneously-live node count. */
     std::uint64_t peakLiveNodes = 0;
     double seconds = 0.0;
+    /** Cold probes taken by the ResourceGuard (0 when disarmed).
+     *  Diagnostic only: not part of the stats-line JSON, so default
+     *  runs stay byte-identical to pre-guard output. */
+    std::uint64_t guardProbes = 0;
 };
 
 /**
@@ -70,6 +82,20 @@ struct StatsLineContext
     std::uint64_t nodeBudget = 0;
     /** True when a Solved status proves optimality (exact searches). */
     bool provenOptimal = false;
+    /** Wall-clock deadline the run was subject to (0 = none). */
+    std::uint64_t deadlineMs = 0;
+    /** Pool-byte ceiling the run was subject to (0 = none). */
+    std::uint64_t maxPoolBytes = 0;
+    /** True when a guard-stopped run still returned a complete
+     *  (non-optimal) incumbent mapping. */
+    bool hasIncumbent = false;
+    /**
+     * Pre-rendered JSON object describing the degradation chain the
+     * driver walked (see toqm_map); appended verbatim as a trailing
+     * `"degradation":{...}` key when non-empty.  Empty (the default)
+     * keeps the line byte-identical to the pre-guard shape.
+     */
+    std::string_view degradationJson;
 };
 
 /** Version of the stats-line JSON shape (see statsJsonLine). */
@@ -87,6 +113,11 @@ inline constexpr int kStatsLineSchemaVersion = 2;
  *   solved:            {"proven_optimal":bool}
  *   budget-exhausted:  {"node_budget":N}
  *   infeasible:        {"reason":"search-space-exhausted"}
+ *   deadline-exceeded: {"deadline_ms":N,"incumbent":bool}
+ *   memory-exhausted:  {"max_pool_bytes":N,"incumbent":bool}
+ *   cancelled:         {"incumbent":bool}
+ * When `context.degradationJson` is non-empty it is appended as a
+ * final `"degradation":{...}` key (additive; absent by default).
  * Scrapers keyed on the v1 fields keep working unchanged.
  */
 std::string statsJsonLine(const SearchStats &stats,

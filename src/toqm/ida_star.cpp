@@ -22,12 +22,15 @@ using Engine = search::SearchEngine<search::DepthFirstFrontier>;
  * @return the terminal node, or empty if none within @p bound;
  *         @p next_bound collects the smallest f that exceeded the
  *         bound (INT_MAX if none did: the space is exhausted).
+ *         Complete schedules whose f exceeds the bound are offered
+ *         to @p incumbent / @p incumbent_makespan — they are valid
+ *         (just not yet proven optimal) and back the anytime return.
  */
 NodeRef
 boundedDfs(const SearchContext &ctx, const Expander &expander,
            const CostEstimator &estimator, Engine &engine,
            const NodeRef &root, int bound, std::uint64_t max_expanded,
-           int &next_bound)
+           int &next_bound, NodeRef &incumbent, int &incumbent_makespan)
 {
     next_bound = std::numeric_limits<int>::max();
     engine.frontier().clear();
@@ -35,6 +38,11 @@ boundedDfs(const SearchContext &ctx, const Expander &expander,
     while (!engine.frontier().empty()) {
         NodeRef node = engine.frontier().pop();
         if (node->f() > bound) {
+            if (node->allScheduled(ctx) &&
+                node->makespan() < incumbent_makespan) {
+                incumbent_makespan = node->makespan();
+                incumbent = node;
+            }
             next_bound = std::min(next_bound, node->f());
             continue;
         }
@@ -43,7 +51,8 @@ boundedDfs(const SearchContext &ctx, const Expander &expander,
             return node;
         }
         engine.noteExpansion(node->f());
-        if (engine.stats().expanded >= max_expanded)
+        if (engine.guardStop() != search::StopReason::None ||
+            engine.stats().expanded >= max_expanded)
             return NodeRef();
 
         Expansion expansion = expander.expand(node);
@@ -70,7 +79,8 @@ IdaResult
 idaStarMap(const arch::CouplingGraph &graph,
            const ir::Circuit &logical,
            const ir::LatencyModel &latency, bool allow_mixing,
-           std::uint64_t max_expanded)
+           std::uint64_t max_expanded,
+           const search::GuardConfig &guard)
 {
     IdaResult result;
 
@@ -84,18 +94,24 @@ idaStarMap(const arch::CouplingGraph &graph,
     Expander expander(ctx, pool, cfg);
     Engine engine(pool);
     engine.bindProbe("ida");
+    engine.armGuard(guard);
 
     NodeRef root = pool.root(ir::identityLayout(ctx.numLogical()),
                              false);
     root->costH = estimator.estimate(*root);
 
+    NodeRef incumbent;
+    int incumbent_makespan = std::numeric_limits<int>::max();
+
     int bound = root->f();
-    while (engine.stats().expanded < max_expanded) {
+    while (engine.stats().expanded < max_expanded &&
+           engine.guardStop() == search::StopReason::None) {
         ++engine.stats().rounds;
         int next_bound = std::numeric_limits<int>::max();
         NodeRef terminal =
             boundedDfs(ctx, expander, estimator, engine, root, bound,
-                       max_expanded, next_bound);
+                       max_expanded, next_bound, incumbent,
+                       incumbent_makespan);
         if (terminal) {
             result.success = true;
             result.status = SearchStatus::Solved;
@@ -103,15 +119,27 @@ idaStarMap(const arch::CouplingGraph &graph,
             result.mapped = reconstructMapping(ctx, terminal);
             break;
         }
-        if (engine.stats().expanded >= max_expanded)
+        if (engine.guardStop() != search::StopReason::None ||
+            engine.stats().expanded >= max_expanded)
             break;
         if (next_bound == std::numeric_limits<int>::max())
             break; // space exhausted below every bound: unsolvable
         bound = next_bound;
     }
-    if (!result.success &&
-        engine.stats().expanded >= max_expanded) {
-        result.status = SearchStatus::BudgetExhausted;
+    if (!result.success) {
+        const search::StopReason stop = engine.guardStop();
+        if (stop != search::StopReason::None)
+            result.status = search::statusFor(stop);
+        else if (engine.stats().expanded >= max_expanded)
+            result.status = SearchStatus::BudgetExhausted;
+        if (result.status != SearchStatus::Infeasible && incumbent) {
+            // Anytime delivery: best complete schedule found across
+            // the rounds, explicitly flagged non-optimal.
+            result.success = true;
+            result.fromIncumbent = true;
+            result.cycles = incumbent_makespan;
+            result.mapped = reconstructMapping(ctx, incumbent);
+        }
     }
 
     engine.finish();

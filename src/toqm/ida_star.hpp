@@ -27,9 +27,15 @@ namespace toqm::core {
 /** Result of an IDA* run (same report shape as the A* mapper's). */
 struct IdaResult
 {
+    /** True iff a complete mapping was returned (the proven optimum
+     *  or, on a budget/guard stop, the best incumbent). */
     bool success = false;
-    /** Solved / BudgetExhausted / Infeasible (see MapperResult). */
+    /** Solved / BudgetExhausted / Infeasible or a ResourceGuard stop
+     *  status (see MapperResult). */
     SearchStatus status = SearchStatus::Infeasible;
+    /** True when `mapped` is a complete but not proven-optimal
+     *  schedule delivered on a budget/guard stop. */
+    bool fromIncumbent = false;
     int cycles = -1;
     ir::MappedCircuit mapped;
     /**
@@ -46,12 +52,14 @@ struct IdaResult
  * @param latency gate latency model.
  * @param allow_mixing Fig 14 constrained mode when false.
  * @param max_expanded total node budget across rounds.
+ * @param guard resource limits (all-defaults = disarmed).
  */
 IdaResult idaStarMap(const arch::CouplingGraph &graph,
                      const ir::Circuit &logical,
                      const ir::LatencyModel &latency,
                      bool allow_mixing = true,
-                     std::uint64_t max_expanded = 50'000'000);
+                     std::uint64_t max_expanded = 50'000'000,
+                     const search::GuardConfig &guard = {});
 
 } // namespace toqm::core
 

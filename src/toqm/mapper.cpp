@@ -29,15 +29,24 @@ struct NodeOrder
 
 using Frontier = search::BestFirstFrontier<NodeRef, NodeOrder>;
 
+/** Outcome of the upper-bound beam probe: an achievable bound plus
+ *  the terminal node it came from (the run's first incumbent). */
+struct BeamProbeResult
+{
+    int bound = std::numeric_limits<int>::max();
+    NodeRef terminal;
+};
+
 /**
  * Cheap achievable upper bound on the optimal makespan: a beam search
- * over the same node space.  Returns INT_MAX if the beam dies (then
- * no pruning happens).
+ * over the same node space.  Returns bound=INT_MAX if the beam dies
+ * (then no pruning happens).  Polls @p guard so a tight deadline also
+ * bounds the probe itself.
  */
-int
+BeamProbeResult
 beamUpperBound(const SearchContext &ctx, const Expander &expander,
                const CostEstimator &estimator, const NodeRef &start,
-               int width)
+               int width, search::ResourceGuard &guard)
 {
     search::BeamFrontier beam;
     beam.assign({start});
@@ -49,14 +58,16 @@ beamUpperBound(const SearchContext &ctx, const Expander &expander,
     for (long step = 0; step < max_steps; ++step) {
         for (const NodeRef &node : beam.level()) {
             if (node->allScheduled(ctx))
-                return node->makespan();
+                return {node->makespan(), node};
+            if (guard.poll() != search::StopReason::None)
+                return {};
             for (NodeRef &child : expander.expand(node).children) {
                 child->costH = estimator.estimate(*child);
                 beam.push(std::move(child));
             }
         }
         if (beam.nextEmpty())
-            return std::numeric_limits<int>::max();
+            return {};
         beam.advance(
             width,
             [](const NodeRef &a, const NodeRef &b) {
@@ -66,7 +77,7 @@ beamUpperBound(const SearchContext &ctx, const Expander &expander,
             },
             [](const NodeRef &) { return true; });
     }
-    return std::numeric_limits<int>::max();
+    return {};
 }
 
 } // namespace
@@ -169,6 +180,7 @@ OptimalMapper::map(const ir::Circuit &logical,
     Filter filter(_config.filterMaxEntries);
     search::SearchEngine<Frontier> engine(pool);
     engine.bindProbe("optimal");
+    engine.armGuard(_config.guard);
 
     std::vector<int> seed = initial_layout
                                 ? *initial_layout
@@ -183,6 +195,18 @@ OptimalMapper::map(const ir::Circuit &logical,
     NodeRef root = pool.root(seed, _config.searchInitialMapping);
     root->costH = estimator.estimate(*root);
 
+    // Anytime incumbent: the best complete (all-scheduled) node seen
+    // anywhere in the run.  Returned — flagged non-optimal — when a
+    // budget or guard stop preempts the proof of optimality.
+    NodeRef incumbent;
+    int incumbent_makespan = std::numeric_limits<int>::max();
+    const auto offer_incumbent = [&](const NodeRef &node) {
+        if (node && node->makespan() < incumbent_makespan) {
+            incumbent_makespan = node->makespan();
+            incumbent = node;
+        }
+    };
+
     int upper_bound = std::numeric_limits<int>::max();
     if (_config.useUpperBoundPruning) {
         NodeRef probe_start = root;
@@ -190,9 +214,11 @@ OptimalMapper::map(const ir::Circuit &logical,
             probe_start = pool.commitInitialMapping(root);
             probe_start->costH = root->costH;
         }
-        upper_bound = beamUpperBound(ctx, expander, estimator,
-                                     probe_start,
-                                     _config.upperBoundBeamWidth);
+        BeamProbeResult probe = beamUpperBound(
+            ctx, expander, estimator, probe_start,
+            _config.upperBoundBeamWidth, engine.guard());
+        upper_bound = probe.bound;
+        offer_incumbent(probe.terminal);
     }
 
     engine.push(root);
@@ -211,6 +237,8 @@ OptimalMapper::map(const ir::Circuit &logical,
     const auto admit_and_push = [&](NodeRef child, bool exempt) {
         ++engine.stats().generated;
         child->costH = estimator.estimate(*child);
+        if (child->allScheduled(ctx))
+            offer_incumbent(child); // complete schedule: keep the best
         if (child->f() > upper_bound)
             return; // can never beat the known achievable schedule
         if (_config.useFilter && !filter.admit(child, exempt))
@@ -249,10 +277,23 @@ OptimalMapper::map(const ir::Circuit &logical,
         }
 
         engine.noteExpansion(node->f());
-        if (engine.stats().expanded > _config.maxExpandedNodes) {
+        const search::StopReason stop = engine.guardStop();
+        if (stop != search::StopReason::None ||
+            engine.stats().expanded > _config.maxExpandedNodes) {
             result.success = optimal >= 0;
-            if (!result.success)
-                result.status = SearchStatus::BudgetExhausted;
+            if (!result.success) {
+                result.status = stop != search::StopReason::None
+                                    ? search::statusFor(stop)
+                                    : SearchStatus::BudgetExhausted;
+                if (incumbent) {
+                    // Anytime delivery: the best complete schedule
+                    // seen so far, explicitly flagged non-optimal.
+                    result.success = true;
+                    result.fromIncumbent = true;
+                    result.cycles = incumbent_makespan;
+                    result.mapped = reconstructMapping(ctx, incumbent);
+                }
+            }
             finish_stats(result);
             return result;
         }

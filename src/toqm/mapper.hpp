@@ -23,6 +23,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/resource_guard.hpp"
 #include "search_types.hpp"
 
 namespace toqm::core {
@@ -65,6 +66,12 @@ struct MapperConfig
     bool useUpperBoundPruning = true;
     /** Beam width for the upper-bound probe. */
     int upperBoundBeamWidth = 64;
+    /**
+     * Resource limits (wall-clock deadline, pool-byte ceiling,
+     * cooperative cancellation).  All-defaults = disarmed, which
+     * keeps the run byte-identical to pre-guard behavior.
+     */
+    search::GuardConfig guard;
 };
 
 /**
@@ -76,17 +83,29 @@ using MapperStats = search::SearchStats;
 /** Result of an optimal mapping run. */
 struct MapperResult
 {
-    /** True iff an optimal solution was found. */
+    /**
+     * True iff a complete mapping was returned: the proven optimum,
+     * or — on a budget/deadline/memory/cancel stop — the best
+     * incumbent found so far (see `fromIncumbent`).
+     */
     bool success = false;
     /**
      * Why the search ended: Solved, BudgetExhausted (node budget ran
-     * out with no solution proven — the instance may be solvable) or
-     * Infeasible (search space exhausted: genuinely unsolvable).
-     * When findAllOptimal enumeration hits the budget AFTER an
-     * optimum was found, the status stays Solved.
+     * out with no solution proven — the instance may be solvable),
+     * Infeasible (search space exhausted: genuinely unsolvable), or
+     * a ResourceGuard stop (DeadlineExceeded / MemoryExhausted /
+     * Cancelled).  When findAllOptimal enumeration hits a stop AFTER
+     * an optimum was found, the status stays Solved.
      */
     SearchStatus status = SearchStatus::Infeasible;
-    /** Total cycles of the transformed circuit (the optimum). */
+    /**
+     * Anytime delivery: true when `mapped` is the best complete (but
+     * not proven optimal) schedule seen before a budget/guard stop.
+     * Always false for Solved results.
+     */
+    bool fromIncumbent = false;
+    /** Total cycles of the transformed circuit (the optimum, or the
+     *  incumbent's makespan when fromIncumbent is set). */
     int cycles = -1;
     ir::MappedCircuit mapped;
     /** Every optimal solution, if findAllOptimal was set. */

@@ -1,0 +1,219 @@
+/**
+ * Resource-guard degradation contracts across the mapper stack:
+ *
+ *  1. Disarmed and armed-but-unreachable guards produce bit-identical
+ *     mapper output (the guard must be a pure observer until it
+ *     trips) — this is the regression fence for "no new flags, no
+ *     behavior change".
+ *  2. Anytime delivery: a budget- or guard-stopped exact search that
+ *     found a complete schedule returns it flagged fromIncumbent,
+ *     and the mapping passes structural verification.
+ *  3. Pre-set cancellation stops every mapper deterministically with
+ *     status Cancelled; Zulehner still returns a complete (greedy-
+ *     degraded) mapping because its incumbent is always complete.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "qasm/writer.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/ida_star.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm {
+namespace {
+
+/** A guard that is armed but can never trip within a test run. */
+search::GuardConfig
+unreachableGuard()
+{
+    search::GuardConfig guard;
+    guard.deadlineMs = 3'600'000; // one hour
+    guard.maxPoolBytes = 1ull << 40;
+    guard.probeInterval = 1; // probe on every expansion
+    return guard;
+}
+
+TEST(DegradationTest, ArmedButUnreachableGuardIsBitIdenticalOptimal)
+{
+    const ir::Circuit circuit = ir::qftConcrete(5);
+    const arch::CouplingGraph graph = arch::lnn(5);
+
+    core::MapperConfig plain;
+    core::MapperConfig guarded = plain;
+    guarded.guard = unreachableGuard();
+
+    const auto a = core::OptimalMapper(graph, plain).map(circuit);
+    const auto b = core::OptimalMapper(graph, guarded).map(circuit);
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_EQ(a.status, core::SearchStatus::Solved);
+    EXPECT_EQ(b.status, core::SearchStatus::Solved);
+    EXPECT_FALSE(b.fromIncumbent);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(qasm::writeMappedCircuit(a.mapped),
+              qasm::writeMappedCircuit(b.mapped));
+    EXPECT_EQ(a.stats.expanded, b.stats.expanded);
+    EXPECT_EQ(a.stats.generated, b.stats.generated);
+    // The armed guard probed; the disarmed one never did.
+    EXPECT_EQ(a.stats.guardProbes, 0u);
+    EXPECT_GT(b.stats.guardProbes, 0u);
+}
+
+TEST(DegradationTest, ArmedButUnreachableGuardIsBitIdenticalHeuristic)
+{
+    const ir::Circuit circuit = ir::qftConcrete(8);
+    const arch::CouplingGraph graph = arch::ibmQ20Tokyo();
+
+    heuristic::HeuristicConfig plain;
+    heuristic::HeuristicConfig guarded = plain;
+    guarded.guard = unreachableGuard();
+
+    const auto a =
+        heuristic::HeuristicMapper(graph, plain).map(circuit);
+    const auto b =
+        heuristic::HeuristicMapper(graph, guarded).map(circuit);
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(qasm::writeMappedCircuit(a.mapped),
+              qasm::writeMappedCircuit(b.mapped));
+    EXPECT_EQ(a.stats.expanded, b.stats.expanded);
+}
+
+TEST(DegradationTest, ArmedButUnreachableGuardIsBitIdenticalZulehner)
+{
+    const ir::Circuit circuit = ir::qftConcrete(8);
+    const arch::CouplingGraph graph = arch::ibmQ20Tokyo();
+
+    baselines::ZulehnerConfig plain;
+    baselines::ZulehnerConfig guarded = plain;
+    guarded.guard = unreachableGuard();
+
+    const auto a =
+        baselines::ZulehnerMapper(graph, plain).map(circuit);
+    const auto b =
+        baselines::ZulehnerMapper(graph, guarded).map(circuit);
+    ASSERT_TRUE(a.success && b.success);
+    EXPECT_EQ(a.status, core::SearchStatus::Solved);
+    EXPECT_EQ(b.status, core::SearchStatus::Solved);
+    EXPECT_EQ(a.swapCount, b.swapCount);
+    EXPECT_EQ(qasm::writeMappedCircuit(a.mapped),
+              qasm::writeMappedCircuit(b.mapped));
+}
+
+TEST(DegradationTest, BudgetStopDeliversVerifiedIncumbent)
+{
+    // The beam probe completes a schedule before A* starts, so a
+    // budget too small to prove optimality still yields an incumbent.
+    const ir::Circuit circuit = ir::qftConcrete(5);
+    const arch::CouplingGraph graph = arch::lnn(5);
+
+    core::MapperConfig cfg;
+    cfg.maxExpandedNodes = 50; // far too few to prove optimality
+    ASSERT_TRUE(cfg.useUpperBoundPruning);
+    const auto res = core::OptimalMapper(graph, cfg).map(circuit);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(res.fromIncumbent);
+    EXPECT_EQ(res.status, core::SearchStatus::BudgetExhausted);
+    EXPECT_GT(res.cycles, 0);
+    EXPECT_TRUE(sim::verifyMapping(circuit, res.mapped, graph).ok);
+
+    // The incumbent is an upper bound: a full run must not beat it by
+    // being worse (sanity: optimal <= incumbent).
+    const auto full = core::OptimalMapper(graph, {}).map(circuit);
+    ASSERT_TRUE(full.success);
+    EXPECT_LE(full.cycles, res.cycles);
+}
+
+TEST(DegradationTest, CancellationStopsOptimalMapper)
+{
+    search::clearCancellation();
+    search::requestCancellation();
+    core::MapperConfig cfg;
+    cfg.guard.honorCancellation = true;
+    cfg.guard.probeInterval = 1;
+    const auto res = core::OptimalMapper(arch::lnn(5), cfg)
+                         .map(ir::qftConcrete(5));
+    search::clearCancellation();
+    EXPECT_EQ(res.status, core::SearchStatus::Cancelled);
+    // Delivery only with a complete incumbent; the flags must agree.
+    EXPECT_EQ(res.success, res.fromIncumbent);
+}
+
+TEST(DegradationTest, CancellationStopsIdaStar)
+{
+    search::clearCancellation();
+    search::requestCancellation();
+    search::GuardConfig guard;
+    guard.honorCancellation = true;
+    guard.probeInterval = 1;
+    const auto res = core::idaStarMap(
+        arch::lnn(5), ir::qftConcrete(5),
+        ir::LatencyModel::qftPreset(), true, 50'000'000, guard);
+    search::clearCancellation();
+    EXPECT_EQ(res.status, core::SearchStatus::Cancelled);
+    EXPECT_EQ(res.success, res.fromIncumbent);
+    if (res.success) {
+        EXPECT_TRUE(sim::verifyMapping(ir::qftConcrete(5), res.mapped,
+                                       arch::lnn(5))
+                        .ok);
+    }
+}
+
+TEST(DegradationTest, CancellationStopsHeuristicMapper)
+{
+    search::clearCancellation();
+    search::requestCancellation();
+    heuristic::HeuristicConfig cfg;
+    cfg.guard.honorCancellation = true;
+    cfg.guard.probeInterval = 1;
+    const auto res = heuristic::HeuristicMapper(arch::ibmQ20Tokyo(), cfg)
+                         .map(ir::qftConcrete(8));
+    search::clearCancellation();
+    EXPECT_EQ(res.status, core::SearchStatus::Cancelled);
+}
+
+TEST(DegradationTest, CancelledZulehnerDegradesToCompleteGreedyMapping)
+{
+    search::clearCancellation();
+    search::requestCancellation();
+    baselines::ZulehnerConfig cfg;
+    cfg.guard.honorCancellation = true;
+    cfg.guard.probeInterval = 1;
+    const ir::Circuit circuit = ir::qftConcrete(8);
+    const arch::CouplingGraph graph = arch::ibmQ20Tokyo();
+    const auto res = baselines::ZulehnerMapper(graph, cfg).map(circuit);
+    search::clearCancellation();
+    // The layered scheme's incumbent is always complete: every layer
+    // after the stop is routed greedily, so the result still maps the
+    // whole circuit and must verify.
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.status, core::SearchStatus::Cancelled);
+    EXPECT_GT(res.greedyFallbacks, 0);
+    EXPECT_TRUE(
+        sim::verifyMapping(circuit.withoutSwapsAndBarriers(), res.mapped,
+                           graph)
+            .ok);
+}
+
+TEST(DegradationTest, ExpiredDeadlineStopsOptimalMapper)
+{
+    core::MapperConfig cfg;
+    cfg.guard.deadlineMs = 1;
+    cfg.guard.probeInterval = 1;
+    // qft5 on LNN(5) needs well over 1 ms; the guard must stop it.
+    const auto res = core::OptimalMapper(arch::lnn(5), cfg)
+                         .map(ir::qftConcrete(5));
+    EXPECT_EQ(res.status, core::SearchStatus::DeadlineExceeded);
+    EXPECT_EQ(res.success, res.fromIncumbent);
+}
+
+} // namespace
+} // namespace toqm

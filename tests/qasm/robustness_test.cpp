@@ -125,5 +125,110 @@ TEST(RobustnessTest, HugeFlatCircuitParses)
     EXPECT_EQ(r.circuit.size(), 20000);
 }
 
+// ---- Numeric-overflow hardening (constant-expression evaluator and
+// ---- integer literals) -------------------------------------------
+
+TEST(RobustnessTest, RegisterSizeOverflowIsParseErrorWithPosition)
+{
+    // A literal too big for long must surface as a positioned
+    // ParseError, not a bare std::out_of_range from std::stol.
+    const std::string src =
+        "OPENQASM 2.0;\nqreg q[99999999999999999999];\n";
+    try {
+        parseString(src);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 2);
+        EXPECT_GT(e.column(), 1);
+        EXPECT_NE(std::string(e.what()).find("register size"),
+                  std::string::npos);
+    }
+}
+
+TEST(RobustnessTest, RegisterSizeAboveCapRejected)
+{
+    // Fits in an int but exceeds the per-register sanity cap.
+    EXPECT_THROW(parseString("OPENQASM 2.0;\nqreg q[2000000];\n"),
+                 ParseError);
+}
+
+TEST(RobustnessTest, TotalQubitCapRejectsManyLargeRegisters)
+{
+    // Each register is under the per-register cap; together they
+    // exceed the importer's total-qubit limit.
+    const std::string src =
+        "OPENQASM 2.0;\nqreg a[900000];\nqreg b[900000];\n";
+    EXPECT_THROW(importString(src), std::runtime_error);
+}
+
+TEST(RobustnessTest, QubitIndexOverflowIsParseError)
+{
+    const std::string src =
+        "OPENQASM 2.0;\nqreg q[1];\nU(0,0,0) q[99999999999999999999];\n";
+    EXPECT_THROW(parseString(src), ParseError);
+}
+
+TEST(RobustnessTest, IfConditionOverflowIsParseError)
+{
+    const std::string src =
+        "OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\n"
+        "if (c==99999999999999999999) U(0,0,0) q[0];\n";
+    EXPECT_THROW(parseString(src), ParseError);
+}
+
+TEST(RobustnessTest, HugeRealLiteralIsParseError)
+{
+    // 1e999 overflows double; must be a positioned ParseError rather
+    // than std::out_of_range escaping from std::stod.
+    try {
+        parseString("OPENQASM 2.0;\nqreg q[1];\nU(1e999,0,0) q[0];\n");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_EQ(e.line(), 3);
+    }
+}
+
+TEST(RobustnessTest, NonFiniteExpressionResultRejected)
+{
+    // 10^4096 overflows to inf during evaluation, not parsing.
+    const std::string src =
+        "OPENQASM 2.0;\nqreg q[1];\nU(10^4096,0,0) q[0];\n";
+    EXPECT_THROW(importString(src), std::runtime_error);
+}
+
+// ---- Bounded macro expansion -------------------------------------
+
+TEST(RobustnessTest, DoublingGateBombHitsExpansionCap)
+{
+    // g_{k+1} applies g_k twice: 32 levels expand to 2^32 U gates.
+    // The expansion-size cap must stop the import long before that.
+    std::string src = "OPENQASM 2.0;\ngate g0 a { U(0,0,0) a; }\n";
+    for (int k = 1; k <= 32; ++k) {
+        src += "gate g" + std::to_string(k) + " a { g" +
+               std::to_string(k - 1) + " a; g" +
+               std::to_string(k - 1) + " a; }\n";
+    }
+    src += "qreg q[1];\ng32 q[0];\n";
+    ImportOptions options;
+    options.maxExpandedGates = 10'000;
+    EXPECT_THROW(importString(src, options), std::runtime_error);
+}
+
+TEST(RobustnessTest, ExpansionDepthLimitIsConfigurable)
+{
+    // A linear 8-level nesting chain: fine by default, rejected when
+    // the caller tightens maxExpansionDepth below the chain length.
+    std::string src = "OPENQASM 2.0;\ngate g0 a { U(0,0,0) a; }\n";
+    for (int k = 1; k <= 8; ++k) {
+        src += "gate g" + std::to_string(k) + " a { g" +
+               std::to_string(k - 1) + " a; }\n";
+    }
+    src += "qreg q[1];\ng8 q[0];\n";
+    EXPECT_NO_THROW(importString(src));
+    ImportOptions tight;
+    tight.maxExpansionDepth = 4;
+    EXPECT_THROW(importString(src, tight), std::runtime_error);
+}
+
 } // namespace
 } // namespace toqm::qasm

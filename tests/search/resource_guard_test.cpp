@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "arch/architectures.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "search/node_pool.hpp"
+#include "search/resource_guard.hpp"
+#include "search/search_context.hpp"
+
+namespace toqm::search {
+namespace {
+
+/** Tiny circuit + pool for the memory-ceiling tests. */
+struct PoolFixture
+{
+    ir::Circuit circuit;
+    arch::CouplingGraph graph;
+    ir::LatencyModel latency;
+    SearchContext ctx;
+    NodePool pool;
+
+    PoolFixture()
+        : circuit(makeCircuit()), graph(arch::lnn(3)),
+          latency(ir::LatencyModel::qftPreset()),
+          ctx(circuit, graph, latency), pool(ctx)
+    {}
+
+    static ir::Circuit
+    makeCircuit()
+    {
+        ir::Circuit c(3);
+        c.addCX(0, 1);
+        c.addCX(1, 2);
+        return c;
+    }
+};
+
+TEST(ResourceGuardTest, DefaultConstructedGuardIsDisarmed)
+{
+    ResourceGuard guard;
+    EXPECT_FALSE(guard.armed());
+    for (int i = 0; i < 10'000; ++i)
+        EXPECT_EQ(guard.poll(), StopReason::None);
+    EXPECT_EQ(guard.stop(), StopReason::None);
+    EXPECT_EQ(guard.probes(), 0u);
+}
+
+TEST(ResourceGuardTest, AllDefaultConfigIsDisabled)
+{
+    GuardConfig config;
+    EXPECT_FALSE(config.enabled());
+    ResourceGuard guard(config, nullptr);
+    EXPECT_FALSE(guard.armed());
+}
+
+TEST(ResourceGuardTest, ExpiredDeadlineTripsWithinOneProbeInterval)
+{
+    GuardConfig config;
+    config.deadlineMs = 1;
+    config.probeInterval = 8;
+    ResourceGuard guard(config, nullptr);
+    ASSERT_TRUE(guard.armed());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // The deadline has passed; the trip must land on the first probe,
+    // i.e. within probeInterval polls.
+    StopReason seen = StopReason::None;
+    for (std::uint32_t i = 0; i < config.probeInterval; ++i)
+        seen = guard.poll();
+    EXPECT_EQ(seen, StopReason::Deadline);
+    EXPECT_EQ(guard.stop(), StopReason::Deadline);
+    EXPECT_EQ(guard.probes(), 1u);
+}
+
+TEST(ResourceGuardTest, StopIsSticky)
+{
+    GuardConfig config;
+    config.deadlineMs = 1;
+    config.probeInterval = 1;
+    ResourceGuard guard(config, nullptr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(guard.poll(), StopReason::Deadline);
+    const std::uint64_t probes_at_trip = guard.probes();
+    // Once tripped, no further cold probes run and the reason stays.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(guard.poll(), StopReason::Deadline);
+    EXPECT_EQ(guard.probes(), probes_at_trip);
+}
+
+TEST(ResourceGuardTest, GenerousDeadlineDoesNotTrip)
+{
+    GuardConfig config;
+    config.deadlineMs = 60'000;
+    config.probeInterval = 1;
+    ResourceGuard guard(config, nullptr);
+    for (int i = 0; i < 1'000; ++i)
+        EXPECT_EQ(guard.poll(), StopReason::None);
+    EXPECT_GE(guard.probes(), 1'000u);
+}
+
+TEST(ResourceGuardTest, MemoryCeilingTripsOncePoolOutgrowsIt)
+{
+    PoolFixture f;
+    NodeRef root = f.pool.root({0, 1, 2}, false);
+    ASSERT_TRUE(root);
+    GuardConfig config;
+    config.maxPoolBytes = 1; // any slab exceeds this
+    config.probeInterval = 1;
+    ResourceGuard guard(config, &f.pool);
+    ASSERT_TRUE(guard.armed());
+    EXPECT_GT(f.pool.peakBytes(), config.maxPoolBytes);
+    EXPECT_EQ(guard.poll(), StopReason::Memory);
+    EXPECT_EQ(statusFor(guard.stop()), SearchStatus::MemoryExhausted);
+}
+
+TEST(ResourceGuardTest, MemoryCeilingWithoutPoolIsIgnored)
+{
+    GuardConfig config;
+    config.maxPoolBytes = 1;
+    config.probeInterval = 1;
+    ResourceGuard guard(config, nullptr);
+    ASSERT_TRUE(guard.armed());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(guard.poll(), StopReason::None);
+}
+
+TEST(ResourceGuardTest, CancellationHonoredOnlyWhenOptedIn)
+{
+    clearCancellation();
+    EXPECT_FALSE(cancellationRequested());
+    requestCancellation();
+    EXPECT_TRUE(cancellationRequested());
+
+    GuardConfig deaf;
+    deaf.deadlineMs = 60'000; // armed, but not honoring cancellation
+    deaf.probeInterval = 1;
+    ResourceGuard deaf_guard(deaf, nullptr);
+    EXPECT_EQ(deaf_guard.poll(), StopReason::None);
+
+    GuardConfig config;
+    config.honorCancellation = true;
+    config.probeInterval = 1;
+    ResourceGuard guard(config, nullptr);
+    EXPECT_EQ(guard.poll(), StopReason::Cancelled);
+    EXPECT_EQ(statusFor(guard.stop()), SearchStatus::Cancelled);
+
+    clearCancellation();
+    EXPECT_FALSE(cancellationRequested());
+}
+
+TEST(ResourceGuardTest, CancellationBeatsDeadline)
+{
+    clearCancellation();
+    requestCancellation();
+    GuardConfig config;
+    config.deadlineMs = 1;
+    config.honorCancellation = true;
+    config.probeInterval = 1;
+    ResourceGuard guard(config, nullptr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Both conditions hold; cancellation ranks first.
+    EXPECT_EQ(guard.poll(), StopReason::Cancelled);
+    clearCancellation();
+}
+
+TEST(ResourceGuardTest, ZeroProbeIntervalIsClampedToOne)
+{
+    GuardConfig config;
+    config.deadlineMs = 1;
+    config.probeInterval = 0;
+    ResourceGuard guard(config, nullptr);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_EQ(guard.poll(), StopReason::Deadline);
+}
+
+TEST(ResourceGuardTest, StopReasonNames)
+{
+    EXPECT_STREQ(toString(StopReason::None), "none");
+    EXPECT_STREQ(toString(StopReason::Deadline), "deadline");
+    EXPECT_STREQ(toString(StopReason::Memory), "memory");
+    EXPECT_STREQ(toString(StopReason::Cancelled), "cancelled");
+}
+
+TEST(ResourceGuardTest, StatusMapping)
+{
+    EXPECT_EQ(statusFor(StopReason::None), SearchStatus::Solved);
+    EXPECT_EQ(statusFor(StopReason::Deadline),
+              SearchStatus::DeadlineExceeded);
+    EXPECT_EQ(statusFor(StopReason::Memory),
+              SearchStatus::MemoryExhausted);
+    EXPECT_EQ(statusFor(StopReason::Cancelled), SearchStatus::Cancelled);
+}
+
+} // namespace
+} // namespace toqm::search

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "search/search_stats.hpp"
+
+namespace toqm::search {
+namespace {
+
+SearchStats
+sampleStats()
+{
+    SearchStats stats;
+    stats.expanded = 123;
+    stats.generated = 456;
+    stats.filtered = 7;
+    stats.trims = 1;
+    stats.rounds = 2;
+    stats.maxQueueSize = 89;
+    stats.peakPoolBytes = 1 << 20;
+    stats.peakLiveNodes = 1000;
+    stats.seconds = 0.125;
+    return stats;
+}
+
+/** Parse one stats line, asserting it is a single JSON object. */
+obs::json::ValuePtr
+parseLine(const std::string &line)
+{
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    return obs::json::parse(line);
+}
+
+/**
+ * Every status variant must round-trip through the JSON parser with
+ * the v1 keys, the v2 additions, and the status-specific detail
+ * object intact.
+ */
+TEST(StatsJsonRoundTripTest, AllStatusVariantsParse)
+{
+    const std::vector<SearchStatus> statuses = {
+        SearchStatus::Solved,          SearchStatus::BudgetExhausted,
+        SearchStatus::Infeasible,      SearchStatus::DeadlineExceeded,
+        SearchStatus::MemoryExhausted, SearchStatus::Cancelled,
+    };
+    StatsLineContext context;
+    context.arch = "tokyo";
+    context.lat1 = 1;
+    context.lat2 = 2;
+    context.latSwap = 6;
+    context.nodeBudget = 5000;
+    context.deadlineMs = 250;
+    context.maxPoolBytes = 1 << 24;
+    context.hasIncumbent = true;
+
+    for (SearchStatus status : statuses) {
+        const std::string line = statsJsonLine(
+            sampleStats(), "optimal", status, 42, 7, context);
+        const auto root = parseLine(line);
+        ASSERT_TRUE(root && root->isObject()) << line;
+
+        // v1 keys.
+        EXPECT_EQ(root->get("mapper")->asString(), "optimal");
+        EXPECT_EQ(root->get("status")->asString(), toString(status));
+        EXPECT_EQ(root->get("cycles")->asNumber(), 42);
+        EXPECT_EQ(root->get("swaps")->asNumber(), 7);
+        EXPECT_EQ(root->get("expanded")->asNumber(), 123);
+        EXPECT_EQ(root->get("generated")->asNumber(), 456);
+        EXPECT_EQ(root->get("max_queue")->asNumber(), 89);
+
+        // v2 keys.
+        EXPECT_EQ(root->get("schemaVersion")->asNumber(),
+                  kStatsLineSchemaVersion);
+        EXPECT_EQ(root->get("arch")->asString(), "tokyo");
+        const auto latency = root->get("latency");
+        ASSERT_TRUE(latency && latency->isObject());
+        EXPECT_EQ(latency->get("swap")->asNumber(), 6);
+
+        // Status-specific detail.
+        const auto detail = root->get("detail");
+        ASSERT_TRUE(detail && detail->isObject()) << line;
+        switch (status) {
+          case SearchStatus::Solved:
+            ASSERT_TRUE(detail->get("proven_optimal"));
+            break;
+          case SearchStatus::BudgetExhausted:
+            EXPECT_EQ(detail->get("node_budget")->asNumber(), 5000);
+            break;
+          case SearchStatus::Infeasible:
+            EXPECT_EQ(detail->get("reason")->asString(),
+                      "search-space-exhausted");
+            break;
+          case SearchStatus::DeadlineExceeded:
+            EXPECT_EQ(detail->get("deadline_ms")->asNumber(), 250);
+            EXPECT_TRUE(detail->get("incumbent")->asBool());
+            break;
+          case SearchStatus::MemoryExhausted:
+            EXPECT_EQ(detail->get("max_pool_bytes")->asNumber(),
+                      double(1 << 24));
+            EXPECT_TRUE(detail->get("incumbent")->asBool());
+            break;
+          case SearchStatus::Cancelled:
+            EXPECT_TRUE(detail->get("incumbent")->asBool());
+            break;
+        }
+
+        // No degradation block was requested.
+        EXPECT_EQ(root->get("degradation"), nullptr) << line;
+    }
+}
+
+TEST(StatsJsonRoundTripTest, IncumbentFlagReflectsContext)
+{
+    StatsLineContext context;
+    context.deadlineMs = 100;
+    context.hasIncumbent = false;
+    const std::string line =
+        statsJsonLine(sampleStats(), "optimal",
+                      SearchStatus::DeadlineExceeded, -1, -1, context);
+    const auto root = parseLine(line);
+    EXPECT_FALSE(root->get("detail")->get("incumbent")->asBool());
+}
+
+TEST(StatsJsonRoundTripTest, DegradationBlockRoundTrips)
+{
+    StatsLineContext context;
+    context.nodeBudget = 2000;
+    context.hasIncumbent = true;
+    context.degradationJson =
+        "{\"requested\":\"optimal\",\"delivered\":\"incumbent\","
+        "\"steps\":[{\"stage\":\"optimal\","
+        "\"status\":\"budget-exhausted\"},"
+        "{\"stage\":\"incumbent\",\"status\":\"delivered\"}]}";
+    const std::string line =
+        statsJsonLine(sampleStats(), "optimal",
+                      SearchStatus::BudgetExhausted, 105, 49, context);
+    const auto root = parseLine(line);
+    const auto degradation = root->get("degradation");
+    ASSERT_TRUE(degradation && degradation->isObject()) << line;
+    EXPECT_EQ(degradation->get("requested")->asString(), "optimal");
+    EXPECT_EQ(degradation->get("delivered")->asString(), "incumbent");
+    const auto steps = degradation->get("steps");
+    ASSERT_TRUE(steps && steps->isArray());
+    ASSERT_EQ(steps->asArray().size(), 2u);
+    EXPECT_EQ(steps->asArray()[0]->get("stage")->asString(), "optimal");
+    EXPECT_EQ(steps->asArray()[1]->get("status")->asString(),
+              "delivered");
+}
+
+/**
+ * Guard-related context fields must not perturb the line when the
+ * run finished normally: a Solved line with guard limits set parses
+ * to the same keys as one without (the limits only surface in the
+ * detail of guard-stop statuses).
+ */
+TEST(StatsJsonRoundTripTest, GuardContextInvisibleOnSolvedLines)
+{
+    StatsLineContext plain;
+    plain.provenOptimal = true;
+    StatsLineContext guarded = plain;
+    guarded.deadlineMs = 10'000;
+    guarded.maxPoolBytes = 1 << 30;
+    const std::string a = statsJsonLine(sampleStats(), "optimal",
+                                        SearchStatus::Solved, 4, 0,
+                                        plain);
+    const std::string b = statsJsonLine(sampleStats(), "optimal",
+                                        SearchStatus::Solved, 4, 0,
+                                        guarded);
+    EXPECT_EQ(a, b);
+}
+
+TEST(StatsJsonRoundTripTest, StatusNamesAreStable)
+{
+    EXPECT_STREQ(toString(SearchStatus::Solved), "solved");
+    EXPECT_STREQ(toString(SearchStatus::BudgetExhausted),
+                 "budget-exhausted");
+    EXPECT_STREQ(toString(SearchStatus::Infeasible), "infeasible");
+    EXPECT_STREQ(toString(SearchStatus::DeadlineExceeded),
+                 "deadline-exceeded");
+    EXPECT_STREQ(toString(SearchStatus::MemoryExhausted),
+                 "memory-exhausted");
+    EXPECT_STREQ(toString(SearchStatus::Cancelled), "cancelled");
+}
+
+} // namespace
+} // namespace toqm::search

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * libFuzzer harness for the QASM front end (lexer, parser, importer).
+ *
+ * The contract under fuzzing: arbitrary bytes may be rejected with a
+ * typed std::exception, but must never crash, hang, or trip a
+ * sanitizer.  Includes resolve only the built-in qelib1.inc — disk
+ * access from the fuzzer would make runs nondeterministic and slow.
+ *
+ * Build with -DTOQM_BUILD_FUZZERS=ON (requires clang):
+ *   clang++ -fsanitize=fuzzer,address ...
+ * Run:
+ *   ./toqm_fuzz_qasm corpus/ -max_total_time=60
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+#include "qasm/importer.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/qelib.hpp"
+
+namespace {
+
+/** qelib-only resolver: no filesystem reads under fuzzing. */
+std::string
+fuzzResolve(const std::string &path)
+{
+    if (path == "qelib1.inc")
+        return toqm::qasm::qelib1Source();
+    throw std::runtime_error("include not available under fuzzing: " +
+                             path);
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    const std::string source(reinterpret_cast<const char *>(data), size);
+    try {
+        toqm::qasm::Program program =
+            toqm::qasm::parseString(source, fuzzResolve);
+        // Tight expansion limits: the fuzzer should spend its time
+        // exploring parser states, not grinding out huge circuits
+        // from inputs that are already known-valid.
+        toqm::qasm::ImportOptions options;
+        options.allowConditionals = true;
+        options.maxExpansionDepth = 16;
+        options.maxExpandedGates = 65'536;
+        options.maxQubits = 4'096;
+        toqm::qasm::importProgram(program, options);
+    } catch (const std::exception &) {
+        // Typed rejection is the expected outcome for invalid input.
+    }
+    return 0;
+}

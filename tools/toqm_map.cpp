@@ -16,6 +16,13 @@
  *     --no-mixing        optimal mode: forbid concurrent GT+swap
  *     --all-optimal      optimal mode: report #optimal solutions
  *     --max-nodes N      optimal mode node budget
+ *     --deadline-ms N    wall-clock deadline for the search; on
+ *                        expiry the best incumbent found so far is
+ *                        returned (flagged non-optimal)
+ *     --max-pool-mb N    node-pool memory ceiling, same semantics
+ *     --fallback POLICY  none (default) | heuristic: when the
+ *                        optimal search stops without any incumbent,
+ *                        degrade to the heuristic mapper and exit 0
  *     --stats            print mapping statistics to stderr
  *     --stats-json       print the unified search-kernel run report
  *                        as one JSON line to stderr
@@ -39,17 +46,33 @@
  *                        snapshot (stderr, or FILE)
  *     --obs-sample N     sample search gauges every N expansions
  *
- * Exit codes: 0 success, 1 generic error, 2 usage, 3 verification
- * failure, 4 node budget exhausted (instance may be solvable with a
- * larger --max-nodes), 5 instance proven unsolvable.
+ * Exit codes:
+ *   0  success (requested mapping delivered, or a --fallback
+ *      delivery the caller opted into)
+ *   1  generic error (bad input, internal failure)
+ *   2  usage error
+ *   3  verification failure (degraded results are ALWAYS verified
+ *      structurally, even without --verify)
+ *   4  node budget exhausted before optimality was proven
+ *   5  instance proven unsolvable on this device
+ *   6  wall-clock deadline (--deadline-ms) exceeded
+ *   7  memory ceiling (--max-pool-mb) exceeded
+ *   8  cancelled (SIGINT/SIGTERM)
+ * For 4/6/7/8 the best incumbent mapping, when one exists, is still
+ * written to stdout and recorded in the stats-json `degradation`
+ * block; with --fallback=heuristic a successful degraded delivery
+ * turns the exit code into 0.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "arch/architectures.hpp"
 #include "arch/token_swapping.hpp"
@@ -62,6 +85,7 @@
 #include "obs/observer.hpp"
 #include "qasm/importer.hpp"
 #include "qasm/writer.hpp"
+#include "search/resource_guard.hpp"
 #include "search/search_stats.hpp"
 #include "sim/statevector.hpp"
 #include "sim/verifier.hpp"
@@ -92,6 +116,11 @@ struct Options
     std::uint64_t maxNodes = 20'000'000;
     std::string inputPath; // empty = stdin
 
+    // Resource guard + degradation policy.
+    std::uint64_t deadlineMs = 0; // 0 = none
+    std::uint64_t maxPoolMb = 0;  // 0 = none
+    std::string fallback = "none"; // none|heuristic
+
     // Observability surface (toqm_obs).
     std::string tracePath;        // empty = no trace
     bool progress = false;
@@ -111,14 +140,51 @@ usage(const char *argv0, int code)
                  "[--no-mixing]\n"
                  "       [--all-optimal] [--max-nodes N] [--stats] "
                  "[--stats-json] [--verify] [--timeline]\n"
+                 "       [--deadline-ms N] [--max-pool-mb N] "
+                 "[--fallback none|heuristic]\n"
                  "       [--layout auto|greedy|annealed] [--dot] "
                  "[--json]\n"
                  "       [--restore-layout] [--enforce-directions]\n"
                  "       [--trace FILE] [--progress[=SECS]] "
                  "[--metrics-json[=FILE]] [--obs-sample N]\n"
-                 "       [input.qasm]\n",
+                 "       [input.qasm]\n"
+                 "\n"
+                 "exit codes:\n"
+                 "  0  success (or an opted-in --fallback delivery)\n"
+                 "  1  generic error\n"
+                 "  2  usage error\n"
+                 "  3  verification failure (degraded results are "
+                 "always verified)\n"
+                 "  4  node budget exhausted (--max-nodes)\n"
+                 "  5  instance proven unsolvable on this device\n"
+                 "  6  wall-clock deadline exceeded (--deadline-ms)\n"
+                 "  7  memory ceiling exceeded (--max-pool-mb)\n"
+                 "  8  cancelled (SIGINT/SIGTERM)\n"
+                 "For 4/6/7/8 the best incumbent mapping, when one "
+                 "exists, is still written to stdout.\n",
                  argv0);
     std::exit(code);
+}
+
+/** The exit code a run report maps to (see the table in usage()). */
+int
+exitCodeFor(search::SearchStatus status)
+{
+    switch (status) {
+      case search::SearchStatus::Solved:
+        return 0;
+      case search::SearchStatus::BudgetExhausted:
+        return 4;
+      case search::SearchStatus::Infeasible:
+        return 5;
+      case search::SearchStatus::DeadlineExceeded:
+        return 6;
+      case search::SearchStatus::MemoryExhausted:
+        return 7;
+      case search::SearchStatus::Cancelled:
+        return 8;
+    }
+    return 1;
 }
 
 Options
@@ -150,6 +216,18 @@ parseArgs(int argc, char **argv)
             opt.allOptimal = true;
         } else if (arg == "--max-nodes") {
             opt.maxNodes = std::stoull(next());
+        } else if (arg == "--deadline-ms") {
+            opt.deadlineMs = std::stoull(next());
+        } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+            opt.deadlineMs = std::stoull(arg.substr(14));
+        } else if (arg == "--max-pool-mb") {
+            opt.maxPoolMb = std::stoull(next());
+        } else if (arg.rfind("--max-pool-mb=", 0) == 0) {
+            opt.maxPoolMb = std::stoull(arg.substr(14));
+        } else if (arg == "--fallback") {
+            opt.fallback = next();
+        } else if (arg.rfind("--fallback=", 0) == 0) {
+            opt.fallback = arg.substr(11);
         } else if (arg == "--stats") {
             opt.stats = true;
         } else if (arg == "--stats-json") {
@@ -197,10 +275,67 @@ parseArgs(int argc, char **argv)
             opt.inputPath = arg;
         }
     }
+    if (opt.fallback != "none" && opt.fallback != "heuristic") {
+        std::fprintf(stderr, "unknown --fallback policy: %s\n",
+                     opt.fallback.c_str());
+        usage(argv[0], 2);
+    }
     return opt;
 }
 
+/** One degradation-chain step: which stage ran and how it ended. */
+struct DegradationStep
+{
+    std::string stage;
+    std::string status;
+};
+
+/**
+ * Render the `degradation` block of the stats line: which mapper was
+ * requested, what was actually delivered ("none" if nothing), and
+ * the chain of stages walked to get there.
+ */
+std::string
+degradationJson(const std::string &requested,
+                const std::string &delivered,
+                const std::vector<DegradationStep> &steps)
+{
+    std::string out = "{\"requested\":\"" + requested +
+                      "\",\"delivered\":\"" + delivered +
+                      "\",\"steps\":[";
+    for (size_t i = 0; i < steps.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += "{\"stage\":\"" + steps[i].stage +
+               "\",\"status\":\"" + steps[i].status + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+/** Record a degradation step as a trace instant + metrics counter.
+ *  @p event must be a string literal (the trace sink keeps the
+ *  pointer). */
+void
+noteDegradation(const char *event)
+{
+    obs::Observer &o = obs::Observer::global();
+    if (o.traceEnabled())
+        o.instant(event);
+    if (o.metricsEnabled())
+        o.metrics().increment(event);
+}
+
 } // namespace
+
+extern "C" void
+toqmMapStopSignalHandler(int)
+{
+    // Async-signal-safe: a single lock-free atomic store.  The armed
+    // guards pick it up at their next probe and the mappers unwind,
+    // returning their best incumbent.
+    toqm::search::requestCancellation();
+}
 
 /**
  * Writes the observability artifacts when main exits — by ANY path.
@@ -247,6 +382,17 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
+    // Cooperative cancellation: Ctrl-C / SIGTERM request a stop; the
+    // search unwinds at its next guard probe and the best incumbent
+    // (if any) is still delivered and verified.
+    std::signal(SIGINT, toqmMapStopSignalHandler);
+    std::signal(SIGTERM, toqmMapStopSignalHandler);
+
+    search::GuardConfig guard_cfg;
+    guard_cfg.deadlineMs = opt.deadlineMs;
+    guard_cfg.maxPoolBytes = opt.maxPoolMb * 1024ull * 1024ull;
+    guard_cfg.honorCancellation = true;
+
     obs::Observer &observer = obs::Observer::global();
     if (!opt.tracePath.empty())
         observer.enableTrace();
@@ -289,6 +435,14 @@ main(int argc, char **argv)
         stats_ctx.latSwap = opt.lats;
 
         ir::MappedCircuit mapped;
+        // Exit code carried through the output path for degraded
+        // deliveries (0 = the requested result, or an opted-in
+        // fallback, was delivered).
+        int pending_exit = 0;
+        // Degraded results are always routed through the structural
+        // verifier, --verify or not: a degraded answer is never an
+        // unverified one.
+        bool verify_degraded = false;
         if (opt.mapper == "optimal") {
             core::MapperConfig config;
             config.latency = latency;
@@ -296,11 +450,58 @@ main(int argc, char **argv)
             config.allowConcurrentSwapAndGate = !opt.noMixing;
             config.findAllOptimal = opt.allOptimal;
             config.maxExpandedNodes = opt.maxNodes;
+            config.guard = guard_cfg;
             core::OptimalMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
+
+            // Degradation chain: optimal -> incumbent -> heuristic.
+            bool delivered = res.success;
+            std::string delivered_by =
+                res.fromIncumbent ? "incumbent" : "optimal";
+            std::vector<DegradationStep> steps;
+            heuristic::HeuristicResult fb;
+            if (res.status != search::SearchStatus::Solved) {
+                steps.push_back(
+                    {"optimal", search::toString(res.status)});
+                if (res.fromIncumbent) {
+                    noteDegradation("degradation.incumbent");
+                    steps.push_back({"incumbent", "delivered"});
+                } else if (opt.fallback == "heuristic" &&
+                           res.status !=
+                               search::SearchStatus::Infeasible) {
+                    noteDegradation("degradation.fallback");
+                    heuristic::HeuristicConfig hcfg;
+                    hcfg.latency = latency;
+                    // The fallback is the chain's terminal, linear
+                    // stage: it inherits the memory ceiling and the
+                    // cancellation flag but not the (already spent)
+                    // deadline.
+                    hcfg.guard = guard_cfg;
+                    hcfg.guard.deadlineMs = 0;
+                    fb = heuristic::HeuristicMapper(device, hcfg)
+                             .map(logical, seed_layout);
+                    steps.push_back(
+                        {"heuristic", search::toString(fb.status)});
+                    if (fb.success) {
+                        delivered = true;
+                        delivered_by = "heuristic";
+                    }
+                }
+            }
+
+            std::string degradation;
+            if (!steps.empty()) {
+                degradation = degradationJson(
+                    "optimal", delivered ? delivered_by : "none",
+                    steps);
+            }
             if (opt.statsJson) {
                 stats_ctx.nodeBudget = opt.maxNodes;
                 stats_ctx.provenOptimal = true;
+                stats_ctx.deadlineMs = opt.deadlineMs;
+                stats_ctx.maxPoolBytes = guard_cfg.maxPoolBytes;
+                stats_ctx.hasIncumbent = res.fromIncumbent;
+                stats_ctx.degradationJson = degradation;
                 std::fputs(search::statsJsonLine(
                                res.stats, "optimal", res.status,
                                res.cycles,
@@ -309,32 +510,62 @@ main(int argc, char **argv)
                                .c_str(),
                            stderr);
             }
-            if (!res.success) {
+            if (!delivered) {
                 if (res.status ==
                     search::SearchStatus::BudgetExhausted) {
                     std::fprintf(
                         stderr,
                         "error: node budget exhausted before an "
                         "optimal solution was proven; raise "
-                        "--max-nodes or use --mapper heuristic\n");
-                    return 4;
+                        "--max-nodes, set --fallback=heuristic, or "
+                        "use --mapper heuristic\n");
+                } else if (res.status ==
+                           search::SearchStatus::Infeasible) {
+                    std::fprintf(stderr,
+                                 "error: instance is unsolvable on "
+                                 "this device\n");
+                } else {
+                    std::fprintf(
+                        stderr,
+                        "error: search stopped (%s) before any "
+                        "complete mapping was found; relax the "
+                        "limit or set --fallback=heuristic\n",
+                        search::toString(res.status));
                 }
-                std::fprintf(stderr,
-                             "error: instance is unsolvable on this "
-                             "device\n");
-                return 5;
+                return exitCodeFor(res.status);
             }
-            mapped = res.mapped;
+            if (res.status != search::SearchStatus::Solved) {
+                // Degraded delivery: verified below; exit 0 only if
+                // the caller opted into the fallback policy.
+                verify_degraded = true;
+                pending_exit = opt.fallback == "heuristic"
+                                   ? 0
+                                   : exitCodeFor(res.status);
+            }
+            mapped = delivered_by == "heuristic" ? fb.mapped
+                                                 : res.mapped;
             if (opt.stats) {
-                std::fprintf(stderr,
-                             "optimal: %d cycles, %d swaps, %llu "
-                             "nodes, %.3f s\n",
-                             res.cycles, mapped.physical.numSwaps(),
-                             static_cast<unsigned long long>(
-                                 res.stats.expanded),
-                             res.stats.seconds);
+                if (delivered_by == "heuristic") {
+                    std::fprintf(
+                        stderr,
+                        "optimal: stopped (%s); heuristic fallback: "
+                        "%d cycles, %d swaps\n",
+                        search::toString(res.status), fb.cycles,
+                        mapped.physical.numSwaps());
+                } else {
+                    std::fprintf(
+                        stderr,
+                        "optimal%s: %d cycles, %d swaps, %llu "
+                        "nodes, %.3f s\n",
+                        res.fromIncumbent ? " (incumbent)" : "",
+                        res.cycles, mapped.physical.numSwaps(),
+                        static_cast<unsigned long long>(
+                            res.stats.expanded),
+                        res.stats.seconds);
+                }
             }
-            if (opt.allOptimal) {
+            if (opt.allOptimal && res.status ==
+                                      search::SearchStatus::Solved) {
                 std::fprintf(stderr, "distinct optimal solutions: "
                              "%zu (cap %zu)\n",
                              res.allOptimal.size(), size_t{64});
@@ -342,9 +573,23 @@ main(int argc, char **argv)
         } else if (opt.mapper == "heuristic") {
             heuristic::HeuristicConfig config;
             config.latency = latency;
+            config.guard = guard_cfg;
             heuristic::HeuristicMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
+            std::string degradation;
+            if (res.status != search::SearchStatus::Solved) {
+                degradation = degradationJson(
+                    "heuristic",
+                    res.success ? "heuristic" : "none",
+                    {{"heuristic", search::toString(res.status)}});
+            }
             if (opt.statsJson) {
+                stats_ctx.deadlineMs = opt.deadlineMs;
+                stats_ctx.maxPoolBytes = guard_cfg.maxPoolBytes;
+                stats_ctx.hasIncumbent =
+                    res.success &&
+                    res.status != search::SearchStatus::Solved;
+                stats_ctx.degradationJson = degradation;
                 std::fputs(search::statsJsonLine(
                                res.stats, "heuristic", res.status,
                                res.cycles,
@@ -354,12 +599,15 @@ main(int argc, char **argv)
                            stderr);
             }
             if (!res.success) {
-                std::fprintf(stderr, "error: heuristic search "
-                             "failed\n");
-                return res.status ==
-                               search::SearchStatus::BudgetExhausted
-                           ? 4
-                           : 1;
+                std::fprintf(stderr,
+                             "error: heuristic search failed (%s)\n",
+                             search::toString(res.status));
+                const int code = exitCodeFor(res.status);
+                return code == 0 || code == 5 ? 1 : code;
+            }
+            if (res.status != search::SearchStatus::Solved) {
+                verify_degraded = true;
+                pending_exit = exitCodeFor(res.status);
             }
             mapped = res.mapped;
             if (opt.stats) {
@@ -398,18 +646,36 @@ main(int argc, char **argv)
                     res.swapCount);
             }
         } else if (opt.mapper == "zulehner") {
-            baselines::ZulehnerMapper mapper(device);
+            baselines::ZulehnerConfig config;
+            config.guard = guard_cfg;
+            baselines::ZulehnerMapper mapper(device, config);
             const auto res = mapper.map(logical);
             if (!res.success) {
                 std::fprintf(stderr, "error: Zulehner failed\n");
                 return 1;
             }
             mapped = res.mapped;
+            std::string degradation;
+            if (res.status != search::SearchStatus::Solved) {
+                // Guard stop mid-run: the remaining layers were
+                // routed greedily (complete, just more swaps).
+                noteDegradation("degradation.greedy");
+                degradation = degradationJson(
+                    "zulehner", "zulehner-greedy",
+                    {{"zulehner", search::toString(res.status)},
+                     {"greedy", "delivered"}});
+                verify_degraded = true;
+                pending_exit = exitCodeFor(res.status);
+            }
             if (opt.statsJson) {
+                stats_ctx.deadlineMs = opt.deadlineMs;
+                stats_ctx.maxPoolBytes = guard_cfg.maxPoolBytes;
+                stats_ctx.hasIncumbent =
+                    res.status != search::SearchStatus::Solved;
+                stats_ctx.degradationJson = degradation;
                 std::fputs(
                     search::statsJsonLine(
-                        res.stats, "zulehner",
-                        search::SearchStatus::Solved,
+                        res.stats, "zulehner", res.status,
                         ir::scheduleAsap(mapped.physical, latency)
                             .makespan,
                         res.swapCount, stats_ctx)
@@ -453,6 +719,20 @@ main(int argc, char **argv)
         }
 
         // --- verify -----------------------------------------------
+        if (verify_degraded && !opt.verify) {
+            // A degraded answer is never an unverified one.
+            const auto verdict =
+                sim::verifyMapping(logical, mapped, device);
+            if (!verdict.ok) {
+                std::fprintf(stderr,
+                             "VERIFICATION FAILED (degraded "
+                             "result): %s\n",
+                             verdict.message.c_str());
+                return 3;
+            }
+            std::fprintf(stderr, "structural verification "
+                         "(degraded result): ok\n");
+        }
         if (opt.verify) {
             const auto verdict =
                 sim::verifyMapping(logical, mapped, device);
@@ -509,16 +789,19 @@ main(int argc, char **argv)
         }
 
         // --- output -----------------------------------------------
+        // pending_exit is 0 for the requested result (or an opted-in
+        // fallback) and the stop-reason code for degraded
+        // deliveries; either way the mapping goes to stdout.
         if (opt.emitDot) {
             std::cout << ir::toDot(device, mapped.initialLayout);
-            return 0;
+            return pending_exit;
         }
         if (opt.emitJson) {
             std::cout << ir::mappingToJson(mapped, latency);
-            return 0;
+            return pending_exit;
         }
         std::cout << qasm::writeMappedCircuit(mapped);
-        return 0;
+        return pending_exit;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -246,8 +246,38 @@ checkStatsLine(const std::string &path)
         fail(path + ": stats line missing arch/latency/detail");
         return;
     }
-    std::printf("ok: %s (stats line schemaVersion %d)\n", path.c_str(),
-                static_cast<int>(version->asNumber()));
+    // The degradation block is optional (only emitted when the driver
+    // walked a fallback chain), but when present it must be
+    // well-formed: requested/delivered strings plus a steps array of
+    // {stage, status} objects.
+    const ValuePtr degradation = root->get("degradation");
+    if (degradation) {
+        if (!degradation->isObject() ||
+            !degradation->get("requested") ||
+            !degradation->get("requested")->isString() ||
+            !degradation->get("delivered") ||
+            !degradation->get("delivered")->isString()) {
+            fail(path + ": malformed degradation block");
+            return;
+        }
+        const ValuePtr steps = degradation->get("steps");
+        if (!steps || !steps->isArray() || steps->asArray().empty()) {
+            fail(path + ": degradation block missing steps");
+            return;
+        }
+        for (const ValuePtr &step : steps->asArray()) {
+            if (!step->isObject() || !step->get("stage") ||
+                !step->get("stage")->isString() ||
+                !step->get("status") ||
+                !step->get("status")->isString()) {
+                fail(path + ": malformed degradation step");
+                return;
+            }
+        }
+    }
+    std::printf("ok: %s (stats line schemaVersion %d%s)\n", path.c_str(),
+                static_cast<int>(version->asNumber()),
+                degradation ? ", degradation block valid" : "");
 }
 
 [[noreturn]] void
