@@ -1,0 +1,153 @@
+/**
+ * @file
+ * google-benchmark suite for the parallel layer: the thread pool's
+ * dispatch overhead, the portfolio race against its best single
+ * entry (BM_PortfolioSpeedup), and batch mapping throughput at
+ * --jobs 1/2/4/8.
+ *
+ * Wall-clock speedups here scale with the host's core count; the
+ * committed BENCH_4.json numbers were produced on the repo's bench
+ * container and EXPERIMENTS.md records its `nproc`.  On a 1-core
+ * host the parallel configurations measure the scheduling overhead
+ * (expect ~1x, not the multi-core speedup).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "bench_util.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/generators.hpp"
+#include "parallel/batch.hpp"
+#include "parallel/portfolio.hpp"
+#include "parallel/thread_pool.hpp"
+#include "toqm/mapper.hpp"
+
+namespace {
+
+using namespace toqm;
+
+core::MapperConfig
+qftBase()
+{
+    core::MapperConfig base;
+    base.latency = ir::LatencyModel::qftPreset();
+    return base;
+}
+
+void
+BM_ThreadPoolDispatch(benchmark::State &state)
+{
+    parallel::ThreadPool pool(
+        static_cast<unsigned>(state.range(0)));
+    for (auto _ : state) {
+        std::atomic<int> count{0};
+        for (int i = 0; i < 256; ++i)
+            pool.submit([&count] {
+                count.fetch_add(1, std::memory_order_relaxed);
+            });
+        pool.wait();
+        benchmark::DoNotOptimize(count.load());
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+/** The best single portfolio entry, run alone (the baseline the
+ *  race must beat on a multi-core host). */
+void
+BM_PortfolioSingleEntry(benchmark::State &state)
+{
+    const auto graph = arch::lnn(6);
+    const ir::Circuit logical = ir::qftSkeleton(6);
+    core::OptimalMapper mapper(graph, qftBase());
+    for (auto _ : state) {
+        const auto res = mapper.map(logical);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_PortfolioSingleEntry)->Unit(benchmark::kMillisecond);
+
+/** The full 4-entry race on the same instance.  Speedup =
+ *  BM_PortfolioSingleEntry / BM_PortfolioSpeedup. */
+void
+BM_PortfolioSpeedup(benchmark::State &state)
+{
+    const auto graph = arch::lnn(6);
+    const ir::Circuit logical = ir::qftSkeleton(6);
+    parallel::PortfolioMapper mapper(graph,
+                                     parallel::defaultPortfolio(
+                                         qftBase()));
+    search::SearchStats last;
+    for (auto _ : state) {
+        const auto res = mapper.map(logical);
+        benchmark::DoNotOptimize(res.cycles);
+        last = res.stats;
+    }
+    bench::recordSearchStats("portfolio_qft6_lnn", last);
+}
+BENCHMARK(BM_PortfolioSpeedup)->Unit(benchmark::kMillisecond);
+
+/**
+ * Batch throughput: map a fixed set of 8 circuits with the
+ * heuristic mapper on jobs = 1/2/4/8 workers, the same shape
+ * `toqm_map --jobs N` runs.  items/s is circuits per second.
+ */
+void
+BM_BatchThroughput(benchmark::State &state)
+{
+    const auto graph = arch::ibmQ20Tokyo();
+    std::vector<ir::Circuit> circuits;
+    for (int i = 0; i < 8; ++i)
+        circuits.push_back(
+            ir::randomCircuit(10, 120, 0.5, 7 + i));
+    heuristic::HeuristicConfig hcfg;
+    hcfg.latency = ir::LatencyModel::qftPreset();
+
+    const unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        parallel::ThreadPool pool(jobs);
+        std::vector<std::function<int()>> tasks;
+        tasks.reserve(circuits.size());
+        for (const ir::Circuit &c : circuits) {
+            tasks.push_back([&graph, &hcfg, &c]() -> int {
+                heuristic::HeuristicMapper mapper(graph, hcfg);
+                const auto res = mapper.map(c);
+                return res.success ? res.cycles : -1;
+            });
+        }
+        const std::vector<int> codes =
+            parallel::runBatch(pool, tasks);
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(circuits.size()));
+}
+BENCHMARK(BM_BatchThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/** The incumbent watermark read that sits on the exact search's
+ *  expansion hot path: one relaxed load. */
+void
+BM_IncumbentBoundRead(benchmark::State &state)
+{
+    search::IncumbentChannel channel;
+    channel.offer(42);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(channel.bound());
+}
+BENCHMARK(BM_IncumbentBoundRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

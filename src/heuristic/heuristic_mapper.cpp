@@ -812,11 +812,17 @@ HeuristicMapper::map(const ir::Circuit &logical,
     const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, _graph, _config.latency);
-    Run run(ctx, _graph, _config);
+    HeuristicConfig cfg = _config;
+    if (cfg.channel != nullptr && cfg.guard.cancelToken == nullptr)
+        cfg.guard.cancelToken = cfg.channel->stopToken();
+    Run run(ctx, _graph, cfg);
     std::vector<int> seed(static_cast<size_t>(ctx.numLogical()), -1);
     if (initial_layout)
         seed = *initial_layout;
-    return run.solve(seed);
+    HeuristicResult result = run.solve(seed);
+    if (cfg.channel != nullptr && result.success && result.cycles >= 0)
+        cfg.channel->offer(result.cycles);
+    return result;
 }
 
 } // namespace toqm::heuristic

@@ -33,6 +33,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/incumbent_channel.hpp"
 #include "search/resource_guard.hpp"
 #include "search/search_stats.hpp"
 
@@ -104,6 +105,15 @@ struct HeuristicConfig
     /** Resource limits (deadline / memory ceiling / cancellation);
      *  all-defaults = disarmed. */
     search::GuardConfig guard;
+    /**
+     * Incumbent exchange for portfolio races (nullptr = solo run):
+     * the mapper publishes its achieved makespan on success (an upper
+     * bound for the exact searches racing it) and honors the
+     * channel's stop token through its ResourceGuard.  It does NOT
+     * prune against the watermark — its output is not admissible, so
+     * a foreign bound says nothing about its own search space.
+     */
+    search::IncumbentChannel *channel = nullptr;
 };
 
 /** Search statistics — the kernel's unified run report. */

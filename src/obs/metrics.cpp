@@ -46,12 +46,14 @@ appendJsonString(std::string &out, const std::string &s)
 void
 MetricsRegistry::add(const std::string &name, std::uint64_t delta)
 {
+    const std::lock_guard<std::mutex> lock(_mutex);
     _counters[name] += delta;
 }
 
 std::uint64_t
 MetricsRegistry::counter(const std::string &name) const
 {
+    const std::lock_guard<std::mutex> lock(_mutex);
     const auto it = _counters.find(name);
     return it == _counters.end() ? 0 : it->second;
 }
@@ -59,19 +61,29 @@ MetricsRegistry::counter(const std::string &name) const
 void
 MetricsRegistry::setGauge(const std::string &name, double value)
 {
+    const std::lock_guard<std::mutex> lock(_mutex);
     _gauges[name] = value;
 }
 
 double
 MetricsRegistry::gauge(const std::string &name) const
 {
+    const std::lock_guard<std::mutex> lock(_mutex);
     const auto it = _gauges.find(name);
     return it == _gauges.end() ? 0.0 : it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    return _counters.empty() && _gauges.empty();
 }
 
 void
 MetricsRegistry::clear()
 {
+    const std::lock_guard<std::mutex> lock(_mutex);
     _counters.clear();
     _gauges.clear();
 }
@@ -79,6 +91,7 @@ MetricsRegistry::clear()
 std::string
 MetricsRegistry::snapshotJson() const
 {
+    const std::lock_guard<std::mutex> lock(_mutex);
     std::string out;
     out.reserve(128 + 48 * (_counters.size() + _gauges.size()));
     char buf[64];

@@ -16,6 +16,11 @@
  *
  * Keys are emitted in sorted order, so snapshots of identical runs
  * are byte-identical and machine-diffable.
+ *
+ * Thread-safe: every operation takes the registry mutex.  That is
+ * acceptable precisely BECAUSE this is the cold half — portfolio and
+ * batch workers flush per-phase/per-run aggregates here, never
+ * per-node observations.
  */
 
 #ifndef TOQM_OBS_METRICS_HPP
@@ -23,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace toqm::obs {
@@ -48,7 +54,7 @@ class MetricsRegistry
     /** Latest gauge value (0.0 when never set). */
     double gauge(const std::string &name) const;
 
-    bool empty() const { return _counters.empty() && _gauges.empty(); }
+    bool empty() const;
 
     void clear();
 
@@ -56,6 +62,7 @@ class MetricsRegistry
     std::string snapshotJson() const;
 
   private:
+    mutable std::mutex _mutex;
     std::map<std::string, std::uint64_t> _counters;
     std::map<std::string, double> _gauges;
 };

@@ -23,7 +23,12 @@ Observer::refreshActive()
 void
 Observer::enableTrace(std::size_t ring_capacity)
 {
-    _sink = EventSink(ring_capacity);
+    {
+        const std::lock_guard<std::mutex> lock(_sinkMutex);
+        _sinks.clear();
+        _ringCapacity = ring_capacity > 0 ? ring_capacity : 1;
+    }
+    _sinkGeneration.fetch_add(1, std::memory_order_release);
     _traceEnabled = true;
     refreshActive();
 }
@@ -55,18 +60,55 @@ Observer::reset()
     _traceEnabled = false;
     _metricsEnabled = false;
     _sampleInterval = kDefaultSampleInterval;
-    _sink = EventSink(1);
+    {
+        const std::lock_guard<std::mutex> lock(_sinkMutex);
+        _sinks.clear();
+        _ringCapacity = 1;
+    }
+    _sinkGeneration.fetch_add(1, std::memory_order_release);
     _metrics.clear();
     _heartbeat = Heartbeat();
     _epoch = std::chrono::steady_clock::now();
     refreshActive();
 }
 
+EventSink &
+Observer::sink()
+{
+    // Fast path: a thread-local pointer into the registry, valid for
+    // one sink generation (bumped by enableTrace()/reset()).  The
+    // unique_ptr indirection keeps the pointee stable while _sinks
+    // grows under other threads' registrations.
+    struct Cached
+    {
+        std::uint64_t generation = 0;
+        EventSink *sink = nullptr;
+    };
+    thread_local Cached cached;
+    const std::uint64_t generation =
+        _sinkGeneration.load(std::memory_order_acquire);
+    if (cached.sink != nullptr && cached.generation == generation)
+        return *cached.sink;
+
+    const std::lock_guard<std::mutex> lock(_sinkMutex);
+    _sinks.push_back(std::make_unique<EventSink>(_ringCapacity));
+    cached.generation = generation;
+    cached.sink = _sinks.back().get();
+    return *cached.sink;
+}
+
+std::size_t
+Observer::sinkCount() const
+{
+    const std::lock_guard<std::mutex> lock(_sinkMutex);
+    return _sinks.size();
+}
+
 void
 Observer::beginSpan(const char *name, std::uint64_t ts)
 {
     if (_traceEnabled)
-        _sink.record({TraceEvent::Kind::Begin, name, ts, 0.0});
+        sink().record({TraceEvent::Kind::Begin, name, ts, 0.0});
 }
 
 void
@@ -74,7 +116,7 @@ Observer::endSpan(const char *name, std::uint64_t begin_ts)
 {
     const std::uint64_t end_ts = now();
     if (_traceEnabled)
-        _sink.record({TraceEvent::Kind::End, name, end_ts, 0.0});
+        sink().record({TraceEvent::Kind::End, name, end_ts, 0.0});
     if (_metricsEnabled) {
         _metrics.add(std::string("phase.") + name + ".micros",
                      end_ts - begin_ts);
@@ -86,14 +128,14 @@ void
 Observer::instant(const char *name)
 {
     if (_traceEnabled)
-        _sink.record({TraceEvent::Kind::Instant, name, now(), 0.0});
+        sink().record({TraceEvent::Kind::Instant, name, now(), 0.0});
 }
 
 void
 Observer::gauge(const char *name, double value, std::uint64_t ts)
 {
     if (_traceEnabled)
-        _sink.record({TraceEvent::Kind::Gauge, name, ts, value});
+        sink().record({TraceEvent::Kind::Gauge, name, ts, value});
 }
 
 namespace {
@@ -118,57 +160,73 @@ std::string
 Observer::traceJson() const
 {
     // Chrome trace-event "JSON object format": one traceEvents array
-    // plus metadata.  B/E spans share pid/tid 1 so Perfetto stacks
-    // them on a single track; gauges become counter ("C") tracks.
+    // plus metadata.  Each recording thread's sink becomes its own
+    // tid lane (numbered by registration order, main thread usually
+    // 1), so Perfetto shows portfolio/batch workers side by side;
+    // gauges become counter ("C") tracks.
+    const std::lock_guard<std::mutex> lock(_sinkMutex);
+
+    std::size_t held = 0;
+    std::uint64_t dropped = 0;
+    for (const auto &sink : _sinks) {
+        held += sink->size();
+        dropped += sink->dropped();
+    }
+
     std::string out;
-    out.reserve(96 + 96 * _sink.size());
+    out.reserve(128 + 96 * held);
     out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
            "\"generator\":\"toqm_obs\",\"schemaVersion\":1,"
            "\"droppedEvents\":";
     char buf[96];
     std::snprintf(buf, sizeof(buf), "%llu",
-                  static_cast<unsigned long long>(_sink.dropped()));
+                  static_cast<unsigned long long>(dropped));
     out += buf;
     out += "},\"traceEvents\":[";
 
     bool first = true;
-    _sink.forEach([&](const TraceEvent &e) {
-        if (!first)
-            out += ',';
-        first = false;
-        const char *ph = "i";
-        switch (e.kind) {
-          case TraceEvent::Kind::Begin:
-            ph = "B";
-            break;
-          case TraceEvent::Kind::End:
-            ph = "E";
-            break;
-          case TraceEvent::Kind::Instant:
-            ph = "i";
-            break;
-          case TraceEvent::Kind::Gauge:
-            ph = "C";
-            break;
-        }
-        out += "{\"name\":\"";
-        appendEscaped(out, e.name);
-        std::snprintf(buf, sizeof(buf),
-                      "\",\"ph\":\"%s\",\"ts\":%llu,\"pid\":1,"
-                      "\"tid\":1",
-                      ph, static_cast<unsigned long long>(e.ts));
-        out += buf;
-        if (e.kind == TraceEvent::Kind::Gauge) {
+    for (std::size_t lane = 0; lane < _sinks.size(); ++lane) {
+        const unsigned long long tid =
+            static_cast<unsigned long long>(lane + 1);
+        _sinks[lane]->forEach([&](const TraceEvent &e) {
+            if (!first)
+                out += ',';
+            first = false;
+            const char *ph = "i";
+            switch (e.kind) {
+              case TraceEvent::Kind::Begin:
+                ph = "B";
+                break;
+              case TraceEvent::Kind::End:
+                ph = "E";
+                break;
+              case TraceEvent::Kind::Instant:
+                ph = "i";
+                break;
+              case TraceEvent::Kind::Gauge:
+                ph = "C";
+                break;
+            }
+            out += "{\"name\":\"";
+            appendEscaped(out, e.name);
             std::snprintf(buf, sizeof(buf),
-                          ",\"args\":{\"value\":%.6g}", e.value);
+                          "\",\"ph\":\"%s\",\"ts\":%llu,\"pid\":1,"
+                          "\"tid\":%llu",
+                          ph, static_cast<unsigned long long>(e.ts),
+                          tid);
             out += buf;
-        } else if (e.kind == TraceEvent::Kind::Instant) {
-            out += ",\"s\":\"t\"";
-        } else {
-            out += ",\"cat\":\"phase\"";
-        }
-        out += '}';
-    });
+            if (e.kind == TraceEvent::Kind::Gauge) {
+                std::snprintf(buf, sizeof(buf),
+                              ",\"args\":{\"value\":%.6g}", e.value);
+                out += buf;
+            } else if (e.kind == TraceEvent::Kind::Instant) {
+                out += ",\"s\":\"t\"";
+            } else {
+                out += ",\"cat\":\"phase\"";
+            }
+            out += '}';
+        });
+    }
     out += "]}";
     return out;
 }

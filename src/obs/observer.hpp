@@ -18,10 +18,16 @@
  * decisions: mapper results are bit-identical with observability on
  * or off.
  *
- * Threading: configuration and recording are single-threaded, like
- * the searches themselves.  The `enabled` flag is atomic only so the
- * disabled fast path is well-defined if a future multi-threaded
- * driver probes it concurrently.
+ * Threading: configuration (`enableTrace` / `enableMetrics` /
+ * `enableProgress` / `reset`) is single-threaded — do it before
+ * spawning workers.  RECORDING is thread-safe: every thread records
+ * trace events into its own lazily-registered `EventSink` (no locks
+ * on the record path), the metrics registry takes a mutex on its
+ * cold paths, and the heartbeat throttles with an atomic timestamp
+ * race that at most one thread wins per interval.  `traceJson()`
+ * merges the per-thread rings into one Chrome trace with one `tid`
+ * lane per recording thread, so a portfolio race or a `--jobs N`
+ * batch shows its workers side by side in Perfetto.
  *
  * Compiling with -DTOQM_OBS_DISABLED removes even the branch: every
  * probe site collapses to nothing.
@@ -34,7 +40,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "event_sink.hpp"
 #include "metrics.hpp"
@@ -92,9 +101,16 @@ class Observer
 
     std::uint64_t sampleInterval() const { return _sampleInterval; }
 
-    EventSink &sink() { return _sink; }
+    /**
+     * The CALLING thread's event sink, registered (one `tid` lane in
+     * the exported trace) on first use.  Worker threads each get
+     * their own ring, so recording never takes a lock.
+     */
+    EventSink &sink();
 
-    const EventSink &sink() const { return _sink; }
+    /** Number of per-thread sinks registered since the last
+     *  enableTrace()/reset(). */
+    std::size_t sinkCount() const;
 
     MetricsRegistry &metrics() { return _metrics; }
 
@@ -129,7 +145,17 @@ class Observer
     std::uint64_t _sampleInterval = kDefaultSampleInterval;
     std::chrono::steady_clock::time_point _epoch =
         std::chrono::steady_clock::now();
-    EventSink _sink{1};
+    /**
+     * Per-thread sinks.  `unique_ptr` keeps each sink's address
+     * stable while the vector grows, so the thread-local fast-path
+     * pointer held by `sink()` stays valid for the generation's
+     * lifetime; `_sinkGeneration` bumps on enableTrace()/reset() to
+     * invalidate those cached pointers.
+     */
+    mutable std::mutex _sinkMutex;
+    std::vector<std::unique_ptr<EventSink>> _sinks;
+    std::size_t _ringCapacity = 1;
+    std::atomic<std::uint64_t> _sinkGeneration{1};
     MetricsRegistry _metrics;
     Heartbeat _heartbeat;
 };

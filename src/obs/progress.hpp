@@ -8,11 +8,17 @@
  * instead of either silence or a firehose.  The throttle logic is a
  * pure function of the timestamps passed in, which keeps it
  * deterministic and directly unit-testable.
+ *
+ * Thread-safe: the next-beat timestamp is an atomic that competing
+ * threads race with compare-exchange, so at most ONE portfolio/batch
+ * worker wins each interval and the others pay a single relaxed
+ * load.
  */
 
 #ifndef TOQM_OBS_PROGRESS_HPP
 #define TOQM_OBS_PROGRESS_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 
@@ -31,7 +37,28 @@ class Heartbeat
                            : 1),
           _stream(stream), _enabled(true)
     {
-        _next_us = _interval_us;
+        _next_us.store(_interval_us, std::memory_order_relaxed);
+    }
+
+    // The atomics make Heartbeat non-copyable by default, but the
+    // Observer replaces its heartbeat wholesale on configuration
+    // (`_heartbeat = Heartbeat(...)`), so copying transfers the
+    // observable state.  Configuration is single-threaded (observer
+    // contract); only due()/emit() race.
+    Heartbeat(const Heartbeat &other) { *this = other; }
+
+    Heartbeat &
+    operator=(const Heartbeat &other)
+    {
+        _interval_us = other._interval_us;
+        _next_us.store(
+            other._next_us.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        _stream = other._stream;
+        _beats.store(other._beats.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        _enabled = other._enabled;
+        return *this;
     }
 
     bool enabled() const { return _enabled; }
@@ -42,15 +69,25 @@ class Heartbeat
      * True when a beat is owed at time @p now_us (microseconds on
      * the observer clock); arms the next beat one full interval
      * later.  The first beat comes one interval after start — a run
-     * shorter than the interval stays silent.
+     * shorter than the interval stays silent.  Concurrent callers
+     * race one compare-exchange; exactly one wins per interval.
      */
     bool
     due(std::uint64_t now_us)
     {
-        if (!_enabled || now_us < _next_us)
+        if (!_enabled)
             return false;
-        _next_us = now_us + _interval_us;
-        return true;
+        std::uint64_t next = _next_us.load(std::memory_order_relaxed);
+        while (now_us >= next) {
+            if (_next_us.compare_exchange_weak(
+                    next, now_us + _interval_us,
+                    std::memory_order_relaxed,
+                    std::memory_order_relaxed))
+                return true;
+            // `next` was reloaded by the failed CAS; if another
+            // thread already armed the next interval, we lost.
+        }
+        return false;
     }
 
     /** Printf-style status line, prefixed and newline-terminated. */
@@ -64,16 +101,20 @@ class Heartbeat
         std::fprintf(_stream, format, args...);
         std::fputc('\n', _stream);
         std::fflush(_stream);
-        ++_beats;
+        _beats.fetch_add(1, std::memory_order_relaxed);
     }
 
-    std::uint64_t beats() const { return _beats; }
+    std::uint64_t
+    beats() const
+    {
+        return _beats.load(std::memory_order_relaxed);
+    }
 
   private:
     std::uint64_t _interval_us = 0;
-    std::uint64_t _next_us = 0;
+    std::atomic<std::uint64_t> _next_us{0};
     std::FILE *_stream = nullptr;
-    std::uint64_t _beats = 0;
+    std::atomic<std::uint64_t> _beats{0};
     bool _enabled = false;
 };
 

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Batch runner: map many inputs concurrently, report deterministically.
+ *
+ * The contract `toqm_map --jobs N` builds on:
+ *
+ *  - jobs run in ANY order on the pool, but results come back indexed
+ *    by input position, so aggregated output is always ordered by the
+ *    input list — never by completion time;
+ *  - each job returns an exit code; the batch's code is the WORST
+ *    (numeric max) across jobs, so one failed circuit fails the batch
+ *    with the most severe failure class while the others still
+ *    produce their results.
+ */
+
+#ifndef TOQM_PARALLEL_BATCH_HPP
+#define TOQM_PARALLEL_BATCH_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "thread_pool.hpp"
+
+namespace toqm::parallel {
+
+/**
+ * Run every job on @p pool and wait; `codes[i]` is job i's return
+ * value regardless of completion order.  Jobs must be independent
+ * (they run concurrently) and must not throw.
+ */
+inline std::vector<int>
+runBatch(ThreadPool &pool,
+         const std::vector<std::function<int()>> &jobs)
+{
+    std::vector<int> codes(jobs.size(), 0);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        pool.submit([&jobs, &codes, i] { codes[i] = jobs[i](); });
+    }
+    pool.wait();
+    return codes;
+}
+
+/** The batch exit code: the numeric max (worst) across jobs. */
+inline int
+worstExitCode(const std::vector<int> &codes)
+{
+    int worst = 0;
+    for (const int c : codes)
+        worst = std::max(worst, c);
+    return worst;
+}
+
+} // namespace toqm::parallel
+
+#endif // TOQM_PARALLEL_BATCH_HPP

@@ -1,0 +1,274 @@
+#include "portfolio.hpp"
+
+#include <utility>
+
+#include "obs/observer.hpp"
+#include "search/incumbent_channel.hpp"
+#include "thread_pool.hpp"
+#include "toqm/ida_star.hpp"
+
+namespace toqm::parallel {
+
+namespace {
+
+using search::SearchStatus;
+
+/** Per-entry limits: entry fields where set win, base fills gaps. */
+search::GuardConfig
+mergeGuard(const search::GuardConfig &base,
+           const search::GuardConfig &entry)
+{
+    search::GuardConfig g = entry;
+    if (g.deadlineMs == 0)
+        g.deadlineMs = base.deadlineMs;
+    if (g.maxPoolBytes == 0)
+        g.maxPoolBytes = base.maxPoolBytes;
+    if (!g.honorCancellation)
+        g.honorCancellation = base.honorCancellation;
+    if (g.cancelToken == nullptr)
+        g.cancelToken = base.cancelToken;
+    return g;
+}
+
+/** An entry's full return: outcome summary plus its circuit. */
+struct EntryRun
+{
+    EntryOutcome outcome;
+    ir::MappedCircuit mapped;
+};
+
+EntryRun
+runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
+         const PortfolioEntry &entry,
+         const search::GuardConfig &base_guard,
+         const std::optional<std::vector<int>> &call_layout,
+         search::IncumbentChannel &channel)
+{
+    EntryRun run;
+    run.outcome.name = entry.name;
+    const std::optional<std::vector<int>> &layout =
+        entry.initialLayout ? entry.initialLayout : call_layout;
+
+    switch (entry.kind) {
+      case PortfolioEntry::Kind::Exact: {
+        core::MapperConfig cfg = entry.exact;
+        cfg.guard = mergeGuard(base_guard, cfg.guard);
+        cfg.channel = &channel;
+        core::MapperResult r =
+            core::OptimalMapper(graph, cfg).map(logical, layout);
+        run.outcome.status = r.status;
+        run.outcome.success = r.success;
+        run.outcome.fromIncumbent = r.fromIncumbent;
+        run.outcome.provenOptimal =
+            r.status == SearchStatus::Solved && !r.fromIncumbent;
+        run.outcome.cycles = r.cycles;
+        run.outcome.stats = r.stats;
+        run.mapped = std::move(r.mapped);
+        break;
+      }
+      case PortfolioEntry::Kind::Ida: {
+        core::IdaResult r = core::idaStarMap(
+            graph, logical, entry.exact.latency,
+            entry.exact.allowConcurrentSwapAndGate,
+            entry.exact.maxExpandedNodes,
+            mergeGuard(base_guard, entry.exact.guard), &channel);
+        run.outcome.status = r.status;
+        run.outcome.success = r.success;
+        run.outcome.fromIncumbent = r.fromIncumbent;
+        // IDA* proves optimality over the FIXED identity layout; if
+        // the instance races free-layout entries its optimum is a
+        // different (weaker) claim, so don't let it stop the race.
+        run.outcome.provenOptimal =
+            r.status == SearchStatus::Solved && !r.fromIncumbent &&
+            !entry.exact.searchInitialMapping;
+        run.outcome.cycles = r.cycles;
+        run.outcome.stats = r.stats;
+        run.mapped = std::move(r.mapped);
+        break;
+      }
+      case PortfolioEntry::Kind::Heuristic: {
+        heuristic::HeuristicConfig cfg = entry.heuristic;
+        cfg.guard = mergeGuard(base_guard, cfg.guard);
+        cfg.channel = &channel;
+        heuristic::HeuristicResult r =
+            heuristic::HeuristicMapper(graph, cfg).map(logical,
+                                                       layout);
+        run.outcome.status = r.status;
+        run.outcome.success = r.success;
+        // Complete but never proven: the heuristic search is
+        // inadmissible by construction.
+        run.outcome.provenOptimal = false;
+        run.outcome.cycles = r.cycles;
+        run.outcome.stats = r.stats;
+        run.mapped = std::move(r.mapped);
+        break;
+      }
+    }
+    return run;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+}
+
+} // namespace
+
+std::string
+PortfolioResult::portfolioJson() const
+{
+    std::string out = "{\"entries\":";
+    out += std::to_string(outcomes.size());
+    out += ",\"winner\":";
+    if (winner >= 0 &&
+        winner < static_cast<int>(outcomes.size())) {
+        out += '"';
+        appendJsonEscaped(
+            out, outcomes[static_cast<std::size_t>(winner)].name);
+        out += '"';
+    } else {
+        out += "null";
+    }
+    out += ",\"winner_index\":";
+    out += std::to_string(winner);
+    out += ",\"results\":[";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        const EntryOutcome &o = outcomes[i];
+        out += "{\"name\":\"";
+        appendJsonEscaped(out, o.name);
+        out += "\",\"status\":\"";
+        out += search::toString(o.status);
+        out += "\",\"cycles\":";
+        out += std::to_string(o.cycles);
+        out += ",\"proven_optimal\":";
+        out += o.provenOptimal ? "true" : "false";
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+PortfolioMapper::PortfolioMapper(const arch::CouplingGraph &graph,
+                                 PortfolioConfig config)
+    : _graph(graph), _config(std::move(config))
+{}
+
+PortfolioResult
+PortfolioMapper::map(
+    const ir::Circuit &logical,
+    std::optional<std::vector<int>> initial_layout) const
+{
+    const obs::PhaseScope obs_phase("portfolio");
+    PortfolioResult result;
+    const std::size_t k = _config.entries.size();
+    if (k == 0)
+        return result;
+
+    search::IncumbentChannel channel;
+    std::vector<EntryRun> runs(k);
+    ThreadPool pool(_config.workers != 0
+                        ? _config.workers
+                        : static_cast<unsigned>(k));
+    for (std::size_t i = 0; i < k; ++i) {
+        pool.submit([&, i] {
+            runs[i] = runEntry(_graph, logical, _config.entries[i],
+                               _config.guard, initial_layout, channel);
+            // A proven optimum settles the instance: tell the other
+            // entries' guards to stand down.
+            if (runs[i].outcome.provenOptimal)
+                channel.requestStop();
+        });
+    }
+    pool.wait();
+
+    // Deterministic winner: proven beats unproven, then fewer
+    // cycles, then the lower entry index.  Timing can only reorder
+    // COMPLETION, which this rule ignores.
+    int winner = -1;
+    for (std::size_t i = 0; i < k; ++i) {
+        const EntryOutcome &o = runs[i].outcome;
+        if (!o.success)
+            continue;
+        if (winner < 0) {
+            winner = static_cast<int>(i);
+            continue;
+        }
+        const EntryOutcome &best =
+            runs[static_cast<std::size_t>(winner)].outcome;
+        if (o.provenOptimal != best.provenOptimal) {
+            if (o.provenOptimal)
+                winner = static_cast<int>(i);
+            continue;
+        }
+        if (o.cycles < best.cycles)
+            winner = static_cast<int>(i);
+    }
+
+    result.outcomes.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        result.stats.merge(runs[i].outcome.stats);
+        result.outcomes.push_back(std::move(runs[i].outcome));
+    }
+    result.winner = winner;
+    if (winner >= 0) {
+        const EntryOutcome &w =
+            result.outcomes[static_cast<std::size_t>(winner)];
+        result.success = true;
+        result.status = w.status;
+        result.provenOptimal = w.provenOptimal;
+        result.fromIncumbent = w.fromIncumbent;
+        result.cycles = w.cycles;
+        result.mapped =
+            std::move(runs[static_cast<std::size_t>(winner)].mapped);
+    } else {
+        // Nobody finished: report the first entry's stop reason (the
+        // configured "primary" configuration).
+        result.status = result.outcomes.front().status;
+    }
+    return result;
+}
+
+PortfolioConfig
+defaultPortfolio(const core::MapperConfig &base, int max_entries)
+{
+    PortfolioConfig config;
+    if (max_entries < 1)
+        max_entries = 1;
+
+    PortfolioEntry exact;
+    exact.name = "astar";
+    exact.kind = PortfolioEntry::Kind::Exact;
+    exact.exact = base;
+    config.entries.push_back(exact);
+
+    if (static_cast<int>(config.entries.size()) < max_entries) {
+        PortfolioEntry nofilter = exact;
+        nofilter.name = "astar-nofilter";
+        nofilter.exact.useFilter = false;
+        config.entries.push_back(nofilter);
+    }
+    if (static_cast<int>(config.entries.size()) < max_entries) {
+        PortfolioEntry ida;
+        ida.name = "ida";
+        ida.kind = PortfolioEntry::Kind::Ida;
+        ida.exact = base;
+        config.entries.push_back(ida);
+    }
+    if (static_cast<int>(config.entries.size()) < max_entries) {
+        PortfolioEntry fallback;
+        fallback.name = "heuristic";
+        fallback.kind = PortfolioEntry::Kind::Heuristic;
+        fallback.heuristic.latency = base.latency;
+        config.entries.push_back(fallback);
+    }
+    return config;
+}
+
+} // namespace toqm::parallel

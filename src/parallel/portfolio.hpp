@@ -1,0 +1,154 @@
+/**
+ * @file
+ * `PortfolioMapper` — race K differently-configured searches on one
+ * mapping instance and return the best answer found by any of them.
+ *
+ * Exact mapping runtimes are wildly configuration-sensitive (filter
+ * on/off, initial-layout seed, A* vs iterative deepening), and no
+ * single configuration dominates.  A portfolio turns that variance
+ * into speed: every entry runs on its own pool worker with its OWN
+ * NodePool, Filter and ResourceGuard (nothing search-local is
+ * shared), while two facts flow between them through one
+ * `search::IncumbentChannel`:
+ *
+ *  - achieved makespans, which every exact entry prunes against (the
+ *    atomic watermark read on its expansion hot path), and
+ *  - a stop request, raised the moment one entry PROVES optimality —
+ *    the losers' guards observe it at their next probe and unwind as
+ *    `Cancelled` (promptly, without leaking: their pools die with
+ *    their stack frames).
+ *
+ * Winner selection is deterministic given the per-entry outcomes:
+ * proven-optimal beats unproven, then lower cycle count, then lower
+ * entry index.  Same winner configuration => byte-identical circuit,
+ * because each entry's search is internally deterministic; only WHO
+ * wins can vary with thread timing, and only among entries whose
+ * results tie on (proven, cycles) up to the selection rule.
+ */
+
+#ifndef TOQM_PARALLEL_PORTFOLIO_HPP
+#define TOQM_PARALLEL_PORTFOLIO_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "search/search_stats.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::parallel {
+
+/** One raced configuration. */
+struct PortfolioEntry
+{
+    /** How this entry searches. */
+    enum class Kind {
+        /** Exact A* (core::OptimalMapper) with `exact` below. */
+        Exact,
+        /** Iterative deepening (core::idaStarMap); `exact.latency`,
+         *  `exact.allowConcurrentSwapAndGate` and
+         *  `exact.maxExpandedNodes` apply. */
+        Ida,
+        /** The scalable non-optimal mapper with `heuristic` below —
+         *  the portfolio's fast fallback and first bound supplier. */
+        Heuristic,
+    };
+
+    /** Reported in outcomes and the stats-line portfolio JSON. */
+    std::string name;
+    Kind kind = Kind::Exact;
+    core::MapperConfig exact;
+    heuristic::HeuristicConfig heuristic;
+    /** Entry-specific seed layout (empty = the map() call's). */
+    std::optional<std::vector<int>> initialLayout;
+};
+
+/** Configuration of a portfolio race. */
+struct PortfolioConfig
+{
+    std::vector<PortfolioEntry> entries;
+    /** Pool workers (0 = one per entry). */
+    unsigned workers = 0;
+    /** Base resource limits applied to every entry (an entry's own
+     *  guard fields, where set, take precedence). */
+    search::GuardConfig guard;
+};
+
+/** What one entry returned (order matches config.entries). */
+struct EntryOutcome
+{
+    std::string name;
+    search::SearchStatus status = search::SearchStatus::Cancelled;
+    /** A complete circuit was produced. */
+    bool success = false;
+    /** The result is a proven optimum (exact entries only). */
+    bool provenOptimal = false;
+    /** Complete but unproven (anytime) delivery. */
+    bool fromIncumbent = false;
+    int cycles = -1;
+    search::SearchStats stats;
+};
+
+/** Result of a portfolio race. */
+struct PortfolioResult
+{
+    bool success = false;
+    /** Index into `outcomes` of the entry whose circuit was taken
+     *  (-1 when no entry produced one). */
+    int winner = -1;
+    search::SearchStatus status = search::SearchStatus::Infeasible;
+    bool provenOptimal = false;
+    bool fromIncumbent = false;
+    int cycles = -1;
+    ir::MappedCircuit mapped;
+    std::vector<EntryOutcome> outcomes;
+    /** Folded per-entry reports (seconds = CPU-seconds, peaks = max
+     *  across entries; see SearchStats::merge). */
+    search::SearchStats stats;
+
+    /**
+     * The `"portfolio"` object of the stats line: entries raced,
+     * winner name/index, and each entry's status and cycles.
+     */
+    std::string portfolioJson() const;
+};
+
+/**
+ * The racing driver.  Synchronous: map() owns its pool for the call.
+ * Re-entrant — concurrent map() calls on one PortfolioMapper share
+ * nothing but the immutable graph and config.
+ */
+class PortfolioMapper
+{
+  public:
+    PortfolioMapper(const arch::CouplingGraph &graph,
+                    PortfolioConfig config);
+
+    PortfolioResult map(const ir::Circuit &logical,
+                        std::optional<std::vector<int>> initial_layout =
+                            std::nullopt) const;
+
+  private:
+    arch::CouplingGraph _graph;
+    PortfolioConfig _config;
+};
+
+/**
+ * The standard race: exact A* as configured, exact A* with the
+ * dominance filter off, IDA*, and the heuristic mapper as the bound
+ * supplier / fallback — capped at @p max_entries (>= 1; the order
+ * above is the priority order when capping).
+ *
+ * @param base applied to every exact entry (latency, search modes);
+ *        pass `{}` for defaults.
+ */
+PortfolioConfig defaultPortfolio(const core::MapperConfig &base = {},
+                                 int max_entries = 4);
+
+} // namespace toqm::parallel
+
+#endif // TOQM_PARALLEL_PORTFOLIO_HPP

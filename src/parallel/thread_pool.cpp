@@ -1,0 +1,142 @@
+#include "thread_pool.hpp"
+
+namespace toqm::parallel {
+
+namespace {
+
+/** Which pool the calling thread works for, and its index there.
+ *  Both thread_local so a worker of pool A submitting into pool B is
+ *  correctly treated as external by B. */
+thread_local const ThreadPool *t_owner = nullptr;
+thread_local int t_worker_index = -1;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    unsigned n = workers;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    _workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _workers.push_back(std::make_unique<Worker>());
+    _threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        _threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &t : _threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        ++_inflight;
+        ++_queued;
+    }
+    unsigned target;
+    if (t_owner == this && t_worker_index >= 0) {
+        // Task spawned by one of our own workers: its own deque, so
+        // it (or a thief) runs it while the spawner's data is warm.
+        target = static_cast<unsigned>(t_worker_index);
+    } else {
+        target = static_cast<unsigned>(
+            _nextExternal.fetch_add(1, std::memory_order_relaxed) %
+            _workers.size());
+    }
+    {
+        Worker &w = *_workers[target];
+        const std::lock_guard<std::mutex> lock(w.mutex);
+        w.deque.push_back(std::move(task));
+    }
+    _wake.notify_all();
+}
+
+bool
+ThreadPool::tryPop(unsigned index, std::function<void()> &task)
+{
+    bool stolen = false;
+    bool found = false;
+    {
+        // Own deque first, from the BACK (LIFO).
+        Worker &w = *_workers[index];
+        const std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.deque.empty()) {
+            task = std::move(w.deque.back());
+            w.deque.pop_back();
+            found = true;
+        }
+    }
+    // Then steal from the FRONT (FIFO), scanning rightward from our
+    // own slot so victims spread instead of piling on worker 0.
+    const unsigned n = workerCount();
+    for (unsigned k = 1; !found && k < n; ++k) {
+        Worker &w = *_workers[(index + k) % n];
+        const std::lock_guard<std::mutex> lock(w.mutex);
+        if (!w.deque.empty()) {
+            task = std::move(w.deque.front());
+            w.deque.pop_front();
+            found = true;
+            stolen = true;
+        }
+    }
+    if (found) {
+        if (stolen)
+            _steals.fetch_add(1, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(_mutex);
+        --_queued;
+    }
+    return found;
+}
+
+void
+ThreadPool::workerLoop(unsigned index)
+{
+    t_owner = this;
+    t_worker_index = static_cast<int>(index);
+    for (;;) {
+        std::function<void()> task;
+        if (tryPop(index, task)) {
+            task();
+            task = nullptr; // release captures before going idle
+            const std::lock_guard<std::mutex> lock(_mutex);
+            if (--_inflight == 0)
+                _idle.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(_mutex);
+        _wake.wait(lock,
+                   [this] { return _stop || _queued > 0; });
+        if (_stop && _queued == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    _idle.wait(lock, [this] { return _inflight == 0; });
+}
+
+int
+ThreadPool::currentWorkerIndex()
+{
+    return t_worker_index;
+}
+
+} // namespace toqm::parallel

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Work-stealing `ThreadPool` for the parallel mapping drivers.
+ *
+ * The pool runs COARSE tasks — whole searches (portfolio entries) or
+ * whole circuit mappings (`toqm_map --jobs N`), each seconds of work
+ * owning its own NodePool/Filter/ResourceGuard — so the scheduler
+ * optimizes for locality and simplicity, not nanosecond dispatch:
+ *
+ *  - every worker owns a deque guarded by its own mutex.  The owner
+ *    pushes and pops at the BACK (LIFO: a task's subtasks run on the
+ *    worker that spawned them while their data is warm — arena
+ *    affinity for the per-thread pools and the estimator's
+ *    thread_local scratch), while idle workers steal from the FRONT
+ *    (FIFO: thieves take the oldest, largest-grained work);
+ *  - external submissions are dealt round-robin so a batch spreads
+ *    over the pool without any balancing heuristics;
+ *  - an idle worker scans every other deque (starting after its own
+ *    index to avoid thundering on worker 0) before sleeping on the
+ *    pool-wide condition variable.
+ *
+ * `currentWorkerIndex()` tells code it runs on worker i of SOME pool
+ * (-1 off-pool); `WorkerLocal<T>` builds per-worker slots on top —
+ * the idiom for merge-at-the-end accumulations that must not share
+ * cache lines between workers.
+ */
+
+#ifndef TOQM_PARALLEL_THREAD_POOL_HPP
+#define TOQM_PARALLEL_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace toqm::parallel {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Spin up @p workers threads (0 = one per hardware thread, at
+     * least 1).  The pool is ready immediately; destruction waits for
+     * every submitted task to finish, then joins.
+     */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains remaining tasks (equivalent to wait()) and joins. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task.  From a worker thread of THIS pool the task
+     * lands at the back of that worker's own deque (LIFO, stealable
+     * by others); from outside it is dealt round-robin.
+     */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until every task submitted so far (including tasks those
+     * tasks submitted) has finished.  Callable from non-pool threads
+     * only; the pool stays usable afterwards.
+     */
+    void wait();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(_workers.size());
+    }
+
+    /**
+     * Index of the calling thread within the pool that owns it, or
+     * -1 when the caller is not a pool worker.  Indices are dense in
+     * [0, workerCount()).
+     */
+    static int currentWorkerIndex();
+
+    /** Successful steals so far (diagnostic; relaxed counter). */
+    std::uint64_t
+    steals() const
+    {
+        return _steals.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> deque;
+    };
+
+    void workerLoop(unsigned index);
+    bool tryPop(unsigned index, std::function<void()> &task);
+
+    std::vector<std::unique_ptr<Worker>> _workers;
+    std::vector<std::thread> _threads;
+
+    /** Guards sleep/wake and the inflight/queued counts.  Never held
+     *  together with a Worker::mutex (deadlock-freedom by layering:
+     *  deque locks are leaves). */
+    std::mutex _mutex;
+    std::condition_variable _wake;
+    std::condition_variable _idle;
+    /** Tasks submitted but not yet finished. */
+    std::uint64_t _inflight = 0;
+    /** Tasks sitting in some deque (sleep predicate: a worker may
+     *  only block when this is 0, so no wakeup is ever lost). */
+    std::uint64_t _queued = 0;
+    bool _stop = false;
+
+    std::atomic<std::uint64_t> _steals{0};
+    /** Round-robin cursor for external submissions. */
+    std::atomic<std::uint64_t> _nextExternal{0};
+};
+
+/**
+ * One slot of T per pool worker plus one for off-pool threads
+ * (slot 0).  `local()` is the calling thread's slot; `slots()`
+ * exposes all of them for a merge AFTER `pool.wait()`.  Slots are
+ * only data-race-free under the pool discipline: each worker touches
+ * its own slot while tasks run, the merger touches all of them only
+ * once the pool is quiescent.
+ */
+template <typename T>
+class WorkerLocal
+{
+  public:
+    explicit WorkerLocal(const ThreadPool &pool)
+        : _slots(pool.workerCount() + 1)
+    {}
+
+    T &
+    local()
+    {
+        return _slots[static_cast<std::size_t>(
+            ThreadPool::currentWorkerIndex() + 1)];
+    }
+
+    std::vector<T> &slots() { return _slots; }
+
+    const std::vector<T> &slots() const { return _slots; }
+
+  private:
+    std::vector<T> _slots;
+};
+
+} // namespace toqm::parallel
+
+#endif // TOQM_PARALLEL_THREAD_POOL_HPP

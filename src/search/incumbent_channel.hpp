@@ -1,0 +1,94 @@
+/**
+ * @file
+ * `IncumbentChannel` — the lock-free exchange racing searches use to
+ * share what they have learned about one mapping instance.
+ *
+ * A portfolio run (src/parallel/portfolio.hpp) races K independently
+ * configured searches over the SAME circuit/device/latency triple.
+ * Two facts transfer between them safely:
+ *
+ *  - an achievable makespan (any complete schedule's cost is a valid
+ *    upper bound for every other search on the instance), published
+ *    with `offer()` and read as the pruning watermark `bound()`;
+ *  - a stop request (`requestStop()`), raised when one search PROVES
+ *    optimality so the others stop burning cores on a settled
+ *    question.
+ *
+ * Both sides are single relaxed atomics: the watermark read sits on
+ * the expansion hot path of the exact A* search (one load per
+ * generated child), and the stop token is polled by each worker's
+ * `ResourceGuard` at its normal probe cadence.  Relaxed ordering is
+ * sufficient because the channel transfers VALUES, not data
+ * structures: a stale bound only delays pruning (never unsoundly
+ * prunes, since bounds only decrease), and a stale stop flag only
+ * delays the stop by one probe interval.
+ *
+ * The channel carries no node or circuit data — winners hand their
+ * mapping to the portfolio driver through ordinary (mutex-guarded)
+ * result slots, not through here.
+ */
+
+#ifndef TOQM_SEARCH_INCUMBENT_CHANNEL_HPP
+#define TOQM_SEARCH_INCUMBENT_CHANNEL_HPP
+
+#include <atomic>
+#include <limits>
+
+namespace toqm::search {
+
+class IncumbentChannel
+{
+  public:
+    /** The watermark value meaning "no incumbent anywhere yet". */
+    static constexpr int kNoBound = std::numeric_limits<int>::max();
+
+    /** Best makespan achieved by ANY search on the instance. */
+    int
+    bound() const
+    {
+        return _best.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Publish an achieved makespan.  Monotone: the watermark only
+     * ever decreases.  Returns true when @p cost improved it.
+     */
+    bool
+    offer(int cost)
+    {
+        int current = _best.load(std::memory_order_relaxed);
+        while (cost < current) {
+            if (_best.compare_exchange_weak(current, cost,
+                                            std::memory_order_relaxed))
+                return true;
+        }
+        return false;
+    }
+
+    /** Ask every search wired to this channel to stop (sticky). */
+    void
+    requestStop()
+    {
+        _stop.store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    stopRequested() const
+    {
+        return _stop.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The token to plant in a worker's `GuardConfig::cancelToken`;
+     * the guard reports `StopReason::Cancelled` once it trips.
+     */
+    const std::atomic<bool> *stopToken() const { return &_stop; }
+
+  private:
+    std::atomic<int> _best{kNoBound};
+    std::atomic<bool> _stop{false};
+};
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_INCUMBENT_CHANNEL_HPP

@@ -17,8 +17,10 @@
  *    arrays sit immediately after the node object, one memcpy to
  *    clone) carved from large pool slabs — no per-node heap round
  *    trips and no `std::shared_ptr` control blocks;
- *  - lifetime is an intrusive, non-atomic reference count (the
- *    search is single-threaded): a `NodeRef` holds one reference,
+ *  - lifetime is an intrusive, non-atomic reference count — safe
+ *    because a pool and all its nodes belong to exactly ONE search
+ *    (parallel drivers give every worker its own NodePool; nodes
+ *    never cross pools or threads): a `NodeRef` holds one reference,
  *    a child holds one reference on its parent;
  *  - releasing the last reference walks the parent chain iteratively
  *    (never recursively — chains are search-depth long) and recycles
@@ -156,7 +158,8 @@ class SearchNode
 
     NodePool *_pool;
     SearchNode *_parent = nullptr;
-    /** Intrusive refcount (non-atomic: searches are single-threaded). */
+    /** Intrusive refcount (non-atomic: a node's pool, and thus the
+     *  node, is owned by exactly one search thread). */
     std::uint32_t _refs = 0;
     int _nl;
     int _np;

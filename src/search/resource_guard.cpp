@@ -104,6 +104,7 @@ ResourceGuard::ResourceGuard(const GuardConfig &config,
       _interval(config.probeInterval == 0 ? 1 : config.probeInterval),
       _countdown(_interval), _maxPoolBytes(config.maxPoolBytes),
       _honorCancellation(config.honorCancellation),
+      _cancelToken(config.cancelToken),
       _hasDeadline(config.deadlineMs != 0), _pool(pool)
 {
     if (_hasDeadline) {
@@ -117,8 +118,13 @@ ResourceGuard::probe()
 {
     ++_probes;
     // Precedence: cancellation (external, most urgent) beats the
-    // deadline beats the memory ceiling.
-    if (_honorCancellation && cancellationRequested())
+    // deadline beats the memory ceiling.  The per-run token (a
+    // portfolio race stopping its losers) and the process-wide latch
+    // (SIGINT/SIGTERM) both land on Cancelled.
+    if (_cancelToken != nullptr &&
+        _cancelToken->load(std::memory_order_relaxed))
+        _stop = StopReason::Cancelled;
+    else if (_honorCancellation && cancellationRequested())
         _stop = StopReason::Cancelled;
     else if (_hasDeadline &&
              std::chrono::steady_clock::now() >= _deadline)

@@ -23,6 +23,7 @@
 #ifndef TOQM_SEARCH_RESOURCE_GUARD_HPP
 #define TOQM_SEARCH_RESOURCE_GUARD_HPP
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -72,13 +73,20 @@ struct GuardConfig
     std::uint32_t probeInterval = 256;
     /** Honor process-wide requestCancellation() (CLI opt-in). */
     bool honorCancellation = false;
+    /**
+     * Per-run cancellation token (e.g. an IncumbentChannel's stop
+     * token): a portfolio race cancels ONE worker group without
+     * touching the process-wide latch.  The pointee must outlive the
+     * guard; nullptr (the default) means no token is watched.
+     */
+    const std::atomic<bool> *cancelToken = nullptr;
 
     /** True when any stop condition is being watched. */
     bool
     enabled() const
     {
         return deadlineMs != 0 || maxPoolBytes != 0 ||
-               honorCancellation;
+               honorCancellation || cancelToken != nullptr;
     }
 };
 
@@ -138,6 +146,7 @@ class ResourceGuard
     std::uint64_t _probes = 0;
     std::uint64_t _maxPoolBytes = 0;
     bool _honorCancellation = false;
+    const std::atomic<bool> *_cancelToken = nullptr;
     bool _hasDeadline = false;
     std::chrono::steady_clock::time_point _deadline{};
     const NodePool *_pool = nullptr;

@@ -1,8 +1,24 @@
 #include "search_stats.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace toqm::search {
+
+void
+SearchStats::merge(const SearchStats &other)
+{
+    expanded += other.expanded;
+    generated += other.generated;
+    filtered += other.filtered;
+    trims += other.trims;
+    rounds += other.rounds;
+    maxQueueSize = std::max(maxQueueSize, other.maxQueueSize);
+    peakPoolBytes = std::max(peakPoolBytes, other.peakPoolBytes);
+    peakLiveNodes = std::max(peakLiveNodes, other.peakLiveNodes);
+    seconds += other.seconds;
+    guardProbes += other.guardProbes;
+}
 
 const char *
 toString(SearchStatus status)
@@ -91,12 +107,28 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
         break;
     }
 
-    // The degradation block is caller-rendered and unbounded, so the
-    // tail is assembled as a string rather than into the fixed buf.
+    // The degradation/portfolio blocks are caller-rendered and
+    // unbounded, so the tail is assembled as a string rather than
+    // into the fixed buf.
     std::string line(buf, static_cast<size_t>(n));
     if (!context.degradationJson.empty()) {
         line += ",\"degradation\":";
         line += context.degradationJson;
+    }
+    if (!context.input.empty()) {
+        line += ",\"input\":\"";
+        // Input paths are caller-controlled: escape the two JSON
+        // string metacharacters so the line stays parseable.
+        for (const char c : context.input) {
+            if (c == '"' || c == '\\')
+                line += '\\';
+            line += c;
+        }
+        line += '"';
+    }
+    if (!context.portfolioJson.empty()) {
+        line += ",\"portfolio\":";
+        line += context.portfolioJson;
     }
     line += "}\n";
     return line;

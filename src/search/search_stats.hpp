@@ -12,6 +12,7 @@
 #define TOQM_SEARCH_SEARCH_STATS_HPP
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -63,6 +64,55 @@ struct SearchStats
      *  Diagnostic only: not part of the stats-line JSON, so default
      *  runs stay byte-identical to pre-guard output. */
     std::uint64_t guardProbes = 0;
+
+    /**
+     * Fold @p other into this report: work counters (expanded,
+     * generated, filtered, trims, rounds, guardProbes) and seconds
+     * add (seconds therefore become CPU-seconds across concurrent
+     * runs, not wall time); resource peaks (maxQueueSize,
+     * peakPoolBytes, peakLiveNodes) take the max, since every run
+     * owns its own frontier and NodePool.
+     */
+    void merge(const SearchStats &other);
+};
+
+/**
+ * Thread-safe `SearchStats` aggregation for the parallel drivers
+ * (portfolio races, batch mapping): workers finish at arbitrary
+ * times on arbitrary threads and fold their per-run report in under
+ * one mutex.  Aggregation is commutative (sums and maxes), so the
+ * totals are deterministic regardless of completion order.
+ */
+class StatsAccumulator
+{
+  public:
+    void
+    add(const SearchStats &stats)
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _total.merge(stats);
+        ++_runs;
+    }
+
+    /** Snapshot of the folded totals. */
+    SearchStats
+    total() const
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        return _total;
+    }
+
+    std::uint64_t
+    runs() const
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        return _runs;
+    }
+
+  private:
+    mutable std::mutex _mutex;
+    SearchStats _total;
+    std::uint64_t _runs = 0;
 };
 
 /**
@@ -96,6 +146,19 @@ struct StatsLineContext
      * keeps the line byte-identical to the pre-guard shape.
      */
     std::string_view degradationJson;
+    /**
+     * Input file the run mapped (batch mode); appended as an
+     * additive `"input":"..."` key when non-empty so scrapers can
+     * join a batch's stats lines back to its inputs.  Single-job
+     * runs leave it empty and the line shape is unchanged.
+     */
+    std::string_view input;
+    /**
+     * Pre-rendered JSON object describing a portfolio race (entries
+     * raced, winner, per-entry outcomes); appended verbatim as a
+     * trailing `"portfolio":{...}` key when non-empty.
+     */
+    std::string_view portfolioJson;
 };
 
 /** Version of the stats-line JSON shape (see statsJsonLine). */
@@ -117,8 +180,10 @@ inline constexpr int kStatsLineSchemaVersion = 2;
  *   memory-exhausted:  {"max_pool_bytes":N,"incumbent":bool}
  *   cancelled:         {"incumbent":bool}
  * When `context.degradationJson` is non-empty it is appended as a
- * final `"degradation":{...}` key (additive; absent by default).
- * Scrapers keyed on the v1 fields keep working unchanged.
+ * final `"degradation":{...}` key (additive; absent by default),
+ * followed — when set — by the additive `"input":"..."` (batch
+ * mode) and `"portfolio":{...}` (portfolio race) keys.  Scrapers
+ * keyed on the v1 fields keep working unchanged.
  */
 std::string statsJsonLine(const SearchStats &stats,
                           std::string_view mapper, SearchStatus status,

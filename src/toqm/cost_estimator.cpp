@@ -8,9 +8,6 @@ namespace toqm::core {
 CostEstimator::CostEstimator(const SearchContext &ctx, int horizon_gates)
     : _ctx(ctx), _horizonGates(horizon_gates)
 {
-    _ready.resize(static_cast<size_t>(ctx.numLogical()));
-    _busySum.resize(static_cast<size_t>(ctx.numLogical()));
-
     // Reverse critical-path lengths.  A gate's successors are the
     // next gates on each of its operand qubits.
     const int n = ctx.numGates();
@@ -60,6 +57,17 @@ CostEstimator::estimate(const SearchNode &node) const
     const int nl = _ctx.numLogical();
     int h = 0;
 
+    // Scratch buffers: thread_local (not members) so estimate() is
+    // re-entrant across concurrent searches — a portfolio race calls
+    // it from many threads, sometimes on the SAME estimator.  After
+    // first use on a thread the resize is a no-op (sizes only grow),
+    // so the per-call cost matches the old mutable-member scheme.
+    thread_local std::vector<int> ready;   // per logical qubit
+    thread_local std::vector<int> busySum; // per logical qubit (T_q)
+    if (static_cast<int>(ready.size()) < nl) {
+        ready.resize(static_cast<size_t>(nl));
+        busySum.resize(static_cast<size_t>(nl));
+    }
     const int *l2p = node.log2phys();
     const int *busy = node.busyUntil();
     const int *head = node.head();
@@ -72,8 +80,8 @@ CostEstimator::estimate(const SearchNode &node) const
         const int p = l2p[l];
         const int avail =
             p >= 0 ? std::max(0, busy[p] - node.cycle) : 0;
-        _ready[static_cast<size_t>(l)] = avail;
-        _busySum[static_cast<size_t>(l)] = avail;
+        ready[static_cast<size_t>(l)] = avail;
+        busySum[static_cast<size_t>(l)] = avail;
         h = std::max(h, avail);
         // Global critical-path bound through this qubit's next gate.
         const auto &gates = _ctx.qubitGates(l);
@@ -98,16 +106,16 @@ CostEstimator::estimate(const SearchNode &node) const
 
         const int len = _ctx.gateLatency(i);
         if (g.numQubits() == 1) {
-            const int u = _ready[static_cast<size_t>(q0)];
-            _ready[static_cast<size_t>(q0)] = u + len;
-            _busySum[static_cast<size_t>(q0)] += len;
+            const int u = ready[static_cast<size_t>(q0)];
+            ready[static_cast<size_t>(q0)] = u + len;
+            busySum[static_cast<size_t>(q0)] += len;
             h = std::max(h, u + len);
             continue;
         }
 
         const int q1 = g.qubit(1);
-        const int u = std::max(_ready[static_cast<size_t>(q0)],
-                               _ready[static_cast<size_t>(q1)]);
+        const int u = std::max(ready[static_cast<size_t>(q0)],
+                               ready[static_cast<size_t>(q1)]);
         const int p0 = l2p[q0];
         const int p1 = l2p[q1];
         int t_min = u;
@@ -115,16 +123,16 @@ CostEstimator::estimate(const SearchNode &node) const
             const int d = _ctx.graph().distance(p0, p1);
             if (d > 1) {
                 t_min = u + twoQubitDelay(
-                                d, u, _busySum[static_cast<size_t>(q0)],
-                                _busySum[static_cast<size_t>(q1)]);
+                                d, u, busySum[static_cast<size_t>(q0)],
+                                busySum[static_cast<size_t>(q1)]);
             }
         }
         // Unmapped operands (on-the-fly initial mapping) could still
         // be placed adjacent, so d == 1 is the admissible choice.
-        _ready[static_cast<size_t>(q0)] = t_min + len;
-        _ready[static_cast<size_t>(q1)] = t_min + len;
-        _busySum[static_cast<size_t>(q0)] += len;
-        _busySum[static_cast<size_t>(q1)] += len;
+        ready[static_cast<size_t>(q0)] = t_min + len;
+        ready[static_cast<size_t>(q1)] = t_min + len;
+        busySum[static_cast<size_t>(q0)] += len;
+        busySum[static_cast<size_t>(q1)] += len;
         h = std::max(h, t_min + len);
     }
     return h;

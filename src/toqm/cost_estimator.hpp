@@ -39,6 +39,11 @@ class CostEstimator
     /**
      * Lower bound (in cycles) on the time from @p node to any
      * terminal node.
+     *
+     * Re-entrant: scratch state lives in thread_local buffers, so
+     * concurrent searches (portfolio races, `--jobs N` batches) may
+     * call estimate() on the same or different estimator instances
+     * from any thread without synchronisation.
      */
     int estimate(const SearchNode &node) const;
 
@@ -54,11 +59,6 @@ class CostEstimator
      * artificially cheap.
      */
     std::vector<int> _tail;
-
-    /** Scratch buffers reused across calls (estimate is not
-     * re-entrant; the mappers are single-threaded). */
-    mutable std::vector<int> _ready; ///< per logical qubit
-    mutable std::vector<int> _busySum; ///< per logical qubit (T_q)
 
     int twoQubitDelay(int d, int u, int t_a, int t_b) const;
 };

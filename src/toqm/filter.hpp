@@ -20,6 +20,11 @@
  * would always "dominate" it — pruning it would sever the only path
  * that lets time advance (the parent can only wait *through* that
  * child).  They are still recorded so they can prune others.
+ *
+ * Threading: a Filter mutates its table on every admit(), so each
+ * concurrent search owns a private instance (parallel drivers create
+ * one per worker, next to its NodePool).  Instances share nothing,
+ * so concurrent searches never contend.
  */
 
 #ifndef TOQM_CORE_FILTER_HPP

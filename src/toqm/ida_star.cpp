@@ -80,7 +80,8 @@ idaStarMap(const arch::CouplingGraph &graph,
            const ir::Circuit &logical,
            const ir::LatencyModel &latency, bool allow_mixing,
            std::uint64_t max_expanded,
-           const search::GuardConfig &guard)
+           const search::GuardConfig &guard,
+           search::IncumbentChannel *channel)
 {
     IdaResult result;
 
@@ -94,7 +95,10 @@ idaStarMap(const arch::CouplingGraph &graph,
     Expander expander(ctx, pool, cfg);
     Engine engine(pool);
     engine.bindProbe("ida");
-    engine.armGuard(guard);
+    search::GuardConfig guard_cfg = guard;
+    if (channel != nullptr && guard_cfg.cancelToken == nullptr)
+        guard_cfg.cancelToken = channel->stopToken();
+    engine.armGuard(guard_cfg);
 
     NodeRef root = pool.root(ir::identityLayout(ctx.numLogical()),
                              false);
@@ -117,13 +121,25 @@ idaStarMap(const arch::CouplingGraph &graph,
             result.status = SearchStatus::Solved;
             result.cycles = terminal->makespan();
             result.mapped = reconstructMapping(ctx, terminal);
+            if (channel != nullptr)
+                channel->offer(result.cycles);
             break;
         }
+        if (channel != nullptr && incumbent)
+            channel->offer(incumbent_makespan);
         if (engine.guardStop() != search::StopReason::None ||
             engine.stats().expanded >= max_expanded)
             break;
         if (next_bound == std::numeric_limits<int>::max())
             break; // space exhausted below every bound: unsolvable
+        if (channel != nullptr && next_bound > channel->bound()) {
+            // A foreign schedule already achieves a cost below every
+            // remaining round's bound: no deeper round can win the
+            // race, so stop here (an incumbent, if any, is delivered
+            // with Cancelled status below).
+            result.status = SearchStatus::Cancelled;
+            break;
+        }
         bound = next_bound;
     }
     if (!result.success) {

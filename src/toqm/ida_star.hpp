@@ -53,13 +53,19 @@ struct IdaResult
  * @param allow_mixing Fig 14 constrained mode when false.
  * @param max_expanded total node budget across rounds.
  * @param guard resource limits (all-defaults = disarmed).
+ * @param channel portfolio incumbent exchange (nullptr = solo run):
+ *        achieved makespans are published, the channel's stop token
+ *        is honored through the guard, and deepening ends once the
+ *        bound passes the watermark (a foreign schedule at cost b
+ *        proves no round with T >= b can improve on it).
  */
 IdaResult idaStarMap(const arch::CouplingGraph &graph,
                      const ir::Circuit &logical,
                      const ir::LatencyModel &latency,
                      bool allow_mixing = true,
                      std::uint64_t max_expanded = 50'000'000,
-                     const search::GuardConfig &guard = {});
+                     const search::GuardConfig &guard = {},
+                     search::IncumbentChannel *channel = nullptr);
 
 } // namespace toqm::core
 

@@ -180,7 +180,10 @@ OptimalMapper::map(const ir::Circuit &logical,
     Filter filter(_config.filterMaxEntries);
     search::SearchEngine<Frontier> engine(pool);
     engine.bindProbe("optimal");
-    engine.armGuard(_config.guard);
+    search::GuardConfig guard_cfg = _config.guard;
+    if (_config.channel != nullptr && guard_cfg.cancelToken == nullptr)
+        guard_cfg.cancelToken = _config.channel->stopToken();
+    engine.armGuard(guard_cfg);
 
     std::vector<int> seed = initial_layout
                                 ? *initial_layout
@@ -204,6 +207,8 @@ OptimalMapper::map(const ir::Circuit &logical,
         if (node && node->makespan() < incumbent_makespan) {
             incumbent_makespan = node->makespan();
             incumbent = node;
+            if (_config.channel != nullptr)
+                _config.channel->offer(incumbent_makespan);
         }
     };
 
@@ -239,7 +244,15 @@ OptimalMapper::map(const ir::Circuit &logical,
         child->costH = estimator.estimate(*child);
         if (child->allScheduled(ctx))
             offer_incumbent(child); // complete schedule: keep the best
-        if (child->f() > upper_bound)
+        // Prune against the best achievable schedule known anywhere:
+        // the local beam-probe bound, tightened — in a portfolio race
+        // — by the channel watermark (one relaxed load).  Nodes AT
+        // the bound survive, so optimality at that cost stays
+        // provable locally.
+        int bound = upper_bound;
+        if (_config.channel != nullptr)
+            bound = std::min(bound, _config.channel->bound());
+        if (child->f() > bound)
             return; // can never beat the known achievable schedule
         if (_config.useFilter && !filter.admit(child, exempt))
             return;
@@ -254,6 +267,8 @@ OptimalMapper::map(const ir::Circuit &logical,
             const int cost = node->makespan();
             if (optimal < 0) {
                 optimal = cost;
+                if (_config.channel != nullptr)
+                    _config.channel->offer(cost);
                 result.success = true;
                 result.status = SearchStatus::Solved;
                 result.cycles = cost;

@@ -23,6 +23,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/incumbent_channel.hpp"
 #include "search/resource_guard.hpp"
 #include "search_types.hpp"
 
@@ -72,6 +73,17 @@ struct MapperConfig
      * keeps the run byte-identical to pre-guard behavior.
      */
     search::GuardConfig guard;
+    /**
+     * Incumbent exchange for portfolio races (nullptr = solo run).
+     * When set, the search (a) publishes every complete schedule's
+     * makespan, (b) prunes generated children against the best bound
+     * achieved by ANY search on the channel (reading the atomic
+     * watermark on the expansion hot path), and (c) honors the
+     * channel's stop token through its ResourceGuard.  Pruning keeps
+     * f == bound nodes, so optimality proofs are unaffected.
+     * The channel must outlive the map() call.
+     */
+    search::IncumbentChannel *channel = nullptr;
 };
 
 /**

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "parallel/portfolio.hpp"
+#include "qasm/writer.hpp"
+#include "search/incumbent_channel.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::parallel {
+namespace {
+
+core::MapperConfig
+qftBase()
+{
+    core::MapperConfig base;
+    base.latency = ir::LatencyModel::qftPreset();
+    return base;
+}
+
+TEST(DefaultPortfolioTest, FourEntriesInPriorityOrder)
+{
+    const PortfolioConfig config = defaultPortfolio();
+    ASSERT_EQ(config.entries.size(), 4u);
+    EXPECT_EQ(config.entries[0].name, "astar");
+    EXPECT_EQ(config.entries[1].name, "astar-nofilter");
+    EXPECT_FALSE(config.entries[1].exact.useFilter);
+    EXPECT_EQ(config.entries[2].name, "ida");
+    EXPECT_EQ(config.entries[2].kind, PortfolioEntry::Kind::Ida);
+    EXPECT_EQ(config.entries[3].name, "heuristic");
+    EXPECT_EQ(config.entries[3].kind,
+              PortfolioEntry::Kind::Heuristic);
+}
+
+TEST(DefaultPortfolioTest, CapTruncatesInPriorityOrder)
+{
+    const PortfolioConfig two = defaultPortfolio({}, 2);
+    ASSERT_EQ(two.entries.size(), 2u);
+    EXPECT_EQ(two.entries[0].name, "astar");
+    EXPECT_EQ(two.entries[1].name, "astar-nofilter");
+    EXPECT_EQ(defaultPortfolio({}, 1).entries.size(), 1u);
+    // A nonsensical cap still yields a usable portfolio.
+    EXPECT_EQ(defaultPortfolio({}, 0).entries.size(), 1u);
+}
+
+TEST(DefaultPortfolioTest, BasePropagatesToEveryEntry)
+{
+    core::MapperConfig base = qftBase();
+    base.searchInitialMapping = true;
+    const PortfolioConfig config = defaultPortfolio(base);
+    for (const PortfolioEntry &entry : config.entries) {
+        if (entry.kind == PortfolioEntry::Kind::Heuristic) {
+            EXPECT_EQ(entry.heuristic.latency.swapLatency(),
+                      base.latency.swapLatency());
+        } else {
+            EXPECT_EQ(entry.exact.latency.swapLatency(),
+                      base.latency.swapLatency());
+            EXPECT_TRUE(entry.exact.searchInitialMapping);
+        }
+    }
+}
+
+TEST(PortfolioMapperTest, EmptyPortfolioReportsFailure)
+{
+    PortfolioMapper mapper(arch::lnn(3), PortfolioConfig{});
+    const PortfolioResult res = mapper.map(ir::ghz(3));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.winner, -1);
+}
+
+TEST(PortfolioMapperTest, RaceSolvesAndVerifies)
+{
+    const auto graph = arch::lnn(5);
+    const ir::Circuit logical = ir::qftSkeleton(5);
+    PortfolioMapper mapper(graph, defaultPortfolio(qftBase()));
+    const PortfolioResult res = mapper.map(logical);
+
+    ASSERT_TRUE(res.success);
+    ASSERT_GE(res.winner, 0);
+    ASSERT_EQ(res.outcomes.size(), 4u);
+    EXPECT_TRUE(res.provenOptimal);
+    // QFT-5 on LNN-5 under the qft preset is 13 cycles (the exact
+    // mapper's own regression value).
+    EXPECT_EQ(res.cycles, 13);
+    EXPECT_TRUE(sim::verifyMapping(logical, res.mapped, graph).ok);
+
+    // Folded stats cover every entry that did work.
+    EXPECT_GE(res.stats.expanded,
+              res.outcomes[static_cast<std::size_t>(res.winner)]
+                  .stats.expanded);
+}
+
+TEST(PortfolioMapperTest, SerialRaceIsFullyDeterministic)
+{
+    // With one pool worker the race is a deterministic sequence:
+    // entry 0 proves first and stops the rest, so winner, outcomes
+    // AND the emitted circuit must be byte-identical across runs.
+    const auto graph = arch::lnn(5);
+    const ir::Circuit logical = ir::qftSkeleton(5);
+    PortfolioConfig config = defaultPortfolio(qftBase());
+    config.workers = 1;
+    PortfolioMapper mapper(graph, config);
+
+    const PortfolioResult a = mapper.map(logical);
+    const PortfolioResult b = mapper.map(logical);
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_EQ(a.winner, b.winner);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(qasm::writeMappedCircuit(a.mapped),
+              qasm::writeMappedCircuit(b.mapped));
+}
+
+TEST(PortfolioMapperTest, SameWinnerConfigMeansIdenticalCircuit)
+{
+    // The full concurrent race: whichever entry wins, a re-run where
+    // the SAME entry wins must reproduce its circuit bit for bit
+    // (each entry's search is internally deterministic).
+    const auto graph = arch::lnn(4);
+    const ir::Circuit logical = ir::qftSkeleton(4);
+    PortfolioMapper mapper(graph, defaultPortfolio(qftBase()));
+
+    const PortfolioResult first = mapper.map(logical);
+    ASSERT_TRUE(first.success);
+    for (int round = 0; round < 3; ++round) {
+        const PortfolioResult again = mapper.map(logical);
+        ASSERT_TRUE(again.success);
+        EXPECT_EQ(again.cycles, first.cycles);
+        if (again.winner == first.winner) {
+            EXPECT_EQ(qasm::writeMappedCircuit(again.mapped),
+                      qasm::writeMappedCircuit(first.mapped));
+        }
+    }
+}
+
+TEST(PortfolioMapperTest, PortfolioJsonNamesTheWinner)
+{
+    const auto graph = arch::lnn(4);
+    PortfolioConfig config = defaultPortfolio(qftBase());
+    config.workers = 1;
+    PortfolioMapper mapper(graph, config);
+    const PortfolioResult res = mapper.map(ir::qftSkeleton(4));
+    ASSERT_TRUE(res.success);
+    const std::string json = res.portfolioJson();
+    EXPECT_NE(json.find("\"entries\":4"), std::string::npos);
+    EXPECT_NE(json.find("\"winner\":\""), std::string::npos);
+    EXPECT_NE(json.find("\"winner_index\":"), std::string::npos);
+    EXPECT_NE(json.find("\"proven_optimal\":true"),
+              std::string::npos);
+}
+
+TEST(PortfolioMapperTest, PortfolioJsonNullWinnerWhenNobodyFinished)
+{
+    PortfolioResult res;
+    res.outcomes.push_back({});
+    EXPECT_NE(res.portfolioJson().find("\"winner\":null"),
+              std::string::npos);
+    EXPECT_NE(res.portfolioJson().find("\"winner_index\":-1"),
+              std::string::npos);
+}
+
+TEST(PortfolioCancellationTest, PresetStopCancelsBeforeAnyWork)
+{
+    // The loser's view of a settled race: its channel already says
+    // stop, so the guard trips at its first probe and the search
+    // unwinds as Cancelled after a handful of expansions.
+    search::IncumbentChannel channel;
+    channel.requestStop();
+
+    core::MapperConfig cfg = qftBase();
+    cfg.channel = &channel;
+    core::OptimalMapper mapper(arch::ibmQ20Tokyo(), cfg);
+    const auto res = mapper.map(ir::qftSkeleton(8));
+    EXPECT_FALSE(res.success);
+    EXPECT_EQ(res.status, search::SearchStatus::Cancelled);
+}
+
+TEST(PortfolioCancellationTest, CrossThreadStopUnwindsPromptly)
+{
+    // QFT-8 on Tokyo with a fixed layout runs for minutes when left
+    // alone; a stop raised from another thread must end it in well
+    // under that.  Generous ceiling so a loaded CI host still passes.
+    search::IncumbentChannel channel;
+    core::MapperConfig cfg = qftBase();
+    cfg.channel = &channel;
+    core::OptimalMapper mapper(arch::ibmQ20Tokyo(), cfg);
+
+    std::thread stopper([&channel] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        channel.requestStop();
+    });
+    const auto start = std::chrono::steady_clock::now();
+    const auto res = mapper.map(ir::qftSkeleton(8));
+    const auto elapsed =
+        std::chrono::steady_clock::now() - start;
+    stopper.join();
+
+    EXPECT_EQ(res.status, search::SearchStatus::Cancelled);
+    EXPECT_LT(elapsed, std::chrono::seconds(60));
+}
+
+TEST(PortfolioCancellationTest, ForeignBoundNeverPrunesTheOptimum)
+{
+    // Publishing the EXACT optimal makespan as a foreign incumbent
+    // must not break the proof: equal-f nodes are kept, so the
+    // search still finds and proves a 13-cycle result.
+    search::IncumbentChannel channel;
+    channel.offer(13);
+
+    core::MapperConfig cfg = qftBase();
+    cfg.channel = &channel;
+    core::OptimalMapper mapper(arch::lnn(5), cfg);
+    const auto res = mapper.map(ir::qftSkeleton(5));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.status, search::SearchStatus::Solved);
+    EXPECT_EQ(res.cycles, 13);
+    EXPECT_FALSE(res.fromIncumbent);
+}
+
+TEST(PortfolioCancellationTest, SolverPublishesItsIncumbents)
+{
+    search::IncumbentChannel channel;
+    core::MapperConfig cfg = qftBase();
+    cfg.channel = &channel;
+    core::OptimalMapper mapper(arch::lnn(5), cfg);
+    const auto res = mapper.map(ir::qftSkeleton(5));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(channel.bound(), res.cycles);
+}
+
+} // namespace
+} // namespace toqm::parallel

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/batch.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace toqm::parallel {
+namespace {
+
+TEST(ThreadPoolTest, ConstructsAndJoinsWithNoTasks)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workerCount(), 3u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersMeansAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.workerCount(), 1u);
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitCoversTasksSubmittedByTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &count] {
+            // Worker-side submit: lands on this worker's own deque.
+            pool.submit([&count] { ++count; });
+            ++count;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIsMinusOneOffPool)
+{
+    EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);
+}
+
+TEST(ThreadPoolTest, CurrentWorkerIndexIsDenseOnPool)
+{
+    ThreadPool pool(3);
+    std::mutex mutex;
+    std::vector<int> seen;
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&mutex, &seen] {
+            const int index = ThreadPool::currentWorkerIndex();
+            const std::lock_guard<std::mutex> lock(mutex);
+            seen.push_back(index);
+        });
+    }
+    pool.wait();
+    ASSERT_EQ(seen.size(), 64u);
+    for (const int index : seen) {
+        EXPECT_GE(index, 0);
+        EXPECT_LT(index, 3);
+    }
+}
+
+TEST(ThreadPoolTest, IdleWorkerStealsFromBusyWorkersDeque)
+{
+    // One worker spawns a subtask onto its OWN deque (LIFO slot),
+    // then blocks until somebody runs it.  The owner is blocked, so
+    // only a steal by the other worker can make progress.
+    ThreadPool pool(2);
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool subtask_ran = false;
+    int subtask_worker = -1;
+
+    pool.submit([&] {
+        pool.submit([&] {
+            const std::lock_guard<std::mutex> lock(mutex);
+            subtask_ran = true;
+            subtask_worker = ThreadPool::currentWorkerIndex();
+            cv.notify_all();
+        });
+        std::unique_lock<std::mutex> lock(mutex);
+        const bool ok = cv.wait_for(
+            lock, std::chrono::seconds(30),
+            [&subtask_ran] { return subtask_ran; });
+        EXPECT_TRUE(ok) << "subtask was never stolen";
+    });
+    pool.wait();
+
+    EXPECT_TRUE(subtask_ran);
+    EXPECT_GE(subtask_worker, 0);
+    EXPECT_GE(pool.steals(), 1u);
+}
+
+TEST(WorkerLocalTest, OffPoolThreadUsesSlotZero)
+{
+    ThreadPool pool(2);
+    WorkerLocal<int> slots(pool);
+    ASSERT_EQ(slots.slots().size(), 3u);
+    slots.local() = 42;
+    EXPECT_EQ(slots.slots()[0], 42);
+}
+
+TEST(WorkerLocalTest, PerWorkerAccumulationMergesExactly)
+{
+    ThreadPool pool(4);
+    WorkerLocal<long> partial(pool);
+    for (int i = 1; i <= 1000; ++i)
+        pool.submit([&partial, i] { partial.local() += i; });
+    pool.wait();
+    long total = 0;
+    for (const long p : partial.slots())
+        total += p;
+    EXPECT_EQ(total, 1000L * 1001L / 2);
+}
+
+TEST(BatchTest, CodesComeBackInInputOrder)
+{
+    ThreadPool pool(4);
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 20; ++i)
+        jobs.push_back([i] { return i % 5; });
+    const std::vector<int> codes = runBatch(pool, jobs);
+    ASSERT_EQ(codes.size(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(codes[static_cast<std::size_t>(i)], i % 5);
+}
+
+TEST(BatchTest, WorstExitCodeIsNumericMax)
+{
+    EXPECT_EQ(worstExitCode({}), 0);
+    EXPECT_EQ(worstExitCode({0, 0, 0}), 0);
+    EXPECT_EQ(worstExitCode({0, 6, 4}), 6);
+    EXPECT_EQ(worstExitCode({3, 0, 8, 1}), 8);
+}
+
+TEST(BatchTest, MoreWorkersThanJobsStillRunsEverything)
+{
+    ThreadPool pool(8);
+    std::vector<std::function<int()>> jobs;
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back([] { return 0; });
+    const std::vector<int> codes = runBatch(pool, jobs);
+    EXPECT_EQ(codes, (std::vector<int>{0, 0, 0}));
+}
+
+} // namespace
+} // namespace toqm::parallel

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "search/incumbent_channel.hpp"
+#include "search/search_stats.hpp"
+
+namespace toqm::search {
+namespace {
+
+TEST(IncumbentChannelTest, StartsWithNoBoundAndNoStop)
+{
+    IncumbentChannel channel;
+    EXPECT_EQ(channel.bound(), IncumbentChannel::kNoBound);
+    EXPECT_FALSE(channel.stopRequested());
+}
+
+TEST(IncumbentChannelTest, OfferIsMonotoneDecreasing)
+{
+    IncumbentChannel channel;
+    EXPECT_TRUE(channel.offer(40));
+    EXPECT_EQ(channel.bound(), 40);
+    EXPECT_FALSE(channel.offer(50)); // worse: rejected
+    EXPECT_EQ(channel.bound(), 40);
+    EXPECT_FALSE(channel.offer(40)); // equal: no improvement
+    EXPECT_TRUE(channel.offer(30));
+    EXPECT_EQ(channel.bound(), 30);
+}
+
+TEST(IncumbentChannelTest, StopIsSticky)
+{
+    IncumbentChannel channel;
+    channel.requestStop();
+    EXPECT_TRUE(channel.stopRequested());
+    channel.requestStop();
+    EXPECT_TRUE(channel.stopRequested());
+    ASSERT_NE(channel.stopToken(), nullptr);
+    EXPECT_TRUE(channel.stopToken()->load());
+}
+
+TEST(IncumbentChannelTest, ConcurrentOffersKeepTheMinimum)
+{
+    IncumbentChannel channel;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&channel, t] {
+            for (int i = 200; i > 0; --i)
+                channel.offer(i * 4 + t);
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(channel.bound(), 4); // min over i*4+t = 1*4+0
+}
+
+TEST(StatsAccumulatorTest, StartsEmpty)
+{
+    StatsAccumulator acc;
+    EXPECT_EQ(acc.runs(), 0u);
+    EXPECT_EQ(acc.total().expanded, 0u);
+}
+
+TEST(StatsAccumulatorTest, FoldsSumsAndPeaks)
+{
+    SearchStats a;
+    a.expanded = 10;
+    a.generated = 20;
+    a.seconds = 0.5;
+    a.peakPoolBytes = 1000;
+    SearchStats b;
+    b.expanded = 5;
+    b.generated = 7;
+    b.seconds = 0.25;
+    b.peakPoolBytes = 4000;
+
+    StatsAccumulator acc;
+    acc.add(a);
+    acc.add(b);
+    const SearchStats total = acc.total();
+    EXPECT_EQ(acc.runs(), 2u);
+    EXPECT_EQ(total.expanded, 15u);
+    EXPECT_EQ(total.generated, 27u);
+    EXPECT_DOUBLE_EQ(total.seconds, 0.75);
+    EXPECT_EQ(total.peakPoolBytes, 4000u); // max, not sum
+}
+
+TEST(StatsAccumulatorTest, ConcurrentAddsAllLand)
+{
+    StatsAccumulator acc;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&acc] {
+            for (int i = 0; i < 250; ++i) {
+                SearchStats s;
+                s.expanded = 1;
+                acc.add(s);
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    EXPECT_EQ(acc.runs(), 1000u);
+    EXPECT_EQ(acc.total().expanded, 1000u);
+}
+
+} // namespace
+} // namespace toqm::search

@@ -2,15 +2,28 @@
  * @file
  * toqm_map — the command-line compiler driver.
  *
- * Reads an OpenQASM 2.0 file (or stdin), maps it onto a chosen
- * architecture with the selected mapper, verifies the result, and
- * writes hardware-compliant OpenQASM 2.0 to stdout.
+ * Reads one or more OpenQASM 2.0 files (or stdin), maps them onto a
+ * chosen architecture with the selected mapper, verifies the result,
+ * and writes hardware-compliant OpenQASM 2.0 to stdout.
  *
- *   toqm_map [options] [input.qasm]
+ *   toqm_map [options] [input.qasm ...]
  *     --arch NAME        lnn<N>, grid<R>x<C>, ibmqx2, tokyo,
  *                        melbourne, aspen-4        (default: tokyo)
- *     --mapper KIND      optimal | heuristic | sabre | zulehner
- *                                                  (default: heuristic)
+ *     --mapper KIND      optimal | heuristic | sabre | zulehner |
+ *                        portfolio                 (default: heuristic)
+ *     --portfolio-size N entries raced in portfolio mode (default 4:
+ *                        A*, A* without the filter, IDA*, heuristic);
+ *                        the stats JSON reports which entry won
+ *     --jobs N           map multiple inputs concurrently on N
+ *                        worker threads (default 1); output and
+ *                        stats lines stay ordered by the INPUT list,
+ *                        never by completion order
+ *     --manifest FILE    read additional input paths from FILE (one
+ *                        per line; blank lines and # comments skipped)
+ *     --out-dir DIR      write each input's mapped circuit to
+ *                        DIR/<input basename> instead of stdout
+ *                        (batch output to stdout is otherwise
+ *                        concatenated with `// ====` separators)
  *     --latency L1,L2,LS 1q, 2q and swap cycles    (default: 1,2,6)
  *     --search-initial   optimal mode: also search the layout
  *     --no-mixing        optimal mode: forbid concurrent GT+swap
@@ -62,11 +75,20 @@
  * written to stdout and recorded in the stats-json `degradation`
  * block; with --fallback=heuristic a successful degraded delivery
  * turns the exit code into 0.
+ *
+ * Batch exit code (--jobs / multiple inputs): every input runs to
+ * completion and the process exits with the WORST (numeric max) of
+ * the per-input codes, so one degraded or failed circuit marks the
+ * batch with its most severe failure class while the other circuits
+ * still deliver their results.
  */
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
@@ -83,6 +105,9 @@
 #include "heuristic/heuristic_mapper.hpp"
 #include "ir/schedule.hpp"
 #include "obs/observer.hpp"
+#include "parallel/batch.hpp"
+#include "parallel/portfolio.hpp"
+#include "parallel/thread_pool.hpp"
 #include "qasm/importer.hpp"
 #include "qasm/writer.hpp"
 #include "search/resource_guard.hpp"
@@ -114,7 +139,13 @@ struct Options
     bool enforceDirections = false;
     std::string layoutStrategy = "auto"; // auto|greedy|annealed
     std::uint64_t maxNodes = 20'000'000;
-    std::string inputPath; // empty = stdin
+    std::vector<std::string> inputs; // empty = stdin
+
+    // Batch / portfolio surface (toqm_parallel).
+    unsigned jobs = 1;
+    std::string manifestPath; // empty = none
+    std::string outDir;       // empty = stdout
+    int portfolioSize = 4;
 
     // Resource guard + degradation policy.
     std::uint64_t deadlineMs = 0; // 0 = none
@@ -135,19 +166,21 @@ usage(const char *argv0, int code)
 {
     std::fprintf(stderr,
                  "usage: %s [--arch NAME] [--mapper optimal|heuristic"
-                 "|sabre|zulehner]\n"
+                 "|sabre|zulehner|portfolio]\n"
                  "       [--latency 1q,2q,swap] [--search-initial] "
                  "[--no-mixing]\n"
                  "       [--all-optimal] [--max-nodes N] [--stats] "
                  "[--stats-json] [--verify] [--timeline]\n"
                  "       [--deadline-ms N] [--max-pool-mb N] "
                  "[--fallback none|heuristic]\n"
+                 "       [--portfolio-size N]\n"
+                 "       [--jobs N] [--manifest FILE] [--out-dir DIR]\n"
                  "       [--layout auto|greedy|annealed] [--dot] "
                  "[--json]\n"
                  "       [--restore-layout] [--enforce-directions]\n"
                  "       [--trace FILE] [--progress[=SECS]] "
                  "[--metrics-json[=FILE]] [--obs-sample N]\n"
-                 "       [input.qasm]\n"
+                 "       [input.qasm ...]\n"
                  "\n"
                  "exit codes:\n"
                  "  0  success (or an opted-in --fallback delivery)\n"
@@ -161,7 +194,12 @@ usage(const char *argv0, int code)
                  "  7  memory ceiling exceeded (--max-pool-mb)\n"
                  "  8  cancelled (SIGINT/SIGTERM)\n"
                  "For 4/6/7/8 the best incumbent mapping, when one "
-                 "exists, is still written to stdout.\n",
+                 "exists, is still written to stdout.\n"
+                 "With multiple inputs (--jobs / --manifest) every "
+                 "input runs to completion, per-input\n"
+                 "output stays in input-list order, and the process "
+                 "exits with the WORST (numeric\n"
+                 "max) per-input code.\n",
                  argv0);
     std::exit(code);
 }
@@ -266,18 +304,50 @@ parseArgs(int argc, char **argv)
             opt.obsSample = std::stoull(next());
             if (opt.obsSample == 0)
                 usage(argv[0], 2);
+        } else if (arg == "--jobs") {
+            opt.jobs = static_cast<unsigned>(std::stoul(next()));
+            if (opt.jobs == 0)
+                usage(argv[0], 2);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opt.jobs = static_cast<unsigned>(
+                std::stoul(arg.substr(7)));
+            if (opt.jobs == 0)
+                usage(argv[0], 2);
+        } else if (arg == "--manifest") {
+            opt.manifestPath = next();
+        } else if (arg.rfind("--manifest=", 0) == 0) {
+            opt.manifestPath = arg.substr(11);
+        } else if (arg == "--out-dir") {
+            opt.outDir = next();
+        } else if (arg.rfind("--out-dir=", 0) == 0) {
+            opt.outDir = arg.substr(10);
+        } else if (arg == "--portfolio-size") {
+            opt.portfolioSize = std::stoi(next());
+            if (opt.portfolioSize < 1)
+                usage(argv[0], 2);
+        } else if (arg.rfind("--portfolio-size=", 0) == 0) {
+            opt.portfolioSize = std::stoi(arg.substr(17));
+            if (opt.portfolioSize < 1)
+                usage(argv[0], 2);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0], 2);
         } else {
-            opt.inputPath = arg;
+            opt.inputs.push_back(arg);
         }
     }
     if (opt.fallback != "none" && opt.fallback != "heuristic") {
         std::fprintf(stderr, "unknown --fallback policy: %s\n",
                      opt.fallback.c_str());
+        usage(argv[0], 2);
+    }
+    if (opt.layoutStrategy != "auto" &&
+        opt.layoutStrategy != "greedy" &&
+        opt.layoutStrategy != "annealed") {
+        std::fprintf(stderr, "unknown --layout strategy: %s\n",
+                     opt.layoutStrategy.c_str());
         usage(argv[0], 2);
     }
     return opt;
@@ -377,41 +447,42 @@ struct ObsArtifactFlusher
     }
 };
 
-int
-main(int argc, char **argv)
-{
-    const Options opt = parseArgs(argc, argv);
+namespace {
 
-    // Cooperative cancellation: Ctrl-C / SIGTERM request a stop; the
-    // search unwinds at its next guard probe and the best incumbent
-    // (if any) is still delivered and verified.
-    std::signal(SIGINT, toqmMapStopSignalHandler);
-    std::signal(SIGTERM, toqmMapStopSignalHandler);
+/** One batch job: which input to map and how to label its output. */
+struct JobSpec
+{
+    std::string input;      // empty = stdin
+    bool batchMode = false; // tag stats lines with the input path
+};
+
+/**
+ * Map ONE input end to end: parse, map, verify, emit.  The single-
+ * input path calls this with the real std::cout / stderr, so its
+ * byte stream is identical to the pre-batch builds; batch jobs pass
+ * buffered streams that main() replays in input-list order.
+ * Returns the per-input exit code (see the table in usage()).
+ */
+int
+runJob(const Options &opt, const JobSpec &job, std::ostream &out,
+       std::FILE *err)
+{
+    obs::Observer &observer = obs::Observer::global();
 
     search::GuardConfig guard_cfg;
     guard_cfg.deadlineMs = opt.deadlineMs;
     guard_cfg.maxPoolBytes = opt.maxPoolMb * 1024ull * 1024ull;
     guard_cfg.honorCancellation = true;
 
-    obs::Observer &observer = obs::Observer::global();
-    if (!opt.tracePath.empty())
-        observer.enableTrace();
-    if (opt.metricsJson)
-        observer.enableMetrics();
-    if (opt.progress)
-        observer.enableProgress(opt.progressInterval, stderr);
-    observer.setSampleInterval(opt.obsSample);
-    const ObsArtifactFlusher obs_flusher{opt};
-
     try {
         // --- input ------------------------------------------------
         qasm::ImportResult program;
-        if (opt.inputPath.empty()) {
+        if (job.input.empty()) {
             std::ostringstream buf;
             buf << std::cin.rdbuf();
             program = qasm::importString(buf.str());
         } else {
-            program = qasm::importFile(opt.inputPath);
+            program = qasm::importFile(job.input);
         }
         const ir::Circuit &logical = program.circuit;
 
@@ -424,8 +495,6 @@ main(int argc, char **argv)
             seed_layout = core::greedyLayout(logical, device);
         else if (opt.layoutStrategy == "annealed")
             seed_layout = core::annealedLayout(logical, device);
-        else if (opt.layoutStrategy != "auto")
-            usage(argv[0], 2);
 
         // --- map --------------------------------------------------
         search::StatsLineContext stats_ctx;
@@ -433,6 +502,8 @@ main(int argc, char **argv)
         stats_ctx.lat1 = opt.lat1;
         stats_ctx.lat2 = opt.lat2;
         stats_ctx.latSwap = opt.lats;
+        if (job.batchMode)
+            stats_ctx.input = job.input;
 
         ir::MappedCircuit mapped;
         // Exit code carried through the output path for degraded
@@ -508,25 +579,25 @@ main(int argc, char **argv)
                                res.mapped.physical.numSwaps(),
                                stats_ctx)
                                .c_str(),
-                           stderr);
+                           err);
             }
             if (!delivered) {
                 if (res.status ==
                     search::SearchStatus::BudgetExhausted) {
                     std::fprintf(
-                        stderr,
+                        err,
                         "error: node budget exhausted before an "
                         "optimal solution was proven; raise "
                         "--max-nodes, set --fallback=heuristic, or "
                         "use --mapper heuristic\n");
                 } else if (res.status ==
                            search::SearchStatus::Infeasible) {
-                    std::fprintf(stderr,
+                    std::fprintf(err,
                                  "error: instance is unsolvable on "
                                  "this device\n");
                 } else {
                     std::fprintf(
-                        stderr,
+                        err,
                         "error: search stopped (%s) before any "
                         "complete mapping was found; relax the "
                         "limit or set --fallback=heuristic\n",
@@ -547,14 +618,14 @@ main(int argc, char **argv)
             if (opt.stats) {
                 if (delivered_by == "heuristic") {
                     std::fprintf(
-                        stderr,
+                        err,
                         "optimal: stopped (%s); heuristic fallback: "
                         "%d cycles, %d swaps\n",
                         search::toString(res.status), fb.cycles,
                         mapped.physical.numSwaps());
                 } else {
                     std::fprintf(
-                        stderr,
+                        err,
                         "optimal%s: %d cycles, %d swaps, %llu "
                         "nodes, %.3f s\n",
                         res.fromIncumbent ? " (incumbent)" : "",
@@ -566,7 +637,7 @@ main(int argc, char **argv)
             }
             if (opt.allOptimal && res.status ==
                                       search::SearchStatus::Solved) {
-                std::fprintf(stderr, "distinct optimal solutions: "
+                std::fprintf(err, "distinct optimal solutions: "
                              "%zu (cap %zu)\n",
                              res.allOptimal.size(), size_t{64});
             }
@@ -596,10 +667,10 @@ main(int argc, char **argv)
                                res.mapped.physical.numSwaps(),
                                stats_ctx)
                                .c_str(),
-                           stderr);
+                           err);
             }
             if (!res.success) {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "error: heuristic search failed (%s)\n",
                              search::toString(res.status));
                 const int code = exitCodeFor(res.status);
@@ -611,7 +682,7 @@ main(int argc, char **argv)
             }
             mapped = res.mapped;
             if (opt.stats) {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "heuristic: %d cycles, %d swaps, %.3f "
                              "s\n",
                              res.cycles, mapped.physical.numSwaps(),
@@ -621,7 +692,7 @@ main(int argc, char **argv)
             baselines::SabreMapper mapper(device);
             const auto res = mapper.map(logical);
             if (!res.success) {
-                std::fprintf(stderr, "error: SABRE failed\n");
+                std::fprintf(err, "error: SABRE failed\n");
                 return 1;
             }
             mapped = res.mapped;
@@ -636,11 +707,11 @@ main(int argc, char **argv)
                             .makespan,
                         res.swapCount, stats_ctx)
                         .c_str(),
-                    stderr);
+                    err);
             }
             if (opt.stats) {
                 std::fprintf(
-                    stderr, "sabre: %d cycles, %d swaps\n",
+                    err, "sabre: %d cycles, %d swaps\n",
                     ir::scheduleAsap(mapped.physical, latency)
                         .makespan,
                     res.swapCount);
@@ -651,7 +722,7 @@ main(int argc, char **argv)
             baselines::ZulehnerMapper mapper(device, config);
             const auto res = mapper.map(logical);
             if (!res.success) {
-                std::fprintf(stderr, "error: Zulehner failed\n");
+                std::fprintf(err, "error: Zulehner failed\n");
                 return 1;
             }
             mapped = res.mapped;
@@ -680,17 +751,81 @@ main(int argc, char **argv)
                             .makespan,
                         res.swapCount, stats_ctx)
                         .c_str(),
-                    stderr);
+                    err);
             }
             if (opt.stats) {
                 std::fprintf(
-                    stderr, "zulehner: %d cycles, %d swaps\n",
+                    err, "zulehner: %d cycles, %d swaps\n",
                     ir::scheduleAsap(mapped.physical, latency)
                         .makespan,
                     res.swapCount);
             }
+        } else if (opt.mapper == "portfolio") {
+            core::MapperConfig base;
+            base.latency = latency;
+            base.searchInitialMapping = opt.searchInitial;
+            base.allowConcurrentSwapAndGate = !opt.noMixing;
+            base.maxExpandedNodes = opt.maxNodes;
+            parallel::PortfolioConfig pcfg =
+                parallel::defaultPortfolio(base, opt.portfolioSize);
+            pcfg.guard = guard_cfg;
+            parallel::PortfolioMapper mapper(device, pcfg);
+            const auto res = mapper.map(logical, seed_layout);
+            if (opt.statsJson) {
+                stats_ctx.nodeBudget = opt.maxNodes;
+                stats_ctx.provenOptimal = res.provenOptimal;
+                stats_ctx.deadlineMs = opt.deadlineMs;
+                stats_ctx.maxPoolBytes = guard_cfg.maxPoolBytes;
+                stats_ctx.hasIncumbent = res.fromIncumbent;
+                // Keep the rendered JSON alive across the call:
+                // StatsLineContext holds string_views.
+                const std::string portfolio_json =
+                    res.portfolioJson();
+                stats_ctx.portfolioJson = portfolio_json;
+                std::fputs(search::statsJsonLine(
+                               res.stats, "portfolio", res.status,
+                               res.cycles,
+                               res.mapped.physical.numSwaps(),
+                               stats_ctx)
+                               .c_str(),
+                           err);
+            }
+            if (!res.success) {
+                std::fprintf(err,
+                             "error: every portfolio entry stopped "
+                             "(%s) before a complete mapping was "
+                             "found\n",
+                             search::toString(res.status));
+                const int code = exitCodeFor(res.status);
+                return code == 0 ? 1 : code;
+            }
+            if (res.status != search::SearchStatus::Solved) {
+                // The race was stopped by a guard and the best
+                // incumbent from any entry was taken.
+                verify_degraded = true;
+                pending_exit = exitCodeFor(res.status);
+            }
+            mapped = res.mapped;
+            if (opt.stats) {
+                const char *winner_name =
+                    res.winner >= 0
+                        ? res.outcomes[static_cast<std::size_t>(
+                                           res.winner)]
+                              .name.c_str()
+                        : "none";
+                std::fprintf(err,
+                             "portfolio: winner %s%s: %d cycles, %d "
+                             "swaps, %llu nodes, %.3f CPU-s\n",
+                             winner_name,
+                             res.provenOptimal ? " (proven optimal)"
+                                               : "",
+                             res.cycles, mapped.physical.numSwaps(),
+                             static_cast<unsigned long long>(
+                                 res.stats.expanded),
+                             res.stats.seconds);
+            }
         } else {
-            std::fprintf(stderr, "unknown mapper: %s\n",
+            std::fprintf(err, "unknown mapper: %s\n",
                          opt.mapper.c_str());
             return 2;
         }
@@ -712,7 +847,7 @@ main(int argc, char **argv)
             mapped.finalLayout = ir::propagateLayout(
                 mapped.physical, mapped.initialLayout);
             if (opt.stats) {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "restore-layout: +%zu swaps\n",
                              swaps.size());
             }
@@ -724,25 +859,25 @@ main(int argc, char **argv)
             const auto verdict =
                 sim::verifyMapping(logical, mapped, device);
             if (!verdict.ok) {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "VERIFICATION FAILED (degraded "
                              "result): %s\n",
                              verdict.message.c_str());
                 return 3;
             }
-            std::fprintf(stderr, "structural verification "
+            std::fprintf(err, "structural verification "
                          "(degraded result): ok\n");
         }
         if (opt.verify) {
             const auto verdict =
                 sim::verifyMapping(logical, mapped, device);
             if (!verdict.ok) {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "VERIFICATION FAILED: %s\n",
                              verdict.message.c_str());
                 return 3;
             }
-            std::fprintf(stderr, "structural verification: ok\n");
+            std::fprintf(err, "structural verification: ok\n");
             if (logical.numQubits() <= 12 &&
                 device.numQubits() <= 20) {
                 bool simulatable = true;
@@ -756,7 +891,7 @@ main(int argc, char **argv)
                 if (simulatable) {
                     const bool equal =
                         sim::semanticallyEquivalent(logical, mapped);
-                    std::fprintf(stderr,
+                    std::fprintf(err,
                                  "semantic equivalence: %s\n",
                                  equal ? "ok" : "FAILED");
                     if (!equal)
@@ -767,7 +902,7 @@ main(int argc, char **argv)
 
         if (opt.enforceDirections) {
             if (opt.arch != "ibmqx2" && opt.arch != "qx2") {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "--enforce-directions currently knows "
                              "only the ibmqx2 calibration\n");
                 return 2;
@@ -776,7 +911,7 @@ main(int argc, char **argv)
                 mapped.physical, ir::ibmQX2Directions());
             mapped.physical = directed.circuit;
             if (opt.stats) {
-                std::fprintf(stderr,
+                std::fprintf(err,
                              "enforce-directions: %d CX reversed\n",
                              directed.reversedCx);
             }
@@ -785,7 +920,7 @@ main(int argc, char **argv)
         if (opt.timeline) {
             std::fputs(
                 ir::renderTimeline(mapped.physical, latency).c_str(),
-                stderr);
+                err);
         }
 
         // --- output -----------------------------------------------
@@ -793,17 +928,155 @@ main(int argc, char **argv)
         // fallback) and the stop-reason code for degraded
         // deliveries; either way the mapping goes to stdout.
         if (opt.emitDot) {
-            std::cout << ir::toDot(device, mapped.initialLayout);
+            out << ir::toDot(device, mapped.initialLayout);
             return pending_exit;
         }
         if (opt.emitJson) {
-            std::cout << ir::mappingToJson(mapped, latency);
+            out << ir::mappingToJson(mapped, latency);
             return pending_exit;
         }
-        std::cout << qasm::writeMappedCircuit(mapped);
+        out << qasm::writeMappedCircuit(mapped);
         return pending_exit;
+    } catch (const std::exception &e) {
+        std::fprintf(err, "error: %s\n", e.what());
+        return 1;
+    }
+}
+
+/** The input paths to map: positional args plus the manifest. */
+std::vector<std::string>
+collectInputs(const Options &opt)
+{
+    std::vector<std::string> inputs = opt.inputs;
+    if (!opt.manifestPath.empty()) {
+        std::ifstream manifest(opt.manifestPath);
+        if (!manifest) {
+            throw std::runtime_error("could not open manifest " +
+                                     opt.manifestPath);
+        }
+        std::string line;
+        while (std::getline(manifest, line)) {
+            const auto begin = line.find_first_not_of(" \t\r");
+            if (begin == std::string::npos || line[begin] == '#')
+                continue;
+            const auto end = line.find_last_not_of(" \t\r");
+            inputs.push_back(line.substr(begin, end - begin + 1));
+        }
+    }
+    return inputs;
+}
+
+/**
+ * Map every input concurrently on a work-stealing pool, then emit
+ * per-input output in INPUT-LIST order, never completion order:
+ * stdout bodies go to --out-dir files (named by input basename) or
+ * are concatenated with `// ====` separators, and stderr buffers are
+ * replayed verbatim in the same order.  Returns the worst (numeric
+ * max) per-input exit code.
+ */
+int
+runBatchMode(const Options &opt,
+             const std::vector<std::string> &inputs)
+{
+    struct JobBuffers
+    {
+        std::ostringstream out;
+        std::string errText;
+    };
+    std::vector<JobBuffers> buffers(inputs.size());
+    std::vector<std::function<int()>> jobs;
+    jobs.reserve(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        jobs.push_back([&opt, &inputs, &buffers, i]() -> int {
+            // POSIX memstream: the fprintf-style call sites inside
+            // runJob keep writing to a FILE* while the bytes land in
+            // memory for ordered replay.
+            char *data = nullptr;
+            std::size_t size = 0;
+            std::FILE *err = open_memstream(&data, &size);
+            if (err == nullptr)
+                return 1;
+            const int code =
+                runJob(opt, JobSpec{inputs[i], /*batchMode=*/true},
+                       buffers[i].out, err);
+            std::fclose(err);
+            buffers[i].errText.assign(data, size);
+            std::free(data);
+            return code;
+        });
+    }
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(opt.jobs, inputs.size()));
+    parallel::ThreadPool pool(workers);
+    std::vector<int> codes = parallel::runBatch(pool, jobs);
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        std::fwrite(buffers[i].errText.data(), 1,
+                    buffers[i].errText.size(), stderr);
+        const std::string body = buffers[i].out.str();
+        if (opt.outDir.empty()) {
+            std::printf("// ==== %s ====\n", inputs[i].c_str());
+            std::fwrite(body.data(), 1, body.size(), stdout);
+        } else {
+            const std::filesystem::path dest =
+                std::filesystem::path(opt.outDir) /
+                std::filesystem::path(inputs[i]).filename();
+            std::ofstream f(dest, std::ios::binary);
+            if (!(f << body)) {
+                std::fprintf(stderr,
+                             "error: could not write %s\n",
+                             dest.string().c_str());
+                codes[i] = std::max(codes[i], 1);
+            }
+        }
+    }
+    return parallel::worstExitCode(codes);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    // Cooperative cancellation: Ctrl-C / SIGTERM request a stop; the
+    // searches unwind at their next guard probe and the best
+    // incumbents (if any) are still delivered and verified.
+    std::signal(SIGINT, toqmMapStopSignalHandler);
+    std::signal(SIGTERM, toqmMapStopSignalHandler);
+
+    obs::Observer &observer = obs::Observer::global();
+    if (!opt.tracePath.empty())
+        observer.enableTrace();
+    if (opt.metricsJson)
+        observer.enableMetrics();
+    if (opt.progress)
+        observer.enableProgress(opt.progressInterval, stderr);
+    observer.setSampleInterval(opt.obsSample);
+    const ObsArtifactFlusher obs_flusher{opt};
+
+    std::vector<std::string> inputs;
+    try {
+        inputs = collectInputs(opt);
+        if (!opt.outDir.empty())
+            std::filesystem::create_directories(opt.outDir);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
+
+    const bool batch =
+        inputs.size() > 1 ||
+        (!opt.outDir.empty() && !inputs.empty());
+    if (!batch) {
+        // Single input (or stdin): run on the caller's thread with
+        // the REAL streams — byte-identical to a pre-batch build.
+        JobSpec job;
+        if (!inputs.empty())
+            job.input = inputs.front();
+        return runJob(opt, job, std::cout, stderr);
+    }
+    return runBatchMode(opt, inputs);
 }
