@@ -1,7 +1,9 @@
 #include "portfolio.hpp"
 
+#include <atomic>
 #include <utility>
 
+#include "ir/mapped_circuit.hpp"
 #include "obs/observer.hpp"
 #include "search/incumbent_channel.hpp"
 #include "thread_pool.hpp"
@@ -12,6 +14,53 @@ namespace toqm::parallel {
 namespace {
 
 using search::SearchStatus;
+
+/**
+ * The layout space one entry searches: FREE (the initial layout is
+ * part of the search) or FIXED to a concrete seed.  A makespan is
+ * only an achievable bound for another search when both search the
+ * same space — a free-layout schedule can undercut every fixed-layout
+ * one, so letting it flow through the channel would prune the fixed
+ * searches' true optimum and turn their exhaustion into a bogus
+ * "Infeasible".  Coherence with the race's space therefore decides
+ * who shares the incumbent channel and whose "Solved" counts as a
+ * proof that settles the whole race.
+ */
+struct LayoutSpace
+{
+    bool free = false;
+    /** The seed layout; meaningful only when !free. */
+    std::vector<int> seed;
+
+    bool
+    operator==(const LayoutSpace &o) const
+    {
+        return free == o.free && (free || seed == o.seed);
+    }
+};
+
+/** The space @p entry searches given its RESOLVED seed layout. */
+LayoutSpace
+entrySpace(const PortfolioEntry &entry,
+           const std::optional<std::vector<int>> &layout,
+           int num_logical)
+{
+    switch (entry.kind) {
+      case PortfolioEntry::Kind::Exact:
+        if (entry.exact.searchInitialMapping)
+            return {true, {}};
+        return {false,
+                layout ? *layout : ir::identityLayout(num_logical)};
+      case PortfolioEntry::Kind::Ida:
+        // idaStarMap pins the identity layout regardless of seeds.
+        return {false, ir::identityLayout(num_logical)};
+      case PortfolioEntry::Kind::Heuristic:
+        if (layout)
+            return {false, *layout};
+        return {true, {}}; // on-the-fly placement
+    }
+    return {true, {}};
+}
 
 /** Per-entry limits: entry fields where set win, base fills gaps. */
 search::GuardConfig
@@ -37,29 +86,40 @@ struct EntryRun
     ir::MappedCircuit mapped;
 };
 
+/**
+ * Run one entry.  @p channel is the shared incumbent exchange when
+ * the entry's layout space matches the race's (see LayoutSpace) and
+ * nullptr otherwise — an incoherent entry must neither prune against
+ * foreign bounds nor publish bounds the others cannot achieve.  Every
+ * entry, coherent or not, honors @p stop_token so a settled race
+ * still stands all workers down.  @p coherent additionally gates the
+ * provenOptimal claim: a proof only settles the race when it is about
+ * the race's own layout space.
+ */
 EntryRun
 runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
          const PortfolioEntry &entry,
          const search::GuardConfig &base_guard,
-         const std::optional<std::vector<int>> &call_layout,
-         search::IncumbentChannel &channel)
+         const std::optional<std::vector<int>> &layout,
+         search::IncumbentChannel *channel,
+         const std::atomic<bool> *stop_token, bool coherent)
 {
     EntryRun run;
     run.outcome.name = entry.name;
-    const std::optional<std::vector<int>> &layout =
-        entry.initialLayout ? entry.initialLayout : call_layout;
 
     switch (entry.kind) {
       case PortfolioEntry::Kind::Exact: {
         core::MapperConfig cfg = entry.exact;
         cfg.guard = mergeGuard(base_guard, cfg.guard);
-        cfg.channel = &channel;
+        cfg.channel = channel;
+        if (cfg.guard.cancelToken == nullptr)
+            cfg.guard.cancelToken = stop_token;
         core::MapperResult r =
             core::OptimalMapper(graph, cfg).map(logical, layout);
         run.outcome.status = r.status;
         run.outcome.success = r.success;
         run.outcome.fromIncumbent = r.fromIncumbent;
-        run.outcome.provenOptimal =
+        run.outcome.provenOptimal = coherent &&
             r.status == SearchStatus::Solved && !r.fromIncumbent;
         run.outcome.cycles = r.cycles;
         run.outcome.stats = r.stats;
@@ -67,20 +127,22 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         break;
       }
       case PortfolioEntry::Kind::Ida: {
+        search::GuardConfig guard =
+            mergeGuard(base_guard, entry.exact.guard);
+        if (guard.cancelToken == nullptr)
+            guard.cancelToken = stop_token;
         core::IdaResult r = core::idaStarMap(
             graph, logical, entry.exact.latency,
             entry.exact.allowConcurrentSwapAndGate,
-            entry.exact.maxExpandedNodes,
-            mergeGuard(base_guard, entry.exact.guard), &channel);
+            entry.exact.maxExpandedNodes, guard, channel);
         run.outcome.status = r.status;
         run.outcome.success = r.success;
         run.outcome.fromIncumbent = r.fromIncumbent;
-        // IDA* proves optimality over the FIXED identity layout; if
-        // the instance races free-layout entries its optimum is a
-        // different (weaker) claim, so don't let it stop the race.
-        run.outcome.provenOptimal =
-            r.status == SearchStatus::Solved && !r.fromIncumbent &&
-            !entry.exact.searchInitialMapping;
+        // IDA* proves optimality over the FIXED identity layout; in
+        // a race over any other space its optimum is a different
+        // claim (coherent=false), so don't let it stop the race.
+        run.outcome.provenOptimal = coherent &&
+            r.status == SearchStatus::Solved && !r.fromIncumbent;
         run.outcome.cycles = r.cycles;
         run.outcome.stats = r.stats;
         run.mapped = std::move(r.mapped);
@@ -89,7 +151,9 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
       case PortfolioEntry::Kind::Heuristic: {
         heuristic::HeuristicConfig cfg = entry.heuristic;
         cfg.guard = mergeGuard(base_guard, cfg.guard);
-        cfg.channel = &channel;
+        cfg.channel = channel;
+        if (cfg.guard.cancelToken == nullptr)
+            cfg.guard.cancelToken = stop_token;
         heuristic::HeuristicResult r =
             heuristic::HeuristicMapper(graph, cfg).map(logical,
                                                        layout);
@@ -171,6 +235,33 @@ PortfolioMapper::map(
     if (k == 0)
         return result;
 
+    // Resolve every entry's seed layout and its layout space BEFORE
+    // racing.  The race's space is entry 0's (the configured
+    // primary); when that space is FIXED, a seedless heuristic entry
+    // is pinned to the same seed so every bound it publishes is
+    // achievable by the exact entries — a free-layout bound below
+    // the fixed-layout optimum would otherwise prune them into a
+    // bogus "Infeasible" while their "proven optimal" label hid a
+    // better free-layout circuit.
+    const int num_logical = logical.numQubits();
+    std::vector<std::optional<std::vector<int>>> layouts(k);
+    std::vector<char> coherent(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+        layouts[i] = _config.entries[i].initialLayout
+                         ? _config.entries[i].initialLayout
+                         : initial_layout;
+    }
+    const LayoutSpace race =
+        entrySpace(_config.entries[0], layouts[0], num_logical);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (!race.free && !layouts[i] &&
+            _config.entries[i].kind == PortfolioEntry::Kind::Heuristic)
+            layouts[i] = race.seed;
+        coherent[i] =
+            entrySpace(_config.entries[i], layouts[i], num_logical) ==
+            race;
+    }
+
     search::IncumbentChannel channel;
     std::vector<EntryRun> runs(k);
     ThreadPool pool(_config.workers != 0
@@ -179,7 +270,10 @@ PortfolioMapper::map(
     for (std::size_t i = 0; i < k; ++i) {
         pool.submit([&, i] {
             runs[i] = runEntry(_graph, logical, _config.entries[i],
-                               _config.guard, initial_layout, channel);
+                               _config.guard, layouts[i],
+                               coherent[i] ? &channel : nullptr,
+                               channel.stopToken(),
+                               coherent[i] != 0);
             // A proven optimum settles the instance: tell the other
             // entries' guards to stand down.
             if (runs[i].outcome.provenOptimal)
@@ -188,8 +282,12 @@ PortfolioMapper::map(
     }
     pool.wait();
 
-    // Deterministic winner: proven beats unproven, then fewer
-    // cycles, then the lower entry index.  Timing can only reorder
+    // Deterministic winner: fewer cycles first, then proven beats
+    // unproven, then the lower entry index.  In a coherent race the
+    // proven optimum also has the fewest cycles, so this is the old
+    // proven-first rule; with an incoherent entry in the mix it
+    // additionally guarantees the portfolio never delivers a worse
+    // circuit than any entry found.  Timing can only reorder
     // COMPLETION, which this rule ignores.
     int winner = -1;
     for (std::size_t i = 0; i < k; ++i) {
@@ -202,12 +300,12 @@ PortfolioMapper::map(
         }
         const EntryOutcome &best =
             runs[static_cast<std::size_t>(winner)].outcome;
-        if (o.provenOptimal != best.provenOptimal) {
-            if (o.provenOptimal)
+        if (o.cycles != best.cycles) {
+            if (o.cycles < best.cycles)
                 winner = static_cast<int>(i);
             continue;
         }
-        if (o.cycles < best.cycles)
+        if (o.provenOptimal && !best.provenOptimal)
             winner = static_cast<int>(i);
     }
 

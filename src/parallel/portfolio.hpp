@@ -18,9 +18,26 @@
  *    `Cancelled` (promptly, without leaking: their pools die with
  *    their stack frames).
  *
+ * Bounds are only sound across entries that search the SAME layout
+ * space (free vs fixed-to-one-seed): a free-layout schedule can
+ * undercut every fixed-layout one, so its makespan would prune a
+ * fixed search's true optimum and turn its exhaustion into a bogus
+ * "Infeasible".  The driver therefore resolves each entry's space up
+ * front against the race's space (entry 0's): in a fixed-layout race
+ * a seedless heuristic entry is pinned to the race's seed, and any
+ * entry whose space still differs (e.g. IDA*'s fixed identity inside
+ * a --search-initial race) runs WITHOUT the channel — no foreign
+ * bounds in either direction — and can neither claim provenOptimal
+ * for the race nor stop it.  Incoherent entries still honor the stop
+ * token, so a settled race stands every worker down.
+ *
  * Winner selection is deterministic given the per-entry outcomes:
- * proven-optimal beats unproven, then lower cycle count, then lower
- * entry index.  Same winner configuration => byte-identical circuit,
+ * lower cycle count beats higher, then proven-optimal beats unproven,
+ * then lower entry index.  (In a coherent race the proven optimum
+ * also has the fewest cycles, so this equals the proven-first rule;
+ * it additionally guarantees the portfolio never returns a worse
+ * circuit than any single entry.)
+ * Same winner configuration => byte-identical circuit,
  * because each entry's search is internally deterministic; only WHO
  * wins can vary with thread timing, and only among entries whose
  * results tie on (proven, cycles) up to the selection rule.

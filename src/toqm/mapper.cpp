@@ -239,6 +239,13 @@ OptimalMapper::map(const ir::Circuit &logical,
         r.stats = engine.stats();
     };
 
+    // Set when a child was pruned ONLY because the channel watermark
+    // undercut the local bound.  A foreign bound can come from a
+    // different layout space (or simply sit below anything reachable
+    // here), so once it has cut the frontier, exhaustion is a race
+    // artifact — not an infeasibility proof.
+    bool foreign_prune = false;
+
     const auto admit_and_push = [&](NodeRef child, bool exempt) {
         ++engine.stats().generated;
         child->costH = estimator.estimate(*child);
@@ -252,8 +259,11 @@ OptimalMapper::map(const ir::Circuit &logical,
         int bound = upper_bound;
         if (_config.channel != nullptr)
             bound = std::min(bound, _config.channel->bound());
-        if (child->f() > bound)
+        if (child->f() > bound) {
+            if (child->f() <= upper_bound)
+                foreign_prune = true; // the local bound kept this one
             return; // can never beat the known achievable schedule
+        }
         if (_config.useFilter && !filter.admit(child, exempt))
             return;
         engine.push(std::move(child));
@@ -331,6 +341,19 @@ OptimalMapper::map(const ir::Circuit &logical,
         }
     }
 
+    if (optimal < 0 && foreign_prune) {
+        // The frontier died only after foreign-bound prunes, so the
+        // default Infeasible ("genuinely unsolvable") would be wrong:
+        // report the run as cancelled by the race and deliver the
+        // best local incumbent, if any, as an anytime result.
+        result.status = SearchStatus::Cancelled;
+        if (incumbent) {
+            result.success = true;
+            result.fromIncumbent = true;
+            result.cycles = incumbent_makespan;
+            result.mapped = reconstructMapping(ctx, incumbent);
+        }
+    }
     finish_stats(result);
     return result;
 }

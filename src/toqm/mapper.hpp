@@ -107,7 +107,12 @@ struct MapperResult
      * Infeasible (search space exhausted: genuinely unsolvable), or
      * a ResourceGuard stop (DeadlineExceeded / MemoryExhausted /
      * Cancelled).  When findAllOptimal enumeration hits a stop AFTER
-     * an optimum was found, the status stays Solved.
+     * an optimum was found, the status stays Solved.  Exhaustion is
+     * only reported Infeasible when no prune depended on a foreign
+     * `channel` bound; a frontier cut down by another racer's
+     * watermark ends as Cancelled (with the incumbent, if any),
+     * since a foreign bound proves nothing about this search's own
+     * layout space.
      */
     SearchStatus status = SearchStatus::Infeasible;
     /**

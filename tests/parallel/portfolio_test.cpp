@@ -6,7 +6,10 @@
 #include <thread>
 
 #include "arch/architectures.hpp"
+#include "ir/circuit.hpp"
+#include "ir/gate.hpp"
 #include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
 #include "parallel/portfolio.hpp"
 #include "qasm/writer.hpp"
 #include "search/incumbent_channel.hpp"
@@ -221,6 +224,82 @@ TEST(PortfolioCancellationTest, ForeignBoundNeverPrunesTheOptimum)
     EXPECT_EQ(res.status, search::SearchStatus::Solved);
     EXPECT_EQ(res.cycles, 13);
     EXPECT_FALSE(res.fromIncumbent);
+}
+
+TEST(PortfolioCancellationTest, ForeignBoundExhaustionIsNotInfeasible)
+{
+    // A channel bound from another layout space can sit below
+    // everything this fixed-layout search can reach.  Exhausting the
+    // pruned frontier then proves nothing: the mapper must report the
+    // run as cancelled by the race and deliver its local (beam-probe)
+    // incumbent, never claim the instance "genuinely unsolvable".
+    search::IncumbentChannel channel;
+    channel.offer(1); // below any real schedule's makespan
+
+    const auto graph = arch::lnn(5);
+    const ir::Circuit logical = ir::qftSkeleton(5);
+    core::MapperConfig cfg = qftBase();
+    cfg.channel = &channel;
+    core::OptimalMapper mapper(graph, cfg);
+    const auto res = mapper.map(logical);
+    EXPECT_EQ(res.status, search::SearchStatus::Cancelled);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(res.fromIncumbent);
+    EXPECT_GT(res.cycles, 1);
+    EXPECT_TRUE(sim::verifyMapping(logical, res.mapped, graph).ok);
+}
+
+TEST(PortfolioLayoutSpaceTest, FixedRaceSeedsHeuristicIntoSameSpace)
+{
+    // cx(q0,q2) on LNN-3: on-the-fly placement puts the pair adjacent
+    // (a schedule strictly shorter than any identity-layout one), so
+    // a free-layout heuristic bound would prune the fixed-identity
+    // exact entries into exhaustion and a bogus Infeasible.  In a
+    // fixed-layout race the heuristic must therefore be pinned to the
+    // race's seed: every entry answers the identity-layout question
+    // and the exact optimum survives as a proof.
+    const auto graph = arch::lnn(3);
+    ir::Circuit logical(3, "cx02");
+    logical.add(ir::Gate(ir::GateKind::CX, 0, 2));
+
+    core::MapperConfig base = qftBase(); // searchInitialMapping=false
+    const auto solo = core::OptimalMapper(graph, base).map(logical);
+    ASSERT_TRUE(solo.success);
+
+    PortfolioMapper mapper(graph, defaultPortfolio(base));
+    const PortfolioResult res = mapper.map(logical);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(res.provenOptimal);
+    EXPECT_EQ(res.cycles, solo.cycles);
+    EXPECT_EQ(res.mapped.initialLayout, ir::identityLayout(3));
+    for (const EntryOutcome &o : res.outcomes) {
+        // No entry may undercut the fixed-space optimum — that would
+        // mean it searched a different (free) layout space.
+        if (o.success) {
+            EXPECT_GE(o.cycles, solo.cycles) << o.name;
+        }
+        // And none may call the instance unsolvable: it isn't.
+        EXPECT_NE(o.status, search::SearchStatus::Infeasible)
+            << o.name;
+    }
+}
+
+TEST(PortfolioLayoutSpaceTest, WinnerNeverWorseThanAnyEntry)
+{
+    // The winner rule prefers fewer cycles before the proven label,
+    // so even a race with mixed layout spaces (free entry 0, fixed
+    // IDA*) returns the best circuit any entry produced.
+    core::MapperConfig base = qftBase();
+    base.searchInitialMapping = true;
+    const auto graph = arch::lnn(4);
+    PortfolioMapper mapper(graph, defaultPortfolio(base));
+    const PortfolioResult res = mapper.map(ir::qftSkeleton(4));
+    ASSERT_TRUE(res.success);
+    for (const EntryOutcome &o : res.outcomes) {
+        if (o.success) {
+            EXPECT_LE(res.cycles, o.cycles) << o.name;
+        }
+    }
 }
 
 TEST(PortfolioCancellationTest, SolverPublishesItsIncumbents)

@@ -21,7 +21,10 @@
  *     --manifest FILE    read additional input paths from FILE (one
  *                        per line; blank lines and # comments skipped)
  *     --out-dir DIR      write each input's mapped circuit to
- *                        DIR/<input basename> instead of stdout
+ *                        DIR/<input basename> instead of stdout;
+ *                        inputs sharing a basename get deterministic
+ *                        `stem.N.ext` names (N = 2, 3, ... in input
+ *                        order) instead of overwriting each other
  *                        (batch output to stdout is otherwise
  *                        concatenated with `// ====` separators)
  *     --latency L1,L2,LS 1q, 2q and swap cycles    (default: 1,2,6)
@@ -91,6 +94,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -199,7 +203,10 @@ usage(const char *argv0, int code)
                  "input runs to completion, per-input\n"
                  "output stays in input-list order, and the process "
                  "exits with the WORST (numeric\n"
-                 "max) per-input code.\n",
+                 "max) per-input code.  --out-dir names files by "
+                 "input basename; colliding\n"
+                 "basenames are uniquified as stem.N.ext in input "
+                 "order.\n",
                  argv0);
     std::exit(code);
 }
@@ -967,12 +974,43 @@ collectInputs(const Options &opt)
 }
 
 /**
+ * Destination file names for --out-dir: each input's basename, with
+ * later duplicates deterministically uniquified as `stem.N.ext`
+ * (N = 2, 3, ... in input-list order) so batch inputs that share a
+ * basename across directories — a/x.qasm and b/x.qasm — never
+ * silently overwrite each other.
+ */
+std::vector<std::string>
+outDirFileNames(const std::vector<std::string> &inputs)
+{
+    std::vector<std::string> names;
+    names.reserve(inputs.size());
+    std::set<std::string> used;
+    for (const std::string &input : inputs) {
+        const std::filesystem::path p(input);
+        std::string name = p.filename().string();
+        if (!used.insert(name).second) {
+            const std::string stem = p.stem().string();
+            const std::string ext = p.extension().string();
+            for (int n = 2;; ++n) {
+                name = stem + "." + std::to_string(n) + ext;
+                if (used.insert(name).second)
+                    break;
+            }
+        }
+        names.push_back(std::move(name));
+    }
+    return names;
+}
+
+/**
  * Map every input concurrently on a work-stealing pool, then emit
  * per-input output in INPUT-LIST order, never completion order:
- * stdout bodies go to --out-dir files (named by input basename) or
- * are concatenated with `// ====` separators, and stderr buffers are
- * replayed verbatim in the same order.  Returns the worst (numeric
- * max) per-input exit code.
+ * stdout bodies go to --out-dir files (named by input basename,
+ * collisions uniquified — see outDirFileNames) or are concatenated
+ * with `// ====` separators, and stderr buffers are replayed
+ * verbatim in the same order.  Returns the worst (numeric max)
+ * per-input exit code.
  */
 int
 runBatchMode(const Options &opt,
@@ -1011,6 +1049,9 @@ runBatchMode(const Options &opt,
     parallel::ThreadPool pool(workers);
     std::vector<int> codes = parallel::runBatch(pool, jobs);
 
+    const std::vector<std::string> dest_names =
+        opt.outDir.empty() ? std::vector<std::string>()
+                           : outDirFileNames(inputs);
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         std::fwrite(buffers[i].errText.data(), 1,
                     buffers[i].errText.size(), stderr);
@@ -1020,8 +1061,7 @@ runBatchMode(const Options &opt,
             std::fwrite(body.data(), 1, body.size(), stdout);
         } else {
             const std::filesystem::path dest =
-                std::filesystem::path(opt.outDir) /
-                std::filesystem::path(inputs[i]).filename();
+                std::filesystem::path(opt.outDir) / dest_names[i];
             std::ofstream f(dest, std::ios::binary);
             if (!(f << body)) {
                 std::fprintf(stderr,
