@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Fail CI when the bench harness regresses against BENCH_4.json.
+
+Two kinds of evidence, two kinds of check:
+
+* ``--current`` is the MetricsRegistry snapshot parallel_benchmarks
+  writes via TOQM_BENCH_METRICS_JSON.  Its ``counters`` accumulate
+  across benchmark iterations, and the iteration count itself
+  (``<prefix>.runs``) is timing-dependent, so every counter is
+  normalized to a PER-RUN value before comparison.  Per-run search
+  work (nodes expanded/generated/filtered for the fixed QFT-6/LNN
+  instance) is deterministic up to race-cancellation timing, which in
+  practice stays within a few percent; the documented tolerance is
+  +/-10 % (``--tolerance 0.10``).  Only growth beyond tolerance fails
+  — doing strictly less work than the baseline is an improvement, not
+  a regression.  ``gauges`` (seconds, peak bytes, queue depth) are
+  host-dependent and reported for information only.
+
+* ``--micro`` is google-benchmark ``--benchmark_format=json`` output
+  from micro_benchmarks.  BM_NodeExpansion is pure timing with no
+  deterministic counter to pin, so it only gets a GENEROUS absolute
+  ceiling (default 60000 ns ~= 10x the bench container's ~6 us) that
+  catches order-of-magnitude accidents, not percent-level noise.
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def per_run_counters(snapshot, path):
+    counters = snapshot.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        print(f"error: {path} has no counters object", file=sys.stderr)
+        sys.exit(2)
+    # Group by benchmark prefix; normalize by that prefix's `runs`.
+    out = {}
+    for key, value in sorted(counters.items()):
+        prefix, _, field = key.rpartition(".")
+        if field == "runs":
+            continue
+        runs = counters.get(f"{prefix}.runs")
+        if not runs:
+            print(f"error: {path}: no runs counter for '{key}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[key] = float(value) / float(runs)
+    return out
+
+
+def check_counters(baseline_path, current_path, tolerance):
+    base = per_run_counters(load(baseline_path), baseline_path)
+    cur = per_run_counters(load(current_path), current_path)
+    failures = 0
+    for key, base_value in base.items():
+        if key not in cur:
+            print(f"FAIL {key}: missing from {current_path}")
+            failures += 1
+            continue
+        cur_value = cur[key]
+        ratio = cur_value / base_value if base_value else float("inf")
+        verdict = "ok"
+        if ratio > 1.0 + tolerance:
+            verdict = "FAIL"
+            failures += 1
+        print(f"{verdict} {key}: {cur_value:.1f}/run vs baseline "
+              f"{base_value:.1f}/run ({ratio:.1%} of baseline)")
+    for key in sorted(set(cur) - set(base)):
+        print(f"note {key}: not in baseline (new counter, ignored)")
+    return failures
+
+
+def check_micro(micro_path, ceiling_ns):
+    doc = load(micro_path)
+    failures = 0
+    seen = False
+    for bench in doc.get("benchmarks", []):
+        if bench.get("name") != "BM_NodeExpansion":
+            continue
+        seen = True
+        time_ns = float(bench["real_time"])
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"error: unknown time unit '{unit}'", file=sys.stderr)
+            sys.exit(2)
+        time_ns *= scale
+        if time_ns > ceiling_ns:
+            print(f"FAIL BM_NodeExpansion: {time_ns:.0f} ns > "
+                  f"ceiling {ceiling_ns:.0f} ns")
+            failures += 1
+        else:
+            print(f"ok BM_NodeExpansion: {time_ns:.0f} ns "
+                  f"(ceiling {ceiling_ns:.0f} ns)")
+    if not seen:
+        print(f"FAIL: BM_NodeExpansion missing from {micro_path}")
+        failures += 1
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed MetricsRegistry baseline "
+                             "(BENCH_4.json)")
+    parser.add_argument("--current", required=True,
+                        help="TOQM_BENCH_METRICS_JSON snapshot from "
+                             "this run")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed per-run counter growth "
+                             "(default 0.10 = +10%%)")
+    parser.add_argument("--micro",
+                        help="micro_benchmarks --benchmark_format="
+                             "json output (optional)")
+    parser.add_argument("--node-expansion-ceiling-ns", type=float,
+                        default=60000.0,
+                        help="absolute BM_NodeExpansion ceiling "
+                             "(default 60000 ns)")
+    args = parser.parse_args()
+
+    failures = check_counters(args.baseline, args.current,
+                              args.tolerance)
+    if args.micro:
+        failures += check_micro(args.micro,
+                                args.node_expansion_ceiling_ns)
+    if failures:
+        print(f"{failures} bench regression(s) beyond tolerance")
+        return 1
+    print("bench within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,12 +27,19 @@ struct NodeOrder
 {
     double weight = 1.0;
     double routeWeight = 1.0;
+    /**
+     * The active CostTable's cycleWeight (1.0 with no table).  The
+     * route score is a cycles-unit gradient; scaling it keeps its
+     * relative pull unchanged when objG/objH carry encoded weights.
+     */
+    double cycleWeight = 1.0;
 
     double
     weightedF(const NodeRef &n) const
     {
-        return n->costG + weight * n->costH +
-               routeWeight * n->routeScore;
+        return static_cast<double>(n->objG) +
+               weight * static_cast<double>(n->objH) +
+               routeWeight * n->routeScore * cycleWeight;
     }
 
     bool
@@ -58,7 +65,10 @@ class Run
         const HeuristicConfig &config)
         : _ctx(ctx), _graph(graph), _config(config), _pool(ctx),
           _estimator(ctx, config.horizonGates),
-          _filter(config.filterMaxEntries)
+          _filter(config.filterMaxEntries),
+          _cw(ctx.costTable() != nullptr
+                  ? static_cast<double>(ctx.costTable()->cycleWeight)
+                  : 1.0)
     {}
 
     HeuristicResult
@@ -67,7 +77,7 @@ class Run
         HeuristicResult result;
 
         NodeRef root = _pool.root(seed_layout, false);
-        root->costH = _estimator.estimate(*root);
+        _estimator.score(*root);
 
         NodeRef terminal;
         switch (_config.mode) {
@@ -94,10 +104,10 @@ class Run
     {
         QueueEngine engine(
             _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
-                       NodeOrder{_config.hWeight, _config.routeWeight}));
+                       NodeOrder{_config.hWeight, _config.routeWeight, _cw}));
         engine.bindProbe("heuristic");
         engine.armGuard(_config.guard);
-        const NodeOrder order{_config.hWeight, _config.routeWeight};
+        const NodeOrder order{_config.hWeight, _config.routeWeight, _cw};
         NodeRef terminal;
         engine.push(root);
 
@@ -141,10 +151,10 @@ class Run
     {
         QueueEngine engine(
             _pool, search::BestFirstFrontier<NodeRef, NodeOrder>(
-                       NodeOrder{_config.hWeight, _config.routeWeight}));
+                       NodeOrder{_config.hWeight, _config.routeWeight, _cw}));
         engine.bindProbe("heuristic");
         engine.armGuard(_config.guard);
-        const NodeOrder order{_config.hWeight, _config.routeWeight};
+        const NodeOrder order{_config.hWeight, _config.routeWeight, _cw};
         NodeRef committed = root;
         NodeRef terminal;
         int budget = _config.episodeBudget;
@@ -222,6 +232,15 @@ class Run
         result.cycles =
             ir::scheduleAsap(result.mapped.physical, _ctx.latency())
                 .makespan;
+        // Report (and later offer) the emitted circuit's exact cost
+        // under the active objective, not the search node's: the two
+        // can differ for the same reason cycles can.
+        const search::CostTable *table = _ctx.costTable();
+        result.costKey =
+            table != nullptr
+                ? table->evaluateCircuit(result.mapped.physical,
+                                         _ctx.latency())
+                : result.cycles;
     }
 
     /**
@@ -294,7 +313,7 @@ class Run
             wait_until_idle(step);
             node = _pool.expand(node, node->cycle + 1,
                                 {Action{-1, p0, step}});
-            node->costH = _estimator.estimate(*node);
+            _estimator.score(*node);
             node->routeScore = computeRouteScore(*node);
         }
         return node;
@@ -311,7 +330,7 @@ class Run
         beam.assign({root});
         NodeRef terminal;
 
-        const NodeOrder order{_config.hWeight, _config.routeWeight};
+        const NodeOrder order{_config.hWeight, _config.routeWeight, _cw};
         int best_progress = root->scheduledGates;
         int stagnant_levels = 0;
         const int stagnation_limit =
@@ -330,7 +349,7 @@ class Run
                 for (const NodeRef &node : beam.level()) {
                     if (node->allScheduled(_ctx) &&
                         (!terminal ||
-                         node->makespan() < terminal->makespan()))
+                         node->fKey() < terminal->fKey()))
                         terminal = node;
                 }
                 break;
@@ -352,7 +371,7 @@ class Run
             if (all_terminal) {
                 terminal = beam.level().front();
                 for (const NodeRef &node : beam.level()) {
-                    if (node->makespan() < terminal->makespan())
+                    if (node->fKey() < terminal->fKey())
                         terminal = node;
                 }
                 break;
@@ -404,6 +423,8 @@ class Run
     NodePool _pool;
     core::CostEstimator _estimator;
     core::Filter _filter;
+    /** Active table's cycleWeight as a double (1.0 with no table). */
+    double _cw;
     /** Most-progressed node of the current episode (RHC mode). */
     NodeRef _episodeBest;
 
@@ -747,10 +768,10 @@ class Run
 
         stats.generated += children.size();
         for (NodeRef &child : children) {
-            child->costH = _estimator.estimate(*child);
+            _estimator.score(*child);
             child->routeScore = computeRouteScore(*child);
         }
-        const NodeOrder order{_config.hWeight, _config.routeWeight};
+        const NodeOrder order{_config.hWeight, _config.routeWeight, _cw};
         std::sort(children.begin(), children.end(),
                   [&order](const NodeRef &a, const NodeRef &b) {
                       return order(b, a); // ascending weighted f
@@ -761,7 +782,7 @@ class Run
     void
     expandInto(const NodeRef &raw, QueueEngine &engine)
     {
-        const NodeOrder order{_config.hWeight};
+        const NodeOrder order{_config.hWeight, 1.0, _cw};
         auto children = generateChildren(raw, engine.stats());
         int pushed = 0;
         for (NodeRef &child : children) {
@@ -790,7 +811,7 @@ class Run
                   [](const NodeRef &a, const NodeRef &b) {
                       if (a->scheduledGates != b->scheduledGates)
                           return a->scheduledGates > b->scheduledGates;
-                      return a->f() < b->f();
+                      return a->fKey() < b->fKey();
                   });
         if (nodes.size() > _config.queueTrim)
             nodes.resize(_config.queueTrim);
@@ -812,6 +833,7 @@ HeuristicMapper::map(const ir::Circuit &logical,
     const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, _graph, _config.latency);
+    ctx.setCostTable(_config.costTable);
     HeuristicConfig cfg = _config;
     if (cfg.channel != nullptr && cfg.guard.cancelToken == nullptr)
         cfg.guard.cancelToken = cfg.channel->stopToken();
@@ -820,8 +842,8 @@ HeuristicMapper::map(const ir::Circuit &logical,
     if (initial_layout)
         seed = *initial_layout;
     HeuristicResult result = run.solve(seed);
-    if (cfg.channel != nullptr && result.success && result.cycles >= 0)
-        cfg.channel->offer(result.cycles);
+    if (cfg.channel != nullptr && result.success && result.costKey >= 0)
+        cfg.channel->offer(result.costKey);
     return result;
 }
 

@@ -33,6 +33,7 @@
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/cost_table.hpp"
 #include "search/incumbent_channel.hpp"
 #include "search/resource_guard.hpp"
 #include "search/search_stats.hpp"
@@ -114,6 +115,14 @@ struct HeuristicConfig
      * a foreign bound says nothing about its own search space.
      */
     search::IncumbentChannel *channel = nullptr;
+    /**
+     * Encoded cost model guiding the greedy ranking instead of plain
+     * cycles (null — the default — is the legacy byte-identical
+     * path).  The heuristic stays non-admissible either way; the
+     * table only reshapes its gradient and the reported costKey.
+     * Must outlive the map() call.
+     */
+    const search::CostTable *costTable = nullptr;
 };
 
 /** Search statistics — the kernel's unified run report. */
@@ -135,6 +144,9 @@ struct HeuristicResult
     search::SearchStatus status = search::SearchStatus::Infeasible;
     /** Total cycles of the transformed circuit. */
     int cycles = -1;
+    /** Encoded total cost of `mapped` under the run's objective,
+     *  evaluated on the emitted circuit (== cycles with no table). */
+    std::int64_t costKey = -1;
     ir::MappedCircuit mapped;
     HeuristicStats stats;
 };

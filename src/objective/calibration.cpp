@@ -1,0 +1,316 @@
+#include "calibration.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace toqm::objective {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw CalibrationError("calibration: " + what);
+}
+
+double
+requireNumber(const obs::json::ValuePtr &v, const std::string &path)
+{
+    if (v == nullptr || !v->isNumber())
+        fail(path + ": expected a number");
+    return v->asNumber();
+}
+
+/** A probability that may multiply a fidelity: [0, 1). */
+double
+requireRate(const obs::json::ValuePtr &v, const std::string &path)
+{
+    const double rate = requireNumber(v, path);
+    if (!(rate >= 0.0) || rate >= 1.0)
+        fail(path + ": error rate must be in [0, 1)");
+    return rate;
+}
+
+int
+requireQubit(const obs::json::ValuePtr &v, int num_qubits,
+             const std::string &path)
+{
+    const double n = requireNumber(v, path);
+    const int q = static_cast<int>(n);
+    if (static_cast<double>(q) != n || q < 0 || q >= num_qubits)
+        fail(path + ": qubit index must be an integer in [0, " +
+             std::to_string(num_qubits) + ")");
+    return q;
+}
+
+std::vector<CalibrationData::EdgeError>
+parseEdgeErrors(const obs::json::ValuePtr &v, int num_qubits,
+                const std::string &path)
+{
+    std::vector<CalibrationData::EdgeError> out;
+    if (v == nullptr)
+        return out;
+    if (!v->isArray())
+        fail(path + ": expected an array");
+    const auto &arr = v->asArray();
+    out.reserve(arr.size());
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+        const std::string at = path + "[" + std::to_string(i) + "]";
+        const obs::json::ValuePtr &rec = arr[i];
+        if (rec == nullptr || !rec->isObject())
+            fail(at + ": expected an object");
+        const obs::json::ValuePtr edge = rec->get("edge");
+        if (edge == nullptr || !edge->isArray() ||
+            edge->asArray().size() != 2)
+            fail(at + ".edge: expected a two-element array");
+        CalibrationData::EdgeError e;
+        e.q0 = requireQubit(edge->asArray()[0], num_qubits,
+                            at + ".edge[0]");
+        e.q1 = requireQubit(edge->asArray()[1], num_qubits,
+                            at + ".edge[1]");
+        if (e.q0 == e.q1)
+            fail(at + ".edge: self-loop (both endpoints are " +
+                 std::to_string(e.q0) + ")");
+        e.error = requireRate(rec->get("error"), at + ".error");
+        out.push_back(e);
+    }
+    return out;
+}
+
+const CalibrationData::EdgeError *
+findEdge(const std::vector<CalibrationData::EdgeError> &edges, int q0,
+         int q1)
+{
+    for (const CalibrationData::EdgeError &e : edges) {
+        if ((e.q0 == q0 && e.q1 == q1) || (e.q0 == q1 && e.q1 == q0))
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+/** splitmix64: tiny, seedable, identical on every platform. */
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Uniform double in [lo, hi) from the top 53 bits. */
+double
+uniform(std::uint64_t &state, double lo, double hi)
+{
+    const double u =
+        static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+    return lo + u * (hi - lo);
+}
+
+} // namespace
+
+double
+CalibrationData::oneQubit(int q) const
+{
+    if (q >= 0 && static_cast<std::size_t>(q) < oneQubitError.size())
+        return oneQubitError[static_cast<std::size_t>(q)];
+    return defaultOneQubitError;
+}
+
+double
+CalibrationData::twoQubit(int q0, int q1) const
+{
+    if (const EdgeError *e = findEdge(twoQubitError, q0, q1))
+        return e->error;
+    return defaultTwoQubitError;
+}
+
+double
+CalibrationData::swap(int q0, int q1) const
+{
+    if (const EdgeError *e = findEdge(swapError, q0, q1))
+        return e->error;
+    const double e2 = twoQubit(q0, q1);
+    return 1.0 - (1.0 - e2) * (1.0 - e2) * (1.0 - e2);
+}
+
+CalibrationData
+CalibrationData::parse(const std::string &text)
+{
+    obs::json::ValuePtr root;
+    try {
+        root = obs::json::parse(text);
+    } catch (const std::exception &e) {
+        // obs::json reports the byte offset; keep it verbatim.
+        fail(e.what());
+    }
+    if (root == nullptr || !root->isObject())
+        fail("top level: expected an object");
+
+    const obs::json::ValuePtr version = root->get("schemaVersion");
+    if (version == nullptr || !version->isNumber())
+        fail("schemaVersion: required number missing");
+    if (version->asNumber() != 1.0)
+        fail("schemaVersion: unsupported version (this reader "
+             "understands 1)");
+
+    CalibrationData cal;
+    if (const obs::json::ValuePtr device = root->get("device")) {
+        if (!device->isString())
+            fail("device: expected a string");
+        cal.device = device->asString();
+    }
+
+    const double qubits =
+        requireNumber(root->get("qubits"), "qubits");
+    cal.numQubits = static_cast<int>(qubits);
+    if (static_cast<double>(cal.numQubits) != qubits ||
+        cal.numQubits <= 0)
+        fail("qubits: must be a positive integer");
+
+    if (root->has("t2Cycles")) {
+        cal.t2Cycles =
+            requireNumber(root->get("t2Cycles"), "t2Cycles");
+        if (!(cal.t2Cycles > 0.0))
+            fail("t2Cycles: must be positive");
+    }
+    if (root->has("defaultOneQubitError"))
+        cal.defaultOneQubitError = requireRate(
+            root->get("defaultOneQubitError"), "defaultOneQubitError");
+    if (root->has("defaultTwoQubitError"))
+        cal.defaultTwoQubitError = requireRate(
+            root->get("defaultTwoQubitError"), "defaultTwoQubitError");
+
+    if (const obs::json::ValuePtr arr = root->get("oneQubitError")) {
+        if (!arr->isArray())
+            fail("oneQubitError: expected an array");
+        const auto &vals = arr->asArray();
+        if (static_cast<int>(vals.size()) != cal.numQubits)
+            fail("oneQubitError: expected exactly " +
+                 std::to_string(cal.numQubits) + " entries, got " +
+                 std::to_string(vals.size()));
+        cal.oneQubitError.reserve(vals.size());
+        for (std::size_t i = 0; i < vals.size(); ++i)
+            cal.oneQubitError.push_back(requireRate(
+                vals[i],
+                "oneQubitError[" + std::to_string(i) + "]"));
+    }
+
+    cal.twoQubitError = parseEdgeErrors(root->get("twoQubitError"),
+                                        cal.numQubits,
+                                        "twoQubitError");
+    cal.swapError = parseEdgeErrors(root->get("swapError"),
+                                    cal.numQubits, "swapError");
+    return cal;
+}
+
+CalibrationData
+CalibrationData::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fail("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad())
+        fail("read error on '" + path + "'");
+    try {
+        return parse(text.str());
+    } catch (const CalibrationError &e) {
+        throw CalibrationError(std::string(e.what()) + " (in '" +
+                               path + "')");
+    }
+}
+
+std::string
+CalibrationData::toJson() const
+{
+    std::string out = "{\n  \"schemaVersion\": 1,\n  \"device\": \"";
+    for (const char c : device) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += "\",\n  \"qubits\": ";
+    out += std::to_string(numQubits);
+    out += ",\n  \"t2Cycles\": ";
+    appendDouble(out, t2Cycles);
+    out += ",\n  \"defaultOneQubitError\": ";
+    appendDouble(out, defaultOneQubitError);
+    out += ",\n  \"defaultTwoQubitError\": ";
+    appendDouble(out, defaultTwoQubitError);
+    if (!oneQubitError.empty()) {
+        out += ",\n  \"oneQubitError\": [";
+        for (std::size_t i = 0; i < oneQubitError.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            appendDouble(out, oneQubitError[i]);
+        }
+        out += ']';
+    }
+    const auto emitEdges = [&out](const char *key,
+                                  const std::vector<EdgeError> &edges) {
+        if (edges.empty())
+            return;
+        out += ",\n  \"";
+        out += key;
+        out += "\": [\n";
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            if (i > 0)
+                out += ",\n";
+            out += "    {\"edge\": [";
+            out += std::to_string(edges[i].q0);
+            out += ", ";
+            out += std::to_string(edges[i].q1);
+            out += "], \"error\": ";
+            appendDouble(out, edges[i].error);
+            out += '}';
+        }
+        out += "\n  ]";
+    };
+    emitEdges("twoQubitError", twoQubitError);
+    emitEdges("swapError", swapError);
+    out += "\n}\n";
+    return out;
+}
+
+CalibrationData
+CalibrationData::synthesize(const arch::CouplingGraph &graph,
+                            std::uint64_t seed)
+{
+    CalibrationData cal;
+    cal.device = graph.name();
+    cal.numQubits = graph.numQubits();
+
+    // Offset the stream so seed 0 does not start at splitmix's fixed
+    // point; every (graph, seed) still maps to one fixed stream.
+    std::uint64_t state = seed * 0x2545f4914f6cdd1dULL +
+                          0x9e3779b97f4a7c15ULL;
+    cal.oneQubitError.reserve(static_cast<std::size_t>(cal.numQubits));
+    for (int q = 0; q < cal.numQubits; ++q)
+        cal.oneQubitError.push_back(uniform(state, 5e-5, 2e-4));
+    cal.twoQubitError.reserve(graph.edges().size());
+    for (const std::pair<int, int> &edge : graph.edges()) {
+        EdgeError e;
+        e.q0 = edge.first;
+        e.q1 = edge.second;
+        e.error = uniform(state, 5e-4, 2e-3);
+        cal.twoQubitError.push_back(e);
+    }
+    return cal;
+}
+
+} // namespace toqm::objective

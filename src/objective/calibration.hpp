@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Device calibration data: the per-qubit / per-edge error rates a
+ * noise-aware objective is built from.
+ *
+ * The on-disk format is one JSON object (see examples/calibration/):
+ *
+ *     {
+ *       "schemaVersion": 1,
+ *       "device": "tokyo",
+ *       "qubits": 20,
+ *       "t2Cycles": 5000,
+ *       "defaultOneQubitError": 1e-4,
+ *       "defaultTwoQubitError": 1e-3,
+ *       "oneQubitError": [1.2e-4, ...],              // optional, per qubit
+ *       "twoQubitError": [{"edge": [0, 1], "error": 8.1e-4}, ...],
+ *       "swapError":     [{"edge": [0, 1], "error": 2.4e-3}, ...]
+ *     }
+ *
+ * Unlisted qubits/edges fall back to the defaults; an unlisted swap
+ * error derives from the edge's two-qubit error as 1 - (1 - e2)^3 —
+ * a SWAP is three CXs on IBM hardware.  Parsing follows the repo's
+ * hardened-input conventions: syntax errors surface the byte offset
+ * (from obs::json), semantic errors name the offending key path, and
+ * both arrive as CalibrationError so callers can map them to one exit
+ * code.
+ */
+
+#ifndef TOQM_OBJECTIVE_CALIBRATION_HPP
+#define TOQM_OBJECTIVE_CALIBRATION_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+
+namespace toqm::objective {
+
+/** Any calibration-data failure: syntax, semantics, or I/O. */
+class CalibrationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Error rates of one device, resolved against defaults on lookup. */
+struct CalibrationData
+{
+    /** One per-edge error record (undirected; q0/q1 order free). */
+    struct EdgeError
+    {
+        int q0 = 0;
+        int q1 = 0;
+        double error = 0.0;
+    };
+
+    std::string device;
+    int numQubits = 0;
+    /** Decoherence horizon in cycles of the latency model. */
+    double t2Cycles = 5000.0;
+    double defaultOneQubitError = 1e-4;
+    double defaultTwoQubitError = 1e-3;
+    /** Per-qubit overrides; empty = all defaults. */
+    std::vector<double> oneQubitError;
+    /** Per-edge two-qubit overrides (unlisted edges = default). */
+    std::vector<EdgeError> twoQubitError;
+    /** Per-edge swap overrides (unlisted = 1 - (1 - e2)^3). */
+    std::vector<EdgeError> swapError;
+
+    /** Resolved one-qubit error of physical qubit @p q. */
+    double oneQubit(int q) const;
+
+    /** Resolved two-qubit error on the (undirected) pair @p q0/@p q1. */
+    double twoQubit(int q0, int q1) const;
+
+    /** Resolved swap error on the pair (override, else derived). */
+    double swap(int q0, int q1) const;
+
+    /**
+     * Parse one calibration document.
+     *
+     * @throws CalibrationError on malformed JSON (with byte offset)
+     *         or on semantic violations (with the key path): missing
+     *         or wrong-typed required keys, unsupported schemaVersion,
+     *         qubit indices out of [0, qubits), self-loop edges, or
+     *         error rates outside [0, 1).
+     */
+    static CalibrationData parse(const std::string &text);
+
+    /** Read @p path and parse() it; file errors name the path. */
+    static CalibrationData load(const std::string &path);
+
+    /**
+     * Serialize back to the on-disk format.  parse(toJson()) resolves
+     * every rate identically to the original (round-trip property;
+     * covered by tests/objective).
+     */
+    std::string toJson() const;
+
+    /**
+     * Deterministic synthetic calibration for a device without a real
+     * calibration file: per-qubit rates in [5e-5, 2e-4], per-edge
+     * two-qubit rates in [5e-4, 2e-3] (realistic IBM-era spreads),
+     * swap errors derived, t2Cycles = 5000.  Same (graph, seed) =>
+     * identical data on every platform.
+     */
+    static CalibrationData synthesize(const arch::CouplingGraph &graph,
+                                      std::uint64_t seed = 0);
+};
+
+} // namespace toqm::objective
+
+#endif // TOQM_OBJECTIVE_CALIBRATION_HPP

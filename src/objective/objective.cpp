@@ -1,0 +1,217 @@
+#include "objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/noise.hpp"
+
+namespace toqm::objective {
+
+namespace {
+
+/** Fixed-point scale of the encoded -ln terms: 1e-7 per action. */
+constexpr double kScale = 1e7;
+
+/** The cycles digit of the Pareto encoding. */
+constexpr std::int64_t kParetoCycleWeight = std::int64_t{1} << 32;
+
+/** Encode one error probability as a -ln weight. */
+std::int64_t
+errorWeight(double error)
+{
+    // error < 1 is enforced at parse time; clamp defensively so a
+    // hand-built CalibrationData cannot produce a negative weight.
+    const double e = std::min(std::max(error, 0.0),
+                              1.0 - 1e-12);
+    return std::llround(-std::log1p(-e) * kScale);
+}
+
+/** FNV-1a over @p text folded onto @p hash. */
+std::uint64_t
+fnv1a(std::uint64_t hash, const std::string &text)
+{
+    for (const char c : text) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+} // namespace
+
+const char *
+toString(ObjectiveKind kind)
+{
+    switch (kind) {
+      case ObjectiveKind::Cycles:
+        return "cycles";
+      case ObjectiveKind::Fidelity:
+        return "fidelity";
+      case ObjectiveKind::Pareto:
+        return "pareto";
+    }
+    return "cycles";
+}
+
+bool
+objectiveKindFromString(const std::string &name, ObjectiveKind &kind)
+{
+    if (name == "cycles") {
+        kind = ObjectiveKind::Cycles;
+        return true;
+    }
+    if (name == "fidelity") {
+        kind = ObjectiveKind::Fidelity;
+        return true;
+    }
+    if (name == "pareto") {
+        kind = ObjectiveKind::Pareto;
+        return true;
+    }
+    return false;
+}
+
+Objective
+Objective::cycles()
+{
+    return Objective(ObjectiveKind::Cycles, CalibrationData{});
+}
+
+Objective
+Objective::fidelity(CalibrationData cal)
+{
+    return Objective(ObjectiveKind::Fidelity, std::move(cal));
+}
+
+Objective
+Objective::pareto(CalibrationData cal)
+{
+    return Objective(ObjectiveKind::Pareto, std::move(cal));
+}
+
+std::uint64_t
+Objective::objectiveId() const
+{
+    if (_kind == ObjectiveKind::Cycles)
+        return 0;
+    std::uint64_t hash = 0xcbf29ce484222325ULL; // FNV offset basis
+    hash = fnv1a(hash, name());
+    hash = fnv1a(hash, _cal.toJson());
+    // Reserve 0 for cycles even against a (vanishing) hash collision.
+    return hash == 0 ? 1 : hash;
+}
+
+std::unique_ptr<search::CostTable>
+Objective::makeTable(const ir::Circuit &logical,
+                     const arch::CouplingGraph &graph) const
+{
+    if (_kind == ObjectiveKind::Cycles)
+        return nullptr;
+    const int np = graph.numQubits();
+    if (_cal.numQubits < np)
+        throw CalibrationError(
+            "calibration: covers " + std::to_string(_cal.numQubits) +
+            " qubits but the device has " + std::to_string(np));
+
+    auto table = std::make_unique<search::CostTable>();
+    table->numPhysical = np;
+
+    if (_kind == ObjectiveKind::Fidelity) {
+        // One cycle exposes every payload qubit to decoherence:
+        // d(-ln F)/d(makespan) = payload / T2.
+        const std::int64_t cw = std::llround(
+            static_cast<double>(logical.numQubits()) /
+            _cal.t2Cycles * kScale);
+        table->cycleWeight = std::max<std::int64_t>(1, cw);
+    } else {
+        table->cycleWeight = kParetoCycleWeight;
+    }
+
+    const std::size_t n = static_cast<std::size_t>(np);
+    table->oneQubit.resize(n);
+    table->twoQubit.resize(n * n);
+    table->swap.resize(n * n);
+    for (int p = 0; p < np; ++p)
+        table->oneQubit[static_cast<std::size_t>(p)] =
+            errorWeight(_cal.oneQubit(p));
+    for (int p0 = 0; p0 < np; ++p0) {
+        for (int p1 = 0; p1 < np; ++p1) {
+            const std::size_t at = static_cast<std::size_t>(p0) * n +
+                                   static_cast<std::size_t>(p1);
+            table->twoQubit[at] = errorWeight(_cal.twoQubit(p0, p1));
+            table->swap[at] = errorWeight(_cal.swap(p0, p1));
+        }
+    }
+
+    // Layout-independent placement minima: a one-qubit gate can land
+    // on any physical qubit, a two-qubit gate only on a coupled pair.
+    std::int64_t min_one =
+        std::numeric_limits<std::int64_t>::max();
+    for (int p = 0; p < np; ++p)
+        min_one = std::min(min_one,
+                           table->oneQubit[static_cast<std::size_t>(p)]);
+    if (np == 0)
+        min_one = 0;
+    std::int64_t min_two =
+        std::numeric_limits<std::int64_t>::max();
+    for (const std::pair<int, int> &edge : graph.edges())
+        min_two =
+            std::min(min_two,
+                     table->twoQubitWeight(edge.first, edge.second));
+    if (graph.edges().empty())
+        min_two = errorWeight(_cal.defaultTwoQubitError);
+
+    const ir::Circuit searched = logical.withoutSwapsAndBarriers();
+    table->gateMin.resize(static_cast<std::size_t>(searched.size()));
+    table->totalMin = 0;
+    for (int i = 0; i < searched.size(); ++i) {
+        const ir::Gate &g = searched.gate(i);
+        std::int64_t w = 0;
+        if (!g.isBarrier() && !g.isMeasure())
+            w = g.numQubits() == 2 ? min_two : min_one;
+        table->gateMin[static_cast<std::size_t>(i)] = w;
+        table->totalMin += w;
+    }
+    return table;
+}
+
+double
+Objective::decodeCost(std::int64_t key) const
+{
+    switch (_kind) {
+      case ObjectiveKind::Cycles:
+        return static_cast<double>(key);
+      case ObjectiveKind::Fidelity:
+        return static_cast<double>(key) / kScale;
+      case ObjectiveKind::Pareto:
+        return static_cast<double>(key % kParetoCycleWeight) / kScale;
+    }
+    return static_cast<double>(key);
+}
+
+double
+Objective::successProbability(const ir::Circuit &physical,
+                              const ir::LatencyModel &latency,
+                              int payload_qubits) const
+{
+    if (_kind == ObjectiveKind::Cycles) {
+        return sim::estimateFidelity(physical, latency,
+                                     sim::NoiseModel{},
+                                     payload_qubits)
+            .total();
+    }
+    const CalibrationData &cal = _cal;
+    const sim::GateErrorFn gate_error = [&cal](const ir::Gate &g) {
+        if (g.isSwap())
+            return cal.swap(g.qubit(0), g.qubit(1));
+        if (g.numQubits() == 2)
+            return cal.twoQubit(g.qubit(0), g.qubit(1));
+        return cal.oneQubit(g.qubit(0));
+    };
+    return sim::estimateFidelity(physical, latency, gate_error,
+                                 cal.t2Cycles, payload_qubits)
+        .total();
+}
+
+} // namespace toqm::objective

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The pluggable Objective layer: what a mapping search minimises.
+ *
+ * Every objective lowers to one `search::CostTable` — a totally
+ * ordered, additive int64 cost key the exact searches minimise
+ * without losing their optimality proofs (see cost_table.hpp for the
+ * encoding invariants).  Three objectives ship:
+ *
+ *  - cycles: the paper's time-optimal objective.  No table at all —
+ *    every mapper runs its legacy scalar-cycle arithmetic, bit for
+ *    bit.
+ *  - fidelity: minimise an encoded -ln(success probability) under
+ *    CalibrationData.  key = round(1e7 * (payload * cycles / T2 +
+ *    sum over placed gates/swaps of -ln(1 - e))); minimising it
+ *    maximises the product of gate fidelities times the decoherence
+ *    factor exp(-payload * makespan / T2) that sim::estimateFidelity
+ *    reports (the ground truth this encoding approximates to 1e-7
+ *    per action).
+ *  - pareto: lexicographic (cycles, gate-error weight).  cycleWeight
+ *    is 2^32, so a full cycle always outranks any realistic sum of
+ *    per-gate weights; among schedules of equal depth the search
+ *    prefers the lower-error placements.  If a pathological circuit
+ *    ever accumulated more than 2^32 of action weight (hundreds of
+ *    thousands of worst-case gates), the overflow would bleed into
+ *    the cycles digit and the order would degrade gracefully toward
+ *    fidelity-dominates — documented, not defended, because the
+ *    exact searches stop far below that size.
+ *
+ * The table is instance-specific (its gateMin vector indexes the
+ * searched circuit), so callers build one per (circuit, device) via
+ * makeTable() and keep it alive for the duration of the run.
+ */
+
+#ifndef TOQM_OBJECTIVE_OBJECTIVE_HPP
+#define TOQM_OBJECTIVE_OBJECTIVE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "arch/coupling_graph.hpp"
+#include "calibration.hpp"
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+#include "search/cost_table.hpp"
+
+namespace toqm::objective {
+
+/** Which cost a search minimises. */
+enum class ObjectiveKind {
+    /** Makespan in cycles (the paper's objective; the default). */
+    Cycles,
+    /** Encoded -ln(success probability) from calibration data. */
+    Fidelity,
+    /** Lexicographic (cycles, then gate-error weight). */
+    Pareto,
+};
+
+/** @return "cycles" / "fidelity" / "pareto". */
+const char *toString(ObjectiveKind kind);
+
+/**
+ * @return the ObjectiveKind named @p name, or no value when the name
+ * is unknown (the CLI turns that into a usage error).
+ */
+bool objectiveKindFromString(const std::string &name,
+                             ObjectiveKind &kind);
+
+/** One objective: a kind plus the calibration behind it. */
+class Objective
+{
+  public:
+    /** The cycles objective (no calibration, no table). */
+    static Objective cycles();
+
+    /** Noise-aware objective over @p cal. */
+    static Objective fidelity(CalibrationData cal);
+
+    /** Lexicographic cycles-then-error objective over @p cal. */
+    static Objective pareto(CalibrationData cal);
+
+    ObjectiveKind kind() const { return _kind; }
+
+    /** Stable lower-case name for reports and the stats line. */
+    const char *name() const { return toString(_kind); }
+
+    /**
+     * Identity for portfolio coherence: 0 for cycles; otherwise a
+     * fingerprint of (kind, calibration contents).  Two entries may
+     * share an incumbent channel iff their ids match — equal id
+     * means equal encoded keys for equal circuits.
+     */
+    std::uint64_t objectiveId() const;
+
+    /** The calibration behind a non-cycles objective. */
+    const CalibrationData &calibration() const { return _cal; }
+
+    /**
+     * Build the encoded cost table for mapping @p logical onto
+     * @p graph, or nullptr for the cycles objective (null table ==
+     * the byte-identical legacy path everywhere).  The table's
+     * gateMin indexes logical.withoutSwapsAndBarriers() — the
+     * circuit every mapper actually searches.  The caller keeps the
+     * table alive for the run.
+     *
+     * @throws CalibrationError when the calibration's qubit count
+     *         does not cover the device.
+     */
+    std::unique_ptr<search::CostTable>
+    makeTable(const ir::Circuit &logical,
+              const arch::CouplingGraph &graph) const;
+
+    /**
+     * Decode an encoded cost key into objective units: cycles
+     * verbatim for Cycles; -ln(success probability) for Fidelity;
+     * the gate-error weight axis (-ln of the gate-fidelity product)
+     * for Pareto, i.e. the key with its cycles digit stripped.
+     */
+    double decodeCost(std::int64_t key) const;
+
+    /**
+     * Ground-truth success probability of @p physical under the
+     * calibration's rates and T2, via the sim-layer noise functor —
+     * the quantity the fidelity encoding approximates.  Uses the
+     * default sim::NoiseModel when the objective is Cycles (no
+     * calibration of its own).
+     *
+     * @param payload_qubits logical width of the mapped circuit.
+     */
+    double successProbability(const ir::Circuit &physical,
+                              const ir::LatencyModel &latency,
+                              int payload_qubits) const;
+
+  private:
+    Objective(ObjectiveKind kind, CalibrationData cal)
+        : _kind(kind), _cal(std::move(cal))
+    {}
+
+    ObjectiveKind _kind = ObjectiveKind::Cycles;
+    CalibrationData _cal;
+};
+
+} // namespace toqm::objective
+
+#endif // TOQM_OBJECTIVE_OBJECTIVE_HPP

@@ -1,5 +1,6 @@
 #include "portfolio.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <utility>
 
@@ -112,6 +113,7 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         core::MapperConfig cfg = entry.exact;
         cfg.guard = mergeGuard(base_guard, cfg.guard);
         cfg.channel = channel;
+        cfg.costTable = entry.costTable;
         if (cfg.guard.cancelToken == nullptr)
             cfg.guard.cancelToken = stop_token;
         core::MapperResult r =
@@ -122,6 +124,7 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         run.outcome.provenOptimal = coherent &&
             r.status == SearchStatus::Solved && !r.fromIncumbent;
         run.outcome.cycles = r.cycles;
+        run.outcome.costKey = r.costKey;
         run.outcome.stats = r.stats;
         run.mapped = std::move(r.mapped);
         break;
@@ -134,7 +137,8 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         core::IdaResult r = core::idaStarMap(
             graph, logical, entry.exact.latency,
             entry.exact.allowConcurrentSwapAndGate,
-            entry.exact.maxExpandedNodes, guard, channel);
+            entry.exact.maxExpandedNodes, guard, channel,
+            entry.costTable);
         run.outcome.status = r.status;
         run.outcome.success = r.success;
         run.outcome.fromIncumbent = r.fromIncumbent;
@@ -144,6 +148,7 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         run.outcome.provenOptimal = coherent &&
             r.status == SearchStatus::Solved && !r.fromIncumbent;
         run.outcome.cycles = r.cycles;
+        run.outcome.costKey = r.costKey;
         run.outcome.stats = r.stats;
         run.mapped = std::move(r.mapped);
         break;
@@ -152,6 +157,7 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         heuristic::HeuristicConfig cfg = entry.heuristic;
         cfg.guard = mergeGuard(base_guard, cfg.guard);
         cfg.channel = channel;
+        cfg.costTable = entry.costTable;
         if (cfg.guard.cancelToken == nullptr)
             cfg.guard.cancelToken = stop_token;
         heuristic::HeuristicResult r =
@@ -163,12 +169,23 @@ runEntry(const arch::CouplingGraph &graph, const ir::Circuit &logical,
         // inadmissible by construction.
         run.outcome.provenOptimal = false;
         run.outcome.cycles = r.cycles;
+        run.outcome.costKey = r.costKey;
         run.outcome.stats = r.stats;
         run.mapped = std::move(r.mapped);
         break;
       }
     }
+    run.outcome.objective = entry.objectiveName;
     return run;
+}
+
+/** The latency model an entry schedules under. */
+const ir::LatencyModel &
+entryLatency(const PortfolioEntry &entry)
+{
+    return entry.kind == PortfolioEntry::Kind::Heuristic
+               ? entry.heuristic.latency
+               : entry.exact.latency;
 }
 
 void
@@ -201,6 +218,13 @@ PortfolioResult::portfolioJson() const
     out += ",\"winner_index\":";
     out += std::to_string(winner);
     out += ",\"results\":[";
+    // Per-entry objective annotations appear only when some entry
+    // raced a non-cycles objective, keeping the all-cycles JSON (and
+    // the tests pinning it) byte-identical to the legacy shape.
+    bool annotated = false;
+    for (const EntryOutcome &o : outcomes)
+        if (!o.objective.empty())
+            annotated = true;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         if (i > 0)
             out += ',';
@@ -213,9 +237,35 @@ PortfolioResult::portfolioJson() const
         out += std::to_string(o.cycles);
         out += ",\"proven_optimal\":";
         out += o.provenOptimal ? "true" : "false";
+        if (annotated) {
+            out += ",\"objective\":\"";
+            appendJsonEscaped(
+                out, o.objective.empty() ? "cycles" : o.objective);
+            out += "\",\"cost\":";
+            out += std::to_string(o.costKey);
+        }
         out += '}';
     }
-    out += "]}";
+    out += ']';
+    if (!pareto.empty()) {
+        out += ",\"pareto\":[";
+        for (std::size_t i = 0; i < pareto.size(); ++i) {
+            if (i > 0)
+                out += ',';
+            const ParetoPoint &p = pareto[i];
+            out += "{\"name\":\"";
+            appendJsonEscaped(out, p.name);
+            out += "\",\"entry\":";
+            out += std::to_string(p.entry);
+            out += ",\"cycles\":";
+            out += std::to_string(p.cycles);
+            out += ",\"cost\":";
+            out += std::to_string(p.costKey);
+            out += '}';
+        }
+        out += ']';
+    }
+    out += '}';
     return out;
 }
 
@@ -257,9 +307,14 @@ PortfolioMapper::map(
         if (!race.free && !layouts[i] &&
             _config.entries[i].kind == PortfolioEntry::Kind::Heuristic)
             layouts[i] = race.seed;
+        // Channel coherence needs BOTH the race's layout space and
+        // the race's objective: keys under a foreign objective are
+        // not sound bounds (see the header comment).
         coherent[i] =
             entrySpace(_config.entries[i], layouts[i], num_logical) ==
-            race;
+                race &&
+            _config.entries[i].objectiveId ==
+                _config.entries[0].objectiveId;
     }
 
     search::IncumbentChannel channel;
@@ -282,9 +337,70 @@ PortfolioMapper::map(
     }
     pool.wait();
 
-    // Deterministic winner: fewer cycles first, then proven beats
-    // unproven, then the lower entry index.  In a coherent race the
-    // proven optimum also has the fewest cycles, so this is the old
+    // The race's objective is entry 0's; a mixed race also has a
+    // second axis — the first objective in entry order that differs
+    // from the race's.
+    const PortfolioEntry &primary = _config.entries[0];
+    const ir::LatencyModel &race_latency = entryLatency(primary);
+    bool mixed = false;
+    for (std::size_t i = 1; i < k; ++i)
+        if (_config.entries[i].objectiveId != primary.objectiveId)
+            mixed = true;
+
+    // Re-score every successful circuit under the RACE's objective so
+    // heterogeneous entries compare on one axis.  An entry already
+    // minimising the race's objective reports its own costKey; a
+    // foreign entry's circuit is evaluated from scratch — its own key
+    // encodes a different objective and is meaningless here.
+    std::vector<std::int64_t> race_key(k, -1);
+    for (std::size_t i = 0; i < k; ++i) {
+        if (!runs[i].outcome.success)
+            continue;
+        if (_config.entries[i].objectiveId == primary.objectiveId &&
+            runs[i].outcome.costKey >= 0)
+            race_key[i] = runs[i].outcome.costKey;
+        else if (primary.costTable != nullptr)
+            race_key[i] = primary.costTable->evaluateCircuit(
+                runs[i].mapped.physical, race_latency);
+        else
+            race_key[i] = runs[i].outcome.cycles;
+    }
+
+    // The secondary axis of a mixed race, for the dominance-breaking
+    // tie rule and the Pareto front: the first non-cycles objective
+    // among the entries supplies the fidelity axis (the cycles axis
+    // is always the ASAP makespan, which every outcome reports).
+    const search::CostTable *fid_table = nullptr;
+    const ir::LatencyModel *fid_latency = nullptr;
+    for (std::size_t i = 0; i < k; ++i) {
+        if (_config.entries[i].objectiveId != 0 &&
+            _config.entries[i].costTable != nullptr) {
+            fid_table = _config.entries[i].costTable;
+            fid_latency = &entryLatency(_config.entries[i]);
+            break;
+        }
+    }
+    std::vector<std::int64_t> alt_key(k, -1);
+    if (mixed) {
+        for (std::size_t i = 0; i < k; ++i) {
+            if (!runs[i].outcome.success)
+                continue;
+            if (primary.objectiveId != 0)
+                alt_key[i] = runs[i].outcome.cycles;
+            else if (fid_table != nullptr)
+                alt_key[i] = fid_table->evaluateCircuit(
+                    runs[i].mapped.physical, *fid_latency);
+            else
+                alt_key[i] = runs[i].outcome.cycles;
+        }
+    }
+
+    // Deterministic winner: lowest key under the race's objective
+    // first (fewest cycles in a plain race); key ties break on the
+    // secondary axis in a mixed race (so the winner is never strictly
+    // dominated by a loser's circuit), then proven beats unproven,
+    // then the lower entry index.  In a homogeneous coherent race the
+    // proven optimum also has the lowest key, so this is the old
     // proven-first rule; with an incoherent entry in the mix it
     // additionally guarantees the portfolio never delivers a worse
     // circuit than any entry found.  Timing can only reorder
@@ -298,15 +414,74 @@ PortfolioMapper::map(
             winner = static_cast<int>(i);
             continue;
         }
-        const EntryOutcome &best =
-            runs[static_cast<std::size_t>(winner)].outcome;
-        if (o.cycles != best.cycles) {
-            if (o.cycles < best.cycles)
+        const std::size_t w = static_cast<std::size_t>(winner);
+        const EntryOutcome &best = runs[w].outcome;
+        if (race_key[i] != race_key[w]) {
+            if (race_key[i] < race_key[w])
+                winner = static_cast<int>(i);
+            continue;
+        }
+        if (mixed && alt_key[i] != alt_key[w]) {
+            if (alt_key[i] < alt_key[w])
                 winner = static_cast<int>(i);
             continue;
         }
         if (o.provenOptimal && !best.provenOptimal)
             winner = static_cast<int>(i);
+    }
+
+    // A mixed race explored two axes; report the non-dominated
+    // circuits on (cycles, fidelity cost) alongside the single
+    // winner.  Exact duplicates keep the lowest entry index; order is
+    // ascending cycles then entry index — deterministic for a fixed
+    // set of outcomes.
+    if (mixed) {
+        for (std::size_t i = 0; i < k; ++i) {
+            if (!runs[i].outcome.success)
+                continue;
+            const std::int64_t fid =
+                fid_table != nullptr
+                    ? fid_table->evaluateCircuit(
+                          runs[i].mapped.physical,
+                          fid_latency != nullptr ? *fid_latency
+                                                 : race_latency)
+                    : race_key[i];
+            bool dominated = false;
+            for (std::size_t j = 0; j < k && !dominated; ++j) {
+                if (j == i || !runs[j].outcome.success)
+                    continue;
+                const std::int64_t fid_j =
+                    fid_table != nullptr
+                        ? fid_table->evaluateCircuit(
+                              runs[j].mapped.physical,
+                              fid_latency != nullptr ? *fid_latency
+                                                     : race_latency)
+                        : race_key[j];
+                const int cyc_i = runs[i].outcome.cycles;
+                const int cyc_j = runs[j].outcome.cycles;
+                if (cyc_j <= cyc_i && fid_j <= fid) {
+                    if (cyc_j < cyc_i || fid_j < fid)
+                        dominated = true;
+                    else if (j < i)
+                        dominated = true; // exact duplicate: keep j
+                }
+            }
+            if (dominated)
+                continue;
+            ParetoPoint p;
+            p.entry = static_cast<int>(i);
+            p.name = runs[i].outcome.name;
+            p.cycles = runs[i].outcome.cycles;
+            p.costKey = fid;
+            p.mapped = runs[i].mapped; // copy: winner's moves below
+            result.pareto.push_back(std::move(p));
+        }
+        std::sort(result.pareto.begin(), result.pareto.end(),
+                  [](const ParetoPoint &a, const ParetoPoint &b) {
+                      if (a.cycles != b.cycles)
+                          return a.cycles < b.cycles;
+                      return a.entry < b.entry;
+                  });
     }
 
     result.outcomes.reserve(k);
@@ -323,6 +498,7 @@ PortfolioMapper::map(
         result.provenOptimal = w.provenOptimal;
         result.fromIncumbent = w.fromIncumbent;
         result.cycles = w.cycles;
+        result.costKey = race_key[static_cast<std::size_t>(winner)];
         result.mapped =
             std::move(runs[static_cast<std::size_t>(winner)].mapped);
     } else {

@@ -31,21 +31,37 @@
  * for the race nor stop it.  Incoherent entries still honor the stop
  * token, so a settled race stands every worker down.
  *
+ * The same coherence rule extends to OBJECTIVES: the channel carries
+ * encoded cost keys, and a key under one objective is meaningless as
+ * a bound under another, so an entry shares the channel only when its
+ * `objectiveId` ALSO matches the race's (entry 0's).  A race mixing
+ * objectives still runs — the off-objective entries just race
+ * channel-less, like layout-incoherent ones.
+ *
  * Winner selection is deterministic given the per-entry outcomes:
- * lower cycle count beats higher, then proven-optimal beats unproven,
- * then lower entry index.  (In a coherent race the proven optimum
- * also has the fewest cycles, so this equals the proven-first rule;
- * it additionally guarantees the portfolio never returns a worse
- * circuit than any single entry.)
+ * every successful circuit is re-scored under the RACE's objective
+ * (entry 0's; plain cycles when it has no cost table) and the lowest
+ * key wins.  Ties break by proven-optimal then lower entry index —
+ * except in a mixed-objective race, where the race's OTHER axis
+ * breaks the tie first, which guarantees the returned circuit is
+ * never strictly dominated by a losing entry's result.  (In a
+ * homogeneous coherent race the proven optimum also has the lowest
+ * key, so this equals the old proven-first rule byte for byte.)
  * Same winner configuration => byte-identical circuit,
  * because each entry's search is internally deterministic; only WHO
  * wins can vary with thread timing, and only among entries whose
- * results tie on (proven, cycles) up to the selection rule.
+ * results tie on (proven, key) up to the selection rule.
+ *
+ * Mixed-objective races additionally report the Pareto front of the
+ * returned circuits over (cycles, fidelity cost) in
+ * `PortfolioResult::pareto` — the race has two axes, and the single
+ * winner necessarily discards information about the other one.
  */
 
 #ifndef TOQM_PARALLEL_PORTFOLIO_HPP
 #define TOQM_PARALLEL_PORTFOLIO_HPP
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +70,7 @@
 #include "heuristic/heuristic_mapper.hpp"
 #include "ir/circuit.hpp"
 #include "ir/mapped_circuit.hpp"
+#include "search/cost_table.hpp"
 #include "search/search_stats.hpp"
 #include "toqm/mapper.hpp"
 
@@ -82,6 +99,21 @@ struct PortfolioEntry
     heuristic::HeuristicConfig heuristic;
     /** Entry-specific seed layout (empty = the map() call's). */
     std::optional<std::vector<int>> initialLayout;
+    /**
+     * Encoded objective this entry minimises (null = plain cycles).
+     * The driver plumbs it into the entry's mapper config; it must
+     * outlive the race.
+     */
+    const search::CostTable *costTable = nullptr;
+    /**
+     * Identity of the objective behind `costTable` (0 = plain
+     * cycles).  Entries share the race's incumbent channel only when
+     * this matches entry 0's — an encoded key under one objective is
+     * not a sound bound under another (see the header comment).
+     */
+    std::uint64_t objectiveId = 0;
+    /** Human-readable objective name for reports ("" = cycles). */
+    std::string objectiveName;
 };
 
 /** Configuration of a portfolio race. */
@@ -107,7 +139,30 @@ struct EntryOutcome
     /** Complete but unproven (anytime) delivery. */
     bool fromIncumbent = false;
     int cycles = -1;
+    /** Encoded total cost of this entry's circuit under the ENTRY's
+     *  own objective (== cycles for cycles entries; -1 when no
+     *  circuit was produced). */
+    std::int64_t costKey = -1;
+    /** The entry's objectiveName ("" = cycles; omitted from JSON). */
+    std::string objective;
     search::SearchStats stats;
+};
+
+/**
+ * One non-dominated circuit of a mixed-objective race, on the two
+ * axes the race actually explored.
+ */
+struct ParetoPoint
+{
+    /** Index into `outcomes` of the entry that produced it. */
+    int entry = -1;
+    std::string name;
+    /** ASAP makespan of the circuit (the cycles axis). */
+    int cycles = -1;
+    /** Encoded cost under the race's non-cycles objective (the
+     *  fidelity axis). */
+    std::int64_t costKey = -1;
+    ir::MappedCircuit mapped;
 };
 
 /** Result of a portfolio race. */
@@ -121,8 +176,19 @@ struct PortfolioResult
     bool provenOptimal = false;
     bool fromIncumbent = false;
     int cycles = -1;
+    /** Winner's encoded cost under the RACE's objective (== cycles
+     *  for a plain-cycles race; -1 when no winner). */
+    std::int64_t costKey = -1;
     ir::MappedCircuit mapped;
     std::vector<EntryOutcome> outcomes;
+    /**
+     * Mixed-objective races only (empty otherwise): the returned
+     * circuits not dominated on (cycles, fidelity cost), sorted
+     * ascending by cycles then entry index — deterministic for a
+     * fixed set of outcomes.  Exact duplicates keep the lowest entry
+     * index.
+     */
+    std::vector<ParetoPoint> pareto;
     /** Folded per-entry reports (seconds = CPU-seconds, peaks = max
      *  across entries; see SearchStats::merge). */
     search::SearchStats stats;

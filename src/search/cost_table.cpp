@@ -1,0 +1,36 @@
+#include "search/cost_table.hpp"
+
+#include "ir/schedule.hpp"
+
+namespace toqm::search {
+
+std::int64_t
+CostTable::gateWeight(const ir::Gate &gate, int p0, int p1) const
+{
+    if (gate.isBarrier() || gate.isMeasure())
+        return 0;
+    if (gate.isSwap())
+        return swapWeight(p0, p1);
+    if (gate.isTwoQubit())
+        return twoQubitWeight(p0, p1);
+    return oneQubitWeight(p0);
+}
+
+std::int64_t
+CostTable::evaluateCircuit(const ir::Circuit &physical,
+                           const ir::LatencyModel &latency) const
+{
+    std::int64_t total =
+        cycleWeight *
+        static_cast<std::int64_t>(
+            ir::scheduleAsap(physical, latency).makespan);
+    for (const ir::Gate &g : physical.gates()) {
+        const int p0 = g.numQubits() > 0 ? g.qubit(0) : -1;
+        const int p1 = g.numQubits() > 1 ? g.qubit(1) : -1;
+        if (p0 >= 0)
+            total += gateWeight(g, p0, p1);
+    }
+    return total;
+}
+
+} // namespace toqm::search

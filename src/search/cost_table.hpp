@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Search-layer cost table: the encoded, totally-ordered cost model a
+ * mapping search minimises when the objective is not plain cycles.
+ *
+ * Every objective this stack supports is lowered to one monotone
+ * int64 key of the shape
+ *
+ *     key = cycleWeight * cycles + sum of per-action weights
+ *
+ * where the per-action weights are non-negative integers attached to
+ * gate placements (per physical operand) and swap insertions (per
+ * physical edge).  Minimising the key under A-star or IDA stays
+ * exact because the key is additive along a path and the heuristic
+ * bound (see CostEstimator) remains admissible: every unscheduled gate
+ * still must pay at least its layout-independent minimum weight
+ * (`gateMin`), and every remaining cycle costs at least
+ * `cycleWeight`.
+ *
+ * A null `CostTable *` everywhere means "plain cycles": the encoded
+ * key degenerates to the makespan and every code path reduces to the
+ * original scalar-cycle arithmetic, bit for bit.  Higher layers
+ * (src/objective) build tables from calibration data; this type is
+ * deliberately dumb so the search core does not depend on them.
+ */
+
+#ifndef TOQM_SEARCH_COST_TABLE_HPP
+#define TOQM_SEARCH_COST_TABLE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+
+namespace toqm::search {
+
+/** Encoded additive cost model for one (circuit, device) instance. */
+struct CostTable
+{
+    /** Weight charged per elapsed cycle (>= 1 keeps keys ordered by
+     *  makespan when action weights tie). */
+    std::int64_t cycleWeight = 1;
+
+    /** Per-physical-qubit weight of placing a one-qubit gate there
+     *  (size numPhysical). */
+    std::vector<std::int64_t> oneQubit;
+
+    /** Per-physical-pair weight of a two-qubit gate on (p0, p1),
+     *  indexed p0 * numPhysical + p1 (size numPhysical^2; symmetric). */
+    std::vector<std::int64_t> twoQubit;
+
+    /** Per-physical-pair weight of inserting a swap on (p0, p1),
+     *  same indexing as twoQubit. */
+    std::vector<std::int64_t> swap;
+
+    /**
+     * Layout-independent minimum placement weight of each logical
+     * gate (size = logical circuit size, pseudo ops 0).  Used by the
+     * admissible heuristic: any completion pays at least
+     * sum(gateMin over unscheduled gates).
+     */
+    std::vector<std::int64_t> gateMin;
+
+    /** Sum of gateMin over the whole circuit. */
+    std::int64_t totalMin = 0;
+
+    int numPhysical = 0;
+
+    std::int64_t oneQubitWeight(int p) const
+    {
+        return oneQubit[static_cast<std::size_t>(p)];
+    }
+
+    std::int64_t twoQubitWeight(int p0, int p1) const
+    {
+        return twoQubit[static_cast<std::size_t>(p0) *
+                            static_cast<std::size_t>(numPhysical) +
+                        static_cast<std::size_t>(p1)];
+    }
+
+    std::int64_t swapWeight(int p0, int p1) const
+    {
+        return swap[static_cast<std::size_t>(p0) *
+                        static_cast<std::size_t>(numPhysical) +
+                    static_cast<std::size_t>(p1)];
+    }
+
+    /**
+     * Placement weight of logical gate @p gate executed on physical
+     * operands @p p0 / @p p1 (p1 < 0 for one-qubit gates).  Barriers
+     * and measures are free, matching sim::estimateFidelity.
+     */
+    std::int64_t gateWeight(const ir::Gate &gate, int p0, int p1) const;
+
+    /**
+     * Exact encoded cost of a fully mapped physical circuit:
+     * cycleWeight * ASAP makespan + the placement weight of every
+     * gate and swap in it.  This is the same total a search terminal
+     * reports via SearchNode::fKey(), so results from different
+     * algorithms (or different objectives racing in a portfolio) can
+     * be compared under one objective.
+     */
+    std::int64_t evaluateCircuit(const ir::Circuit &physical,
+                                 const ir::LatencyModel &latency) const;
+};
+
+} // namespace toqm::search
+
+#endif // TOQM_SEARCH_COST_TABLE_HPP

@@ -7,9 +7,11 @@
  * configured searches over the SAME circuit/device/latency triple.
  * Two facts transfer between them safely:
  *
- *  - an achievable makespan (any complete schedule's cost is a valid
- *    upper bound for every other search on the instance), published
- *    with `offer()` and read as the pruning watermark `bound()`;
+ *  - an achievable cost (any complete schedule's encoded cost key —
+ *    the plain makespan under the cycles objective — is a valid
+ *    upper bound for every other search minimising the SAME
+ *    objective on the instance), published with `offer()` and read
+ *    as the pruning watermark `bound()`;
  *  - a stop request (`requestStop()`), raised when one search PROVES
  *    optimality so the others stop burning cores on a settled
  *    question.
@@ -32,6 +34,7 @@
 #define TOQM_SEARCH_INCUMBENT_CHANNEL_HPP
 
 #include <atomic>
+#include <cstdint>
 #include <limits>
 
 namespace toqm::search {
@@ -40,23 +43,29 @@ class IncumbentChannel
 {
   public:
     /** The watermark value meaning "no incumbent anywhere yet". */
-    static constexpr int kNoBound = std::numeric_limits<int>::max();
+    static constexpr std::int64_t kNoBound =
+        std::numeric_limits<std::int64_t>::max();
 
-    /** Best makespan achieved by ANY search on the instance. */
-    int
+    /**
+     * Best encoded cost key achieved by ANY search on the instance
+     * (the makespan itself under the cycles objective).  Searches
+     * prune strictly-greater keys only, so a foreign bound can never
+     * cut an equal-cost optimum.
+     */
+    std::int64_t
     bound() const
     {
         return _best.load(std::memory_order_relaxed);
     }
 
     /**
-     * Publish an achieved makespan.  Monotone: the watermark only
-     * ever decreases.  Returns true when @p cost improved it.
+     * Publish an achieved encoded cost key.  Monotone: the watermark
+     * only ever decreases.  Returns true when @p cost improved it.
      */
     bool
-    offer(int cost)
+    offer(std::int64_t cost)
     {
-        int current = _best.load(std::memory_order_relaxed);
+        std::int64_t current = _best.load(std::memory_order_relaxed);
         while (cost < current) {
             if (_best.compare_exchange_weak(current, cost,
                                             std::memory_order_relaxed))
@@ -85,7 +94,7 @@ class IncumbentChannel
     const std::atomic<bool> *stopToken() const { return &_stop; }
 
   private:
-    std::atomic<int> _best{kNoBound};
+    std::atomic<std::int64_t> _best{kNoBound};
     std::atomic<bool> _stop{false};
 };
 

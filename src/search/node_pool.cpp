@@ -132,6 +132,9 @@ NodePool::acquireCopy(const SearchNode &src)
     node->cycle = src.cycle;
     node->costG = src.costG;
     node->costH = src.costH;
+    node->objG = src.objG;
+    node->objH = src.objH;
+    node->objSlack = src.objSlack;
     node->routeScore = src.routeScore;
     node->actions = src.actions;
     node->scheduledGates = src.scheduledGates;
@@ -157,6 +160,9 @@ NodePool::root(const std::vector<int> &initial_layout,
     node->cycle = 0;
     node->costG = 0;
     node->costH = 0;
+    node->objG = 0;
+    node->objH = 0;
+    node->objSlack = 0;
     node->routeScore = 0;
     node->actions.clear();
     node->scheduledGates = 0;
@@ -206,6 +212,11 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
     node->cycle = start_cycle;
     node->costG = parent->costG + (start_cycle - parent->cycle);
     node->actions = actions;
+    const CostTable *table = ctx.costTable();
+    node->objG =
+        parent->objG + (table != nullptr ? table->cycleWeight : 1) *
+                           static_cast<std::int64_t>(
+                               start_cycle - parent->cycle);
 
     int *busy = node->busyUntil();
     int *l2p = node->log2phys();
@@ -231,6 +242,13 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
                 l2p[l1] = a.p0;
             partner[a.p0] = a.p1;
             partner[a.p1] = a.p0;
+            if (table != nullptr) {
+                // A swap is pure overhead under any objective: it
+                // contributes its full weight to the slack.
+                const std::int64_t w = table->swapWeight(a.p0, a.p1);
+                node->objG += w;
+                node->objSlack += w;
+            }
         } else {
             const int finish =
                 start_cycle + ctx.gateLatency(a.gateIndex) - 1;
@@ -249,6 +267,13 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
             for (int q : g.qubits())
                 ++head[q];
             ++node->scheduledGates;
+            if (table != nullptr) {
+                const std::int64_t w = table->gateWeight(g, a.p0, a.p1);
+                node->objG += w;
+                node->objSlack +=
+                    w - table->gateMin[static_cast<std::size_t>(
+                            a.gateIndex)];
+            }
         }
     }
     ++node->_refs;

@@ -79,6 +79,23 @@ class SearchNode
     /** Cached admissible heuristic (set by the cost estimator). */
     int costH = 0;
     /**
+     * Encoded path cost under the context's CostTable:
+     * cycleWeight * costG + total placement weight of the scheduled
+     * actions.  Equal to costG when no table is active, so fKey()
+     * degenerates to f().
+     */
+    std::int64_t objG = 0;
+    /** Encoded admissible heuristic (set alongside costH). */
+    std::int64_t objH = 0;
+    /**
+     * Placement weight paid beyond the layout-independent minimum of
+     * the scheduled gates (swaps count in full).  Tracked so the
+     * dominance filter stays exact under weighted objectives: a node
+     * with less slack can always be completed at least as cheaply.
+     * Zero when no table is active.
+     */
+    std::int64_t objSlack = 0;
+    /**
      * Secondary ranking score used by the practical mapper (sum of
      * frontier/lookahead distances); not part of the admissible cost.
      */
@@ -133,6 +150,14 @@ class SearchNode
 
     /** Priority for the A* queue. */
     int f() const { return costG + costH; }
+
+    /**
+     * Encoded priority under the active objective.  With no cost
+     * table this equals f(); at an allScheduled node it is the exact
+     * encoded total cost of the completed schedule (cycleWeight *
+     * makespan + path placement weight).
+     */
+    std::int64_t fKey() const { return objG + objH; }
 
     /** All logical gates scheduled? */
     bool allScheduled(const SearchContext &ctx) const

@@ -13,6 +13,7 @@
 #include "arch/coupling_graph.hpp"
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
+#include "search/cost_table.hpp"
 
 namespace toqm::search {
 
@@ -57,6 +58,15 @@ class SearchContext
     /** Total number of gates in the logical circuit. */
     int numGates() const { return _circuit->size(); }
 
+    /**
+     * Optional encoded cost model the search minimises instead of
+     * plain cycles; null (the default) selects the exact legacy
+     * scalar-cycle path.  The table must outlive the context.
+     */
+    const CostTable *costTable() const { return _costTable; }
+
+    void setCostTable(const CostTable *table) { _costTable = table; }
+
   private:
     const ir::Circuit *_circuit;
     const arch::CouplingGraph *_graph;
@@ -66,6 +76,7 @@ class SearchContext
     std::vector<std::vector<int>> _posOnQubit;
     std::vector<int> _gateLatency;
     int _swapLatency;
+    const CostTable *_costTable = nullptr;
 };
 
 } // namespace toqm::search

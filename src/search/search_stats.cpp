@@ -45,7 +45,7 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
               SearchStatus status, int cycles, int swaps,
               const StatsLineContext &context)
 {
-    char buf[768];
+    char buf[1024];
     int n = std::snprintf(
         buf, sizeof(buf),
         "{\"mapper\":\"%.*s\",\"status\":\"%s\",\"cycles\":%d,"
@@ -105,6 +105,27 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
         n += std::snprintf(buf + n, remaining(),
                            "{\"incumbent\":%s}", incumbent);
         break;
+    }
+
+    // Objective annotations live INSIDE the detail object: re-open
+    // it, append the additive keys, re-close.  Skipped entirely for
+    // plain-cycles runs (empty objectiveName), which keeps the
+    // default line byte-identical to the pre-objective shape.
+    if (!context.objectiveName.empty() && n > 0 &&
+        n < static_cast<int>(sizeof(buf)) && buf[n - 1] == '}') {
+        --n;
+        n += std::snprintf(
+            buf + n, remaining(), ",\"objective\":\"%.*s\"",
+            static_cast<int>(context.objectiveName.size()),
+            context.objectiveName.data());
+        if (context.hasCost)
+            n += std::snprintf(buf + n, remaining(),
+                               ",\"cost\":%.9g", context.cost);
+        if (context.hasFidelity)
+            n += std::snprintf(buf + n, remaining(),
+                               ",\"fidelity\":%.9g",
+                               context.fidelity);
+        n += std::snprintf(buf + n, remaining(), "}");
     }
 
     // The degradation/portfolio blocks are caller-rendered and

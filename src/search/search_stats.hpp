@@ -159,6 +159,22 @@ struct StatsLineContext
      * trailing `"portfolio":{...}` key when non-empty.
      */
     std::string_view portfolioJson;
+    /**
+     * Objective the run minimised.  When non-empty, the additive
+     * `"objective":"<name>"` key (plus `"cost"` / `"fidelity"` when
+     * their has* flags are set) is appended INSIDE the `detail`
+     * object.  Empty (the default) keeps every existing line byte
+     * identical — plain-cycles runs emit no objective keys at all.
+     */
+    std::string_view objectiveName;
+    /** Decoded objective cost of the returned circuit (cycles for
+     *  the cycles objective, -ln F for fidelity). */
+    bool hasCost = false;
+    double cost = 0.0;
+    /** Ground-truth success probability of the returned circuit
+     *  under the run's calibration (sim-layer noise model). */
+    bool hasFidelity = false;
+    double fidelity = 0.0;
 };
 
 /** Version of the stats-line JSON shape (see statsJsonLine). */
@@ -179,6 +195,11 @@ inline constexpr int kStatsLineSchemaVersion = 2;
  *   deadline-exceeded: {"deadline_ms":N,"incumbent":bool}
  *   memory-exhausted:  {"max_pool_bytes":N,"incumbent":bool}
  *   cancelled:         {"incumbent":bool}
+ * When `context.objectiveName` is non-empty the detail object
+ * additionally carries `"objective":"<name>"` and, when their flags
+ * are set, `"cost":<decoded objective cost>` and
+ * `"fidelity":<success probability>` — additive and absent for
+ * plain-cycles runs, so default lines stay byte-identical.
  * When `context.degradationJson` is non-empty it is appended as a
  * final `"degradation":{...}` key (additive; absent by default),
  * followed — when set — by the additive `"input":"..."` (batch

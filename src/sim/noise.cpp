@@ -52,4 +52,41 @@ estimateFidelity(const ir::Circuit &circuit,
     return estimate;
 }
 
+FidelityEstimate
+estimateFidelity(const ir::Circuit &circuit,
+                 const ir::LatencyModel &latency,
+                 const GateErrorFn &gate_error, double t2_cycles,
+                 int payload_qubits)
+{
+    FidelityEstimate estimate;
+    const ir::Schedule sched = ir::scheduleAsap(circuit, latency);
+
+    std::vector<char> compute_qubit(
+        static_cast<size_t>(circuit.numQubits()), 0);
+
+    for (int i = 0; i < circuit.size(); ++i) {
+        const ir::Gate &g = circuit.gate(i);
+        if (g.isBarrier() || g.isMeasure())
+            continue;
+
+        estimate.gateFidelity *= 1.0 - gate_error(g);
+
+        if (!g.isSwap()) {
+            for (int q : g.qubits())
+                compute_qubit[static_cast<size_t>(q)] = 1;
+        }
+    }
+
+    int payload = payload_qubits;
+    if (payload < 0) {
+        payload = 0;
+        for (int q = 0; q < circuit.numQubits(); ++q)
+            payload += compute_qubit[static_cast<size_t>(q)] ? 1 : 0;
+    }
+    estimate.decoherenceFidelity =
+        std::exp(-static_cast<double>(sched.makespan) * payload /
+                 t2_cycles);
+    return estimate;
+}
+
 } // namespace toqm::sim

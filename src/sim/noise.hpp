@@ -22,6 +22,8 @@
 #ifndef TOQM_SIM_NOISE_HPP
 #define TOQM_SIM_NOISE_HPP
 
+#include <functional>
+
 #include "ir/circuit.hpp"
 #include "ir/latency.hpp"
 
@@ -63,6 +65,27 @@ struct FidelityEstimate
 FidelityEstimate estimateFidelity(const ir::Circuit &circuit,
                                   const ir::LatencyModel &latency,
                                   const NoiseModel &noise = {},
+                                  int payload_qubits = -1);
+
+/**
+ * Per-gate error callback: the depolarizing error probability of
+ * executing @p gate on its (physical) operands.  Called for every
+ * non-barrier, non-measure gate of the circuit.
+ */
+using GateErrorFn = std::function<double(const ir::Gate &gate)>;
+
+/**
+ * Heterogeneous-device overload: gate errors come from @p gate_error
+ * per gate instance (calibration-data rates keyed on the physical
+ * operands) instead of three flat class rates; decoherence is the
+ * same exp(-makespan * payload / t2Cycles) factor.  This is the
+ * ground-truth evaluator behind the fidelity objective: the encoded
+ * search cost approximates -ln of what this function reports.
+ */
+FidelityEstimate estimateFidelity(const ir::Circuit &circuit,
+                                  const ir::LatencyModel &latency,
+                                  const GateErrorFn &gate_error,
+                                  double t2_cycles,
                                   int payload_qubits = -1);
 
 } // namespace toqm::sim

@@ -138,4 +138,22 @@ CostEstimator::estimate(const SearchNode &node) const
     return h;
 }
 
+void
+CostEstimator::score(SearchNode &node) const
+{
+    node.costH = estimate(node);
+    const search::CostTable *table = _ctx.costTable();
+    if (table == nullptr) {
+        node.objH = node.costH;
+        return;
+    }
+    const std::int64_t scheduled_min =
+        (node.objG - table->cycleWeight *
+                         static_cast<std::int64_t>(node.costG)) -
+        node.objSlack;
+    node.objH = table->cycleWeight *
+                    static_cast<std::int64_t>(node.costH) +
+                (table->totalMin - scheduled_min);
+}
+
 } // namespace toqm::core

@@ -47,6 +47,26 @@ class CostEstimator
      */
     int estimate(const SearchNode &node) const;
 
+    /**
+     * Score @p node in place: sets costH = estimate(node) and the
+     * encoded heuristic objH.  With no active CostTable, objH ==
+     * costH so fKey() stays equal to f().  With a table,
+     *
+     *     objH = cycleWeight * costH + remainingMinWeight
+     *
+     * where remainingMinWeight is the sum of gateMin over gates not
+     * yet scheduled — recovered in O(1) from the node's running
+     * sums: the placement weight paid so far is objG - cycleWeight *
+     * costG, of which objSlack is overhead, so the scheduled gates'
+     * minimum weight is (objG - cycleWeight * costG) - objSlack.
+     * Both terms lower-bound any completion independently (every
+     * remaining cycle costs at least cycleWeight; every unscheduled
+     * gate at least its gateMin), so objH stays admissible and at an
+     * allScheduled node it is exactly cycleWeight * (makespan -
+     * cycle), making fKey() the exact encoded total.
+     */
+    void score(SearchNode &node) const;
+
   private:
     const SearchContext &_ctx;
     int _horizonGates;

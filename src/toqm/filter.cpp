@@ -11,12 +11,16 @@ Filter::compare(const SearchNode &a, const SearchNode &b)
 {
     // O(1) aggregate quick rejects: domination implies the sums obey
     // the same inequalities.
+    // objSlack: under a weighted objective a node may be ahead on
+    // every scheduling axis yet have overpaid in placement weight;
+    // requiring no-more-slack keeps dominance exact.  Always zero
+    // (hence vacuous) when no cost table is active.
     bool a_wins = a.costG <= b.costG &&
                   a.scheduledGates >= b.scheduledGates &&
-                  a.busySum <= b.busySum;
+                  a.busySum <= b.busySum && a.objSlack <= b.objSlack;
     bool b_wins = b.costG <= a.costG &&
                   b.scheduledGates >= a.scheduledGates &&
-                  b.busySum <= a.busySum;
+                  b.busySum <= a.busySum && b.objSlack <= a.objSlack;
     if (!a_wins && !b_wins)
         return 0;
 

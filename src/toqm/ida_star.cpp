@@ -20,37 +20,40 @@ using Engine = search::SearchEngine<search::DepthFirstFrontier>;
  * pooled stack replaces O(depth) call frames with O(depth) NodeRefs.
  *
  * @return the terminal node, or empty if none within @p bound;
- *         @p next_bound collects the smallest f that exceeded the
- *         bound (INT_MAX if none did: the space is exhausted).
- *         Complete schedules whose f exceeds the bound are offered
- *         to @p incumbent / @p incumbent_makespan — they are valid
- *         (just not yet proven optimal) and back the anytime return.
+ *         @p next_bound collects the smallest encoded f key that
+ *         exceeded the bound (INT64_MAX if none did: the space is
+ *         exhausted).  Complete schedules whose key exceeds the
+ *         bound are offered to @p incumbent / @p incumbent_key —
+ *         they are valid (just not yet proven optimal) and back the
+ *         anytime return.
  */
 NodeRef
 boundedDfs(const SearchContext &ctx, const Expander &expander,
            const CostEstimator &estimator, Engine &engine,
-           const NodeRef &root, int bound, std::uint64_t max_expanded,
-           int &next_bound, NodeRef &incumbent, int &incumbent_makespan)
+           const NodeRef &root, std::int64_t bound,
+           std::uint64_t max_expanded, std::int64_t &next_bound,
+           NodeRef &incumbent, std::int64_t &incumbent_key)
 {
-    next_bound = std::numeric_limits<int>::max();
+    next_bound = std::numeric_limits<std::int64_t>::max();
     engine.frontier().clear();
     engine.push(root);
     while (!engine.frontier().empty()) {
         NodeRef node = engine.frontier().pop();
-        if (node->f() > bound) {
+        if (node->fKey() > bound) {
             if (node->allScheduled(ctx) &&
-                node->makespan() < incumbent_makespan) {
-                incumbent_makespan = node->makespan();
+                node->fKey() < incumbent_key) {
+                incumbent_key = node->fKey();
                 incumbent = node;
             }
-            next_bound = std::min(next_bound, node->f());
+            next_bound = std::min(next_bound, node->fKey());
             continue;
         }
         if (node->allScheduled(ctx)) {
-            // With all gates scheduled, f == the exact makespan.
+            // With all gates scheduled, the f key is the exact total
+            // cost (the makespan under plain cycles).
             return node;
         }
-        engine.noteExpansion(node->f());
+        engine.noteExpansion(static_cast<double>(node->fKey()));
         if (engine.guardStop() != search::StopReason::None ||
             engine.stats().expanded >= max_expanded)
             return NodeRef();
@@ -58,11 +61,11 @@ boundedDfs(const SearchContext &ctx, const Expander &expander,
         Expansion expansion = expander.expand(node);
         engine.stats().generated += expansion.children.size();
         for (NodeRef &child : expansion.children)
-            child->costH = estimator.estimate(*child);
+            estimator.score(*child);
         std::sort(expansion.children.begin(), expansion.children.end(),
                   [](const NodeRef &a, const NodeRef &b) {
-                      if (a->f() != b->f())
-                          return a->f() < b->f();
+                      if (a->fKey() != b->fKey())
+                          return a->fKey() < b->fKey();
                       return a->scheduledGates > b->scheduledGates;
                   });
         for (auto it = expansion.children.rbegin();
@@ -81,13 +84,15 @@ idaStarMap(const arch::CouplingGraph &graph,
            const ir::LatencyModel &latency, bool allow_mixing,
            std::uint64_t max_expanded,
            const search::GuardConfig &guard,
-           search::IncumbentChannel *channel)
+           search::IncumbentChannel *channel,
+           const search::CostTable *cost_table)
 {
     IdaResult result;
 
     const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, graph, latency);
+    ctx.setCostTable(cost_table);
     CostEstimator estimator(ctx);
     NodePool pool(ctx);
     ExpanderConfig cfg;
@@ -102,35 +107,36 @@ idaStarMap(const arch::CouplingGraph &graph,
 
     NodeRef root = pool.root(ir::identityLayout(ctx.numLogical()),
                              false);
-    root->costH = estimator.estimate(*root);
+    estimator.score(*root);
 
     NodeRef incumbent;
-    int incumbent_makespan = std::numeric_limits<int>::max();
+    std::int64_t incumbent_key = std::numeric_limits<std::int64_t>::max();
 
-    int bound = root->f();
+    std::int64_t bound = root->fKey();
     while (engine.stats().expanded < max_expanded &&
            engine.guardStop() == search::StopReason::None) {
         ++engine.stats().rounds;
-        int next_bound = std::numeric_limits<int>::max();
+        std::int64_t next_bound = std::numeric_limits<std::int64_t>::max();
         NodeRef terminal =
             boundedDfs(ctx, expander, estimator, engine, root, bound,
                        max_expanded, next_bound, incumbent,
-                       incumbent_makespan);
+                       incumbent_key);
         if (terminal) {
             result.success = true;
             result.status = SearchStatus::Solved;
             result.cycles = terminal->makespan();
+            result.costKey = terminal->fKey();
             result.mapped = reconstructMapping(ctx, terminal);
             if (channel != nullptr)
-                channel->offer(result.cycles);
+                channel->offer(result.costKey);
             break;
         }
         if (channel != nullptr && incumbent)
-            channel->offer(incumbent_makespan);
+            channel->offer(incumbent_key);
         if (engine.guardStop() != search::StopReason::None ||
             engine.stats().expanded >= max_expanded)
             break;
-        if (next_bound == std::numeric_limits<int>::max())
+        if (next_bound == std::numeric_limits<std::int64_t>::max())
             break; // space exhausted below every bound: unsolvable
         if (channel != nullptr && next_bound > channel->bound()) {
             // A foreign schedule already achieves a cost below every
@@ -153,7 +159,8 @@ idaStarMap(const arch::CouplingGraph &graph,
             // the rounds, explicitly flagged non-optimal.
             result.success = true;
             result.fromIncumbent = true;
-            result.cycles = incumbent_makespan;
+            result.cycles = incumbent->makespan();
+            result.costKey = incumbent_key;
             result.mapped = reconstructMapping(ctx, incumbent);
         }
     }

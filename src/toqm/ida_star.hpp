@@ -37,6 +37,9 @@ struct IdaResult
      *  schedule delivered on a budget/guard stop. */
     bool fromIncumbent = false;
     int cycles = -1;
+    /** Encoded total cost of `mapped` under the run's objective
+     *  (== cycles with no cost table; -1 when nothing delivered). */
+    std::int64_t costKey = -1;
     ir::MappedCircuit mapped;
     /**
      * Unified run report; `stats.rounds` counts the f-bound rounds
@@ -58,6 +61,9 @@ struct IdaResult
  *        is honored through the guard, and deepening ends once the
  *        bound passes the watermark (a foreign schedule at cost b
  *        proves no round with T >= b can improve on it).
+ * @param cost_table encoded objective to minimise instead of plain
+ *        cycles (null = legacy scalar cycles, byte-identical).  All
+ *        searches sharing @p channel must share one objective.
  */
 IdaResult idaStarMap(const arch::CouplingGraph &graph,
                      const ir::Circuit &logical,
@@ -65,7 +71,8 @@ IdaResult idaStarMap(const arch::CouplingGraph &graph,
                      bool allow_mixing = true,
                      std::uint64_t max_expanded = 50'000'000,
                      const search::GuardConfig &guard = {},
-                     search::IncumbentChannel *channel = nullptr);
+                     search::IncumbentChannel *channel = nullptr,
+                     const search::CostTable *cost_table = nullptr);
 
 } // namespace toqm::core
 

@@ -13,14 +13,15 @@ namespace toqm::core {
 
 namespace {
 
-/** Min-heap order on f, preferring more progress on ties. */
+/** Min-heap order on the encoded f key (== f under plain cycles),
+ *  preferring more progress on ties. */
 struct NodeOrder
 {
     bool
     operator()(const NodeRef &a, const NodeRef &b) const
     {
-        if (a->f() != b->f())
-            return a->f() > b->f();
+        if (a->fKey() != b->fKey())
+            return a->fKey() > b->fKey();
         if (a->scheduledGates != b->scheduledGates)
             return a->scheduledGates < b->scheduledGates;
         return a->costG < b->costG;
@@ -29,19 +30,20 @@ struct NodeOrder
 
 using Frontier = search::BestFirstFrontier<NodeRef, NodeOrder>;
 
-/** Outcome of the upper-bound beam probe: an achievable bound plus
- *  the terminal node it came from (the run's first incumbent). */
+/** Outcome of the upper-bound beam probe: an achievable bound (an
+ *  encoded cost key) plus the terminal node it came from (the run's
+ *  first incumbent). */
 struct BeamProbeResult
 {
-    int bound = std::numeric_limits<int>::max();
+    std::int64_t bound = std::numeric_limits<std::int64_t>::max();
     NodeRef terminal;
 };
 
 /**
- * Cheap achievable upper bound on the optimal makespan: a beam search
- * over the same node space.  Returns bound=INT_MAX if the beam dies
- * (then no pruning happens).  Polls @p guard so a tight deadline also
- * bounds the probe itself.
+ * Cheap achievable upper bound on the optimal cost: a beam search
+ * over the same node space.  Returns bound=INT64_MAX if the beam
+ * dies (then no pruning happens).  Polls @p guard so a tight
+ * deadline also bounds the probe itself.
  */
 BeamProbeResult
 beamUpperBound(const SearchContext &ctx, const Expander &expander,
@@ -58,11 +60,11 @@ beamUpperBound(const SearchContext &ctx, const Expander &expander,
     for (long step = 0; step < max_steps; ++step) {
         for (const NodeRef &node : beam.level()) {
             if (node->allScheduled(ctx))
-                return {node->makespan(), node};
+                return {node->fKey(), node};
             if (guard.poll() != search::StopReason::None)
                 return {};
             for (NodeRef &child : expander.expand(node).children) {
-                child->costH = estimator.estimate(*child);
+                estimator.score(*child);
                 beam.push(std::move(child));
             }
         }
@@ -71,8 +73,8 @@ beamUpperBound(const SearchContext &ctx, const Expander &expander,
         beam.advance(
             width,
             [](const NodeRef &a, const NodeRef &b) {
-                if (a->f() != b->f())
-                    return a->f() < b->f();
+                if (a->fKey() != b->fKey())
+                    return a->fKey() < b->fKey();
                 return a->scheduledGates > b->scheduledGates;
             },
             [](const NodeRef &) { return true; });
@@ -167,6 +169,7 @@ OptimalMapper::map(const ir::Circuit &logical,
     const obs::PhaseScope obs_phase("search");
     const ir::Circuit clean = logical.withoutSwapsAndBarriers();
     SearchContext ctx(clean, _graph, _config.latency);
+    ctx.setCostTable(_config.costTable);
     CostEstimator estimator(ctx, _config.horizonGates);
     // The pool outlives every NodeRef holder below (expander
     // expansions, filter records, engine frontier, driver locals).
@@ -196,23 +199,24 @@ OptimalMapper::map(const ir::Circuit &logical,
     }
 
     NodeRef root = pool.root(seed, _config.searchInitialMapping);
-    root->costH = estimator.estimate(*root);
+    estimator.score(*root);
 
     // Anytime incumbent: the best complete (all-scheduled) node seen
-    // anywhere in the run.  Returned — flagged non-optimal — when a
+    // anywhere in the run, kept by encoded cost key (the makespan
+    // under plain cycles).  Returned — flagged non-optimal — when a
     // budget or guard stop preempts the proof of optimality.
     NodeRef incumbent;
-    int incumbent_makespan = std::numeric_limits<int>::max();
+    std::int64_t incumbent_key = std::numeric_limits<std::int64_t>::max();
     const auto offer_incumbent = [&](const NodeRef &node) {
-        if (node && node->makespan() < incumbent_makespan) {
-            incumbent_makespan = node->makespan();
+        if (node && node->fKey() < incumbent_key) {
+            incumbent_key = node->fKey();
             incumbent = node;
             if (_config.channel != nullptr)
-                _config.channel->offer(incumbent_makespan);
+                _config.channel->offer(incumbent_key);
         }
     };
 
-    int upper_bound = std::numeric_limits<int>::max();
+    std::int64_t upper_bound = std::numeric_limits<std::int64_t>::max();
     if (_config.useUpperBoundPruning) {
         NodeRef probe_start = root;
         if (root->initialPhase) {
@@ -231,7 +235,7 @@ OptimalMapper::map(const ir::Circuit &logical,
         filter.admit(root);
 
     MapperResult result;
-    int optimal = -1;
+    std::int64_t optimal = -1;
 
     const auto finish_stats = [&](MapperResult &r) {
         engine.stats().filtered = filter.dropped();
@@ -248,7 +252,7 @@ OptimalMapper::map(const ir::Circuit &logical,
 
     const auto admit_and_push = [&](NodeRef child, bool exempt) {
         ++engine.stats().generated;
-        child->costH = estimator.estimate(*child);
+        estimator.score(*child);
         if (child->allScheduled(ctx))
             offer_incumbent(child); // complete schedule: keep the best
         // Prune against the best achievable schedule known anywhere:
@@ -256,11 +260,11 @@ OptimalMapper::map(const ir::Circuit &logical,
         // — by the channel watermark (one relaxed load).  Nodes AT
         // the bound survive, so optimality at that cost stays
         // provable locally.
-        int bound = upper_bound;
+        std::int64_t bound = upper_bound;
         if (_config.channel != nullptr)
             bound = std::min(bound, _config.channel->bound());
-        if (child->f() > bound) {
-            if (child->f() <= upper_bound)
+        if (child->fKey() > bound) {
+            if (child->fKey() <= upper_bound)
                 foreign_prune = true; // the local bound kept this one
             return; // can never beat the known achievable schedule
         }
@@ -270,18 +274,21 @@ OptimalMapper::map(const ir::Circuit &logical,
     };
 
     while (NodeRef node = engine.popLive()) {
-        if (optimal >= 0 && node->f() > optimal)
+        if (optimal >= 0 && node->fKey() > optimal)
             break; // all optimal solutions exhausted (Appendix B)
 
         if (node->allScheduled(ctx)) {
-            const int cost = node->makespan();
+            // At a terminal the encoded f key is the exact total cost
+            // (the makespan itself under plain cycles).
+            const std::int64_t cost = node->fKey();
             if (optimal < 0) {
                 optimal = cost;
                 if (_config.channel != nullptr)
                     _config.channel->offer(cost);
                 result.success = true;
                 result.status = SearchStatus::Solved;
-                result.cycles = cost;
+                result.cycles = node->makespan();
+                result.costKey = cost;
                 result.mapped = reconstructMapping(ctx, node);
                 if (!_config.findAllOptimal)
                     break;
@@ -301,7 +308,7 @@ OptimalMapper::map(const ir::Circuit &logical,
             continue;
         }
 
-        engine.noteExpansion(node->f());
+        engine.noteExpansion(static_cast<double>(node->fKey()));
         const search::StopReason stop = engine.guardStop();
         if (stop != search::StopReason::None ||
             engine.stats().expanded > _config.maxExpandedNodes) {
@@ -315,7 +322,8 @@ OptimalMapper::map(const ir::Circuit &logical,
                     // seen so far, explicitly flagged non-optimal.
                     result.success = true;
                     result.fromIncumbent = true;
-                    result.cycles = incumbent_makespan;
+                    result.cycles = incumbent->makespan();
+                    result.costKey = incumbent_key;
                     result.mapped = reconstructMapping(ctx, incumbent);
                 }
             }
@@ -350,7 +358,8 @@ OptimalMapper::map(const ir::Circuit &logical,
         if (incumbent) {
             result.success = true;
             result.fromIncumbent = true;
-            result.cycles = incumbent_makespan;
+            result.cycles = incumbent->makespan();
+            result.costKey = incumbent_key;
             result.mapped = reconstructMapping(ctx, incumbent);
         }
     }

@@ -84,6 +84,16 @@ struct MapperConfig
      * The channel must outlive the map() call.
      */
     search::IncumbentChannel *channel = nullptr;
+    /**
+     * Encoded cost model to minimise instead of plain cycles
+     * (src/objective builds these from calibration data).  Null —
+     * the default — selects the legacy scalar-cycle path, which is
+     * byte-identical to pre-objective behavior.  When set, every
+     * node is ranked by its encoded fKey and `channel` offers/bounds
+     * are encoded keys, so all entries sharing a channel MUST share
+     * one objective.  The table must outlive the map() call.
+     */
+    const search::CostTable *costTable = nullptr;
 };
 
 /**
@@ -124,6 +134,12 @@ struct MapperResult
     /** Total cycles of the transformed circuit (the optimum, or the
      *  incumbent's makespan when fromIncumbent is set). */
     int cycles = -1;
+    /**
+     * Encoded total cost of `mapped` under the run's objective;
+     * equals `cycles` when no cost table was configured, -1 when no
+     * circuit was delivered.
+     */
+    std::int64_t costKey = -1;
     ir::MappedCircuit mapped;
     /** Every optimal solution, if findAllOptimal was set. */
     std::vector<ir::MappedCircuit> allOptimal;

@@ -12,6 +12,7 @@
 #ifndef TOQM_CORE_SEARCH_TYPES_HPP
 #define TOQM_CORE_SEARCH_TYPES_HPP
 
+#include "search/cost_table.hpp"
 #include "search/engine.hpp"
 #include "search/frontier.hpp"
 #include "search/node_pool.hpp"
@@ -21,6 +22,7 @@
 namespace toqm::core {
 
 using search::Action;
+using search::CostTable;
 using search::NodePool;
 using search::NodeRef;
 using search::SearchContext;

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "objective/calibration.hpp"
+
+namespace toqm::objective {
+namespace {
+
+std::string
+errorOf(const std::string &text)
+{
+    try {
+        (void)CalibrationData::parse(text);
+    } catch (const CalibrationError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(CalibrationParseTest, MinimalDocumentUsesDefaults)
+{
+    const CalibrationData cal = CalibrationData::parse(
+        R"({"schemaVersion": 1, "qubits": 3})");
+    EXPECT_EQ(cal.numQubits, 3);
+    EXPECT_EQ(cal.device, "");
+    EXPECT_DOUBLE_EQ(cal.t2Cycles, 5000.0);
+    EXPECT_DOUBLE_EQ(cal.oneQubit(0), 1e-4);
+    EXPECT_DOUBLE_EQ(cal.twoQubit(0, 1), 1e-3);
+    // Unlisted swap derives from the edge error: three CXs.
+    const double e2 = cal.twoQubit(0, 1);
+    EXPECT_DOUBLE_EQ(cal.swap(0, 1),
+                     1.0 - (1.0 - e2) * (1.0 - e2) * (1.0 - e2));
+}
+
+TEST(CalibrationParseTest, OverridesResolveUndirected)
+{
+    const CalibrationData cal = CalibrationData::parse(R"({
+        "schemaVersion": 1, "qubits": 2,
+        "oneQubitError": [1e-4, 2e-4],
+        "twoQubitError": [{"edge": [1, 0], "error": 0.005}],
+        "swapError": [{"edge": [0, 1], "error": 0.02}]
+    })");
+    EXPECT_DOUBLE_EQ(cal.oneQubit(1), 2e-4);
+    EXPECT_DOUBLE_EQ(cal.twoQubit(0, 1), 0.005);
+    EXPECT_DOUBLE_EQ(cal.twoQubit(1, 0), 0.005);
+    EXPECT_DOUBLE_EQ(cal.swap(1, 0), 0.02);
+}
+
+TEST(CalibrationParseTest, RoundTripResolvesIdentically)
+{
+    const CalibrationData a =
+        CalibrationData::synthesize(arch::ibmQ20Tokyo());
+    const CalibrationData b = CalibrationData::parse(a.toJson());
+    ASSERT_EQ(b.numQubits, a.numQubits);
+    EXPECT_EQ(b.device, a.device);
+    EXPECT_DOUBLE_EQ(b.t2Cycles, a.t2Cycles);
+    for (int q = 0; q < a.numQubits; ++q)
+        EXPECT_DOUBLE_EQ(b.oneQubit(q), a.oneQubit(q)) << q;
+    for (int q0 = 0; q0 < a.numQubits; ++q0) {
+        for (int q1 = q0 + 1; q1 < a.numQubits; ++q1) {
+            EXPECT_DOUBLE_EQ(b.twoQubit(q0, q1), a.twoQubit(q0, q1));
+            EXPECT_DOUBLE_EQ(b.swap(q0, q1), a.swap(q0, q1));
+        }
+    }
+}
+
+TEST(CalibrationParseTest, ShippedExamplesLoad)
+{
+    const CalibrationData tokyo = CalibrationData::load(
+        std::string(TOQM_CALIBRATION_DIR) + "/tokyo.json");
+    EXPECT_EQ(tokyo.device, "tokyo");
+    EXPECT_EQ(tokyo.numQubits, 20);
+    EXPECT_EQ(tokyo.oneQubitError.size(), 20u);
+    EXPECT_EQ(tokyo.twoQubitError.size(), 43u);
+
+    const CalibrationData uniform = CalibrationData::load(
+        std::string(TOQM_CALIBRATION_DIR) + "/q20_uniform.json");
+    EXPECT_EQ(uniform.numQubits, 20);
+    EXPECT_TRUE(uniform.oneQubitError.empty());
+    EXPECT_DOUBLE_EQ(uniform.twoQubit(0, 1), 1e-3);
+}
+
+TEST(CalibrationParseTest, SyntaxErrorsCarryByteOffset)
+{
+    const std::string what =
+        errorOf(R"({"schemaVersion": 1, "qubits": })");
+    EXPECT_NE(what.find("calibration:"), std::string::npos) << what;
+    // obs::json reports the byte offset of the failure; the loader
+    // keeps it verbatim.
+    EXPECT_NE(what.find("offset"), std::string::npos) << what;
+}
+
+TEST(CalibrationParseTest, SemanticErrorsNameTheKeyPath)
+{
+    EXPECT_NE(errorOf(R"({"qubits": 2})").find("schemaVersion"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 2, "qubits": 2})")
+                  .find("unsupported version"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 1, "qubits": -3})")
+                  .find("qubits: must be a positive integer"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 1, "qubits": 2,
+                          "oneQubitError": [1e-4]})")
+                  .find("oneQubitError: expected exactly 2"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 1, "qubits": 2,
+                          "oneQubitError": [1e-4, 1.5]})")
+                  .find("oneQubitError[1]: error rate must be in"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 1, "qubits": 2,
+                          "twoQubitError":
+                          [{"edge": [0, 7], "error": 1e-3}]})")
+                  .find("twoQubitError[0].edge[1]"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 1, "qubits": 2,
+                          "twoQubitError":
+                          [{"edge": [1, 1], "error": 1e-3}]})")
+                  .find("self-loop"),
+              std::string::npos);
+    EXPECT_NE(errorOf(R"({"schemaVersion": 1, "qubits": 2,
+                          "t2Cycles": 0})")
+                  .find("t2Cycles: must be positive"),
+              std::string::npos);
+}
+
+TEST(CalibrationLoadTest, FileErrorsNameThePath)
+{
+    try {
+        (void)CalibrationData::load("/nonexistent/cal.json");
+        FAIL() << "load() of a missing file must throw";
+    } catch (const CalibrationError &e) {
+        EXPECT_NE(std::string(e.what()).find("/nonexistent/cal.json"),
+                  std::string::npos);
+    }
+}
+
+TEST(CalibrationSynthesizeTest, DeterministicAndInRealisticRanges)
+{
+    const auto graph = arch::ibmQ20Tokyo();
+    const CalibrationData a = CalibrationData::synthesize(graph);
+    const CalibrationData b = CalibrationData::synthesize(graph);
+    EXPECT_EQ(a.toJson(), b.toJson());
+    // A different seed gives a different (but equally valid) device.
+    const CalibrationData c = CalibrationData::synthesize(graph, 7);
+    EXPECT_NE(a.toJson(), c.toJson());
+
+    ASSERT_EQ(a.numQubits, graph.numQubits());
+    ASSERT_EQ(a.oneQubitError.size(),
+              static_cast<std::size_t>(graph.numQubits()));
+    ASSERT_EQ(a.twoQubitError.size(), graph.edges().size());
+    for (const double e1 : a.oneQubitError) {
+        EXPECT_GE(e1, 5e-5);
+        EXPECT_LT(e1, 2e-4);
+    }
+    for (const CalibrationData::EdgeError &e : a.twoQubitError) {
+        EXPECT_GE(e.error, 5e-4);
+        EXPECT_LT(e.error, 2e-3);
+        // Derived swap error stays consistent with the edge error.
+        EXPECT_GT(a.swap(e.q0, e.q1), e.error);
+        EXPECT_LT(a.swap(e.q0, e.q1), 3.0 * e.error + 1e-9);
+    }
+}
+
+} // namespace
+} // namespace toqm::objective

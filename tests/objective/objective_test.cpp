@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "arch/architectures.hpp"
+#include "ir/circuit.hpp"
+#include "ir/gate.hpp"
+#include "ir/generators.hpp"
+#include "ir/latency.hpp"
+#include "objective/objective.hpp"
+#include "search/cost_table.hpp"
+
+namespace toqm::objective {
+namespace {
+
+TEST(ObjectiveKindTest, NamesRoundTrip)
+{
+    ObjectiveKind kind = ObjectiveKind::Pareto;
+    EXPECT_TRUE(objectiveKindFromString("cycles", kind));
+    EXPECT_EQ(kind, ObjectiveKind::Cycles);
+    EXPECT_TRUE(objectiveKindFromString("fidelity", kind));
+    EXPECT_EQ(kind, ObjectiveKind::Fidelity);
+    EXPECT_TRUE(objectiveKindFromString("pareto", kind));
+    EXPECT_EQ(kind, ObjectiveKind::Pareto);
+    EXPECT_FALSE(objectiveKindFromString("bogus", kind));
+    EXPECT_STREQ(toString(ObjectiveKind::Fidelity), "fidelity");
+}
+
+TEST(ObjectiveTest, CyclesIsTheNullTable)
+{
+    const Objective obj = Objective::cycles();
+    EXPECT_EQ(obj.kind(), ObjectiveKind::Cycles);
+    EXPECT_STREQ(obj.name(), "cycles");
+    EXPECT_EQ(obj.objectiveId(), 0u);
+    EXPECT_EQ(obj.makeTable(ir::qftSkeleton(4), arch::lnn(4)),
+              nullptr);
+    EXPECT_DOUBLE_EQ(obj.decodeCost(42), 42.0);
+}
+
+TEST(ObjectiveTest, FidelityTableIsAdmissible)
+{
+    const auto graph = arch::lnn(4);
+    const ir::Circuit logical = ir::qftSkeleton(4);
+    const Objective obj =
+        Objective::fidelity(CalibrationData::synthesize(graph));
+    const std::unique_ptr<search::CostTable> table =
+        obj.makeTable(logical, graph);
+    ASSERT_NE(table, nullptr);
+    EXPECT_GE(table->cycleWeight, 1);
+    EXPECT_EQ(table->numPhysical, 4);
+
+    // gateMin must lower-bound EVERY legal placement of each gate —
+    // that is exactly what keeps the search heuristic admissible.
+    const ir::Circuit searched = logical.withoutSwapsAndBarriers();
+    ASSERT_EQ(table->gateMin.size(),
+              static_cast<std::size_t>(searched.size()));
+    std::int64_t sum = 0;
+    for (int i = 0; i < searched.size(); ++i) {
+        const ir::Gate &g = searched.gate(i);
+        const std::int64_t lo =
+            table->gateMin[static_cast<std::size_t>(i)];
+        sum += lo;
+        if (g.numQubits() == 2) {
+            for (const std::pair<int, int> &edge : graph.edges()) {
+                EXPECT_LE(lo, table->gateWeight(g, edge.first,
+                                                edge.second));
+                EXPECT_LE(lo, table->gateWeight(g, edge.second,
+                                                edge.first));
+            }
+        } else {
+            for (int p = 0; p < graph.numQubits(); ++p)
+                EXPECT_LE(lo, table->gateWeight(g, p, -1));
+        }
+    }
+    EXPECT_EQ(table->totalMin, sum);
+
+    // Swaps are never cheaper than the CX on the same edge (a swap
+    // is three of them), so inserting one can never pay for itself.
+    for (const std::pair<int, int> &edge : graph.edges()) {
+        EXPECT_GE(table->swapWeight(edge.first, edge.second),
+                  table->twoQubitWeight(edge.first, edge.second));
+    }
+}
+
+TEST(ObjectiveTest, FidelityEncodingMatchesTheNoiseSimulator)
+{
+    // The encoded key is a fixed-point -ln(success probability):
+    // decoding the evaluateCircuit total must agree with the
+    // sim-layer ground truth to the documented 1e-7-per-action
+    // resolution.
+    const auto graph = arch::lnn(2);
+    const Objective obj =
+        Objective::fidelity(CalibrationData::synthesize(graph));
+    ir::Circuit phys(2, "bell_phys");
+    phys.add(ir::Gate(ir::GateKind::H, 0));
+    phys.add(ir::Gate(ir::GateKind::CX, 0, 1));
+    const ir::LatencyModel latency = ir::LatencyModel::qftPreset();
+
+    const std::unique_ptr<search::CostTable> table =
+        obj.makeTable(phys, graph);
+    ASSERT_NE(table, nullptr);
+    const double decoded =
+        obj.decodeCost(table->evaluateCircuit(phys, latency));
+    const double truth =
+        -std::log(obj.successProbability(phys, latency, 2));
+    EXPECT_NEAR(decoded, truth, 1e-4);
+    EXPECT_GT(obj.successProbability(phys, latency, 2), 0.0);
+    EXPECT_LE(obj.successProbability(phys, latency, 2), 1.0);
+}
+
+TEST(ObjectiveTest, ParetoOrdersCyclesFirst)
+{
+    const auto graph = arch::lnn(4);
+    const Objective obj =
+        Objective::pareto(CalibrationData::synthesize(graph));
+    const std::unique_ptr<search::CostTable> table =
+        obj.makeTable(ir::qftSkeleton(4), graph);
+    ASSERT_NE(table, nullptr);
+    EXPECT_EQ(table->cycleWeight, std::int64_t{1} << 32);
+    // Every per-action weight fits under one cycle digit, so one
+    // cycle saved always beats any realistic error trade.
+    for (const std::pair<int, int> &edge : graph.edges()) {
+        EXPECT_LT(table->swapWeight(edge.first, edge.second),
+                  table->cycleWeight);
+    }
+    // Decoding strips the cycles digit: only the error axis remains.
+    const std::int64_t key = 7 * table->cycleWeight + 12345;
+    EXPECT_DOUBLE_EQ(obj.decodeCost(key), 12345.0 / 1e7);
+}
+
+TEST(ObjectiveTest, ObjectiveIdsSeparateKindsAndCalibrations)
+{
+    const auto graph = arch::lnn(4);
+    const CalibrationData a = CalibrationData::synthesize(graph);
+    const CalibrationData b = CalibrationData::synthesize(graph, 7);
+    const std::uint64_t fid_a = Objective::fidelity(a).objectiveId();
+    EXPECT_NE(fid_a, 0u);
+    EXPECT_EQ(fid_a, Objective::fidelity(a).objectiveId());
+    EXPECT_NE(fid_a, Objective::fidelity(b).objectiveId());
+    EXPECT_NE(fid_a, Objective::pareto(a).objectiveId());
+}
+
+TEST(ObjectiveTest, TableRejectsUndersizedCalibration)
+{
+    const CalibrationData small =
+        CalibrationData::synthesize(arch::lnn(3));
+    EXPECT_THROW((void)Objective::fidelity(small).makeTable(
+                     ir::qftSkeleton(4), arch::lnn(4)),
+                 CalibrationError);
+}
+
+} // namespace
+} // namespace toqm::objective

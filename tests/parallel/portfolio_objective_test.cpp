@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "arch/architectures.hpp"
+#include "ir/circuit.hpp"
+#include "ir/generators.hpp"
+#include "objective/objective.hpp"
+#include "parallel/portfolio.hpp"
+#include "qasm/writer.hpp"
+#include "search/cost_table.hpp"
+#include "search/incumbent_channel.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::parallel {
+namespace {
+
+// Heterogeneous-objective portfolio races: entry 0's objective is the
+// race's, off-objective entries run channel-less, and the winner rule
+// must never return a circuit strictly dominated by a loser's.
+
+core::MapperConfig
+qftBase()
+{
+    core::MapperConfig base;
+    base.latency = ir::LatencyModel::qftPreset();
+    return base;
+}
+
+/** Everything one fidelity race needs, with the table kept alive. */
+struct FidelityRig
+{
+    arch::CouplingGraph graph = arch::lnn(4);
+    ir::Circuit logical = ir::qftSkeleton(4);
+    objective::Objective objective = objective::Objective::fidelity(
+        objective::CalibrationData::synthesize(arch::lnn(4)));
+    std::unique_ptr<search::CostTable> table =
+        objective.makeTable(logical, graph);
+
+    PortfolioEntry
+    fidelityExact(const std::string &name) const
+    {
+        PortfolioEntry e;
+        e.name = name;
+        e.kind = PortfolioEntry::Kind::Exact;
+        e.exact = qftBase();
+        e.costTable = table.get();
+        e.objectiveId = objective.objectiveId();
+        e.objectiveName = objective.name();
+        return e;
+    }
+
+    PortfolioEntry
+    cyclesHeuristic(const std::string &name) const
+    {
+        PortfolioEntry e;
+        e.name = name;
+        e.kind = PortfolioEntry::Kind::Heuristic;
+        e.heuristic.latency = ir::LatencyModel::qftPreset();
+        return e;
+    }
+};
+
+TEST(PortfolioObjectiveTest, HomogeneousFidelityRaceProvesTheSoloKey)
+{
+    const FidelityRig rig;
+    PortfolioConfig config;
+    config.entries.push_back(rig.fidelityExact("fid-astar"));
+    config.entries.push_back(rig.fidelityExact("fid-astar-nofilter"));
+    config.entries[1].exact.useFilter = false;
+
+    core::MapperConfig solo_cfg = qftBase();
+    solo_cfg.costTable = rig.table.get();
+    const auto solo =
+        core::OptimalMapper(rig.graph, solo_cfg).map(rig.logical);
+    ASSERT_TRUE(solo.success);
+
+    PortfolioMapper mapper(rig.graph, config);
+    const PortfolioResult res = mapper.map(rig.logical);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(res.provenOptimal);
+    EXPECT_EQ(res.costKey, solo.costKey);
+    EXPECT_TRUE(
+        sim::verifyMapping(rig.logical, res.mapped, rig.graph).ok);
+}
+
+TEST(PortfolioObjectiveTest, MixedRaceSerialIsDeterministic)
+{
+    const FidelityRig rig;
+    PortfolioConfig config;
+    config.entries.push_back(rig.fidelityExact("fid-astar"));
+    config.entries.push_back(rig.cyclesHeuristic("cyc-heuristic"));
+    config.workers = 1;
+    PortfolioMapper mapper(rig.graph, config);
+
+    const PortfolioResult a = mapper.map(rig.logical);
+    const PortfolioResult b = mapper.map(rig.logical);
+    ASSERT_TRUE(a.success);
+    ASSERT_TRUE(b.success);
+    EXPECT_EQ(a.winner, b.winner);
+    EXPECT_EQ(a.costKey, b.costKey);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(qasm::writeMappedCircuit(a.mapped),
+              qasm::writeMappedCircuit(b.mapped));
+    ASSERT_EQ(a.pareto.size(), b.pareto.size());
+    for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+        EXPECT_EQ(a.pareto[i].entry, b.pareto[i].entry);
+        EXPECT_EQ(a.pareto[i].cycles, b.pareto[i].cycles);
+        EXPECT_EQ(a.pareto[i].costKey, b.pareto[i].costKey);
+    }
+}
+
+TEST(PortfolioObjectiveTest, MixedRaceWinnerIsNeverDominated)
+{
+    const FidelityRig rig;
+    PortfolioConfig config;
+    config.entries.push_back(rig.fidelityExact("fid-astar"));
+    config.entries.push_back(rig.cyclesHeuristic("cyc-heuristic"));
+    PortfolioMapper mapper(rig.graph, config);
+    const PortfolioResult res = mapper.map(rig.logical);
+    ASSERT_TRUE(res.success);
+
+    // The race's objective is entry 0's (fidelity), so res.costKey is
+    // the winner's fidelity key.  No returned circuit may beat the
+    // winner on BOTH axes — the pareto front holds every returned
+    // non-dominated circuit, so checking against it covers all.
+    ASSERT_FALSE(res.pareto.empty());
+    for (const ParetoPoint &p : res.pareto) {
+        EXPECT_FALSE(p.cycles < res.cycles &&
+                     p.costKey < res.costKey)
+            << p.name << " dominates the winner";
+        EXPECT_TRUE(
+            sim::verifyMapping(rig.logical, p.mapped, rig.graph).ok);
+    }
+    // And the front itself is mutually non-dominated and sorted.
+    for (std::size_t i = 0; i < res.pareto.size(); ++i) {
+        for (std::size_t j = 0; j < res.pareto.size(); ++j) {
+            if (i == j)
+                continue;
+            EXPECT_FALSE(res.pareto[i].cycles <= res.pareto[j].cycles &&
+                         res.pareto[i].costKey <=
+                             res.pareto[j].costKey &&
+                         (res.pareto[i].cycles < res.pareto[j].cycles ||
+                          res.pareto[i].costKey <
+                              res.pareto[j].costKey));
+        }
+        if (i > 0) {
+            EXPECT_LE(res.pareto[i - 1].cycles, res.pareto[i].cycles);
+        }
+    }
+}
+
+TEST(PortfolioObjectiveTest, AllCyclesRaceJsonIsUnchanged)
+{
+    // A race with no objective annotations must keep the exact legacy
+    // JSON shape: no "objective", no "cost", no "pareto" keys.
+    PortfolioConfig config = defaultPortfolio(qftBase());
+    config.workers = 1;
+    PortfolioMapper mapper(arch::lnn(4), config);
+    const PortfolioResult res = mapper.map(ir::qftSkeleton(4));
+    ASSERT_TRUE(res.success);
+    const std::string json = res.portfolioJson();
+    EXPECT_EQ(json.find("\"objective\""), std::string::npos);
+    EXPECT_EQ(json.find("\"pareto\""), std::string::npos);
+    EXPECT_TRUE(res.pareto.empty());
+}
+
+TEST(PortfolioObjectiveTest, MixedRaceJsonCarriesObjectiveAndFront)
+{
+    const FidelityRig rig;
+    PortfolioConfig config;
+    config.entries.push_back(rig.fidelityExact("fid-astar"));
+    config.entries.push_back(rig.cyclesHeuristic("cyc-heuristic"));
+    PortfolioMapper mapper(rig.graph, config);
+    const PortfolioResult res = mapper.map(rig.logical);
+    ASSERT_TRUE(res.success);
+    const std::string json = res.portfolioJson();
+    EXPECT_NE(json.find("\"objective\":\"fidelity\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"cost\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"pareto\":["), std::string::npos) << json;
+}
+
+TEST(PortfolioObjectiveTest, ForeignKeyNeverPrunesTheFidelityOptimum)
+{
+    // Publishing the EXACT optimal fidelity key as a foreign
+    // incumbent must not break the proof: strictly-greater pruning
+    // keeps equal-key nodes, so the search still solves and proves.
+    const FidelityRig rig;
+    core::MapperConfig cfg = qftBase();
+    cfg.costTable = rig.table.get();
+    const auto solo =
+        core::OptimalMapper(rig.graph, cfg).map(rig.logical);
+    ASSERT_TRUE(solo.success);
+    ASSERT_GE(solo.costKey, 0);
+
+    search::IncumbentChannel channel;
+    channel.offer(solo.costKey);
+    cfg.channel = &channel;
+    const auto res =
+        core::OptimalMapper(rig.graph, cfg).map(rig.logical);
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.status, search::SearchStatus::Solved);
+    EXPECT_EQ(res.costKey, solo.costKey);
+    EXPECT_FALSE(res.fromIncumbent);
+}
+
+TEST(PortfolioObjectiveTest, UnreachableForeignKeyIsNotInfeasible)
+{
+    // A key no schedule can reach (1) prunes the whole frontier; the
+    // mapper must report the race cancelled and fall back to its own
+    // incumbent instead of claiming the instance unsolvable.
+    const FidelityRig rig;
+    search::IncumbentChannel channel;
+    channel.offer(1);
+    core::MapperConfig cfg = qftBase();
+    cfg.costTable = rig.table.get();
+    cfg.channel = &channel;
+    const auto res =
+        core::OptimalMapper(rig.graph, cfg).map(rig.logical);
+    EXPECT_EQ(res.status, search::SearchStatus::Cancelled);
+    ASSERT_TRUE(res.success);
+    EXPECT_TRUE(res.fromIncumbent);
+    EXPECT_GT(res.costKey, 1);
+    EXPECT_TRUE(
+        sim::verifyMapping(rig.logical, res.mapped, rig.graph).ok);
+}
+
+} // namespace
+} // namespace toqm::parallel

@@ -1,0 +1,49 @@
+// libFuzzer harness for the calibration JSON loader.
+//
+// Feeds arbitrary bytes through objective::CalibrationData::parse and
+// expects it to either return a fully-validated record or throw a
+// typed CalibrationError -- never crash, leak, index out of bounds, or
+// loop forever.  Rejections are part of the contract (positioned
+// errors for malformed JSON and for semantically invalid records), so
+// exceptions are swallowed; the sanitizers do the actual checking.
+//
+// Build (clang only):
+//   cmake -B build -S . -DTOQM_BUILD_FUZZERS=ON
+//   cmake --build build --target toqm_fuzz_calibration
+// Run:
+//   ./build/tools/toqm_fuzz_calibration examples/calibration/ \
+//       -max_total_time=60 -max_len=65536
+//
+// Seeding with the shipped calibration files gives the fuzzer valid
+// records to mutate, which reaches the semantic validators (rate
+// ranges, edge indices, array lengths) rather than only the JSON
+// lexer.
+
+#include "objective/calibration.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size) {
+    const std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        const toqm::objective::CalibrationData cal =
+            toqm::objective::CalibrationData::parse(text);
+        // Exercise the resolved-lookup paths and the serializer on
+        // every record that survives validation; toJson output must
+        // itself be parseable (round-trip stability is unit-tested,
+        // here we only care that it does not crash).
+        if (cal.numQubits > 0) {
+            (void)cal.oneQubit(0);
+            (void)cal.twoQubit(0, cal.numQubits - 1);
+            (void)cal.swap(cal.numQubits - 1, 0);
+        }
+        (void)toqm::objective::CalibrationData::parse(cal.toJson());
+    } catch (const std::exception &) {
+        // Typed rejection: expected for invalid input.
+    }
+    return 0;
+}

@@ -28,6 +28,19 @@
  *                        (batch output to stdout is otherwise
  *                        concatenated with `// ====` separators)
  *     --latency L1,L2,LS 1q, 2q and swap cycles    (default: 1,2,6)
+ *     --objective NAME   cost the search minimises: cycles (default,
+ *                        the paper's time-optimal objective) |
+ *                        fidelity (encoded -ln success probability
+ *                        from calibration data) | pareto
+ *                        (lexicographic cycles-then-error-weight);
+ *                        sabre/zulehner support cycles only
+ *     --calibration FILE per-qubit / per-edge error rates as JSON
+ *                        (see examples/calibration/); fidelity and
+ *                        pareto runs without it synthesize a
+ *                        deterministic calibration for the device.
+ *                        With any objective it also annotates the
+ *                        stats line with the decoded cost and the
+ *                        noise-model success probability
  *     --search-initial   optimal mode: also search the layout
  *     --no-mixing        optimal mode: forbid concurrent GT+swap
  *     --all-optimal      optimal mode: report #optimal solutions
@@ -65,8 +78,11 @@
  * Exit codes:
  *   0  success (requested mapping delivered, or a --fallback
  *      delivery the caller opted into)
- *   1  generic error (bad input, internal failure)
- *   2  usage error
+ *   1  generic error (bad input, internal failure; this includes
+ *      malformed --calibration content, reported with a byte offset
+ *      or key path)
+ *   2  usage error (this includes an unknown --objective name and
+ *      the unsupported baseline+objective combinations)
  *   3  verification failure (degraded results are ALWAYS verified
  *      structurally, even without --verify)
  *   4  node budget exhausted before optimality was proven
@@ -108,6 +124,7 @@
 #include "baselines/zulehner.hpp"
 #include "heuristic/heuristic_mapper.hpp"
 #include "ir/schedule.hpp"
+#include "objective/objective.hpp"
 #include "obs/observer.hpp"
 #include "parallel/batch.hpp"
 #include "parallel/portfolio.hpp"
@@ -129,6 +146,8 @@ struct Options
 {
     std::string arch = "tokyo";
     std::string mapper = "heuristic";
+    std::string objective = "cycles";
+    std::string calibrationPath; // empty = synthesize when needed
     int lat1 = 1, lat2 = 2, lats = 6;
     bool searchInitial = false;
     bool noMixing = false;
@@ -171,6 +190,8 @@ usage(const char *argv0, int code)
     std::fprintf(stderr,
                  "usage: %s [--arch NAME] [--mapper optimal|heuristic"
                  "|sabre|zulehner|portfolio]\n"
+                 "       [--objective cycles|fidelity|pareto] "
+                 "[--calibration FILE]\n"
                  "       [--latency 1q,2q,swap] [--search-initial] "
                  "[--no-mixing]\n"
                  "       [--all-optimal] [--max-nodes N] [--stats] "
@@ -188,8 +209,10 @@ usage(const char *argv0, int code)
                  "\n"
                  "exit codes:\n"
                  "  0  success (or an opted-in --fallback delivery)\n"
-                 "  1  generic error\n"
-                 "  2  usage error\n"
+                 "  1  generic error (including malformed "
+                 "--calibration content)\n"
+                 "  2  usage error (including an unknown --objective "
+                 "name)\n"
                  "  3  verification failure (degraded results are "
                  "always verified)\n"
                  "  4  node budget exhausted (--max-nodes)\n"
@@ -247,6 +270,14 @@ parseArgs(int argc, char **argv)
             opt.arch = next();
         } else if (arg == "--mapper") {
             opt.mapper = next();
+        } else if (arg == "--objective") {
+            opt.objective = next();
+        } else if (arg.rfind("--objective=", 0) == 0) {
+            opt.objective = arg.substr(12);
+        } else if (arg == "--calibration") {
+            opt.calibrationPath = next();
+        } else if (arg.rfind("--calibration=", 0) == 0) {
+            opt.calibrationPath = arg.substr(14);
         } else if (arg == "--latency") {
             const std::string spec = next();
             if (std::sscanf(spec.c_str(), "%d,%d,%d", &opt.lat1,
@@ -355,6 +386,24 @@ parseArgs(int argc, char **argv)
         opt.layoutStrategy != "annealed") {
         std::fprintf(stderr, "unknown --layout strategy: %s\n",
                      opt.layoutStrategy.c_str());
+        usage(argv[0], 2);
+    }
+    objective::ObjectiveKind obj_kind;
+    if (!objective::objectiveKindFromString(opt.objective,
+                                            obj_kind)) {
+        std::fprintf(stderr, "unknown --objective: %s\n",
+                     opt.objective.c_str());
+        usage(argv[0], 2);
+    }
+    if ((opt.mapper == "sabre" || opt.mapper == "zulehner") &&
+        obj_kind != objective::ObjectiveKind::Cycles) {
+        // The baselines have no cost-table hook: they minimise swap
+        // count / cycles by construction and cannot honor another
+        // objective, so silently ignoring it would misreport results.
+        std::fprintf(stderr,
+                     "--objective %s is not supported by the %s "
+                     "baseline (cycles only)\n",
+                     opt.objective.c_str(), opt.mapper.c_str());
         usage(argv[0], 2);
     }
     return opt;
@@ -496,6 +545,31 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         const auto device = arch::byName(opt.arch);
         const ir::LatencyModel latency(opt.lat1, opt.lat2, opt.lats);
 
+        // --- objective --------------------------------------------
+        // Calibration data loads (exit 1 on malformed content via the
+        // enclosing catch) or synthesizes deterministically when a
+        // non-cycles objective runs without a file.  The cycles
+        // objective builds no table at all: every mapper runs its
+        // legacy scalar-cycle path, byte for byte.
+        objective::ObjectiveKind obj_kind =
+            objective::ObjectiveKind::Cycles;
+        objective::objectiveKindFromString(opt.objective, obj_kind);
+        std::optional<objective::CalibrationData> calibration;
+        if (!opt.calibrationPath.empty())
+            calibration =
+                objective::CalibrationData::load(opt.calibrationPath);
+        else if (obj_kind != objective::ObjectiveKind::Cycles)
+            calibration =
+                objective::CalibrationData::synthesize(device);
+        const objective::Objective objective_fn =
+            obj_kind == objective::ObjectiveKind::Fidelity
+                ? objective::Objective::fidelity(*calibration)
+            : obj_kind == objective::ObjectiveKind::Pareto
+                ? objective::Objective::pareto(*calibration)
+                : objective::Objective::cycles();
+        const std::unique_ptr<search::CostTable> cost_table =
+            objective_fn.makeTable(logical, device);
+
         // --- optional layout seed ----------------------------------
         std::optional<std::vector<int>> seed_layout;
         if (opt.layoutStrategy == "greedy")
@@ -511,6 +585,31 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         stats_ctx.latSwap = opt.lats;
         if (job.batchMode)
             stats_ctx.input = job.input;
+
+        // Annotate the stats line with the run's objective whenever
+        // one was asked for — a non-cycles objective OR an explicit
+        // calibration (which makes even a cycles run's fidelity
+        // meaningful).  Default runs leave every field unset and the
+        // line byte-identical.
+        const auto annotateObjective =
+            [&](std::int64_t cost_key,
+                const ir::Circuit &physical) {
+                if (!calibration.has_value())
+                    return;
+                stats_ctx.objectiveName = objective_fn.name();
+                if (cost_key >= 0) {
+                    stats_ctx.hasCost = true;
+                    stats_ctx.cost =
+                        objective_fn.decodeCost(cost_key);
+                }
+                if (physical.size() > 0) {
+                    stats_ctx.hasFidelity = true;
+                    stats_ctx.fidelity =
+                        objective::Objective::fidelity(*calibration)
+                            .successProbability(physical, latency,
+                                                logical.numQubits());
+                }
+            };
 
         ir::MappedCircuit mapped;
         // Exit code carried through the output path for degraded
@@ -529,6 +628,7 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
             config.findAllOptimal = opt.allOptimal;
             config.maxExpandedNodes = opt.maxNodes;
             config.guard = guard_cfg;
+            config.costTable = cost_table.get();
             core::OptimalMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
 
@@ -556,6 +656,7 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                     // deadline.
                     hcfg.guard = guard_cfg;
                     hcfg.guard.deadlineMs = 0;
+                    hcfg.costTable = cost_table.get();
                     fb = heuristic::HeuristicMapper(device, hcfg)
                              .map(logical, seed_layout);
                     steps.push_back(
@@ -580,6 +681,9 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                 stats_ctx.maxPoolBytes = guard_cfg.maxPoolBytes;
                 stats_ctx.hasIncumbent = res.fromIncumbent;
                 stats_ctx.degradationJson = degradation;
+                if (res.success)
+                    annotateObjective(res.costKey,
+                                      res.mapped.physical);
                 std::fputs(search::statsJsonLine(
                                res.stats, "optimal", res.status,
                                res.cycles,
@@ -652,6 +756,7 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
             heuristic::HeuristicConfig config;
             config.latency = latency;
             config.guard = guard_cfg;
+            config.costTable = cost_table.get();
             heuristic::HeuristicMapper mapper(device, config);
             const auto res = mapper.map(logical, seed_layout);
             std::string degradation;
@@ -668,6 +773,9 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                     res.success &&
                     res.status != search::SearchStatus::Solved;
                 stats_ctx.degradationJson = degradation;
+                if (res.success)
+                    annotateObjective(res.costKey,
+                                      res.mapped.physical);
                 std::fputs(search::statsJsonLine(
                                res.stats, "heuristic", res.status,
                                res.cycles,
@@ -706,12 +814,17 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
             if (opt.statsJson) {
                 // SABRE predates the search kernel: no node counts,
                 // but the line shape stays uniform for consumers.
+                // Its objective is always cycles (parseArgs rejects
+                // anything else), so the annotation is fidelity-only
+                // reporting under an explicit --calibration.
+                const int sabre_cycles =
+                    ir::scheduleAsap(mapped.physical, latency)
+                        .makespan;
+                annotateObjective(sabre_cycles, mapped.physical);
                 std::fputs(
                     search::statsJsonLine(
                         search::SearchStats{}, "sabre",
-                        search::SearchStatus::Solved,
-                        ir::scheduleAsap(mapped.physical, latency)
-                            .makespan,
+                        search::SearchStatus::Solved, sabre_cycles,
                         res.swapCount, stats_ctx)
                         .c_str(),
                     err);
@@ -751,12 +864,14 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                 stats_ctx.hasIncumbent =
                     res.status != search::SearchStatus::Solved;
                 stats_ctx.degradationJson = degradation;
+                const int zul_cycles =
+                    ir::scheduleAsap(mapped.physical, latency)
+                        .makespan;
+                annotateObjective(zul_cycles, mapped.physical);
                 std::fputs(
                     search::statsJsonLine(
                         res.stats, "zulehner", res.status,
-                        ir::scheduleAsap(mapped.physical, latency)
-                            .makespan,
-                        res.swapCount, stats_ctx)
+                        zul_cycles, res.swapCount, stats_ctx)
                         .c_str(),
                     err);
             }
@@ -776,6 +891,17 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
             parallel::PortfolioConfig pcfg =
                 parallel::defaultPortfolio(base, opt.portfolioSize);
             pcfg.guard = guard_cfg;
+            if (obj_kind != objective::ObjectiveKind::Cycles) {
+                // Homogeneous objective race: every entry minimises
+                // the same table and shares the incumbent channel.
+                // (A cycles run leaves the entries untouched so the
+                // race and its JSON stay byte-identical.)
+                for (parallel::PortfolioEntry &entry : pcfg.entries) {
+                    entry.costTable = cost_table.get();
+                    entry.objectiveId = objective_fn.objectiveId();
+                    entry.objectiveName = objective_fn.name();
+                }
+            }
             parallel::PortfolioMapper mapper(device, pcfg);
             const auto res = mapper.map(logical, seed_layout);
             if (opt.statsJson) {
@@ -789,6 +915,9 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                 const std::string portfolio_json =
                     res.portfolioJson();
                 stats_ctx.portfolioJson = portfolio_json;
+                if (res.success)
+                    annotateObjective(res.costKey,
+                                      res.mapped.physical);
                 std::fputs(search::statsJsonLine(
                                res.stats, "portfolio", res.status,
                                res.cycles,
@@ -835,6 +964,16 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
             std::fprintf(err, "unknown mapper: %s\n",
                          opt.mapper.c_str());
             return 2;
+        }
+
+        if (opt.stats && calibration.has_value()) {
+            std::fprintf(
+                err,
+                "objective %s: success probability %.6g\n",
+                objective_fn.name(),
+                objective::Objective::fidelity(*calibration)
+                    .successProbability(mapped.physical, latency,
+                                        logical.numQubits()));
         }
 
         if (observer.metricsEnabled()) {

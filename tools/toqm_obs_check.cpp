@@ -246,6 +246,33 @@ checkStatsLine(const std::string &path)
         fail(path + ": stats line missing arch/latency/detail");
         return;
     }
+    // Objective annotations inside the detail object are additive and
+    // optional (only emitted for noise-aware runs), but when present
+    // they must be typed: "objective" is a string naming the cost
+    // function, "cost" is its decoded numeric value, and "fidelity"
+    // (noise-model success probability) is a number in [0, 1].
+    const ValuePtr detail = root->get("detail");
+    const ValuePtr objective =
+        detail && detail->isObject() ? detail->get("objective") : nullptr;
+    if (objective) {
+        if (!objective->isString()) {
+            fail(path + ": detail.objective is not a string");
+            return;
+        }
+        const ValuePtr cost = detail->get("cost");
+        if (!cost || !cost->isNumber()) {
+            fail(path + ": detail.objective without numeric "
+                        "detail.cost");
+            return;
+        }
+        const ValuePtr fidelity = detail->get("fidelity");
+        if (fidelity &&
+            (!fidelity->isNumber() || fidelity->asNumber() < 0.0 ||
+             fidelity->asNumber() > 1.0)) {
+            fail(path + ": detail.fidelity outside [0, 1]");
+            return;
+        }
+    }
     // The degradation block is optional (only emitted when the driver
     // walked a fallback chain), but when present it must be
     // well-formed: requested/delivered strings plus a steps array of
@@ -275,8 +302,9 @@ checkStatsLine(const std::string &path)
             }
         }
     }
-    std::printf("ok: %s (stats line schemaVersion %d%s)\n", path.c_str(),
-                static_cast<int>(version->asNumber()),
+    std::printf("ok: %s (stats line schemaVersion %d%s%s)\n",
+                path.c_str(), static_cast<int>(version->asNumber()),
+                objective ? ", objective annotation valid" : "",
                 degradation ? ", degradation block valid" : "");
 }
 
