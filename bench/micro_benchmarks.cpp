@@ -14,6 +14,7 @@
 
 #include "arch/architectures.hpp"
 #include "baselines/sabre.hpp"
+#include "fault/fault.hpp"
 #include "heuristic/heuristic_mapper.hpp"
 #include "ir/generators.hpp"
 #include "ir/mapped_circuit.hpp"
@@ -286,6 +287,27 @@ BM_GuardPollArmed(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GuardPollArmed);
+
+/**
+ * TOQM_FAULT_POINT on a hot path.  In a default build the hook is
+ * `((void)0)` and this loop must be byte-identical to Baseline; in a
+ * fault-injection build with no plan armed (the shipping default for
+ * that configuration too) the hook is one relaxed atomic load and a
+ * not-taken branch, which must stay within noise of Baseline — that
+ * is the "disarmed hooks are free" contract DESIGN.md §4.6 claims.
+ */
+void
+BM_FaultPointDisarmed(benchmark::State &state)
+{
+    std::uint64_t work = 0;
+    for (auto _ : state) {
+        TOQM_FAULT_POINT(PoolAlloc);
+        ++work;
+        benchmark::DoNotOptimize(work);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FaultPointDisarmed);
 
 void
 BM_OptimalMapperQft5Lnn(benchmark::State &state)

@@ -21,6 +21,12 @@ Two kinds of evidence, two kinds of check:
   deterministic counter to pin, so it only gets a GENEROUS absolute
   ceiling (default 60000 ns ~= 10x the bench container's ~6 us) that
   catches order-of-magnitude accidents, not percent-level noise.
+  When BM_FaultPointDisarmed and BM_GuardPollBaseline are both in the
+  snapshot, the disarmed fault hook is additionally gated RELATIVE to
+  the hook-free baseline loop (default 10x, with a 5 ns absolute
+  floor below which sub-ns timer noise is ignored): on a default
+  build the hook compiles to nothing, so any measurable gap means the
+  "disarmed hooks are free" contract broke.
 
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO.
 """
@@ -81,21 +87,28 @@ def check_counters(baseline_path, current_path, tolerance):
     return failures
 
 
-def check_micro(micro_path, ceiling_ns):
-    doc = load(micro_path)
-    failures = 0
-    seen = False
+def micro_times_ns(doc, micro_path):
+    times = {}
     for bench in doc.get("benchmarks", []):
-        if bench.get("name") != "BM_NodeExpansion":
-            continue
-        seen = True
         time_ns = float(bench["real_time"])
         unit = bench.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
         if scale is None:
-            print(f"error: unknown time unit '{unit}'", file=sys.stderr)
+            print(f"error: {micro_path}: unknown time unit '{unit}'",
+                  file=sys.stderr)
             sys.exit(2)
-        time_ns *= scale
+        times[bench.get("name")] = time_ns * scale
+    return times
+
+
+def check_micro(micro_path, ceiling_ns, hook_ratio, hook_floor_ns):
+    times = micro_times_ns(load(micro_path), micro_path)
+    failures = 0
+    if "BM_NodeExpansion" not in times:
+        print(f"FAIL: BM_NodeExpansion missing from {micro_path}")
+        failures += 1
+    else:
+        time_ns = times["BM_NodeExpansion"]
         if time_ns > ceiling_ns:
             print(f"FAIL BM_NodeExpansion: {time_ns:.0f} ns > "
                   f"ceiling {ceiling_ns:.0f} ns")
@@ -103,8 +116,22 @@ def check_micro(micro_path, ceiling_ns):
         else:
             print(f"ok BM_NodeExpansion: {time_ns:.0f} ns "
                   f"(ceiling {ceiling_ns:.0f} ns)")
-    if not seen:
-        print(f"FAIL: BM_NodeExpansion missing from {micro_path}")
+    hook = times.get("BM_FaultPointDisarmed")
+    base = times.get("BM_GuardPollBaseline")
+    if hook is not None and base is not None:
+        limit = max(hook_floor_ns, hook_ratio * base)
+        if hook > limit:
+            print(f"FAIL BM_FaultPointDisarmed: {hook:.2f} ns > "
+                  f"{limit:.2f} ns (baseline loop {base:.2f} ns) — "
+                  f"disarmed fault hooks are no longer free")
+            failures += 1
+        else:
+            print(f"ok BM_FaultPointDisarmed: {hook:.2f} ns vs "
+                  f"baseline {base:.2f} ns (limit {limit:.2f} ns)")
+    elif hook is not None or base is not None:
+        print("FAIL: need BOTH BM_FaultPointDisarmed and "
+              f"BM_GuardPollBaseline in {micro_path} to gate the "
+              "disarmed-hook overhead")
         failures += 1
     return failures
 
@@ -127,13 +154,25 @@ def main():
                         default=60000.0,
                         help="absolute BM_NodeExpansion ceiling "
                              "(default 60000 ns)")
+    parser.add_argument("--fault-hook-ratio", type=float,
+                        default=10.0,
+                        help="allowed BM_FaultPointDisarmed time as a "
+                             "multiple of BM_GuardPollBaseline "
+                             "(default 10x)")
+    parser.add_argument("--fault-hook-floor-ns", type=float,
+                        default=5.0,
+                        help="absolute floor below which the "
+                             "disarmed-hook gate ignores timer noise "
+                             "(default 5 ns)")
     args = parser.parse_args()
 
     failures = check_counters(args.baseline, args.current,
                               args.tolerance)
     if args.micro:
         failures += check_micro(args.micro,
-                                args.node_expansion_ceiling_ns)
+                                args.node_expansion_ceiling_ns,
+                                args.fault_hook_ratio,
+                                args.fault_hook_floor_ns)
     if failures:
         print(f"{failures} bench regression(s) beyond tolerance")
         return 1

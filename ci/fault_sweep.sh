@@ -1,0 +1,170 @@
+#!/usr/bin/env bash
+# Deterministic fault sweep: inject a fault at every registered site,
+# one at a time, through the REAL toqm_map surface, and assert the
+# documented exit code and containment behavior for each.  Run under
+# ASan and TSan in CI (the fault-sweep job) so an injected unwind that
+# leaks or races fails loudly.
+#
+# Usage: ci/fault_sweep.sh BUILD_DIR
+#   BUILD_DIR must be configured with -DTOQM_ENABLE_FAULT_INJECTION=ON
+#   and have the toqm_map target built.  Run from the repo root.
+#
+# The sweep also proves the crash-safe journal end to end: a batch is
+# SIGKILLed mid-flight and re-run with the same --journal; the resumed
+# outputs must be byte-identical to an uninterrupted run.
+set -u
+
+BUILD=${1:?usage: ci/fault_sweep.sh BUILD_DIR}
+MAP=$BUILD/tools/toqm_map
+B=benchmarks/qasm
+WORK=$BUILD/fault-sweep
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+fail=0
+covered=""
+
+# run_case NAME SITE WANT_EXIT CMD...
+run_case() {
+    local name=$1 site=$2 want=$3
+    shift 3
+    "$@" > "$WORK/$name.out" 2> "$WORK/$name.err"
+    local got=$?
+    covered="$covered $site"
+    if [ "$got" -ne "$want" ]; then
+        echo "FAIL $name: want exit $want, got $got"
+        sed 's/^/    /' "$WORK/$name.err" | head -5
+        fail=1
+    else
+        echo "ok   $name (exit $got)"
+    fi
+}
+
+# ---- site-by-site exit-code contract ---------------------------------
+# Single-run sites are contained at the job boundary: an injected
+# transient/permanent fault is exit 1, an injected allocation failure
+# is exit 7 (see the exit-code table in toqm_map --help).
+run_case pool_alloc_bad_alloc pool_alloc 7 \
+    "$MAP" --fault-plan pool_alloc@1:bad_alloc --arch tokyo \
+    --mapper optimal --search-initial --max-nodes 50000 "$B/qft8.qasm"
+run_case pool_alloc_io_error pool_alloc 1 \
+    "$MAP" --fault-plan pool_alloc@1:io_error --arch tokyo \
+    --mapper optimal --search-initial --max-nodes 50000 "$B/qft8.qasm"
+run_case guard_poll_error guard_poll 1 \
+    "$MAP" --fault-plan guard_poll@1:error --arch tokyo \
+    --mapper optimal --search-initial --max-nodes 50000 "$B/qft8.qasm"
+run_case guard_poll_bad_alloc guard_poll 7 \
+    "$MAP" --fault-plan guard_poll@1:bad_alloc --arch tokyo \
+    --mapper optimal --search-initial --max-nodes 50000 "$B/qft8.qasm"
+run_case qasm_io_io_error qasm_io 1 \
+    "$MAP" --fault-plan qasm_io@1:io_error --arch tokyo \
+    --mapper heuristic "$B/qft8.qasm"
+run_case qasm_io_bad_alloc qasm_io 7 \
+    "$MAP" --fault-plan qasm_io@1:bad_alloc --arch tokyo \
+    --mapper heuristic "$B/qft8.qasm"
+run_case calibration_io_io_error calibration_io 1 \
+    "$MAP" --fault-plan calibration_io@1:io_error --arch tokyo \
+    --mapper heuristic --objective fidelity \
+    --calibration examples/calibration/tokyo.json "$B/qft8.qasm"
+run_case calibration_io_bad_alloc calibration_io 7 \
+    "$MAP" --fault-plan calibration_io@1:bad_alloc --arch tokyo \
+    --mapper heuristic --objective fidelity \
+    --calibration examples/calibration/tokyo.json "$B/qft8.qasm"
+printf '%s\n' "$B/qft8.qasm" > "$WORK/manifest.txt"
+run_case manifest_io_io_error manifest_io 1 \
+    "$MAP" --fault-plan manifest_io@1:io_error --arch tokyo \
+    --mapper heuristic --jobs 2 --manifest "$WORK/manifest.txt"
+run_case manifest_io_bad_alloc manifest_io 7 \
+    "$MAP" --fault-plan manifest_io@1:bad_alloc --arch tokyo \
+    --mapper heuristic --jobs 2 --manifest "$WORK/manifest.txt"
+
+# Self-healing sites: the fault is contained BELOW the job boundary,
+# so the run still succeeds.
+#  - worker_start: the lost job is resubmitted (runBatch sentinel).
+#  - incumbent_publish / portfolio_launch: the faulted entry loses
+#    the race; surviving entries deliver.
+run_case worker_start_error worker_start 0 \
+    "$MAP" --fault-plan worker_start@1:error --arch tokyo \
+    --mapper heuristic --jobs 2 "$B/bell.qasm" "$B/qft4.qasm"
+if [ "$(grep -c '====' "$WORK/worker_start_error.out")" -ne 2 ]; then
+    echo "FAIL worker_start_error: a batch output went missing"
+    fail=1
+fi
+run_case incumbent_publish_error incumbent_publish 0 \
+    "$MAP" --fault-plan incumbent_publish@1:error --arch ibmqx2 \
+    --mapper portfolio --search-initial "$B/qft4.qasm"
+run_case portfolio_launch_error portfolio_launch 0 \
+    "$MAP" --fault-plan portfolio_launch@1:error --arch ibmqx2 \
+    --mapper portfolio --search-initial "$B/qft4.qasm"
+
+# Recovery: a transient fault plus --retries converges to success and
+# records the attempt history on the stats line.
+run_case retry_recovers qasm_io 0 \
+    "$MAP" --fault-plan qasm_io@1:io_error --retries 1 --arch tokyo \
+    --mapper heuristic --stats-json "$B/qft8.qasm"
+if ! grep -q '"fault":{"attempts":2' "$WORK/retry_recovers.err"; then
+    echo "FAIL retry_recovers: no attempt history on the stats line"
+    fail=1
+fi
+# Seeded probabilistic mode is reproducible: same plan, same outcome.
+run_case prob_seeded_a qasm_io 1 \
+    "$MAP" --fault-plan qasm_io@p1.0/42:io_error --arch tokyo \
+    --mapper heuristic "$B/qft8.qasm"
+run_case prob_seeded_b qasm_io 1 \
+    "$MAP" --fault-plan qasm_io@p1.0/42:io_error --arch tokyo \
+    --mapper heuristic "$B/qft8.qasm"
+
+# ---- every registered site was swept ---------------------------------
+for site in $("$MAP" --list-fault-sites); do
+    case " $covered " in
+        *" $site "*) ;;
+        *)
+            echo "FAIL sweep: registered site '$site' was never injected"
+            fail=1
+            ;;
+    esac
+done
+
+# ---- SIGKILL mid-batch + journal resume ------------------------------
+# jobs=1 runs bell first (fast, journaled) then qft8 (slow); the kill
+# lands while qft8 is in flight.  The resumed run must skip bell and
+# redo qft8, converging to outputs byte-identical to an uninterrupted
+# reference run.  (If the kill ever races past batch completion the
+# resume skips both jobs — still byte-identical, still a pass.)
+J=$WORK/journal
+rm -rf "$J"
+mkdir -p "$J"
+"$MAP" --arch tokyo --mapper optimal --search-initial \
+    --max-nodes 20000 --jobs 1 --out-dir "$J/ref" \
+    "$B/bell.qasm" "$B/qft8.qasm" > /dev/null 2>&1
+# (Subshell: keeps bash's asynchronous "Killed" job notice out of
+# the sweep log.)
+(
+    "$MAP" --arch tokyo --mapper optimal --search-initial \
+        --max-nodes 20000 --jobs 1 --out-dir "$J/out" \
+        --journal "$J/j.jsonl" \
+        "$B/bell.qasm" "$B/qft8.qasm" > /dev/null 2>&1 &
+    pid=$!
+    for _ in $(seq 1 600); do
+        [ -s "$J/j.jsonl" ] && break
+        kill -0 "$pid" 2> /dev/null || break
+        sleep 0.05
+    done
+    kill -9 "$pid" 2> /dev/null
+    wait "$pid"
+) 2> /dev/null
+"$MAP" --arch tokyo --mapper optimal --search-initial \
+    --max-nodes 20000 --jobs 1 --out-dir "$J/out" \
+    --journal "$J/j.jsonl" \
+    "$B/bell.qasm" "$B/qft8.qasm" > /dev/null 2> "$J/resume.err"
+for f in bell.qasm qft8.qasm; do
+    if ! cmp -s "$J/out/$f" "$J/ref/$f"; then
+        echo "FAIL journal resume: $f differs from the uninterrupted run"
+        fail=1
+    fi
+done
+if [ "$fail" -eq 0 ]; then
+    echo "ok   journal_resume_after_sigkill (outputs byte-identical)"
+fi
+
+exit "$fail"

@@ -1,0 +1,225 @@
+#include "fault.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace toqm::fault {
+
+namespace {
+
+constexpr const char *kSiteNames[kNumSites] = {
+    "pool_alloc",       "guard_poll",   "qasm_io",
+    "calibration_io",   "manifest_io",  "worker_start",
+    "incumbent_publish", "portfolio_launch",
+};
+
+/** splitmix64: the tree's standard seeded stream (same generator the
+ *  calibration synthesizer uses), here advanced through an atomic so
+ *  concurrent hits draw distinct values. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+siteName(Site site)
+{
+    const int i = static_cast<int>(site);
+    if (i < 0 || i >= kNumSites)
+        return "unknown";
+    return kSiteNames[i];
+}
+
+const std::vector<std::string> &
+knownSites()
+{
+    static const std::vector<std::string> names(kSiteNames,
+                                                kSiteNames +
+                                                    kNumSites);
+    return names;
+}
+
+bool
+siteFromString(const std::string &name, Site &out)
+{
+    for (int i = 0; i < kNumSites; ++i) {
+        if (name == kSiteNames[i]) {
+            out = static_cast<Site>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    std::size_t pos = 0;
+    const std::size_t n = spec.size();
+    if (n == 0)
+        throw FaultPlanError(0, "empty spec");
+    while (pos < n) {
+        const std::size_t entry_start = pos;
+        std::size_t entry_end = spec.find(',', pos);
+        if (entry_end == std::string::npos)
+            entry_end = n;
+        const std::string entry =
+            spec.substr(entry_start, entry_end - entry_start);
+
+        const std::size_t at = entry.find('@');
+        if (at == std::string::npos)
+            throw FaultPlanError(entry_start,
+                                 "expected site@trigger:action in '" +
+                                     entry + "'");
+        const std::size_t colon = entry.find(':', at + 1);
+        if (colon == std::string::npos)
+            throw FaultPlanError(entry_start + at,
+                                 "missing ':action' in '" + entry +
+                                     "'");
+
+        FaultSpec fs;
+        const std::string site_name = entry.substr(0, at);
+        if (!siteFromString(site_name, fs.site))
+            throw FaultPlanError(entry_start,
+                                 "unknown site '" + site_name + "'");
+
+        const std::string trigger =
+            entry.substr(at + 1, colon - at - 1);
+        if (trigger.empty())
+            throw FaultPlanError(entry_start + at + 1,
+                                 "empty trigger");
+        if (trigger[0] == 'p') {
+            const std::size_t slash = trigger.find('/');
+            if (slash == std::string::npos)
+                throw FaultPlanError(
+                    entry_start + at + 1,
+                    "probabilistic trigger needs 'pPROB/SEED'");
+            char *end = nullptr;
+            const std::string prob_str =
+                trigger.substr(1, slash - 1);
+            fs.probability =
+                std::strtod(prob_str.c_str(), &end);
+            if (end == prob_str.c_str() || *end != '\0' ||
+                fs.probability <= 0.0 || fs.probability > 1.0)
+                throw FaultPlanError(entry_start + at + 2,
+                                     "probability must be in (0,1]");
+            const std::string seed_str = trigger.substr(slash + 1);
+            fs.seed = std::strtoull(seed_str.c_str(), &end, 10);
+            if (seed_str.empty() || *end != '\0')
+                throw FaultPlanError(entry_start + at + 1 + slash + 1,
+                                     "malformed seed");
+            fs.nthHit = 0;
+        } else {
+            char *end = nullptr;
+            fs.nthHit = std::strtoull(trigger.c_str(), &end, 10);
+            if (end == trigger.c_str() || *end != '\0' ||
+                fs.nthHit == 0)
+                throw FaultPlanError(
+                    entry_start + at + 1,
+                    "trigger must be a positive hit count or "
+                    "'pPROB/SEED'");
+        }
+
+        const std::string action = entry.substr(colon + 1);
+        if (action == "bad_alloc")
+            fs.action = Action::BadAlloc;
+        else if (action == "io_error")
+            fs.action = Action::IoError;
+        else if (action == "error")
+            fs.action = Action::Error;
+        else
+            throw FaultPlanError(entry_start + colon + 1,
+                                 "unknown action '" + action + "'");
+
+        plan._specs.push_back(fs);
+        pos = entry_end + (entry_end < n ? 1 : 0);
+        if (entry_end < n && entry_end + 1 == n)
+            throw FaultPlanError(n, "trailing comma");
+    }
+    return plan;
+}
+
+Injector &
+Injector::global()
+{
+    static Injector instance;
+    return instance;
+}
+
+void
+Injector::arm(const FaultPlan &plan)
+{
+    _armed.store(false, std::memory_order_relaxed);
+    _specs = plan.specs();
+    _rng.clear();
+    _rng.reserve(_specs.size());
+    for (const FaultSpec &fs : _specs) {
+        _rng.push_back(
+            std::make_unique<std::atomic<std::uint64_t>>(fs.seed));
+    }
+    for (auto &h : _hits)
+        h.store(0, std::memory_order_relaxed);
+    if (!_specs.empty())
+        _armed.store(true, std::memory_order_relaxed);
+}
+
+void
+Injector::disarm()
+{
+    _armed.store(false, std::memory_order_relaxed);
+    _specs.clear();
+    _rng.clear();
+}
+
+std::uint64_t
+Injector::hits(Site site) const
+{
+    return _hits[static_cast<int>(site)].load(
+        std::memory_order_relaxed);
+}
+
+void
+Injector::maybeInject(Site site)
+{
+    const std::uint64_t hit =
+        _hits[static_cast<int>(site)].fetch_add(
+            1, std::memory_order_relaxed) +
+        1;
+    for (std::size_t i = 0; i < _specs.size(); ++i) {
+        const FaultSpec &fs = _specs[i];
+        if (fs.site != site)
+            continue;
+        bool fire = false;
+        if (fs.nthHit != 0) {
+            fire = hit == fs.nthHit;
+        } else {
+            // Probabilistic mode: advance the per-entry seeded stream
+            // one step per hit; the draw maps to [0,1).
+            const std::uint64_t state = _rng[i]->fetch_add(
+                1, std::memory_order_relaxed);
+            const std::uint64_t draw = splitmix64(state);
+            const double u =
+                static_cast<double>(draw >> 11) * 0x1.0p-53;
+            fire = u < fs.probability;
+        }
+        if (!fire)
+            continue;
+        switch (fs.action) {
+          case Action::BadAlloc:
+            throw std::bad_alloc();
+          case Action::IoError:
+            throw InjectedFault(site, /*transient=*/true);
+          case Action::Error:
+            throw InjectedFault(site, /*transient=*/false);
+        }
+    }
+}
+
+} // namespace toqm::fault

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Deterministic fault injection for the mapping stack.
+ *
+ * A production mapping service (ROADMAP: toqm_serve) must survive
+ * allocation failure, IO errors, worker death and mid-flight
+ * cancellation without leaking, deadlocking or emitting an unverified
+ * circuit.  Proving that needs a way to MAKE those failures happen,
+ * deterministically, at the exact seams where they occur in the wild.
+ *
+ * This library provides:
+ *
+ *  - `Site`: the registry of fault points threaded through the tree
+ *    (NodePool allocation, guard probes, QASM/calibration/manifest
+ *    IO, ThreadPool worker start, IncumbentChannel publish, portfolio
+ *    entry launch);
+ *  - `FaultPlan`: a parsed `--fault-plan` / `TOQM_FAULT` spec — a
+ *    comma-separated list of `site@N:action` entries (fire on the
+ *    N-th hit of the site, 1-based) or `site@pP/SEED:action` entries
+ *    (fire each hit with probability P under a splitmix64 stream
+ *    seeded with SEED — seeded, so a failing sweep reproduces);
+ *  - the process-global `Injector` the `TOQM_FAULT_POINT(site)` hook
+ *    macro consults.
+ *
+ * Actions model the failure classes the recovery layer distinguishes:
+ *   bad_alloc  -> throws std::bad_alloc        (memory exhaustion)
+ *   io_error   -> throws InjectedFault(transient=true)
+ *   error      -> throws InjectedFault(transient=false)
+ *
+ * The hook macro compiles to `((void)0)` unless the tree is built
+ * with -DTOQM_ENABLE_FAULT_INJECTION (CMake option
+ * TOQM_ENABLE_FAULT_INJECTION=ON), so default builds carry zero
+ * instructions at the fault points and stay byte-identical.  With
+ * injection compiled in but no plan armed, each hook costs one
+ * relaxed atomic load and a branch (benchmarked in bench/).
+ */
+
+#ifndef TOQM_FAULT_FAULT_HPP
+#define TOQM_FAULT_FAULT_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace toqm::fault {
+
+/** Registered fault points.  Order is the registry order reported by
+ *  `knownSites()` and `toqm_map --list-fault-sites`. */
+enum class Site : int {
+    PoolAlloc = 0,    ///< NodePool::allocate (search node memory)
+    GuardPoll,        ///< ResourceGuard::probe (cold path)
+    QasmIo,           ///< qasm::importFile / importString
+    CalibrationIo,    ///< objective::CalibrationData::load
+    ManifestIo,       ///< parallel::parseManifest
+    WorkerStart,      ///< ThreadPool worker picking up a task
+    IncumbentPublish, ///< IncumbentChannel::offer
+    PortfolioLaunch,  ///< portfolio entry launch (runEntry)
+};
+
+inline constexpr int kNumSites = 8;
+
+/** Spec/report name of @p site (e.g. "pool_alloc"). */
+const char *siteName(Site site);
+
+/** All registered site names, in registry order. */
+const std::vector<std::string> &knownSites();
+
+/** Parse a site name; returns false for unknown names. */
+bool siteFromString(const std::string &name, Site &out);
+
+/**
+ * The exception an armed `io_error` / `error` action throws.
+ * `transient()` separates the failure classes the retry layer
+ * distinguishes: transient faults (IO hiccups) are retried, permanent
+ * ones are not.
+ */
+class InjectedFault : public std::runtime_error
+{
+  public:
+    InjectedFault(Site site, bool transient)
+        : std::runtime_error(std::string("injected fault at ") +
+                             siteName(site) +
+                             (transient ? " (transient)" : "")),
+          _site(site), _transient(transient)
+    {}
+
+    Site site() const { return _site; }
+
+    bool transient() const { return _transient; }
+
+  private:
+    Site _site;
+    bool _transient;
+};
+
+/** What an armed entry does when it fires. */
+enum class Action {
+    BadAlloc, ///< throw std::bad_alloc
+    IoError,  ///< throw InjectedFault(transient=true)
+    Error,    ///< throw InjectedFault(transient=false)
+};
+
+/** One parsed `site@trigger:action` entry. */
+struct FaultSpec
+{
+    Site site = Site::PoolAlloc;
+    Action action = Action::Error;
+    /** Deterministic mode: fire on exactly the nth hit (1-based).
+     *  0 = probabilistic mode (see below). */
+    std::uint64_t nthHit = 0;
+    /** Probabilistic mode: fire each hit with this probability. */
+    double probability = 0.0;
+    /** Seed of the per-entry splitmix64 stream. */
+    std::uint64_t seed = 0;
+};
+
+/** Error thrown by FaultPlan::parse, positioned by byte offset into
+ *  the spec string. */
+class FaultPlanError : public std::runtime_error
+{
+  public:
+    FaultPlanError(std::size_t offset, const std::string &message)
+        : std::runtime_error("fault-plan: offset " +
+                             std::to_string(offset) + ": " + message),
+          _offset(offset)
+    {}
+
+    std::size_t offset() const { return _offset; }
+
+  private:
+    std::size_t _offset;
+};
+
+/**
+ * A parsed fault plan.
+ *
+ * Grammar (whitespace not allowed):
+ *   plan    := entry (',' entry)*
+ *   entry   := site '@' trigger ':' action
+ *   trigger := N            -- fire on the N-th hit (1-based)
+ *            | 'p' P '/' S  -- fire each hit with probability P
+ *                              (0 < P <= 1), seeded with S
+ *   site    := pool_alloc | guard_poll | qasm_io | calibration_io |
+ *              manifest_io | worker_start | incumbent_publish |
+ *              portfolio_launch
+ *   action  := bad_alloc | io_error | error
+ */
+class FaultPlan
+{
+  public:
+    /** Parse @p spec; throws FaultPlanError on malformed input. */
+    static FaultPlan parse(const std::string &spec);
+
+    const std::vector<FaultSpec> &specs() const { return _specs; }
+
+    bool empty() const { return _specs.empty(); }
+
+  private:
+    std::vector<FaultSpec> _specs;
+};
+
+/**
+ * The process-global injector `TOQM_FAULT_POINT` consults.  Disarmed
+ * (the default), `maybeInject` is one relaxed load and a not-taken
+ * branch.  Arming swaps in a plan; hit counters restart from zero.
+ *
+ * Thread safety: `maybeInject` may be called from any thread
+ * (per-site hit counters are atomic; the probabilistic stream state
+ * is atomic too, so concurrent hits draw distinct values).  `arm` /
+ * `disarm` must not race with in-flight hooks — the CLI arms once
+ * before any work starts.
+ */
+class Injector
+{
+  public:
+    static Injector &global();
+
+    /** Install @p plan and start counting hits from zero. */
+    void arm(const FaultPlan &plan);
+
+    /** Remove the plan (tests); hooks go back to the fast path. */
+    void disarm();
+
+    bool armed() const
+    {
+        return _armed.load(std::memory_order_relaxed);
+    }
+
+    /** Hits recorded at @p site since the last arm(). */
+    std::uint64_t hits(Site site) const;
+
+    /** The hook body: count the hit and fire any matching entry. */
+    void maybeInject(Site site);
+
+  private:
+    std::atomic<bool> _armed{false};
+    std::vector<FaultSpec> _specs;
+    /** Per-entry probabilistic stream cursors (parallel to _specs;
+     *  heap-allocated because atomics are pinned in place). */
+    std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> _rng;
+    std::atomic<std::uint64_t> _hits[kNumSites] = {};
+};
+
+/** Hook entry point (kept out-of-line so the macro stays tiny). */
+inline void
+faultPoint(Site site)
+{
+    Injector &inj = Injector::global();
+    if (inj.armed())
+        inj.maybeInject(site);
+}
+
+} // namespace toqm::fault
+
+/**
+ * The fault hook.  Compiled out entirely (zero instructions, zero
+ * includes needed at call sites beyond this header) unless the tree
+ * is configured with TOQM_ENABLE_FAULT_INJECTION=ON.
+ */
+#if TOQM_ENABLE_FAULT_INJECTION
+#define TOQM_FAULT_POINT(site) \
+    ::toqm::fault::faultPoint(::toqm::fault::Site::site)
+#else
+#define TOQM_FAULT_POINT(site) ((void)0)
+#endif
+
+#endif // TOQM_FAULT_FAULT_HPP

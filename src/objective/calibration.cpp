@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "obs/json.hpp"
 
 namespace toqm::objective {
@@ -220,6 +221,9 @@ CalibrationData::parse(const std::string &text)
 CalibrationData
 CalibrationData::load(const std::string &path)
 {
+    // Fault site: calibration files come from external telemetry and
+    // are the most likely IO to go stale or unreadable in service.
+    TOQM_FAULT_POINT(CalibrationIo);
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fail("cannot open '" + path + "'");

@@ -29,16 +29,41 @@ namespace toqm::parallel {
  * Run every job on @p pool and wait; `codes[i]` is job i's return
  * value regardless of completion order.  Jobs must be independent
  * (they run concurrently) and must not throw.
+ *
+ * A worker can die at the task boundary BEFORE the job body runs (a
+ * worker-start fault; the pool contains the exception and keeps the
+ * thread alive).  Such a job has done no work and touched no state,
+ * so it is safely resubmitted; a job that still never ran after the
+ * bounded retries reports exit 1 rather than a silent success.
  */
 inline std::vector<int>
 runBatch(ThreadPool &pool,
          const std::vector<std::function<int()>> &jobs)
 {
-    std::vector<int> codes(jobs.size(), 0);
+    // Sentinel: distinguishes "job never ran" (worker died at the
+    // task boundary) from every real exit code, which is >= 0.
+    constexpr int kNeverRan = -1;
+    std::vector<int> codes(jobs.size(), kNeverRan);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         pool.submit([&jobs, &codes, i] { codes[i] = jobs[i](); });
     }
     pool.wait();
+    for (int round = 0; round < 2; ++round) {
+        bool resubmitted = false;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            if (codes[i] != kNeverRan)
+                continue;
+            pool.submit([&jobs, &codes, i] { codes[i] = jobs[i](); });
+            resubmitted = true;
+        }
+        if (!resubmitted)
+            break;
+        pool.wait();
+    }
+    for (int &code : codes) {
+        if (code == kNeverRan)
+            code = 1;
+    }
     return codes;
 }
 

@@ -1,0 +1,212 @@
+#include "journal.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "obs/json.hpp"
+
+namespace toqm::parallel {
+
+namespace {
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+}
+
+std::string
+hexHash(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+/** Parse one journal line; returns false when it is not a valid
+ *  record (the torn-tail case the caller may tolerate). */
+bool
+parseRecord(const std::string &line, JournalRecord &rec)
+{
+    try {
+        const obs::json::ValuePtr root = obs::json::parse(line);
+        if (!root || !root->isObject())
+            return false;
+        const obs::json::ValuePtr version = root->get("journal");
+        if (!version || !version->isNumber() ||
+            version->asNumber() != 1.0)
+            return false;
+        const obs::json::ValuePtr input = root->get("input");
+        const obs::json::ValuePtr dest = root->get("dest");
+        const obs::json::ValuePtr code = root->get("code");
+        const obs::json::ValuePtr bytes = root->get("bytes");
+        const obs::json::ValuePtr hash = root->get("hash");
+        if (!input || !input->isString() || !dest ||
+            !dest->isString() || !code || !code->isNumber() ||
+            !bytes || !bytes->isNumber() || !hash ||
+            !hash->isString())
+            return false;
+        rec.input = input->asString();
+        rec.dest = dest->asString();
+        rec.code = static_cast<int>(code->asNumber());
+        rec.bytes =
+            static_cast<std::uint64_t>(bytes->asNumber());
+        errno = 0;
+        char *end = nullptr;
+        rec.hash = std::strtoull(hash->asString().c_str(), &end, 16);
+        if (end == hash->asString().c_str() || *end != '\0')
+            return false;
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fnv1aHash(const char *data, std::size_t size)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+journalLine(const JournalRecord &rec)
+{
+    std::string line = "{\"journal\":1,\"input\":\"";
+    appendJsonEscaped(line, rec.input);
+    line += "\",\"dest\":\"";
+    appendJsonEscaped(line, rec.dest);
+    line += "\",\"code\":";
+    line += std::to_string(rec.code);
+    line += ",\"bytes\":";
+    line += std::to_string(rec.bytes);
+    line += ",\"hash\":\"";
+    line += hexHash(rec.hash);
+    line += "\"}\n";
+    return line;
+}
+
+Journal::~Journal()
+{
+    if (_file != nullptr)
+        std::fclose(_file);
+}
+
+bool
+Journal::open(const std::string &path, std::string &error)
+{
+    // Load the completed prefix first, tracking the byte offset past
+    // the last VALID record so a torn tail can be truncated away.
+    std::string content;
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (in) {
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            content = buf.str();
+        }
+    }
+    std::size_t pos = 0;
+    std::size_t lineno = 0;
+    std::size_t valid_end = 0;
+    bool torn_tail = false;
+    while (pos < content.size()) {
+        ++lineno;
+        const std::size_t nl = content.find('\n', pos);
+        const std::size_t line_end =
+            nl == std::string::npos ? content.size() : nl;
+        const std::size_t next =
+            nl == std::string::npos ? content.size() : nl + 1;
+        const std::string line =
+            content.substr(pos, line_end - pos);
+        if (!line.empty()) {
+            JournalRecord rec;
+            if (!parseRecord(line, rec)) {
+                // Only the FINAL line may be torn (crash
+                // mid-append); garbage earlier means this is not our
+                // journal — refuse rather than resume wrong.
+                if (next != content.size()) {
+                    error = path + ":" + std::to_string(lineno) +
+                            ": malformed journal record";
+                    return false;
+                }
+                torn_tail = true;
+                break;
+            }
+            _byDest[rec.dest] = _records.size();
+            _records.push_back(std::move(rec));
+        }
+        valid_end = next;
+        pos = next;
+    }
+    if (torn_tail) {
+        // Drop the torn bytes BEFORE appending: appended records
+        // must start on a fresh line, or they would concatenate into
+        // the torn tail and poison the next open.
+        std::error_code ec;
+        std::filesystem::resize_file(path, valid_end, ec);
+        if (ec) {
+            error = "could not truncate torn journal tail of " +
+                    path + ": " + ec.message();
+            return false;
+        }
+    }
+    // A valid final record missing its newline can only come from
+    // outside editing; keep it, but start the next append on a fresh
+    // line.
+    _prependNewline = !torn_tail && valid_end > 0 &&
+                      content[valid_end - 1] != '\n';
+    _file = std::fopen(path.c_str(), "ab");
+    if (_file == nullptr) {
+        error = "could not open journal " + path + ": " +
+                std::strerror(errno);
+        return false;
+    }
+    return true;
+}
+
+const JournalRecord *
+Journal::find(const std::string &dest) const
+{
+    const auto it = _byDest.find(dest);
+    if (it == _byDest.end())
+        return nullptr;
+    return &_records[it->second];
+}
+
+void
+Journal::append(const JournalRecord &rec)
+{
+    std::string line = journalLine(rec);
+    const std::lock_guard<std::mutex> lock(_mutex);
+    if (_file == nullptr)
+        return;
+    if (_prependNewline) {
+        line.insert(line.begin(), '\n');
+        _prependNewline = false;
+    }
+    // One contiguous write + flush + fsync: the record is durable
+    // before the caller treats the job as done.  A crash inside this
+    // window at worst tears THIS line, which open() tolerates.
+    std::fwrite(line.data(), 1, line.size(), _file);
+    std::fflush(_file);
+    ::fsync(fileno(_file));
+}
+
+} // namespace toqm::parallel

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Crash-safe append-only batch journal (`toqm_map --journal FILE`).
+ *
+ * A batch run over a manifest can die mid-flight — OOM-killed,
+ * SIGKILLed by an operator, node failure.  The journal makes the
+ * batch RESUMABLE: every completed job appends one line-oriented
+ * JSON record (input path, destination file, exit code, output size
+ * and FNV-1a content hash), flushed and fsynced before the job is
+ * considered durable.  Re-running the same command with the same
+ * journal skips every job whose record matches its on-disk output
+ * (size + hash), so the resumed batch converges to output
+ * byte-identical to an uninterrupted run while redoing only the work
+ * actually lost.
+ *
+ * Crash model: a kill can land between the destination-file rename
+ * and the journal append (job redone on resume — idempotent, the
+ * rewrite produces identical bytes), or mid-append (the torn trailing
+ * line fails to parse and is ignored; that job is redone).  Records
+ * are never rewritten in place, so a valid prefix stays valid.
+ *
+ * Record shape (one JSON object per line):
+ *   {"journal":1,"input":"...","dest":"...","code":0,
+ *    "bytes":1234,"hash":"89abcdef01234567"}
+ *
+ * The reader is built on the tree's single JSON parser
+ * (obs/json.hpp); the writer uses POSIX fd-level fsync.
+ */
+
+#ifndef TOQM_PARALLEL_JOURNAL_HPP
+#define TOQM_PARALLEL_JOURNAL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace toqm::parallel {
+
+/** FNV-1a over @p size bytes — the journal's content fingerprint. */
+std::uint64_t fnv1aHash(const char *data, std::size_t size);
+
+/** One durable "job finished" record. */
+struct JournalRecord
+{
+    std::string input; ///< input path as given on the command line
+    std::string dest;  ///< out-dir file name the output went to
+    int code = 0;      ///< the job's exit code
+    std::uint64_t bytes = 0; ///< size of the output body
+    std::uint64_t hash = 0;  ///< fnv1aHash of the output body
+};
+
+/** Format @p rec as its newline-terminated JSON line. */
+std::string journalLine(const JournalRecord &rec);
+
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Open @p path for append, first loading any existing records.
+     * A torn trailing line (crash mid-append) is tolerated — and
+     * truncated away, so later appends start on a fresh line; any
+     * OTHER malformed line is an error — a journal that lies about
+     * completed work must not silently drive a resume.  Returns
+     * false with @p error set on failure.
+     */
+    bool open(const std::string &path, std::string &error);
+
+    bool isOpen() const { return _file != nullptr; }
+
+    /** Records loaded at open() (the completed prefix). */
+    const std::vector<JournalRecord> &records() const
+    {
+        return _records;
+    }
+
+    /** The record for @p dest, or nullptr.  Latest record wins when
+     *  a crash-redone job appended a duplicate. */
+    const JournalRecord *find(const std::string &dest) const;
+
+    /**
+     * Append @p rec durably: write the line, flush, fsync.  Safe to
+     * call from concurrent jobs; each record is written as one
+     * contiguous line.
+     */
+    void append(const JournalRecord &rec);
+
+  private:
+    std::mutex _mutex;
+    std::FILE *_file = nullptr;
+    /** Set when the file ends in a VALID record missing its newline
+     *  (outside editing): the next append starts a fresh line. */
+    bool _prependNewline = false;
+    std::vector<JournalRecord> _records;
+    std::map<std::string, std::size_t> _byDest;
+};
+
+} // namespace toqm::parallel
+
+#endif // TOQM_PARALLEL_JOURNAL_HPP

@@ -1,0 +1,68 @@
+#include "manifest.hpp"
+
+#include <fstream>
+
+#include "fault/fault.hpp"
+
+namespace toqm::parallel {
+
+std::vector<std::string>
+parseManifest(std::istream &in, const std::string &displayPath,
+              const ManifestLimits &limits)
+{
+    TOQM_FAULT_POINT(ManifestIo);
+    std::vector<std::string> entries;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.size() > limits.maxLineLength) {
+            throw ManifestError(
+                displayPath, lineno, limits.maxLineLength + 1,
+                "line exceeds " +
+                    std::to_string(limits.maxLineLength) +
+                    " characters");
+        }
+        for (std::size_t col = 0; col < line.size(); ++col) {
+            const unsigned char c =
+                static_cast<unsigned char>(line[col]);
+            if (c < 0x20 && c != '\t') {
+                throw ManifestError(
+                    displayPath, lineno, col + 1,
+                    c == '\0' ? "NUL byte in manifest"
+                              : "control character in manifest");
+            }
+        }
+        const std::size_t begin = line.find_first_not_of(" \t");
+        if (begin == std::string::npos || line[begin] == '#')
+            continue;
+        const std::size_t end = line.find_last_not_of(" \t");
+        if (entries.size() == limits.maxEntries) {
+            throw ManifestError(
+                displayPath, lineno, begin + 1,
+                "manifest exceeds the " +
+                    std::to_string(limits.maxEntries) +
+                    "-entry cap");
+        }
+        entries.push_back(line.substr(begin, end - begin + 1));
+    }
+    if (in.bad()) {
+        throw ManifestError(displayPath, lineno + 1, 1,
+                            "read error");
+    }
+    return entries;
+}
+
+std::vector<std::string>
+parseManifestFile(const std::string &path,
+                  const ManifestLimits &limits)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("could not open manifest " + path);
+    return parseManifest(in, path, limits);
+}
+
+} // namespace toqm::parallel

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "ir/mapped_circuit.hpp"
 #include "obs/observer.hpp"
 #include "search/incumbent_channel.hpp"
@@ -237,6 +238,13 @@ PortfolioResult::portfolioJson() const
         out += std::to_string(o.cycles);
         out += ",\"proven_optimal\":";
         out += o.provenOptimal ? "true" : "false";
+        if (!o.error.empty()) {
+            // Additive: present only for entries lost to a contained
+            // fault, so fault-free race JSON stays byte-identical.
+            out += ",\"error\":\"";
+            appendJsonEscaped(out, o.error);
+            out += '"';
+        }
         if (annotated) {
             out += ",\"objective\":\"";
             appendJsonEscaped(
@@ -324,11 +332,26 @@ PortfolioMapper::map(
                         : static_cast<unsigned>(k));
     for (std::size_t i = 0; i < k; ++i) {
         pool.submit([&, i] {
-            runs[i] = runEntry(_graph, logical, _config.entries[i],
-                               _config.guard, layouts[i],
-                               coherent[i] ? &channel : nullptr,
-                               channel.stopToken(),
-                               coherent[i] != 0);
+            // Per-entry fault containment: an entry that throws (an
+            // injected launch fault, allocation failure inside its
+            // search, anything) loses the race as success=false /
+            // Cancelled and the other entries run to completion.
+            // Every search-local structure (NodePool, filter, guard)
+            // lives in runEntry's frame, so the unwind leaks nothing
+            // and poisons no worker state.
+            try {
+                TOQM_FAULT_POINT(PortfolioLaunch);
+                runs[i] = runEntry(_graph, logical,
+                                   _config.entries[i],
+                                   _config.guard, layouts[i],
+                                   coherent[i] ? &channel : nullptr,
+                                   channel.stopToken(),
+                                   coherent[i] != 0);
+            } catch (const std::exception &e) {
+                runs[i] = EntryRun{};
+                runs[i].outcome.name = _config.entries[i].name;
+                runs[i].outcome.error = e.what();
+            }
             // A proven optimum settles the instance: tell the other
             // entries' guards to stand down.
             if (runs[i].outcome.provenOptimal)

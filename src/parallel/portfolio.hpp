@@ -145,6 +145,13 @@ struct EntryOutcome
     std::int64_t costKey = -1;
     /** The entry's objectiveName ("" = cycles; omitted from JSON). */
     std::string objective;
+    /**
+     * Non-empty when the entry died to a contained fault/exception:
+     * the exception's message.  A faulted entry reports
+     * success=false / status=Cancelled and simply loses the race —
+     * the other entries finish normally.
+     */
+    std::string error;
     search::SearchStats stats;
 };
 

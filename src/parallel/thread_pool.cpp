@@ -1,5 +1,7 @@
 #include "thread_pool.hpp"
 
+#include "fault/fault.hpp"
+
 namespace toqm::parallel {
 
 namespace {
@@ -111,7 +113,20 @@ ThreadPool::workerLoop(unsigned index)
     for (;;) {
         std::function<void()> task;
         if (tryPop(index, task)) {
-            task();
+            // Containment boundary: a task that throws (or an
+            // injected worker-start fault) is recorded and swallowed
+            // here, so one poisoned job can neither std::terminate
+            // the process nor leave _inflight stuck and deadlock
+            // wait().  The worker itself survives and keeps serving
+            // the deque — its arena-affinity state is all
+            // thread_local and untouched by the unwind.
+            try {
+                TOQM_FAULT_POINT(WorkerStart);
+                task();
+            } catch (...) {
+                _taskExceptions.fetch_add(1,
+                                          std::memory_order_relaxed);
+            }
             task = nullptr; // release captures before going idle
             const std::lock_guard<std::mutex> lock(_mutex);
             if (--_inflight == 0)

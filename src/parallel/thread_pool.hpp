@@ -89,6 +89,20 @@ class ThreadPool
         return _steals.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Tasks whose exception escaped to the worker loop.  The loop
+     * catches and counts them (instead of letting them reach
+     * std::terminate) so one poisoned job cannot take down the batch
+     * or wedge wait(); drivers that need per-task failure detail must
+     * catch inside the task — by the time an exception reaches the
+     * pool, the task's identity is gone.
+     */
+    std::uint64_t
+    taskExceptions() const
+    {
+        return _taskExceptions.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Worker
     {
@@ -116,6 +130,8 @@ class ThreadPool
     bool _stop = false;
 
     std::atomic<std::uint64_t> _steals{0};
+    /** Tasks whose exception was contained by the worker loop. */
+    std::atomic<std::uint64_t> _taskExceptions{0};
     /** Round-robin cursor for external submissions. */
     std::atomic<std::uint64_t> _nextExternal{0};
 };

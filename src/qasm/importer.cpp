@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "fault/fault.hpp"
 #include "obs/observer.hpp"
 #include "parser.hpp"
 
@@ -278,6 +279,7 @@ ImportResult
 importString(const std::string &source, const ImportOptions &options)
 {
     const obs::PhaseScope obs_phase("parse");
+    TOQM_FAULT_POINT(QasmIo);
     ImportResult result = importProgram(parseString(source), options);
     recordImportMetrics(result);
     return result;
@@ -287,6 +289,10 @@ ImportResult
 importFile(const std::string &path, const ImportOptions &options)
 {
     const obs::PhaseScope obs_phase("parse");
+    // Fault site: models the input file vanishing / going unreadable
+    // mid-batch; the CLI's per-job containment must keep the rest of
+    // the batch alive.
+    TOQM_FAULT_POINT(QasmIo);
     ImportResult result = importProgram(parseFile(path), options);
     recordImportMetrics(result);
     return result;

@@ -37,6 +37,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "fault/fault.hpp"
+
 namespace toqm::search {
 
 class IncumbentChannel
@@ -65,6 +67,10 @@ class IncumbentChannel
     bool
     offer(std::int64_t cost)
     {
+        // Fault site: an entry dying while publishing its incumbent
+        // must neither corrupt the watermark nor stall the race (the
+        // CAS below never ran, so the channel state is untouched).
+        TOQM_FAULT_POINT(IncumbentPublish);
         std::int64_t current = _best.load(std::memory_order_relaxed);
         while (cost < current) {
             if (_best.compare_exchange_weak(current, cost,

@@ -5,6 +5,8 @@
 #include <new>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace toqm::search {
 
 namespace {
@@ -75,6 +77,11 @@ NodePool::~NodePool()
 SearchNode *
 NodePool::allocate()
 {
+    // Fault site: node memory is the search's dominant allocation, so
+    // an injected bad_alloc here models slab exhaustion.  The hook
+    // fires BEFORE any counter moves, so a thrown fault leaves the
+    // pool's bookkeeping consistent (no phantom live node).
+    TOQM_FAULT_POINT(PoolAlloc);
     ++_totalAllocations;
     ++_live;
     _peakLive = std::max(_peakLive, _live);

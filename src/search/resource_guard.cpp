@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "fault/fault.hpp"
 #include "node_pool.hpp"
 #include "obs/observer.hpp"
 
@@ -116,6 +117,10 @@ ResourceGuard::ResourceGuard(const GuardConfig &config,
 void
 ResourceGuard::probe()
 {
+    // Fault site: the cold probe path only — the hot poll() countdown
+    // stays hook-free so disarmed overhead is confined to the probe
+    // cadence (once per probeInterval expansions).
+    TOQM_FAULT_POINT(GuardPoll);
     ++_probes;
     // Precedence: cancellation (external, most urgent) beats the
     // deadline beats the memory ceiling.  The per-run token (a

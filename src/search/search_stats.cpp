@@ -151,6 +151,10 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
         line += ",\"portfolio\":";
         line += context.portfolioJson;
     }
+    if (!context.faultJson.empty()) {
+        line += ",\"fault\":";
+        line += context.faultJson;
+    }
     line += "}\n";
     return line;
 }

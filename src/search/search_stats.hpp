@@ -160,6 +160,14 @@ struct StatsLineContext
      */
     std::string_view portfolioJson;
     /**
+     * Pre-rendered JSON object describing contained faults and the
+     * recovery path walked (attempt count, failure class, action —
+     * see toqm_map's retry layer); appended verbatim as a trailing
+     * `"fault":{...}` key when non-empty.  Empty (the default) keeps
+     * fault-free lines byte-identical.
+     */
+    std::string_view faultJson;
+    /**
      * Objective the run minimised.  When non-empty, the additive
      * `"objective":"<name>"` key (plus `"cost"` / `"fidelity"` when
      * their has* flags are set) is appended INSIDE the `detail`
@@ -203,8 +211,9 @@ inline constexpr int kStatsLineSchemaVersion = 2;
  * When `context.degradationJson` is non-empty it is appended as a
  * final `"degradation":{...}` key (additive; absent by default),
  * followed — when set — by the additive `"input":"..."` (batch
- * mode) and `"portfolio":{...}` (portfolio race) keys.  Scrapers
- * keyed on the v1 fields keep working unchanged.
+ * mode), `"portfolio":{...}` (portfolio race) and `"fault":{...}`
+ * (contained-fault recovery) keys.  Scrapers keyed on the v1 fields
+ * keep working unchanged.
  */
 std::string statsJsonLine(const SearchStats &stats,
                           std::string_view mapper, SearchStatus status,

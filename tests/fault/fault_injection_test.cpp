@@ -1,0 +1,168 @@
+/**
+ * @file
+ * End-to-end hook coverage: faults injected through the REAL
+ * TOQM_FAULT_POINT call sites must be contained at the documented
+ * boundaries — a poisoned pool worker keeps serving, a faulted
+ * portfolio entry loses the race instead of killing it, a NodePool
+ * allocation fault leaves the pool consistent.
+ *
+ * Compiled only when the tree is configured with
+ * -DTOQM_ENABLE_FAULT_INJECTION=ON (the fault-sweep CI job); in a
+ * default build the hooks are `((void)0)` and there is nothing to
+ * exercise.
+ */
+
+#include "fault/fault.hpp"
+
+#if TOQM_ENABLE_FAULT_INJECTION
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/circuit.hpp"
+#include "ir/generators.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "parallel/batch.hpp"
+#include "parallel/portfolio.hpp"
+#include "parallel/thread_pool.hpp"
+#include "search/node_pool.hpp"
+#include "search/search_context.hpp"
+
+namespace {
+
+using namespace toqm;
+
+/** Arm `spec` for the test body, disarm on scope exit (so a failing
+ *  assertion cannot leak an armed plan into later tests). */
+struct ScopedPlan
+{
+    explicit ScopedPlan(const std::string &spec)
+    {
+        fault::Injector::global().arm(fault::FaultPlan::parse(spec));
+    }
+
+    ~ScopedPlan() { fault::Injector::global().disarm(); }
+};
+
+TEST(FaultInjectionTest, NodePoolAllocationFaultLeavesPoolConsistent)
+{
+    ScopedPlan plan("pool_alloc@3:bad_alloc");
+    ir::Circuit circuit(3);
+    circuit.addCX(0, 1);
+    const arch::CouplingGraph graph = arch::lnn(3);
+    const ir::LatencyModel latency = ir::LatencyModel::qftPreset();
+    const search::SearchContext ctx(circuit, graph, latency);
+    search::NodePool pool(ctx);
+    const search::NodeRef a =
+        pool.root(ir::identityLayout(3), false);
+    const search::NodeRef b =
+        pool.root(ir::identityLayout(3), false);
+    EXPECT_THROW(pool.root(ir::identityLayout(3), false),
+                 std::bad_alloc);
+    // The fault fired BEFORE any bookkeeping moved: the pool still
+    // hands out nodes and its counters add up.
+    fault::Injector::global().disarm();
+    const search::NodeRef c =
+        pool.root(ir::identityLayout(3), false);
+    EXPECT_TRUE(c);
+    EXPECT_EQ(pool.liveNodes(), 3u);
+}
+
+TEST(FaultInjectionTest, WorkerFaultIsContainedAndPoolKeepsServing)
+{
+    ScopedPlan plan("worker_start@1:error");
+    parallel::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait(); // must not deadlock on the faulted task
+    // Exactly one task was killed by the injected fault (its hook
+    // runs before the task body), and the pool counted it.
+    EXPECT_EQ(ran.load(), 7);
+    EXPECT_EQ(pool.taskExceptions(), 1u);
+    // The worker that took the fault is still alive and serving.
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(FaultInjectionTest, BatchJobLostToWorkerFaultIsResubmitted)
+{
+    // A worker dying at the task boundary kills the job WRAPPER
+    // before the job body runs.  runBatch must notice the never-ran
+    // job and resubmit it — a silent exit-0 with empty output would
+    // be a dropped circuit.
+    ScopedPlan plan("worker_start@1:error");
+    parallel::ThreadPool pool(2);
+    std::vector<std::function<int()>> jobs;
+    std::atomic<int> runs{0};
+    for (int i = 0; i < 4; ++i)
+        jobs.push_back([i, &runs] {
+            runs.fetch_add(1);
+            return i;
+        });
+    const std::vector<int> codes = parallel::runBatch(pool, jobs);
+    ASSERT_EQ(codes.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(codes[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(runs.load(), 4);
+    EXPECT_EQ(pool.taskExceptions(), 1u);
+}
+
+TEST(FaultInjectionTest, FaultedPortfolioEntryLosesRaceNotBatch)
+{
+    ScopedPlan plan("portfolio_launch@1:error");
+    const auto device = arch::byName("ibmqx2");
+    parallel::PortfolioConfig cfg = parallel::defaultPortfolio();
+    const parallel::PortfolioResult res =
+        parallel::PortfolioMapper(device, cfg)
+            .map(ir::qftSkeleton(4));
+    // The race delivered despite the dead entry...
+    EXPECT_TRUE(res.success);
+    ASSERT_GE(res.winner, 0);
+    // ...and exactly one outcome carries the contained fault.
+    int faulted = 0;
+    for (const parallel::EntryOutcome &o : res.outcomes) {
+        if (!o.error.empty()) {
+            ++faulted;
+            EXPECT_FALSE(o.success);
+            EXPECT_NE(o.error.find("portfolio_launch"),
+                      std::string::npos);
+        }
+    }
+    EXPECT_EQ(faulted, 1);
+    EXPECT_TRUE(res.outcomes[static_cast<std::size_t>(res.winner)]
+                    .error.empty());
+}
+
+TEST(FaultInjectionTest, DisarmedHooksAreInert)
+{
+    // No plan armed: the real call sites must neither throw nor
+    // advance the hit counters (the fast path is one relaxed load).
+    const std::uint64_t hits_before =
+        fault::Injector::global().hits(fault::Site::PoolAlloc);
+    ir::Circuit circuit(3);
+    circuit.addCX(0, 1);
+    const arch::CouplingGraph graph = arch::lnn(3);
+    const ir::LatencyModel latency = ir::LatencyModel::qftPreset();
+    const search::SearchContext ctx(circuit, graph, latency);
+    search::NodePool pool(ctx);
+    for (int i = 0; i < 100; ++i) {
+        const search::NodeRef n =
+            pool.root(ir::identityLayout(3), false);
+        EXPECT_TRUE(n);
+    }
+    EXPECT_EQ(fault::Injector::global().hits(fault::Site::PoolAlloc),
+              hits_before);
+}
+
+} // namespace
+
+#endif // TOQM_ENABLE_FAULT_INJECTION

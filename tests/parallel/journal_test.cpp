@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Crash-safe batch journal: append durability, resume lookup,
+ * torn-tail tolerance, and refusal of corrupt journals.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "parallel/journal.hpp"
+
+namespace toqm::parallel {
+namespace {
+
+/** A fresh journal path under the test's scratch dir. */
+class JournalTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _path = (std::filesystem::temp_directory_path() /
+                 ("toqm_journal_test_" +
+                  std::to_string(::getpid()) + "_" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name() +
+                  ".jsonl"))
+                    .string();
+        std::filesystem::remove(_path);
+    }
+
+    void TearDown() override { std::filesystem::remove(_path); }
+
+    std::string _path;
+};
+
+JournalRecord
+record(const std::string &input, const std::string &dest, int code,
+       const std::string &body)
+{
+    JournalRecord rec;
+    rec.input = input;
+    rec.dest = dest;
+    rec.code = code;
+    rec.bytes = body.size();
+    rec.hash = fnv1aHash(body.data(), body.size());
+    return rec;
+}
+
+TEST_F(JournalTest, LineShapeIsStable)
+{
+    const std::string line =
+        journalLine(record("in.qasm", "out.qasm", 0, "body"));
+    EXPECT_EQ(line.substr(0, 14), "{\"journal\":1,\"");
+    EXPECT_NE(line.find("\"input\":\"in.qasm\""), std::string::npos);
+    EXPECT_NE(line.find("\"dest\":\"out.qasm\""), std::string::npos);
+    EXPECT_NE(line.find("\"code\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"bytes\":4"), std::string::npos);
+    EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(JournalTest, AppendThenReopenResumes)
+{
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(_path, error)) << error;
+        EXPECT_TRUE(j.records().empty());
+        j.append(record("a.qasm", "a.out", 0, "AAAA"));
+        j.append(record("b.qasm", "b.out", 6, "BB"));
+    }
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(_path, error)) << error;
+    ASSERT_EQ(j.records().size(), 2u);
+    const JournalRecord *a = j.find("a.out");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->input, "a.qasm");
+    EXPECT_EQ(a->code, 0);
+    EXPECT_EQ(a->bytes, 4u);
+    EXPECT_EQ(a->hash, fnv1aHash("AAAA", 4));
+    const JournalRecord *b = j.find("b.out");
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->code, 6);
+    EXPECT_EQ(j.find("missing.out"), nullptr);
+}
+
+TEST_F(JournalTest, LatestRecordWinsForRedoneJob)
+{
+    {
+        Journal j;
+        std::string error;
+        ASSERT_TRUE(j.open(_path, error)) << error;
+        j.append(record("a.qasm", "a.out", 7, "old"));
+        j.append(record("a.qasm", "a.out", 0, "fresh"));
+    }
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(_path, error)) << error;
+    const JournalRecord *a = j.find("a.out");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->code, 0);
+    EXPECT_EQ(a->bytes, 5u);
+}
+
+TEST_F(JournalTest, ToleratesTornFinalLine)
+{
+    {
+        std::ofstream f(_path, std::ios::binary);
+        f << journalLine(record("a.qasm", "a.out", 0, "AAAA"));
+        f << "{\"journal\":1,\"input\":\"b.qa"; // crash mid-append
+    }
+    Journal j;
+    std::string error;
+    ASSERT_TRUE(j.open(_path, error)) << error;
+    ASSERT_EQ(j.records().size(), 1u);
+    EXPECT_NE(j.find("a.out"), nullptr);
+    // ... and appending after the torn tail still yields loadable
+    // records (the torn line is ignored again on the next open).
+    j.append(record("c.qasm", "c.out", 0, "CC"));
+    Journal k;
+    ASSERT_TRUE(k.open(_path, error)) << error;
+    EXPECT_NE(k.find("c.out"), nullptr);
+}
+
+TEST_F(JournalTest, RefusesGarbageInTheMiddle)
+{
+    {
+        std::ofstream f(_path, std::ios::binary);
+        f << "this is not a journal\n";
+        f << journalLine(record("a.qasm", "a.out", 0, "AAAA"));
+    }
+    Journal j;
+    std::string error;
+    EXPECT_FALSE(j.open(_path, error));
+    EXPECT_NE(error.find("malformed journal record"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace toqm::parallel

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Hardened manifest parser: well-formed manifests parse as before,
+ * malformed ones are rejected with positioned errors instead of
+ * silently shrinking the batch.
+ */
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/manifest.hpp"
+
+namespace toqm::parallel {
+namespace {
+
+std::vector<std::string>
+parse(const std::string &text, const ManifestLimits &limits = {})
+{
+    std::istringstream in(text);
+    return parseManifest(in, "<test>", limits);
+}
+
+TEST(ManifestTest, ParsesPathsSkippingBlanksAndComments)
+{
+    const auto entries = parse("a.qasm\n"
+                               "\n"
+                               "# a comment\n"
+                               "  b.qasm  \n"
+                               "\tc.qasm\r\n");
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0], "a.qasm");
+    EXPECT_EQ(entries[1], "b.qasm");
+    EXPECT_EQ(entries[2], "c.qasm");
+}
+
+TEST(ManifestTest, EmptyManifestIsEmptyNotAnError)
+{
+    EXPECT_TRUE(parse("").empty());
+    EXPECT_TRUE(parse("# only comments\n\n").empty());
+}
+
+TEST(ManifestTest, RejectsNulByteWithPosition)
+{
+    try {
+        parse(std::string("ok.qasm\nbad\0name.qasm\n", 22));
+        FAIL() << "expected ManifestError";
+    } catch (const ManifestError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_EQ(e.column(), 4u);
+        EXPECT_NE(std::string(e.what()).find("<test>:2:4"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("NUL"),
+                  std::string::npos);
+    }
+}
+
+TEST(ManifestTest, RejectsControlCharactersButAllowsTab)
+{
+    EXPECT_THROW(parse("a\x01.qasm\n"), ManifestError);
+    EXPECT_THROW(parse("\x1b[31mred.qasm\n"), ManifestError);
+    EXPECT_NO_THROW(parse("\ta.qasm\t\n")); // tab is whitespace
+}
+
+TEST(ManifestTest, RejectsOverlongLines)
+{
+    ManifestLimits limits;
+    limits.maxLineLength = 16;
+    EXPECT_NO_THROW(parse(std::string(16, 'a') + "\n", limits));
+    try {
+        parse(std::string(17, 'a') + "\n", limits);
+        FAIL() << "expected ManifestError";
+    } catch (const ManifestError &e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_EQ(e.column(), 17u);
+    }
+}
+
+TEST(ManifestTest, CapsEntryCount)
+{
+    ManifestLimits limits;
+    limits.maxEntries = 3;
+    EXPECT_NO_THROW(parse("a\nb\nc\n", limits));
+    try {
+        parse("a\nb\nc\nd\n", limits);
+        FAIL() << "expected ManifestError";
+    } catch (const ManifestError &e) {
+        EXPECT_EQ(e.line(), 4u);
+    }
+}
+
+TEST(ManifestTest, MissingFileThrows)
+{
+    EXPECT_THROW(parseManifestFile("/nonexistent/manifest.txt"),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace toqm::parallel

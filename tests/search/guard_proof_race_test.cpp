@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Regression tests for the proof-vs-stop race at the guard seam.
+ *
+ * A mapper can prove optimality inside the SAME poll window in which
+ * a guard condition trips (deadline expires, a cancel token flips, a
+ * portfolio race is stopped).  The contract — relied on by the exit
+ * code table and by portfolio winner selection — is that a found
+ * proof WINS: the terminal node is consulted before the guard, so
+ * the run reports Solved / proven-optimal, never DeadlineExceeded or
+ * Cancelled.
+ *
+ * The tests pin the race deterministically: the stop condition is
+ * already true when the search starts (a pre-set cancel token — the
+ * IncumbentChannel seam the portfolio uses), but the probe interval
+ * is so large that the guard can never probe during a small search.
+ * Any terminal-after-guard regression flips these runs to Cancelled.
+ */
+
+#include <atomic>
+
+#include <gtest/gtest.h>
+
+#include "arch/architectures.hpp"
+#include "ir/circuit.hpp"
+#include "ir/generators.hpp"
+#include "parallel/portfolio.hpp"
+#include "search/incumbent_channel.hpp"
+#include "search/resource_guard.hpp"
+#include "toqm/ida_star.hpp"
+#include "toqm/mapper.hpp"
+
+namespace {
+
+using namespace toqm;
+
+/** Guard config with a stop condition that is ALREADY true but can
+ *  never be observed: the proof must win the race. */
+search::GuardConfig
+pendingStopNeverProbed(const std::atomic<bool> &token)
+{
+    search::GuardConfig guard;
+    guard.cancelToken = &token;
+    guard.probeInterval = 1u << 30;
+    return guard;
+}
+
+TEST(GuardProofRaceTest, AStarProofBeatsPendingCancel)
+{
+    const std::atomic<bool> stop{true};
+    core::MapperConfig config;
+    config.guard = pendingStopNeverProbed(stop);
+    core::OptimalMapper mapper(arch::byName("ibmqx2"), config);
+    const core::MapperResult res = mapper.map(ir::qftSkeleton(4));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.status, search::SearchStatus::Solved);
+    EXPECT_FALSE(res.fromIncumbent);
+}
+
+TEST(GuardProofRaceTest, AStarObservedCancelStillUnwinds)
+{
+    // Sanity inverse: with the guard probing every expansion the
+    // same pending token MUST stop the run — proving the race test
+    // above passes because of terminal-before-guard ordering, not
+    // because the token is ignored.
+    const std::atomic<bool> stop{true};
+    core::MapperConfig config;
+    config.guard.cancelToken = &stop;
+    config.guard.probeInterval = 1;
+    core::OptimalMapper mapper(arch::byName("ibmqx2"), config);
+    const core::MapperResult res = mapper.map(ir::qftSkeleton(4));
+    EXPECT_EQ(res.status, search::SearchStatus::Cancelled);
+}
+
+TEST(GuardProofRaceTest, IdaProofBeatsPendingCancel)
+{
+    const std::atomic<bool> stop{true};
+    const core::IdaResult res = core::idaStarMap(
+        arch::byName("ibmqx2"), ir::qftSkeleton(4),
+        ir::LatencyModel::qftPreset(), /*allow_mixing=*/true,
+        /*max_expanded=*/50'000'000,
+        pendingStopNeverProbed(stop));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.status, search::SearchStatus::Solved);
+    EXPECT_FALSE(res.fromIncumbent);
+}
+
+TEST(GuardProofRaceTest, PortfolioProofBeatsPendingStop)
+{
+    // The same race at the portfolio seam: the merged per-entry
+    // guards carry the external token alongside the channel's stop
+    // token, and the winner rule must report the proof.
+    const std::atomic<bool> stop{true};
+    parallel::PortfolioConfig cfg = parallel::defaultPortfolio();
+    cfg.guard = pendingStopNeverProbed(stop);
+    const parallel::PortfolioResult res =
+        parallel::PortfolioMapper(arch::byName("ibmqx2"), cfg)
+            .map(ir::qftSkeleton(4));
+    ASSERT_TRUE(res.success);
+    EXPECT_EQ(res.status, search::SearchStatus::Solved);
+    EXPECT_TRUE(res.provenOptimal);
+}
+
+} // namespace

@@ -1,0 +1,47 @@
+// libFuzzer harness for the hardened --manifest parser.
+//
+// Feeds arbitrary bytes through parallel::parseManifest and expects
+// it to either return a bounded entry list or throw a positioned
+// ManifestError -- never crash, read out of bounds, or loop forever.
+// Rejections are part of the contract (NUL bytes, control characters,
+// overlong lines, entry-cap overflow all have documented positioned
+// errors), so exceptions are swallowed; the sanitizers do the actual
+// checking.
+//
+// Build (clang only):
+//   cmake -B build -S . -DTOQM_BUILD_FUZZERS=ON
+//   cmake --build build --target toqm_fuzz_manifest
+// Run:
+//   ./build/tools/toqm_fuzz_manifest -max_total_time=60 -max_len=65536
+//
+// Small limits are used alongside the defaults so the fuzzer reaches
+// the cap-enforcement paths (entry cap, line-length cap) without
+// needing multi-kilobyte inputs.
+
+#include "parallel/manifest.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size) {
+    const std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        std::istringstream in(text);
+        (void)toqm::parallel::parseManifest(in, "<fuzz>");
+    } catch (const std::exception &) {
+        // Positioned rejection: expected for malformed input.
+    }
+    try {
+        toqm::parallel::ManifestLimits limits;
+        limits.maxEntries = 4;
+        limits.maxLineLength = 16;
+        std::istringstream in(text);
+        (void)toqm::parallel::parseManifest(in, "<fuzz>", limits);
+    } catch (const std::exception &) {
+    }
+    return 0;
+}

@@ -74,6 +74,32 @@
  *     --metrics-json[=FILE]  emit the versioned MetricsRegistry
  *                        snapshot (stderr, or FILE)
  *     --obs-sample N     sample search gauges every N expansions
+ *     --retries N        re-run a failed job up to N more times;
+ *                        only the retryable failure classes are
+ *                        retried (allocation failure — with the pool
+ *                        cap halved each attempt — transient IO
+ *                        faults, and verification-gate failures);
+ *                        after the retries a configured
+ *                        --fallback=heuristic runs as the last resort
+ *     --retry-backoff-ms B  sleep B<<attempt ms between retries
+ *                        (exponential backoff; default 0)
+ *     --journal FILE     crash-safe append-only completion journal
+ *                        (requires --out-dir); re-running the same
+ *                        batch skips every input whose journaled
+ *                        output already matches the bytes on disk,
+ *                        so a killed batch resumes where it stopped
+ *     --fault-plan SPEC  deterministic fault injection for testing
+ *                        (site@N:action entries — see
+ *                        --list-fault-sites and DESIGN.md §4.6);
+ *                        also read from the TOQM_FAULT environment
+ *                        variable; requires a build configured with
+ *                        -DTOQM_ENABLE_FAULT_INJECTION=ON
+ *     --list-fault-sites print the registered fault sites and exit
+ *
+ * Every mapping — degraded or not, --verify or not — passes a
+ * structural verification gate before any circuit is emitted: a
+ * result that fails the gate is demoted to exit 3 (and retried under
+ * --retries) instead of being written out.
  *
  * Exit codes:
  *   0  success (requested mapping delivered, or a --fallback
@@ -88,8 +114,11 @@
  *   4  node budget exhausted before optimality was proven
  *   5  instance proven unsolvable on this device
  *   6  wall-clock deadline (--deadline-ms) exceeded
- *   7  memory ceiling (--max-pool-mb) exceeded
- *   8  cancelled (SIGINT/SIGTERM)
+ *   7  memory ceiling (--max-pool-mb) exceeded, or allocation failed
+ *   8  cancelled (SIGINT/SIGTERM); the unwind is graceful — armed
+ *      guards stop the searches and incumbents are still delivered
+ *   9  forced abort: a SECOND SIGINT/SIGTERM arrived during the
+ *      graceful unwind (the operator really means stop NOW)
  * For 4/6/7/8 the best incumbent mapping, when one exists, is still
  * written to stdout and recorded in the stats-json `degradation`
  * block; with --fallback=heuristic a successful degraded delivery
@@ -102,6 +131,7 @@
  * still deliver their results.
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -113,11 +143,13 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "arch/architectures.hpp"
 #include "arch/token_swapping.hpp"
+#include "fault/fault.hpp"
 #include "ir/direction.hpp"
 #include "ir/export.hpp"
 #include "baselines/sabre.hpp"
@@ -127,6 +159,8 @@
 #include "objective/objective.hpp"
 #include "obs/observer.hpp"
 #include "parallel/batch.hpp"
+#include "parallel/journal.hpp"
+#include "parallel/manifest.hpp"
 #include "parallel/portfolio.hpp"
 #include "parallel/thread_pool.hpp"
 #include "qasm/importer.hpp"
@@ -175,6 +209,12 @@ struct Options
     std::uint64_t maxPoolMb = 0;  // 0 = none
     std::string fallback = "none"; // none|heuristic
 
+    // Robustness surface (toqm_fault + the retry layer).
+    std::string faultPlan;           // empty = none (TOQM_FAULT too)
+    int retries = 0;                 // extra attempts per job
+    std::uint64_t retryBackoffMs = 0;
+    std::string journalPath;         // empty = no journal
+
     // Observability surface (toqm_obs).
     std::string tracePath;        // empty = no trace
     bool progress = false;
@@ -205,6 +245,9 @@ usage(const char *argv0, int code)
                  "       [--restore-layout] [--enforce-directions]\n"
                  "       [--trace FILE] [--progress[=SECS]] "
                  "[--metrics-json[=FILE]] [--obs-sample N]\n"
+                 "       [--retries N] [--retry-backoff-ms B] "
+                 "[--journal FILE]\n"
+                 "       [--fault-plan SPEC] [--list-fault-sites]\n"
                  "       [input.qasm ...]\n"
                  "\n"
                  "exit codes:\n"
@@ -213,13 +256,16 @@ usage(const char *argv0, int code)
                  "--calibration content)\n"
                  "  2  usage error (including an unknown --objective "
                  "name)\n"
-                 "  3  verification failure (degraded results are "
-                 "always verified)\n"
+                 "  3  verification failure (every mapping passes a "
+                 "structural gate before emission)\n"
                  "  4  node budget exhausted (--max-nodes)\n"
                  "  5  instance proven unsolvable on this device\n"
                  "  6  wall-clock deadline exceeded (--deadline-ms)\n"
-                 "  7  memory ceiling exceeded (--max-pool-mb)\n"
+                 "  7  memory ceiling exceeded (--max-pool-mb) or "
+                 "allocation failure\n"
                  "  8  cancelled (SIGINT/SIGTERM)\n"
+                 "  9  forced abort (second SIGINT/SIGTERM during "
+                 "the graceful unwind)\n"
                  "For 4/6/7/8 the best incumbent mapping, when one "
                  "exists, is still written to stdout.\n"
                  "With multiple inputs (--jobs / --manifest) every "
@@ -367,6 +413,34 @@ parseArgs(int argc, char **argv)
             opt.portfolioSize = std::stoi(arg.substr(17));
             if (opt.portfolioSize < 1)
                 usage(argv[0], 2);
+        } else if (arg == "--retries") {
+            opt.retries = std::stoi(next());
+            if (opt.retries < 0)
+                usage(argv[0], 2);
+        } else if (arg.rfind("--retries=", 0) == 0) {
+            opt.retries = std::stoi(arg.substr(10));
+            if (opt.retries < 0)
+                usage(argv[0], 2);
+        } else if (arg == "--retry-backoff-ms") {
+            opt.retryBackoffMs = std::stoull(next());
+        } else if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
+            opt.retryBackoffMs = std::stoull(arg.substr(19));
+        } else if (arg == "--journal") {
+            opt.journalPath = next();
+        } else if (arg.rfind("--journal=", 0) == 0) {
+            opt.journalPath = arg.substr(10);
+        } else if (arg == "--fault-plan") {
+            opt.faultPlan = next();
+        } else if (arg.rfind("--fault-plan=", 0) == 0) {
+            opt.faultPlan = arg.substr(13);
+        } else if (arg == "--list-fault-sites") {
+            // Always available (the registry lives in toqm_fault,
+            // which is linked regardless of whether the hooks are
+            // compiled in), so sweep scripts can enumerate sites
+            // without probing the build configuration.
+            for (const std::string &site : fault::knownSites())
+                std::printf("%s\n", site.c_str());
+            std::exit(0);
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0], 0);
         } else if (!arg.empty() && arg[0] == '-') {
@@ -379,6 +453,12 @@ parseArgs(int argc, char **argv)
     if (opt.fallback != "none" && opt.fallback != "heuristic") {
         std::fprintf(stderr, "unknown --fallback policy: %s\n",
                      opt.fallback.c_str());
+        usage(argv[0], 2);
+    }
+    if (!opt.journalPath.empty() && opt.outDir.empty()) {
+        // The journal keys completion on --out-dir file names; with
+        // concatenated stdout there is nothing durable to resume.
+        std::fprintf(stderr, "--journal requires --out-dir\n");
         usage(argv[0], 2);
     }
     if (opt.layoutStrategy != "auto" &&
@@ -454,12 +534,23 @@ noteDegradation(const char *event)
 
 } // namespace
 
+/** Signals seen so far (sig_atomic_t: async-signal-safe to touch). */
+static volatile std::sig_atomic_t g_signalsSeen = 0;
+
 extern "C" void
 toqmMapStopSignalHandler(int)
 {
-    // Async-signal-safe: a single lock-free atomic store.  The armed
+    // First signal: a single lock-free atomic store.  The armed
     // guards pick it up at their next probe and the mappers unwind,
     // returning their best incumbent.
+    //
+    // Second signal: the graceful unwind is taking too long (or is
+    // wedged) and the operator really means stop NOW.  _Exit skips
+    // every destructor and flush — nothing that could block — and
+    // the distinct exit code 9 tells wrappers the stop was forced,
+    // so partial artifacts from this run are suspect.
+    if (++g_signalsSeen > 1)
+        std::_Exit(9);
     toqm::search::requestCancellation();
 }
 
@@ -510,7 +601,53 @@ struct JobSpec
 {
     std::string input;      // empty = stdin
     bool batchMode = false; // tag stats lines with the input path
+    /** Pre-rendered recovery JSON from earlier failed attempts of
+     *  this job (see runJobWithRecovery); lands on the stats line as
+     *  the trailing `"fault":{...}` key. */
+    std::string faultJson;
 };
+
+/**
+ * Failure classification of one runJob attempt, filled for the retry
+ * layer (see DESIGN.md §4.6 for the taxonomy).  The classes decide
+ * retryability: Memory (retried with a halved pool cap), Transient
+ * (IO hiccup, retried) and Verify (gate failure, retried) recover;
+ * Permanent and Generic do not.
+ */
+struct FailureInfo
+{
+    enum class Class {
+        None,      ///< the attempt did not classify its failure
+        Memory,    ///< allocation failure (std::bad_alloc)
+        Transient, ///< transient IO fault
+        Permanent, ///< injected permanent fault
+        Verify,    ///< verification gate rejected the result
+        Generic,   ///< any other exception
+    };
+
+    Class cls = Class::None;
+    std::string site; ///< fault site, when an injected fault was caught
+};
+
+const char *
+failureClassName(FailureInfo::Class cls)
+{
+    switch (cls) {
+      case FailureInfo::Class::Memory:
+        return "memory";
+      case FailureInfo::Class::Transient:
+        return "transient";
+      case FailureInfo::Class::Permanent:
+        return "permanent";
+      case FailureInfo::Class::Verify:
+        return "verification";
+      case FailureInfo::Class::Generic:
+        return "generic";
+      case FailureInfo::Class::None:
+        break;
+    }
+    return "none";
+}
 
 /**
  * Map ONE input end to end: parse, map, verify, emit.  The single-
@@ -518,10 +655,12 @@ struct JobSpec
  * byte stream is identical to the pre-batch builds; batch jobs pass
  * buffered streams that main() replays in input-list order.
  * Returns the per-input exit code (see the table in usage()).
+ * When @p failure is non-null a failing attempt records its failure
+ * class there for the retry layer.
  */
 int
 runJob(const Options &opt, const JobSpec &job, std::ostream &out,
-       std::FILE *err)
+       std::FILE *err, FailureInfo *failure = nullptr)
 {
     obs::Observer &observer = obs::Observer::global();
 
@@ -585,6 +724,7 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         stats_ctx.latSwap = opt.lats;
         if (job.batchMode)
             stats_ctx.input = job.input;
+        stats_ctx.faultJson = job.faultJson;
 
         // Annotate the stats line with the run's objective whenever
         // one was asked for — a non-cycles objective OR an explicit
@@ -1000,6 +1140,12 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         }
 
         // --- verify -----------------------------------------------
+        // Mandatory gate: EVERY result is structurally verified
+        // before a single output byte is emitted — a wrong circuit
+        // must never leave the process, whatever path produced it.
+        // The gate is silent on success (keeping default stderr
+        // byte-identical); the degraded and --verify paths below
+        // keep their own reporting.
         if (verify_degraded && !opt.verify) {
             // A degraded answer is never an unverified one.
             const auto verdict =
@@ -1009,10 +1155,23 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                              "VERIFICATION FAILED (degraded "
                              "result): %s\n",
                              verdict.message.c_str());
+                if (failure != nullptr)
+                    failure->cls = FailureInfo::Class::Verify;
                 return 3;
             }
             std::fprintf(err, "structural verification "
                          "(degraded result): ok\n");
+        } else if (!opt.verify) {
+            const auto verdict =
+                sim::verifyMapping(logical, mapped, device);
+            if (!verdict.ok) {
+                std::fprintf(err,
+                             "VERIFICATION FAILED (gate): %s\n",
+                             verdict.message.c_str());
+                if (failure != nullptr)
+                    failure->cls = FailureInfo::Class::Verify;
+                return 3;
+            }
         }
         if (opt.verify) {
             const auto verdict =
@@ -1021,6 +1180,8 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                 std::fprintf(err,
                              "VERIFICATION FAILED: %s\n",
                              verdict.message.c_str());
+                if (failure != nullptr)
+                    failure->cls = FailureInfo::Class::Verify;
                 return 3;
             }
             std::fprintf(err, "structural verification: ok\n");
@@ -1040,8 +1201,12 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
                     std::fprintf(err,
                                  "semantic equivalence: %s\n",
                                  equal ? "ok" : "FAILED");
-                    if (!equal)
+                    if (!equal) {
+                        if (failure != nullptr)
+                            failure->cls =
+                                FailureInfo::Class::Verify;
                         return 3;
+                    }
                 }
             }
         }
@@ -1083,31 +1248,170 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         }
         out << qasm::writeMappedCircuit(mapped);
         return pending_exit;
+    } catch (const fault::InjectedFault &e) {
+        // An injected fault that reached the job boundary: contained
+        // here, classified for the retry layer, never re-thrown into
+        // the batch driver or a pool worker.
+        std::fprintf(err, "error: %s\n", e.what());
+        if (failure != nullptr) {
+            failure->cls = e.transient()
+                               ? FailureInfo::Class::Transient
+                               : FailureInfo::Class::Permanent;
+            failure->site = fault::siteName(e.site());
+        }
+        return 1;
+    } catch (const std::bad_alloc &) {
+        // Allocation failure shares the memory-exhausted exit code:
+        // same failure class, same operator remedy (lower the load
+        // or raise the ceiling), and the retry layer halves the pool
+        // cap before trying again.
+        std::fprintf(err, "error: out of memory\n");
+        if (failure != nullptr)
+            failure->cls = FailureInfo::Class::Memory;
+        return 7;
     } catch (const std::exception &e) {
         std::fprintf(err, "error: %s\n", e.what());
+        if (failure != nullptr)
+            failure->cls = FailureInfo::Class::Generic;
         return 1;
     }
 }
 
-/** The input paths to map: positional args plus the manifest. */
+/** One recovery-layer attempt: how it failed and what was done. */
+struct AttemptRecord
+{
+    int code = 0;
+    FailureInfo::Class cls = FailureInfo::Class::None;
+    std::string site;   // fault site when one was identified
+    std::string action; // retry | retry-halved-pool | fallback-...
+};
+
+/** Render the `fault` block of the stats line: the contained-fault
+ *  recovery history that led to the CURRENT (1-based) attempt. */
+std::string
+recoveryJson(const std::vector<AttemptRecord> &history)
+{
+    std::string out =
+        "{\"attempts\":" + std::to_string(history.size() + 1) +
+        ",\"history\":[";
+    for (std::size_t i = 0; i < history.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += "{\"code\":" + std::to_string(history[i].code) +
+               ",\"class\":\"" + failureClassName(history[i].cls) +
+               "\"";
+        if (!history[i].site.empty())
+            out += ",\"site\":\"" + history[i].site + "\"";
+        out += ",\"action\":\"" + history[i].action + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+/**
+ * Self-healing wrapper around runJob: contain a failed attempt,
+ * classify it (FailureInfo), and retry the retryable classes up to
+ * `--retries` more times with exponential backoff —
+ *
+ *   memory        retried with the pool cap halved each attempt
+ *   transient     retried as-is (IO hiccup)
+ *   verification  retried as-is (gate rejected the result)
+ *
+ * — while permanent/generic failures and the guard-stop codes
+ * (budget, infeasible, deadline, cancelled) return immediately:
+ * retrying a deterministic failure or re-spending an expired
+ * deadline only doubles the damage.  After the retries are spent, a
+ * configured --fallback=heuristic runs once as the last resort.
+ *
+ * Each attempt's circuit is buffered and only the returned attempt's
+ * bytes reach @p out, so a failed attempt can never leak a partial
+ * circuit.  The attempt history is threaded into the stats line as
+ * the `"fault":{...}` block.  With --retries 0 (the default) this is
+ * a tail call into runJob — byte-identical behavior.
+ */
+int
+runJobWithRecovery(const Options &opt, const JobSpec &job,
+                   std::ostream &out, std::FILE *err)
+{
+    if (opt.retries == 0)
+        return runJob(opt, job, out, err);
+
+    Options attempt_opt = opt;
+    std::vector<AttemptRecord> history;
+    for (int attempt = 0;; ++attempt) {
+        JobSpec attempt_job = job;
+        if (!history.empty())
+            attempt_job.faultJson = recoveryJson(history);
+        std::ostringstream body;
+        FailureInfo failure;
+        const int code =
+            runJob(attempt_opt, attempt_job, body, err, &failure);
+
+        FailureInfo::Class cls = failure.cls;
+        // Classify by exit code when the attempt did not: a 7 from
+        // the guard path is the same memory class as a bad_alloc,
+        // and every 3 is a verification rejection.
+        if (cls == FailureInfo::Class::None && code == 7)
+            cls = FailureInfo::Class::Memory;
+        if (code == 3)
+            cls = FailureInfo::Class::Verify;
+        const bool retryable = cls == FailureInfo::Class::Memory ||
+                               cls == FailureInfo::Class::Transient ||
+                               cls == FailureInfo::Class::Verify;
+        if (code == 0 || !retryable) {
+            out << body.str();
+            return code;
+        }
+
+        AttemptRecord rec;
+        rec.code = code;
+        rec.cls = cls;
+        rec.site = failure.site;
+        rec.action = "retry";
+        if (cls == FailureInfo::Class::Memory &&
+            attempt_opt.maxPoolMb > 1) {
+            attempt_opt.maxPoolMb = attempt_opt.maxPoolMb / 2;
+            rec.action = "retry-halved-pool";
+        }
+        if (attempt >= opt.retries) {
+            // Retries spent.  Last resort: the --fallback mapper,
+            // once; otherwise deliver the final attempt as-is.
+            if (opt.fallback == "heuristic" &&
+                attempt_opt.mapper != "heuristic") {
+                attempt_opt.mapper = "heuristic";
+                rec.action = "fallback-heuristic";
+            } else {
+                out << body.str();
+                return code;
+            }
+        }
+        history.push_back(std::move(rec));
+        std::fprintf(err,
+                     "recovery: attempt %d failed (%s, exit %d); "
+                     "%s\n",
+                     attempt + 1,
+                     failureClassName(history.back().cls), code,
+                     history.back().action.c_str());
+        if (opt.retryBackoffMs > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                opt.retryBackoffMs << attempt));
+        }
+    }
+}
+
+/** The input paths to map: positional args plus the manifest
+ *  (parsed by the hardened parallel::parseManifestFile — malformed
+ *  content is a positioned `path:line:col:` error, not a silently
+ *  shorter batch). */
 std::vector<std::string>
 collectInputs(const Options &opt)
 {
     std::vector<std::string> inputs = opt.inputs;
     if (!opt.manifestPath.empty()) {
-        std::ifstream manifest(opt.manifestPath);
-        if (!manifest) {
-            throw std::runtime_error("could not open manifest " +
-                                     opt.manifestPath);
-        }
-        std::string line;
-        while (std::getline(manifest, line)) {
-            const auto begin = line.find_first_not_of(" \t\r");
-            if (begin == std::string::npos || line[begin] == '#')
-                continue;
-            const auto end = line.find_last_not_of(" \t\r");
-            inputs.push_back(line.substr(begin, end - begin + 1));
-        }
+        const std::vector<std::string> manifest =
+            parallel::parseManifestFile(opt.manifestPath);
+        inputs.insert(inputs.end(), manifest.begin(),
+                      manifest.end());
     }
     return inputs;
 }
@@ -1142,6 +1446,23 @@ outDirFileNames(const std::vector<std::string> &inputs)
     return names;
 }
 
+/** Write @p body to @p dest via tmp + rename, so a kill mid-write
+ *  never leaves a torn destination file. */
+bool
+writeFileAtomic(const std::filesystem::path &dest,
+                const std::string &body)
+{
+    const std::filesystem::path tmp(dest.string() + ".tmp");
+    {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        if (!(f << body))
+            return false;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, dest, ec);
+    return !ec;
+}
+
 /**
  * Map every input concurrently on a work-stealing pool, then emit
  * per-input output in INPUT-LIST order, never completion order:
@@ -1150,6 +1471,15 @@ outDirFileNames(const std::vector<std::string> &inputs)
  * with `// ====` separators, and stderr buffers are replayed
  * verbatim in the same order.  Returns the worst (numeric max)
  * per-input exit code.
+ *
+ * With --journal FILE the batch is additionally CRASH-SAFE: each
+ * job's output file is published atomically (tmp + rename) the
+ * moment the job finishes — not in the ordered replay — and its
+ * completion is journaled durably (fsync).  Re-running the same
+ * command resumes: every input whose journal record matches the
+ * bytes on disk is skipped with its recorded exit code, so the
+ * resumed batch converges to output byte-identical to an
+ * uninterrupted run.
  */
 int
 runBatchMode(const Options &opt,
@@ -1160,11 +1490,57 @@ runBatchMode(const Options &opt,
         std::ostringstream out;
         std::string errText;
     };
+
+    const std::vector<std::string> dest_names =
+        opt.outDir.empty() ? std::vector<std::string>()
+                           : outDirFileNames(inputs);
+
+    // Journal resume: identify the jobs a previous run of this batch
+    // already completed.  Trust but verify — a record only skips its
+    // job when the destination file's bytes still match (size +
+    // FNV-1a), so a hand-edited or torn output is redone, never
+    // silently trusted.
+    parallel::Journal journal;
+    std::vector<const parallel::JournalRecord *> done(inputs.size(),
+                                                      nullptr);
+    if (!opt.journalPath.empty()) {
+        std::string error;
+        if (!journal.open(opt.journalPath, error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            const parallel::JournalRecord *rec =
+                journal.find(dest_names[i]);
+            if (rec == nullptr)
+                continue;
+            std::ifstream f(std::filesystem::path(opt.outDir) /
+                                dest_names[i],
+                            std::ios::binary);
+            if (!f)
+                continue;
+            std::ostringstream buf;
+            buf << f.rdbuf();
+            const std::string body = buf.str();
+            if (body.size() == rec->bytes &&
+                parallel::fnv1aHash(body.data(), body.size()) ==
+                    rec->hash) {
+                done[i] = rec;
+            }
+        }
+    }
+
     std::vector<JobBuffers> buffers(inputs.size());
+    // Set by a journal-mode job once its output file is published;
+    // the ordered replay below must not write it again.
+    std::vector<char> published(inputs.size(), 0);
     std::vector<std::function<int()>> jobs;
     jobs.reserve(inputs.size());
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-        jobs.push_back([&opt, &inputs, &buffers, i]() -> int {
+        jobs.push_back([&opt, &inputs, &buffers, &dest_names,
+                        &journal, &done, &published, i]() -> int {
+            if (done[i] != nullptr)
+                return done[i]->code;
             // POSIX memstream: the fprintf-style call sites inside
             // runJob keep writing to a FILE* while the bytes land in
             // memory for ordered replay.
@@ -1173,12 +1549,34 @@ runBatchMode(const Options &opt,
             std::FILE *err = open_memstream(&data, &size);
             if (err == nullptr)
                 return 1;
-            const int code =
-                runJob(opt, JobSpec{inputs[i], /*batchMode=*/true},
-                       buffers[i].out, err);
+            int code = runJobWithRecovery(
+                opt, JobSpec{inputs[i], /*batchMode=*/true},
+                buffers[i].out, err);
             std::fclose(err);
             buffers[i].errText.assign(data, size);
             std::free(data);
+            if (journal.isOpen()) {
+                // Publish now (atomic rename), journal durably.
+                const std::string body = buffers[i].out.str();
+                const std::filesystem::path dest =
+                    std::filesystem::path(opt.outDir) /
+                    dest_names[i];
+                if (writeFileAtomic(dest, body)) {
+                    published[i] = 1;
+                    parallel::JournalRecord rec;
+                    rec.input = inputs[i];
+                    rec.dest = dest_names[i];
+                    rec.code = code;
+                    rec.bytes = body.size();
+                    rec.hash =
+                        parallel::fnv1aHash(body.data(), body.size());
+                    journal.append(rec);
+                } else {
+                    buffers[i].errText += "error: could not write " +
+                                          dest.string() + "\n";
+                    code = std::max(code, 1);
+                }
+            }
             return code;
         });
     }
@@ -1188,12 +1586,18 @@ runBatchMode(const Options &opt,
     parallel::ThreadPool pool(workers);
     std::vector<int> codes = parallel::runBatch(pool, jobs);
 
-    const std::vector<std::string> dest_names =
-        opt.outDir.empty() ? std::vector<std::string>()
-                           : outDirFileNames(inputs);
     for (std::size_t i = 0; i < inputs.size(); ++i) {
         std::fwrite(buffers[i].errText.data(), 1,
                     buffers[i].errText.size(), stderr);
+        if (done[i] != nullptr) {
+            std::fprintf(stderr,
+                         "journal: %s already complete (exit %d), "
+                         "skipped\n",
+                         inputs[i].c_str(), done[i]->code);
+            continue;
+        }
+        if (published[i])
+            continue;
         const std::string body = buffers[i].out.str();
         if (opt.outDir.empty()) {
             std::printf("// ==== %s ====\n", inputs[i].c_str());
@@ -1220,6 +1624,33 @@ main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
 
+    // Fault injection: arm the process-global injector from
+    // --fault-plan or the TOQM_FAULT environment variable.  In a
+    // default build the hooks are compiled out, so a requested plan
+    // could only silently do nothing — refuse it loudly instead.
+    std::string fault_spec = opt.faultPlan;
+    if (fault_spec.empty()) {
+        if (const char *env = std::getenv("TOQM_FAULT"))
+            fault_spec = env;
+    }
+    if (!fault_spec.empty()) {
+#if TOQM_ENABLE_FAULT_INJECTION
+        try {
+            fault::Injector::global().arm(
+                fault::FaultPlan::parse(fault_spec));
+        } catch (const fault::FaultPlanError &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            return 2;
+        }
+#else
+        std::fprintf(stderr,
+                     "error: fault injection is not compiled into "
+                     "this build; configure with "
+                     "-DTOQM_ENABLE_FAULT_INJECTION=ON\n");
+        return 2;
+#endif
+    }
+
     // Cooperative cancellation: Ctrl-C / SIGTERM request a stop; the
     // searches unwind at their next guard probe and the best
     // incumbents (if any) are still delivered and verified.
@@ -1241,6 +1672,9 @@ main(int argc, char **argv)
         inputs = collectInputs(opt);
         if (!opt.outDir.empty())
             std::filesystem::create_directories(opt.outDir);
+    } catch (const std::bad_alloc &) {
+        std::fprintf(stderr, "error: out of memory\n");
+        return 7;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
@@ -1251,11 +1685,12 @@ main(int argc, char **argv)
         (!opt.outDir.empty() && !inputs.empty());
     if (!batch) {
         // Single input (or stdin): run on the caller's thread with
-        // the REAL streams — byte-identical to a pre-batch build.
+        // the REAL streams — byte-identical to a pre-batch build
+        // (with --retries 0 the recovery wrapper is a tail call).
         JobSpec job;
         if (!inputs.empty())
             job.input = inputs.front();
-        return runJob(opt, job, std::cout, stderr);
+        return runJobWithRecovery(opt, job, std::cout, stderr);
     }
     return runBatchMode(opt, inputs);
 }
