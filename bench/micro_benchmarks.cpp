@@ -26,6 +26,7 @@
 #include "sim/statevector.hpp"
 #include "toqm/cost_estimator.hpp"
 #include "toqm/expander.hpp"
+#include "toqm/filter.hpp"
 #include "toqm/mapper.hpp"
 
 namespace {
@@ -88,6 +89,110 @@ BM_NodeExpansion(benchmark::State &state)
     }
 }
 BENCHMARK(BM_NodeExpansion);
+
+/**
+ * Shared fixture for the filter benchmarks: a realistic node stream
+ * (two BFS levels of the qft-8 / 2x4-grid search) admitted into the
+ * open-addressing dominance filter.
+ */
+struct FilterBenchFixture
+{
+    ir::Circuit circuit = ir::qftSkeleton(8);
+    arch::CouplingGraph graph = arch::grid(2, 4);
+    ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    core::SearchContext ctx{circuit, graph, lat};
+    core::NodePool pool{ctx};
+    core::Expander expander{ctx, pool};
+    std::vector<core::NodeRef> nodes;
+
+    FilterBenchFixture()
+    {
+        auto root = pool.root(ir::identityLayout(8), false);
+        nodes.push_back(root);
+        auto level1 = expander.expand(root).children;
+        nodes.insert(nodes.end(), level1.begin(), level1.end());
+        // One more level from the first few children: mixes fresh
+        // mappings with duplicates of level-1 mappings, so admits
+        // exercise both the miss and the dominance-compare paths.
+        for (size_t i = 0; i < level1.size() && nodes.size() < 600;
+             ++i) {
+            auto level2 = expander.expand(level1[i]).children;
+            nodes.insert(nodes.end(), level2.begin(), level2.end());
+        }
+    }
+};
+
+/** Admit throughput: table build-up, dominance kills, rehashes. */
+void
+BM_FilterAdmit(benchmark::State &state)
+{
+    FilterBenchFixture fx;
+    for (auto _ : state) {
+        core::Filter filter;
+        for (const auto &n : fx.nodes)
+            benchmark::DoNotOptimize(filter.admit(n));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(fx.nodes.size()));
+}
+BENCHMARK(BM_FilterAdmit);
+
+/**
+ * Lookup throughput: the table is pre-populated, and every admitted
+ * node is an exact duplicate of a recorded one, so each call is a
+ * probe + dominance compare + drop with no table mutation.
+ */
+void
+BM_FilterLookup(benchmark::State &state)
+{
+    FilterBenchFixture fx;
+    core::Filter filter;
+    for (const auto &n : fx.nodes)
+        filter.admit(n);
+    for (auto _ : state) {
+        for (const auto &n : fx.nodes)
+            benchmark::DoNotOptimize(filter.admit(n));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(fx.nodes.size()));
+}
+BENCHMARK(BM_FilterLookup);
+
+/**
+ * h(v) on a mid-search node: several gates already scheduled, so the
+ * production scan starts at firstUnscheduled instead of rescanning
+ * the scheduled prefix (BM_CostEstimator covers the root-node case).
+ */
+void
+BM_IncrementalH(benchmark::State &state)
+{
+    const ir::Circuit c = ir::qftSkeleton(8);
+    const auto g = arch::grid(2, 4);
+    const ir::LatencyModel lat = ir::LatencyModel::qftPreset();
+    core::SearchContext ctx(c, g, lat);
+    core::CostEstimator est(ctx);
+    est.setAuditInterval(0); // time the fast path, not the oracle
+    core::NodePool pool(ctx);
+    core::Expander expander(ctx, pool);
+    auto node = pool.root(ir::identityLayout(8), false);
+    // Walk down a gate-scheduling path to accumulate a scheduled
+    // prefix (children are gates-first, so front() schedules when a
+    // gate is ready).
+    for (int depth = 0; depth < 12; ++depth) {
+        auto children = expander.expand(node).children;
+        if (children.empty())
+            break;
+        core::NodeRef next = children.front();
+        for (const auto &ch : children) {
+            if (ch->scheduledGates > next->scheduledGates)
+                next = ch;
+        }
+        node = next;
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(est.estimate(*node));
+}
+BENCHMARK(BM_IncrementalH);
 
 /**
  * Replica of the pre-pool node representation: every clone paid one

@@ -1,0 +1,58 @@
+#!/bin/bash
+# Two-stage LTO+PGO build of the search core.
+#
+#   stage 1: configure with -fprofile-generate (preset pgo-generate),
+#            build toqm_map, and train it on the QFT corpus — the
+#            workloads the bench harness times, so the profile matches
+#            what check_bench_regression.py measures.
+#   stage 2: reconfigure THE SAME build directory with -fprofile-use
+#            (preset pgo-use) and rebuild everything.
+#
+# The two stages share build-pgo/ on purpose: GCC keys each .gcda
+# profile on the object file's absolute path, so compiling stage 2 in
+# a different directory would silently find no profiles.  Reusing the
+# directory forces every object to recompile at its recorded path.
+#
+# Usage: ci/build_pgo.sh [jobs]   (default: nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=${1:-$(nproc)}
+PROFDIR=$PWD/build-pgo-profiles
+
+rm -rf build-pgo "$PROFDIR"
+mkdir -p "$PROFDIR"
+
+echo "== stage 1: instrumented build =="
+cmake --preset pgo-generate
+cmake --build build-pgo -j"$JOBS" --target toqm_map
+
+echo "== training on the QFT corpus =="
+# Mirrors the deterministic-mapper rows of the bench corpus matrix:
+# optimal A* on small instances, the budgeted tokyo search that
+# dominates filter/estimator time, and the heuristic/zulehner passes.
+# Exit codes are ignored — budget-exhausted runs (exit 3) still emit
+# full profiles, and training must not fail the build.
+train() { ./build-pgo/tools/toqm_map "$@" > /dev/null 2>&1 || true; }
+train --arch ibmqx2 --mapper optimal benchmarks/qasm/qft4.qasm
+train --arch ibmqx2 --mapper optimal --search-initial benchmarks/qasm/bell.qasm
+train --arch lnn4 --mapper optimal --search-initial benchmarks/qasm/qft4.qasm
+train --arch lnn3 --mapper optimal benchmarks/qasm/toffoli_chain.qasm
+train --arch ibmqx2 --mapper optimal benchmarks/qasm/ghz5_with_gate.qasm
+train --arch tokyo --mapper optimal --search-initial --max-nodes 2000 \
+      benchmarks/qasm/qft8.qasm
+train --arch tokyo --mapper heuristic benchmarks/qasm/qft8.qasm
+train --arch tokyo --mapper zulehner benchmarks/qasm/qft8.qasm
+train --arch tokyo --mapper heuristic benchmarks/qasm/adder2.qasm
+
+if ! ls "$PROFDIR"/*.gcda > /dev/null 2>&1; then
+    echo "error: training produced no .gcda profiles in $PROFDIR" >&2
+    exit 1
+fi
+echo "profiles: $(ls "$PROFDIR"/*.gcda | wc -l) .gcda files"
+
+echo "== stage 2: profile-optimized build =="
+cmake --preset pgo-use
+cmake --build build-pgo -j"$JOBS"
+
+echo "PGO build ready in build-pgo/"

@@ -101,21 +101,37 @@ def micro_times_ns(doc, micro_path):
     return times
 
 
+# Pure-timing search-core benchmarks get the same treatment as
+# BM_NodeExpansion: a GENEROUS absolute ceiling (~10x the bench
+# container's typical time) that catches order-of-magnitude
+# accidents — an accidentally quadratic probe chain, a lost
+# incremental path — not percent-level noise.
+EXTRA_MICRO_CEILINGS_NS = {
+    "BM_FilterAdmit": 150_000.0,    # ~600 admits/iter, ~13 us typical
+    "BM_FilterLookup": 250_000.0,   # ~600 probes/iter, ~20 us typical
+    "BM_IncrementalH": 5_000.0,     # single estimate, ~0.3 us typical
+}
+
+
 def check_micro(micro_path, ceiling_ns, hook_ratio, hook_floor_ns):
     times = micro_times_ns(load(micro_path), micro_path)
     failures = 0
-    if "BM_NodeExpansion" not in times:
-        print(f"FAIL: BM_NodeExpansion missing from {micro_path}")
-        failures += 1
-    else:
-        time_ns = times["BM_NodeExpansion"]
-        if time_ns > ceiling_ns:
-            print(f"FAIL BM_NodeExpansion: {time_ns:.0f} ns > "
-                  f"ceiling {ceiling_ns:.0f} ns")
+    gates = dict(EXTRA_MICRO_CEILINGS_NS)
+    gates["BM_NodeExpansion"] = ceiling_ns
+    for name in sorted(gates):
+        limit = gates[name]
+        if name not in times:
+            print(f"FAIL: {name} missing from {micro_path}")
+            failures += 1
+            continue
+        time_ns = times[name]
+        if time_ns > limit:
+            print(f"FAIL {name}: {time_ns:.0f} ns > "
+                  f"ceiling {limit:.0f} ns")
             failures += 1
         else:
-            print(f"ok BM_NodeExpansion: {time_ns:.0f} ns "
-                  f"(ceiling {ceiling_ns:.0f} ns)")
+            print(f"ok {name}: {time_ns:.0f} ns "
+                  f"(ceiling {limit:.0f} ns)")
     hook = times.get("BM_FaultPointDisarmed")
     base = times.get("BM_GuardPollBaseline")
     if hook is not None and base is not None:

@@ -15,6 +15,7 @@ namespace toqm::heuristic {
 using core::Action;
 using core::NodePool;
 using core::NodeRef;
+using core::QIndex;
 using core::SearchContext;
 using core::SearchNode;
 using search::SearchStatus;
@@ -258,7 +259,7 @@ class Run
         int q0 = -1, q1 = -1;
         {
             const int *head = node->head();
-            const int *l2p = node->log2phys();
+            const QIndex *l2p = node->log2phys();
             for (int l = 0; l < _ctx.numLogical() && q0 < 0; ++l) {
                 const auto &gates = _ctx.qubitGates(l);
                 const int h = head[l];
@@ -441,7 +442,7 @@ class Run
         // Find head gates with unmapped operands.
         std::vector<int> to_place; // logical qubits needing a home
         const int *head = node->head();
-        const int *l2p = node->log2phys();
+        const QIndex *l2p = node->log2phys();
         for (int l = 0; l < _ctx.numLogical(); ++l) {
             const auto &gates = _ctx.qubitGates(l);
             const int h = head[l];
@@ -475,10 +476,10 @@ class Run
 
     /** Place logical @p l minimizing distance to its next partner. */
     void
-    placeQubit(SearchNode &node, int l) const
+    placeQubit(SearchNode &node, int l)
     {
-        int *l2p = node.log2phys();
-        int *p2l = node.phys2log();
+        const QIndex *l2p = node.log2phys();
+        const QIndex *p2l = node.phys2log();
         if (l2p[l] >= 0)
             return;
 
@@ -516,8 +517,9 @@ class Run
         }
         if (best < 0)
             return; // device full; cannot happen for valid inputs
-        l2p[l] = best;
-        p2l[best] = l;
+        // Through the pool so the cached mapping hash and occupancy
+        // bits stay coherent with the arrays.
+        _pool.placeLogical(node, l, best);
     }
 
     /**
@@ -529,7 +531,7 @@ class Run
     computeRouteScore(const SearchNode &node) const
     {
         const int *head = node.head();
-        const int *l2p = node.log2phys();
+        const QIndex *l2p = node.log2phys();
         int score = 0;
         for (int l = 0; l < _ctx.numLogical(); ++l) {
             if (l2p[l] < 0)
@@ -563,7 +565,7 @@ class Run
         std::vector<Action> out;
         const int start = node.cycle + 1;
         const int *head = node.head();
-        const int *l2p = node.log2phys();
+        const QIndex *l2p = node.log2phys();
         const int *busy = node.busyUntil();
         for (int l = 0; l < _ctx.numLogical(); ++l) {
             const auto &gates = _ctx.qubitGates(l);
@@ -606,7 +608,7 @@ class Run
         std::vector<char> keep(static_cast<size_t>(_ctx.numPhysical()),
                                0);
         const int *head = node.head();
-        const int *l2p = node.log2phys();
+        const QIndex *l2p = node.log2phys();
         for (int l = 0; l < _ctx.numLogical(); ++l) {
             const auto &gates = _ctx.qubitGates(l);
             const int h = head[l];
@@ -655,10 +657,10 @@ class Run
         // a qubit of a forced gate, and must not break an executable
         // frontier gate (Section 6.2's restriction).
         const int *busy = node->busyUntil();
-        const int *partner = node->lastSwapPartner();
-        const int *p2l = node->phys2log();
+        const QIndex *partner = node->lastSwapPartner();
+        const QIndex *p2l = node->phys2log();
         const int *head = node->head();
-        const int *l2p = node->log2phys();
+        const QIndex *l2p = node->log2phys();
         std::vector<char> forced_used(
             static_cast<size_t>(_ctx.numPhysical()), 0);
         for (const Action &a : forced) {

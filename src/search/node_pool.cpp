@@ -1,7 +1,9 @@
 #include "node_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
+#include <limits>
 #include <new>
 #include <stdexcept>
 
@@ -11,15 +13,97 @@ namespace toqm::search {
 
 namespace {
 
-constexpr size_t kNodesPerSlab = 256;
+constexpr std::size_t kNodesPerSlab = 256;
 
-size_t
-roundUp(size_t n, size_t align)
+/**
+ * Initial-phase nodes must not collide with in-flight ones: the salt
+ * is XORed into the cached hash while initialPhase is set and XORed
+ * back out when the mapping is committed.
+ */
+constexpr std::uint64_t kPhaseSalt = 0x9e3779b97f4a7c15ull;
+
+std::size_t
+roundUp(std::size_t n, std::size_t align)
 {
     return (n + align - 1) / align * align;
 }
 
+/** 64-bit words needed to hold @p bytes. */
+std::size_t
+wordsFor(std::size_t bytes)
+{
+    return (bytes + 7) / 8;
+}
+
+/**
+ * Per-field clone copy: every per-node slice is padded to whole
+ * words, so cloning moves aligned 64-bit words in a short inlined
+ * loop (a handful of words per field) instead of a libc memcpy call
+ * per field.
+ */
+inline void
+copyWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = src[i];
+}
+
+/** splitmix64 — deterministic, well-mixed Zobrist key stream. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
 } // namespace
+
+std::uint64_t
+SearchNode::materializeHash() const
+{
+    // Walk up to the nearest ancestor with a materialized hash (the
+    // root always has one), then replay each descendant's swaps
+    // downward, caching as we go.  Swaps within one action set are
+    // qubit-disjoint (the expander enumerates disjoint subsets), so
+    // a node's own post-swap phys2log identifies exactly which
+    // logical each swap moved: the occupant of p0 arrived from p1
+    // and vice versa.
+    thread_local std::vector<const SearchNode *> chain;
+    chain.clear();
+    const SearchNode *cur = this;
+    while (!cur->_hashValid) {
+        chain.push_back(cur);
+        cur = cur->_parent;
+        assert(cur != nullptr &&
+               "search node chain has no materialized hash");
+    }
+    std::uint64_t h = cur->_mapHash;
+    bool phase = cur->initialPhase;
+    const NodePool &pool = *_pool;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        const SearchNode *c = *it;
+        if (c->initialPhase != phase) {
+            h ^= kPhaseSalt;
+            phase = c->initialPhase;
+        }
+        const QIndex *p2l = c->phys2log();
+        for (const Action &a : c->actions) {
+            if (!a.isSwap())
+                continue;
+            const int l0 = p2l[a.p0]; // arrived from p1
+            const int l1 = p2l[a.p1]; // arrived from p0
+            if (l0 >= 0)
+                h ^= pool.zobrist(l0, a.p1) ^ pool.zobrist(l0, a.p0);
+            if (l1 >= 0)
+                h ^= pool.zobrist(l1, a.p0) ^ pool.zobrist(l1, a.p1);
+        }
+        c->_mapHash = h;
+        c->_hashValid = true;
+    }
+    return h;
+}
 
 int
 SearchNode::makespan() const
@@ -31,47 +115,71 @@ SearchNode::makespan() const
     return last;
 }
 
-std::uint64_t
-SearchNode::mappingHash() const
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    const int *l2p = log2phys();
-    for (int l = 0; l < _nl; ++l) {
-        h ^= static_cast<std::uint64_t>(l2p[l] + 2);
-        h *= 0x100000001b3ull;
-    }
-    // Initial-phase nodes must not collide with in-flight ones.
-    h ^= initialPhase ? 0x9e3779b97f4a7c15ull : 0;
-    return h;
-}
-
 NodePool::NodePool(const SearchContext &ctx)
     : _ctx(&ctx), _nl(ctx.numLogical()), _np(ctx.numPhysical()),
-      _bufInts(static_cast<size_t>(2 * _nl + 3 * _np)),
-      _stride(roundUp(sizeof(SearchNode) + _bufInts * sizeof(int),
-                      alignof(std::max_align_t))),
+      _wL2p(wordsFor(static_cast<std::size_t>(_nl) * sizeof(QIndex))),
+      _wHead(wordsFor(static_cast<std::size_t>(_nl) * sizeof(int))),
+      _wP2l(wordsFor(static_cast<std::size_t>(_np) * sizeof(QIndex))),
+      _wBusy(wordsFor(static_cast<std::size_t>(_np) * sizeof(int))),
+      _wPartner(
+          wordsFor(static_cast<std::size_t>(_np) * sizeof(QIndex))),
+      _occWords(std::max<std::size_t>(
+          1, (static_cast<std::size_t>(_np) + 63) / 64)),
+      _offHead(kNodesPerSlab * _wL2p),
+      _offP2l(_offHead + kNodesPerSlab * _wHead),
+      _offBusy(_offP2l + kNodesPerSlab * _wP2l),
+      _offPartner(_offBusy + kNodesPerSlab * _wBusy),
+      _offOcc(_offPartner + kNodesPerSlab * _wPartner),
+      _slabWords(_offOcc + kNodesPerSlab * _occWords),
+      _nodeStride(roundUp(sizeof(SearchNode), alignof(SearchNode))),
       _nodesPerSlab(kNodesPerSlab),
-      _slabBytes(_stride * kNodesPerSlab),
+      _slabBytes(kNodesPerSlab * _nodeStride +
+                 _slabWords * sizeof(std::uint64_t)),
       // Start past the (empty) last slab so the first allocate()
       // grabs a slab.
-      _cursor(kNodesPerSlab)
-{}
+      _cursor(kNodesPerSlab),
+      _zobrist(static_cast<std::size_t>(_nl) *
+               static_cast<std::size_t>(_np))
+{
+    if (_np > std::numeric_limits<QIndex>::max() ||
+        _nl > std::numeric_limits<QIndex>::max()) {
+        throw std::invalid_argument(
+            "device/circuit too large for 16-bit qubit indices");
+    }
+    // Deterministic per-(logical, physical) placement keys; the
+    // stream constant is fixed so hashes are reproducible across
+    // runs and pools.
+    for (std::size_t i = 0; i < _zobrist.size(); ++i)
+        _zobrist[i] = splitmix64(0x51ab7e5u + i);
+}
 
 NodePool::~NodePool()
 {
     // Every slot below the cursor holds a constructed node (live or
     // free-listed); destroy them so `actions` releases its storage.
-    for (size_t s = 0; s < _slabs.size(); ++s) {
-        const size_t constructed =
+    for (std::size_t s = 0; s < _slabs.size(); ++s) {
+        const std::size_t constructed =
             s + 1 < _slabs.size() ? _nodesPerSlab : _cursor;
-        std::byte *base = _slabs[s].get();
-        for (size_t i = 0; i < constructed; ++i) {
-            auto *node =
-                std::launder(reinterpret_cast<SearchNode *>(
-                    base + i * _stride));
+        std::byte *base = _slabs[s].nodes.get();
+        for (std::size_t i = 0; i < constructed; ++i) {
+            auto *node = std::launder(
+                reinterpret_cast<SearchNode *>(base + i * _nodeStride));
             node->~SearchNode();
         }
     }
+}
+
+void
+NodePool::addSlab()
+{
+    Slab slab;
+    slab.nodes =
+        std::make_unique<std::byte[]>(_nodesPerSlab * _nodeStride);
+    // Value-initialized: the padding tail of every slice starts (and
+    // stays, since clones copy whole slices) deterministically zero.
+    slab.data = std::make_unique<std::uint64_t[]>(_slabWords);
+    _slabs.push_back(std::move(slab));
+    _cursor = 0;
 }
 
 SearchNode *
@@ -91,14 +199,21 @@ NodePool::allocate()
         _free.pop_back();
         return node;
     }
-    if (_cursor == _nodesPerSlab) {
-        _slabs.push_back(std::make_unique<std::byte[]>(_slabBytes));
-        _cursor = 0;
-    }
-    std::byte *slot = _slabs.back().get() + _cursor * _stride;
-    ++_cursor;
-    int *buf = reinterpret_cast<int *>(slot + sizeof(SearchNode));
-    return new (slot) SearchNode(this, _nl, _np, buf);
+    if (_cursor == _nodesPerSlab)
+        addSlab();
+    Slab &slab = _slabs.back();
+    const std::size_t i = _cursor++;
+    std::uint64_t *w = slab.data.get();
+    auto *l2p = reinterpret_cast<QIndex *>(w + i * _wL2p);
+    auto *head = reinterpret_cast<int *>(w + _offHead + i * _wHead);
+    auto *p2l = reinterpret_cast<QIndex *>(w + _offP2l + i * _wP2l);
+    auto *busy = reinterpret_cast<int *>(w + _offBusy + i * _wBusy);
+    auto *partner =
+        reinterpret_cast<QIndex *>(w + _offPartner + i * _wPartner);
+    std::uint64_t *occ = w + _offOcc + i * _occWords;
+    std::byte *slot = slab.nodes.get() + i * _nodeStride;
+    return new (slot)
+        SearchNode(this, _nl, _np, l2p, head, p2l, busy, partner, occ);
 }
 
 void
@@ -135,6 +250,12 @@ NodePool::setParent(SearchNode *node, SearchNode *parent)
 SearchNode *
 NodePool::acquireCopy(const SearchNode &src)
 {
+    // `actions` is deliberately NOT copied: allocate() hands out
+    // nodes with an empty vector (fresh or recycled), every child
+    // constructor overwrites or wants it empty, and only
+    // cloneSibling() needs the source's actions (it copies them
+    // itself).  Skipping the copy keeps the per-child cost to the
+    // scalar block plus the per-qubit word slices.
     SearchNode *node = allocate();
     node->cycle = src.cycle;
     node->costG = src.costG;
@@ -143,16 +264,64 @@ NodePool::acquireCopy(const SearchNode &src)
     node->objH = src.objH;
     node->objSlack = src.objSlack;
     node->routeScore = src.routeScore;
-    node->actions = src.actions;
     node->scheduledGates = src.scheduledGates;
+    node->firstUnscheduled = src.firstUnscheduled;
     node->busySum = src.busySum;
     node->activeSwapUntil = src.activeSwapUntil;
     node->activeGateUntil = src.activeGateUntil;
     node->initialSwaps = src.initialSwaps;
     node->initialPhase = src.initialPhase;
     node->dead = false;
-    std::memcpy(node->_buf, src._buf, _bufInts * sizeof(int));
+    node->_mapHash = src._mapHash;
+    node->_hashValid = src._hashValid;
+    copyWords(reinterpret_cast<std::uint64_t *>(node->_l2p),
+              reinterpret_cast<const std::uint64_t *>(src._l2p),
+              _wL2p);
+    copyWords(reinterpret_cast<std::uint64_t *>(node->_head),
+              reinterpret_cast<const std::uint64_t *>(src._head),
+              _wHead);
+    copyWords(reinterpret_cast<std::uint64_t *>(node->_p2l),
+              reinterpret_cast<const std::uint64_t *>(src._p2l),
+              _wP2l);
+    copyWords(reinterpret_cast<std::uint64_t *>(node->_busy),
+              reinterpret_cast<const std::uint64_t *>(src._busy),
+              _wBusy);
+    copyWords(reinterpret_cast<std::uint64_t *>(node->_partner),
+              reinterpret_cast<const std::uint64_t *>(src._partner),
+              _wPartner);
+    copyWords(node->_occ, src._occ, _occWords);
     return node;
+}
+
+std::uint64_t
+NodePool::referenceMappingHash(const SearchNode &node) const
+{
+    std::uint64_t h = node.initialPhase ? kPhaseSalt : 0;
+    const QIndex *l2p = node.log2phys();
+    for (int l = 0; l < _nl; ++l) {
+        if (l2p[l] >= 0)
+            h ^= zobrist(l, l2p[l]);
+    }
+    return h;
+}
+
+void
+NodePool::advanceFirstUnscheduled(SearchNode *node) const
+{
+    const SearchContext &ctx = *_ctx;
+    const int total = ctx.numGates();
+    const int *head = node->head();
+    int i = node->firstUnscheduled;
+    // Same "already scheduled" predicate the cost estimator uses:
+    // a gate is scheduled iff its position on its first operand's
+    // gate sequence is below that qubit's head.
+    while (i < total) {
+        const int q0 = ctx.circuit().gate(i).qubit(0);
+        if (ctx.posOnQubit(i, q0) >= head[q0])
+            break;
+        ++i;
+    }
+    node->firstUnscheduled = i;
 }
 
 NodeRef
@@ -173,6 +342,7 @@ NodePool::root(const std::vector<int> &initial_layout,
     node->routeScore = 0;
     node->actions.clear();
     node->scheduledGates = 0;
+    node->firstUnscheduled = 0;
     node->busySum = 0;
     node->activeSwapUntil = 0;
     node->activeGateUntil = 0;
@@ -180,14 +350,16 @@ NodePool::root(const std::vector<int> &initial_layout,
     node->initialPhase = initial_phase;
     node->dead = false;
 
-    int *l2p = node->log2phys();
-    int *p2l = node->phys2log();
-    std::fill(p2l, p2l + np, -1);
+    QIndex *l2p = node->log2phys();
+    QIndex *p2l = node->phys2log();
+    std::fill(p2l, p2l + np, QIndex{-1});
+    std::fill(node->_occ, node->_occ + _occWords, 0);
+    std::uint64_t hash = initial_phase ? kPhaseSalt : 0;
     for (int l = 0; l < nl; ++l) {
         const int p = l < static_cast<int>(initial_layout.size())
                           ? initial_layout[static_cast<size_t>(l)]
                           : -1;
-        l2p[l] = p;
+        l2p[l] = static_cast<QIndex>(p);
         if (p < 0)
             continue;
         if (p >= np || p2l[p] != -1) {
@@ -198,12 +370,17 @@ NodePool::root(const std::vector<int> &initial_layout,
             throw std::invalid_argument(
                 "initial layout is not injective into the device");
         }
-        p2l[p] = l;
+        p2l[p] = static_cast<QIndex>(l);
+        node->_occ[static_cast<std::size_t>(p) >> 6] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(p) & 63);
+        hash ^= zobrist(l, p);
     }
+    node->_mapHash = hash;
+    node->_hashValid = true;
     std::fill(node->head(), node->head() + nl, 0);
     std::fill(node->busyUntil(), node->busyUntil() + np, 0);
     std::fill(node->lastSwapPartner(),
-              node->lastSwapPartner() + np, -1);
+              node->lastSwapPartner() + np, QIndex{-1});
     ++node->_refs;
     return NodeRef(node);
 }
@@ -215,7 +392,11 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
     const SearchContext &ctx = *_ctx;
     SearchNode *node = acquireCopy(*parent);
     setParent(node, parent.get());
-    node->initialPhase = false;
+    if (node->initialPhase) {
+        node->initialPhase = false;
+        if (node->_hashValid)
+            node->_mapHash ^= kPhaseSalt;
+    }
     node->cycle = start_cycle;
     node->costG = parent->costG + (start_cycle - parent->cycle);
     node->actions = actions;
@@ -226,10 +407,11 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
                                start_cycle - parent->cycle);
 
     int *busy = node->busyUntil();
-    int *l2p = node->log2phys();
-    int *p2l = node->phys2log();
-    int *partner = node->lastSwapPartner();
+    QIndex *l2p = node->log2phys();
+    QIndex *p2l = node->phys2log();
+    QIndex *partner = node->lastSwapPartner();
 
+    bool scheduled_any = false;
     for (const Action &a : actions) {
         if (a.isSwap()) {
             const int finish = start_cycle + ctx.swapLatency() - 1;
@@ -241,14 +423,27 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
             // Post-swap mapping convention: apply immediately.
             const int l0 = p2l[a.p0];
             const int l1 = p2l[a.p1];
-            p2l[a.p0] = l1;
-            p2l[a.p1] = l0;
+            p2l[a.p0] = static_cast<QIndex>(l1);
+            p2l[a.p1] = static_cast<QIndex>(l0);
             if (l0 >= 0)
-                l2p[l0] = a.p1;
+                l2p[l0] = static_cast<QIndex>(a.p1);
             if (l1 >= 0)
-                l2p[l1] = a.p0;
-            partner[a.p0] = a.p1;
-            partner[a.p1] = a.p0;
+                l2p[l1] = static_cast<QIndex>(a.p0);
+            // The hash is NOT updated here: materializeHash() can
+            // replay this swap from `actions` on first read, so
+            // children pruned before the filter never pay for it.
+            node->_hashValid = false;
+            // Occupancy toggles only when an occupant moved next to
+            // a hole (both-occupied / both-empty leave bits alone);
+            // branchless so the mispredict-prone compare is an XOR.
+            const std::uint64_t moved =
+                static_cast<std::uint64_t>((l0 >= 0) != (l1 >= 0));
+            node->_occ[static_cast<std::size_t>(a.p0) >> 6] ^=
+                moved << (static_cast<std::size_t>(a.p0) & 63);
+            node->_occ[static_cast<std::size_t>(a.p1) >> 6] ^=
+                moved << (static_cast<std::size_t>(a.p1) & 63);
+            partner[a.p0] = static_cast<QIndex>(a.p1);
+            partner[a.p1] = static_cast<QIndex>(a.p0);
             if (table != nullptr) {
                 // A swap is pure overhead under any objective: it
                 // contributes its full weight to the slack.
@@ -274,6 +469,7 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
             for (int q : g.qubits())
                 ++head[q];
             ++node->scheduledGates;
+            scheduled_any = true;
             if (table != nullptr) {
                 const std::int64_t w = table->gateWeight(g, a.p0, a.p1);
                 node->objG += w;
@@ -283,6 +479,8 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
             }
         }
     }
+    if (scheduled_any)
+        advanceFirstUnscheduled(node);
     ++node->_refs;
     return NodeRef(node);
 }
@@ -290,20 +488,34 @@ NodePool::expand(const NodeRef &parent, int start_cycle,
 NodeRef
 NodePool::initialSwapChild(const NodeRef &parent, int p0, int p1)
 {
+    // Initial-phase swaps are not recorded in `actions`, so lazy
+    // replay cannot reconstruct them: materialize the parent's hash
+    // and update the child's eagerly (the initial-placement phase is
+    // a vanishing fraction of search work).
+    parent->mappingHash();
     SearchNode *node = acquireCopy(*parent);
     setParent(node, parent.get());
-    node->actions.clear();
     ++node->initialSwaps;
-    int *l2p = node->log2phys();
-    int *p2l = node->phys2log();
+    QIndex *l2p = node->log2phys();
+    QIndex *p2l = node->phys2log();
     const int l0 = p2l[p0];
     const int l1 = p2l[p1];
-    p2l[p0] = l1;
-    p2l[p1] = l0;
-    if (l0 >= 0)
-        l2p[l0] = p1;
-    if (l1 >= 0)
-        l2p[l1] = p0;
+    p2l[p0] = static_cast<QIndex>(l1);
+    p2l[p1] = static_cast<QIndex>(l0);
+    if (l0 >= 0) {
+        l2p[l0] = static_cast<QIndex>(p1);
+        node->_mapHash ^= zobrist(l0, p0) ^ zobrist(l0, p1);
+    }
+    if (l1 >= 0) {
+        l2p[l1] = static_cast<QIndex>(p0);
+        node->_mapHash ^= zobrist(l1, p1) ^ zobrist(l1, p0);
+    }
+    if ((l0 >= 0) != (l1 >= 0)) {
+        node->_occ[static_cast<std::size_t>(p0) >> 6] ^=
+            std::uint64_t{1} << (static_cast<std::size_t>(p0) & 63);
+        node->_occ[static_cast<std::size_t>(p1) >> 6] ^=
+            std::uint64_t{1} << (static_cast<std::size_t>(p1) & 63);
+    }
     ++node->_refs;
     return NodeRef(node);
 }
@@ -311,10 +523,13 @@ NodePool::initialSwapChild(const NodeRef &parent, int p0, int p1)
 NodeRef
 NodePool::commitInitialMapping(const NodeRef &parent)
 {
+    parent->mappingHash(); // materialize before the phase-salt flip
     SearchNode *node = acquireCopy(*parent);
     setParent(node, parent.get());
-    node->actions.clear();
-    node->initialPhase = false;
+    if (node->initialPhase) {
+        node->initialPhase = false;
+        node->_mapHash ^= kPhaseSalt;
+    }
     ++node->_refs;
     return NodeRef(node);
 }
@@ -323,9 +538,26 @@ NodeRef
 NodePool::cloneSibling(const NodeRef &node)
 {
     SearchNode *copy = acquireCopy(*node);
+    copy->actions = node->actions;
     setParent(copy, node->_parent);
     ++copy->_refs;
     return NodeRef(copy);
+}
+
+void
+NodePool::placeLogical(SearchNode &node, int l, int p)
+{
+    assert(node.log2phys()[l] < 0 && "qubit already placed");
+    assert(node.phys2log()[p] < 0 && "position already occupied");
+    // A placement is not an action either; materialize the inherited
+    // hash first (while the arrays still match the action history),
+    // then fold the new placement in.
+    node.mappingHash();
+    node.log2phys()[l] = static_cast<QIndex>(p);
+    node.phys2log()[p] = static_cast<QIndex>(l);
+    node._occ[static_cast<std::size_t>(p) >> 6] |=
+        std::uint64_t{1} << (static_cast<std::size_t>(p) & 63);
+    node._mapHash ^= zobrist(l, p);
 }
 
 } // namespace toqm::search

@@ -10,13 +10,22 @@
  * which is safe because a swap's qubits stay busy until it finishes.
  *
  * The search generates millions of nodes and both node cloning and
- * the filter's dominance comparisons are memory-bound, so allocation
- * is arranged for throughput:
+ * the filter's dominance comparisons are memory-bound, so the layout
+ * is data-oriented (structure-of-arrays at slab granularity):
  *
- *  - nodes and their per-qubit arrays live in ONE slab slot (the
- *    arrays sit immediately after the node object, one memcpy to
- *    clone) carved from large pool slabs — no per-node heap round
- *    trips and no `std::shared_ptr` control blocks;
+ *  - node OBJECTS (the hot scalars: cycle, costs, refcount) live in
+ *    one contiguous block per slab, while each per-qubit FIELD
+ *    (log2phys, head, phys2log, busyUntil, lastSwapPartner) lives in
+ *    its own contiguous region of the slab's int arena — the filter's
+ *    mapping memcmp and the estimator's per-qubit sweeps each stream
+ *    one dense array instead of strided per-node blobs;
+ *  - a packed per-node occupancy bitset (one bit per physical qubit,
+ *    set iff some logical qubit sits there) replaces phys2log reads
+ *    on the expander's "swap of two empty positions" test;
+ *  - the post-swap mapping hash is a Zobrist XOR over (logical,
+ *    physical) placement keys, maintained INCREMENTALLY on every
+ *    swap (O(1) per swap instead of O(num_logical) per filter
+ *    admit);
  *  - lifetime is an intrusive, non-atomic reference count — safe
  *    because a pool and all its nodes belong to exactly ONE search
  *    (parallel drivers give every worker its own NodePool; nodes
@@ -33,6 +42,11 @@
  * last NodeRef to its subtree dies.  The pool must outlive every
  * NodeRef it handed out — declare the pool before frontiers, filters
  * and node locals.
+ *
+ * Invariant: the cached mapping hash and occupancy bits must match
+ * the log2phys/phys2log arrays at all times.  All mapping writes go
+ * through the pool (expand, initialSwapChild, placeLogical); never
+ * write the arrays directly through the mutable accessors.
  */
 
 #ifndef TOQM_SEARCH_NODE_POOL_HPP
@@ -49,6 +63,16 @@ namespace toqm::search {
 
 class NodePool;
 class NodeRef;
+
+/**
+ * Packed qubit index: device positions and logical qubits are both
+ * far below 2^15, so the mapping arrays (log2phys, phys2log,
+ * lastSwapPartner) store 16-bit indices — halving the bytes every
+ * node clone copies and every filter mapping-compare reads.  -1
+ * still means "unmapped"/"none".  head and busyUntil stay 32-bit
+ * (gate counts and cycle numbers are unbounded by the device size).
+ */
+using QIndex = std::int16_t;
 
 /** An action started at a node's cycle. */
 struct Action
@@ -105,6 +129,13 @@ class SearchNode
 
     /** Number of logical gates scheduled so far. */
     int scheduledGates = 0;
+    /**
+     * Index of the first gate (in program order) not yet scheduled;
+     * every gate below it is scheduled.  Maintained incrementally on
+     * expansion so the cost estimator's remaining-circuit sweep
+     * starts here instead of re-skipping the scheduled prefix.
+     */
+    int firstUnscheduled = 0;
     /** Sum of busyUntil over physical qubits (filter quick reject). */
     long busySum = 0;
     /** Latest finish cycle among started swaps / original gates. */
@@ -120,29 +151,41 @@ class SearchNode
     /** Parent in the search tree (owned via one reference). */
     const SearchNode *parent() const { return _parent; }
 
-    /** Per-qubit state arrays (contiguous, right after the node). @{ */
+    /** Per-qubit state arrays (each contiguous per slab, SoA). @{ */
     /** log2phys()[l] = physical position of logical l (-1 unmapped). */
-    int *log2phys() { return _buf; }
-    const int *log2phys() const { return _buf; }
+    QIndex *log2phys() { return _l2p; }
+    const QIndex *log2phys() const { return _l2p; }
     /** head()[l] = #gates already scheduled on logical qubit l. */
-    int *head() { return _buf + _nl; }
-    const int *head() const { return _buf + _nl; }
+    int *head() { return _head; }
+    const int *head() const { return _head; }
     /** phys2log()[p] = logical occupant of p (-1 empty). */
-    int *phys2log() { return _buf + 2 * _nl; }
-    const int *phys2log() const { return _buf + 2 * _nl; }
+    QIndex *phys2log() { return _p2l; }
+    const QIndex *phys2log() const { return _p2l; }
     /** busyUntil()[p] = last busy cycle of physical p (0 = never). */
-    int *busyUntil() { return _buf + 2 * _nl + _np; }
-    const int *busyUntil() const { return _buf + 2 * _nl + _np; }
+    int *busyUntil() { return _busy; }
+    const int *busyUntil() const { return _busy; }
     /**
      * lastSwapPartner()[p] = q if the most recent action on physical
      * p was swap(p, q); -1 otherwise (cyclic-swap pruning).
      */
-    int *lastSwapPartner() { return _buf + 2 * _nl + 2 * _np; }
-    const int *lastSwapPartner() const
-    {
-        return _buf + 2 * _nl + 2 * _np;
-    }
+    QIndex *lastSwapPartner() { return _partner; }
+    const QIndex *lastSwapPartner() const { return _partner; }
+    /**
+     * Packed qubit occupancy: bit p of occupancy()[p / 64] is set
+     * iff phys2log()[p] >= 0.  Maintained by the pool alongside the
+     * mapping arrays.
+     */
+    const std::uint64_t *occupancy() const { return _occ; }
     /** @} */
+
+    /** True iff physical position @p p holds a logical qubit. */
+    bool
+    occupied(int p) const
+    {
+        return (_occ[static_cast<std::size_t>(p) >> 6] >>
+                (static_cast<std::size_t>(p) & 63)) &
+               1u;
+    }
 
     int numLogical() const { return _nl; }
 
@@ -168,28 +211,56 @@ class SearchNode
     /** Finish cycle of the whole schedule (valid once allScheduled). */
     int makespan() const;
 
-    /** Hash of the post-swap mapping (filter bucket key). */
-    std::uint64_t mappingHash() const;
+    /**
+     * Hash of the post-swap mapping (filter bucket key): a Zobrist
+     * XOR over (logical, physical) placements, maintained as a delta
+     * over the qubits the node's swaps moved.  Materialized LAZILY:
+     * expansion only marks the inherited hash stale, and the first
+     * read replays swap deltas down from the nearest materialized
+     * ancestor — so children pruned before reaching the filter never
+     * pay for hashing at all.  `NodePool::referenceMappingHash`
+     * recomputes from scratch for audits.
+     */
+    std::uint64_t
+    mappingHash() const
+    {
+        return _hashValid ? _mapHash : materializeHash();
+    }
 
   private:
     friend class NodePool;
     friend class NodeRef;
 
-    SearchNode(NodePool *pool, int nl, int np, int *buf)
-        : _pool(pool), _nl(nl), _np(np), _buf(buf)
+    SearchNode(NodePool *pool, int nl, int np, QIndex *l2p,
+               int *head, QIndex *p2l, int *busy, QIndex *partner,
+               std::uint64_t *occ)
+        : _pool(pool), _l2p(l2p), _head(head), _p2l(p2l),
+          _busy(busy), _partner(partner), _occ(occ), _nl(nl), _np(np)
     {}
 
     ~SearchNode() = default;
 
+    /** Out-of-line slow path of mappingHash(). */
+    std::uint64_t materializeHash() const;
+
     NodePool *_pool;
     SearchNode *_parent = nullptr;
+    /** SoA region pointers (fixed at slot construction). */
+    QIndex *_l2p;
+    int *_head;
+    QIndex *_p2l;
+    int *_busy;
+    QIndex *_partner;
+    std::uint64_t *_occ;
+    /** Cached Zobrist hash of (log2phys, initialPhase); meaningful
+     *  only while _hashValid (mutable: materialized on first read). */
+    mutable std::uint64_t _mapHash = 0;
+    mutable bool _hashValid = false;
     /** Intrusive refcount (non-atomic: a node's pool, and thus the
      *  node, is owned by exactly one search thread). */
     std::uint32_t _refs = 0;
     int _nl;
     int _np;
-    /** Points into this node's slab slot, right after the object. */
-    int *_buf;
 };
 
 /**
@@ -257,6 +328,8 @@ class NodeRef
  * Arena allocator for the search nodes of one mapping run.  All
  * nodes of a pool share one geometry (the context's qubit counts),
  * so slots are fixed-stride and recycling is a free-list push.
+ * Per-qubit data is laid out structure-of-arrays within each slab
+ * (see the file comment).
  */
 class NodePool
 {
@@ -292,6 +365,21 @@ class NodePool
      */
     NodeRef cloneSibling(const NodeRef &node);
 
+    /**
+     * Place logical qubit @p l on the EMPTY physical position @p p of
+     * @p node, keeping the cached mapping hash and occupancy bits
+     * coherent.  The only sanctioned way to patch a mapping outside
+     * expand()/initialSwapChild().
+     */
+    void placeLogical(SearchNode &node, int l, int p);
+
+    /**
+     * The node's mapping hash recomputed from scratch (Zobrist XOR
+     * over the log2phys array plus the initial-phase salt).  Audit /
+     * test reference for the incrementally maintained cache.
+     */
+    std::uint64_t referenceMappingHash(const SearchNode &node) const;
+
     const SearchContext &context() const { return *_ctx; }
 
     /** Currently live (referenced) nodes. */
@@ -313,6 +401,20 @@ class NodePool
 
   private:
     friend class NodeRef;
+    friend class SearchNode; // materializeHash reads zobrist()
+
+    struct Slab
+    {
+        /** kNodesPerSlab SearchNode objects (fixed stride). */
+        std::unique_ptr<std::byte[]> nodes;
+        /**
+         * SoA word arena: regions [l2p | head | p2l | busy |
+         * partner | occ], each region kNodesPerSlab * the field's
+         * per-node slice.  Slices are padded to whole 64-bit words
+         * so node cloning copies aligned words, never bytes.
+         */
+        std::unique_ptr<std::uint64_t[]> data;
+    };
 
     /** Drop one reference; recycles the node and any parent chain
      *  it alone kept alive (iterative, never recursive). */
@@ -322,18 +424,51 @@ class NodePool
     SearchNode *acquireCopy(const SearchNode &src);
     void setParent(SearchNode *node, SearchNode *parent);
     void recycle(SearchNode *node);
+    void addSlab();
+
+    /** Zobrist placement key for logical @p l on physical @p p. */
+    std::uint64_t
+    zobrist(int l, int p) const
+    {
+        return _zobrist[static_cast<std::size_t>(l) *
+                            static_cast<std::size_t>(_np) +
+                        static_cast<std::size_t>(p)];
+    }
+
+    /** Advance @p node's firstUnscheduled past scheduled gates. */
+    void advanceFirstUnscheduled(SearchNode *node) const;
 
     const SearchContext *_ctx;
     int _nl;
     int _np;
-    size_t _bufInts;
-    size_t _stride;
-    size_t _nodesPerSlab;
-    size_t _slabBytes;
+    /** Per-node field slice widths, in 64-bit words. @{ */
+    std::size_t _wL2p;
+    std::size_t _wHead;
+    std::size_t _wP2l;
+    std::size_t _wBusy;
+    std::size_t _wPartner;
+    /** Occupancy words per node: ceil(np / 64). */
+    std::size_t _occWords;
+    /** @} */
+    /** Word offsets of each field's region within a slab arena. @{ */
+    std::size_t _offHead;
+    std::size_t _offP2l;
+    std::size_t _offBusy;
+    std::size_t _offPartner;
+    std::size_t _offOcc;
+    /** @} */
+    /** Words in one slab's data arena. */
+    std::size_t _slabWords;
+    /** Node-object stride (sizeof(SearchNode), alignment-rounded). */
+    std::size_t _nodeStride;
+    std::size_t _nodesPerSlab;
+    std::size_t _slabBytes;
     /** Construction cursor into the last slab. */
-    size_t _cursor;
-    std::vector<std::unique_ptr<std::byte[]>> _slabs;
+    std::size_t _cursor;
+    std::vector<Slab> _slabs;
     std::vector<SearchNode *> _free;
+    /** Deterministic per-(l, p) Zobrist keys, row-major l * np + p. */
+    std::vector<std::uint64_t> _zobrist;
     std::uint64_t _live = 0;
     std::uint64_t _peakLive = 0;
     std::uint64_t _totalAllocations = 0;

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace toqm::core {
 
+namespace {
+
+/** floor(a / b) for b > 0 and any a (C++ division truncates). */
+int
+floorDiv(int a, int b)
+{
+    const int q = a / b;
+    return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+
+} // namespace
+
 CostEstimator::CostEstimator(const SearchContext &ctx, int horizon_gates)
-    : _ctx(ctx), _horizonGates(horizon_gates)
+    : _ctx(ctx), _horizonGates(horizon_gates),
+#ifdef NDEBUG
+      _auditInterval(0)
+#else
+      _auditInterval(kDebugAuditInterval)
+#endif
 {
     // Reverse critical-path lengths.  A gate's successors are the
     // next gates on each of its operand qubits.
@@ -31,7 +50,8 @@ CostEstimator::CostEstimator(const SearchContext &ctx, int horizon_gates)
 }
 
 int
-CostEstimator::twoQubitDelay(int d, int u, int t_a, int t_b) const
+CostEstimator::twoQubitDelayReference(int d, int u, int t_a,
+                                      int t_b) const
 {
     // Enumerate all splits r + s = d - 1 of the required swaps
     // between the two operand qubits; each qubit only pays for delay
@@ -52,12 +72,57 @@ CostEstimator::twoQubitDelay(int d, int u, int t_a, int t_b) const
 }
 
 int
-CostEstimator::estimate(const SearchNode &node) const
+CostEstimator::twoQubitDelay(int d, int u, int t_a, int t_b) const
+{
+    // Closed form of the reference enumeration.  As a function of
+    // the split r,
+    //
+    //   delay(r) = max(max(r*L - sa, 0), max((k-r)*L - sb, 0))
+    //
+    // is the max of a nondecreasing and a nonincreasing piecewise
+    // linear function, hence quasiconvex with kinks only at
+    //   r = sa/L          (first side starts paying),
+    //   r = k - sb/L      (second side stops paying),
+    //   r = (k*L + sa - sb) / (2L)   (the two lines cross).
+    // The integer minimum therefore lies at a boundary {0, k} or at
+    // the floor/ceil of a kink: a constant-size candidate set
+    // replaces the O(k) sweep.
+    const int L = _ctx.swapLatency();
+    const int k = d - 1;
+    const int sa = u - t_a;
+    const int sb = u - t_b;
+    // On near-neighbour devices k is small (tokyo: <= 4) and the
+    // plain sweep is fewer evaluations than the candidate set; the
+    // closed form wins on sparse devices where k grows with the
+    // diameter.
+    if (k < 8)
+        return twoQubitDelayReference(d, u, t_a, t_b);
+    const int r_pay = floorDiv(sa, L);          // last r with side a free
+    const int r_free = k - floorDiv(sb, L);     // first r with side b free
+    const int r_cross = floorDiv(k * L + sa - sb, 2 * L);
+    const int candidates[8] = {0,          k,          r_pay,
+                               r_pay + 1,  r_free - 1, r_free,
+                               r_cross,    r_cross + 1};
+    int best = std::numeric_limits<int>::max();
+    for (int r : candidates) {
+        if (r < 0)
+            r = 0;
+        else if (r > k)
+            r = k;
+        const int delay_a = std::max(r * L - sa, 0);
+        const int delay_b = std::max((k - r) * L - sb, 0);
+        best = std::min(best, std::max(delay_a, delay_b));
+    }
+    return best;
+}
+
+int
+CostEstimator::scan(const SearchNode &node, bool reference) const
 {
     const int nl = _ctx.numLogical();
     int h = 0;
 
-    // Scratch buffers: thread_local (not members) so estimate() is
+    // Scratch buffers: thread_local (not members) so the scan is
     // re-entrant across concurrent searches — a portfolio race calls
     // it from many threads, sometimes on the SAME estimator.  After
     // first use on a thread the resize is a no-op (sizes only grow),
@@ -68,7 +133,7 @@ CostEstimator::estimate(const SearchNode &node) const
         ready.resize(static_cast<size_t>(nl));
         busySum.resize(static_cast<size_t>(nl));
     }
-    const int *l2p = node.log2phys();
+    const QIndex *l2p = node.log2phys();
     const int *busy = node.busyUntil();
     const int *head = node.head();
 
@@ -94,7 +159,12 @@ CostEstimator::estimate(const SearchNode &node) const
 
     int processed = 0;
     const int total = _ctx.numGates();
-    for (int i = 0; i < total; ++i) {
+    // Every gate below firstUnscheduled is scheduled (the pool
+    // advances the index as heads move), so the production scan
+    // skips the whole prefix; the reference rescans from 0 and
+    // re-derives the same skips from the heads.
+    const int first = reference ? 0 : node.firstUnscheduled;
+    for (int i = first; i < total; ++i) {
         const ir::Gate &g = _ctx.circuit().gate(i);
         const int q0 = g.qubit(0);
         // Scheduled gates are not part of the remaining circuit.
@@ -122,9 +192,11 @@ CostEstimator::estimate(const SearchNode &node) const
         if (p0 >= 0 && p1 >= 0) {
             const int d = _ctx.graph().distance(p0, p1);
             if (d > 1) {
-                t_min = u + twoQubitDelay(
-                                d, u, busySum[static_cast<size_t>(q0)],
-                                busySum[static_cast<size_t>(q1)]);
+                const int ta = busySum[static_cast<size_t>(q0)];
+                const int tb = busySum[static_cast<size_t>(q1)];
+                t_min = u + (reference
+                                 ? twoQubitDelayReference(d, u, ta, tb)
+                                 : twoQubitDelay(d, u, ta, tb));
             }
         }
         // Unmapped operands (on-the-fly initial mapping) could still
@@ -136,6 +208,34 @@ CostEstimator::estimate(const SearchNode &node) const
         h = std::max(h, t_min + len);
     }
     return h;
+}
+
+int
+CostEstimator::estimate(const SearchNode &node) const
+{
+    const int h = scan(node, /*reference=*/false) + _testSkew;
+    if (_auditInterval != 0) {
+        // Per-thread cadence: the estimator is shared across
+        // portfolio threads, so a member counter would race.
+        thread_local std::uint64_t calls = 0;
+        if (++calls % _auditInterval == 0) {
+            const int ref = estimateReference(node);
+            if (h != ref) {
+                throw std::logic_error(
+                    "incremental h(v) diverged from reference "
+                    "recompute: fast=" +
+                    std::to_string(h) +
+                    " reference=" + std::to_string(ref));
+            }
+        }
+    }
+    return h;
+}
+
+int
+CostEstimator::estimateReference(const SearchNode &node) const
+{
+    return scan(node, /*reference=*/true);
 }
 
 void

@@ -5,18 +5,38 @@
  * Processes the remaining dependency graph in topological order
  * (program order restricted to unscheduled gates), computing for each
  * gate a lower bound t_min on its start time.  For a two-qubit gate
- * whose operands sit d apart, all (r, s) splits of the required d-1
- * swaps between the two operand qubits are enumerated; each side is
- * charged only for delay exceeding its slack u - T (Fig 8), which is
- * what makes the bound tight where the "meet in the middle" fallacy
- * of Fig 9 is loose.
+ * whose operands sit d apart, the required d-1 swaps are split
+ * between the two operand qubits; each side is charged only for
+ * delay exceeding its slack u - T (Fig 8), which is what makes the
+ * bound tight where the "meet in the middle" fallacy of Fig 9 is
+ * loose.
  *
  * Lemma A.1 proves h never overestimates, so A* with f = g + h is
  * optimal (Theorem 5.2).
+ *
+ * Two implementations compute the same value:
+ *
+ *  - estimate(): the production path.  The gate scan starts at the
+ *    node's firstUnscheduled index (maintained by the NodePool as
+ *    gates are scheduled) instead of rescanning the whole scheduled
+ *    prefix, and the swap-split minimization is evaluated in closed
+ *    form (the delay is a piecewise-linear quasiconvex function of
+ *    the split, so its integer minimum lies at the floor/ceil of a
+ *    kink or at a boundary — a constant-size candidate set replaces
+ *    the O(d) enumeration).
+ *  - estimateReference(): the original full rescan with the explicit
+ *    enumeration loop.  Retained as the audit oracle and for tests.
+ *
+ * Debug builds periodically cross-check the two (every
+ * kDebugAuditInterval calls per thread) and throw std::logic_error
+ * on divergence; setAuditInterval() overrides the cadence (0
+ * disables, 1 audits every call).
  */
 
 #ifndef TOQM_CORE_COST_ESTIMATOR_HPP
 #define TOQM_CORE_COST_ESTIMATOR_HPP
+
+#include <cstdint>
 
 #include "search_types.hpp"
 
@@ -48,6 +68,35 @@ class CostEstimator
     int estimate(const SearchNode &node) const;
 
     /**
+     * Audit oracle: recomputes h(v) from scratch — full gate scan
+     * from index 0, explicit O(d) swap-split enumeration.  Identical
+     * value to estimate() by construction; kept as an independent
+     * implementation so the periodic audit is meaningful.
+     */
+    int estimateReference(const SearchNode &node) const;
+
+    /**
+     * Cross-check estimate() against estimateReference() every
+     * @p interval calls (per thread).  0 disables.  Debug builds
+     * default to kDebugAuditInterval; release builds to 0.
+     * Configure before any concurrent use.
+     */
+    void setAuditInterval(std::uint64_t interval)
+    {
+        _auditInterval = interval;
+    }
+
+    /**
+     * TEST-ONLY: add @p skew to every estimate() result, simulating
+     * an incremental-path defect so tests can prove the audit fires
+     * (it throws std::logic_error on the next audited call).
+     */
+    void setTestSkew(int skew) { _testSkew = skew; }
+
+    /** Debug-build default audit cadence (calls per thread). */
+    static constexpr std::uint64_t kDebugAuditInterval = 256;
+
+    /**
      * Score @p node in place: sets costH = estimate(node) and the
      * encoded heuristic objH.  With no active CostTable, objH ==
      * costH so fKey() stays equal to f().  With a table,
@@ -70,6 +119,8 @@ class CostEstimator
   private:
     const SearchContext &_ctx;
     int _horizonGates;
+    std::uint64_t _auditInterval;
+    int _testSkew = 0;
 
     /**
      * tail[i]: latency-weighted critical path from gate i (inclusive)
@@ -80,7 +131,14 @@ class CostEstimator
      */
     std::vector<int> _tail;
 
+    /** Shared scan body; @p reference selects the oracle variants. */
+    int scan(const SearchNode &node, bool reference) const;
+
+    /** Closed-form swap-split minimization (production path). */
     int twoQubitDelay(int d, int u, int t_a, int t_b) const;
+
+    /** Explicit O(d) enumeration (audit oracle). */
+    int twoQubitDelayReference(int d, int u, int t_a, int t_b) const;
 };
 
 } // namespace toqm::core

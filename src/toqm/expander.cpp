@@ -15,14 +15,30 @@ std::vector<Action>
 Expander::readyGates(const SearchNode &node) const
 {
     std::vector<Action> out;
+    appendReadyGates(node, out);
+    return out;
+}
+
+std::vector<Action>
+Expander::candidateSwaps(const SearchNode &node) const
+{
+    std::vector<Action> out;
+    appendCandidateSwaps(node, out);
+    return out;
+}
+
+void
+Expander::appendReadyGates(const SearchNode &node,
+                           std::vector<Action> &out) const
+{
     const int start = node.cycle + 1;
     if (!_config.allowConcurrentSwapAndGate &&
         start <= node.activeSwapUntil) {
-        return out; // a swap is still running; gates must wait
+        return; // a swap is still running; gates must wait
     }
 
     const int *head = node.head();
-    const int *l2p = node.log2phys();
+    const QIndex *l2p = node.log2phys();
     const int *busy = node.busyUntil();
 
     for (int l = 0; l < _ctx.numLogical(); ++l) {
@@ -61,21 +77,19 @@ Expander::readyGates(const SearchNode &node) const
             continue; // coupling constraint
         out.push_back(a);
     }
-    return out;
 }
 
-std::vector<Action>
-Expander::candidateSwaps(const SearchNode &node) const
+void
+Expander::appendCandidateSwaps(const SearchNode &node,
+                               std::vector<Action> &out) const
 {
-    std::vector<Action> out;
     const int start = node.cycle + 1;
     if (!_config.allowConcurrentSwapAndGate &&
         start <= node.activeGateUntil) {
-        return out; // an original gate is still running
+        return; // an original gate is still running
     }
     const int *busy = node.busyUntil();
-    const int *partner = node.lastSwapPartner();
-    const int *p2l = node.phys2log();
+    const QIndex *partner = node.lastSwapPartner();
     for (const auto &[p0, p1] : _ctx.graph().edges()) {
         if (busy[p0] >= start || busy[p1] >= start)
             continue;
@@ -84,8 +98,9 @@ Expander::candidateSwaps(const SearchNode &node) const
             partner[p1] == p0) {
             continue;
         }
-        // A swap moving two empty positions accomplishes nothing.
-        if (p2l[p0] < 0 && p2l[p1] < 0)
+        // A swap moving two empty positions accomplishes nothing
+        // (occupancy bitset probe; equivalent to two phys2log reads).
+        if (!node.occupied(p0) && !node.occupied(p1))
             continue;
         Action a;
         a.gateIndex = -1;
@@ -93,7 +108,6 @@ Expander::candidateSwaps(const SearchNode &node) const
         a.p1 = p1;
         out.push_back(a);
     }
-    return out;
 }
 
 void
@@ -101,30 +115,69 @@ Expander::enumerateSubsets(const NodeRef &node, int start_cycle,
                            const std::vector<Action> &candidates,
                            Expansion &out) const
 {
-    std::vector<char> used(static_cast<size_t>(_ctx.numPhysical()), 0);
-    std::vector<Action> current;
-    const bool mixing_allowed = _config.allowConcurrentSwapAndGate;
+    // The recursion visits up to 2^|candidates| skip/take branches
+    // per expansion, so its inner work is precomputed per CANDIDATE,
+    // not per subset:
+    //  - each candidate's operand set becomes one qubit bitmask, so
+    //    the disjointness test is a single AND against the running
+    //    used-mask (devices beyond 64 qubits take a second word);
+    //  - the redundancy elimination ("every chosen action was
+    //    already startable at the previous decision point") becomes
+    //    a per-candidate flag, folded incrementally into a counter
+    //    on take/untake — the leaf test is one compare instead of a
+    //    loop over the chosen actions.
+    // Scratch is thread_local so the hot path does no heap work; a
+    // thrown maxChildrenPerNode error can leave state behind, hence
+    // the re-initialization on entry.
+    const size_t n = candidates.size();
+    if (n == 0)
+        return;
+    // One mask word covers any device up to 64 qubits; larger
+    // devices take more words and the word loops below simply run
+    // longer (W is 1 for every architecture in the corpus).
+    const size_t W =
+        (static_cast<size_t>(_ctx.numPhysical()) + 63) / 64;
+    thread_local std::vector<std::uint64_t> masks; // W words each
+    thread_local std::vector<std::uint64_t> usedMask; // W words
+    thread_local std::vector<char> notEarlier;     // per candidate
+    thread_local std::vector<Action> current;
+    masks.assign(n * W, 0);
+    usedMask.assign(W, 0);
+    notEarlier.resize(n);
+    current.clear();
     const int *busy = node->busyUntil();
+    for (size_t i = 0; i < n; ++i) {
+        const Action &a = candidates[i];
+        masks[i * W + (static_cast<size_t>(a.p0) >> 6)] |=
+            std::uint64_t{1} << (static_cast<size_t>(a.p0) & 63);
+        bool earlier = busy[a.p0] < node->cycle;
+        if (a.p1 >= 0) {
+            masks[i * W + (static_cast<size_t>(a.p1) >> 6)] |=
+                std::uint64_t{1} << (static_cast<size_t>(a.p1) & 63);
+            earlier = earlier && busy[a.p1] < node->cycle;
+        }
+        notEarlier[i] = !earlier;
+    }
+    const bool mixing_allowed = _config.allowConcurrentSwapAndGate;
+    const bool redundancy_prune =
+        _config.useRedundancyElimination && node->cycle > 0;
+    // Non-trivial expansions emit tens of children; reserving up
+    // front (2^n capped at 128 slots / 2 KiB) turns the vector's
+    // repeated growth reallocations into at most one.
+    out.children.reserve(std::min<std::size_t>(
+        _config.maxChildrenPerNode,
+        std::size_t{1} << std::min<std::size_t>(n, 7)));
+    std::uint64_t *used = usedMask.data();
+    int not_earlier_taken = 0;
 
     const auto recurse = [&](auto &&self, size_t idx) -> void {
-        if (idx == candidates.size()) {
+        if (idx == n) {
             if (current.empty())
                 return;
-            // Redundancy elimination: if every chosen action was
-            // already startable at the previous decision point, an
-            // earlier-starting sibling exists.
-            bool all_startable_earlier = true;
-            for (const Action &a : current) {
-                if (busy[a.p0] >= node->cycle ||
-                    (a.p1 >= 0 && busy[a.p1] >= node->cycle)) {
-                    all_startable_earlier = false;
-                    break;
-                }
-            }
-            if (all_startable_earlier && node->cycle > 0 &&
-                _config.useRedundancyElimination) {
+            // Redundancy elimination: an earlier-starting sibling
+            // exists iff no chosen action is forced to start now.
+            if (redundancy_prune && not_earlier_taken == 0)
                 return;
-            }
             if (out.children.size() >= _config.maxChildrenPerNode) {
                 throw std::runtime_error(
                     "expander exceeded maxChildrenPerNode; this input "
@@ -138,24 +191,25 @@ Expander::enumerateSubsets(const NodeRef &node, int start_cycle,
         // Branch 1: skip candidate idx.
         self(self, idx + 1);
         // Branch 2: take it if qubit-disjoint (and mode-compatible).
-        const Action &a = candidates[idx];
-        if (used[static_cast<size_t>(a.p0)] ||
-            (a.p1 >= 0 && used[static_cast<size_t>(a.p1)])) {
-            return;
+        const std::uint64_t *m = &masks[idx * W];
+        for (size_t w = 0; w < W; ++w) {
+            if ((used[w] & m[w]) != 0)
+                return;
         }
+        const Action &a = candidates[idx];
         if (!mixing_allowed && !current.empty() &&
             current.front().isSwap() != a.isSwap()) {
             return;
         }
-        used[static_cast<size_t>(a.p0)] = 1;
-        if (a.p1 >= 0)
-            used[static_cast<size_t>(a.p1)] = 1;
+        for (size_t w = 0; w < W; ++w)
+            used[w] |= m[w];
+        not_earlier_taken += notEarlier[idx];
         current.push_back(a);
         self(self, idx + 1);
         current.pop_back();
-        used[static_cast<size_t>(a.p0)] = 0;
-        if (a.p1 >= 0)
-            used[static_cast<size_t>(a.p1)] = 0;
+        not_earlier_taken -= notEarlier[idx];
+        for (size_t w = 0; w < W; ++w)
+            used[w] &= ~m[w];
     };
     recurse(recurse, 0);
 }
@@ -166,11 +220,12 @@ Expander::expand(const NodeRef &node) const
     Expansion out;
     const int start = node->cycle + 1;
 
-    std::vector<Action> candidates = readyGates(*node);
-    {
-        std::vector<Action> swaps = candidateSwaps(*node);
-        candidates.insert(candidates.end(), swaps.begin(), swaps.end());
-    }
+    // Candidate list is reused across expansions (gates first, then
+    // swaps — the enumeration order children are generated in).
+    thread_local std::vector<Action> candidates;
+    candidates.clear();
+    appendReadyGates(*node, candidates);
+    appendCandidateSwaps(*node, candidates);
     enumerateSubsets(node, start, candidates, out);
 
     // Wait child: jump to the next completion time.

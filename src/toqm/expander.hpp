@@ -79,6 +79,15 @@ class Expander
     NodePool *_pool;
     ExpanderConfig _config;
 
+    /** Appending workhorses behind the public enumerators; expand()
+     *  calls these on reused scratch buffers so the hot path is
+     *  allocation-free. @{ */
+    void appendReadyGates(const SearchNode &node,
+                          std::vector<Action> &out) const;
+    void appendCandidateSwaps(const SearchNode &node,
+                              std::vector<Action> &out) const;
+    /** @} */
+
     void enumerateSubsets(const NodeRef &node, int start_cycle,
                           const std::vector<Action> &candidates,
                           Expansion &out) const;

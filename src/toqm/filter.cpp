@@ -1,8 +1,17 @@
 #include "filter.hpp"
 
+#include <cassert>
 #include <cstring>
+#include <utility>
 
 namespace toqm::core {
+
+namespace {
+
+/** First table allocation (slots; power of two). */
+constexpr size_t kInitialCapacity = 64;
+
+} // namespace
 
 Filter::Filter(size_t max_entries) : _maxEntries(max_entries) {}
 
@@ -25,8 +34,8 @@ Filter::compare(const SearchNode &a, const SearchNode &b)
         return 0;
 
     if (std::memcmp(a.log2phys(), b.log2phys(),
-                    static_cast<size_t>(a.numLogical()) * sizeof(int)) !=
-        0) {
+                    static_cast<size_t>(a.numLogical()) *
+                        sizeof(*a.log2phys())) != 0) {
         return 0;
     }
 
@@ -57,37 +66,114 @@ Filter::compare(const SearchNode &a, const SearchNode &b)
     return b_wins ? 1 : 0;
 }
 
+void
+Filter::eraseSlot(size_t i)
+{
+    // Backward-shift deletion: walk the cluster after i and pull
+    // back every entry whose home position permits it, so probe
+    // chains stay contiguous without tombstones.  Relative order of
+    // same-hash entries is preserved (entries only move backward,
+    // never past each other), which keeps dominance scans visiting
+    // entries in insertion order.
+    _slots[i].node.reset(); // release the NodeRef eagerly
+    size_t j = i;
+    for (;;) {
+        j = (j + 1) & _mask;
+        if (!_slots[j].node)
+            break;
+        const size_t home = _slots[j].hash & _mask;
+        // Entry at j may move to i iff i lies within [home, j)
+        // cyclically; otherwise it would land before its home.
+        if (((j - home) & _mask) >= ((j - i) & _mask)) {
+            _slots[i].hash = _slots[j].hash;
+            _slots[i].node = std::move(_slots[j].node);
+            i = j;
+        }
+    }
+    --_entries;
+}
+
+void
+Filter::insertSlot(std::uint64_t h, NodeRef node)
+{
+    size_t i = h & _mask;
+    while (_slots[i].node)
+        i = (i + 1) & _mask;
+    _slots[i].hash = h;
+    _slots[i].node = std::move(node);
+    ++_entries;
+}
+
+void
+Filter::grow()
+{
+    std::vector<Slot> old = std::move(_slots);
+    const size_t new_cap =
+        old.empty() ? kInitialCapacity : old.size() * 2;
+    _slots.clear();
+    _slots.resize(new_cap);
+    _mask = new_cap - 1;
+    _entries = 0;
+    if (old.empty())
+        return;
+    // Reinsert starting just past an empty slot so no probe cluster
+    // is split by the scan's wrap-around: every cluster is then
+    // visited front-to-back, preserving per-hash insertion order in
+    // the new table (dominance scans rely on that order).
+    const size_t n = old.size();
+    size_t start = 0;
+    while (old[start].node)
+        ++start; // an empty slot exists: load factor < 1
+    for (size_t k = 1; k <= n; ++k) {
+        Slot &s = old[(start + k) & (n - 1)];
+        if (s.node)
+            insertSlot(s.hash, std::move(s.node));
+    }
+}
+
 bool
 Filter::admit(const NodeRef &node, bool exempt)
 {
     if (_maxEntries != 0 && _entries > _maxEntries)
         clear();
+    // Grow before probing so the insertion point found below stays
+    // valid; 3/4 load keeps probe chains short.
+    if (_slots.empty() || (_entries + 1) * 4 > _slots.size() * 3)
+        grow();
 
-    auto &bucket = _table[node->mappingHash()];
-    for (auto &entry : bucket) {
-        if (entry->dead)
-            continue;
-        const int cmp = compare(*entry, *node);
-        if (cmp < 0 && !exempt) {
-            ++_dropped;
-            return false;
+    const std::uint64_t h = node->mappingHash();
+    size_t i = h & _mask;
+    while (_slots[i].node) {
+        if (_slots[i].hash == h) {
+            SearchNode &entry = *_slots[i].node;
+            if (entry.dead) {
+                // Killed by a frontier trim (or an earlier admit):
+                // erase in place.  The shift may pull a not-yet-seen
+                // entry into slot i, so re-examine it.
+                eraseSlot(i);
+                continue;
+            }
+            const int cmp = compare(entry, *node);
+            if (cmp < 0 && !exempt) {
+                ++_dropped;
+                return false;
+            }
+            if (cmp > 0) {
+                // The newcomer dominates: mark dead for any frontier
+                // copies, then release our reference immediately so
+                // the pool can recycle the node (and its parents).
+                entry.dead = true;
+                ++_killed;
+                eraseSlot(i);
+                continue;
+            }
         }
-        if (cmp > 0) {
-            entry->dead = true;
-            ++_killed;
-        }
+        i = (i + 1) & _mask;
     }
-    // Compact dead entries occasionally to bound bucket scans.
-    if (bucket.size() > 16) {
-        size_t w = 0;
-        for (size_t r = 0; r < bucket.size(); ++r) {
-            if (!bucket[r]->dead)
-                bucket[w++] = bucket[r];
-        }
-        _entries -= bucket.size() - w;
-        bucket.resize(w);
-    }
-    bucket.push_back(node);
+    // i is the first empty slot past hash h's chain: append there so
+    // same-hash entries keep insertion order.
+    _slots[i].hash = h;
+    _slots[i].node = node;
     ++_entries;
     return true;
 }
@@ -95,7 +181,12 @@ Filter::admit(const NodeRef &node, bool exempt)
 void
 Filter::clear()
 {
-    _table.clear();
+    // Keep the allocation (the table is about to refill); just drop
+    // every reference.
+    for (Slot &s : _slots) {
+        s.hash = 0;
+        s.node.reset();
+    }
     _entries = 0;
 }
 

@@ -3,7 +3,7 @@
  * Hash filter with equivalence checking and comparative analysis
  * (Section 4.2, Fig 5).
  *
- * Nodes are bucketed by a hash of their post-swap qubit mapping.  A
+ * Nodes are keyed by a hash of their post-swap qubit mapping.  A
  * new node N is dropped when some recorded node E with the same
  * mapping *dominates* it:
  *
@@ -21,6 +21,16 @@
  * that lets time advance (the parent can only wait *through* that
  * child).  They are still recorded so they can prune others.
  *
+ * Storage is a single flat open-addressing table (linear probing,
+ * power-of-two capacity) instead of an unordered_map of per-hash
+ * vectors: one contiguous allocation, no per-bucket vectors, and a
+ * lookup touches one cache line per probe step.  Dominated or
+ * externally-killed entries are erased EAGERLY with backward-shift
+ * deletion (no tombstones), which both keeps probe chains short and
+ * releases the entry's NodeRef immediately — dropping the dominated
+ * node (and any parent chain it alone kept alive) back to the pool
+ * instead of pinning it until a bucket compaction.
+ *
  * Threading: a Filter mutates its table on every admit(), so each
  * concurrent search owns a private instance (parallel drivers create
  * one per worker, next to its NodePool).  Instances share nothing,
@@ -31,7 +41,6 @@
 #define TOQM_CORE_FILTER_HPP
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "search_types.hpp"
@@ -65,10 +74,36 @@ class Filter
     /** Number of recorded nodes marked dead by newcomers. */
     std::uint64_t killed() const { return _killed; }
 
+    /** Live recorded entries (dead ones are erased eagerly). */
+    size_t size() const { return _entries; }
+
+    /** Table capacity (power of two; 0 before the first admit). */
+    size_t capacity() const { return _slots.size(); }
+
     void clear();
 
   private:
-    std::unordered_map<std::uint64_t, std::vector<NodeRef>> _table;
+    /** One table slot; empty iff !node. */
+    struct Slot
+    {
+        std::uint64_t hash = 0;
+        NodeRef node;
+    };
+
+    /** Double (or create) the table, reinserting live entries in an
+     *  order that preserves per-hash insertion order. */
+    void grow();
+
+    /** Append-insert @p node at the end of hash @p h's probe chain
+     *  (no dominance checks; rehash/placement helper). */
+    void insertSlot(std::uint64_t h, NodeRef node);
+
+    /** Backward-shift erase of slot @p i; returns with slot @p i
+     *  holding the next unexamined entry (or empty). */
+    void eraseSlot(size_t i);
+
+    std::vector<Slot> _slots;
+    size_t _mask = 0; // capacity - 1 when non-empty
     size_t _maxEntries;
     size_t _entries = 0;
     std::uint64_t _dropped = 0;

@@ -25,6 +25,7 @@ using search::Action;
 using search::CostTable;
 using search::NodePool;
 using search::NodeRef;
+using search::QIndex;
 using search::SearchContext;
 using search::SearchNode;
 using search::SearchStats;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <deque>
+#include <vector>
 
 #include "arch/architectures.hpp"
 
@@ -253,6 +255,73 @@ TEST(FilterTest, ExemptNodesAreRecordedButNeverDropped)
     EXPECT_TRUE(filter.admit(a));
     // wait_b equals a except for its cycle: dominated, but exempt.
     EXPECT_TRUE(filter.admit(wait_b, /*exempt=*/true));
+}
+
+TEST(FilterTest, KilledEntryReleasedEagerly)
+{
+    // A killed entry must release its NodeRef the moment the
+    // dominating newcomer lands, not at the next rehash/clear —
+    // that's what lets the pool recycle dominated chains while the
+    // search is still running (peak_pool_bytes drops).
+    Fixture f = cxChainFixture();
+    auto root = f.pool.root(ir::identityLayout(3), false);
+    Filter filter;
+    const auto live_before = f.pool.liveNodes();
+    {
+        auto wait = f.pool.expand(root, 1, {});
+        auto late = f.pool.expand(wait, 2, {Action{0, 0, 1}});
+        EXPECT_TRUE(filter.admit(late));
+        EXPECT_EQ(filter.size(), 1u);
+    }
+    // The filter now holds the only reference to the late chain.
+    const auto live_with_late = f.pool.liveNodes();
+    EXPECT_GT(live_with_late, live_before);
+
+    auto early = f.pool.expand(root, 1, {Action{0, 0, 1}});
+    EXPECT_TRUE(filter.admit(early));
+    EXPECT_EQ(filter.killed(), 1u);
+    EXPECT_EQ(filter.size(), 1u); // late erased, early stored
+    // The dominated chain (late + its wait parent) was recycled
+    // immediately, with the filter still alive and populated.
+    EXPECT_LT(f.pool.liveNodes(), live_with_late);
+}
+
+TEST(FilterTest, TableGrowsAndKeepsEveryEntry)
+{
+    // Push the table through several grow() rehashes and verify no
+    // entry is lost or spuriously dropped: distinct mappings stay
+    // admitted, and re-admitting any of them is caught as a
+    // duplicate afterwards.
+    ir::Circuit c = ir::qftSkeleton(6);
+    Fixture f(std::move(c), arch::lnn(6),
+              ir::LatencyModel::qftPreset());
+    Expander expander(f.ctx, f.pool);
+    Filter filter;
+    std::vector<NodeRef> nodes;
+    std::deque<NodeRef> frontier{
+        f.pool.root(ir::identityLayout(6), false)};
+    while (!frontier.empty() && nodes.size() < 300) {
+        NodeRef node = frontier.front();
+        frontier.pop_front();
+        if (filter.admit(node))
+            nodes.push_back(node);
+        auto expansion = expander.expand(node);
+        for (auto &child : expansion.children)
+            frontier.push_back(std::move(child));
+    }
+    ASSERT_GE(nodes.size(), 300u);
+    // Every successful admit stored one entry; kills erased some
+    // again (each kill is an erase paired with the killer's store).
+    EXPECT_EQ(filter.size() + filter.killed(), nodes.size());
+    // Capacity is a power of two and the load factor stays <= 3/4.
+    EXPECT_EQ(filter.capacity() & (filter.capacity() - 1), 0u);
+    EXPECT_LE(filter.size() * 4, filter.capacity() * 3);
+    // Every stored node is findable after all those rehashes: a
+    // second admit of the identical node must be dominated-dropped.
+    const auto dropped_before = filter.dropped();
+    for (const auto &n : nodes)
+        EXPECT_FALSE(filter.admit(n));
+    EXPECT_EQ(filter.dropped(), dropped_before + nodes.size());
 }
 
 TEST(FilterTest, ClearResetsTable)
