@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark suite for the serve layer: what warm state and
+ * the content-addressed result cache buy over a cold `toqm_map`-style
+ * run, on the qft8/Tokyo instance the README's serving numbers quote.
+ *
+ *  - BM_ServeColdSearch: everything cold per iteration — the
+ *    architecture (and its Floyd-Warshall distance table) is rebuilt,
+ *    the result cache is absent, slab recycling is off.  This is the
+ *    per-request cost a cold CLI invocation pays (minus process
+ *    startup, which the daemon also amortizes).
+ *  - BM_ServeWarmVsCold: the same request against a long-lived
+ *    MapService with the warm tiers on (ArchCache primed, SlabCache
+ *    armed) but NO result cache: the search still runs every time.
+ *  - BM_ServeCacheHit: the same request against a service whose
+ *    result cache holds the answer — the steady-state repeat cost.
+ *    The CI gate requires this to be >= 10x below BM_ServeColdSearch
+ *    (ci/check_bench_regression.py --serve).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "ir/generators.hpp"
+#include "search/node_pool.hpp"
+#include "serve/service.hpp"
+#include "serve/warm.hpp"
+
+namespace {
+
+using namespace toqm;
+
+serve::MapRequest
+qft8TokyoRequest()
+{
+    serve::MapRequest request;
+    request.circuit = ir::qftConcrete(8);
+    request.arch = "tokyo";
+    request.mapper = "heuristic";
+    return request;
+}
+
+void
+BM_ServeColdSearch(benchmark::State &state)
+{
+    const serve::MapRequest request = qft8TokyoRequest();
+    search::SlabCache::global().disarm();
+    for (auto _ : state) {
+        serve::ArchCache::global().clear();
+        serve::ServiceConfig config;
+        config.cacheBytes = 0;
+        serve::MapService service(config);
+        const serve::MapResponse response = service.handle(request);
+        if (response.code != 0)
+            state.SkipWithError("cold search failed");
+        benchmark::DoNotOptimize(response.cycles);
+    }
+}
+BENCHMARK(BM_ServeColdSearch)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeWarmVsCold(benchmark::State &state)
+{
+    const serve::MapRequest request = qft8TokyoRequest();
+    search::SlabCache::global().arm(64ull << 20);
+    serve::ServiceConfig config;
+    config.cacheBytes = 0;
+    serve::MapService service(config);
+    service.handle(request); // prime the arch + slab caches
+    for (auto _ : state) {
+        const serve::MapResponse response = service.handle(request);
+        if (response.code != 0)
+            state.SkipWithError("warm search failed");
+        benchmark::DoNotOptimize(response.cycles);
+    }
+    search::SlabCache::global().disarm();
+}
+BENCHMARK(BM_ServeWarmVsCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_ServeCacheHit(benchmark::State &state)
+{
+    const serve::MapRequest request = qft8TokyoRequest();
+    serve::ServiceConfig config;
+    config.cacheBytes = 64ull << 20;
+    serve::MapService service(config);
+    service.handle(request); // prime the result cache
+    for (auto _ : state) {
+        const serve::MapResponse response = service.handle(request);
+        if (response.code != 0 || response.tier != "cache")
+            state.SkipWithError("expected an exact cache hit");
+        benchmark::DoNotOptimize(response.cycles);
+    }
+}
+BENCHMARK(BM_ServeCacheHit)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -28,6 +28,15 @@ Two kinds of evidence, two kinds of check:
   build the hook compiles to nothing, so any measurable gap means the
   "disarmed hooks are free" contract broke.
 
+* ``--serve`` is google-benchmark JSON from serve_benchmarks.  The
+  three serve benches get generous absolute ceilings, and the cache
+  tier is additionally gated RELATIVE to the cold path: the ISSUE-10
+  acceptance bar is BM_ServeCacheHit at least 10x below
+  BM_ServeColdSearch on qft8/Tokyo (measured ~35x in the bench
+  container), so ``--serve-hit-ratio 0.1`` fails the build when a
+  cache hit costs more than a tenth of a cold search.  Both benches
+  must be present for the relative gate to run.
+
 Exit status: 0 = within tolerance, 1 = regression, 2 = usage/IO.
 """
 
@@ -152,6 +161,55 @@ def check_micro(micro_path, ceiling_ns, hook_ratio, hook_floor_ns):
     return failures
 
 
+# Serve-layer benches: generous absolute ceilings (~10x the bench
+# container's typical times: cold search ~1.5 ms, warm search ~1.5 ms,
+# cache hit ~45 us) that catch order-of-magnitude accidents.
+SERVE_CEILINGS_NS = {
+    "BM_ServeColdSearch": 50_000_000.0,
+    "BM_ServeWarmVsCold": 50_000_000.0,
+    "BM_ServeCacheHit": 500_000.0,
+}
+
+
+def check_serve(serve_path, hit_ratio):
+    times = micro_times_ns(load(serve_path), serve_path)
+    failures = 0
+    for name in sorted(SERVE_CEILINGS_NS):
+        limit = SERVE_CEILINGS_NS[name]
+        if name not in times:
+            print(f"FAIL: {name} missing from {serve_path}")
+            failures += 1
+            continue
+        time_ns = times[name]
+        if time_ns > limit:
+            print(f"FAIL {name}: {time_ns:.0f} ns > "
+                  f"ceiling {limit:.0f} ns")
+            failures += 1
+        else:
+            print(f"ok {name}: {time_ns:.0f} ns "
+                  f"(ceiling {limit:.0f} ns)")
+    hit = times.get("BM_ServeCacheHit")
+    cold = times.get("BM_ServeColdSearch")
+    if hit is not None and cold is not None:
+        limit = hit_ratio * cold
+        if hit > limit:
+            print(f"FAIL BM_ServeCacheHit: {hit:.0f} ns > "
+                  f"{limit:.0f} ns ({hit_ratio:.0%} of cold search "
+                  f"{cold:.0f} ns) — the cache tier no longer meets "
+                  f"the >=10x speedup acceptance bar")
+            failures += 1
+        else:
+            print(f"ok BM_ServeCacheHit: {hit:.0f} ns vs cold "
+                  f"{cold:.0f} ns ({hit / cold:.1%}, limit "
+                  f"{hit_ratio:.0%})")
+    elif hit is not None or cold is not None:
+        print("FAIL: need BOTH BM_ServeCacheHit and "
+              f"BM_ServeColdSearch in {serve_path} to gate the "
+              "cache-hit speedup")
+        failures += 1
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", required=True,
@@ -180,6 +238,13 @@ def main():
                         help="absolute floor below which the "
                              "disarmed-hook gate ignores timer noise "
                              "(default 5 ns)")
+    parser.add_argument("--serve",
+                        help="serve_benchmarks --benchmark_format="
+                             "json output (optional)")
+    parser.add_argument("--serve-hit-ratio", type=float, default=0.1,
+                        help="allowed BM_ServeCacheHit time as a "
+                             "fraction of BM_ServeColdSearch "
+                             "(default 0.1 = the >=10x speedup bar)")
     args = parser.parse_args()
 
     failures = check_counters(args.baseline, args.current,
@@ -189,6 +254,8 @@ def main():
                                 args.node_expansion_ceiling_ns,
                                 args.fault_hook_ratio,
                                 args.fault_hook_floor_ns)
+    if args.serve:
+        failures += check_serve(args.serve, args.serve_hit_ratio)
     if failures:
         print(f"{failures} bench regression(s) beyond tolerance")
         return 1

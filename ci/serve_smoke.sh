@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Serve-layer smoke for CI: feed a mixed workload through the
+# toqm_serve daemon TWICE in one process, then assert
+#  - every first-pass request is answered by the search tier,
+#  - every second-pass repeat is answered from the result cache,
+#  - repeated answers are byte-identical to their first-pass mates,
+#  - the cache answer for qft8/tokyo is byte-identical to a cold
+#    toqm_map run of the same instance,
+#  - the daemon's final stats account exactly for the traffic.
+#
+# Usage: ci/serve_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD=${1:-build}
+SERVE=$BUILD/tools/toqm_serve
+MAP=$BUILD/tools/toqm_map
+B=benchmarks/qasm
+OUT=$BUILD/serve-smoke
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+req() {
+    printf '{"id":"%s","file":"%s","arch":"%s","mapper":"heuristic"}\n' \
+        "$1" "$2" "$3"
+}
+
+{
+    for pass in 1 2; do
+        req "p$pass-qft8" "$B/qft8.qasm" tokyo
+        req "p$pass-bell" "$B/bell.qasm" ibmqx2
+        req "p$pass-toffoli" "$B/toffoli_chain.qasm" tokyo
+        req "p$pass-qft4" "$B/qft4.qasm" tokyo
+    done
+    printf '{"cmd":"stats"}\n'
+} > "$OUT/requests.jsonl"
+
+"$SERVE" < "$OUT/requests.jsonl" \
+    > "$OUT/responses.jsonl" 2> "$OUT/daemon.err"
+grep -q 'drained after 8 request(s)' "$OUT/daemon.err"
+
+# Cold reference for one of the instances.
+"$MAP" --arch tokyo --mapper heuristic "$B/qft8.qasm" \
+    > "$OUT/cold_qft8.qasm"
+
+python3 - "$OUT/responses.jsonl" "$OUT/cold_qft8.qasm" <<'EOF'
+import json
+import sys
+
+lines = [json.loads(line) for line in open(sys.argv[1])]
+stats = lines[-1]["stats"]
+responses = {r["id"]: r for r in lines[:-1]}
+assert len(responses) == 8, sorted(responses)
+
+for r in responses.values():
+    assert r["code"] == 0, r
+
+for rid, r in responses.items():
+    if rid.startswith("p1-"):
+        assert r["tier"] == "search", r
+    else:
+        mate = responses["p1-" + rid[3:]]
+        assert r["tier"] == "cache", r
+        assert r["qasm"] == mate["qasm"], rid
+
+cold = open(sys.argv[2]).read()
+assert responses["p2-qft8"]["qasm"] == cold, \
+    "cache hit differs from cold toqm_map output"
+
+cache = stats["cache"]
+assert cache["hits"] == 4, cache
+assert cache["exact_hits"] == 4, cache
+assert cache["misses"] == 4, cache
+assert cache["evictions"] == 0, cache
+assert cache["entries"] == 4, cache
+assert stats["tier"]["search"] == 4, stats["tier"]
+assert stats["tier"]["cache"] == 4, stats["tier"]
+# Two distinct devices -> exactly two warm arch constructions.
+assert stats["arch"]["entries"] == 2, stats["arch"]
+assert stats["arch"]["misses"] == 2, stats["arch"]
+
+hit_rate = cache["hits"] / (cache["hits"] + cache["misses"])
+print(f"second pass: 4/4 cache hits (overall hit rate "
+      f"{hit_rate:.0%}), outputs byte-identical to first pass "
+      f"and to cold toqm_map")
+EOF
+
+echo "serve smoke ok"

@@ -157,6 +157,8 @@ NodePool::~NodePool()
 {
     // Every slot below the cursor holds a constructed node (live or
     // free-listed); destroy them so `actions` releases its storage.
+    SlabCache &slabCache = SlabCache::global();
+    const bool donate = slabCache.armed();
     for (std::size_t s = 0; s < _slabs.size(); ++s) {
         const std::size_t constructed =
             s + 1 < _slabs.size() ? _nodesPerSlab : _cursor;
@@ -166,6 +168,13 @@ NodePool::~NodePool()
                 reinterpret_cast<SearchNode *>(base + i * _nodeStride));
             node->~SearchNode();
         }
+        if (donate) {
+            SlabCache::Buffers buffers;
+            buffers.nodes = std::move(_slabs[s].nodes);
+            buffers.data = std::move(_slabs[s].data);
+            slabCache.release(_nodesPerSlab * _nodeStride, _slabWords,
+                              std::move(buffers));
+        }
     }
 }
 
@@ -173,13 +182,103 @@ void
 NodePool::addSlab()
 {
     Slab slab;
-    slab.nodes =
-        std::make_unique<std::byte[]>(_nodesPerSlab * _nodeStride);
-    // Value-initialized: the padding tail of every slice starts (and
-    // stays, since clones copy whole slices) deterministically zero.
-    slab.data = std::make_unique<std::uint64_t[]>(_slabWords);
+    SlabCache::Buffers recycled;
+    if (SlabCache::global().acquire(_nodesPerSlab * _nodeStride,
+                                    _slabWords, recycled)) {
+        slab.nodes = std::move(recycled.nodes);
+        slab.data = std::move(recycled.data);
+    } else {
+        slab.nodes =
+            std::make_unique<std::byte[]>(_nodesPerSlab * _nodeStride);
+        // Value-initialized: the padding tail of every slice starts
+        // (and stays, since clones copy whole slices)
+        // deterministically zero.  Adopted arenas are re-zeroed by
+        // SlabCache::acquire to keep the same invariant.
+        slab.data = std::make_unique<std::uint64_t[]>(_slabWords);
+    }
     _slabs.push_back(std::move(slab));
     _cursor = 0;
+}
+
+SlabCache &
+SlabCache::global()
+{
+    static SlabCache instance;
+    return instance;
+}
+
+void
+SlabCache::arm(std::size_t max_bytes)
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _maxBytes = max_bytes;
+    _armed.store(true, std::memory_order_relaxed);
+}
+
+void
+SlabCache::disarm()
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    _armed.store(false, std::memory_order_relaxed);
+    _idle.clear();
+    _idleBytes = 0;
+}
+
+bool
+SlabCache::acquire(std::size_t node_bytes, std::size_t data_words,
+                   Buffers &out)
+{
+    if (!armed())
+        return false;
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _idle.find({node_bytes, data_words});
+        if (it == _idle.end() || it->second.empty()) {
+            ++_declines;
+            return false;
+        }
+        out = std::move(it->second.back());
+        it->second.pop_back();
+        _idleBytes -= node_bytes + data_words * sizeof(std::uint64_t);
+        ++_reuses;
+    }
+    // Restore the "arena starts zero" invariant outside the lock.
+    std::fill_n(out.data.get(), data_words, std::uint64_t{0});
+    return true;
+}
+
+void
+SlabCache::release(std::size_t node_bytes, std::size_t data_words,
+                   Buffers buffers)
+{
+    if (!buffers.nodes || !buffers.data)
+        return;
+    const std::size_t bytes =
+        node_bytes + data_words * sizeof(std::uint64_t);
+    const std::lock_guard<std::mutex> lock(_mutex);
+    if (!_armed.load(std::memory_order_relaxed) ||
+        _idleBytes + bytes > _maxBytes) {
+        ++_dropped;
+        return; // buffers free on scope exit
+    }
+    _idle[{node_bytes, data_words}].push_back(std::move(buffers));
+    _idleBytes += bytes;
+    ++_donations;
+}
+
+SlabCache::Stats
+SlabCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(_mutex);
+    Stats s;
+    s.reuses = _reuses;
+    s.declines = _declines;
+    s.donations = _donations;
+    s.dropped = _dropped;
+    s.idleBytes = _idleBytes;
+    for (const auto &[key, buffers] : _idle)
+        s.idleSlabs += buffers.size();
+    return s;
 }
 
 SearchNode *

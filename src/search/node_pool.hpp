@@ -52,9 +52,13 @@
 #ifndef TOQM_SEARCH_NODE_POOL_HPP
 #define TOQM_SEARCH_NODE_POOL_HPP
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "search_context.hpp"
@@ -63,6 +67,88 @@ namespace toqm::search {
 
 class NodePool;
 class NodeRef;
+
+/**
+ * Process-global recycler of raw slab buffers, keyed by buffer
+ * geometry (node-block bytes, data-arena words).
+ *
+ * A NodePool is bound to one circuit-specific SearchContext, so the
+ * POOL cannot outlive a request — but its slabs are just raw byte /
+ * word arrays whose size depends only on (num logical, num physical)
+ * qubits.  A warm server mapping a stream of same-device requests
+ * re-allocates the same multi-megabyte slabs over and over; with the
+ * cache ARMED, dying pools donate their buffers and newborn pools
+ * adopt them instead of hitting the allocator.
+ *
+ * DEFAULT-OFF: unarmed (the default, and the state every existing
+ * tool runs in), acquire() declines immediately and release() frees,
+ * so batch/CLI behavior is byte-identical to a build without this
+ * class.  Adopted data arenas are re-zeroed on acquire, preserving
+ * NodePool's "arena starts deterministically zero" invariant.
+ */
+class SlabCache
+{
+  public:
+    static SlabCache &global();
+
+    /** Raw slab storage, exactly NodePool::Slab's two buffers. */
+    struct Buffers
+    {
+        std::unique_ptr<std::byte[]> nodes;
+        std::unique_ptr<std::uint64_t[]> data;
+    };
+
+    /** Enable recycling, holding at most @p max_bytes of idle slabs. */
+    void arm(std::size_t max_bytes);
+
+    /** Disable recycling and free every idle slab. */
+    void disarm();
+
+    bool armed() const
+    {
+        return _armed.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Adopt an idle slab of the given geometry.  @return true and
+     * fill @p out (data arena re-zeroed) on success; false when
+     * unarmed or nothing matching is idle.
+     */
+    bool acquire(std::size_t node_bytes, std::size_t data_words,
+                 Buffers &out);
+
+    /**
+     * Donate a dead pool's slab.  Freed immediately when unarmed or
+     * when the idle budget is full (counted in stats().dropped).
+     */
+    void release(std::size_t node_bytes, std::size_t data_words,
+                 Buffers buffers);
+
+    struct Stats
+    {
+        std::uint64_t reuses = 0;   ///< acquires served from idle slabs
+        std::uint64_t declines = 0; ///< acquires that missed
+        std::uint64_t donations = 0;
+        std::uint64_t dropped = 0;  ///< donations freed (budget/unarmed)
+        std::size_t idleBytes = 0;
+        std::size_t idleSlabs = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    using Key = std::pair<std::size_t, std::size_t>;
+
+    std::atomic<bool> _armed{false};
+    mutable std::mutex _mutex;
+    std::map<Key, std::vector<Buffers>> _idle;
+    std::size_t _maxBytes = 0;
+    std::size_t _idleBytes = 0;
+    std::uint64_t _reuses = 0;
+    std::uint64_t _declines = 0;
+    std::uint64_t _donations = 0;
+    std::uint64_t _dropped = 0;
+};
 
 /**
  * Packed qubit index: device positions and logical qubits are both

@@ -155,6 +155,10 @@ statsJsonLine(const SearchStats &stats, std::string_view mapper,
         line += ",\"fault\":";
         line += context.faultJson;
     }
+    if (!context.serveJson.empty()) {
+        line += ",\"serve\":";
+        line += context.serveJson;
+    }
     line += "}\n";
     return line;
 }

@@ -168,6 +168,14 @@ struct StatsLineContext
      */
     std::string_view faultJson;
     /**
+     * Pre-rendered JSON object describing how the serve layer
+     * answered the request (tier taken, cache hit/miss/eviction
+     * counters — see serve::MapService); appended verbatim as a
+     * trailing `"serve":{...}` key when non-empty.  Empty (the
+     * default) keeps cache-free runs byte-identical.
+     */
+    std::string_view serveJson;
+    /**
      * Objective the run minimised.  When non-empty, the additive
      * `"objective":"<name>"` key (plus `"cost"` / `"fidelity"` when
      * their has* flags are set) is appended INSIDE the `detail`
@@ -211,9 +219,10 @@ inline constexpr int kStatsLineSchemaVersion = 2;
  * When `context.degradationJson` is non-empty it is appended as a
  * final `"degradation":{...}` key (additive; absent by default),
  * followed — when set — by the additive `"input":"..."` (batch
- * mode), `"portfolio":{...}` (portfolio race) and `"fault":{...}`
- * (contained-fault recovery) keys.  Scrapers keyed on the v1 fields
- * keep working unchanged.
+ * mode), `"portfolio":{...}` (portfolio race), `"fault":{...}`
+ * (contained-fault recovery) and `"serve":{...}` (serve-layer tier
+ * and cache counters) keys.  Scrapers keyed on the v1 fields keep
+ * working unchanged.
  */
 std::string statsJsonLine(const SearchStats &stats,
                           std::string_view mapper, SearchStatus status,

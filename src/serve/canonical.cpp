@@ -1,0 +1,240 @@
+#include "serve/canonical.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace toqm::serve {
+
+namespace {
+
+/** Append a double with round-trip precision (%.17g). */
+void appendParam(std::string &out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += buf;
+}
+
+/**
+ * Append the label-free part of a gate description: kind mnemonic
+ * (or the opaque name for Other) plus the parameter list.
+ */
+void appendGateToken(std::string &out, const ir::Gate &g)
+{
+    if (g.kind() == ir::GateKind::Other) {
+        out += "other:";
+        out += g.name();
+    } else {
+        out += ir::gateKindName(g.kind());
+    }
+    if (!g.params().empty()) {
+        out += '(';
+        for (std::size_t i = 0; i < g.params().size(); ++i) {
+            if (i) out += ',';
+            appendParam(out, g.params()[i]);
+        }
+        out += ')';
+    }
+}
+
+/**
+ * Per-qubit dependency signature: the sequence of (gate token,
+ * operand position) pairs along q's gate chain.  The chain order is
+ * fixed by the dependency DAG (gates sharing q never commute past
+ * each other), and the content mentions no qubit labels, so the
+ * signature is invariant under both relabeling and commuting
+ * reorder.
+ */
+std::vector<std::string> qubitSignatures(const ir::Circuit &circuit)
+{
+    std::vector<std::string> sig(
+        static_cast<std::size_t>(circuit.numQubits()));
+    for (const ir::Gate &g : circuit.gates()) {
+        for (int i = 0; i < g.numQubits(); ++i) {
+            std::string &s = sig[static_cast<std::size_t>(g.qubit(i))];
+            appendGateToken(s, g);
+            s += '@';
+            s += static_cast<char>('0' + i);
+            s += ';';
+        }
+    }
+    return sig;
+}
+
+/** Three-way compare of two parameter lists. */
+int cmpParams(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+/**
+ * Label-invariant three-way compare of two ready gates.  Operands
+ * with an assigned canonical label compare by label (and before any
+ * unassigned operand — they are "older" in the canonical order);
+ * unassigned operands compare by their qubit signatures.
+ */
+int cmpReady(const ir::Gate &a, const ir::Gate &b,
+             const std::vector<int> &toCanonical,
+             const std::vector<std::string> &sig)
+{
+    if (a.kind() != b.kind())
+        return a.kind() < b.kind() ? -1 : 1;
+    if (a.kind() == ir::GateKind::Other && a.name() != b.name())
+        return a.name() < b.name() ? -1 : 1;
+    if (int c = cmpParams(a.params(), b.params()); c != 0) return c;
+    if (a.numQubits() != b.numQubits())
+        return a.numQubits() < b.numQubits() ? -1 : 1;
+    for (int i = 0; i < a.numQubits(); ++i) {
+        const int qa = a.qubit(i);
+        const int qb = b.qubit(i);
+        const int la = toCanonical[static_cast<std::size_t>(qa)];
+        const int lb = toCanonical[static_cast<std::size_t>(qb)];
+        if ((la >= 0) != (lb >= 0)) return la >= 0 ? -1 : 1;
+        if (la >= 0) {
+            if (la != lb) return la < lb ? -1 : 1;
+        } else if (int c = sig[static_cast<std::size_t>(qa)].compare(
+                       sig[static_cast<std::size_t>(qb)]);
+                   c != 0) {
+            return c < 0 ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t basis)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t hash = basis;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+CanonicalKey hashText(const std::string &text)
+{
+    CanonicalKey key;
+    key.hi = fnv1a64(text.data(), text.size());
+    // Second stream: different basis (FNV basis xor a salt) so the
+    // two 64-bit halves fail independently.
+    key.lo = fnv1a64(text.data(), text.size(),
+                     0xcbf29ce484222325ull ^ 0x5bd1e995u);
+    return key;
+}
+
+std::string CanonicalKey::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return buf;
+}
+
+CanonicalForm canonicalizeCircuit(const ir::Circuit &circuit)
+{
+    const int numGates = circuit.size();
+    const int numQubits = circuit.numQubits();
+
+    CanonicalForm form;
+    form.toCanonical.assign(static_cast<std::size_t>(numQubits), -1);
+    form.gateOrder.reserve(static_cast<std::size_t>(numGates));
+
+    // Dependency DAG: for each gate the immediate predecessor on
+    // each operand qubit (deduplicated), plus successor lists for
+    // indegree decrement.
+    std::vector<int> indegree(static_cast<std::size_t>(numGates), 0);
+    std::vector<std::vector<int>> successors(
+        static_cast<std::size_t>(numGates));
+    {
+        std::vector<int> lastOnQubit(static_cast<std::size_t>(numQubits),
+                                     -1);
+        for (int i = 0; i < numGates; ++i) {
+            const ir::Gate &g = circuit.gate(i);
+            int prev0 = -1;
+            for (int k = 0; k < g.numQubits(); ++k) {
+                const auto q = static_cast<std::size_t>(g.qubit(k));
+                const int prev = lastOnQubit[q];
+                lastOnQubit[q] = i;
+                if (prev < 0 || prev == prev0)
+                    continue; // dedup: both operands share the pred
+                successors[static_cast<std::size_t>(prev)].push_back(i);
+                ++indegree[static_cast<std::size_t>(i)];
+                prev0 = prev;
+            }
+        }
+    }
+
+    const std::vector<std::string> sig = qubitSignatures(circuit);
+
+    std::vector<int> ready;
+    for (int i = 0; i < numGates; ++i) {
+        if (indegree[static_cast<std::size_t>(i)] == 0)
+            ready.push_back(i);
+    }
+
+    int nextLabel = 0;
+    form.text = "n=" + std::to_string(numQubits) + ";";
+    while (!ready.empty()) {
+        // Pick the minimal ready gate under the label-invariant
+        // order; equal keys fall back to the smallest original index
+        // (reached only for genuinely symmetric circuits, where
+        // either choice yields the same canonical text).
+        std::size_t best = 0;
+        for (std::size_t j = 1; j < ready.size(); ++j) {
+            const int c = cmpReady(circuit.gate(ready[j]),
+                                   circuit.gate(ready[best]),
+                                   form.toCanonical, sig);
+            if (c < 0 || (c == 0 && ready[j] < ready[best]))
+                best = j;
+        }
+        const int gi = ready[best];
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(best));
+
+        const ir::Gate &g = circuit.gate(gi);
+        for (int k = 0; k < g.numQubits(); ++k) {
+            int &label =
+                form.toCanonical[static_cast<std::size_t>(g.qubit(k))];
+            if (label < 0)
+                label = nextLabel++;
+        }
+        appendGateToken(form.text, g);
+        for (int k = 0; k < g.numQubits(); ++k) {
+            form.text += k ? ',' : ' ';
+            form.text += std::to_string(
+                form.toCanonical[static_cast<std::size_t>(g.qubit(k))]);
+        }
+        form.text += ';';
+        form.gateOrder.push_back(gi);
+
+        for (int next : successors[static_cast<std::size_t>(gi)]) {
+            if (--indegree[static_cast<std::size_t>(next)] == 0)
+                ready.push_back(next);
+        }
+    }
+    return form;
+}
+
+std::string exactCircuitText(const ir::Circuit &circuit)
+{
+    std::string text = "n=" + std::to_string(circuit.numQubits()) + ";";
+    for (const ir::Gate &g : circuit.gates()) {
+        appendGateToken(text, g);
+        for (int k = 0; k < g.numQubits(); ++k) {
+            text += k ? ',' : ' ';
+            text += std::to_string(g.qubit(k));
+        }
+        text += ';';
+    }
+    return text;
+}
+
+} // namespace toqm::serve

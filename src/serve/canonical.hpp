@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Canonical circuit forms and content-addressed request keys for the
+ * serve layer.
+ *
+ * Two requests that describe the SAME mapping problem must land on
+ * the same cache key even when their circuits differ textually:
+ *
+ *  - qubit relabeling: the same gate sequence with logical qubits
+ *    renamed describes the same problem up to a permutation of the
+ *    layouts;
+ *  - commuting reorder: two topological orders of the same
+ *    dependency DAG (gates on disjoint qubits listed in either
+ *    order) schedule identically.
+ *
+ * canonicalizeCircuit() normalizes both: it emits the gates in a
+ * deterministic greedy topological order whose tie-breaks use only
+ * label-invariant data (gate kind, parameters, per-qubit dependency
+ * signatures), assigning canonical qubit labels by first use in that
+ * order.  The canonicalization is SOUND for caching in the safe
+ * direction — equal canonical text implies DAG-equal circuits up to
+ * relabeling, and every translated cache hit is re-verified before
+ * emission — while equivalence detection is best-effort complete: a
+ * pathologically symmetric circuit pair may canonicalize differently
+ * (costing a cache miss, never a wrong result).
+ *
+ * Keys are 128 bits (two independent 64-bit FNV-1a streams) so
+ * accidental collisions are out of the engineering picture; the
+ * cache additionally stores the exact-form fingerprint so byte-exact
+ * repeats are distinguished from canonical-equivalent variants.
+ */
+
+#ifndef TOQM_SERVE_CANONICAL_HPP
+#define TOQM_SERVE_CANONICAL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace toqm::serve {
+
+/** A 128-bit content hash (two independent 64-bit streams). */
+struct CanonicalKey
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    bool operator==(const CanonicalKey &o) const
+    {
+        return hi == o.hi && lo == o.lo;
+    }
+    bool operator!=(const CanonicalKey &o) const { return !(*this == o); }
+
+    /** 32-hex-digit rendering (for journals, logs, tests). */
+    std::string hex() const;
+};
+
+/** Hash functor so CanonicalKey can key unordered containers. */
+struct CanonicalKeyHash
+{
+    std::size_t operator()(const CanonicalKey &k) const
+    {
+        // hi and lo are already independent hashes; fold cheaply.
+        return static_cast<std::size_t>(k.hi ^ (k.lo * 0x9e3779b97f4a7c15ull));
+    }
+};
+
+/** FNV-1a over @p size bytes starting from @p basis. */
+std::uint64_t fnv1a64(const void *data, std::size_t size,
+                      std::uint64_t basis = 0xcbf29ce484222325ull);
+
+/** Two independent 64-bit hashes of @p text as one 128-bit key. */
+CanonicalKey hashText(const std::string &text);
+
+/** The canonical form of a circuit (see the file comment). */
+struct CanonicalForm
+{
+    /**
+     * Deterministic serialization of the canonical circuit:
+     * `n=<qubits>;` followed by one `<kind>[(params)] <labels>;`
+     * entry per gate in canonical order with canonical labels.
+     */
+    std::string text;
+    /**
+     * Original logical label -> canonical label; -1 for qubits no
+     * gate touches (they receive no canonical label).
+     */
+    std::vector<int> toCanonical;
+    /** Canonical position -> original gate index. */
+    std::vector<int> gateOrder;
+};
+
+/**
+ * Canonicalize @p circuit.  Cost is O(gates * max_ready_width); the
+ * serve layer caps participation at kCanonicalGateLimit gates and
+ * falls back to the exact form above that (see exactCircuitText).
+ */
+CanonicalForm canonicalizeCircuit(const ir::Circuit &circuit);
+
+/**
+ * Gate count above which the cache keys on the exact form only
+ * (canonicalizing a Table-3-sized circuit would cost more than the
+ * hash saves).
+ */
+constexpr int kCanonicalGateLimit = 50'000;
+
+/**
+ * Exact serialization: original gate order, original labels.  Two
+ * byte-identical problem statements — and only those — share it.
+ */
+std::string exactCircuitText(const ir::Circuit &circuit);
+
+} // namespace toqm::serve
+
+#endif // TOQM_SERVE_CANONICAL_HPP

@@ -1,0 +1,102 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+
+namespace toqm::serve {
+
+std::size_t cacheEntryBytes(const CacheEntry &entry)
+{
+    std::size_t bytes = sizeof(CacheEntry);
+    bytes += entry.output.capacity();
+    bytes += entry.mapper.capacity();
+    bytes += entry.toCanonical.capacity() * sizeof(int);
+    bytes += entry.mapped.initialLayout.capacity() * sizeof(int);
+    bytes += entry.mapped.finalLayout.capacity() * sizeof(int);
+    for (const ir::Gate &g : entry.mapped.physical.gates()) {
+        bytes += sizeof(ir::Gate);
+        bytes += g.qubits().capacity() * sizeof(int);
+        bytes += g.params().capacity() * sizeof(double);
+        bytes += g.name().capacity();
+    }
+    return bytes;
+}
+
+ResultCache::ResultCache(std::size_t max_bytes, int shards)
+    : _maxBytes(max_bytes),
+      _shards(static_cast<std::size_t>(std::max(1, shards)))
+{
+    _shardBudget = std::max<std::size_t>(1, _maxBytes / _shards.size());
+}
+
+ResultCache::Lookup ResultCache::find(const CanonicalKey &canonical,
+                                      const CanonicalKey &exact)
+{
+    Shard &shard = shardFor(canonical);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(canonical);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        return {};
+    }
+    // Promote to MRU.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    Lookup result;
+    result.hit = true;
+    result.entry = it->second->second;
+    result.exact = result.entry->exactKey == exact;
+    if (result.exact)
+        ++shard.exactHits;
+    else
+        ++shard.canonicalHits;
+    return result;
+}
+
+void ResultCache::insert(const CanonicalKey &canonical, CacheEntry entry)
+{
+    entry.bytes = cacheEntryBytes(entry);
+    Shard &shard = shardFor(canonical);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (entry.bytes > _shardBudget) {
+        ++shard.rejected;
+        return;
+    }
+    auto it = shard.index.find(canonical);
+    if (it != shard.index.end()) {
+        shard.bytes -= it->second->second->bytes;
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+    }
+    const std::size_t entryBytes = entry.bytes;
+    shard.lru.emplace_front(
+        canonical, std::make_shared<const CacheEntry>(std::move(entry)));
+    shard.index.emplace(canonical, shard.lru.begin());
+    shard.bytes += entryBytes;
+    ++shard.insertions;
+    while (shard.bytes > _shardBudget) {
+        auto victim = std::prev(shard.lru.end());
+        shard.bytes -= victim->second->bytes;
+        shard.index.erase(victim->first);
+        shard.lru.erase(victim);
+        ++shard.evictions;
+    }
+}
+
+CacheStats ResultCache::stats() const
+{
+    CacheStats total;
+    for (const Shard &shard : _shards) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        total.exactHits += shard.exactHits;
+        total.canonicalHits += shard.canonicalHits;
+        total.misses += shard.misses;
+        total.insertions += shard.insertions;
+        total.evictions += shard.evictions;
+        total.rejected += shard.rejected;
+        total.bytes += shard.bytes;
+        total.entries += shard.lru.size();
+    }
+    total.hits = total.exactHits + total.canonicalHits;
+    return total;
+}
+
+} // namespace toqm::serve

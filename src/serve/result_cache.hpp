@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sharded, bounded, content-addressed result cache for the serve
+ * layer.
+ *
+ * Entries are keyed by the 128-bit canonical request key (canonical
+ * circuit form x architecture x mapper parameters x objective; see
+ * canonical.hpp) and additionally carry the EXACT fingerprint of the
+ * request that produced them, so a lookup can distinguish a
+ * byte-exact repeat (stored output is returned verbatim) from a
+ * canonical-equivalent variant (layouts must be translated through
+ * the canonical labeling and the result re-verified).
+ *
+ * Concurrency: the key space is split across independently locked
+ * shards (shard = key.hi mod shards), so concurrent requests for
+ * different circuits never contend.  Within a shard, eviction is
+ * strict LRU under a per-shard byte budget — deterministic given the
+ * access sequence, which the lifecycle tests pin down.
+ */
+
+#ifndef TOQM_SERVE_RESULT_CACHE_HPP
+#define TOQM_SERVE_RESULT_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/mapped_circuit.hpp"
+#include "serve/canonical.hpp"
+
+namespace toqm::serve {
+
+/** One cached mapping result. */
+struct CacheEntry
+{
+    /** Exact-form fingerprint of the producing request. */
+    CanonicalKey exactKey;
+    /** Rendered output bytes (what cold toqm_map would print). */
+    std::string output;
+    /** The mapped circuit, kept for canonical-hit layout translation. */
+    ir::MappedCircuit mapped;
+    /** Producer's logical qubit -> canonical label (-1 if untouched). */
+    std::vector<int> toCanonical;
+    /** Mapper that produced the result (response metadata). */
+    std::string mapper;
+    /** Solution depth in cycles (response metadata). */
+    std::int64_t cycles = 0;
+    /** Accounted size in bytes (computed on insert). */
+    std::size_t bytes = 0;
+};
+
+/** Point-in-time cache statistics (all monotonic except bytes/entries). */
+struct CacheStats
+{
+    std::uint64_t hits = 0;          ///< exactHits + canonicalHits
+    std::uint64_t exactHits = 0;     ///< byte-exact repeats
+    std::uint64_t canonicalHits = 0; ///< relabel/reorder equivalents
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0;      ///< entry larger than a shard budget
+    std::size_t bytes = 0;           ///< currently resident bytes
+    std::size_t entries = 0;         ///< currently resident entries
+};
+
+/** Sharded LRU cache; see the file comment. */
+class ResultCache
+{
+  public:
+    /**
+     * @param max_bytes total byte budget, split evenly across shards
+     *        (each shard gets at least one byte so a tiny budget
+     *        still admits nothing rather than dividing to zero).
+     * @param shards number of independently locked shards (>= 1).
+     */
+    explicit ResultCache(std::size_t max_bytes, int shards = 8);
+
+    struct Lookup
+    {
+        bool hit = false;
+        /** True when the exact fingerprint matched too. */
+        bool exact = false;
+        std::shared_ptr<const CacheEntry> entry;
+    };
+
+    /**
+     * Look up @p canonical; on a hit the entry is promoted to
+     * most-recently-used.  @p exact is the request's exact
+     * fingerprint, compared against the stored one to classify the
+     * hit.
+     */
+    Lookup find(const CanonicalKey &canonical, const CanonicalKey &exact);
+
+    /**
+     * Insert (or replace) the entry for @p canonical.  The entry's
+     * byte cost is computed here; entries larger than a shard budget
+     * are rejected (counted in stats().rejected).  Eviction runs
+     * immediately: least-recently-used entries leave until the shard
+     * is within budget.
+     */
+    void insert(const CanonicalKey &canonical, CacheEntry entry);
+
+    CacheStats stats() const;
+
+    std::size_t maxBytes() const { return _maxBytes; }
+    int shardCount() const { return static_cast<int>(_shards.size()); }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** MRU at front; pairs of (key, entry). */
+        std::list<std::pair<CanonicalKey,
+                            std::shared_ptr<const CacheEntry>>> lru;
+        std::unordered_map<CanonicalKey, decltype(lru)::iterator,
+                           CanonicalKeyHash> index;
+        std::size_t bytes = 0;
+        std::uint64_t exactHits = 0;
+        std::uint64_t canonicalHits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t rejected = 0;
+    };
+
+    Shard &shardFor(const CanonicalKey &key)
+    {
+        return _shards[key.hi % _shards.size()];
+    }
+
+    std::size_t _maxBytes;
+    std::size_t _shardBudget;
+    std::vector<Shard> _shards;
+};
+
+/** Approximate heap footprint of @p entry for budget accounting. */
+std::size_t cacheEntryBytes(const CacheEntry &entry);
+
+} // namespace toqm::serve
+
+#endif // TOQM_SERVE_RESULT_CACHE_HPP

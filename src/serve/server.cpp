@@ -1,0 +1,497 @@
+#include "serve/server.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/json.hpp"
+#include "parallel/journal.hpp"
+#include "qasm/importer.hpp"
+
+namespace toqm::serve {
+
+namespace {
+
+/** Set by requestStop() — from signal handlers, so lock-free. */
+std::atomic<bool> g_stop{false};
+
+/** Read a numeric field as a non-negative integer. */
+bool readUint(const obs::json::Value &object, const std::string &key,
+              std::uint64_t &out, std::string &bad_field)
+{
+    const auto value = object.get(key);
+    if (!value)
+        return true;
+    if (!value->isNumber() || value->asNumber() < 0) {
+        bad_field = key;
+        return false;
+    }
+    out = static_cast<std::uint64_t>(value->asNumber());
+    return true;
+}
+
+bool readBool(const obs::json::Value &object, const std::string &key,
+              bool &out, std::string &bad_field)
+{
+    const auto value = object.get(key);
+    if (!value)
+        return true;
+    if (!value->isBool()) {
+        bad_field = key;
+        return false;
+    }
+    out = value->asBool();
+    return true;
+}
+
+bool readString(const obs::json::Value &object, const std::string &key,
+                std::string &out, std::string &bad_field)
+{
+    const auto value = object.get(key);
+    if (!value)
+        return true;
+    if (!value->isString()) {
+        bad_field = key;
+        return false;
+    }
+    out = value->asString();
+    return true;
+}
+
+std::string errorLine(const std::string &id, int code,
+                      const std::string &message)
+{
+    std::string line = "{";
+    if (!id.empty())
+        line += "\"id\":" + jsonQuote(id) + ",";
+    line += "\"code\":" + std::to_string(code) +
+            ",\"error\":" + jsonQuote(message) + "}";
+    return line;
+}
+
+/** Write all of @p data to @p fd, retrying on EINTR. */
+bool writeAll(int fd, const char *data, std::size_t size)
+{
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        size -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+void requestStop()
+{
+    g_stop.store(true, std::memory_order_relaxed);
+}
+
+bool stopRequested()
+{
+    return g_stop.load(std::memory_order_relaxed);
+}
+
+void resetStopFlag()
+{
+    g_stop.store(false, std::memory_order_relaxed);
+}
+
+std::string jsonQuote(const std::string &text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+Server::Server(ServerConfig config, MapService &service)
+    : _config(std::move(config)), _service(service)
+{}
+
+Server::~Server() = default;
+
+bool Server::parseRequest(const std::string &line, MapRequest &request,
+                          std::string &error_response)
+{
+    obs::json::ValuePtr doc;
+    try {
+        doc = obs::json::parse(line);
+    } catch (const std::exception &e) {
+        error_response = errorLine("", 2,
+                                   std::string("bad request JSON: ") +
+                                       e.what());
+        return false;
+    }
+    if (!doc->isObject()) {
+        error_response = errorLine("", 2, "request is not an object");
+        return false;
+    }
+
+    std::string bad_field;
+    std::string qasmText;
+    std::string filePath;
+    std::uint64_t maxNodes = request.maxNodes;
+    std::uint64_t portfolioSize =
+        static_cast<std::uint64_t>(request.portfolioSize);
+    bool ok = readString(*doc, "id", request.id, bad_field) &&
+              readString(*doc, "qasm", qasmText, bad_field) &&
+              readString(*doc, "file", filePath, bad_field) &&
+              readString(*doc, "arch", request.arch, bad_field) &&
+              readString(*doc, "mapper", request.mapper, bad_field) &&
+              readBool(*doc, "searchInitial", request.searchInitial,
+                       bad_field) &&
+              readBool(*doc, "noMixing", request.noMixing, bad_field) &&
+              readBool(*doc, "cacheable", request.cacheable,
+                       bad_field) &&
+              readUint(*doc, "maxNodes", maxNodes, bad_field) &&
+              readUint(*doc, "deadlineMs", request.deadlineMs,
+                       bad_field) &&
+              readUint(*doc, "maxPoolMb", request.maxPoolMb,
+                       bad_field) &&
+              readUint(*doc, "portfolioSize", portfolioSize, bad_field);
+    if (ok) {
+        if (const auto lat = doc->get("latency")) {
+            if (!lat->isArray() || lat->asArray().size() != 3) {
+                ok = false;
+                bad_field = "latency";
+            } else {
+                const auto &triple = lat->asArray();
+                for (const auto &v : triple) {
+                    if (!v->isNumber()) {
+                        ok = false;
+                        bad_field = "latency";
+                    }
+                }
+                if (ok) {
+                    request.lat1 = static_cast<int>(
+                        triple[0]->asNumber());
+                    request.lat2 = static_cast<int>(
+                        triple[1]->asNumber());
+                    request.lats = static_cast<int>(
+                        triple[2]->asNumber());
+                }
+            }
+        }
+    }
+    if (!ok) {
+        error_response =
+            errorLine(request.id, 2,
+                      "bad request field: " + bad_field);
+        return false;
+    }
+    request.maxNodes = maxNodes;
+    request.portfolioSize = static_cast<int>(portfolioSize);
+
+    if (qasmText.empty() == filePath.empty()) {
+        error_response = errorLine(
+            request.id, 2,
+            "request needs exactly one of \"qasm\" or \"file\"");
+        return false;
+    }
+    try {
+        const qasm::ImportResult program =
+            qasmText.empty() ? qasm::importFile(filePath)
+                             : qasm::importString(qasmText);
+        request.circuit = program.circuit;
+    } catch (const std::exception &e) {
+        error_response = errorLine(request.id, 1, e.what());
+        return false;
+    }
+    return true;
+}
+
+std::string Server::renderResponse(const MapResponse &response)
+{
+    if (!response.error.empty())
+        return errorLine(response.id, response.code, response.error);
+    std::string line = "{";
+    if (!response.id.empty())
+        line += "\"id\":" + jsonQuote(response.id) + ",";
+    line += "\"code\":" + std::to_string(response.code);
+    line += ",\"tier\":" + jsonQuote(response.tier);
+    line += ",\"mapper\":" + jsonQuote(response.mapper);
+    line += ",\"cycles\":" + std::to_string(response.cycles);
+    line += ",\"swaps\":" + std::to_string(response.swaps);
+    line += ",\"qasm\":" + jsonQuote(response.output);
+    line += "}";
+    return line;
+}
+
+void Server::journalResponse(const MapRequest &request,
+                             const MapResponse &response)
+{
+    if (!_journal || !_journal->isOpen())
+        return;
+    parallel::JournalRecord record;
+    record.input =
+        request.id.empty() ? "req-" + std::to_string(_served)
+                           : request.id;
+    record.dest = record.input;
+    record.code = response.code;
+    record.bytes = response.output.size();
+    record.hash = parallel::fnv1aHash(response.output.data(),
+                                      response.output.size());
+    _journal->append(record);
+}
+
+std::string Server::processLine(const std::string &line, bool &shutdown)
+{
+    shutdown = false;
+    // Blank lines keep the stream position but produce no response.
+    std::string::size_type firstNonSpace =
+        line.find_first_not_of(" \t\r");
+    if (firstNonSpace == std::string::npos)
+        return "";
+
+    // Command lines ({"cmd":...}) are control-plane, not requests.
+    try {
+        const auto doc = obs::json::parse(line);
+        if (doc->isObject() && doc->has("cmd")) {
+            const auto cmd = doc->get("cmd");
+            if (!cmd->isString())
+                return errorLine("", 2, "cmd must be a string");
+            if (cmd->asString() == "stats")
+                return "{\"stats\":" + _service.statsJson() + "}";
+            if (cmd->asString() == "shutdown") {
+                shutdown = true;
+                return "{\"ok\":true}";
+            }
+            return errorLine("", 2,
+                             "unknown cmd: " + cmd->asString());
+        }
+    } catch (const std::exception &) {
+        // Fall through: parseRequest reports the parse error with
+        // the request error shape.
+    }
+
+    MapRequest request;
+    std::string errorResponse;
+    if (!parseRequest(line, request, errorResponse))
+        return errorResponse;
+    const MapResponse response = _service.handle(request);
+    ++_served;
+    journalResponse(request, response);
+    return renderResponse(response);
+}
+
+int Server::runStdio(std::istream &in, std::ostream &out,
+                     std::ostream &err)
+{
+    if (!_config.journalPath.empty()) {
+        _journal = std::make_unique<parallel::Journal>();
+        std::string error;
+        if (!_journal->open(_config.journalPath, error)) {
+            err << "toqm_serve: journal: " << error << "\n";
+            return 1;
+        }
+        err << "toqm_serve: journal: resumed with "
+            << _journal->records().size() << " prior record(s)\n";
+    }
+
+    if (_config.jobs > 1) {
+        // Slurp mode: requests parse up front and run on the warm
+        // pool; command lines act as barriers so a trailing
+        // {"cmd":"stats"} sees the whole batch.  Responses are
+        // emitted in input order.
+        std::vector<std::string> lines;
+        std::string line;
+        while (!stopRequested() && std::getline(in, line))
+            lines.push_back(line);
+        std::vector<std::string> slots(lines.size());
+        std::vector<std::size_t> pendingIdx;
+        std::vector<MapRequest> pendingReq;
+        const auto flush = [&] {
+            if (pendingReq.empty())
+                return;
+            const std::vector<MapResponse> responses =
+                _service.handleBatch(pendingReq);
+            for (std::size_t j = 0; j < responses.size(); ++j) {
+                ++_served;
+                journalResponse(pendingReq[j], responses[j]);
+                slots[pendingIdx[j]] = renderResponse(responses[j]);
+            }
+            pendingIdx.clear();
+            pendingReq.clear();
+        };
+        bool shutdown = false;
+        for (std::size_t i = 0; i < lines.size() && !shutdown; ++i) {
+            bool isCommand = false;
+            try {
+                const auto doc = obs::json::parse(lines[i]);
+                isCommand = doc->isObject() && doc->has("cmd");
+            } catch (const std::exception &) {
+            }
+            if (isCommand) {
+                flush();
+                slots[i] = processLine(lines[i], shutdown);
+                continue;
+            }
+            MapRequest request;
+            std::string errorResponse;
+            if (lines[i].find_first_not_of(" \t\r") ==
+                std::string::npos)
+                continue;
+            if (!parseRequest(lines[i], request, errorResponse)) {
+                slots[i] = errorResponse;
+                continue;
+            }
+            pendingIdx.push_back(i);
+            pendingReq.push_back(std::move(request));
+        }
+        flush();
+        for (const std::string &slot : slots) {
+            if (!slot.empty())
+                out << slot << "\n";
+        }
+        out.flush();
+    } else {
+        std::string line;
+        bool shutdown = false;
+        while (!stopRequested() && std::getline(in, line)) {
+            const std::string response = processLine(line, shutdown);
+            if (!response.empty()) {
+                out << response << "\n";
+                out.flush();
+            }
+            if (shutdown)
+                break;
+        }
+    }
+
+    _service.publishMetrics();
+    err << "toqm_serve: drained after " << _served
+        << " request(s); stats: " << _service.statsJson() << "\n";
+    return 0;
+}
+
+int Server::runSocket(std::ostream &err)
+{
+    if (!_config.journalPath.empty()) {
+        _journal = std::make_unique<parallel::Journal>();
+        std::string error;
+        if (!_journal->open(_config.journalPath, error)) {
+            err << "toqm_serve: journal: " << error << "\n";
+            return 1;
+        }
+        err << "toqm_serve: journal: resumed with "
+            << _journal->records().size() << " prior record(s)\n";
+    }
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (_config.socketPath.size() >= sizeof(addr.sun_path)) {
+        err << "toqm_serve: socket path too long: "
+            << _config.socketPath << "\n";
+        return 2;
+    }
+    std::memcpy(addr.sun_path, _config.socketPath.c_str(),
+                _config.socketPath.size() + 1);
+
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0) {
+        err << "toqm_serve: socket: " << std::strerror(errno) << "\n";
+        return 1;
+    }
+    ::unlink(_config.socketPath.c_str());
+    if (::bind(listenFd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listenFd, 8) != 0) {
+        err << "toqm_serve: bind " << _config.socketPath << ": "
+            << std::strerror(errno) << "\n";
+        ::close(listenFd);
+        return 1;
+    }
+    err << "toqm_serve: listening on " << _config.socketPath << "\n";
+
+    bool shutdown = false;
+    while (!shutdown && !stopRequested()) {
+        pollfd pfd{listenFd, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue; // timeout or EINTR: re-check the stop flag
+        const int client = ::accept(listenFd, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        std::string buffer;
+        char chunk[4096];
+        while (!shutdown) {
+            const ssize_t n = ::read(client, chunk, sizeof chunk);
+            if (n < 0 && errno == EINTR) {
+                if (stopRequested())
+                    break;
+                continue;
+            }
+            if (n <= 0)
+                break;
+            buffer.append(chunk, static_cast<std::size_t>(n));
+            std::string::size_type eol;
+            while ((eol = buffer.find('\n')) != std::string::npos) {
+                const std::string line = buffer.substr(0, eol);
+                buffer.erase(0, eol + 1);
+                const std::string response =
+                    processLine(line, shutdown);
+                if (!response.empty()) {
+                    const std::string payload = response + "\n";
+                    if (!writeAll(client, payload.data(),
+                                  payload.size()))
+                        break;
+                }
+                if (shutdown)
+                    break;
+            }
+        }
+        ::close(client);
+    }
+    ::close(listenFd);
+    ::unlink(_config.socketPath.c_str());
+
+    _service.publishMetrics();
+    err << "toqm_serve: drained after " << _served
+        << " request(s); stats: " << _service.statsJson() << "\n";
+    return 0;
+}
+
+} // namespace toqm::serve

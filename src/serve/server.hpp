@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The daemon front-end of the serve layer: a JSON-lines protocol
+ * over stdin/stdout or a unix domain socket, driving a MapService.
+ *
+ * Protocol — one JSON object per input line:
+ *
+ *   {"id":"r1","qasm":"OPENQASM 2.0; ...","arch":"tokyo",
+ *    "mapper":"optimal","latency":[1,2,6],"searchInitial":false,
+ *    "noMixing":false,"maxNodes":20000000,"deadlineMs":0,
+ *    "maxPoolMb":0,"portfolioSize":4,"cacheable":true}
+ *   {"id":"r2","file":"benchmarks/qasm/qft8.qasm","arch":"lnn8"}
+ *   {"cmd":"stats"}
+ *   {"cmd":"shutdown"}
+ *
+ * Every field except the circuit source ("qasm" inline text or
+ * "file" path, exactly one) is optional and defaults to toqm_map's
+ * defaults.  Each request line produces exactly one response line:
+ *
+ *   {"id":"r1","code":0,"tier":"search","mapper":"optimal",
+ *    "cycles":17,"swaps":3,"qasm":"..."}        (success; code may be
+ *                                                4/6/7/8 for degraded
+ *                                                deliveries)
+ *   {"id":"r2","code":2,"error":"unknown ..."}  (failure, no qasm)
+ *   {"stats":{...}}                              (for "cmd":"stats")
+ *   {"ok":true}                                  (for "cmd":"shutdown")
+ *
+ * Response `code` follows the toqm_map exit-code taxonomy.  The
+ * response `qasm` bytes are exactly what a cold `toqm_map` run with
+ * the same flags prints to stdout.
+ *
+ * Lifecycle: the loop drains on EOF, on {"cmd":"shutdown"} and on a
+ * stop request (SIGTERM/SIGINT — the embedding main installs the
+ * handlers and calls requestStop()); in every case in-flight work
+ * completes, an optional journal records each response durably
+ * (PR-8 format: input id, code, byte count, FNV-1a hash), a final
+ * stats summary goes to stderr, and the process exits 0.
+ */
+
+#ifndef TOQM_SERVE_SERVER_HPP
+#define TOQM_SERVE_SERVER_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "serve/service.hpp"
+
+namespace toqm::parallel {
+class Journal;
+}
+
+namespace toqm::serve {
+
+/** Ask the running server loop to drain and exit (async-signal-safe). */
+void requestStop();
+
+/** True once requestStop() was called. */
+bool stopRequested();
+
+/** Reset the stop flag (tests). */
+void resetStopFlag();
+
+/** JSON-escape @p text into a double-quoted JSON string literal. */
+std::string jsonQuote(const std::string &text);
+
+struct ServerConfig
+{
+    /** Unix-socket path; empty = stdin/stdout mode. */
+    std::string socketPath;
+    /** Journal path (PR-8 format); empty = no journal. */
+    std::string journalPath;
+    /**
+     * Stdin mode only: > 1 slurps all request lines first and serves
+     * them on the service's warm ThreadPool (responses stay in input
+     * order); 1 (default) answers each line as it arrives.
+     */
+    unsigned jobs = 1;
+};
+
+class Server
+{
+  public:
+    Server(ServerConfig config, MapService &service);
+    /** Out-of-line: _journal's deleter needs the complete Journal. */
+    ~Server();
+
+    /**
+     * Serve @p in / @p out until EOF, shutdown command, or
+     * requestStop().  @return the process exit code (0 = clean
+     * drain, 1 = IO failure e.g. an unopenable journal).
+     */
+    int runStdio(std::istream &in, std::ostream &out,
+                 std::ostream &err);
+
+    /**
+     * Bind config.socketPath and serve connections (one at a time,
+     * JSON lines per connection) until requestStop() or a shutdown
+     * command.  @return process exit code.
+     */
+    int runSocket(std::ostream &err);
+
+    /**
+     * Handle one protocol line.  @return the response line (without
+     * trailing newline); empty for blank input lines.  Sets
+     * @p shutdown when the line was a shutdown command.
+     */
+    std::string processLine(const std::string &line, bool &shutdown);
+
+    /** Requests served so far (for the final stderr summary). */
+    std::uint64_t served() const { return _served; }
+
+  private:
+    /** Parse a request line into a MapRequest; returns false and
+     *  fills @p error_response on any malformed field. */
+    bool parseRequest(const std::string &line, MapRequest &request,
+                      std::string &error_response);
+
+    std::string renderResponse(const MapResponse &response);
+
+    void journalResponse(const MapRequest &request,
+                         const MapResponse &response);
+
+    ServerConfig _config;
+    MapService &_service;
+    std::unique_ptr<parallel::Journal> _journal;
+    std::uint64_t _served = 0;
+};
+
+} // namespace toqm::serve
+
+#endif // TOQM_SERVE_SERVER_HPP

@@ -1,0 +1,513 @@
+#include "serve/service.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/sabre.hpp"
+#include "baselines/zulehner.hpp"
+#include "heuristic/heuristic_mapper.hpp"
+#include "ir/latency.hpp"
+#include "ir/schedule.hpp"
+#include "obs/observer.hpp"
+#include "parallel/portfolio.hpp"
+#include "qasm/writer.hpp"
+#include "search/resource_guard.hpp"
+#include "serve/canonical.hpp"
+#include "serve/structured.hpp"
+#include "serve/warm.hpp"
+#include "sim/verifier.hpp"
+#include "toqm/mapper.hpp"
+
+namespace toqm::serve {
+
+namespace {
+
+/**
+ * Serialize every output-affecting request parameter.  Anything that
+ * can change the emitted bytes MUST appear here: two requests share
+ * a cache key only when a cold toqm_map run would answer both with
+ * the same bytes.
+ */
+std::string configText(const MapRequest &request, bool structured_tier)
+{
+    std::string text;
+    text += "arch=" + request.arch;
+    text += ";mapper=" + request.mapper;
+    text += ";lat=" + std::to_string(request.lat1) + "," +
+            std::to_string(request.lat2) + "," +
+            std::to_string(request.lats);
+    text += ";si=" + std::to_string(request.searchInitial ? 1 : 0);
+    text += ";nm=" + std::to_string(request.noMixing ? 1 : 0);
+    text += ";mn=" + std::to_string(request.maxNodes);
+    text += ";dl=" + std::to_string(request.deadlineMs);
+    text += ";mp=" + std::to_string(request.maxPoolMb);
+    text += ";pf=" + std::to_string(request.portfolioSize);
+    text += ";st=" + std::to_string(structured_tier ? 1 : 0);
+    text += ";obj=cycles;layout=auto";
+    return text;
+}
+
+/**
+ * Translate a cached mapping into the requesting circuit's qubit
+ * labels: request qubit b plays the role of producer qubit a with
+ * the same canonical label; qubits no gate touches (label -1 on both
+ * sides, same count because the canonical text fixes n and the
+ * number of labels) pair by increasing index.
+ * @return false if the label bookkeeping does not line up (contained
+ *         as a miss by the caller, never served).
+ */
+bool translateLayouts(const CacheEntry &entry, const CanonicalForm &form,
+                      int num_qubits, ir::MappedCircuit &out)
+{
+    const auto n = static_cast<std::size_t>(num_qubits);
+    if (entry.toCanonical.size() != n || form.toCanonical.size() != n)
+        return false;
+    std::vector<int> labelToProducer(n, -1);
+    std::vector<int> unlabeledProducer;
+    for (int a = 0; a < num_qubits; ++a) {
+        const int label = entry.toCanonical[static_cast<std::size_t>(a)];
+        if (label < 0)
+            unlabeledProducer.push_back(a);
+        else if (label < num_qubits)
+            labelToProducer[static_cast<std::size_t>(label)] = a;
+        else
+            return false;
+    }
+    out.physical = entry.mapped.physical;
+    out.initialLayout.assign(n, -1);
+    out.finalLayout.assign(n, -1);
+    std::size_t nextUnlabeled = 0;
+    for (int b = 0; b < num_qubits; ++b) {
+        const int label = form.toCanonical[static_cast<std::size_t>(b)];
+        int a = -1;
+        if (label < 0) {
+            if (nextUnlabeled >= unlabeledProducer.size())
+                return false;
+            a = unlabeledProducer[nextUnlabeled++];
+        } else if (label < num_qubits) {
+            a = labelToProducer[static_cast<std::size_t>(label)];
+        }
+        if (a < 0)
+            return false;
+        out.initialLayout[static_cast<std::size_t>(b)] =
+            entry.mapped.initialLayout[static_cast<std::size_t>(a)];
+        out.finalLayout[static_cast<std::size_t>(b)] =
+            entry.mapped.finalLayout[static_cast<std::size_t>(a)];
+    }
+    return true;
+}
+
+void appendCounter(std::string &json, const char *key,
+                   std::uint64_t value, bool &first)
+{
+    if (!first)
+        json += ',';
+    first = false;
+    json += '"';
+    json += key;
+    json += "\":";
+    json += std::to_string(value);
+}
+
+} // namespace
+
+int exitCodeForStatus(search::SearchStatus status)
+{
+    switch (status) {
+      case search::SearchStatus::Solved:
+        return 0;
+      case search::SearchStatus::BudgetExhausted:
+        return 4;
+      case search::SearchStatus::Infeasible:
+        return 5;
+      case search::SearchStatus::DeadlineExceeded:
+        return 6;
+      case search::SearchStatus::MemoryExhausted:
+        return 7;
+      case search::SearchStatus::Cancelled:
+        return 8;
+    }
+    return 1;
+}
+
+MapService::MapService(ServiceConfig config)
+    : _config(config),
+      _cache(config.cacheBytes, config.cacheShards)
+{}
+
+MapResponse MapService::handle(const MapRequest &request)
+{
+    _requests.fetch_add(1, std::memory_order_relaxed);
+    MapResponse response;
+    response.id = request.id;
+
+    std::shared_ptr<const arch::CouplingGraph> graph;
+    try {
+        graph = ArchCache::global().lookup(request.arch);
+    } catch (const std::invalid_argument &e) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        response.code = 2;
+        response.error = e.what();
+        return response;
+    }
+    if (request.circuit.numQubits() > graph->numQubits()) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        response.code = 1;
+        response.error = "circuit needs " +
+                         std::to_string(request.circuit.numQubits()) +
+                         " qubits but " + request.arch + " has " +
+                         std::to_string(graph->numQubits());
+        return response;
+    }
+
+    // Tier 1: canonical front-end.  Above the gate limit the exact
+    // form doubles as the canonical one (still a correct key — it
+    // just stops relabel/reorder variants from colliding).
+    const std::string cfg = configText(request, _config.structuredTier);
+    const std::string exactText =
+        exactCircuitText(request.circuit) + "\n" + cfg;
+    const CanonicalKey exactKey = hashText(exactText);
+    CanonicalForm form;
+    CanonicalKey canonicalKey;
+    const bool canonicalized =
+        request.circuit.size() <= kCanonicalGateLimit;
+    if (canonicalized) {
+        form = canonicalizeCircuit(request.circuit);
+        canonicalKey = hashText(form.text + "\n" + cfg);
+    } else {
+        canonicalKey = exactKey;
+    }
+
+    const bool useCache = request.cacheable && _config.cacheBytes > 0;
+
+    // Tier 2: content-addressed result cache.
+    if (useCache) {
+        const ResultCache::Lookup found =
+            _cache.find(canonicalKey, exactKey);
+        if (found.hit && found.exact) {
+            _cacheHits.fetch_add(1, std::memory_order_relaxed);
+            response.tier = "cache";
+            response.mapper = found.entry->mapper;
+            response.cycles = found.entry->cycles;
+            response.swaps = found.entry->mapped.physical.numSwaps();
+            response.output = found.entry->output;
+            return response;
+        }
+        if (found.hit && canonicalized) {
+            ir::MappedCircuit translated;
+            if (translateLayouts(*found.entry, form,
+                                 request.circuit.numQubits(),
+                                 translated) &&
+                sim::verifyMapping(request.circuit, translated,
+                                   *graph)) {
+                _cacheCanonicalHits.fetch_add(
+                    1, std::memory_order_relaxed);
+                response.tier = "cache-canonical";
+                response.mapper = found.entry->mapper;
+                response.cycles = found.entry->cycles;
+                response.swaps = translated.physical.numSwaps();
+                response.output = qasm::writeMappedCircuit(translated);
+                return response;
+            }
+            // Translation did not hold up; fall through to the next
+            // tier rather than ever serving an unverified answer.
+            _verifyRejected.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    // Tier 3: structured-solution lookup.
+    if (_config.structuredTier && canonicalized) {
+        const ir::LatencyModel latency(request.lat1, request.lat2,
+                                       request.lats);
+        StructuredMatch match = structuredLookup(
+            request.circuit, form, *graph, latency, !request.noMixing);
+        if (match) {
+            _structuredHits.fetch_add(1, std::memory_order_relaxed);
+            response.tier = "structured";
+            response.mapper = match.pattern;
+            response.cycles = match.cycles;
+            response.swaps = match.mapped.physical.numSwaps();
+            response.output = qasm::writeMappedCircuit(match.mapped);
+            return response;
+        }
+    }
+
+    // Tier 4: warm search.
+    ir::MappedCircuit mapped;
+    response = execute(request, *graph, &mapped);
+    response.id = request.id;
+    if (response.code == 0 && useCache && canonicalized) {
+        CacheEntry entry;
+        entry.exactKey = exactKey;
+        entry.output = response.output;
+        entry.mapper = response.mapper;
+        entry.cycles = response.cycles;
+        entry.toCanonical = form.toCanonical;
+        entry.mapped = std::move(mapped);
+        _cache.insert(canonicalKey, std::move(entry));
+    }
+    return response;
+}
+
+MapResponse MapService::execute(const MapRequest &request,
+                                const arch::CouplingGraph &graph,
+                                ir::MappedCircuit *solved_out)
+{
+    MapResponse response;
+    response.tier = "search";
+    _searches.fetch_add(1, std::memory_order_relaxed);
+
+    const ir::LatencyModel latency(request.lat1, request.lat2,
+                                   request.lats);
+    search::GuardConfig guard;
+    guard.deadlineMs = request.deadlineMs;
+    guard.maxPoolBytes = request.maxPoolMb * 1024ull * 1024ull;
+    guard.honorCancellation = true;
+
+    ir::MappedCircuit mapped;
+    search::SearchStatus status = search::SearchStatus::Solved;
+    try {
+        if (request.mapper == "optimal") {
+            core::MapperConfig config;
+            config.latency = latency;
+            config.searchInitialMapping = request.searchInitial;
+            config.allowConcurrentSwapAndGate = !request.noMixing;
+            config.maxExpandedNodes = request.maxNodes;
+            config.guard = guard;
+            core::OptimalMapper mapper(graph, config);
+            const auto res = mapper.map(request.circuit, std::nullopt);
+            if (!res.success) {
+                _errors.fetch_add(1, std::memory_order_relaxed);
+                response.code = exitCodeForStatus(res.status);
+                response.error = std::string("optimal search stopped (") +
+                                 search::toString(res.status) + ")";
+                return response;
+            }
+            status = res.status;
+            mapped = res.mapped;
+            response.mapper = "optimal";
+            response.cycles = res.cycles;
+        } else if (request.mapper == "heuristic") {
+            heuristic::HeuristicConfig config;
+            config.latency = latency;
+            config.guard = guard;
+            heuristic::HeuristicMapper mapper(graph, config);
+            const auto res = mapper.map(request.circuit, std::nullopt);
+            if (!res.success) {
+                _errors.fetch_add(1, std::memory_order_relaxed);
+                response.code = exitCodeForStatus(res.status);
+                if (response.code == 0 || response.code == 5)
+                    response.code = 1;
+                response.error =
+                    std::string("heuristic search failed (") +
+                    search::toString(res.status) + ")";
+                return response;
+            }
+            status = res.status;
+            mapped = res.mapped;
+            response.mapper = "heuristic";
+            response.cycles = res.cycles;
+        } else if (request.mapper == "sabre") {
+            baselines::SabreMapper mapper(graph);
+            const auto res = mapper.map(request.circuit);
+            if (!res.success) {
+                _errors.fetch_add(1, std::memory_order_relaxed);
+                response.code = 1;
+                response.error = "SABRE failed";
+                return response;
+            }
+            mapped = res.mapped;
+            response.mapper = "sabre";
+            response.cycles =
+                ir::scheduleAsap(mapped.physical, latency).makespan;
+        } else if (request.mapper == "zulehner") {
+            baselines::ZulehnerConfig config;
+            config.guard = guard;
+            baselines::ZulehnerMapper mapper(graph, config);
+            const auto res = mapper.map(request.circuit);
+            if (!res.success) {
+                _errors.fetch_add(1, std::memory_order_relaxed);
+                response.code = 1;
+                response.error = "Zulehner failed";
+                return response;
+            }
+            status = res.status;
+            mapped = res.mapped;
+            response.mapper = "zulehner";
+            response.cycles =
+                ir::scheduleAsap(mapped.physical, latency).makespan;
+        } else if (request.mapper == "portfolio") {
+            core::MapperConfig base;
+            base.latency = latency;
+            base.searchInitialMapping = request.searchInitial;
+            base.allowConcurrentSwapAndGate = !request.noMixing;
+            base.maxExpandedNodes = request.maxNodes;
+            parallel::PortfolioConfig pcfg = parallel::defaultPortfolio(
+                base, request.portfolioSize);
+            pcfg.guard = guard;
+            parallel::PortfolioMapper mapper(graph, pcfg);
+            const auto res = mapper.map(request.circuit, std::nullopt);
+            if (!res.success) {
+                _errors.fetch_add(1, std::memory_order_relaxed);
+                response.code = exitCodeForStatus(res.status);
+                if (response.code == 0)
+                    response.code = 1;
+                response.error =
+                    std::string("every portfolio entry stopped (") +
+                    search::toString(res.status) + ")";
+                return response;
+            }
+            status = res.status;
+            mapped = res.mapped;
+            response.mapper = "portfolio";
+            response.cycles = res.cycles;
+        } else {
+            _errors.fetch_add(1, std::memory_order_relaxed);
+            response.code = 2;
+            response.error = "unknown mapper: " + request.mapper;
+            return response;
+        }
+    } catch (const std::bad_alloc &) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        response.code = 7;
+        response.error = "out of memory";
+        return response;
+    } catch (const std::exception &e) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        response.code = 1;
+        response.error = e.what();
+        return response;
+    }
+
+    // Mandatory verification gate, mirroring toqm_map: no circuit
+    // leaves the service unverified, whatever path produced it.
+    const auto verdict =
+        sim::verifyMapping(request.circuit, mapped, graph);
+    if (!verdict.ok) {
+        _errors.fetch_add(1, std::memory_order_relaxed);
+        response.code = 3;
+        response.error = "VERIFICATION FAILED: " + verdict.message;
+        return response;
+    }
+
+    response.swaps = mapped.physical.numSwaps();
+    response.output = qasm::writeMappedCircuit(mapped);
+    // Degraded (guard-stopped) deliveries keep the taxonomy code;
+    // only Solved results are cacheable — a deadline-shaped answer
+    // must never be replayed as if it were the real one.
+    response.code =
+        status == search::SearchStatus::Solved ? 0
+                                               : exitCodeForStatus(status);
+    if (response.code == 0 && solved_out != nullptr)
+        *solved_out = std::move(mapped);
+    return response;
+}
+
+std::vector<MapResponse>
+MapService::handleBatch(const std::vector<MapRequest> &requests)
+{
+    parallel::ThreadPool *pool = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(_poolMutex);
+        if (!_pool)
+            _pool = std::make_unique<parallel::ThreadPool>(
+                _config.workers);
+        pool = _pool.get();
+    }
+    std::vector<MapResponse> responses(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        pool->submit([this, &requests, &responses, i] {
+            responses[i] = handle(requests[i]);
+        });
+    }
+    pool->wait();
+    return responses;
+}
+
+TierCounters MapService::tierCounters() const
+{
+    TierCounters c;
+    c.requests = _requests.load(std::memory_order_relaxed);
+    c.cacheHits = _cacheHits.load(std::memory_order_relaxed);
+    c.cacheCanonicalHits =
+        _cacheCanonicalHits.load(std::memory_order_relaxed);
+    c.structuredHits = _structuredHits.load(std::memory_order_relaxed);
+    c.searches = _searches.load(std::memory_order_relaxed);
+    c.errors = _errors.load(std::memory_order_relaxed);
+    c.verifyRejected = _verifyRejected.load(std::memory_order_relaxed);
+    return c;
+}
+
+std::string MapService::statsJson() const
+{
+    const TierCounters tiers = tierCounters();
+    const CacheStats cache = _cache.stats();
+    const ArchCache::Stats archStats = ArchCache::global().stats();
+    std::string json = "{";
+    bool first = true;
+    appendCounter(json, "requests", tiers.requests, first);
+    json += ",\"tier\":{";
+    first = true;
+    appendCounter(json, "cache", tiers.cacheHits, first);
+    appendCounter(json, "cache_canonical", tiers.cacheCanonicalHits,
+                  first);
+    appendCounter(json, "structured", tiers.structuredHits, first);
+    appendCounter(json, "search", tiers.searches, first);
+    appendCounter(json, "errors", tiers.errors, first);
+    appendCounter(json, "verify_rejected", tiers.verifyRejected, first);
+    json += "},\"cache\":{";
+    first = true;
+    appendCounter(json, "hits", cache.hits, first);
+    appendCounter(json, "exact_hits", cache.exactHits, first);
+    appendCounter(json, "canonical_hits", cache.canonicalHits, first);
+    appendCounter(json, "misses", cache.misses, first);
+    appendCounter(json, "insertions", cache.insertions, first);
+    appendCounter(json, "evictions", cache.evictions, first);
+    appendCounter(json, "rejected", cache.rejected, first);
+    appendCounter(json, "bytes", cache.bytes, first);
+    appendCounter(json, "entries", cache.entries, first);
+    appendCounter(json, "max_bytes", _cache.maxBytes(), first);
+    appendCounter(json, "shards",
+                  static_cast<std::uint64_t>(_cache.shardCount()),
+                  first);
+    json += "},\"arch\":{";
+    first = true;
+    appendCounter(json, "hits", archStats.hits, first);
+    appendCounter(json, "misses", archStats.misses, first);
+    appendCounter(json, "entries", archStats.entries, first);
+    json += "}}";
+    return json;
+}
+
+void MapService::publishMetrics() const
+{
+    obs::Observer &observer = obs::Observer::global();
+    if (!observer.metricsEnabled())
+        return;
+    const TierCounters tiers = tierCounters();
+    const CacheStats cache = _cache.stats();
+    obs::MetricsRegistry &metrics = observer.metrics();
+    metrics.setGauge("serve.requests",
+                     static_cast<double>(tiers.requests));
+    metrics.setGauge("serve.tier.cache",
+                     static_cast<double>(tiers.cacheHits));
+    metrics.setGauge("serve.tier.cache_canonical",
+                     static_cast<double>(tiers.cacheCanonicalHits));
+    metrics.setGauge("serve.tier.structured",
+                     static_cast<double>(tiers.structuredHits));
+    metrics.setGauge("serve.tier.search",
+                     static_cast<double>(tiers.searches));
+    metrics.setGauge("serve.cache.hits",
+                     static_cast<double>(cache.hits));
+    metrics.setGauge("serve.cache.misses",
+                     static_cast<double>(cache.misses));
+    metrics.setGauge("serve.cache.evictions",
+                     static_cast<double>(cache.evictions));
+    metrics.setGauge("serve.cache.bytes",
+                     static_cast<double>(cache.bytes));
+    metrics.setGauge("serve.cache.entries",
+                     static_cast<double>(cache.entries));
+}
+
+} // namespace toqm::serve

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * MapService: the tiered request core of the serve layer.
+ *
+ * A request flows through four tiers, cheapest first:
+ *
+ *   1. canonicalizing front-end — the circuit is canonicalized
+ *      (canonical.hpp) and hashed together with every
+ *      output-affecting parameter (architecture, mapper, latency
+ *      triple, budgets, tier configuration) into a 128-bit key;
+ *   2. content-addressed result cache (result_cache.hpp) — an
+ *      EXACT-fingerprint hit returns the stored bytes verbatim; a
+ *      canonical-only hit (relabeled / commuting-reordered
+ *      equivalent) translates the stored layouts through the
+ *      canonical labeling and re-verifies structurally;
+ *   3. structured-solution lookup (structured.hpp, opt-in) — QFT
+ *      skeleton requests on matching devices are answered from the
+ *      closed-form Section 6.1 schedules without any search;
+ *   4. warm search — the mapper dispatch of toqm_map, run against
+ *      the process-global ArchCache so per-device distance tables
+ *      are built once, with Solved results inserted into the cache.
+ *
+ * Every response that did not come from a verbatim byte replay is
+ * structurally verified before it leaves the service; a verification
+ * failure degrades a cache/structured hit to the next tier and turns
+ * a search result into exit code 3, mirroring toqm_map's gate.
+ *
+ * handleBatch() runs requests on a ThreadPool owned by the service
+ * and kept alive across calls — the warm-pool tier of the daemon.
+ */
+
+#ifndef TOQM_SERVE_SERVICE_HPP
+#define TOQM_SERVE_SERVICE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "parallel/thread_pool.hpp"
+#include "search/search_stats.hpp"
+#include "serve/result_cache.hpp"
+
+namespace toqm::serve {
+
+/** Service-level configuration (daemon flags map onto this). */
+struct ServiceConfig
+{
+    /** Result-cache byte budget (0 disables the cache tier). */
+    std::size_t cacheBytes = 64ull << 20;
+    int cacheShards = 8;
+    /** Enable the structured QFT lookup tier. */
+    bool structuredTier = false;
+    /** Warm-pool width for handleBatch (0 = hardware threads). */
+    unsigned workers = 1;
+};
+
+/**
+ * One mapping request.  Field defaults mirror toqm_map's Options so
+ * a daemon response is byte-identical to a cold run with the same
+ * flags.
+ */
+struct MapRequest
+{
+    std::string id;          ///< echoed in the response
+    ir::Circuit circuit{0};
+    std::string arch = "tokyo";
+    std::string mapper = "heuristic";
+    int lat1 = 1, lat2 = 2, lats = 6;
+    bool searchInitial = false;
+    bool noMixing = false;
+    std::uint64_t maxNodes = 20'000'000;
+    std::uint64_t deadlineMs = 0; ///< 0 = none
+    std::uint64_t maxPoolMb = 0;  ///< 0 = none
+    int portfolioSize = 4;
+    /** False exempts this request from cache insert AND lookup. */
+    bool cacheable = true;
+};
+
+/** One mapping response. */
+struct MapResponse
+{
+    std::string id;
+    /** Exit-code taxonomy of toqm_map (0 ok, 2 usage, 3 verify, ...). */
+    int code = 0;
+    std::string error;  ///< message when code != 0
+    /** Tier that answered: cache | cache-canonical | structured |
+     *  search ("" when the request failed before any tier). */
+    std::string tier;
+    /** Producing mapper, or the structured pattern name. */
+    std::string mapper;
+    std::int64_t cycles = 0;
+    int swaps = 0;
+    /** Rendered mapped circuit (what cold toqm_map prints). */
+    std::string output;
+};
+
+/** toqm_map's SearchStatus -> process exit code mapping. */
+int exitCodeForStatus(search::SearchStatus status);
+
+/** Monotonic per-tier counters (snapshot). */
+struct TierCounters
+{
+    std::uint64_t requests = 0;
+    std::uint64_t cacheHits = 0;          ///< exact byte replays
+    std::uint64_t cacheCanonicalHits = 0; ///< translated + reverified
+    std::uint64_t structuredHits = 0;
+    std::uint64_t searches = 0;
+    std::uint64_t errors = 0;
+    /** Cache/structured candidates rejected by the verify gate and
+     *  degraded to the next tier (should stay 0; a nonzero value
+     *  means a translation bug was contained). */
+    std::uint64_t verifyRejected = 0;
+};
+
+class MapService
+{
+  public:
+    explicit MapService(ServiceConfig config = {});
+
+    /** Serve one request through the tiers (thread-safe). */
+    MapResponse handle(const MapRequest &request);
+
+    /**
+     * Serve a batch on the service's warm ThreadPool; responses come
+     * back in request order.  The pool is created on first use and
+     * kept alive for the life of the service.
+     */
+    std::vector<MapResponse>
+    handleBatch(const std::vector<MapRequest> &requests);
+
+    const ServiceConfig &config() const { return _config; }
+
+    ResultCache &cache() { return _cache; }
+
+    TierCounters tierCounters() const;
+
+    /**
+     * The serve stats block: {"requests":..,"tier":{..},"cache":
+     * {"hits":..,"misses":..,"evictions":..,...},"arch":{..}}.
+     * Embedded in daemon stats responses and (per request, with a
+     * leading "tier" discriminator) in stats lines.
+     */
+    std::string statsJson() const;
+
+    /**
+     * Publish hit/miss/byte counters into the global obs
+     * MetricsRegistry (serve.cache.hits, serve.cache.misses,
+     * serve.cache.bytes, serve.tier.* ...) when metrics collection
+     * is enabled; no-op otherwise.
+     */
+    void publishMetrics() const;
+
+  private:
+    /**
+     * Tier 4: run the actual mapper dispatch (mirroring toqm_map's
+     * branches).  On a Solved (code 0) delivery the verified mapped
+     * circuit is moved into @p solved_out for cache insertion.
+     */
+    MapResponse execute(const MapRequest &request,
+                        const arch::CouplingGraph &graph,
+                        ir::MappedCircuit *solved_out);
+
+    ServiceConfig _config;
+    ResultCache _cache;
+
+    std::mutex _poolMutex;
+    std::unique_ptr<parallel::ThreadPool> _pool;
+
+    std::atomic<std::uint64_t> _requests{0};
+    std::atomic<std::uint64_t> _cacheHits{0};
+    std::atomic<std::uint64_t> _cacheCanonicalHits{0};
+    std::atomic<std::uint64_t> _structuredHits{0};
+    std::atomic<std::uint64_t> _searches{0};
+    std::atomic<std::uint64_t> _errors{0};
+    std::atomic<std::uint64_t> _verifyRejected{0};
+};
+
+} // namespace toqm::serve
+
+#endif // TOQM_SERVE_SERVICE_HPP

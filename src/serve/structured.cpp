@@ -1,0 +1,136 @@
+#include "serve/structured.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "arch/architectures.hpp"
+#include "ir/generators.hpp"
+#include "qftopt/qft_patterns.hpp"
+#include "sim/verifier.hpp"
+
+namespace toqm::serve {
+
+namespace {
+
+/** Canonical form of ir::qftSkeleton(n), memoized per n. */
+const CanonicalForm &skeletonForm(int n)
+{
+    static std::mutex mutex;
+    static std::unordered_map<int, CanonicalForm> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(n);
+    if (it == cache.end())
+        it = cache.emplace(n, canonicalizeCircuit(ir::qftSkeleton(n)))
+                 .first;
+    return it->second;
+}
+
+/** True if the uniform-1-cycle QFT latency convention holds. */
+bool isUniformUnitLatency(const ir::LatencyModel &latency)
+{
+    return latency.latency(ir::Gate(ir::GateKind::H, 0)) == 1 &&
+           latency.latency(ir::Gate(ir::GateKind::GT, 0, 1)) == 1 &&
+           latency.latency(ir::Gate(ir::GateKind::Swap, 0, 1)) == 1;
+}
+
+/** Edge-set equality (both lists are deduplicated first < second). */
+bool sameTopology(const arch::CouplingGraph &a,
+                  const arch::CouplingGraph &b)
+{
+    if (a.numQubits() != b.numQubits()) return false;
+    auto ea = a.edges();
+    auto eb = b.edges();
+    std::sort(ea.begin(), ea.end());
+    std::sort(eb.begin(), eb.end());
+    return ea == eb;
+}
+
+} // namespace
+
+StructuredMatch structuredLookup(const ir::Circuit &circuit,
+                                 const CanonicalForm &form,
+                                 const arch::CouplingGraph &graph,
+                                 const ir::LatencyModel &latency,
+                                 bool allow_concurrent_swap_and_gate)
+{
+    StructuredMatch miss;
+    const int n = circuit.numQubits();
+    // Smallest structured instance the generators cover; anything
+    // smaller is trivial for the search tier anyway.
+    if (n < 4 || graph.numQubits() != n)
+        return miss;
+    if (!isUniformUnitLatency(latency))
+        return miss;
+    // Quick gate-count reject before any text comparison: the
+    // skeleton has exactly n(n-1)/2 GT gates.
+    if (circuit.size() != n * (n - 1) / 2)
+        return miss;
+
+    const CanonicalForm &skeleton = skeletonForm(n);
+    if (form.text != skeleton.text)
+        return miss;
+
+    const qftopt::StructuredSolution *chosen = nullptr;
+    qftopt::StructuredSolution solution{graph, {}};
+    std::string pattern;
+    if (sameTopology(graph, arch::lnn(n))) {
+        solution = qftopt::qftLnnButterfly(n);
+        pattern = "qft-lnn-butterfly";
+        chosen = &solution;
+    } else if (n % 2 == 0 && sameTopology(graph, arch::grid(2, n / 2))) {
+        solution = allow_concurrent_swap_and_gate
+                       ? qftopt::qftGrid2xnMixed(n)
+                       : qftopt::qftGrid2xnUnmixed(n);
+        pattern = allow_concurrent_swap_and_gate ? "qft-grid2xn-mixed"
+                                                 : "qft-grid2xn-unmixed";
+        chosen = &solution;
+    }
+    if (!chosen)
+        return miss;
+
+    // Translate the skeleton-labeled solution into the request's
+    // labels: request qubit b plays the role of the skeleton qubit a
+    // with the same canonical label.  The skeleton touches every
+    // qubit, so every label is assigned on both sides.
+    std::vector<int> canonicalToSkeleton(static_cast<std::size_t>(n), -1);
+    for (int a = 0; a < n; ++a) {
+        const int label = skeleton.toCanonical[static_cast<std::size_t>(a)];
+        if (label < 0 || label >= n)
+            return miss;
+        canonicalToSkeleton[static_cast<std::size_t>(label)] = a;
+    }
+    ir::MappedCircuit mapped = chosen->toMappedCircuit();
+    std::vector<int> initial(static_cast<std::size_t>(n));
+    std::vector<int> final_layout(static_cast<std::size_t>(n));
+    for (int b = 0; b < n; ++b) {
+        const int label = form.toCanonical[static_cast<std::size_t>(b)];
+        if (label < 0 || label >= n)
+            return miss;
+        const int a = canonicalToSkeleton[static_cast<std::size_t>(label)];
+        if (a < 0)
+            return miss;
+        initial[static_cast<std::size_t>(b)] =
+            mapped.initialLayout[static_cast<std::size_t>(a)];
+        final_layout[static_cast<std::size_t>(b)] =
+            mapped.finalLayout[static_cast<std::size_t>(a)];
+    }
+    mapped.initialLayout = std::move(initial);
+    mapped.finalLayout = std::move(final_layout);
+
+    // Mandatory independent check: a translation bug must surface as
+    // a miss here, never as a wrong response.
+    if (!sim::verifyMapping(circuit, mapped, graph))
+        return miss;
+
+    StructuredMatch match;
+    match.matched = true;
+    match.pattern = std::move(pattern);
+    match.mapped = std::move(mapped);
+    match.cycles = chosen->depth();
+    return match;
+}
+
+} // namespace toqm::serve

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Structured-solution lookup tier: recognize requests whose answer
+ * is already known in closed form (the Section 6.1 QFT families in
+ * src/qftopt/) and answer them without any search.
+ *
+ * A request matches when ALL of the following hold:
+ *  - the circuit's canonical form equals the canonical form of
+ *    ir::qftSkeleton(n) — so relabeled and commuting-reordered QFT
+ *    skeletons match too;
+ *  - the architecture's edge set equals arch::lnn(n), or n is even
+ *    and it equals arch::grid(2, n/2);
+ *  - the latency model is the uniform qftPreset (every gate,
+ *    including swap, one cycle) that the closed-form depth analysis
+ *    assumes.
+ *
+ * The structured solution is translated into the REQUEST's qubit
+ * labels through the canonical labeling and then re-verified with
+ * the structural verifier; any mismatch degrades to a miss, never to
+ * a wrong answer.
+ */
+
+#ifndef TOQM_SERVE_STRUCTURED_HPP
+#define TOQM_SERVE_STRUCTURED_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "arch/coupling_graph.hpp"
+#include "ir/circuit.hpp"
+#include "ir/latency.hpp"
+#include "ir/mapped_circuit.hpp"
+#include "serve/canonical.hpp"
+
+namespace toqm::serve {
+
+/** Result of a structured-tier lookup. */
+struct StructuredMatch
+{
+    bool matched = false;
+    /** Which pattern answered (e.g. "qft-lnn-butterfly"). */
+    std::string pattern;
+    /** The solution, in the request's qubit labels, verified. */
+    ir::MappedCircuit mapped;
+    /** Depth in cycles of the structured schedule. */
+    std::int64_t cycles = 0;
+
+    explicit operator bool() const { return matched; }
+};
+
+/**
+ * Try to answer @p circuit on @p graph from the structured QFT
+ * families.  @p form must be canonicalizeCircuit(circuit).
+ * @p allow_concurrent_swap_and_gate selects between the mixed
+ * (Fig 13b) and unmixed (Fig 13c) grid schedules, mirroring the
+ * mapper's scheduling freedom.
+ */
+StructuredMatch structuredLookup(const ir::Circuit &circuit,
+                                 const CanonicalForm &form,
+                                 const arch::CouplingGraph &graph,
+                                 const ir::LatencyModel &latency,
+                                 bool allow_concurrent_swap_and_gate);
+
+} // namespace toqm::serve
+
+#endif // TOQM_SERVE_STRUCTURED_HPP

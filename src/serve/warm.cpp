@@ -1,0 +1,52 @@
+#include "serve/warm.hpp"
+
+#include "arch/architectures.hpp"
+
+namespace toqm::serve {
+
+ArchCache &ArchCache::global()
+{
+    static ArchCache instance;
+    return instance;
+}
+
+std::shared_ptr<const arch::CouplingGraph>
+ArchCache::lookup(const std::string &name)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        auto it = _graphs.find(name);
+        if (it != _graphs.end()) {
+            ++_hits;
+            return it->second;
+        }
+    }
+    // Construct outside the lock: distance tables are expensive and
+    // concurrent first requests for DIFFERENT names must not
+    // serialize.  A duplicate racing construction of the same name
+    // is benign — first insert wins below.
+    auto graph =
+        std::make_shared<const arch::CouplingGraph>(arch::byName(name));
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto [it, inserted] = _graphs.emplace(name, std::move(graph));
+    ++_misses;
+    return it->second;
+}
+
+ArchCache::Stats ArchCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Stats s;
+    s.hits = _hits;
+    s.misses = _misses;
+    s.entries = _graphs.size();
+    return s;
+}
+
+void ArchCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _graphs.clear();
+}
+
+} // namespace toqm::serve

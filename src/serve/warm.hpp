@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Warm per-architecture state: a process-global memo of constructed
+ * coupling graphs.
+ *
+ * arch::byName() returns a CouplingGraph by value and each
+ * construction recomputes the all-pairs distance table (O(V^3)
+ * Floyd-Warshall for the dense paper devices) plus the
+ * longest-simple-path DFS on first use.  Under repeated traffic —
+ * a daemon serving thousands of Tokyo requests, or a manifest whose
+ * jobs all target the same device — that is pure fixed cost.
+ * ArchCache::lookup() constructs each named architecture once and
+ * hands out shared_ptr aliases; the graphs are immutable after
+ * construction so sharing across threads is safe.
+ *
+ * Keyed strictly by the architecture NAME as accepted by
+ * arch::byName(); anonymous/custom graphs are not cached.
+ */
+
+#ifndef TOQM_SERVE_WARM_HPP
+#define TOQM_SERVE_WARM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "arch/coupling_graph.hpp"
+
+namespace toqm::serve {
+
+/** Process-global cache of named architectures; see file comment. */
+class ArchCache
+{
+  public:
+    /** The process-global instance. */
+    static ArchCache &global();
+
+    /**
+     * @return the cached graph for @p name, constructing (and
+     * memoizing) it on first use.
+     * @throws std::invalid_argument for names arch::byName rejects
+     *         (nothing is cached for a throwing name).
+     */
+    std::shared_ptr<const arch::CouplingGraph>
+    lookup(const std::string &name);
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+    };
+
+    Stats stats() const;
+
+    /** Drop all cached graphs (tests). */
+    void clear();
+
+  private:
+    mutable std::mutex _mutex;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const arch::CouplingGraph>>
+        _graphs;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace toqm::serve
+
+#endif // TOQM_SERVE_WARM_HPP

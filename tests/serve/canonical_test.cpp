@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Soundness tests for the serve layer's canonical circuit form: the
+ * two equivalences the cache must identify (qubit relabeling and
+ * commuting reorder) collide on the canonical key, and near-miss
+ * variants (different gate kind, different parameter) do not.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/generators.hpp"
+#include "serve/canonical.hpp"
+
+namespace toqm::serve {
+namespace {
+
+/** A small asymmetric circuit exercising 1q, 2q and parametrized gates. */
+ir::Circuit
+sampleCircuit()
+{
+    ir::Circuit c(5, "sample");
+    c.addH(0);
+    c.addCX(0, 1);
+    c.addCP(1, 2, 0.785398);
+    c.addCX(2, 3);
+    c.addH(4);
+    c.addCX(3, 4);
+    return c;
+}
+
+TEST(ServeCanonical, RelabelingCollides)
+{
+    const ir::Circuit original = sampleCircuit();
+    // remapped(): new_q = map[old_q]; any permutation of the labels
+    // describes the same mapping problem.
+    const std::vector<int> perm{3, 0, 4, 1, 2};
+    const ir::Circuit relabeled = original.remapped(perm);
+
+    const CanonicalForm a = canonicalizeCircuit(original);
+    const CanonicalForm b = canonicalizeCircuit(relabeled);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(hashText(a.text), hashText(b.text));
+    // The exact fingerprint MUST tell them apart: only the canonical
+    // key may unify relabelings.
+    EXPECT_NE(exactCircuitText(original), exactCircuitText(relabeled));
+}
+
+TEST(ServeCanonical, CommutingReorderCollides)
+{
+    // Three gates on pairwise-disjoint qubits: any interleaving is a
+    // topological order of the same DAG.
+    ir::Circuit a(6);
+    a.addCX(0, 1);
+    a.addCX(2, 3);
+    a.addH(4);
+    a.addCX(4, 5);
+
+    ir::Circuit b(6);
+    b.addH(4);
+    b.addCX(2, 3);
+    b.addCX(4, 5);
+    b.addCX(0, 1);
+
+    EXPECT_EQ(canonicalizeCircuit(a).text, canonicalizeCircuit(b).text);
+    EXPECT_NE(exactCircuitText(a), exactCircuitText(b));
+}
+
+TEST(ServeCanonical, RelabelPlusReorderCollides)
+{
+    const ir::Circuit original = sampleCircuit();
+    const std::vector<int> perm{4, 2, 0, 3, 1};
+    ir::Circuit variant(5, "variant");
+    // Rebuild the relabeled circuit in a different (still valid)
+    // topological order: the trailing independent H(perm[4]) first.
+    variant.addH(perm[4]);
+    variant.addH(perm[0]);
+    variant.addCX(perm[0], perm[1]);
+    variant.addCP(perm[1], perm[2], 0.785398);
+    variant.addCX(perm[2], perm[3]);
+    variant.addCX(perm[3], perm[4]);
+
+    EXPECT_EQ(canonicalizeCircuit(original).text,
+              canonicalizeCircuit(variant).text);
+}
+
+TEST(ServeCanonical, DifferentGateKindDiffers)
+{
+    ir::Circuit a(2);
+    a.addCX(0, 1);
+    ir::Circuit b(2);
+    b.addCZ(0, 1);
+    EXPECT_NE(canonicalizeCircuit(a).text, canonicalizeCircuit(b).text);
+}
+
+TEST(ServeCanonical, DifferentParameterDiffers)
+{
+    ir::Circuit a(2);
+    a.addCP(0, 1, 0.5);
+    ir::Circuit b(2);
+    b.addCP(0, 1, 0.25);
+    EXPECT_NE(canonicalizeCircuit(a).text, canonicalizeCircuit(b).text);
+}
+
+TEST(ServeCanonical, ExtraGateDiffers)
+{
+    ir::Circuit a = sampleCircuit();
+    ir::Circuit b = sampleCircuit();
+    b.addH(0);
+    EXPECT_NE(canonicalizeCircuit(a).text, canonicalizeCircuit(b).text);
+}
+
+TEST(ServeCanonical, QubitCountDiffers)
+{
+    // Same gates over a wider register is a DIFFERENT mapping problem
+    // (more placement freedom), so the canonical text must differ.
+    ir::Circuit a(2);
+    a.addCX(0, 1);
+    ir::Circuit b(3);
+    b.addCX(0, 1);
+    EXPECT_NE(canonicalizeCircuit(a).text, canonicalizeCircuit(b).text);
+}
+
+TEST(ServeCanonical, LabelMapIsConsistent)
+{
+    const ir::Circuit circuit = sampleCircuit();
+    const CanonicalForm form = canonicalizeCircuit(circuit);
+
+    ASSERT_EQ(static_cast<int>(form.toCanonical.size()),
+              circuit.numQubits());
+    // Touched qubits get distinct canonical labels in [0, n).
+    std::vector<int> seen;
+    for (int q = 0; q < circuit.numQubits(); ++q) {
+        const int c = form.toCanonical[static_cast<size_t>(q)];
+        if (c < 0)
+            continue;
+        EXPECT_LT(c, circuit.numQubits());
+        seen.push_back(c);
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::adjacent_find(seen.begin(), seen.end()) ==
+                seen.end());
+
+    // gateOrder is a permutation of the gate indices.
+    std::vector<int> order = form.gateOrder;
+    ASSERT_EQ(static_cast<int>(order.size()), circuit.size());
+    std::sort(order.begin(), order.end());
+    for (int i = 0; i < circuit.size(); ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+
+    // Relabeling the circuit through its own canonical map must be a
+    // fixpoint of canonicalization.
+    std::vector<int> map = form.toCanonical;
+    for (auto &m : map)
+        if (m < 0)
+            m = 0; // unreachable here: every qubit is touched
+    EXPECT_EQ(canonicalizeCircuit(circuit.remapped(map)).text, form.text);
+}
+
+TEST(ServeCanonical, QftSkeletonRelabelingCollides)
+{
+    // The structured tier depends on exactly this property.
+    const ir::Circuit skel = ir::qftSkeleton(6);
+    std::vector<int> perm{5, 3, 1, 0, 2, 4};
+    EXPECT_EQ(canonicalizeCircuit(skel).text,
+              canonicalizeCircuit(skel.remapped(perm)).text);
+}
+
+TEST(ServeCanonical, HashTextIs128BitAndStable)
+{
+    const CanonicalKey a = hashText("n=2;cx 0 1;");
+    const CanonicalKey b = hashText("n=2;cx 0 1;");
+    const CanonicalKey c = hashText("n=2;cz 0 1;");
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.hex().size(), 32u);
+}
+
+} // namespace
+} // namespace toqm::serve

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * ResultCache tests: exact-vs-canonical hit classification, the byte
+ * budget, and — the property the daemon lifecycle leans on —
+ * DETERMINISTIC strict-LRU eviction given an access sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/result_cache.hpp"
+
+namespace toqm::serve {
+namespace {
+
+CanonicalKey
+key(std::uint64_t hi, std::uint64_t lo)
+{
+    CanonicalKey k;
+    k.hi = hi;
+    k.lo = lo;
+    return k;
+}
+
+CacheEntry
+entry(const CanonicalKey &exact, std::size_t payload)
+{
+    CacheEntry e;
+    e.exactKey = exact;
+    e.output = std::string(payload, 'x');
+    e.mapper = "heuristic";
+    e.cycles = 7;
+    return e;
+}
+
+TEST(ResultCache, MissThenExactHit)
+{
+    ResultCache cache(1 << 20, 1);
+    const CanonicalKey canon = key(1, 2);
+    const CanonicalKey exact = key(3, 4);
+
+    EXPECT_FALSE(cache.find(canon, exact).hit);
+    cache.insert(canon, entry(exact, 100));
+
+    const ResultCache::Lookup hit = cache.find(canon, exact);
+    ASSERT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.exact);
+    ASSERT_NE(hit.entry, nullptr);
+    EXPECT_EQ(hit.entry->output, std::string(100, 'x'));
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.exactHits, 1u);
+    EXPECT_EQ(stats.canonicalHits, 0u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 100u);
+}
+
+TEST(ResultCache, CanonicalHitClassifiedByExactFingerprint)
+{
+    ResultCache cache(1 << 20, 1);
+    const CanonicalKey canon = key(1, 2);
+    cache.insert(canon, entry(key(3, 4), 10));
+
+    // Same canonical key, different exact fingerprint: a relabeled or
+    // reordered equivalent.  Hit, but NOT exact.
+    const ResultCache::Lookup hit = cache.find(canon, key(5, 6));
+    ASSERT_TRUE(hit.hit);
+    EXPECT_FALSE(hit.exact);
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.canonicalHits, 1u);
+    EXPECT_EQ(stats.exactHits, 0u);
+}
+
+TEST(ResultCache, DeterministicLruEviction)
+{
+    // Size the budget for exactly two resident entries of this shape.
+    const std::size_t unit = cacheEntryBytes(entry(key(0, 0), 64));
+    ResultCache cache(2 * unit, 1);
+
+    const CanonicalKey a = key(10, 0), b = key(11, 0), c = key(12, 0);
+    cache.insert(a, entry(a, 64));
+    cache.insert(b, entry(b, 64));
+    EXPECT_EQ(cache.stats().entries, 2u);
+
+    // Touch A so B becomes the least-recently-used entry...
+    EXPECT_TRUE(cache.find(a, a).hit);
+    // ...then inserting C must evict exactly B.
+    cache.insert(c, entry(c, 64));
+
+    EXPECT_TRUE(cache.find(a, a).hit);
+    EXPECT_TRUE(cache.find(c, c).hit);
+    EXPECT_FALSE(cache.find(b, b).hit);
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_LE(stats.bytes, 2 * unit);
+
+    // The mirrored sequence with the roles of A and B swapped evicts
+    // A instead — eviction follows recency, not insertion order.
+    ResultCache mirror(2 * unit, 1);
+    mirror.insert(a, entry(a, 64));
+    mirror.insert(b, entry(b, 64));
+    EXPECT_TRUE(mirror.find(b, b).hit);
+    mirror.insert(c, entry(c, 64));
+    EXPECT_FALSE(mirror.find(a, a).hit);
+    EXPECT_TRUE(mirror.find(b, b).hit);
+    EXPECT_TRUE(mirror.find(c, c).hit);
+}
+
+TEST(ResultCache, OversizedEntryRejected)
+{
+    const std::size_t unit = cacheEntryBytes(entry(key(0, 0), 64));
+    ResultCache cache(unit, 1);
+    // An entry larger than the whole shard budget must be rejected,
+    // not admitted by evicting everything.
+    cache.insert(key(1, 0), entry(key(1, 0), 1 << 20));
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes, 0u);
+    EXPECT_FALSE(cache.find(key(1, 0), key(1, 0)).hit);
+}
+
+TEST(ResultCache, ReinsertReplacesWithoutGrowth)
+{
+    ResultCache cache(1 << 20, 1);
+    const CanonicalKey canon = key(1, 2);
+    cache.insert(canon, entry(key(3, 4), 100));
+    const std::size_t bytes_first = cache.stats().bytes;
+
+    CacheEntry replacement = entry(key(5, 6), 100);
+    replacement.output = std::string(100, 'y');
+    cache.insert(canon, replacement);
+
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.bytes, bytes_first);
+    EXPECT_EQ(stats.insertions, 2u);
+
+    const ResultCache::Lookup hit = cache.find(canon, key(5, 6));
+    ASSERT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.exact);
+    EXPECT_EQ(hit.entry->output, std::string(100, 'y'));
+}
+
+TEST(ResultCache, ShardsIsolateBudgets)
+{
+    const std::size_t unit = cacheEntryBytes(entry(key(0, 0), 64));
+    // Two shards, each with budget for one entry.  Keys with even hi
+    // land in shard 0, odd hi in shard 1.
+    ResultCache cache(2 * unit, 2);
+    EXPECT_EQ(cache.shardCount(), 2);
+
+    cache.insert(key(2, 0), entry(key(2, 0), 64));
+    cache.insert(key(3, 0), entry(key(3, 0), 64));
+    // Both fit: they're in different shards.
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // A second even-hi key evicts within shard 0 only.
+    cache.insert(key(4, 0), entry(key(4, 0), 64));
+    EXPECT_FALSE(cache.find(key(2, 0), key(2, 0)).hit);
+    EXPECT_TRUE(cache.find(key(3, 0), key(3, 0)).hit);
+    EXPECT_TRUE(cache.find(key(4, 0), key(4, 0)).hit);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, ZeroBudgetAdmitsNothing)
+{
+    ResultCache cache(0, 4);
+    cache.insert(key(1, 0), entry(key(1, 0), 8));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_FALSE(cache.find(key(1, 0), key(1, 0)).hit);
+}
+
+} // namespace
+} // namespace toqm::serve

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * MapService tier tests: cache hits are byte-identical to a fresh
+ * search, canonical hits translate + re-verify, the structured tier
+ * answers QFT skeletons without caching them, and handleBatch
+ * preserves request order on the warm pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/generators.hpp"
+#include "serve/service.hpp"
+#include "serve/warm.hpp"
+
+namespace toqm::serve {
+namespace {
+
+MapRequest
+smallRequest(const std::string &id = "r")
+{
+    MapRequest request;
+    request.id = id;
+    request.circuit = ir::qftConcrete(5);
+    request.arch = "tokyo";
+    request.mapper = "heuristic";
+    return request;
+}
+
+TEST(MapService, SearchThenExactCacheHitIsByteIdentical)
+{
+    MapService service({.cacheBytes = 8u << 20});
+    const MapRequest request = smallRequest();
+
+    const MapResponse first = service.handle(request);
+    ASSERT_EQ(first.code, 0) << first.error;
+    EXPECT_EQ(first.tier, "search");
+    EXPECT_FALSE(first.output.empty());
+
+    const MapResponse second = service.handle(request);
+    ASSERT_EQ(second.code, 0) << second.error;
+    EXPECT_EQ(second.tier, "cache");
+    // The contract: a cache hit replays the stored bytes verbatim.
+    EXPECT_EQ(second.output, first.output);
+    EXPECT_EQ(second.cycles, first.cycles);
+    EXPECT_EQ(second.swaps, first.swaps);
+    EXPECT_EQ(second.mapper, first.mapper);
+
+    const TierCounters tiers = service.tierCounters();
+    EXPECT_EQ(tiers.requests, 2u);
+    EXPECT_EQ(tiers.searches, 1u);
+    EXPECT_EQ(tiers.cacheHits, 1u);
+    EXPECT_EQ(tiers.verifyRejected, 0u);
+}
+
+TEST(MapService, CacheHitMatchesFreshColdService)
+{
+    // The same request against an independent cache-less service must
+    // produce the same bytes the cache replays — i.e. the cache never
+    // changes WHAT is answered, only how fast.
+    MapService warm({.cacheBytes = 8u << 20});
+    MapService cold({.cacheBytes = 0});
+    const MapRequest request = smallRequest();
+
+    warm.handle(request);
+    const MapResponse hit = warm.handle(request);
+    const MapResponse fresh = cold.handle(request);
+    ASSERT_EQ(hit.code, 0);
+    ASSERT_EQ(fresh.code, 0);
+    EXPECT_EQ(hit.tier, "cache");
+    EXPECT_EQ(fresh.tier, "search");
+    EXPECT_EQ(hit.output, fresh.output);
+}
+
+TEST(MapService, RelabeledRequestTakesCanonicalHit)
+{
+    MapService service({.cacheBytes = 8u << 20});
+    MapRequest request = smallRequest();
+    ASSERT_EQ(service.handle(request).code, 0);
+
+    MapRequest relabeled = request;
+    relabeled.circuit = request.circuit.remapped({4, 2, 0, 3, 1});
+    const MapResponse response = service.handle(relabeled);
+    ASSERT_EQ(response.code, 0) << response.error;
+    // Canonical hits are translated and re-verified, never replayed
+    // verbatim — code 0 means the verifier accepted the translation.
+    EXPECT_EQ(response.tier, "cache-canonical");
+    EXPECT_FALSE(response.output.empty());
+
+    const TierCounters tiers = service.tierCounters();
+    EXPECT_EQ(tiers.cacheCanonicalHits, 1u);
+    EXPECT_EQ(tiers.verifyRejected, 0u);
+}
+
+TEST(MapService, NonCacheableRequestSkipsTheCache)
+{
+    MapService service({.cacheBytes = 8u << 20});
+    MapRequest request = smallRequest();
+    request.cacheable = false;
+
+    ASSERT_EQ(service.handle(request).code, 0);
+    const MapResponse second = service.handle(request);
+    ASSERT_EQ(second.code, 0);
+    EXPECT_EQ(second.tier, "search");
+    EXPECT_EQ(service.cache().stats().entries, 0u);
+}
+
+TEST(MapService, CacheDisabledAlwaysSearches)
+{
+    MapService service({.cacheBytes = 0});
+    const MapRequest request = smallRequest();
+    EXPECT_EQ(service.handle(request).tier, "search");
+    EXPECT_EQ(service.handle(request).tier, "search");
+    EXPECT_EQ(service.tierCounters().searches, 2u);
+}
+
+TEST(MapService, StructuredTierAnswersQftSkeleton)
+{
+    MapService service({.cacheBytes = 8u << 20, .structuredTier = true});
+    MapRequest request;
+    request.id = "qft";
+    request.circuit = ir::qftSkeleton(6);
+    request.arch = "lnn6";
+    request.mapper = "heuristic";
+    // The closed-form depth analysis assumes the uniform latency
+    // preset; any other model must fall through to search.
+    request.lat1 = request.lat2 = request.lats = 1;
+
+    const MapResponse response = service.handle(request);
+    ASSERT_EQ(response.code, 0) << response.error;
+    EXPECT_EQ(response.tier, "structured");
+    EXPECT_EQ(response.mapper, "qft-lnn-butterfly");
+    EXPECT_FALSE(response.output.empty());
+
+    // Structured answers are NOT cached (the lookup is already
+    // cheaper than a cache probe + verify): a repeat hits the
+    // structured tier again and the cache stays empty.
+    const MapResponse repeat = service.handle(request);
+    EXPECT_EQ(repeat.tier, "structured");
+    EXPECT_EQ(repeat.output, response.output);
+    EXPECT_EQ(service.cache().stats().entries, 0u);
+    EXPECT_EQ(service.tierCounters().structuredHits, 2u);
+}
+
+TEST(MapService, StructuredTierRequiresUniformLatency)
+{
+    MapService service({.cacheBytes = 0, .structuredTier = true});
+    MapRequest request;
+    request.circuit = ir::qftSkeleton(6);
+    request.arch = "lnn6";
+    request.mapper = "heuristic";
+    // Default (1,2,6) latency: the closed-form schedule's depth claim
+    // doesn't hold, so the request must be searched.
+    const MapResponse response = service.handle(request);
+    ASSERT_EQ(response.code, 0) << response.error;
+    EXPECT_EQ(response.tier, "search");
+}
+
+TEST(MapService, HandleBatchPreservesRequestOrder)
+{
+    MapService service({.cacheBytes = 8u << 20, .workers = 4});
+    std::vector<MapRequest> requests;
+    for (int n = 3; n <= 6; ++n) {
+        MapRequest request;
+        request.id = "job-" + std::to_string(n);
+        request.circuit = ir::qftConcrete(n);
+        request.arch = "tokyo";
+        request.mapper = "heuristic";
+        requests.push_back(request);
+    }
+
+    const std::vector<MapResponse> responses =
+        service.handleBatch(requests);
+    ASSERT_EQ(responses.size(), requests.size());
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        EXPECT_EQ(responses[i].id, requests[i].id);
+        EXPECT_EQ(responses[i].code, 0) << responses[i].error;
+        // Each batch response matches what a serial handle() yields.
+        MapService fresh({.cacheBytes = 0});
+        EXPECT_EQ(fresh.handle(requests[i]).output, responses[i].output);
+    }
+}
+
+TEST(MapService, UnknownArchitectureIsAnError)
+{
+    MapService service({.cacheBytes = 0});
+    MapRequest request = smallRequest();
+    request.arch = "no-such-device";
+    const MapResponse response = service.handle(request);
+    EXPECT_NE(response.code, 0);
+    EXPECT_FALSE(response.error.empty());
+    EXPECT_EQ(service.tierCounters().errors, 1u);
+}
+
+TEST(ArchCacheTest, LookupMemoizesByName)
+{
+    ArchCache &cache = ArchCache::global();
+    cache.clear();
+    const ArchCache::Stats before = cache.stats();
+
+    const auto first = cache.lookup("tokyo");
+    const auto again = cache.lookup("tokyo");
+    ASSERT_NE(first, nullptr);
+    // Same immutable graph object is shared, not rebuilt.
+    EXPECT_EQ(first.get(), again.get());
+
+    const ArchCache::Stats after = cache.stats();
+    EXPECT_EQ(after.misses, before.misses + 1);
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_EQ(after.entries, 1u);
+
+    EXPECT_THROW(cache.lookup("no-such-device"), std::invalid_argument);
+    // A throwing name caches nothing.
+    EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(MapService, StatsJsonCarriesCacheCounters)
+{
+    MapService service({.cacheBytes = 8u << 20});
+    const MapRequest request = smallRequest();
+    service.handle(request);
+    service.handle(request);
+
+    const std::string json = service.statsJson();
+    EXPECT_NE(json.find("\"requests\":2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"cache\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"hits\":1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"misses\":1"), std::string::npos) << json;
+}
+
+} // namespace
+} // namespace toqm::serve

@@ -167,6 +167,10 @@
 #include "qasm/writer.hpp"
 #include "search/resource_guard.hpp"
 #include "search/search_stats.hpp"
+#include "serve/canonical.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/structured.hpp"
+#include "serve/warm.hpp"
 #include "sim/statevector.hpp"
 #include "sim/verifier.hpp"
 #include "toqm/initial_layout.hpp"
@@ -197,6 +201,13 @@ struct Options
     std::string layoutStrategy = "auto"; // auto|greedy|annealed
     std::uint64_t maxNodes = 20'000'000;
     std::vector<std::string> inputs; // empty = stdin
+
+    // Serve-layer surface (toqm_servecore).
+    /** --warm-cache byte budget in MiB (0 = off): a process-global
+     *  exact-repeat result cache shared by every job of a batch. */
+    std::size_t warmCacheMb = 0;
+    /** --structured: try the closed-form QFT tier before any search. */
+    bool structured = false;
 
     // Batch / portfolio surface (toqm_parallel).
     unsigned jobs = 1;
@@ -245,6 +256,7 @@ usage(const char *argv0, int code)
                  "       [--restore-layout] [--enforce-directions]\n"
                  "       [--trace FILE] [--progress[=SECS]] "
                  "[--metrics-json[=FILE]] [--obs-sample N]\n"
+                 "       [--warm-cache[=MB]] [--structured]\n"
                  "       [--retries N] [--retry-backoff-ms B] "
                  "[--journal FILE]\n"
                  "       [--fault-plan SPEC] [--list-fault-sites]\n"
@@ -425,6 +437,14 @@ parseArgs(int argc, char **argv)
             opt.retryBackoffMs = std::stoull(next());
         } else if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
             opt.retryBackoffMs = std::stoull(arg.substr(19));
+        } else if (arg == "--warm-cache") {
+            opt.warmCacheMb = 64;
+        } else if (arg.rfind("--warm-cache=", 0) == 0) {
+            opt.warmCacheMb = std::stoull(arg.substr(13));
+            if (opt.warmCacheMb == 0)
+                usage(argv[0], 2);
+        } else if (arg == "--structured") {
+            opt.structured = true;
         } else if (arg == "--journal") {
             opt.journalPath = next();
         } else if (arg.rfind("--journal=", 0) == 0) {
@@ -530,6 +550,67 @@ noteDegradation(const char *event)
         o.instant(event);
     if (o.metricsEnabled())
         o.metrics().increment(event);
+}
+
+/**
+ * --warm-cache: the process-global exact-repeat result cache.  Every
+ * job of a batch shares it, so a manifest that maps the same input
+ * with the same flags twice pays for one search.  Exact-fingerprint
+ * hits only — the stored stdout bytes are replayed verbatim, which
+ * keeps every delivery byte-identical to a cold run by construction
+ * (canonical-equivalent reuse with layout translation lives in the
+ * toqm_serve daemon, where re-verification gates each hit).
+ */
+std::unique_ptr<serve::ResultCache> g_warmCache;
+
+/**
+ * The configuration half of the warm-cache key: every option that
+ * can change a single byte of stdout (or the exit code) of a
+ * successful run.  Pure-stderr diagnostics (--stats, --timeline,
+ * --progress, --trace, --metrics-json) are deliberately absent.
+ */
+std::string
+cacheConfigText(const Options &opt)
+{
+    std::string text = "arch=" + opt.arch + ";mapper=" + opt.mapper +
+                       ";obj=" + opt.objective +
+                       ";cal=" + opt.calibrationPath +
+                       ";lat=" + std::to_string(opt.lat1) + "," +
+                       std::to_string(opt.lat2) + "," +
+                       std::to_string(opt.lats) +
+                       ";si=" + (opt.searchInitial ? "1" : "0") +
+                       ";nm=" + (opt.noMixing ? "1" : "0") +
+                       ";ao=" + (opt.allOptimal ? "1" : "0") +
+                       ";vf=" + (opt.verify ? "1" : "0") +
+                       ";mn=" + std::to_string(opt.maxNodes) +
+                       ";dl=" + std::to_string(opt.deadlineMs) +
+                       ";mp=" + std::to_string(opt.maxPoolMb) +
+                       ";pf=" + std::to_string(opt.portfolioSize) +
+                       ";fb=" + opt.fallback +
+                       ";ly=" + opt.layoutStrategy +
+                       ";rl=" + (opt.restoreLayout ? "1" : "0") +
+                       ";ed=" + (opt.enforceDirections ? "1" : "0") +
+                       ";dot=" + (opt.emitDot ? "1" : "0") +
+                       ";json=" + (opt.emitJson ? "1" : "0") +
+                       ";st=" + (opt.structured ? "1" : "0") +
+                       ";fp=" + opt.faultPlan;
+    return text;
+}
+
+/** Render the `serve` block of the stats line: which tier answered
+ *  and the warm cache's point-in-time counters. */
+std::string
+warmServeJson(const char *tier)
+{
+    const serve::CacheStats s = g_warmCache != nullptr
+                                    ? g_warmCache->stats()
+                                    : serve::CacheStats{};
+    return std::string("{\"tier\":\"") + tier + "\",\"cache\":{" +
+           "\"hits\":" + std::to_string(s.hits) +
+           ",\"misses\":" + std::to_string(s.misses) +
+           ",\"evictions\":" + std::to_string(s.evictions) +
+           ",\"bytes\":" + std::to_string(s.bytes) +
+           ",\"entries\":" + std::to_string(s.entries) + "}}";
 }
 
 } // namespace
@@ -681,8 +762,53 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         }
         const ir::Circuit &logical = program.circuit;
 
-        const auto device = arch::byName(opt.arch);
+        // Warm per-architecture state: named graphs (and their
+        // all-pairs distance tables) construct once per process, so
+        // a batch whose jobs share a device pays the Floyd-Warshall
+        // cost exactly once.
+        const auto device_ptr =
+            serve::ArchCache::global().lookup(opt.arch);
+        const arch::CouplingGraph &device = *device_ptr;
         const ir::LatencyModel latency(opt.lat1, opt.lat2, opt.lats);
+
+        // --- warm result cache (tier "cache") ---------------------
+        // An exact repeat of an earlier successful job — same circuit
+        // bytes, same output-affecting flags — replays the stored
+        // stdout bytes without mapping or re-verifying anything.
+        serve::CanonicalKey exact_key{};
+        if (g_warmCache != nullptr) {
+            exact_key = serve::hashText(
+                serve::exactCircuitText(logical) + "\n" +
+                cacheConfigText(opt));
+            const serve::ResultCache::Lookup hit =
+                g_warmCache->find(exact_key, exact_key);
+            if (hit.hit) {
+                if (opt.statsJson) {
+                    search::StatsLineContext hit_ctx;
+                    hit_ctx.arch = opt.arch;
+                    hit_ctx.lat1 = opt.lat1;
+                    hit_ctx.lat2 = opt.lat2;
+                    hit_ctx.latSwap = opt.lats;
+                    if (job.batchMode)
+                        hit_ctx.input = job.input;
+                    const std::string serve_json =
+                        warmServeJson("cache");
+                    hit_ctx.serveJson = serve_json;
+                    std::fputs(
+                        search::statsJsonLine(
+                            search::SearchStats{},
+                            hit.entry->mapper,
+                            search::SearchStatus::Solved,
+                            static_cast<int>(hit.entry->cycles),
+                            hit.entry->mapped.physical.numSwaps(),
+                            hit_ctx)
+                            .c_str(),
+                        err);
+                }
+                out << hit.entry->output;
+                return 0;
+            }
+        }
 
         // --- objective --------------------------------------------
         // Calibration data loads (exit 1 on malformed content via the
@@ -716,6 +842,20 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         else if (opt.layoutStrategy == "annealed")
             seed_layout = core::annealedLayout(logical, device);
 
+        // --- structured lookup (tier "structured") ----------------
+        // Opt-in closed-form tier: a recognised QFT instance on a
+        // matching line/grid device is answered from the Section 6.1
+        // schedules, translated into this request's qubit labels and
+        // re-verified — no search runs at all.
+        serve::StructuredMatch structured;
+        if (opt.structured) {
+            const serve::CanonicalForm canonical_form =
+                serve::canonicalizeCircuit(logical);
+            structured = serve::structuredLookup(
+                logical, canonical_form, device, latency,
+                !opt.noMixing);
+        }
+
         // --- map --------------------------------------------------
         search::StatsLineContext stats_ctx;
         stats_ctx.arch = opt.arch;
@@ -725,6 +865,15 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         if (job.batchMode)
             stats_ctx.input = job.input;
         stats_ctx.faultJson = job.faultJson;
+        // The serve block is additive: it appears only when a serve
+        // feature (--warm-cache / --structured) is active, so default
+        // stats lines stay byte-identical.
+        std::string serve_json;
+        if (g_warmCache != nullptr || structured) {
+            serve_json =
+                warmServeJson(structured ? "structured" : "search");
+            stats_ctx.serveJson = serve_json;
+        }
 
         // Annotate the stats line with the run's objective whenever
         // one was asked for — a non-cycles objective OR an explicit
@@ -760,7 +909,26 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         // verifier, --verify or not: a degraded answer is never an
         // unverified one.
         bool verify_degraded = false;
-        if (opt.mapper == "optimal") {
+        if (structured) {
+            mapped = structured.mapped;
+            if (opt.statsJson) {
+                std::fputs(
+                    search::statsJsonLine(
+                        search::SearchStats{}, structured.pattern,
+                        search::SearchStatus::Solved,
+                        static_cast<int>(structured.cycles),
+                        mapped.physical.numSwaps(), stats_ctx)
+                        .c_str(),
+                    err);
+            }
+            if (opt.stats) {
+                std::fprintf(err,
+                             "structured: %s: %d cycles, %d swaps\n",
+                             structured.pattern.c_str(),
+                             static_cast<int>(structured.cycles),
+                             mapped.physical.numSwaps());
+            }
+        } else if (opt.mapper == "optimal") {
             core::MapperConfig config;
             config.latency = latency;
             config.searchInitialMapping = opt.searchInitial;
@@ -1238,15 +1406,28 @@ runJob(const Options &opt, const JobSpec &job, std::ostream &out,
         // pending_exit is 0 for the requested result (or an opted-in
         // fallback) and the stop-reason code for degraded
         // deliveries; either way the mapping goes to stdout.
-        if (opt.emitDot) {
-            out << ir::toDot(device, mapped.initialLayout);
-            return pending_exit;
+        std::string body;
+        if (opt.emitDot)
+            body = ir::toDot(device, mapped.initialLayout);
+        else if (opt.emitJson)
+            body = ir::mappingToJson(mapped, latency);
+        else
+            body = qasm::writeMappedCircuit(mapped);
+        // Only full-quality search results enter the warm cache:
+        // degraded deliveries would poison later exact repeats, and
+        // structured answers are already cheaper than a lookup.
+        if (g_warmCache != nullptr && pending_exit == 0 &&
+            !verify_degraded && !structured) {
+            serve::CacheEntry entry;
+            entry.exactKey = exact_key;
+            entry.output = body;
+            entry.mapped = mapped;
+            entry.mapper = opt.mapper;
+            entry.cycles =
+                ir::scheduleAsap(mapped.physical, latency).makespan;
+            g_warmCache->insert(exact_key, std::move(entry));
         }
-        if (opt.emitJson) {
-            out << ir::mappingToJson(mapped, latency);
-            return pending_exit;
-        }
-        out << qasm::writeMappedCircuit(mapped);
+        out << body;
         return pending_exit;
     } catch (const fault::InjectedFault &e) {
         // An injected fault that reached the job boundary: contained
@@ -1623,6 +1804,11 @@ int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
+
+    if (opt.warmCacheMb > 0) {
+        g_warmCache = std::make_unique<serve::ResultCache>(
+            opt.warmCacheMb << 20);
+    }
 
     // Fault injection: arm the process-global injector from
     // --fault-plan or the TOQM_FAULT environment variable.  In a

@@ -302,10 +302,56 @@ checkStatsLine(const std::string &path)
             }
         }
     }
-    std::printf("ok: %s (stats line schemaVersion %d%s%s)\n",
+    // The serve block is optional (only emitted when a serve-layer
+    // feature — the warm result cache, the structured tier, or the
+    // toqm_serve daemon — answered or annotated the run), but when
+    // present it must be well-formed: a known tier name and, when a
+    // cache sub-object exists, numeric hit/miss/eviction counters.
+    const ValuePtr serve = root->get("serve");
+    if (serve) {
+        if (!serve->isObject()) {
+            fail(path + ": serve block is not an object");
+            return;
+        }
+        const ValuePtr tier = serve->get("tier");
+        if (!tier || !tier->isString()) {
+            fail(path + ": serve block missing tier string");
+            return;
+        }
+        const std::string &tier_name = tier->asString();
+        if (tier_name != "cache" && tier_name != "cache-canonical" &&
+            tier_name != "structured" && tier_name != "search") {
+            fail(path + ": unknown serve tier '" + tier_name + "'");
+            return;
+        }
+        const ValuePtr cache = serve->get("cache");
+        if (cache) {
+            if (!cache->isObject()) {
+                fail(path + ": serve.cache is not an object");
+                return;
+            }
+            for (const char *key : {"hits", "misses", "evictions"}) {
+                const ValuePtr counter = cache->get(key);
+                if (!counter || !counter->isNumber() ||
+                    counter->asNumber() < 0) {
+                    fail(path + ": serve.cache." + std::string(key) +
+                         " missing or not a non-negative number");
+                    return;
+                }
+            }
+        } else if (tier_name == "cache" ||
+                   tier_name == "cache-canonical") {
+            // A cache-tier answer without cache counters is a lie.
+            fail(path + ": serve tier '" + tier_name +
+                 "' without a cache block");
+            return;
+        }
+    }
+    std::printf("ok: %s (stats line schemaVersion %d%s%s%s)\n",
                 path.c_str(), static_cast<int>(version->asNumber()),
                 objective ? ", objective annotation valid" : "",
-                degradation ? ", degradation block valid" : "");
+                degradation ? ", degradation block valid" : "",
+                serve ? ", serve block valid" : "");
 }
 
 [[noreturn]] void

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * `toqm_serve` — the warm-state mapping daemon.
+ *
+ * A long-lived process answering JSON-lines mapping requests (see
+ * serve/server.hpp for the protocol) from stdin or a unix socket.
+ * Between requests it keeps hot state alive that a cold `toqm_map`
+ * run pays for on every invocation: named coupling graphs and their
+ * distance tables (ArchCache), recycled NodePool slab buffers
+ * (SlabCache), the work-stealing ThreadPool, and a sharded
+ * content-addressed result cache keyed on the canonical circuit
+ * form — so a qubit-relabeled or gate-reordered-equivalent repeat of
+ * an earlier request is answered without any search.
+ *
+ * Responses are byte-identical to what a cold `toqm_map` run with
+ * the same flags prints: cache hits replay stored bytes, canonical
+ * hits and structured-lookup answers are re-verified before use.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "obs/observer.hpp"
+#include "search/node_pool.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace toqm;
+
+struct Options
+{
+    std::string socketPath;
+    std::string journalPath;
+    std::string metricsPath;
+    bool metricsJson = false;
+    unsigned jobs = 1;
+    std::size_t cacheMb = 64;
+    std::size_t cacheShards = 8;
+    std::size_t slabCacheMb = 0;
+    bool structured = false;
+};
+
+void
+usage(std::FILE *to)
+{
+    std::fputs(
+        "usage: toqm_serve [options]\n"
+        "\n"
+        "Long-lived mapping daemon: reads one JSON request per line\n"
+        "from stdin (or a unix socket), writes one JSON response per\n"
+        "line, and keeps architecture tables, search arenas, worker\n"
+        "threads and a content-addressed result cache warm across\n"
+        "requests.  See the README for the request/response schema.\n"
+        "\n"
+        "options:\n"
+        "  --socket PATH       serve a unix domain socket instead of\n"
+        "                      stdin/stdout (one connection at a time)\n"
+        "  --journal FILE      append one durable record per response\n"
+        "                      (same format as toqm_map --journal);\n"
+        "                      reopening after a crash resumes the file\n"
+        "  --jobs N            stdin mode: slurp all requests and serve\n"
+        "                      them on N warm worker threads, responses\n"
+        "                      in input order (default 1: serve as they\n"
+        "                      arrive)\n"
+        "  --cache-mb N        result-cache byte budget in MiB\n"
+        "                      (default 64; 0 disables the cache)\n"
+        "  --cache-shards N    result-cache shard count (default 8)\n"
+        "  --slab-cache-mb N   recycle up to N MiB of NodePool slab\n"
+        "                      buffers across searches (default 0: off)\n"
+        "  --structured        enable the structured-solution tier\n"
+        "                      (recognised QFT instances answered from\n"
+        "                      closed-form schedules, verified)\n"
+        "  --metrics-json[=F]  emit the metrics registry on exit to F\n"
+        "                      (stderr when omitted)\n"
+        "  --help              this text\n"
+        "\n"
+        "lifecycle: drains on EOF, {\"cmd\":\"shutdown\"}, SIGTERM or\n"
+        "SIGINT (in-flight requests complete; exit 0); a second signal\n"
+        "forces an immediate abort with exit 9.\n",
+        to);
+}
+
+bool
+parseSize(const char *text, std::size_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+} // namespace
+
+/** Signals seen so far (sig_atomic_t: async-signal-safe to touch). */
+static volatile std::sig_atomic_t g_signalsSeen = 0;
+
+extern "C" void
+toqmServeStopSignalHandler(int)
+{
+    // First signal: request a graceful drain — the serve loop
+    // finishes in-flight work, writes the final stats summary and
+    // exits 0.  Second signal: the operator means NOW; _Exit skips
+    // every destructor with the distinct forced-abort code.
+    if (++g_signalsSeen > 1)
+        std::_Exit(9);
+    toqm::serve::requestStop();
+}
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto needsValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n",
+                             flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            opt.socketPath = needsValue("--socket");
+        } else if (arg == "--journal") {
+            opt.journalPath = needsValue("--journal");
+        } else if (arg == "--jobs") {
+            std::size_t n = 0;
+            if (!parseSize(needsValue("--jobs"), n) || n == 0) {
+                std::fprintf(stderr, "error: bad --jobs value\n");
+                return 2;
+            }
+            opt.jobs = static_cast<unsigned>(n);
+        } else if (arg == "--cache-mb") {
+            if (!parseSize(needsValue("--cache-mb"), opt.cacheMb)) {
+                std::fprintf(stderr, "error: bad --cache-mb value\n");
+                return 2;
+            }
+        } else if (arg == "--cache-shards") {
+            if (!parseSize(needsValue("--cache-shards"),
+                           opt.cacheShards) ||
+                opt.cacheShards == 0) {
+                std::fprintf(stderr,
+                             "error: bad --cache-shards value\n");
+                return 2;
+            }
+        } else if (arg == "--slab-cache-mb") {
+            if (!parseSize(needsValue("--slab-cache-mb"),
+                           opt.slabCacheMb)) {
+                std::fprintf(stderr,
+                             "error: bad --slab-cache-mb value\n");
+                return 2;
+            }
+        } else if (arg == "--structured") {
+            opt.structured = true;
+        } else if (arg == "--metrics-json") {
+            opt.metricsJson = true;
+        } else if (arg.rfind("--metrics-json=", 0) == 0) {
+            opt.metricsJson = true;
+            opt.metricsPath = arg.substr(std::strlen("--metrics-json="));
+        } else {
+            std::fprintf(stderr, "error: unknown option %s\n",
+                         arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    if (opt.metricsJson)
+        obs::Observer::global().enableMetrics();
+    if (opt.slabCacheMb > 0)
+        search::SlabCache::global().arm(opt.slabCacheMb << 20);
+
+    serve::ServiceConfig serviceConfig;
+    serviceConfig.cacheBytes = opt.cacheMb << 20;
+    serviceConfig.cacheShards = opt.cacheShards;
+    serviceConfig.structuredTier = opt.structured;
+    serviceConfig.workers = opt.jobs;
+    serve::MapService service(serviceConfig);
+
+    serve::ServerConfig serverConfig;
+    serverConfig.socketPath = opt.socketPath;
+    serverConfig.journalPath = opt.journalPath;
+    serverConfig.jobs = opt.jobs;
+    serve::Server server(serverConfig, service);
+
+    // No SA_RESTART: a blocked stdin read or poll must fail with
+    // EINTR so the serve loop notices the stop flag and drains.
+    struct sigaction action;
+    std::memset(&action, 0, sizeof action);
+    action.sa_handler = toqmServeStopSignalHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+
+    const int code = opt.socketPath.empty()
+                         ? server.runStdio(std::cin, std::cout,
+                                           std::cerr)
+                         : server.runSocket(std::cerr);
+
+    if (opt.metricsJson) {
+        service.publishMetrics();
+        const std::string snapshot =
+            obs::Observer::global().metrics().snapshotJson();
+        if (opt.metricsPath.empty()) {
+            std::fprintf(stderr, "%s\n", snapshot.c_str());
+        } else {
+            std::FILE *f = std::fopen(opt.metricsPath.c_str(), "wb");
+            if (f == nullptr ||
+                std::fwrite(snapshot.data(), 1, snapshot.size(), f) !=
+                    snapshot.size()) {
+                std::fprintf(stderr,
+                             "error: could not write metrics file "
+                             "%s\n",
+                             opt.metricsPath.c_str());
+            }
+            if (f != nullptr)
+                std::fclose(f);
+        }
+    }
+    return code;
+}
